@@ -1,0 +1,98 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **A1** — the Google+ model's anti-entropy period governs how long
+//!   order divergence persists (Figure 10a's shape); sweeping it shows the
+//!   causal knob.
+//! * **A2** — clock-sync probe count vs estimate quality: the paper uses a
+//!   handful of Cristian probes; more probes cost WAN round trips.
+//! * **A3** — the ranking top-K of the Facebook Feed model: the subset
+//!   semantics behind content divergence.
+//!
+//! Each bench iterates the full single-test pipeline under one knob
+//! setting, so `cargo bench` both times and sanity-runs the ablations; the
+//! `repro` binary prints their *measured effects* at campaign scale.
+
+use conprobe_harness::proto::TestKind;
+use conprobe_harness::runner::{run_one_test, TestConfig};
+use conprobe_services::catalog::{self, Topology};
+use conprobe_services::replica_node::{ReadPath, ReplicaParams};
+use conprobe_services::ServiceKind;
+use conprobe_sim::SimDuration;
+use conprobe_store::RankingConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn gplus_with_antientropy(secs: u64) -> Topology {
+    let mut topo = catalog::topology(ServiceKind::GooglePlus);
+    for (_, params) in &mut topo.replicas {
+        *params = ReplicaParams {
+            anti_entropy: Some(SimDuration::from_secs(secs)),
+            ..params.clone()
+        };
+    }
+    topo
+}
+
+fn fbfeed_with_top_k(top_k: usize) -> Topology {
+    let mut topo = catalog::topology(ServiceKind::FacebookFeed);
+    for (_, params) in &mut topo.replicas {
+        if let ReadPath::Ranked(cfg) = &params.read_path {
+            params.read_path = ReadPath::Ranked(RankingConfig { top_k, ..cfg.clone() });
+        }
+    }
+    topo
+}
+
+fn bench_antientropy_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_antientropy");
+    group.sample_size(10);
+    for secs in [1u64, 4, 16] {
+        let mut config = TestConfig::paper(ServiceKind::GooglePlus, TestKind::Test2);
+        config.service_override = Some(gplus_with_antientropy(secs));
+        group.bench_with_input(BenchmarkId::new("gplus_test2", secs), &config, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_one_test(cfg, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_probe_count_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_clocksync_probes");
+    group.sample_size(10);
+    for probes in [1u32, 5, 25] {
+        let mut config = TestConfig::paper(ServiceKind::Blogger, TestKind::Test2);
+        config.probes_per_agent = probes;
+        group.bench_with_input(BenchmarkId::new("blogger_test2", probes), &config, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_one_test(cfg, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_top_k_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_ranking_top_k");
+    group.sample_size(10);
+    for top_k in [3usize, 25, 100] {
+        let mut config = TestConfig::paper(ServiceKind::FacebookFeed, TestKind::Test2);
+        config.service_override = Some(fbfeed_with_top_k(top_k));
+        group.bench_with_input(BenchmarkId::new("fbfeed_test2", top_k), &config, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_one_test(cfg, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_antientropy_sweep, bench_probe_count_sweep, bench_top_k_sweep);
+criterion_main!(benches);

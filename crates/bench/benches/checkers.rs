@@ -1,0 +1,83 @@
+//! Criterion benches for the anomaly checkers: throughput of each §III
+//! predicate over synthetic traces of increasing size. The paper's full
+//! campaign analyzed ~785k reads; these benches establish that a complete
+//! per-test analysis is microseconds, so analysis never bounds campaign
+//! throughput.
+
+use conprobe_core::checkers::{self, WfrMode};
+use conprobe_core::trace::{AgentId, TestTrace, TestTraceBuilder, Timestamp};
+use conprobe_core::window::{all_pair_windows, WindowKind};
+use conprobe_core::{analyze, CheckerConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A synthetic three-agent trace shaped like a Test 1 log: 6 writes, then
+/// `reads_per_agent` rolling reads each seeing a sliding window of events
+/// with occasional gaps/reorders (so checkers exercise their slow paths).
+fn synthetic_trace(reads_per_agent: usize) -> TestTrace<u32> {
+    let mut b = TestTraceBuilder::new();
+    let t = Timestamp::from_millis;
+    for (i, w) in (1..=6u32).enumerate() {
+        let agent = AgentId((i / 2) as u32);
+        b.write(agent, t(i as i64 * 100), t(i as i64 * 100 + 50), w);
+    }
+    for agent in 0..3u32 {
+        for r in 0..reads_per_agent {
+            let at = t(600 + r as i64 * 300 + agent as i64 * 17);
+            // Rolling view with a deliberate anomaly sprinkle: drop one
+            // event on every 7th read, swap a pair on every 5th.
+            let mut seq: Vec<u32> = (1..=6).collect();
+            if r % 7 == 3 {
+                seq.remove(r % 6);
+            }
+            if r % 5 == 2 {
+                seq.swap(0, 1);
+            }
+            b.read(AgentId(agent), at, at, seq);
+        }
+    }
+    b.build()
+}
+
+fn bench_individual_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkers");
+    for reads in [16usize, 64, 256] {
+        let trace = synthetic_trace(reads);
+        group.bench_with_input(BenchmarkId::new("ryw", reads), &trace, |b, tr| {
+            b.iter(|| black_box(checkers::check_read_your_writes(tr)))
+        });
+        group.bench_with_input(BenchmarkId::new("mw", reads), &trace, |b, tr| {
+            b.iter(|| black_box(checkers::check_monotonic_writes(tr)))
+        });
+        group.bench_with_input(BenchmarkId::new("mr", reads), &trace, |b, tr| {
+            b.iter(|| black_box(checkers::check_monotonic_reads(tr)))
+        });
+        group.bench_with_input(BenchmarkId::new("wfr_general", reads), &trace, |b, tr| {
+            b.iter(|| black_box(checkers::check_writes_follow_reads(tr, &WfrMode::General)))
+        });
+        group.bench_with_input(BenchmarkId::new("content", reads), &trace, |b, tr| {
+            b.iter(|| black_box(checkers::check_content_divergence(tr)))
+        });
+        group.bench_with_input(BenchmarkId::new("order", reads), &trace, |b, tr| {
+            b.iter(|| black_box(checkers::check_order_divergence(tr)))
+        });
+        group.bench_with_input(BenchmarkId::new("windows", reads), &trace, |b, tr| {
+            b.iter(|| {
+                black_box(all_pair_windows(tr, WindowKind::Content));
+                black_box(all_pair_windows(tr, WindowKind::Order));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_analysis(c: &mut Criterion) {
+    let trace = synthetic_trace(64);
+    let config: CheckerConfig<u32> = CheckerConfig::default();
+    c.bench_function("analyze_full_test", |b| {
+        b.iter(|| black_box(analyze(&trace, &config)))
+    });
+}
+
+criterion_group!(benches, bench_individual_checkers, bench_full_analysis);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! One Criterion bench per paper artifact: each bench runs the exact
+//! pipeline that regenerates a table or figure, at a small per-cell scale
+//! (campaign + statistics + rendering). `cargo bench -p conprobe-bench
+//! --bench figures` therefore re-derives every artifact of the evaluation
+//! section while timing it; the `repro` binary runs the same pipelines at
+//! full scale.
+
+use conprobe_core::window::WindowKind;
+use conprobe_core::AnomalyKind;
+use conprobe_harness::campaign::{run_campaign, CampaignConfig, CampaignResult};
+use conprobe_harness::figures;
+use conprobe_harness::proto::TestKind;
+use conprobe_services::ServiceKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Instances per campaign cell inside a bench iteration — small, but the
+/// full pipeline (world build, clock sync, both tests, checkers, stats,
+/// rendering) is exercised end to end.
+const TESTS: u32 = 2;
+
+fn cells() -> (Vec<CampaignResult>, Vec<CampaignResult>) {
+    let services = ServiceKind::ALL;
+    let t1 = services
+        .iter()
+        .map(|s| {
+            let mut c = CampaignConfig::paper(*s, TestKind::Test1, TESTS);
+            c.threads = 2;
+            run_campaign(&c)
+        })
+        .collect();
+    let t2 = services
+        .iter()
+        .map(|s| {
+            let mut c = CampaignConfig::paper(*s, TestKind::Test2, TESTS);
+            c.threads = 2;
+            run_campaign(&c)
+        })
+        .collect();
+    (t1, t2)
+}
+
+fn bench_artifacts(c: &mut Criterion) {
+    // Campaigns are run once; each artifact bench measures its
+    // aggregation + rendering pipeline over the shared results.
+    let (t1, t2) = cells();
+    let t1_refs: Vec<&CampaignResult> = t1.iter().collect();
+    let t2_refs: Vec<&CampaignResult> = t2.iter().collect();
+    let pairs: Vec<(&CampaignResult, &CampaignResult)> =
+        t1.iter().zip(t2.iter()).collect();
+
+    let mut group = c.benchmark_group("artifacts");
+    group.bench_function("table1", |b| {
+        b.iter(|| black_box(figures::render_table1(&t1_refs)))
+    });
+    group.bench_function("table2", |b| {
+        b.iter(|| black_box(figures::render_table2(&t2_refs)))
+    });
+    group.bench_function("fig3", |b| b.iter(|| black_box(figures::render_fig3(&pairs))));
+    group.bench_function("fig4_ryw", |b| {
+        b.iter(|| {
+            black_box(figures::render_observation_figure(
+                4,
+                AnomalyKind::ReadYourWrites,
+                &t1_refs,
+            ))
+        })
+    });
+    group.bench_function("fig5_mw", |b| {
+        b.iter(|| {
+            black_box(figures::render_observation_figure(
+                5,
+                AnomalyKind::MonotonicWrites,
+                &t1_refs,
+            ))
+        })
+    });
+    group.bench_function("fig6_mr", |b| {
+        b.iter(|| {
+            black_box(figures::render_observation_figure(
+                6,
+                AnomalyKind::MonotonicReads,
+                &t1_refs,
+            ))
+        })
+    });
+    group.bench_function("fig7_wfr", |b| {
+        b.iter(|| {
+            black_box(figures::render_observation_figure(
+                7,
+                AnomalyKind::WritesFollowReads,
+                &t1_refs,
+            ))
+        })
+    });
+    group.bench_function("fig8", |b| b.iter(|| black_box(figures::render_fig8(&t2_refs))));
+    group.bench_function("fig9_content_cdf", |b| {
+        b.iter(|| black_box(figures::render_window_cdf(9, WindowKind::Content, &t2_refs)))
+    });
+    group.bench_function("fig10_order_cdf", |b| {
+        b.iter(|| black_box(figures::render_window_cdf(10, WindowKind::Order, &t2_refs)))
+    });
+    group.bench_function("totals", |b| {
+        b.iter(|| black_box(figures::render_totals(&pairs)))
+    });
+    group.finish();
+
+    // End-to-end: one full campaign cell per iteration (the expensive
+    // path behind every artifact above).
+    let mut group = c.benchmark_group("campaign_cell");
+    group.sample_size(10);
+    group.bench_function("blogger_test1_x2", |b| {
+        b.iter(|| {
+            let mut cfg = CampaignConfig::paper(ServiceKind::Blogger, TestKind::Test1, TESTS);
+            cfg.threads = 2;
+            black_box(run_campaign(&cfg))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_artifacts);
+criterion_main!(benches);

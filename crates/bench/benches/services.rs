@@ -1,0 +1,51 @@
+//! Criterion benches for complete test instances: how long one paper test
+//! takes against each service model, for both test designs. These are the
+//! units the campaign multiplies by ~1,000.
+
+use conprobe_harness::proto::TestKind;
+use conprobe_harness::runner::{run_one_test, TestConfig};
+use conprobe_services::ServiceKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_single_tests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_test");
+    group.sample_size(10);
+    for service in ServiceKind::ALL {
+        for kind in [TestKind::Test1, TestKind::Test2] {
+            let config = TestConfig::paper(service, kind);
+            let label = format!("{}_{}", service.name().replace(' ', ""), kind)
+                .replace(' ', "")
+                .to_lowercase();
+            group.bench_with_input(BenchmarkId::new("run", label), &config, |b, cfg| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(run_one_test(cfg, seed))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_guarded_vs_raw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_guard_overhead");
+    group.sample_size(10);
+    for guarded in [false, true] {
+        let mut config = TestConfig::paper(ServiceKind::FacebookFeed, TestKind::Test1);
+        config.use_guard = guarded;
+        let name = if guarded { "guarded" } else { "raw" };
+        group.bench_with_input(BenchmarkId::new("fbfeed_test1", name), &config, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_one_test(cfg, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_tests, bench_guarded_vs_raw);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benches for the simulation substrate: raw event-loop
+//! throughput, network sampling, and clock reads. Campaign wall-time is
+//! dominated by the event loop, so this is the number that decides how many
+//! paper-scale instances per second a machine can run.
+
+use conprobe_sim::net::Region;
+use conprobe_sim::{
+    Context, LatencyMatrix, Node, NodeId, SimRng, World, WorldConfig,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A node that ping-pongs `remaining` messages with its peer.
+struct PingPong {
+    peer: Option<NodeId>,
+    remaining: u32,
+}
+
+impl Node<u64> for PingPong {
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        if let Some(p) = self.peer {
+            ctx.send(p, 0);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, u64>, from: NodeId, msg: u64) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(from, msg + 1);
+        }
+    }
+    fn on_timer(&mut self, _: &mut Context<'_, u64>, _: u64) {}
+}
+
+fn bench_event_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_loop");
+    for msgs in [1_000u32, 10_000] {
+        group.bench_with_input(BenchmarkId::new("ping_pong", msgs), &msgs, |b, &msgs| {
+            b.iter(|| {
+                let mut w = World::new(WorldConfig::default(), 1);
+                let a = w.add_node(
+                    Region::Oregon,
+                    Box::new(PingPong { peer: None, remaining: msgs }),
+                );
+                let _b = w.add_node(
+                    Region::Tokyo,
+                    Box::new(PingPong { peer: Some(a), remaining: msgs }),
+                );
+                w.run_until_idle();
+                black_box(w.delivered())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_network_sampling(c: &mut Criterion) {
+    let matrix = LatencyMatrix::paper_wan();
+    let mut rng = SimRng::new(7);
+    c.bench_function("latency_sample", |b| {
+        b.iter(|| black_box(matrix.sample_delay(Region::Oregon, Region::Tokyo, &mut rng)))
+    });
+    c.bench_function("rng_split", |b| {
+        let root = SimRng::new(3);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(root.split_indexed("bench", i))
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_loop, bench_network_sampling);
+criterion_main!(benches);

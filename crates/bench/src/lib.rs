@@ -1,0 +1,58 @@
+//! # conprobe-bench — benchmark & reproduction harness
+//!
+//! Two faces:
+//!
+//! * the `repro` binary regenerates **every table and figure** of the
+//!   paper's evaluation (Tables I–II, Figures 3–10), plus the totals
+//!   paragraph and our ablations (A1 anti-entropy sweep, A2 clock-sync
+//!   error, A3 session-guard masking) — run `repro --help`;
+//! * Criterion benches (`cargo bench`) time the moving parts: checkers on
+//!   large traces, the simulator's event loop, a full test instance per
+//!   service, and scaled-down versions of each figure's campaign.
+//!
+//! [`run_cells`] is the shared driver: it executes the campaign cell for
+//! each (service, test) pair at a configurable scale and caches results for
+//! the renderers.
+
+use conprobe_harness::campaign::{run_campaign, CampaignConfig, CampaignResult};
+use conprobe_harness::proto::TestKind;
+use conprobe_services::ServiceKind;
+use std::collections::BTreeMap;
+
+/// Runs the (service × test-kind) campaign grid at `tests` instances per
+/// cell, returning results keyed by `(service, kind)`.
+pub fn run_cells(
+    services: &[ServiceKind],
+    kinds: &[TestKind],
+    tests: u32,
+    seed: u64,
+) -> BTreeMap<(ServiceKind, TestKind), CampaignResult> {
+    let mut out = BTreeMap::new();
+    for &service in services {
+        for &kind in kinds {
+            let config = CampaignConfig::paper(service, kind, tests).with_seed(seed);
+            out.insert((service, kind), run_campaign(&config));
+        }
+    }
+    out
+}
+
+/// The paper's service order for tables/figures.
+pub fn paper_services() -> Vec<ServiceKind> {
+    ServiceKind::ALL.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_cells_covers_the_grid() {
+        let cells = run_cells(&[ServiceKind::Blogger], &[TestKind::Test1, TestKind::Test2], 1, 1);
+        assert_eq!(cells.len(), 2);
+        assert!(cells.contains_key(&(ServiceKind::Blogger, TestKind::Test1)));
+        for r in cells.values() {
+            assert_eq!(r.results.len(), 1);
+        }
+    }
+}

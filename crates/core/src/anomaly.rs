@@ -1,0 +1,143 @@
+//! Anomaly taxonomy and observation records.
+
+use crate::trace::{AgentId, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The six anomalies of the paper's §III.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum AnomalyKind {
+    /// A client's completed write is missing from its own later read.
+    ReadYourWrites,
+    /// A client's writes appear partially or out of issue order.
+    MonotonicWrites,
+    /// An event observed by a client disappears from its later read.
+    MonotonicReads,
+    /// A write is visible without the events its author had read before
+    /// issuing it.
+    WritesFollowReads,
+    /// Two clients each see an event the other does not.
+    ContentDivergence,
+    /// Two clients see a pair of events in opposite orders.
+    OrderDivergence,
+}
+
+impl AnomalyKind {
+    /// All anomaly kinds, in the paper's presentation order.
+    pub const ALL: [AnomalyKind; 6] = [
+        AnomalyKind::ReadYourWrites,
+        AnomalyKind::MonotonicWrites,
+        AnomalyKind::MonotonicReads,
+        AnomalyKind::WritesFollowReads,
+        AnomalyKind::ContentDivergence,
+        AnomalyKind::OrderDivergence,
+    ];
+
+    /// The four session-guarantee anomalies (§III.1).
+    pub const SESSION: [AnomalyKind; 4] = [
+        AnomalyKind::ReadYourWrites,
+        AnomalyKind::MonotonicWrites,
+        AnomalyKind::MonotonicReads,
+        AnomalyKind::WritesFollowReads,
+    ];
+
+    /// The two divergence anomalies (§III.2).
+    pub const DIVERGENCE: [AnomalyKind; 2] =
+        [AnomalyKind::ContentDivergence, AnomalyKind::OrderDivergence];
+
+    /// Short label used in figures ("RYW", "MW", …).
+    pub fn short(&self) -> &'static str {
+        match self {
+            AnomalyKind::ReadYourWrites => "RYW",
+            AnomalyKind::MonotonicWrites => "MW",
+            AnomalyKind::MonotonicReads => "MR",
+            AnomalyKind::WritesFollowReads => "WFR",
+            AnomalyKind::ContentDivergence => "CD",
+            AnomalyKind::OrderDivergence => "OD",
+        }
+    }
+}
+
+impl fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AnomalyKind::ReadYourWrites => "read your writes",
+            AnomalyKind::MonotonicWrites => "monotonic writes",
+            AnomalyKind::MonotonicReads => "monotonic reads",
+            AnomalyKind::WritesFollowReads => "writes follows reads",
+            AnomalyKind::ContentDivergence => "content divergence",
+            AnomalyKind::OrderDivergence => "order divergence",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One detected instance of an anomaly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Observation<K> {
+    /// Which anomaly.
+    pub kind: AnomalyKind,
+    /// The agent that observed it (the reader whose view is anomalous). For
+    /// divergence anomalies, the first agent of the pair.
+    pub agent: AgentId,
+    /// The second agent of a divergence pair, if applicable.
+    pub other_agent: Option<AgentId>,
+    /// Response time of the read at which the anomaly was observed.
+    pub at: Timestamp,
+    /// The events witnessing the violation (e.g. the missing write, or the
+    /// inverted pair).
+    pub witnesses: Vec<K>,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl<K: fmt::Debug> fmt::Display for Observation<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} @ {} by {}] {}", self.kind.short(), self.at, self.agent, self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_sizes() {
+        assert_eq!(AnomalyKind::ALL.len(), 6);
+        assert_eq!(AnomalyKind::SESSION.len(), 4);
+        assert_eq!(AnomalyKind::DIVERGENCE.len(), 2);
+        // SESSION ∪ DIVERGENCE = ALL, disjoint.
+        let mut all: Vec<_> =
+            AnomalyKind::SESSION.iter().chain(AnomalyKind::DIVERGENCE.iter()).collect();
+        all.sort();
+        let mut expect: Vec<_> = AnomalyKind::ALL.iter().collect();
+        expect.sort();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let shorts: std::collections::HashSet<_> =
+            AnomalyKind::ALL.iter().map(|k| k.short()).collect();
+        assert_eq!(shorts.len(), 6);
+        assert_eq!(AnomalyKind::ReadYourWrites.to_string(), "read your writes");
+    }
+
+    #[test]
+    fn observation_display() {
+        let obs = Observation {
+            kind: AnomalyKind::MonotonicReads,
+            agent: AgentId(2),
+            other_agent: None,
+            at: Timestamp::from_millis(1500),
+            witnesses: vec![7u32],
+            detail: "event 7 disappeared".to_string(),
+        };
+        let s = obs.to_string();
+        assert!(s.contains("MR"), "{s}");
+        assert!(s.contains("agent2"), "{s}");
+        assert!(s.contains("disappeared"), "{s}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Content Divergence checker.
+//!
+//! §III: *"a content divergence anomaly happens when two reads issued by
+//! clients c₁ and c₂ return, respectively, sequences S₁ and S₂, and
+//! `∃x ∈ S₁, y ∈ S₂ : x ∉ S₂ ∧ y ∉ S₁`."*
+//!
+//! Note the *mutual* difference: each client sees something the other does
+//! not. Simple staleness (one client strictly behind the other) is **not**
+//! content divergence.
+//!
+//! The reads need not be simultaneous — the paper's window computation (see
+//! [`crate::window`]) handles the temporal aspect; this checker establishes
+//! presence per agent pair.
+
+use crate::anomaly::{AnomalyKind, Observation};
+use crate::trace::{EventKey, TestTrace};
+use std::collections::HashSet;
+
+/// Finds content divergence between every pair of agents in `trace`.
+///
+/// Emits at most one [`Observation`] per unordered agent pair, carrying a
+/// witness pair `[x, y]` (`x` seen only by the first agent, `y` only by the
+/// second) from the earliest diverging read pair, and the total number of
+/// diverging read pairs in the detail string.
+pub fn check<K: EventKey>(trace: &TestTrace<K>) -> Vec<Observation<K>> {
+    let agents = trace.agents();
+    // Precompute each read's element set once (the pair loops below visit
+    // every read many times).
+    let sets: std::collections::HashMap<usize, HashSet<&K>> = trace
+        .ops()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, op)| op.read_seq().map(|s| (i, s.iter().collect())))
+        .collect();
+    let indexed_reads = |agent| {
+        trace
+            .ops()
+            .iter()
+            .enumerate()
+            .filter(move |(_, op)| op.agent == agent && op.is_read())
+            .collect::<Vec<_>>()
+    };
+    let mut out = Vec::new();
+    for (i, &a) in agents.iter().enumerate() {
+        for &b in &agents[i + 1..] {
+            let reads_a = indexed_reads(a);
+            let reads_b = indexed_reads(b);
+            let mut first_witness: Option<(K, K, crate::trace::Timestamp)> = None;
+            let mut pair_count = 0usize;
+            for (ia, ra) in &reads_a {
+                let sa = ra.read_seq().expect("read");
+                let set_a = &sets[ia];
+                for (ib, rb) in &reads_b {
+                    let sb = rb.read_seq().expect("read");
+                    let set_b = &sets[ib];
+                    let x = sa.iter().find(|x| !set_b.contains(*x));
+                    let y = sb.iter().find(|y| !set_a.contains(*y));
+                    if let (Some(x), Some(y)) = (x, y) {
+                        pair_count += 1;
+                        let at = ra.response.max(rb.response);
+                        if first_witness.is_none() {
+                            first_witness = Some((x.clone(), y.clone(), at));
+                        }
+                    }
+                }
+            }
+            if let Some((x, y, at)) = first_witness {
+                out.push(Observation {
+                    kind: AnomalyKind::ContentDivergence,
+                    agent: a,
+                    other_agent: Some(b),
+                    at,
+                    detail: format!(
+                        "{a} and {b} mutually diverge ({pair_count} read pair(s)): \
+                         {a} alone sees {x:?}, {b} alone sees {y:?}"
+                    ),
+                    witnesses: vec![x, y],
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{AgentId, TestTraceBuilder, Timestamp};
+
+    fn t(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+    const A0: AgentId = AgentId(0);
+    const A1: AgentId = AgentId(1);
+    const A2: AgentId = AgentId(2);
+
+    #[test]
+    fn mutual_difference_is_flagged() {
+        // Paper: "an Agent observes a sequence containing only M1 and
+        // another Agent sees only M2."
+        let mut b = TestTraceBuilder::new();
+        b.read(A0, t(0), t(10), vec![1u32]);
+        b.read(A1, t(0), t(10), vec![2]);
+        let obs = check(&b.build());
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].kind, AnomalyKind::ContentDivergence);
+        assert_eq!((obs[0].agent, obs[0].other_agent), (A0, Some(A1)));
+        assert_eq!(obs[0].witnesses, vec![1, 2]);
+    }
+
+    #[test]
+    fn strict_staleness_is_not_divergence() {
+        // A1 is simply behind A0: no mutual difference.
+        let mut b = TestTraceBuilder::new();
+        b.read(A0, t(0), t(10), vec![1u32, 2]);
+        b.read(A1, t(0), t(10), vec![1]);
+        assert!(check(&b.build()).is_empty());
+    }
+
+    #[test]
+    fn identical_views_are_clean() {
+        let mut b = TestTraceBuilder::new();
+        b.read(A0, t(0), t(10), vec![1u32, 2]);
+        b.read(A1, t(0), t(10), vec![1, 2]);
+        assert!(check(&b.build()).is_empty());
+    }
+
+    #[test]
+    fn non_simultaneous_reads_still_diverge() {
+        // The paper's zero-window example: divergence exists between
+        // non-overlapping reads even though the window is zero.
+        let mut b = TestTraceBuilder::new();
+        b.read(A0, t(0), t(10), vec![1u32]);
+        b.read(A0, t(20), t(30), vec![1, 2]);
+        b.read(A1, t(40), t(50), vec![2]);
+        b.read(A1, t(60), t(70), vec![1, 2]);
+        let obs = check(&b.build());
+        assert_eq!(obs.len(), 1, "content divergence detected despite zero window");
+    }
+
+    #[test]
+    fn one_observation_per_pair() {
+        let mut b = TestTraceBuilder::new();
+        for i in 0..3 {
+            b.read(A0, t(i * 20), t(i * 20 + 10), vec![1u32]);
+            b.read(A1, t(i * 20), t(i * 20 + 10), vec![2u32]);
+        }
+        let obs = check(&b.build());
+        assert_eq!(obs.len(), 1);
+        assert!(obs[0].detail.contains("9 read pair(s)"), "{}", obs[0].detail);
+    }
+
+    #[test]
+    fn all_three_pairs_reported() {
+        let mut b = TestTraceBuilder::new();
+        b.read(A0, t(0), t(10), vec![1u32]);
+        b.read(A1, t(0), t(10), vec![2]);
+        b.read(A2, t(0), t(10), vec![3]);
+        let obs = check(&b.build());
+        assert_eq!(obs.len(), 3);
+        let pairs: Vec<_> = obs.iter().map(|o| (o.agent, o.other_agent.unwrap())).collect();
+        assert_eq!(pairs, vec![(A0, A1), (A0, A2), (A1, A2)]);
+    }
+
+    #[test]
+    fn same_agent_reads_never_diverge_with_themselves() {
+        let mut b = TestTraceBuilder::new();
+        b.read(A0, t(0), t(10), vec![1u32]);
+        b.read(A0, t(20), t(30), vec![2]);
+        assert!(check(&b.build()).is_empty());
+    }
+
+    #[test]
+    fn empty_reads_are_clean() {
+        let mut b = TestTraceBuilder::new();
+        b.read(A0, t(0), t(10), Vec::<u32>::new());
+        b.read(A1, t(0), t(10), vec![]);
+        assert!(check(&b.build()).is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! One module per anomaly checker.
+//!
+//! Every checker is a pure function from a [`crate::trace::TestTrace`] to a
+//! list of [`crate::anomaly::Observation`]s. Conventions shared by all
+//! checkers:
+//!
+//! * A write by agent `c` is considered *issued* at its invocation time and
+//!   *completed* at its response time. Only writes completed before a read's
+//!   invocation are required to be visible (in-flight writes are exempt) —
+//!   the conservative interpretation that avoids flagging races as
+//!   anomalies.
+//! * A checker emits at most one observation per offending read (or read
+//!   pair), carrying all witnesses, so "number of observations per test"
+//!   matches the per-read counting the paper plots in Figures 4–7.
+//! * The observing agent recorded on the observation is the *reader*, which
+//!   is what the paper's per-location breakdowns (Oregon/Tokyo/Ireland) are
+//!   keyed on.
+
+pub mod content;
+pub mod mr;
+pub mod mw;
+pub mod order;
+pub mod ryw;
+pub mod wfr;
+
+pub use content::check as check_content_divergence;
+pub use mr::check as check_monotonic_reads;
+pub use mw::check as check_monotonic_writes;
+pub use order::check as check_order_divergence;
+pub use ryw::check as check_read_your_writes;
+pub use wfr::{check as check_writes_follow_reads, WfrMode};

@@ -1,0 +1,67 @@
+//! # conprobe-core — consistency anomaly definitions and checkers
+//!
+//! This crate implements §III of *"Characterizing the Consistency of Online
+//! Services"* (DSN 2016): precise, service-agnostic definitions of six
+//! consistency anomalies, as pure predicates over an observed trace of
+//! operations, plus the quantitative divergence-window metrics.
+//!
+//! The model matches the paper's: clients issue **write** requests (each
+//! creating one event) and **read** requests (each returning a *sequence* of
+//! events). A [`trace::TestTrace`] records those operations with their
+//! invocation/response times on a common (clock-corrected) timeline; each
+//! checker in [`checkers`] searches the trace for one anomaly:
+//!
+//! | Anomaly | Predicate (paper §III) |
+//! |---|---|
+//! | Read Your Writes | `∃x∈W : x∉S` — a client's completed write missing from its own later read |
+//! | Monotonic Writes | `∃x,y∈W : W(x)≺W(y) ∧ y∈S ∧ (x∉S ∨ S(y)≺S(x))` |
+//! | Monotonic Reads  | `∃x∈S₁ : x∉S₂` for two successive reads by one client |
+//! | Writes Follows Reads | `w∈S₂ ∧ ∃x∈S₁ : x∉S₂` where `w` was issued after its author read `S₁` |
+//! | Content Divergence | `∃x∈S₁, y∈S₂ : x∉S₂ ∧ y∉S₁` across two clients |
+//! | Order Divergence | `∃x,y ∈ S₁,S₂ : S₁(x)≺S₁(y) ∧ S₂(y)≺S₂(x)` |
+//!
+//! [`window`] computes the *content/order divergence windows*: how long the
+//! divergence condition holds between a pair of clients, as determined by
+//! each client's most recent read — including the paper's subtlety that an
+//! anomaly can exist between non-overlapping reads yet have a zero window.
+//!
+//! Checkers are generic over the event key type `K` (any `Clone + Eq +
+//! Hash + Ord + Debug` type), so they work over simulated post ids, HTTP
+//! resource ids, or plain integers in tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use conprobe_core::trace::{AgentId, TestTraceBuilder, Timestamp};
+//! use conprobe_core::checkers::ryw;
+//!
+//! let mut b = TestTraceBuilder::new();
+//! let a0 = AgentId(0);
+//! b.write(a0, Timestamp::from_millis(0), Timestamp::from_millis(10), 1u32);
+//! // A later read by the same agent that misses write 1:
+//! b.read(a0, Timestamp::from_millis(20), Timestamp::from_millis(30), vec![]);
+//! let trace = b.build();
+//! let anomalies = ryw::check(&trace);
+//! assert_eq!(anomalies.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod anomaly;
+pub mod checkers;
+pub mod timeline;
+pub mod trace;
+pub mod verdict;
+pub mod visibility;
+pub mod window;
+
+pub use analysis::{analyze, CheckerConfig, TestAnalysis};
+pub use anomaly::{AnomalyKind, Observation};
+pub use trace::{AgentId, EventKey, OpKind, OpRecord, TestTrace, TestTraceBuilder, Timestamp};
+pub use verdict::{Status, Verdict};
+pub use visibility::{
+    staleness_bound_nanos, visibility, Visibility, VisibilityRecord, VisibilitySummary,
+};
+pub use window::{WindowAnalysis, WindowKind};

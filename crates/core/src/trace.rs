@@ -1,0 +1,349 @@
+//! The operation trace a test produces.
+//!
+//! Every agent logs, for each operation, "the time when they occurred
+//! (invocation and response times) and their output" (§IV). The harness maps
+//! all local timestamps onto the coordinator's timeline using the estimated
+//! clock deltas, then hands the merged log to the checkers as a
+//! [`TestTrace`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::Hash;
+
+/// Marker trait for event key types usable by the checkers.
+///
+/// Blanket-implemented; you never implement this manually.
+pub trait EventKey: Clone + Eq + Hash + Ord + fmt::Debug {}
+impl<T: Clone + Eq + Hash + Ord + fmt::Debug> EventKey for T {}
+
+/// Identifies an agent (client) in a test.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct AgentId(pub u32);
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agent{}", self.0)
+    }
+}
+
+/// An instant on the common, clock-corrected timeline (nanoseconds).
+///
+/// Signed: clock-delta correction can map an early local reading before the
+/// coordinator's zero.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(i64);
+
+impl Timestamp {
+    /// The timeline origin.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// From raw nanoseconds.
+    pub const fn from_nanos(ns: i64) -> Self {
+        Timestamp(ns)
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: i64) -> Self {
+        Timestamp(ms * 1_000_000)
+    }
+
+    /// From whole seconds.
+    pub const fn from_secs(s: i64) -> Self {
+        Timestamp(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> i64 {
+        self.0
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// `self - other` in nanoseconds.
+    pub const fn delta_nanos(self, other: Timestamp) -> i64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// What an operation did.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind<K> {
+    /// A write that created event `id`.
+    Write {
+        /// The event the write created.
+        id: K,
+    },
+    /// A read that returned `seq`, in the order the service presented it.
+    Read {
+        /// The returned event sequence.
+        seq: Vec<K>,
+    },
+}
+
+/// One logged operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpRecord<K> {
+    /// The agent that issued the operation.
+    pub agent: AgentId,
+    /// Invocation time (corrected timeline).
+    pub invoke: Timestamp,
+    /// Response time (corrected timeline).
+    pub response: Timestamp,
+    /// The operation and its payload/output.
+    pub kind: OpKind<K>,
+}
+
+impl<K> OpRecord<K> {
+    /// True for write operations.
+    pub fn is_write(&self) -> bool {
+        matches!(self.kind, OpKind::Write { .. })
+    }
+
+    /// True for read operations.
+    pub fn is_read(&self) -> bool {
+        matches!(self.kind, OpKind::Read { .. })
+    }
+
+    /// The returned sequence, if this is a read.
+    pub fn read_seq(&self) -> Option<&[K]> {
+        match &self.kind {
+            OpKind::Read { seq } => Some(seq),
+            OpKind::Write { .. } => None,
+        }
+    }
+
+    /// The created event, if this is a write.
+    pub fn write_id(&self) -> Option<&K> {
+        match &self.kind {
+            OpKind::Write { id } => Some(id),
+            OpKind::Read { .. } => None,
+        }
+    }
+}
+
+/// The merged, time-corrected operation log of one test instance.
+///
+/// Operations are stored sorted by `(invoke, response)`; the accessors the
+/// checkers use are derived views.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TestTrace<K> {
+    ops: Vec<OpRecord<K>>,
+}
+
+impl<K: EventKey> TestTrace<K> {
+    /// Builds a trace from raw records (any order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any record has `response < invoke` — that indicates a
+    /// corrupted log rather than an anomaly.
+    pub fn new(mut ops: Vec<OpRecord<K>>) -> Self {
+        for op in &ops {
+            assert!(
+                op.response >= op.invoke,
+                "operation response precedes invocation: {:?} < {:?}",
+                op.response,
+                op.invoke
+            );
+        }
+        ops.sort_by_key(|o| (o.invoke, o.response));
+        TestTrace { ops }
+    }
+
+    /// All operations, sorted by invocation time.
+    pub fn ops(&self) -> &[OpRecord<K>] {
+        &self.ops
+    }
+
+    /// The number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The distinct agents appearing in the trace, ascending.
+    pub fn agents(&self) -> Vec<AgentId> {
+        let mut v: Vec<AgentId> = self.ops.iter().map(|o| o.agent).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Writes issued by `agent`, in issue order, with their event keys.
+    pub fn writes_by(&self, agent: AgentId) -> Vec<(&OpRecord<K>, &K)> {
+        self.ops
+            .iter()
+            .filter(|o| o.agent == agent)
+            .filter_map(|o| o.write_id().map(|id| (o, id)))
+            .collect()
+    }
+
+    /// All writes in the trace, in issue order.
+    pub fn writes(&self) -> Vec<(&OpRecord<K>, &K)> {
+        self.ops.iter().filter_map(|o| o.write_id().map(|id| (o, id))).collect()
+    }
+
+    /// Reads issued by `agent`, in issue order.
+    pub fn reads_by(&self, agent: AgentId) -> Vec<&OpRecord<K>> {
+        self.ops.iter().filter(|o| o.agent == agent && o.is_read()).collect()
+    }
+
+    /// All reads in the trace, in issue order.
+    pub fn reads(&self) -> Vec<&OpRecord<K>> {
+        self.ops.iter().filter(|o| o.is_read()).collect()
+    }
+
+    /// Total number of read operations.
+    pub fn read_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_read()).count()
+    }
+
+    /// Total number of write operations.
+    pub fn write_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_write()).count()
+    }
+}
+
+/// Convenience builder for constructing traces in tests and examples.
+#[derive(Debug, Clone, Default)]
+pub struct TestTraceBuilder<K> {
+    ops: Vec<OpRecord<K>>,
+}
+
+impl<K: EventKey> TestTraceBuilder<K> {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TestTraceBuilder { ops: Vec::new() }
+    }
+
+    /// Records a write of `id` by `agent`.
+    pub fn write(
+        &mut self,
+        agent: AgentId,
+        invoke: Timestamp,
+        response: Timestamp,
+        id: K,
+    ) -> &mut Self {
+        self.ops.push(OpRecord { agent, invoke, response, kind: OpKind::Write { id } });
+        self
+    }
+
+    /// Records a read returning `seq` by `agent`.
+    pub fn read(
+        &mut self,
+        agent: AgentId,
+        invoke: Timestamp,
+        response: Timestamp,
+        seq: Vec<K>,
+    ) -> &mut Self {
+        self.ops.push(OpRecord { agent, invoke, response, kind: OpKind::Read { seq } });
+        self
+    }
+
+    /// Finishes the trace.
+    pub fn build(&mut self) -> TestTrace<K> {
+        TestTrace::new(std::mem::take(&mut self.ops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn builder_sorts_by_invocation() {
+        let mut b = TestTraceBuilder::new();
+        b.read(AgentId(0), t(100), t(110), vec![1u32]);
+        b.write(AgentId(0), t(0), t(10), 1u32);
+        let trace = b.build();
+        assert!(trace.ops()[0].is_write());
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.read_count(), 1);
+        assert_eq!(trace.write_count(), 1);
+    }
+
+    #[test]
+    fn accessors_filter_by_agent_and_kind() {
+        let mut b = TestTraceBuilder::new();
+        b.write(AgentId(0), t(0), t(5), 1u32);
+        b.write(AgentId(1), t(1), t(6), 2u32);
+        b.read(AgentId(0), t(10), t(15), vec![1, 2]);
+        let trace = b.build();
+        assert_eq!(trace.agents(), vec![AgentId(0), AgentId(1)]);
+        assert_eq!(trace.writes_by(AgentId(0)).len(), 1);
+        assert_eq!(*trace.writes_by(AgentId(1))[0].1, 2);
+        assert_eq!(trace.reads_by(AgentId(0)).len(), 1);
+        assert!(trace.reads_by(AgentId(1)).is_empty());
+        assert_eq!(trace.writes().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "response precedes invocation")]
+    fn rejects_negative_duration_ops() {
+        let mut b = TestTraceBuilder::new();
+        b.write(AgentId(0), t(10), t(5), 1u32);
+        let _ = b.build();
+    }
+
+    #[test]
+    fn timestamps_support_negative_corrected_values() {
+        let early = Timestamp::from_nanos(-5);
+        assert!(early < Timestamp::ZERO);
+        assert_eq!(early.delta_nanos(Timestamp::ZERO), -5);
+        assert_eq!(Timestamp::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(Timestamp::from_millis(1).to_string(), "0.001000s");
+    }
+
+    #[test]
+    fn empty_trace() {
+        let trace: TestTrace<u32> = TestTrace::new(vec![]);
+        assert!(trace.is_empty());
+        assert!(trace.agents().is_empty());
+    }
+
+    #[test]
+    fn op_record_inspectors() {
+        let w = OpRecord { agent: AgentId(0), invoke: t(0), response: t(1), kind: OpKind::Write { id: 9u32 } };
+        let r = OpRecord {
+            agent: AgentId(0),
+            invoke: t(2),
+            response: t(3),
+            kind: OpKind::Read { seq: vec![9u32] },
+        };
+        assert_eq!(w.write_id(), Some(&9));
+        assert_eq!(w.read_seq(), None);
+        assert_eq!(r.read_seq().unwrap(), &[9]);
+        assert_eq!(r.write_id(), None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut b = TestTraceBuilder::new();
+        b.write(AgentId(0), t(0), t(5), 1u32).read(AgentId(1), t(6), t(9), vec![1u32]);
+        let trace = b.build();
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: TestTrace<u32> = serde_json::from_str(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+}

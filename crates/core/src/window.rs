@@ -1,0 +1,324 @@
+//! Divergence windows — the paper's quantitative metrics (§III.3).
+//!
+//! *"When a set of clients issue a set of write operations, the divergence
+//! window is the amount of time during which the condition that defines the
+//! anomaly (either content or order divergence) remains valid, as perceived
+//! by the various clients."*
+//!
+//! The condition is evaluated over each client's **most recent read**: a
+//! sweep over the merged, clock-corrected read timeline of an agent pair
+//! tracks when the pair's latest views diverge and when they re-converge.
+//! The paper's zero-window subtlety falls out naturally: if agent 1 reads
+//! (M1) then (M1,M2), and only afterwards agent 2 reads (M2) then (M1,M2),
+//! the latest views never diverge simultaneously and the computed window is
+//! zero even though a content-divergence anomaly exists.
+//!
+//! A window that is still open when the trace ends means the pair never
+//! re-converged during the test; the paper reports those separately ("These
+//! results exclude runs where convergence was not reached during the test")
+//! — here exposed as [`WindowAnalysis::open_since`].
+
+use crate::checkers::order::find_inversion;
+use crate::trace::{AgentId, EventKey, TestTrace, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Which divergence condition a window measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WindowKind {
+    /// Mutual content difference between the latest views.
+    Content,
+    /// An inverted common pair between the latest views.
+    Order,
+}
+
+/// The divergence windows of one agent pair in one test.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowAnalysis {
+    /// The agent pair (first < second).
+    pub pair: (AgentId, AgentId),
+    /// Content or order.
+    pub kind: WindowKind,
+    /// Closed windows `(start, end)` in sweep order.
+    pub windows: Vec<(Timestamp, Timestamp)>,
+    /// If the condition still held at the last read, when it started.
+    pub open_since: Option<Timestamp>,
+}
+
+impl WindowAnalysis {
+    /// Largest closed window, in nanoseconds.
+    pub fn largest_nanos(&self) -> Option<i64> {
+        self.windows.iter().map(|(s, e)| e.delta_nanos(*s)).max()
+    }
+
+    /// Sum of all closed windows, in nanoseconds.
+    pub fn total_nanos(&self) -> i64 {
+        self.windows.iter().map(|(s, e)| e.delta_nanos(*s)).sum()
+    }
+
+    /// Whether the pair had re-converged by the end of the trace.
+    pub fn converged(&self) -> bool {
+        self.open_since.is_none()
+    }
+
+    /// Whether any divergence (closed or open) was observed at all.
+    pub fn any_divergence(&self) -> bool {
+        !self.windows.is_empty() || self.open_since.is_some()
+    }
+}
+
+fn content_diverged<K: EventKey>(sa: &[K], sb: &[K]) -> bool {
+    let set_a: HashSet<&K> = sa.iter().collect();
+    let set_b: HashSet<&K> = sb.iter().collect();
+    sa.iter().any(|x| !set_b.contains(x)) && sb.iter().any(|y| !set_a.contains(y))
+}
+
+/// Computes the divergence windows of `kind` between agents `a` and `b`.
+///
+/// The sweep merges both agents' reads by response time (ties broken by the
+/// trace's stable order) and evaluates the divergence condition on the pair
+/// of most-recent views after every read.
+pub fn windows<K: EventKey>(
+    trace: &TestTrace<K>,
+    a: AgentId,
+    b: AgentId,
+    kind: WindowKind,
+) -> WindowAnalysis {
+    let pair = if a <= b { (a, b) } else { (b, a) };
+    // Merged read timeline of the two agents, by response time.
+    let mut reads: Vec<_> = trace
+        .reads()
+        .into_iter()
+        .filter(|r| r.agent == pair.0 || r.agent == pair.1)
+        .collect();
+    reads.sort_by_key(|r| r.response);
+
+    let mut last_a: Option<&[K]> = None;
+    let mut last_b: Option<&[K]> = None;
+    let mut open: Option<Timestamp> = None;
+    let mut closed = Vec::new();
+
+    for r in reads {
+        let seq = r.read_seq().expect("read");
+        if r.agent == pair.0 {
+            last_a = Some(seq);
+        } else {
+            last_b = Some(seq);
+        }
+        let diverged = match (last_a, last_b) {
+            (Some(sa), Some(sb)) => match kind {
+                WindowKind::Content => content_diverged(sa, sb),
+                WindowKind::Order => find_inversion(sa, sb).is_some(),
+            },
+            _ => false,
+        };
+        match (diverged, open) {
+            (true, None) => open = Some(r.response),
+            (false, Some(start)) => {
+                closed.push((start, r.response));
+                open = None;
+            }
+            _ => {}
+        }
+    }
+
+    WindowAnalysis { pair, kind, windows: closed, open_since: open }
+}
+
+/// Computes windows of `kind` for every agent pair in the trace.
+pub fn all_pair_windows<K: EventKey>(trace: &TestTrace<K>, kind: WindowKind) -> Vec<WindowAnalysis> {
+    let agents = trace.agents();
+    let mut out = Vec::new();
+    for (i, &a) in agents.iter().enumerate() {
+        for &b in &agents[i + 1..] {
+            out.push(windows(trace, a, b, kind));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TestTraceBuilder;
+
+    fn t(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+    const A0: AgentId = AgentId(0);
+    const A1: AgentId = AgentId(1);
+
+    #[test]
+    fn simple_content_window() {
+        let mut b = TestTraceBuilder::new();
+        b.read(A0, t(0), t(100), vec![1u32]); // A0 sees M1
+        b.read(A1, t(0), t(200), vec![2]); // A1 sees M2 → mutual divergence opens
+        b.read(A0, t(300), t(400), vec![1, 3]); // still mutual (3 vs 2)
+        b.read(A1, t(500), t(600), vec![1, 2, 3]); // A1 superset → closes
+        let w = windows(&b.build(), A0, A1, WindowKind::Content);
+        assert_eq!(w.windows, vec![(t(200), t(600))]);
+        assert!(w.converged());
+        assert_eq!(w.largest_nanos(), Some(400_000_000));
+    }
+
+    #[test]
+    fn paper_zero_window_example() {
+        // agent 1 reads (M1) at t1; (M1,M2) at t2; agent 2 reads (M2) at
+        // t3; (M1,M2) at t4 — anomaly exists but the window is zero.
+        let mut b = TestTraceBuilder::new();
+        b.read(A0, t(0), t(10), vec![1u32]);
+        b.read(A0, t(20), t(30), vec![1, 2]);
+        b.read(A1, t(40), t(50), vec![2]);
+        b.read(A1, t(60), t(70), vec![1, 2]);
+        let w = windows(&b.build(), A0, A1, WindowKind::Content);
+        // Latest views: at t=50 A0 has (1,2), A1 has (2): A1 strictly
+        // behind, not mutual divergence — no window at all.
+        assert!(w.windows.is_empty());
+        assert!(w.converged());
+        assert!(!w.any_divergence());
+    }
+
+    #[test]
+    fn unconverged_window_stays_open() {
+        let mut b = TestTraceBuilder::new();
+        b.read(A0, t(0), t(100), vec![1u32]);
+        b.read(A1, t(0), t(200), vec![2]);
+        let w = windows(&b.build(), A0, A1, WindowKind::Content);
+        assert!(w.windows.is_empty());
+        assert_eq!(w.open_since, Some(t(200)));
+        assert!(!w.converged());
+        assert!(w.any_divergence());
+    }
+
+    #[test]
+    fn multiple_windows_accumulate() {
+        let mut b = TestTraceBuilder::new();
+        // Diverge, converge, diverge again, converge again.
+        b.read(A0, t(0), t(100), vec![1u32]);
+        b.read(A1, t(0), t(200), vec![2]); // open @200
+        b.read(A1, t(250), t(300), vec![1]); // A1 now behind-equal → close @300
+        b.read(A0, t(350), t(400), vec![1, 3]);
+        b.read(A1, t(450), t(500), vec![1, 4]); // mutual again: open @500
+        b.read(A0, t(550), t(600), vec![1, 3, 4]); // A0 superset → close @600
+        let w = windows(&b.build(), A0, A1, WindowKind::Content);
+        assert_eq!(w.windows, vec![(t(200), t(300)), (t(500), t(600))]);
+        assert_eq!(w.total_nanos(), 200_000_000);
+        assert_eq!(w.largest_nanos(), Some(100_000_000));
+    }
+
+    #[test]
+    fn order_window_opens_and_closes() {
+        let mut b = TestTraceBuilder::new();
+        b.read(A0, t(0), t(100), vec![1u32, 2]);
+        b.read(A1, t(0), t(200), vec![2, 1]); // inverted: open @200
+        b.read(A1, t(300), t(400), vec![1, 2]); // canonical: close @400
+        let w = windows(&b.build(), A0, A1, WindowKind::Order);
+        assert_eq!(w.windows, vec![(t(200), t(400))]);
+    }
+
+    #[test]
+    fn order_window_requires_common_pair() {
+        let mut b = TestTraceBuilder::new();
+        b.read(A0, t(0), t(100), vec![1u32, 2]);
+        b.read(A1, t(0), t(200), vec![3, 4]);
+        let w = windows(&b.build(), A0, A1, WindowKind::Order);
+        assert!(!w.any_divergence());
+    }
+
+    #[test]
+    fn pair_order_is_normalized() {
+        let mut b = TestTraceBuilder::new();
+        b.read(A0, t(0), t(10), vec![1u32]);
+        b.read(A1, t(0), t(10), vec![2]);
+        let trace = b.build();
+        let w1 = windows(&trace, A0, A1, WindowKind::Content);
+        let w2 = windows(&trace, A1, A0, WindowKind::Content);
+        assert_eq!(w1, w2);
+        assert_eq!(w1.pair, (A0, A1));
+    }
+
+    #[test]
+    fn all_pair_windows_covers_every_pair() {
+        let mut b = TestTraceBuilder::new();
+        for agent in [AgentId(0), AgentId(1), AgentId(2)] {
+            b.read(agent, t(0), t(10), vec![agent.0]);
+        }
+        let ws = all_pair_windows(&b.build(), WindowKind::Content);
+        assert_eq!(ws.len(), 3);
+        assert!(ws.iter().all(|w| w.open_since.is_some()));
+    }
+
+    #[test]
+    fn windows_use_response_times() {
+        // Reads are long: windows must be measured at response, not invoke.
+        let mut b = TestTraceBuilder::new();
+        b.read(A0, t(0), t(1000), vec![1u32]);
+        b.read(A1, t(0), t(2000), vec![2]);
+        // A0 catching up to a superset view ends the *mutual* divergence.
+        b.read(A0, t(2500), t(3000), vec![1, 2]);
+        let w = windows(&b.build(), A0, A1, WindowKind::Content);
+        assert_eq!(w.windows, vec![(t(2000), t(3000))]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::trace::TestTraceBuilder;
+    use proptest::prelude::*;
+
+    fn arb_reads() -> impl Strategy<Value = Vec<(u8, Vec<u8>)>> {
+        proptest::collection::vec(
+            (0u8..2, proptest::collection::vec(0u8..6, 0..5)),
+            0..20,
+        )
+    }
+
+    proptest! {
+        /// Windows are well-formed: non-negative, non-overlapping,
+        /// chronologically ordered, and any open window starts after the
+        /// last closed one ends.
+        #[test]
+        fn windows_are_well_formed(reads in arb_reads()) {
+            let mut b = TestTraceBuilder::new();
+            for (i, (agent, mut seq)) in reads.into_iter().enumerate() {
+                seq.dedup();
+                let at = Timestamp::from_millis(i as i64 * 10);
+                b.read(AgentId(agent as u32), at, at, seq);
+            }
+            let trace = b.build();
+            for kind in [WindowKind::Content, WindowKind::Order] {
+                let w = windows(&trace, AgentId(0), AgentId(1), kind);
+                let mut prev_end = Timestamp::from_millis(-1);
+                for (s, e) in &w.windows {
+                    prop_assert!(s <= e, "negative window");
+                    prop_assert!(*s >= prev_end, "overlapping windows");
+                    prev_end = *e;
+                }
+                if let Some(open) = w.open_since {
+                    prop_assert!(open >= prev_end);
+                }
+            }
+        }
+
+        /// An order-divergence window implies a content- or order-divergence
+        /// anomaly is detectable by the presence checkers.
+        #[test]
+        fn open_order_window_implies_checker_detection(reads in arb_reads()) {
+            let mut b = TestTraceBuilder::new();
+            for (i, (agent, mut seq)) in reads.into_iter().enumerate() {
+                seq.sort();
+                seq.dedup();
+                let at = Timestamp::from_millis(i as i64 * 10);
+                b.read(AgentId(agent as u32), at, at, seq);
+            }
+            let trace = b.build();
+            let w = windows(&trace, AgentId(0), AgentId(1), WindowKind::Content);
+            if w.any_divergence() {
+                let obs = crate::checkers::content::check(&trace);
+                prop_assert!(!obs.is_empty(),
+                    "window sweep found divergence the checker missed");
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Soundness and completeness properties of the §III checkers.
+//!
+//! Strategy: generate a *linearizable execution* — a global log of writes
+//! with every read returning the exact current prefix — which by
+//! construction admits none of the paper's anomalies. All checkers must
+//! stay silent on it (soundness: no false positives). Then plant a specific
+//! corruption (drop a client's own write, reverse a pair, make an event
+//! vanish, …) and assert the corresponding checker fires (completeness for
+//! the planted class).
+
+use conprobe_core::checkers::{self, WfrMode};
+use conprobe_core::trace::{AgentId, OpKind, OpRecord, TestTrace, Timestamp};
+use conprobe_core::window::{all_pair_windows, WindowKind};
+use proptest::prelude::*;
+
+type K = (u32, u32); // (author, seq)
+
+/// A schedule of interleaved writes/reads for `agents` agents.
+#[derive(Debug, Clone)]
+enum Step {
+    Write(u32),
+    Read(u32),
+}
+
+fn arb_schedule(agents: u32) -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..agents).prop_map(Step::Write),
+            (0..agents).prop_map(Step::Read),
+        ],
+        1..40,
+    )
+}
+
+/// Builds a linearizable trace: operations execute instantaneously in
+/// schedule order, each read returning the full current write sequence.
+fn linearizable_trace(schedule: &[Step]) -> TestTrace<K> {
+    let mut log: Vec<K> = Vec::new();
+    let mut seqs = std::collections::HashMap::<u32, u32>::new();
+    let mut ops = Vec::new();
+    for (i, step) in schedule.iter().enumerate() {
+        let at = Timestamp::from_millis(i as i64 * 10);
+        match step {
+            Step::Write(a) => {
+                let seq = seqs.entry(*a).or_insert(0);
+                *seq += 1;
+                let id = (*a, *seq);
+                log.push(id);
+                ops.push(OpRecord {
+                    agent: AgentId(*a),
+                    invoke: at,
+                    response: at,
+                    kind: OpKind::Write { id },
+                });
+            }
+            Step::Read(a) => {
+                ops.push(OpRecord {
+                    agent: AgentId(*a),
+                    invoke: at,
+                    response: at,
+                    kind: OpKind::Read { seq: log.clone() },
+                });
+            }
+        }
+    }
+    TestTrace::new(ops)
+}
+
+proptest! {
+    /// Soundness: a linearizable execution triggers no checker at all.
+    #[test]
+    fn linearizable_executions_are_clean(schedule in arb_schedule(3)) {
+        let trace = linearizable_trace(&schedule);
+        prop_assert!(checkers::check_read_your_writes(&trace).is_empty());
+        prop_assert!(checkers::check_monotonic_writes(&trace).is_empty());
+        prop_assert!(checkers::check_monotonic_reads(&trace).is_empty());
+        prop_assert!(
+            checkers::check_writes_follow_reads(&trace, &WfrMode::General).is_empty()
+        );
+        prop_assert!(checkers::check_content_divergence(&trace).is_empty());
+        prop_assert!(checkers::check_order_divergence(&trace).is_empty());
+        for kind in [WindowKind::Content, WindowKind::Order] {
+            for w in all_pair_windows(&trace, kind) {
+                prop_assert!(!w.any_divergence());
+            }
+        }
+    }
+
+    /// Completeness (RYW): erase one of a client's own completed writes
+    /// from one of its later reads — the RYW checker must fire.
+    #[test]
+    fn planted_ryw_is_found(schedule in arb_schedule(3), pick in any::<prop::sample::Index>()) {
+        let trace = linearizable_trace(&schedule);
+        // Find a read whose agent has a previous write in it.
+        let candidates: Vec<usize> = trace
+            .ops()
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| {
+                op.read_seq()
+                    .map(|s| s.iter().any(|(a, _)| *a == op.agent.0))
+                    .unwrap_or(false)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!candidates.is_empty());
+        let victim = candidates[pick.index(candidates.len())];
+        let mut ops = trace.ops().to_vec();
+        let agent = ops[victim].agent;
+        if let OpKind::Read { seq } = &mut ops[victim].kind {
+            let pos = seq.iter().position(|(a, _)| *a == agent.0).unwrap();
+            seq.remove(pos);
+        }
+        let mutated = TestTrace::new(ops);
+        let obs = checkers::check_read_your_writes(&mutated);
+        prop_assert!(!obs.is_empty(), "erased own write not detected");
+        prop_assert!(obs.iter().any(|o| o.agent == agent));
+    }
+
+    /// Completeness (MW): reverse the first two same-author events inside
+    /// one read — the MW checker must fire.
+    #[test]
+    fn planted_mw_is_found(schedule in arb_schedule(2), pick in any::<prop::sample::Index>()) {
+        let trace = linearizable_trace(&schedule);
+        let candidates: Vec<usize> = trace
+            .ops()
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| {
+                op.read_seq()
+                    .map(|s| {
+                        // Two events by the same author present?
+                        s.iter().filter(|(a, _)| *a == 0).count() >= 2
+                    })
+                    .unwrap_or(false)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!candidates.is_empty());
+        let victim = candidates[pick.index(candidates.len())];
+        let mut ops = trace.ops().to_vec();
+        if let OpKind::Read { seq } = &mut ops[victim].kind {
+            let idx: Vec<usize> = seq
+                .iter()
+                .enumerate()
+                .filter(|(_, (a, _))| *a == 0)
+                .map(|(i, _)| i)
+                .take(2)
+                .collect();
+            seq.swap(idx[0], idx[1]);
+        }
+        let mutated = TestTrace::new(ops);
+        prop_assert!(
+            !checkers::check_monotonic_writes(&mutated).is_empty(),
+            "reversed same-author pair not detected"
+        );
+    }
+
+    /// Completeness (MR): drop any event from a read that is not the
+    /// agent's last — the *next* read still shows everything, so instead
+    /// drop from the last read; the event was visible in the previous read
+    /// by the same agent, so MR fires.
+    #[test]
+    fn planted_mr_is_found(schedule in arb_schedule(2)) {
+        let trace = linearizable_trace(&schedule);
+        // Find an agent with ≥2 reads whose earlier read is non-empty.
+        let mut target: Option<(AgentId, usize)> = None;
+        for agent in trace.agents() {
+            let reads: Vec<usize> = trace
+                .ops()
+                .iter()
+                .enumerate()
+                .filter(|(_, op)| op.agent == agent && op.is_read())
+                .map(|(i, _)| i)
+                .collect();
+            if reads.len() >= 2 {
+                let first_len =
+                    trace.ops()[reads[reads.len() - 2]].read_seq().unwrap().len();
+                if first_len > 0 {
+                    target = Some((agent, *reads.last().unwrap()));
+                    break;
+                }
+            }
+        }
+        prop_assume!(target.is_some());
+        let (agent, last_read) = target.unwrap();
+        let mut ops = trace.ops().to_vec();
+        if let OpKind::Read { seq } = &mut ops[last_read].kind {
+            prop_assume!(!seq.is_empty());
+            seq.remove(0);
+        }
+        let mutated = TestTrace::new(ops);
+        let obs = checkers::check_monotonic_reads(&mutated);
+        prop_assert!(!obs.is_empty(), "vanished event not detected");
+        prop_assert!(obs.iter().any(|o| o.agent == agent));
+    }
+
+    /// Completeness (content divergence): give two agents' overlapping
+    /// reads disjoint suffixes — the checker must fire for that pair.
+    #[test]
+    fn planted_content_divergence_is_found(schedule in arb_schedule(2)) {
+        let trace = linearizable_trace(&schedule);
+        let r0: Vec<usize> = trace.ops().iter().enumerate()
+            .filter(|(_, op)| op.agent == AgentId(0) && op.is_read())
+            .map(|(i, _)| i).collect();
+        let r1: Vec<usize> = trace.ops().iter().enumerate()
+            .filter(|(_, op)| op.agent == AgentId(1) && op.is_read())
+            .map(|(i, _)| i).collect();
+        prop_assume!(!r0.is_empty() && !r1.is_empty());
+        let mut ops = trace.ops().to_vec();
+        if let OpKind::Read { seq } = &mut ops[r0[0]].kind {
+            seq.push((90, 1)); // phantom event only agent 0 sees
+        }
+        if let OpKind::Read { seq } = &mut ops[r1[0]].kind {
+            seq.push((91, 1)); // phantom event only agent 1 sees
+        }
+        let mutated = TestTrace::new(ops);
+        prop_assert!(!checkers::check_content_divergence(&mutated).is_empty());
+    }
+
+    /// Divergence-window sweep agrees with the presence checker whenever
+    /// the reads overlap in time (simultaneous divergence ⇒ presence).
+    #[test]
+    fn window_divergence_implies_presence(schedule in arb_schedule(3)) {
+        let trace = linearizable_trace(&schedule);
+        for w in all_pair_windows(&trace, WindowKind::Content) {
+            if w.any_divergence() {
+                prop_assert!(!checkers::check_content_divergence(&trace).is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! The measurement agent (§IV–V).
+//!
+//! One agent runs in each of Oregon, Tokyo and Ireland. An agent is a
+//! scripted state machine:
+//!
+//! * it always answers the coordinator's clock probes with its local clock
+//!   reading;
+//! * on `Start` it waits until the agent-local start time the coordinator
+//!   computed, then runs the test script:
+//!   * **Test 1** — continuous background reads every `read_period`; agent 0
+//!     writes its two messages immediately (the second as soon as the first
+//!     is acknowledged); agent *i* > 0 writes its two messages when a read
+//!     first shows agent *i−1*'s second message; every agent reports
+//!     completion when it has seen the last agent's second message (M6);
+//!   * **Test 2** — one write at the synchronized start instant; background
+//!     reads at `read_period` for the first `fast_reads` reads, then at
+//!     `slow_period` (the paper's adaptive schedule working around rate
+//!     limits), reporting completion after `reads_target` reads;
+//! * every operation is logged with **local** invocation/response times and
+//!   its output — the agent has no access to true time;
+//! * on `Stop` it ships the log to the coordinator.
+//!
+//! Optionally the agent routes reads and write-acks through a
+//! [`SessionGuard`] (the A3 extension experiment): the *corrected* view is
+//! then what gets logged, modelling an application that masks session
+//! anomalies client-side.
+
+use crate::proto::{test1_post, AgentTestPlan, HarnessMsg, LocalOpRecord, Msg, TestKind};
+use conprobe_core::trace::OpKind;
+use conprobe_session::{GuardConfig, IssueOrder, SessionGuard};
+use conprobe_services::{ClientOp, NetMsg, OpResult};
+use conprobe_sim::{Context, LocalTime, Node, NodeId, SimDuration};
+use conprobe_store::{Post, PostId};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Issue order over [`PostId`]s: same author ⇒ ordered by sequence number,
+/// with derivable predecessors — the paper's session-id + sequence-number
+/// scheme instantiated for our post keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PostIdOrder;
+
+impl IssueOrder<PostId> for PostIdOrder {
+    fn same_session_order(&self, a: &PostId, b: &PostId) -> Option<Ordering> {
+        (a.author == b.author).then(|| a.seq.cmp(&b.seq))
+    }
+
+    fn predecessor(&self, k: &PostId) -> Option<PostId> {
+        (k.seq > 1).then(|| PostId::new(k.author, k.seq - 1))
+    }
+}
+
+const TOKEN_START: u64 = 1;
+const TOKEN_READ: u64 = 2;
+/// High-bit namespace for throttle-backoff timers.
+const TOKEN_THROTTLED: u64 = 1 << 62;
+/// High-bit namespace for per-request retry timers: `TOKEN_RETRY | req_id`.
+const TOKEN_RETRY: u64 = 1 << 63;
+/// Transport-level retry interval for requests with no response (the
+/// paper's HTTP client had TCP retransmits and library-level retries; the
+/// simulated WAN can drop messages when loss is configured).
+const RETRY_AFTER: SimDuration = SimDuration::from_secs(3);
+
+enum PendingOp {
+    Read,
+    Write(PostId),
+}
+
+/// The deployed measurement agent.
+pub struct AgentNode {
+    agent_index: u32,
+    coordinator: Option<NodeId>,
+    plan: Option<AgentTestPlan>,
+    records: Vec<LocalOpRecord>,
+    pending: HashMap<u64, (LocalTime, PendingOp, ClientOp)>,
+    next_req: u64,
+    reads_issued: u32,
+    reads_done: u32,
+    next_write_seq: u32,
+    triggered: bool,
+    completion_sent: bool,
+    stopped: bool,
+    throttled: u64,
+    /// Operations rejected by the rate limiter, awaiting a backoff retry.
+    throttle_backlog: HashMap<u64, (LocalTime, PendingOp, ClientOp)>,
+    next_backoff: u64,
+    guard: Option<SessionGuard<PostId, PostIdOrder>>,
+    use_guard: bool,
+}
+
+impl AgentNode {
+    /// Creates an idle agent with the given index (0-based; the paper's
+    /// Agent⟨i+1⟩). If `use_guard` is set, reads are filtered through a
+    /// [`SessionGuard`] before logging.
+    pub fn new(agent_index: u32, use_guard: bool) -> Self {
+        AgentNode {
+            agent_index,
+            coordinator: None,
+            plan: None,
+            records: Vec::new(),
+            pending: HashMap::new(),
+            next_req: 0,
+            reads_issued: 0,
+            reads_done: 0,
+            next_write_seq: 1,
+            triggered: false,
+            completion_sent: false,
+            stopped: false,
+            throttled: 0,
+            throttle_backlog: HashMap::new(),
+            next_backoff: 0,
+            guard: None,
+            use_guard,
+        }
+    }
+
+    /// Operations logged so far (diagnostics).
+    pub fn logged(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Requests rejected by the service's rate limit (diagnostics).
+    pub fn throttled(&self) -> u64 {
+        self.throttled
+    }
+
+    fn plan(&self) -> &AgentTestPlan {
+        self.plan.as_ref().expect("agent acted before receiving a plan")
+    }
+
+    fn issue(&mut self, ctx: &mut Context<'_, Msg>, op: ClientOp, kind: PendingOp) {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        self.pending.insert(req_id, (ctx.now_local(), kind, op.clone()));
+        let entry = self.plan().service_entry;
+        ctx.send(entry, NetMsg::Request { req_id, op });
+        ctx.set_timer(RETRY_AFTER, TOKEN_RETRY | req_id);
+    }
+
+    fn issue_read(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.reads_issued += 1;
+        self.issue(ctx, ClientOp::Read, PendingOp::Read);
+    }
+
+    fn issue_write(&mut self, ctx: &mut Context<'_, Msg>) {
+        let id = test1_post(self.plan().agent_index, self.next_write_seq);
+        self.next_write_seq += 1;
+        let post = Post::new(id, format!("post {id}"), ctx.now_local());
+        self.issue(ctx, ClientOp::Write(post), PendingOp::Write(id));
+    }
+
+    fn schedule_next_read(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.stopped {
+            return;
+        }
+        let plan = self.plan();
+        let period = match plan.kind {
+            TestKind::Test1 => plan.read_period,
+            TestKind::Test2 => {
+                if self.reads_issued >= plan.reads_target {
+                    return; // quota reached — Test 2 agents stop reading
+                }
+                if self.reads_issued < plan.fast_reads {
+                    plan.read_period
+                } else {
+                    plan.slow_period
+                }
+            }
+        };
+        ctx.set_timer(period, TOKEN_READ);
+    }
+
+    fn report_completion(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.completion_sent {
+            return;
+        }
+        self.completion_sent = true;
+        let idx = self.plan().agent_index;
+        if let Some(coord) = self.coordinator {
+            ctx.send(coord, NetMsg::App(HarnessMsg::CompletionSeen { agent_index: idx }));
+        }
+    }
+
+    fn handle_read_result(&mut self, ctx: &mut Context<'_, Msg>, invoke: LocalTime, raw: Vec<PostId>) {
+        let seq = match &mut self.guard {
+            Some(g) => g.filter_read(&raw),
+            None => raw,
+        };
+        self.reads_done += 1;
+        let response = ctx.now_local();
+        self.records.push(LocalOpRecord {
+            invoke,
+            response,
+            kind: OpKind::Read { seq: seq.clone() },
+        });
+        let plan = self.plan().clone();
+        match plan.kind {
+            TestKind::Test1 => {
+                // Staggering: my writes are triggered by the predecessor's
+                // second message appearing in my view.
+                if !self.triggered && plan.agent_index > 0 {
+                    let trigger = test1_post(plan.agent_index - 1, 2);
+                    if seq.contains(&trigger) {
+                        self.triggered = true;
+                        self.issue_write(ctx);
+                    }
+                }
+                // Completion: the last agent's second message (M6).
+                let m_last = test1_post(plan.total_agents - 1, 2);
+                if seq.contains(&m_last) {
+                    self.report_completion(ctx);
+                }
+            }
+            TestKind::Test2 => {
+                if self.reads_done >= plan.reads_target {
+                    self.report_completion(ctx);
+                }
+            }
+        }
+    }
+}
+
+impl Node<Msg> for AgentNode {
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            NetMsg::App(HarnessMsg::TimeProbe { probe_id }) => {
+                ctx.send(
+                    from,
+                    NetMsg::App(HarnessMsg::TimeReply { probe_id, local: ctx.now_local() }),
+                );
+            }
+            NetMsg::App(HarnessMsg::Start(plan)) => {
+                ctx.send(
+                    from,
+                    NetMsg::App(HarnessMsg::StartAck { agent_index: self.agent_index }),
+                );
+                if self.plan.is_some() {
+                    return; // duplicate Start (retry): already running
+                }
+                self.coordinator = Some(from);
+                self.records.clear();
+                self.pending.clear();
+                self.reads_issued = 0;
+                self.reads_done = 0;
+                self.next_write_seq = 1;
+                self.triggered = false;
+                self.completion_sent = false;
+                self.stopped = false;
+                self.guard = self
+                    .use_guard
+                    .then(|| SessionGuard::new(GuardConfig::default(), PostIdOrder));
+                debug_assert_eq!(plan.agent_index, self.agent_index, "plan routed to wrong agent");
+                let now = ctx.now_local();
+                let wait = plan.start_at_local.delta_nanos(now).max(0) as u64;
+                self.plan = Some(*plan);
+                ctx.set_timer(SimDuration::from_nanos(wait), TOKEN_START);
+            }
+            NetMsg::App(HarnessMsg::Stop) => {
+                // Stop may arrive repeatedly (the coordinator retries until
+                // it has our log), and even before a Start if that was
+                // lost — always answer with what we have.
+                self.stopped = true;
+                ctx.send(
+                    from,
+                    NetMsg::App(HarnessMsg::Log {
+                        agent_index: self.agent_index,
+                        records: self.records.clone(),
+                    }),
+                );
+            }
+            NetMsg::Response { req_id, result } => {
+                if self.stopped {
+                    return;
+                }
+                let Some((invoke, kind, _op)) = self.pending.remove(&req_id) else {
+                    return; // response to a request we no longer track
+                };
+                match (kind, result) {
+                    (PendingOp::Write(id), OpResult::WriteAck(acked)) => {
+                        debug_assert_eq!(id, acked);
+                        self.records.push(LocalOpRecord {
+                            invoke,
+                            response: ctx.now_local(),
+                            kind: OpKind::Write { id },
+                        });
+                        if let Some(g) = &mut self.guard {
+                            g.note_write_ack(id);
+                        }
+                        // "Each agent performs two consecutive writes": the
+                        // second goes out as soon as the first is
+                        // acknowledged.
+                        if self.plan().kind == TestKind::Test1 && self.next_write_seq == 2 {
+                            self.issue_write(ctx);
+                        }
+                    }
+                    (PendingOp::Read, OpResult::ReadOk(seq)) => {
+                        self.handle_read_result(ctx, invoke, seq);
+                    }
+                    (kind, OpResult::Throttled) => {
+                        // Back off one read period and retry: a throttled
+                        // write would otherwise stall Test 1's chain.
+                        self.throttled += 1;
+                        let token = TOKEN_THROTTLED | self.next_backoff;
+                        self.next_backoff += 1;
+                        let period = self.plan().read_period;
+                        self.throttle_backlog.insert(token, (invoke, kind, _op));
+                        ctx.set_timer(period, token);
+                    }
+                    _ => {}
+                }
+            }
+            // Requests / replication traffic are not for agents.
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: u64) {
+        if self.stopped || self.plan.is_none() {
+            return;
+        }
+        if token & TOKEN_THROTTLED != 0 && token & TOKEN_RETRY == 0 {
+            if let Some((_, kind, op)) = self.throttle_backlog.remove(&token) {
+                // The throttled attempt failed visibly, so the retry is a
+                // *new* operation with a fresh invocation time (unlike a
+                // lost-message retransmit, where the original request may
+                // have taken effect).
+                let req_id = self.next_req;
+                self.next_req += 1;
+                self.pending.insert(req_id, (ctx.now_local(), kind, op.clone()));
+                let entry = self.plan().service_entry;
+                ctx.send(entry, NetMsg::Request { req_id, op });
+                ctx.set_timer(RETRY_AFTER, TOKEN_RETRY | req_id);
+            }
+            return;
+        }
+        if token & TOKEN_RETRY != 0 {
+            let req_id = token & !TOKEN_RETRY;
+            if let Some((_, _, op)) = self.pending.get(&req_id) {
+                // Still unanswered: retransmit (replicas deduplicate writes
+                // by post id; reads are idempotent).
+                let op = op.clone();
+                let entry = self.plan().service_entry;
+                ctx.send(entry, NetMsg::Request { req_id, op });
+                ctx.set_timer(RETRY_AFTER, TOKEN_RETRY | req_id);
+            }
+            return;
+        }
+        match token {
+            TOKEN_START => {
+                match self.plan().kind {
+                    TestKind::Test1 => {
+                        if self.plan().agent_index == 0 {
+                            self.triggered = true;
+                            self.issue_write(ctx);
+                        }
+                    }
+                    TestKind::Test2 => {
+                        // The synchronized simultaneous write.
+                        self.issue_write(ctx);
+                    }
+                }
+                self.issue_read(ctx);
+                self.schedule_next_read(ctx);
+            }
+            TOKEN_READ => {
+                self.issue_read(ctx);
+                self.schedule_next_read(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn post_id_order_oracle() {
+        let a = PostId::new(conprobe_store::AuthorId(1), 1);
+        let b = PostId::new(conprobe_store::AuthorId(1), 2);
+        let c = PostId::new(conprobe_store::AuthorId(2), 1);
+        assert_eq!(PostIdOrder.same_session_order(&a, &b), Some(Ordering::Less));
+        assert_eq!(PostIdOrder.same_session_order(&b, &a), Some(Ordering::Greater));
+        assert_eq!(PostIdOrder.same_session_order(&a, &c), None);
+        assert_eq!(PostIdOrder.predecessor(&b), Some(a));
+        assert_eq!(PostIdOrder.predecessor(&a), None);
+    }
+
+    #[test]
+    fn new_agent_is_idle() {
+        let a = AgentNode::new(0, false);
+        assert_eq!(a.logged(), 0);
+        assert_eq!(a.throttled(), 0);
+        assert!(a.plan.is_none());
+    }
+}

@@ -1,0 +1,353 @@
+//! The coordinator (North Virginia).
+//!
+//! Before every test the coordinator re-estimates each agent's clock delta
+//! (the paper recomputes deltas "before the start of each iteration of a
+//! test"), then schedules a synchronized start, waits for every agent's
+//! completion signal (or a timeout — e.g. a partition can keep Test 1's M6
+//! from ever reaching Tokyo), collects the local logs, and merges them onto
+//! its own timeline using the estimated deltas.
+
+use crate::clocksync::{estimate, DeltaEstimate, ProbeSample};
+use crate::proto::{AgentTestPlan, HarnessMsg, LocalOpRecord, Msg, TestKind};
+use conprobe_core::trace::{AgentId, OpRecord, TestTrace, Timestamp};
+use conprobe_services::NetMsg;
+use conprobe_sim::{Context, LocalTime, Node, NodeId, SimDuration};
+use conprobe_store::PostId;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+const TOKEN_PROBE: u64 = 1;
+const TOKEN_TIMEOUT: u64 = 2;
+const TOKEN_STOP_RETRY: u64 = 3;
+const TOKEN_FINALIZE: u64 = 4;
+const TOKEN_START_RETRY: u64 = 5;
+
+/// Static configuration of one test run, from the coordinator's viewpoint.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// The agent node ids, in agent-index order (Oregon, Tokyo, Ireland).
+    pub agents: Vec<NodeId>,
+    /// The service front door for each agent.
+    pub entries: Vec<NodeId>,
+    /// Which test to run.
+    pub kind: TestKind,
+    /// Clock probes per agent (averaged).
+    pub probes_per_agent: u32,
+    /// Pause between successive probes.
+    pub probe_spacing: SimDuration,
+    /// Margin between sync completion and the synchronized start (must
+    /// exceed the worst agent RTT so the `Start` message arrives in time).
+    pub start_margin: SimDuration,
+    /// Give up and stop the test after this long past the start.
+    pub max_duration: SimDuration,
+    /// Background read period (Tables I/II).
+    pub read_period: SimDuration,
+    /// Test 2: fast reads before switching to `slow_period`.
+    pub fast_reads: u32,
+    /// Test 2: slow read period.
+    pub slow_period: SimDuration,
+    /// Test 2: per-agent read quota.
+    pub reads_target: u32,
+}
+
+/// Everything the coordinator knows at the end of a test.
+#[derive(Debug, Clone)]
+pub struct TestOutcome {
+    /// The merged, clock-corrected trace.
+    pub trace: TestTrace<PostId>,
+    /// Per-agent delta estimates used for the correction.
+    pub deltas: Vec<DeltaEstimate>,
+    /// `true` if every agent reported completion before the timeout.
+    pub completed: bool,
+    /// Coordinator-local nanoseconds from synchronized start to the last
+    /// collected log.
+    pub duration_nanos: i64,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Phase {
+    Probing,
+    Running,
+    Collecting,
+    Done,
+}
+
+/// The coordinator node.
+pub struct CoordinatorNode {
+    cfg: CoordinatorConfig,
+    phase: Phase,
+    next_probe_id: u64,
+    in_flight: HashMap<u64, (usize, LocalTime)>,
+    samples: Vec<Vec<ProbeSample>>,
+    deltas: Vec<DeltaEstimate>,
+    completions: HashSet<u32>,
+    start_acks: HashSet<u32>,
+    plans: Vec<AgentTestPlan>,
+    logs: BTreeMap<u32, Vec<LocalOpRecord>>,
+    started_at: LocalTime,
+    timed_out: bool,
+    stop_sent: bool,
+    outcome: Option<TestOutcome>,
+}
+
+impl CoordinatorNode {
+    /// Creates a coordinator for one test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the agent and entry lists differ in length or are empty.
+    pub fn new(cfg: CoordinatorConfig) -> Self {
+        assert!(!cfg.agents.is_empty(), "a test needs at least one agent");
+        assert_eq!(cfg.agents.len(), cfg.entries.len(), "one service entry per agent");
+        let n = cfg.agents.len();
+        CoordinatorNode {
+            cfg,
+            phase: Phase::Probing,
+            next_probe_id: 0,
+            in_flight: HashMap::new(),
+            samples: vec![Vec::new(); n],
+            deltas: Vec::new(),
+            completions: HashSet::new(),
+            start_acks: HashSet::new(),
+            plans: Vec::new(),
+            logs: BTreeMap::new(),
+            started_at: LocalTime::from_nanos(0),
+            timed_out: false,
+            stop_sent: false,
+            outcome: None,
+        }
+    }
+
+    /// The test outcome, available once the run has finished.
+    pub fn outcome(&self) -> Option<&TestOutcome> {
+        self.outcome.as_ref()
+    }
+
+    /// The delta estimates (available once probing finished).
+    pub fn deltas(&self) -> &[DeltaEstimate] {
+        &self.deltas
+    }
+
+    fn agent_needing_probe(&self) -> Option<usize> {
+        let want = self.cfg.probes_per_agent as usize;
+        (0..self.cfg.agents.len())
+            .filter(|i| self.samples[*i].len() < want)
+            .min_by_key(|i| self.samples[*i].len())
+    }
+
+    fn send_probe(&mut self, ctx: &mut Context<'_, Msg>, agent_idx: usize) {
+        let probe_id = self.next_probe_id;
+        self.next_probe_id += 1;
+        self.in_flight.insert(probe_id, (agent_idx, ctx.now_local()));
+        ctx.send(self.cfg.agents[agent_idx], NetMsg::App(HarnessMsg::TimeProbe { probe_id }));
+    }
+
+    fn start_test(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.phase = Phase::Running;
+        self.deltas = self.samples.iter().map(|s| estimate(s)).collect();
+        let target = ctx.now_local().offset_by(self.cfg.start_margin.as_nanos() as i64);
+        self.started_at = target;
+        for (i, agent) in self.cfg.agents.iter().copied().enumerate() {
+            // Agent-local start instant: coordinator target plus the
+            // agent's estimated delta, so true start times align.
+            let start_at_local = target.offset_by(self.deltas[i].delta_nanos);
+            let plan = AgentTestPlan {
+                kind: self.cfg.kind,
+                agent_index: i as u32,
+                total_agents: self.cfg.agents.len() as u32,
+                service_entry: self.cfg.entries[i],
+                read_period: self.cfg.read_period,
+                fast_reads: self.cfg.fast_reads,
+                slow_period: self.cfg.slow_period,
+                reads_target: self.cfg.reads_target,
+                start_at_local,
+            };
+            ctx.send(agent, NetMsg::App(HarnessMsg::Start(Box::new(plan.clone()))));
+            self.plans.push(plan);
+        }
+        ctx.set_timer(self.cfg.start_margin + self.cfg.max_duration, TOKEN_TIMEOUT);
+        ctx.set_timer(SimDuration::from_millis(700), TOKEN_START_RETRY);
+    }
+
+    fn send_stop(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.stop_sent {
+            return;
+        }
+        self.stop_sent = true;
+        self.phase = Phase::Collecting;
+        for agent in self.cfg.agents.clone() {
+            ctx.send(agent, NetMsg::App(HarnessMsg::Stop));
+        }
+        // Retry Stop to agents whose logs have not arrived (loss
+        // tolerance), and give up on stragglers after a generous grace
+        // period so a test always concludes.
+        ctx.set_timer(SimDuration::from_secs(2), TOKEN_STOP_RETRY);
+        ctx.set_timer(SimDuration::from_secs(60), TOKEN_FINALIZE);
+    }
+
+    fn finish(&mut self, ctx: &mut Context<'_, Msg>) {
+        let mut ops: Vec<OpRecord<PostId>> = Vec::new();
+        for (agent_index, records) in &self.logs {
+            let delta = self.deltas[*agent_index as usize];
+            for r in records {
+                ops.push(OpRecord {
+                    agent: AgentId(*agent_index),
+                    invoke: Timestamp::from_nanos(delta.to_coordinator(r.invoke).as_nanos()),
+                    response: Timestamp::from_nanos(delta.to_coordinator(r.response).as_nanos()),
+                    kind: r.kind.clone(),
+                });
+            }
+        }
+        self.phase = Phase::Done;
+        self.outcome = Some(TestOutcome {
+            trace: TestTrace::new(ops),
+            deltas: self.deltas.clone(),
+            completed: !self.timed_out,
+            duration_nanos: ctx.now_local().delta_nanos(self.started_at),
+        });
+    }
+}
+
+impl Node<Msg> for CoordinatorNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        ctx.set_timer(SimDuration::ZERO, TOKEN_PROBE);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            NetMsg::App(HarnessMsg::TimeReply { probe_id, local }) => {
+                if self.phase != Phase::Probing {
+                    return;
+                }
+                let Some((agent_idx, sent)) = self.in_flight.remove(&probe_id) else {
+                    return;
+                };
+                self.samples[agent_idx].push(ProbeSample {
+                    sent,
+                    received: ctx.now_local(),
+                    agent_reading: local,
+                });
+                if self.agent_needing_probe().is_none() {
+                    self.start_test(ctx);
+                }
+            }
+            NetMsg::App(HarnessMsg::StartAck { agent_index }) => {
+                self.start_acks.insert(agent_index);
+            }
+            NetMsg::App(HarnessMsg::CompletionSeen { agent_index }) => {
+                if self.phase != Phase::Running {
+                    return;
+                }
+                self.completions.insert(agent_index);
+                if self.completions.len() == self.cfg.agents.len() {
+                    self.send_stop(ctx);
+                }
+            }
+            NetMsg::App(HarnessMsg::Log { agent_index, records }) => {
+                self.logs.insert(agent_index, records);
+                if self.logs.len() == self.cfg.agents.len() {
+                    self.finish(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: u64) {
+        match token {
+            TOKEN_PROBE => {
+                if self.phase != Phase::Probing {
+                    return;
+                }
+                if let Some(idx) = self.agent_needing_probe() {
+                    // Probes are sequential (one in flight), per Cristian.
+                    // Drop probes that have been in flight implausibly long
+                    // (lost request or reply) so probing self-heals.
+                    let now = ctx.now_local();
+                    self.in_flight
+                        .retain(|_, (_, sent)| now.delta_nanos(*sent) < 3_000_000_000);
+                    if self.in_flight.is_empty() {
+                        self.send_probe(ctx, idx);
+                    }
+                    ctx.set_timer(self.cfg.probe_spacing, TOKEN_PROBE);
+                }
+            }
+            TOKEN_TIMEOUT
+                if self.phase == Phase::Running => {
+                    self.timed_out = true;
+                    self.send_stop(ctx);
+                }
+            TOKEN_START_RETRY
+                if self.phase == Phase::Running
+                    && self.start_acks.len() < self.cfg.agents.len()
+                => {
+                    for (i, agent) in self.cfg.agents.clone().into_iter().enumerate() {
+                        if !self.start_acks.contains(&(i as u32)) {
+                            let plan = self.plans[i].clone();
+                            ctx.send(agent, NetMsg::App(HarnessMsg::Start(Box::new(plan))));
+                        }
+                    }
+                    ctx.set_timer(SimDuration::from_millis(700), TOKEN_START_RETRY);
+                }
+            TOKEN_STOP_RETRY
+                if self.phase == Phase::Collecting => {
+                    for (i, agent) in self.cfg.agents.clone().into_iter().enumerate() {
+                        if !self.logs.contains_key(&(i as u32)) {
+                            ctx.send(agent, NetMsg::App(HarnessMsg::Stop));
+                        }
+                    }
+                    ctx.set_timer(SimDuration::from_secs(2), TOKEN_STOP_RETRY);
+                }
+            TOKEN_FINALIZE
+                if self.phase == Phase::Collecting => {
+                    // Straggler logs are treated as empty; the test is
+                    // marked as not completed.
+                    self.timed_out = true;
+                    for i in 0..self.cfg.agents.len() as u32 {
+                        self.logs.entry(i).or_default();
+                    }
+                    self.finish(ctx);
+                }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(agents: Vec<NodeId>, entries: Vec<NodeId>) -> CoordinatorConfig {
+        CoordinatorConfig {
+            agents,
+            entries,
+            kind: TestKind::Test1,
+            probes_per_agent: 3,
+            probe_spacing: SimDuration::from_millis(50),
+            start_margin: SimDuration::from_secs(1),
+            max_duration: SimDuration::from_secs(60),
+            read_period: SimDuration::from_millis(300),
+            fast_reads: 0,
+            slow_period: SimDuration::from_secs(1),
+            reads_target: 0,
+        }
+    }
+
+    #[test]
+    fn constructor_validates_shapes() {
+        let c = CoordinatorNode::new(cfg(vec![NodeId(1)], vec![NodeId(0)]));
+        assert!(c.outcome().is_none());
+        assert!(c.deltas().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one agent")]
+    fn rejects_empty_agent_list() {
+        let _ = CoordinatorNode::new(cfg(vec![], vec![]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one service entry per agent")]
+    fn rejects_mismatched_entries() {
+        let _ = CoordinatorNode::new(cfg(vec![NodeId(1), NodeId(2)], vec![NodeId(0)]));
+    }
+}

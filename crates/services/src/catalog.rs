@@ -1,0 +1,401 @@
+//! Service presets and deployment.
+//!
+//! [`ServiceKind`] enumerates the four services the paper measured;
+//! [`deploy`] instantiates the corresponding replica topology inside a
+//! [`World`] and returns a [`ServiceCluster`] describing where each client
+//! region's front door is.
+//!
+//! The preset parameters are *calibrated*, not measured: they were tuned so
+//! that the full measurement campaign (see `conprobe-harness`) reproduces
+//! the qualitative shape of the paper's Figures 3–10 (which anomalies appear
+//! where, at roughly which rates, with which convergence-time ordering).
+//! EXPERIMENTS.md records the paper-vs-measured comparison.
+
+use crate::api::NetMsg;
+use crate::replica_node::{DelayDist, ReadPath, ReplicaNode, ReplicaParams};
+use conprobe_sim::net::Region;
+use conprobe_sim::{LocalClock, NodeId, SimDuration, World};
+use conprobe_store::{AffinityMap, OrderingPolicy, RankingConfig, TieBreak};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four services of the measurement study.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ServiceKind {
+    /// Blogger — strongly consistent blog service.
+    Blogger,
+    /// Google+ "moments".
+    GooglePlus,
+    /// Facebook user news feed (Graph API).
+    FacebookFeed,
+    /// Facebook group feed (Graph API).
+    FacebookGroup,
+}
+
+impl ServiceKind {
+    /// All services, in the paper's table order.
+    pub const ALL: [ServiceKind; 4] = [
+        ServiceKind::GooglePlus,
+        ServiceKind::Blogger,
+        ServiceKind::FacebookFeed,
+        ServiceKind::FacebookGroup,
+    ];
+
+    /// Human-readable name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServiceKind::Blogger => "Blogger",
+            ServiceKind::GooglePlus => "Google+",
+            ServiceKind::FacebookFeed => "FB Feed",
+            ServiceKind::FacebookGroup => "FB Group",
+        }
+    }
+}
+
+impl fmt::Display for ServiceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A deployed service: replica node ids plus client routing.
+#[derive(Debug, Clone)]
+pub struct ServiceCluster {
+    /// Which service this is.
+    pub kind: ServiceKind,
+    /// The replica node ids, indexed as the affinity map references them.
+    pub replicas: Vec<NodeId>,
+    /// Client-region → replica-index routing.
+    pub affinity: AffinityMap,
+}
+
+impl ServiceCluster {
+    /// The front-door node a client in `region` talks to.
+    pub fn entry_for(&self, region: Region) -> NodeId {
+        self.replicas[self.affinity.replica_for(region)]
+    }
+}
+
+/// The replica topology of a service: (region, parameters) per replica,
+/// plus the affinity map.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// One entry per replica.
+    pub replicas: Vec<(Region, ReplicaParams)>,
+    /// Client routing into `replicas`.
+    pub affinity: AffinityMap,
+}
+
+/// The calibrated topology for `kind` (see module docs).
+pub fn topology(kind: ServiceKind) -> Topology {
+    match kind {
+        // Single synchronous replica: linearizable, zero anomalies.
+        ServiceKind::Blogger => Topology {
+            replicas: vec![(Region::Virginia, ReplicaParams::default())],
+            affinity: AffinityMap::with_fallback(0),
+        },
+        // Two DCs (Oregon+Tokyo share DC-West), slow asynchronous
+        // propagation, occasional slow write-apply, a stale secondary read
+        // path, coarse timestamps broken by per-replica arrival, and
+        // anti-entropy every few seconds with canonical re-sequencing.
+        //
+        // Mechanism → finding map:
+        //  * slow write-applies + stale reads → RYW ≈ 22 %, MR ≈ 25 %;
+        //  * a slow-applied first write surfaces after its successor →
+        //    MW ≈ 6 %, observed repeatedly until re-sequencing;
+        //  * near-simultaneous cross-DC writes collide in a timestamp
+        //    bucket and tie-break by *local arrival* → order divergence
+        //    between cross-DC pairs (OR–JP share a replica → < 1 %);
+        //  * seconds-scale propagation → content divergence with
+        //    seconds-scale windows, fast for OR–JP.
+        ServiceKind::GooglePlus => {
+            let base = ReplicaParams {
+                ordering: OrderingPolicy::Timestamp {
+                    precision: SimDuration::from_millis(6),
+                    tie: TieBreak::Arrival,
+                },
+                read_path: ReadPath::SecondaryIndex {
+                    stale_prob: 0.10,
+                    lag: DelayDist::Bimodal {
+                        fast: SimDuration::from_millis(220),
+                        slow_prob: 0.04,
+                        slow_base: SimDuration::from_millis(1500),
+                        slow_mean: SimDuration::from_millis(2500),
+                    },
+                },
+                apply_delay: DelayDist::Bimodal {
+                    fast: SimDuration::from_millis(25),
+                    slow_prob: 0.02,
+                    slow_base: SimDuration::from_millis(600),
+                    slow_mean: SimDuration::from_millis(1200),
+                },
+                repl_delay: DelayDist::Exp {
+                    base: SimDuration::from_millis(350),
+                    mean: SimDuration::from_millis(1400),
+                },
+                anti_entropy: Some(SimDuration::from_secs(6)),
+                canonicalize_on_anti_entropy: true,
+                canonicalize_on_push: false,
+                rate_limit: None,
+                write_mode: Default::default(),
+            };
+            // DC-West (serving Oregon and Tokyo) runs hotter: its slow
+            // write path fires more often, matching the paper's higher
+            // RYW/MW incidence at those two locations.
+            let west = ReplicaParams {
+                apply_delay: DelayDist::Bimodal {
+                    fast: SimDuration::from_millis(25),
+                    slow_prob: 0.045,
+                    slow_base: SimDuration::from_millis(600),
+                    slow_mean: SimDuration::from_millis(1200),
+                },
+                // DC-West acts as the order authority: remote posts land in
+                // canonical position instantly, so its two agents (Oregon,
+                // Tokyo) essentially never observe order divergence between
+                // themselves — the paper's "< 1 %".
+                canonicalize_on_push: true,
+                ..base.clone()
+            };
+            Topology {
+                replicas: vec![(Region::Oregon, west), (Region::Ireland, base)],
+                affinity: AffinityMap::gplus_paper(),
+            }
+        }
+        // One replica per agent region, fast propagation, interest-ranked
+        // reads.
+        ServiceKind::FacebookFeed => {
+            let params = ReplicaParams {
+                ordering: OrderingPolicy::exact_timestamp(),
+                read_path: ReadPath::Ranked(RankingConfig {
+                    noise_std_secs: 1.6,
+                    top_k: 25,
+                    omit_prob: 0.012,
+                    index_delay: SimDuration::from_millis(500),
+                }),
+                apply_delay: DelayDist::Zero,
+                repl_delay: DelayDist::Exp {
+                    base: SimDuration::from_millis(60),
+                    mean: SimDuration::from_millis(120),
+                },
+                anti_entropy: Some(SimDuration::from_secs(2)),
+                canonicalize_on_anti_entropy: false,
+                canonicalize_on_push: false,
+                rate_limit: None,
+                write_mode: Default::default(),
+            };
+            Topology {
+                replicas: vec![
+                    (Region::Oregon, params.clone()),
+                    (Region::Tokyo, params.clone()),
+                    (Region::Ireland, params),
+                ],
+                affinity: AffinityMap::one_per_agent(),
+            }
+        }
+        // A single consistent main store (everyone normally routes to it —
+        // hence zero RYW and near-zero divergence), with second-granularity
+        // timestamps and reversed tie-break (the MW ≈ 93 % quirk). A Tokyo
+        // replica exists but serves the Tokyo agent only during transient
+        // fault episodes (see `conprobe-harness`'s partition plan), which
+        // reproduces the paper's 15 content-divergence occurrences.
+        ServiceKind::FacebookGroup => {
+            let params = ReplicaParams {
+                ordering: OrderingPolicy::facebook_group(),
+                read_path: ReadPath::Snapshot,
+                apply_delay: DelayDist::Zero,
+                repl_delay: DelayDist::Exp {
+                    base: SimDuration::from_millis(20),
+                    mean: SimDuration::from_millis(20),
+                },
+                anti_entropy: Some(SimDuration::from_secs(2)),
+                canonicalize_on_anti_entropy: false,
+                canonicalize_on_push: false,
+                rate_limit: None,
+                write_mode: Default::default(),
+            };
+            Topology {
+                replicas: vec![(Region::Virginia, params.clone()), (Region::Tokyo, params)],
+                affinity: AffinityMap::with_fallback(0),
+            }
+        }
+    }
+}
+
+/// A reference topology beyond the paper's four services: three replicas
+/// (one per agent region) with majority-synchronous writes and quorum
+/// reads. Overlapping quorums give read-your-writes and a single canonical
+/// order without any master; without read repair, quorum reads are *not*
+/// monotonic (different majorities can answer successive reads).
+pub fn topology_quorum(read_repair: bool) -> Topology {
+    let params = ReplicaParams {
+        ordering: OrderingPolicy::exact_timestamp(),
+        read_path: ReadPath::Quorum { read_repair },
+        write_mode: crate::replica_node::WriteMode::SyncMajority,
+        apply_delay: DelayDist::Zero,
+        repl_delay: DelayDist::Zero,
+        anti_entropy: Some(SimDuration::from_secs(2)),
+        canonicalize_on_anti_entropy: false,
+        canonicalize_on_push: false,
+        rate_limit: None,
+    };
+    Topology {
+        replicas: vec![
+            (Region::Oregon, params.clone()),
+            (Region::Tokyo, params.clone()),
+            (Region::Ireland, params),
+        ],
+        affinity: AffinityMap::one_per_agent(),
+    }
+}
+
+/// A reference topology beyond the paper's four services: one primary
+/// (North Virginia) with a read-only backup in every agent region. Writes
+/// are forwarded to the primary and replicated back asynchronously; reads
+/// are served by the local backup. The only anomaly this design admits is
+/// read-your-writes staleness (plus its monotonic-writes shadow while a
+/// client's second write outruns the first's replication): a single writer
+/// order means no order divergence, and backups apply the primary's FIFO
+/// stream, so views never mutually diverge.
+pub fn topology_primary_backup(repl_delay_ms: u64) -> Topology {
+    let primary = ReplicaParams {
+        ordering: OrderingPolicy::Arrival,
+        read_path: ReadPath::Snapshot,
+        write_mode: crate::replica_node::WriteMode::LocalAck,
+        apply_delay: DelayDist::Zero,
+        repl_delay: DelayDist::Exp {
+            base: SimDuration::from_millis(repl_delay_ms),
+            mean: SimDuration::from_millis(repl_delay_ms / 2 + 1),
+        },
+        anti_entropy: Some(SimDuration::from_secs(2)),
+        canonicalize_on_anti_entropy: false,
+        canonicalize_on_push: false,
+        rate_limit: None,
+    };
+    let backup = ReplicaParams {
+        write_mode: crate::replica_node::WriteMode::ForwardToPrimary,
+        // Backups never originate posts; replication flows from the
+        // primary. Their own repl/anti-entropy stays quiet but harmless.
+        ..primary.clone()
+    };
+    let mut affinity = AffinityMap::with_fallback(1);
+    affinity
+        .assign(Region::Oregon, 1)
+        .assign(Region::Tokyo, 2)
+        .assign(Region::Ireland, 3);
+    Topology {
+        replicas: vec![
+            (Region::Virginia, primary),
+            (Region::Oregon, backup.clone()),
+            (Region::Tokyo, backup.clone()),
+            (Region::Ireland, backup),
+        ],
+        affinity,
+    }
+}
+
+/// Deploys the calibrated topology for `kind` into `world`.
+///
+/// Replica nodes get perfect clocks (service infrastructure is internally
+/// time-synchronized; only measurement agents have drifting clocks).
+pub fn deploy<A: Send + 'static>(world: &mut World<NetMsg<A>>, kind: ServiceKind) -> ServiceCluster {
+    deploy_topology(world, kind, topology(kind))
+}
+
+/// Deploys an explicit topology (for ablations and custom services).
+pub fn deploy_topology<A: Send + 'static>(
+    world: &mut World<NetMsg<A>>,
+    kind: ServiceKind,
+    topo: Topology,
+) -> ServiceCluster {
+    let mut ids = Vec::with_capacity(topo.replicas.len());
+    for (region, params) in &topo.replicas {
+        let id = world.add_node_with_clock(
+            *region,
+            LocalClock::perfect(),
+            Box::new(ReplicaNode::new(params.clone())),
+        );
+        ids.push(id);
+    }
+    for (i, id) in ids.iter().enumerate() {
+        let peers: Vec<NodeId> =
+            ids.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, p)| *p).collect();
+        world
+            .node_as_mut::<ReplicaNode>(*id)
+            .expect("just added a ReplicaNode")
+            .set_peers(peers);
+    }
+    ServiceCluster { kind, replicas: ids, affinity: topo.affinity }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conprobe_sim::WorldConfig;
+
+    fn world() -> World<NetMsg<()>> {
+        World::new(WorldConfig::default(), 5)
+    }
+
+    #[test]
+    fn blogger_is_a_single_replica() {
+        let mut w = world();
+        let cluster = deploy(&mut w, ServiceKind::Blogger);
+        assert_eq!(cluster.replicas.len(), 1);
+        for region in Region::AGENTS {
+            assert_eq!(cluster.entry_for(region), cluster.replicas[0]);
+        }
+    }
+
+    #[test]
+    fn gplus_routing_matches_paper_inference() {
+        let mut w = world();
+        let cluster = deploy(&mut w, ServiceKind::GooglePlus);
+        assert_eq!(cluster.replicas.len(), 2);
+        assert_eq!(cluster.entry_for(Region::Oregon), cluster.entry_for(Region::Tokyo));
+        assert_ne!(cluster.entry_for(Region::Oregon), cluster.entry_for(Region::Ireland));
+    }
+
+    #[test]
+    fn fbfeed_has_one_replica_per_agent() {
+        let mut w = world();
+        let cluster = deploy(&mut w, ServiceKind::FacebookFeed);
+        assert_eq!(cluster.replicas.len(), 3);
+        let entries: std::collections::HashSet<_> =
+            Region::AGENTS.iter().map(|r| cluster.entry_for(*r)).collect();
+        assert_eq!(entries.len(), 3);
+    }
+
+    #[test]
+    fn fbgroup_normally_routes_everyone_to_main() {
+        let mut w = world();
+        let cluster = deploy(&mut w, ServiceKind::FacebookGroup);
+        assert_eq!(cluster.replicas.len(), 2, "a Tokyo replica exists for fault episodes");
+        for region in Region::AGENTS {
+            assert_eq!(cluster.entry_for(region), cluster.replicas[0]);
+        }
+    }
+
+    #[test]
+    fn peers_are_fully_meshed() {
+        let mut w = world();
+        let cluster = deploy(&mut w, ServiceKind::FacebookFeed);
+        for id in &cluster.replicas {
+            let node = w.node_as::<ReplicaNode>(*id).unwrap();
+            let peers = node.peers();
+            assert_eq!(peers.len(), 2);
+            assert!(!peers.contains(id), "a replica must not peer with itself");
+            for p in peers {
+                assert!(cluster.replicas.contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(ServiceKind::GooglePlus.name(), "Google+");
+        assert_eq!(ServiceKind::FacebookGroup.to_string(), "FB Group");
+        assert_eq!(ServiceKind::ALL.len(), 4);
+    }
+}

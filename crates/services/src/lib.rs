@@ -1,0 +1,48 @@
+//! # conprobe-services — simulated stand-ins for the paper's four services
+//!
+//! The measurement study probed **Google+** (moments), **Blogger**,
+//! **Facebook Feed** and **Facebook Group** through their public web APIs.
+//! Those APIs no longer exist (Google+ retired moments and Facebook removed
+//! news-feed reads from the Graph API — as the paper itself notes), so this
+//! crate builds behavioural models of the four back-ends on top of
+//! `conprobe-sim` + `conprobe-store`, exposing the same black-box surface
+//! the paper's agents saw: opaque `write(content)` / `read() → sequence`
+//! requests over the (simulated) network.
+//!
+//! Each model is a configuration of one generic [`replica_node::ReplicaNode`]:
+//!
+//! | Service | Model (mechanism → paper finding) |
+//! |---|---|
+//! | **Blogger** | Single synchronous replica, reads hit it directly → zero anomalies ("appears to be offering a form of strong consistency"). |
+//! | **Google+** | Two multi-master replicas (Oregon+Tokyo share one, per the paper's inference), asynchronous apply + slow inter-DC propagation, arrival-order reads through per-DC front-end caches, periodic anti-entropy with canonical re-sequencing → RYW/MR/MW at moderate rates, content divergence up to ~85 %, multi-second windows, OR–JP pair converging much faster. |
+//! | **Facebook Feed** | One replica per agent region, fast propagation, **interest-ranked** reads (noise + top-K + omissions + index lag) → RYW ≈ 99 %, MW ≈ 89 %, MR ≈ 46 %, order divergence ≈ 100 % with most tests never converging. |
+//! | **Facebook Group** | Main replica + Tokyo replica, synchronous local apply, fast replication, **1-second timestamp ordering with reversed tie-break** → MW ≈ 93 % observed identically by everyone, RYW = 0, divergence only under (injected) transient Tokyo partitions. |
+//!
+//! See [`catalog`] for the tuned parameter presets and [`catalog::deploy`]
+//! for wiring a service into a [`conprobe_sim::World`].
+
+//! ## Example: deploying a service into a world
+//!
+//! ```
+//! use conprobe_services::{deploy, NetMsg, ServiceKind};
+//! use conprobe_sim::net::Region;
+//! use conprobe_sim::{World, WorldConfig};
+//!
+//! let mut world: World<NetMsg<()>> = World::new(WorldConfig::default(), 1);
+//! let cluster = deploy(&mut world, ServiceKind::GooglePlus);
+//! // Oregon and Tokyo share a front door (the paper's inference);
+//! // Ireland gets the other datacenter.
+//! assert_eq!(cluster.entry_for(Region::Oregon), cluster.entry_for(Region::Tokyo));
+//! assert_ne!(cluster.entry_for(Region::Oregon), cluster.entry_for(Region::Ireland));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod catalog;
+pub mod replica_node;
+
+pub use api::{ClientOp, ControlMsg, NetMsg, OpResult, ReplMsg};
+pub use catalog::{deploy, ServiceCluster, ServiceKind};
+pub use replica_node::{DelayDist, ReadPath, ReplicaNode, ReplicaParams};

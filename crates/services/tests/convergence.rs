@@ -1,0 +1,163 @@
+//! Randomized convergence properties of the replication substrate: for
+//! arbitrary (sane) replica parameters, topology sizes and write loads, all
+//! replicas converge to identical state once the system quiesces — the
+//! eventual-consistency contract every service model relies on.
+
+use conprobe_services::replica_node::{DelayDist, ReadPath, ReplicaNode, ReplicaParams};
+use conprobe_services::{ClientOp, NetMsg};
+use conprobe_sim::net::Region;
+use conprobe_sim::{Context, LocalClock, LocalTime, Node, NodeId, SimDuration, SimTime, World, WorldConfig};
+use conprobe_store::{AuthorId, OrderingPolicy, Post, PostId};
+use proptest::prelude::*;
+
+type Msg = NetMsg<()>;
+
+/// Fires `count` writes at `target`, spaced `gap_ms` apart.
+struct Blaster {
+    target: NodeId,
+    author: u32,
+    count: u32,
+    gap_ms: u64,
+    sent: u32,
+}
+
+impl Node<Msg> for Blaster {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        ctx.set_timer(SimDuration::ZERO, 0);
+    }
+    fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _: u64) {
+        if self.sent >= self.count {
+            return;
+        }
+        self.sent += 1;
+        let post = Post::new(
+            PostId::new(AuthorId(self.author), self.sent),
+            "x",
+            LocalTime::from_nanos(0),
+        );
+        ctx.send(self.target, NetMsg::Request { req_id: self.sent as u64, op: ClientOp::Write(post) });
+        ctx.set_timer(SimDuration::from_millis(self.gap_ms), 0);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    replicas: usize,
+    writers: Vec<(usize, u32, u64)>, // (home replica, writes, gap ms)
+    repl_base_ms: u64,
+    apply_slow_prob: f64,
+    anti_entropy_ms: u64,
+    canonicalize: bool,
+    seed: u64,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        2usize..5,
+        proptest::collection::vec((0usize..4, 1u32..5, 10u64..400), 1..4),
+        0u64..800,
+        0.0f64..0.5,
+        300u64..3_000,
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(|(replicas, writers, repl_base_ms, apply_slow_prob, ae, canon, seed)| {
+            Scenario {
+                replicas,
+                writers: writers
+                    .into_iter()
+                    .map(|(r, n, g)| (r % replicas, n, g))
+                    .collect(),
+                repl_base_ms,
+                apply_slow_prob,
+                anti_entropy_ms: ae,
+                canonicalize: canon,
+                seed,
+            }
+        })
+}
+
+fn run_scenario(s: &Scenario) -> Vec<(Vec<PostId>, usize)> {
+    let params = ReplicaParams {
+        ordering: if s.canonicalize {
+            OrderingPolicy::Arrival
+        } else {
+            OrderingPolicy::exact_timestamp()
+        },
+        read_path: ReadPath::Snapshot,
+        apply_delay: DelayDist::Bimodal {
+            fast: SimDuration::from_millis(5),
+            slow_prob: s.apply_slow_prob,
+            slow_base: SimDuration::from_millis(200),
+            slow_mean: SimDuration::from_millis(300),
+        },
+        repl_delay: DelayDist::Exp {
+            base: SimDuration::from_millis(s.repl_base_ms),
+            mean: SimDuration::from_millis(s.repl_base_ms / 2 + 10),
+        },
+        anti_entropy: Some(SimDuration::from_millis(s.anti_entropy_ms)),
+        canonicalize_on_anti_entropy: s.canonicalize,
+        ..ReplicaParams::default()
+    };
+    let mut world: World<Msg> = World::new(WorldConfig::default(), s.seed);
+    let regions =
+        [Region::Oregon, Region::Tokyo, Region::Ireland, Region::Virginia, Region::Datacenter(0)];
+    let ids: Vec<NodeId> = (0..s.replicas)
+        .map(|i| {
+            world.add_node_with_clock(
+                regions[i % regions.len()],
+                LocalClock::perfect(),
+                Box::new(ReplicaNode::new(params.clone())),
+            )
+        })
+        .collect();
+    for (i, id) in ids.iter().enumerate() {
+        let peers = ids.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, p)| *p).collect();
+        world.node_as_mut::<ReplicaNode>(*id).unwrap().set_peers(peers);
+    }
+    for (w, (home, count, gap)) in s.writers.iter().enumerate() {
+        world.add_node(
+            Region::Virginia,
+            Box::new(Blaster {
+                target: ids[*home],
+                author: w as u32,
+                count: *count,
+                gap_ms: *gap,
+                sent: 0,
+            }),
+        );
+    }
+    // Long enough for every write, the slowest propagation tail, and
+    // several anti-entropy rounds.
+    world.run_until(SimTime::from_secs(60));
+    ids.iter()
+        .map(|id| {
+            let node = world.node_as::<ReplicaNode>(*id).unwrap();
+            (node.snapshot(), node.applied())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// All replicas hold the same set of posts after quiescence, and with
+    /// canonical re-sequencing (or timestamp ordering) the same *sequence*.
+    #[test]
+    fn replicas_converge(s in arb_scenario()) {
+        let total: u32 = s.writers.iter().map(|(_, n, _)| *n).sum();
+        let states = run_scenario(&s);
+        for (snapshot, applied) in &states {
+            prop_assert_eq!(*applied, total as usize, "every write reaches every replica");
+            prop_assert_eq!(snapshot.len(), total as usize);
+        }
+        let first = &states[0].0;
+        for (snapshot, _) in &states[1..] {
+            prop_assert_eq!(
+                snapshot, first,
+                "replicas must agree on the final sequence (scenario {:?})", s
+            );
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! The session guard state machine.
+
+use crate::order::IssueOrder;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+/// Which guarantees the guard enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardConfig {
+    /// Inject the session's own acknowledged writes (Read Your Writes).
+    pub read_your_writes: bool,
+    /// Never drop a delivered event (Monotonic Reads).
+    pub monotonic_reads: bool,
+    /// Delay events until same-session predecessors are delivered
+    /// (Monotonic Writes).
+    pub monotonic_writes: bool,
+    /// Delay events until their registered dependencies are delivered
+    /// (Writes Follows Reads; requires [`SessionGuard::register_deps`]).
+    pub writes_follow_reads: bool,
+}
+
+impl Default for GuardConfig {
+    /// All guarantees on.
+    fn default() -> Self {
+        GuardConfig {
+            read_your_writes: true,
+            monotonic_reads: true,
+            monotonic_writes: true,
+            writes_follow_reads: true,
+        }
+    }
+}
+
+impl GuardConfig {
+    /// All guarantees off (the guard becomes a transparent recorder).
+    pub fn disabled() -> Self {
+        GuardConfig {
+            read_your_writes: false,
+            monotonic_reads: false,
+            monotonic_writes: false,
+            writes_follow_reads: false,
+        }
+    }
+}
+
+/// Counters describing the guard's interventions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardStats {
+    /// Reads filtered.
+    pub reads: u64,
+    /// Own writes acknowledged.
+    pub writes: u64,
+    /// Own writes delivered to the view before the service surfaced them.
+    pub injected: u64,
+    /// Events currently held back awaiting predecessors/dependencies.
+    pub pending: u64,
+}
+
+/// Client-side enforcement of session guarantees over an untrusted service.
+///
+/// See the crate docs for the scheme. `K` is the event key type; `O`
+/// supplies same-session issue order for foreign events.
+pub struct SessionGuard<K, O> {
+    cfg: GuardConfig,
+    oracle: O,
+    /// Own acknowledged writes, in issue order.
+    own_writes: Vec<K>,
+    own_set: HashSet<K>,
+    /// Events surfaced by the service itself at least once.
+    service_seen: HashSet<K>,
+    /// The cumulative corrected view, in delivery order.
+    view: Vec<K>,
+    in_view: HashSet<K>,
+    /// Known-but-delayed events, in discovery order.
+    pending: Vec<K>,
+    /// Everything known to exist (view ∪ pending).
+    known: HashSet<K>,
+    deps: HashMap<K, Vec<K>>,
+    stats: GuardStats,
+}
+
+impl<K: fmt::Debug, O> fmt::Debug for SessionGuard<K, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionGuard")
+            .field("view", &self.view)
+            .field("pending", &self.pending)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<K, O> SessionGuard<K, O>
+where
+    K: Clone + Eq + Hash,
+    O: IssueOrder<K>,
+{
+    /// Creates a guard.
+    pub fn new(cfg: GuardConfig, oracle: O) -> Self {
+        SessionGuard {
+            cfg,
+            oracle,
+            own_writes: Vec::new(),
+            own_set: HashSet::new(),
+            service_seen: HashSet::new(),
+            view: Vec::new(),
+            in_view: HashSet::new(),
+            pending: Vec::new(),
+            known: HashSet::new(),
+            deps: HashMap::new(),
+            stats: GuardStats::default(),
+        }
+    }
+
+    /// Intervention counters.
+    pub fn stats(&self) -> GuardStats {
+        GuardStats { pending: self.pending.len() as u64, ..self.stats }
+    }
+
+    /// The current corrected view.
+    pub fn view(&self) -> &[K] {
+        &self.view
+    }
+
+    /// Records the acknowledgement of one of this session's own writes.
+    ///
+    /// Call in issue order (the order the application submitted the writes).
+    pub fn note_write_ack(&mut self, id: K) {
+        self.stats.writes += 1;
+        if self.own_set.insert(id.clone()) {
+            self.own_writes.push(id.clone());
+        }
+        if self.known.insert(id.clone()) && self.cfg.read_your_writes {
+            self.pending.push(id);
+        }
+    }
+
+    /// Registers that event `id` causally depends on `deps` (for the
+    /// Writes Follows Reads guarantee). Dependency metadata typically
+    /// travels with the write (e.g. embedded by the writing application).
+    pub fn register_deps(&mut self, id: K, deps: Vec<K>) {
+        self.deps.entry(id).or_default().extend(deps);
+    }
+
+    /// Filters one raw read result, updating and returning the corrected
+    /// view.
+    ///
+    /// The returned sequence always contains every previously returned
+    /// event (monotonic reads) and, when enabled, the session's own writes
+    /// in issue order.
+    pub fn filter_read(&mut self, seq: &[K]) -> Vec<K> {
+        self.stats.reads += 1;
+        for e in seq {
+            self.service_seen.insert(e.clone());
+            if self.known.insert(e.clone()) {
+                self.pending.push(e.clone());
+            } else if self.cfg.read_your_writes
+                && self.own_set.contains(e)
+                && !self.in_view.contains(e)
+                && !self.pending.contains(e)
+            {
+                // An own write known from its ack but not yet queued
+                // (possible when RYW was toggled after the ack).
+                self.pending.push(e.clone());
+            }
+        }
+        // If RYW is off, own writes enter pending only via the service.
+        self.drain_pending();
+        self.view.clone()
+    }
+
+    /// Moves every deliverable pending event into the view, to fixpoint.
+    fn drain_pending(&mut self) {
+        loop {
+            let mut delivered_any = false;
+            let mut i = 0;
+            while i < self.pending.len() {
+                if self.deliverable(&self.pending[i]) {
+                    let e = self.pending.remove(i);
+                    if self.own_set.contains(&e) && !self.service_seen.contains(&e) {
+                        self.stats.injected += 1;
+                    }
+                    self.in_view.insert(e.clone());
+                    self.view.push(e);
+                    delivered_any = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !delivered_any {
+                return;
+            }
+        }
+    }
+
+    /// Whether `e` may be delivered now.
+    fn deliverable(&self, e: &K) -> bool {
+        if self.cfg.monotonic_writes {
+            // Own writes: every write this session acknowledged earlier must
+            // already be visible (issue order witnessed directly).
+            let own_block = self.own_set.contains(e)
+                && self
+                    .own_writes
+                    .iter()
+                    .take_while(|w| *w != e)
+                    .any(|w| !self.in_view.contains(w));
+            if own_block {
+                return false;
+            }
+            // Foreign writes, via the sequence-number scheme: the immediate
+            // predecessor derived from the key must be visible first…
+            if let Some(pred) = self.oracle.predecessor(e) {
+                if !self.in_view.contains(&pred) {
+                    return false;
+                }
+            }
+            // …and no *known* same-session earlier event may still be
+            // undelivered (covers oracles without predecessor derivation
+            // when both events were received).
+            let foreign_block = self.known.iter().any(|p| {
+                p != e
+                    && !self.in_view.contains(p)
+                    && self.oracle.same_session_order(p, e) == Some(std::cmp::Ordering::Less)
+            });
+            if foreign_block {
+                return false;
+            }
+        }
+        if self.cfg.writes_follow_reads {
+            if let Some(deps) = self.deps.get(e) {
+                if deps.iter().any(|d| !self.in_view.contains(d)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::{AuthorSeqOrder, NoOrder};
+
+    type Key = (u32, u32); // (session/author, seq)
+
+    fn guard() -> SessionGuard<Key, AuthorSeqOrder> {
+        SessionGuard::new(GuardConfig::default(), AuthorSeqOrder)
+    }
+
+    #[test]
+    fn injects_own_missing_write() {
+        let mut g = guard();
+        g.note_write_ack((1, 1));
+        let view = g.filter_read(&[]);
+        assert_eq!(view, vec![(1, 1)], "own write injected (read your writes)");
+        assert_eq!(g.stats().injected, 1);
+    }
+
+    #[test]
+    fn monotonic_reads_keeps_disappeared_events() {
+        let mut g = guard();
+        assert_eq!(g.filter_read(&[(2, 1)]), vec![(2, 1)]);
+        // Service drops the event; the guard's view retains it.
+        assert_eq!(g.filter_read(&[]), vec![(2, 1)]);
+        assert_eq!(g.filter_read(&[(2, 2)]), vec![(2, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn monotonic_writes_delays_out_of_order_foreign_writes() {
+        let mut g = guard();
+        // Service surfaces (2,2) before (2,1): the guard holds it back.
+        assert_eq!(g.filter_read(&[(2, 2)]), Vec::<Key>::new());
+        assert_eq!(g.stats().pending, 1);
+        // Once (2,1) arrives, both deliver in issue order.
+        assert_eq!(g.filter_read(&[(2, 1), (2, 2)]), vec![(2, 1), (2, 2)]);
+        assert_eq!(g.stats().pending, 0);
+    }
+
+    #[test]
+    fn monotonic_writes_fixes_reversed_presentation() {
+        // The FB Group same-second reversal: service always presents
+        // (2,2) before (2,1); the guard's view restores issue order.
+        let mut g = guard();
+        let view = g.filter_read(&[(2, 2), (2, 1)]);
+        assert_eq!(view, vec![(2, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn own_writes_appear_in_issue_order() {
+        let mut g = guard();
+        g.note_write_ack((1, 1));
+        g.note_write_ack((1, 2));
+        // Service shows only the second one.
+        let view = g.filter_read(&[(1, 2)]);
+        assert_eq!(view, vec![(1, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn wfr_delays_event_until_dependency_visible() {
+        let mut g = guard();
+        // (2,1) is a reply to (3,1).
+        g.register_deps((2, 1), vec![(3, 1)]);
+        assert_eq!(g.filter_read(&[(2, 1)]), Vec::<Key>::new(), "reply held back");
+        assert_eq!(g.filter_read(&[(3, 1), (2, 1)]), vec![(3, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn disabled_guard_is_transparent_per_read_content() {
+        let mut g: SessionGuard<Key, NoOrder> =
+            SessionGuard::new(GuardConfig::disabled(), NoOrder);
+        g.note_write_ack((1, 1));
+        // No injection when RYW is off…
+        assert_eq!(g.filter_read(&[]), Vec::<Key>::new());
+        // …and out-of-order foreign events pass straight through.
+        assert_eq!(g.filter_read(&[(2, 2)]), vec![(2, 2)]);
+        assert_eq!(g.stats().injected, 0);
+    }
+
+    #[test]
+    fn view_is_always_monotone_prefix() {
+        let mut g = guard();
+        let reads: Vec<Vec<Key>> = vec![
+            vec![(2, 1)],
+            vec![(2, 2), (2, 1)],
+            vec![],
+            vec![(3, 1)],
+            vec![(2, 3), (3, 1)],
+        ];
+        let mut prev: Vec<Key> = Vec::new();
+        for r in reads {
+            let v = g.filter_read(&r);
+            assert!(v.starts_with(&prev), "view must extend, never rewrite: {prev:?} → {v:?}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn stats_track_interventions() {
+        let mut g = guard();
+        g.note_write_ack((1, 1));
+        g.filter_read(&[]);
+        g.filter_read(&[(2, 5)]); // out of order, pending
+        let s = g.stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.injected, 1);
+        assert_eq!(s.pending, 1);
+    }
+
+    #[test]
+    fn duplicate_acks_are_idempotent() {
+        let mut g = guard();
+        g.note_write_ack((1, 1));
+        g.note_write_ack((1, 1));
+        assert_eq!(g.filter_read(&[]), vec![(1, 1)]);
+    }
+
+    /// End-to-end: feed the anomalous sequences from the checkers' test
+    /// vocabulary through the guard and verify the corrected per-agent
+    /// traces are clean for all four session guarantees.
+    #[test]
+    fn corrected_trace_passes_session_checkers() {
+        use conprobe_core::checkers;
+        use conprobe_core::trace::{AgentId, TestTraceBuilder, Timestamp};
+
+        let t = Timestamp::from_millis;
+        // Raw service behaviour (very anomalous): agent 0 writes (0,1),(0,2);
+        // the service shows them reversed, then drops one.
+        let raw_reads: Vec<Vec<Key>> = vec![vec![(0, 2)], vec![(0, 2), (0, 1)], vec![(0, 1)]];
+        let mut g = guard();
+        let mut b = TestTraceBuilder::new();
+        b.write(AgentId(0), t(0), t(10), (0u32, 1u32));
+        g.note_write_ack((0, 1));
+        b.write(AgentId(0), t(11), t(20), (0, 2));
+        g.note_write_ack((0, 2));
+        for (i, r) in raw_reads.iter().enumerate() {
+            let at = t(30 + i as i64 * 10);
+            let corrected = g.filter_read(r);
+            b.read(AgentId(0), at, at, corrected);
+        }
+        let trace = b.build();
+        assert!(checkers::check_read_your_writes(&trace).is_empty());
+        assert!(checkers::check_monotonic_writes(&trace).is_empty());
+        assert!(checkers::check_monotonic_reads(&trace).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::order::AuthorSeqOrder;
+    use proptest::prelude::*;
+    use std::cmp::Ordering;
+
+    type Key = (u32, u32);
+
+    fn arb_reads() -> impl Strategy<Value = Vec<Vec<Key>>> {
+        proptest::collection::vec(
+            proptest::collection::vec((0u32..3, 1u32..6), 0..6).prop_map(|v| {
+                let mut seen = std::collections::HashSet::new();
+                v.into_iter().filter(|k| seen.insert(*k)).collect()
+            }),
+            0..12,
+        )
+    }
+
+    proptest! {
+        /// Liveness: if the service eventually presents every event (in a
+        /// final, complete read), the guard eventually delivers every event
+        /// — nothing is suppressed forever once dependencies are available.
+        #[test]
+        fn guard_is_live_once_service_converges(reads in arb_reads()) {
+            let mut g = SessionGuard::new(GuardConfig::default(), AuthorSeqOrder);
+            let mut all: Vec<Key> = reads.iter().flatten().copied().collect();
+            all.sort();
+            all.dedup();
+            for r in &reads {
+                let _ = g.filter_read(r);
+            }
+            // The service converges: it presents every event it ever
+            // surfaced, plus the session-order prefixes the key scheme
+            // implies (seq 1..max per author) — a converged store has them.
+            let mut complete: Vec<Key> = Vec::new();
+            for (author, seq) in &all {
+                for s in 1..=*seq {
+                    complete.push((*author, s));
+                }
+            }
+            complete.sort();
+            complete.dedup();
+            let final_view = g.filter_read(&complete);
+            for e in &complete {
+                prop_assert!(
+                    final_view.contains(e),
+                    "event {e:?} still suppressed after convergence"
+                );
+            }
+            prop_assert_eq!(g.stats().pending, 0);
+        }
+
+        /// For any service behaviour: the view is duplicate-free, monotone
+        /// (each result is a prefix of the next), and never shows a later
+        /// same-session event before an earlier one.
+        #[test]
+        fn guard_invariants(reads in arb_reads()) {
+            let mut g = SessionGuard::new(GuardConfig::default(), AuthorSeqOrder);
+            let mut prev: Vec<Key> = Vec::new();
+            for r in reads {
+                let v = g.filter_read(&r);
+                let set: std::collections::HashSet<_> = v.iter().collect();
+                prop_assert_eq!(set.len(), v.len(), "duplicates in view");
+                prop_assert!(v.starts_with(&prev));
+                for (i, a) in v.iter().enumerate() {
+                    for b in &v[i + 1..] {
+                        prop_assert_ne!(
+                            (a.0 == b.0).then(|| a.1.cmp(&b.1)),
+                            Some(Ordering::Greater),
+                            "same-session inversion in view"
+                        );
+                    }
+                }
+                prev = v;
+            }
+        }
+    }
+}

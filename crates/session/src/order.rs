@@ -1,0 +1,124 @@
+//! Issue-order oracles.
+//!
+//! To enforce monotonic writes, the guard must know when two events were
+//! written by the same session and in which order — and, crucially, that a
+//! *gap* in a session's sequence numbers reveals a write it has not yet
+//! received. This is exactly the paper's "session id and a sequence number
+//! within a session" scheme: from key `(session, seq)` with `seq > 1` the
+//! client can infer that `(session, seq − 1)` exists and must be delivered
+//! first.
+
+use std::cmp::Ordering;
+
+/// Tells whether two events belong to the same write session, their issue
+/// order, and (optionally) the immediate predecessor of an event within its
+/// session.
+pub trait IssueOrder<K> {
+    /// `Some(Less)` if `a` was issued before `b` *in the same session*,
+    /// `Some(Greater)` for the converse, `None` if unrelated (different
+    /// sessions, or order unknown).
+    fn same_session_order(&self, a: &K, b: &K) -> Option<Ordering>;
+
+    /// The event issued immediately before `k` in `k`'s session, if the key
+    /// scheme makes it derivable (e.g. `(session, seq) → (session, seq−1)`).
+    /// `None` when `k` is its session's first write or the scheme cannot
+    /// tell.
+    fn predecessor(&self, k: &K) -> Option<K> {
+        let _ = k;
+        None
+    }
+}
+
+/// An [`IssueOrder`] defined by a closure (no predecessor derivation).
+///
+/// # Examples
+///
+/// ```
+/// use conprobe_session::{FnIssueOrder, IssueOrder};
+/// // Keys are (author, seq): same author ⇒ ordered by seq.
+/// let oracle = FnIssueOrder::new(|a: &(u32, u32), b: &(u32, u32)| {
+///     (a.0 == b.0).then(|| a.1.cmp(&b.1))
+/// });
+/// assert_eq!(oracle.same_session_order(&(1, 1), &(1, 2)), Some(std::cmp::Ordering::Less));
+/// assert_eq!(oracle.same_session_order(&(1, 1), &(2, 2)), None);
+/// ```
+pub struct FnIssueOrder<F>(F);
+
+impl<F> FnIssueOrder<F> {
+    /// Wraps a closure as an oracle.
+    pub fn new(f: F) -> Self {
+        FnIssueOrder(f)
+    }
+}
+
+impl<K, F> IssueOrder<K> for FnIssueOrder<F>
+where
+    F: Fn(&K, &K) -> Option<Ordering>,
+{
+    fn same_session_order(&self, a: &K, b: &K) -> Option<Ordering> {
+        (self.0)(a, b)
+    }
+}
+
+impl<F> std::fmt::Debug for FnIssueOrder<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnIssueOrder(..)")
+    }
+}
+
+/// The paper's session-id + sequence-number scheme over `(session, seq)`
+/// keys with 1-based sequence numbers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AuthorSeqOrder;
+
+impl IssueOrder<(u32, u32)> for AuthorSeqOrder {
+    fn same_session_order(&self, a: &(u32, u32), b: &(u32, u32)) -> Option<Ordering> {
+        (a.0 == b.0).then(|| a.1.cmp(&b.1))
+    }
+
+    fn predecessor(&self, k: &(u32, u32)) -> Option<(u32, u32)> {
+        (k.1 > 1).then(|| (k.0, k.1 - 1))
+    }
+}
+
+/// An oracle that relates nothing: disables monotonic-writes enforcement
+/// for foreign events (the guard still orders the session's *own* writes,
+/// whose issue order it witnessed directly through acknowledgements).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoOrder;
+
+impl<K> IssueOrder<K> for NoOrder {
+    fn same_session_order(&self, _: &K, _: &K) -> Option<Ordering> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_oracle_orders_same_session() {
+        let oracle =
+            FnIssueOrder::new(|a: &(u8, u8), b: &(u8, u8)| (a.0 == b.0).then(|| a.1.cmp(&b.1)));
+        assert_eq!(oracle.same_session_order(&(0, 1), &(0, 5)), Some(Ordering::Less));
+        assert_eq!(oracle.same_session_order(&(0, 5), &(0, 1)), Some(Ordering::Greater));
+        assert_eq!(oracle.same_session_order(&(0, 3), &(0, 3)), Some(Ordering::Equal));
+        assert_eq!(oracle.same_session_order(&(0, 1), &(1, 2)), None);
+        assert_eq!(oracle.predecessor(&(0, 2)), None, "closures derive no predecessors");
+    }
+
+    #[test]
+    fn author_seq_derives_predecessors() {
+        assert_eq!(AuthorSeqOrder.predecessor(&(3, 5)), Some((3, 4)));
+        assert_eq!(AuthorSeqOrder.predecessor(&(3, 1)), None);
+        assert_eq!(AuthorSeqOrder.same_session_order(&(3, 1), &(3, 2)), Some(Ordering::Less));
+        assert_eq!(AuthorSeqOrder.same_session_order(&(3, 1), &(4, 2)), None);
+    }
+
+    #[test]
+    fn no_order_relates_nothing() {
+        assert_eq!(NoOrder.same_session_order(&1, &2), None);
+        assert_eq!(IssueOrder::<i32>::predecessor(&NoOrder, &2), None);
+    }
+}

@@ -1,0 +1,192 @@
+//! Per-node local clocks with offset and drift.
+//!
+//! The paper disables NTP on its agents and runs a custom Cristian-style
+//! synchronization protocol from the coordinator, because an uncontrolled
+//! clock adjustment mid-test would corrupt divergence-window measurements.
+//! We model the same situation: each node's clock is a linear function of
+//! true simulation time with a fixed initial offset and a constant drift
+//! rate. Nodes can only read their local clock; the harness must estimate
+//! deltas over the (simulated) network exactly like the paper does.
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A reading of some node's local clock, in nanoseconds on that node's own
+/// timeline. Distinct from [`SimTime`] so the type system prevents mixing
+/// local readings from different nodes, or local readings with true time,
+/// without an explicit conversion through an estimated delta.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LocalTime(i64);
+
+impl LocalTime {
+    /// Constructs a local reading from raw nanoseconds.
+    pub const fn from_nanos(ns: i64) -> Self {
+        LocalTime(ns)
+    }
+
+    /// Raw nanoseconds of this reading.
+    pub const fn as_nanos(self) -> i64 {
+        self.0
+    }
+
+    /// Signed difference `self - other` in nanoseconds.
+    pub const fn delta_nanos(self, other: LocalTime) -> i64 {
+        self.0 - other.0
+    }
+
+    /// Shifts this reading by a signed number of nanoseconds.
+    pub const fn offset_by(self, nanos: i64) -> LocalTime {
+        LocalTime(self.0 + nanos)
+    }
+}
+
+impl fmt::Display for LocalTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "local:{:.6}s", self.0 as f64 / 1e9)
+    }
+}
+
+/// Configuration for generating node clocks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClockConfig {
+    /// Maximum absolute initial offset from true time, in nanoseconds.
+    /// Offsets are drawn uniformly from `[-max, +max]`.
+    pub max_initial_offset_nanos: i64,
+    /// Maximum absolute drift in parts per million. Drift rates are drawn
+    /// uniformly from `[-max, +max]`.
+    pub max_drift_ppm: f64,
+}
+
+impl Default for ClockConfig {
+    /// Defaults: up to ±2 s initial offset and ±50 ppm drift — generous for
+    /// unmanaged VMs with NTP disabled, per the paper's setup.
+    fn default() -> Self {
+        ClockConfig { max_initial_offset_nanos: 2_000_000_000, max_drift_ppm: 50.0 }
+    }
+}
+
+impl ClockConfig {
+    /// A configuration with perfectly synchronized, drift-free clocks.
+    pub fn perfect() -> Self {
+        ClockConfig { max_initial_offset_nanos: 0, max_drift_ppm: 0.0 }
+    }
+}
+
+/// A node's local clock: `local(t) = t + offset + drift_ppm * 1e-6 * t`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocalClock {
+    offset_nanos: i64,
+    drift_ppm: f64,
+}
+
+impl LocalClock {
+    /// Creates a clock with an explicit offset (nanoseconds) and drift (ppm).
+    pub fn new(offset_nanos: i64, drift_ppm: f64) -> Self {
+        LocalClock { offset_nanos, drift_ppm }
+    }
+
+    /// A perfect clock that reads true time exactly.
+    pub fn perfect() -> Self {
+        LocalClock::new(0, 0.0)
+    }
+
+    /// Samples a clock according to `config`.
+    pub fn sample(config: &ClockConfig, rng: &mut SimRng) -> Self {
+        let offset = if config.max_initial_offset_nanos == 0 {
+            0
+        } else {
+            rng.gen_range(-config.max_initial_offset_nanos..=config.max_initial_offset_nanos)
+        };
+        let drift = if config.max_drift_ppm == 0.0 {
+            0.0
+        } else {
+            rng.gen_range(-config.max_drift_ppm..=config.max_drift_ppm)
+        };
+        LocalClock::new(offset, drift)
+    }
+
+    /// Reads the local clock at true time `now`.
+    pub fn read(&self, now: SimTime) -> LocalTime {
+        let t = now.as_nanos() as f64;
+        let drift_component = (self.drift_ppm * 1e-6 * t).round() as i64;
+        LocalTime(now.as_nanos() as i64 + self.offset_nanos + drift_component)
+    }
+
+    /// The true offset of this clock at true time `now`, in nanoseconds
+    /// (local − true). Exposed for ablation experiments that compare the
+    /// harness's *estimated* delta against ground truth.
+    pub fn true_offset_nanos(&self, now: SimTime) -> i64 {
+        self.read(now).as_nanos() - now.as_nanos() as i64
+    }
+
+    /// The configured drift rate, in ppm.
+    pub fn drift_ppm(&self) -> f64 {
+        self.drift_ppm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clock_reads_true_time() {
+        let c = LocalClock::perfect();
+        let t = SimTime::from_secs(5);
+        assert_eq!(c.read(t).as_nanos(), t.as_nanos() as i64);
+        assert_eq!(c.true_offset_nanos(t), 0);
+    }
+
+    #[test]
+    fn offset_shifts_readings() {
+        let c = LocalClock::new(1_000_000, 0.0);
+        assert_eq!(c.read(SimTime::ZERO).as_nanos(), 1_000_000);
+        assert_eq!(c.true_offset_nanos(SimTime::from_secs(100)), 1_000_000);
+    }
+
+    #[test]
+    fn drift_accumulates_linearly() {
+        // 100 ppm drift over 10 s => 1 ms ahead.
+        let c = LocalClock::new(0, 100.0);
+        let t = SimTime::from_secs(10);
+        assert_eq!(c.true_offset_nanos(t), 1_000_000);
+        assert!(c.drift_ppm() == 100.0);
+    }
+
+    #[test]
+    fn negative_drift_falls_behind() {
+        let c = LocalClock::new(0, -100.0);
+        assert_eq!(c.true_offset_nanos(SimTime::from_secs(10)), -1_000_000);
+    }
+
+    #[test]
+    fn sample_respects_bounds() {
+        let cfg = ClockConfig { max_initial_offset_nanos: 1_000, max_drift_ppm: 5.0 };
+        let mut rng = SimRng::new(3);
+        for _ in 0..100 {
+            let c = LocalClock::sample(&cfg, &mut rng);
+            assert!(c.true_offset_nanos(SimTime::ZERO).abs() <= 1_000);
+            assert!(c.drift_ppm().abs() <= 5.0);
+        }
+    }
+
+    #[test]
+    fn sample_perfect_config_is_exact() {
+        let mut rng = SimRng::new(3);
+        let c = LocalClock::sample(&ClockConfig::perfect(), &mut rng);
+        assert_eq!(c.true_offset_nanos(SimTime::from_secs(1000)), 0);
+    }
+
+    #[test]
+    fn local_time_arithmetic() {
+        let a = LocalTime::from_nanos(10);
+        let b = LocalTime::from_nanos(4);
+        assert_eq!(a.delta_nanos(b), 6);
+        assert_eq!(b.offset_by(6), a);
+        assert_eq!(a.to_string(), "local:0.000000s");
+    }
+}

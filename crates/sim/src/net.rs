@@ -1,0 +1,350 @@
+//! WAN network model: regions, latency matrix, loss, partitions.
+//!
+//! The paper's agents sat in three Amazon EC2 availability zones — Oregon,
+//! Tokyo and Ireland — with a coordinator in North Virginia, and reported
+//! average coordinator↔agent RTTs of 136 ms (Oregon), 218 ms (Tokyo) and
+//! 172 ms (Ireland). [`LatencyMatrix::paper_wan`] seeds the model from those
+//! numbers; inter-agent links use public WAN measurements of the same era.
+//!
+//! One-way delays are sampled as `base + Exp(jitter_mean)`, a standard heavy
+//! -tail-ish WAN model that keeps medians near the base while producing the
+//! occasional slow packet. Links can also drop messages with a fixed
+//! probability, and [`PartitionSpec`]s block traffic between node sets during
+//! a time window (used to reproduce the transient Tokyo partition the paper
+//! infers for Facebook Group).
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::world::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A geographic region hosting one or more nodes.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Region {
+    /// Amazon EC2 us-west-2 — paper agent 1.
+    Oregon,
+    /// Amazon EC2 ap-northeast-1 — paper agent 2.
+    Tokyo,
+    /// Amazon EC2 eu-west-1 — paper agent 3.
+    Ireland,
+    /// Amazon EC2 us-east-1 — paper coordinator.
+    Virginia,
+    /// An additional datacenter region (service back-ends).
+    Datacenter(u8),
+}
+
+impl Region {
+    /// The three agent regions, in the paper's agent-id order.
+    pub const AGENTS: [Region; 3] = [Region::Oregon, Region::Tokyo, Region::Ireland];
+
+    /// Short label used in figures ("OR", "JP", "IR", "VA", "DCn").
+    pub fn short(&self) -> String {
+        match self {
+            Region::Oregon => "OR".to_string(),
+            Region::Tokyo => "JP".to_string(),
+            Region::Ireland => "IR".to_string(),
+            Region::Virginia => "VA".to_string(),
+            Region::Datacenter(n) => format!("DC{n}"),
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Region::Oregon => write!(f, "Oregon"),
+            Region::Tokyo => write!(f, "Tokyo"),
+            Region::Ireland => write!(f, "Ireland"),
+            Region::Virginia => write!(f, "Virginia"),
+            Region::Datacenter(n) => write!(f, "Datacenter{n}"),
+        }
+    }
+}
+
+/// Timing and reliability parameters of a directed region pair.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Minimum one-way delay.
+    pub base: SimDuration,
+    /// Mean of the exponential jitter added on top of `base`.
+    pub jitter_mean: SimDuration,
+    /// Probability that a message on this link is silently dropped.
+    pub loss: f64,
+}
+
+impl LinkSpec {
+    /// A link with the given base one-way delay in milliseconds and 10 %
+    /// of the base as mean jitter, lossless.
+    pub fn wan_ms(base_ms: u64) -> Self {
+        LinkSpec {
+            base: SimDuration::from_millis(base_ms),
+            jitter_mean: SimDuration::from_millis((base_ms / 10).max(1)),
+            loss: 0.0,
+        }
+    }
+
+    /// A fast intra-datacenter link (250 µs base, 50 µs jitter, lossless).
+    pub fn local() -> Self {
+        LinkSpec {
+            base: SimDuration::from_micros(250),
+            jitter_mean: SimDuration::from_micros(50),
+            loss: 0.0,
+        }
+    }
+
+    /// Returns a copy with the given loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not within `[0, 1]`.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        self.loss = loss;
+        self
+    }
+}
+
+/// Symmetric matrix of [`LinkSpec`]s between regions.
+///
+/// Lookups are symmetric: the spec for `(a, b)` also answers `(b, a)`.
+/// Unspecified pairs fall back to [`LatencyMatrix::default_link`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyMatrix {
+    links: BTreeMap<(Region, Region), LinkSpec>,
+    default_link: LinkSpec,
+    local_link: LinkSpec,
+}
+
+impl Default for LatencyMatrix {
+    fn default() -> Self {
+        LatencyMatrix::paper_wan()
+    }
+}
+
+impl LatencyMatrix {
+    /// An empty matrix where every inter-region link uses `default_link`.
+    pub fn uniform(default_link: LinkSpec) -> Self {
+        LatencyMatrix { links: BTreeMap::new(), default_link, local_link: LinkSpec::local() }
+    }
+
+    /// The WAN the paper ran on.
+    ///
+    /// Coordinator links reproduce the paper's measured RTTs exactly
+    /// (one-way = RTT/2): Virginia–Oregon 136 ms, Virginia–Tokyo 218 ms,
+    /// Virginia–Ireland 172 ms. Inter-agent links use representative
+    /// inter-AZ figures of the period.
+    pub fn paper_wan() -> Self {
+        let mut m = LatencyMatrix::uniform(LinkSpec::wan_ms(60));
+        m.set(Region::Virginia, Region::Oregon, LinkSpec::wan_ms(68));
+        m.set(Region::Virginia, Region::Tokyo, LinkSpec::wan_ms(109));
+        m.set(Region::Virginia, Region::Ireland, LinkSpec::wan_ms(86));
+        m.set(Region::Oregon, Region::Tokyo, LinkSpec::wan_ms(48));
+        m.set(Region::Oregon, Region::Ireland, LinkSpec::wan_ms(70));
+        m.set(Region::Tokyo, Region::Ireland, LinkSpec::wan_ms(120));
+        m
+    }
+
+    /// Sets the spec for an unordered region pair.
+    pub fn set(&mut self, a: Region, b: Region, spec: LinkSpec) -> &mut Self {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.links.insert(key, spec);
+        self
+    }
+
+    /// Overrides the intra-region link spec.
+    pub fn set_local(&mut self, spec: LinkSpec) -> &mut Self {
+        self.local_link = spec;
+        self
+    }
+
+    /// The spec used for pairs with no explicit entry.
+    pub fn default_link(&self) -> LinkSpec {
+        self.default_link
+    }
+
+    /// Looks up the spec for a (possibly intra-region) pair.
+    pub fn link(&self, a: Region, b: Region) -> LinkSpec {
+        if a == b {
+            return self.local_link;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.links.get(&key).copied().unwrap_or(self.default_link)
+    }
+
+    /// Samples a one-way delay for a message from `a` to `b`.
+    pub fn sample_delay(&self, a: Region, b: Region, rng: &mut SimRng) -> SimDuration {
+        let spec = self.link(a, b);
+        let jitter = rng.gen_exp(spec.jitter_mean.as_nanos() as f64);
+        spec.base + SimDuration::from_nanos(jitter.round() as u64)
+    }
+
+    /// Samples whether a message from `a` to `b` is lost.
+    pub fn sample_loss(&self, a: Region, b: Region, rng: &mut SimRng) -> bool {
+        let spec = self.link(a, b);
+        spec.loss > 0.0 && rng.gen_bool(spec.loss)
+    }
+
+    /// Returns a copy with the given loss probability applied to every
+    /// link, including the intra-region and fallback links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not within `[0, 1]`.
+    pub fn with_loss_everywhere(mut self, loss: f64) -> Self {
+        self.default_link = self.default_link.with_loss(loss);
+        self.local_link = self.local_link.with_loss(loss);
+        for spec in self.links.values_mut() {
+            *spec = spec.with_loss(loss);
+        }
+        self
+    }
+}
+
+/// A scheduled bidirectional partition between two sets of nodes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    /// Nodes on one side of the partition.
+    pub side_a: Vec<NodeId>,
+    /// Nodes on the other side.
+    pub side_b: Vec<NodeId>,
+    /// Partition start (inclusive).
+    pub start: SimTime,
+    /// Partition end (exclusive).
+    pub end: SimTime,
+}
+
+impl PartitionSpec {
+    /// Whether a message sent from `src` to `dst` at time `at` is blocked.
+    pub fn blocks(&self, src: NodeId, dst: NodeId, at: SimTime) -> bool {
+        if at < self.start || at >= self.end {
+            return false;
+        }
+        (self.side_a.contains(&src) && self.side_b.contains(&dst))
+            || (self.side_b.contains(&src) && self.side_a.contains(&dst))
+    }
+}
+
+/// Full network configuration: latency matrix plus active partitions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// The latency/loss matrix.
+    pub matrix: LatencyMatrix,
+    /// Scheduled partitions.
+    pub partitions: Vec<PartitionSpec>,
+}
+
+impl NetworkConfig {
+    /// Creates a configuration with the given matrix and no partitions.
+    pub fn new(matrix: LatencyMatrix) -> Self {
+        NetworkConfig { matrix, partitions: Vec::new() }
+    }
+
+    /// Adds a partition window.
+    pub fn add_partition(&mut self, spec: PartitionSpec) -> &mut Self {
+        self.partitions.push(spec);
+        self
+    }
+
+    /// Whether any partition blocks `src → dst` at `at`.
+    pub fn is_blocked(&self, src: NodeId, dst: NodeId, at: SimTime) -> bool {
+        self.partitions.iter().any(|p| p.blocks(src, dst, at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_symmetric() {
+        let m = LatencyMatrix::paper_wan();
+        let a = m.link(Region::Virginia, Region::Tokyo);
+        let b = m.link(Region::Tokyo, Region::Virginia);
+        assert_eq!(a.base, b.base);
+        assert_eq!(a.base, SimDuration::from_millis(109));
+    }
+
+    #[test]
+    fn paper_rtts_match_measurements() {
+        // One-way × 2 should give the RTTs reported in the paper, §V.
+        let m = LatencyMatrix::paper_wan();
+        for (region, rtt_ms) in
+            [(Region::Oregon, 136), (Region::Tokyo, 218), (Region::Ireland, 172)]
+        {
+            let one_way = m.link(Region::Virginia, region).base;
+            assert_eq!(one_way.as_millis() * 2, rtt_ms);
+        }
+    }
+
+    #[test]
+    fn intra_region_is_fast() {
+        let m = LatencyMatrix::paper_wan();
+        assert!(m.link(Region::Oregon, Region::Oregon).base < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn unknown_pair_uses_default() {
+        let m = LatencyMatrix::paper_wan();
+        let d = m.link(Region::Datacenter(0), Region::Datacenter(1));
+        assert_eq!(d.base, m.default_link().base);
+    }
+
+    #[test]
+    fn sampled_delay_at_least_base() {
+        let m = LatencyMatrix::paper_wan();
+        let mut rng = SimRng::new(1);
+        for _ in 0..200 {
+            let d = m.sample_delay(Region::Oregon, Region::Ireland, &mut rng);
+            assert!(d >= SimDuration::from_millis(70));
+            assert!(d < SimDuration::from_millis(300), "pathological jitter: {d}");
+        }
+    }
+
+    #[test]
+    fn loss_is_sampled() {
+        let mut m = LatencyMatrix::uniform(LinkSpec::wan_ms(10).with_loss(1.0));
+        m.set(Region::Oregon, Region::Tokyo, LinkSpec::wan_ms(10)); // lossless
+        let mut rng = SimRng::new(2);
+        assert!(m.sample_loss(Region::Oregon, Region::Ireland, &mut rng));
+        assert!(!m.sample_loss(Region::Oregon, Region::Tokyo, &mut rng));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn with_loss_validates() {
+        let _ = LinkSpec::wan_ms(10).with_loss(1.5);
+    }
+
+    #[test]
+    fn partitions_block_both_directions_within_window() {
+        let p = PartitionSpec {
+            side_a: vec![NodeId(0)],
+            side_b: vec![NodeId(1), NodeId(2)],
+            start: SimTime::from_secs(10),
+            end: SimTime::from_secs(20),
+        };
+        let mid = SimTime::from_secs(15);
+        assert!(p.blocks(NodeId(0), NodeId(1), mid));
+        assert!(p.blocks(NodeId(2), NodeId(0), mid));
+        assert!(!p.blocks(NodeId(1), NodeId(2), mid)); // same side
+        assert!(!p.blocks(NodeId(0), NodeId(1), SimTime::from_secs(9)));
+        assert!(!p.blocks(NodeId(0), NodeId(1), SimTime::from_secs(20))); // end exclusive
+    }
+
+    #[test]
+    fn network_config_aggregates_partitions() {
+        let mut cfg = NetworkConfig::new(LatencyMatrix::paper_wan());
+        cfg.add_partition(PartitionSpec {
+            side_a: vec![NodeId(3)],
+            side_b: vec![NodeId(4)],
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(1),
+        });
+        assert!(cfg.is_blocked(NodeId(3), NodeId(4), SimTime::from_millis(500)));
+        assert!(!cfg.is_blocked(NodeId(3), NodeId(5), SimTime::from_millis(500)));
+    }
+}

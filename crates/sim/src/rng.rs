@@ -1,0 +1,203 @@
+//! Deterministic, splittable randomness.
+//!
+//! All stochastic behaviour in the simulator (latency jitter, loss, ranking
+//! noise, clock offsets, …) flows from a [`SimRng`]. A `SimRng` can be
+//! *split* with a textual label, producing an independent child stream whose
+//! seed is a hash of the parent seed and the label. Splitting keeps streams
+//! stable: adding a new consumer with a fresh label does not perturb the
+//! values any existing consumer sees, which keeps regression tests meaningful
+//! as the simulator grows.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random stream.
+///
+/// Wraps [`rand::rngs::StdRng`] (ChaCha-based, portable across platforms)
+/// and adds labelled splitting.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    seed: u64,
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a stream from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng { seed, inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child stream identified by `label`.
+    ///
+    /// The child seed depends only on the parent *seed* and the label, not on
+    /// how many values were already drawn from the parent, so split order is
+    /// irrelevant.
+    pub fn split(&self, label: &str) -> SimRng {
+        SimRng::new(mix(self.seed, label))
+    }
+
+    /// Derives an independent child stream identified by a label and an
+    /// index (convenient for per-node or per-test streams).
+    pub fn split_indexed(&self, label: &str, index: u64) -> SimRng {
+        SimRng::new(mix(self.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15), label))
+    }
+
+    /// Samples a value uniformly from `range`.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Samples a uniform `f64` in `[0, 1)`.
+    pub fn gen_unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Samples from an exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is negative or not finite.
+    pub fn gen_exp(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean >= 0.0, "mean must be finite and non-negative");
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Samples from a normal distribution via the Box–Muller transform.
+    pub fn gen_normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.inner.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Picks a uniformly random element of `slice`, or `None` if empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            let i = self.inner.gen_range(0..slice.len());
+            Some(&slice[i])
+        }
+    }
+
+    /// Samples a raw `u64`.
+    pub fn gen_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+}
+
+/// Mixes a seed with a label via an FNV-1a-style hash, then finalizes with a
+/// splitmix64 round for avalanche.
+fn mix(seed: u64, label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    // splitmix64 finalizer
+    h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_u64(), b.gen_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..16).filter(|_| a.gen_u64() == b.gen_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_is_independent_of_draw_position() {
+        let parent = SimRng::new(99);
+        let mut parent2 = SimRng::new(99);
+        let _ = parent2.gen_u64(); // advance
+        let mut c1 = parent.split("net");
+        let mut c2 = parent2.split("net");
+        assert_eq!(c1.gen_u64(), c2.gen_u64());
+    }
+
+    #[test]
+    fn split_labels_differ() {
+        let parent = SimRng::new(99);
+        assert_ne!(parent.split("a").gen_u64(), parent.split("b").gen_u64());
+        assert_ne!(
+            parent.split_indexed("n", 0).gen_u64(),
+            parent.split_indexed("n", 1).gen_u64()
+        );
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut r = SimRng::new(5);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| r.gen_exp(10.0)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean was {mean}");
+        assert_eq!(r.gen_exp(0.0), 0.0);
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = SimRng::new(6);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.gen_normal(3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean was {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var was {var}");
+    }
+
+    #[test]
+    fn bool_probability() {
+        let mut r = SimRng::new(8);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.03);
+        assert!(!r.gen_bool(-1.0));
+        assert!(r.gen_bool(2.0));
+    }
+
+    #[test]
+    fn choose_handles_empty_and_full() {
+        let mut r = SimRng::new(9);
+        let empty: [u8; 0] = [];
+        assert_eq!(r.choose(&empty), None);
+        let v = [1, 2, 3];
+        assert!(v.contains(r.choose(&v).unwrap()));
+    }
+}

@@ -1,0 +1,805 @@
+//! The deterministic event loop: nodes, messages, timers.
+//!
+//! A [`World`] owns a set of [`Node`]s, each placed in a [`Region`] and
+//! equipped with a [`LocalClock`]. Nodes interact with the world only through
+//! the [`Context`] handed to their callbacks: they can send messages (which
+//! arrive after a sampled network delay, or never, if lost or partitioned),
+//! set timers, read their local clock, and draw from a private random
+//! stream. The loop pops events in `(time, sequence)` order, so runs are
+//! exactly reproducible for a given configuration and seed.
+
+use crate::clock::{ClockConfig, LocalClock, LocalTime};
+use crate::net::{NetworkConfig, Region};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// What happened in one simulator event (when tracing is enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimEventKind {
+    /// A message was delivered from the contained node.
+    Delivered {
+        /// Sender.
+        src: NodeId,
+    },
+    /// A message from `src` was dropped by loss or partition.
+    Dropped {
+        /// Sender.
+        src: NodeId,
+    },
+    /// A timer with the contained token fired.
+    Timer(u64),
+    /// The node's `on_start` ran.
+    Started,
+}
+
+/// One entry of the simulator's event trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimEvent {
+    /// True simulation time of the event.
+    pub at: SimTime,
+    /// The node the event was dispatched to.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: SimEventKind,
+}
+
+/// Identifies a node within one [`World`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A participant in the simulation.
+///
+/// Implementations must be `'static` (so the world can downcast them back to
+/// their concrete type after a run via [`World::node_as`]) and `Send` (so a
+/// whole world can be run on a worker thread by the parallel campaign
+/// runner).
+pub trait Node<M>: Any + Send {
+    /// Called once when the simulation first runs this node.
+    fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message from `from` is delivered.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, token: u64);
+}
+
+/// Configuration for a [`World`].
+#[derive(Debug, Clone, Default)]
+pub struct WorldConfig {
+    /// Network model (latency matrix + partitions).
+    pub net: NetworkConfig,
+    /// Distribution from which node clocks are sampled.
+    pub clocks: ClockConfig,
+}
+
+enum EventKind<M> {
+    Start,
+    Deliver { src: NodeId, msg: M },
+    Timer { token: u64 },
+}
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    dst: NodeId,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Internal world state shared with [`Context`] during dispatch.
+struct WorldCore<M> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    regions: Vec<Region>,
+    clocks: Vec<LocalClock>,
+    node_rngs: Vec<SimRng>,
+    net: NetworkConfig,
+    net_rng: SimRng,
+    delivered: u64,
+    dropped: u64,
+    /// Last scheduled arrival per ordered (src, dst) channel.
+    ordered_last: std::collections::HashMap<(NodeId, NodeId), SimTime>,
+    /// Event trace, when enabled (None = tracing off).
+    trace: Option<Vec<SimEvent>>,
+}
+
+impl<M> WorldCore<M> {
+    fn record(&mut self, node: NodeId, kind: SimEventKind) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(SimEvent { at: self.now, node, kind });
+        }
+    }
+}
+
+impl<M> WorldCore<M> {
+    fn push(&mut self, at: SimTime, dst: NodeId, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, dst, kind }));
+    }
+
+    fn send(&mut self, src: NodeId, dst: NodeId, msg: M, ordered: bool) {
+        if self.net.is_blocked(src, dst, self.now) {
+            self.dropped += 1;
+            self.record(dst, SimEventKind::Dropped { src });
+            return;
+        }
+        let (ra, rb) = (self.regions[src.0], self.regions[dst.0]);
+        if self.net.matrix.sample_loss(ra, rb, &mut self.net_rng) {
+            self.dropped += 1;
+            self.record(dst, SimEventKind::Dropped { src });
+            return;
+        }
+        let delay = self.net.matrix.sample_delay(ra, rb, &mut self.net_rng);
+        let mut at = self.now + delay;
+        if ordered {
+            let last = self.ordered_last.entry((src, dst)).or_insert(SimTime::ZERO);
+            if at <= *last {
+                at = *last + SimDuration::from_nanos(1);
+            }
+            *last = at;
+        }
+        self.push(at, dst, EventKind::Deliver { src, msg });
+    }
+}
+
+/// The callback interface a [`Node`] uses to act on the world.
+pub struct Context<'a, M> {
+    core: &'a mut WorldCore<M>,
+    node: NodeId,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// This node's region.
+    pub fn region(&self) -> Region {
+        self.core.regions[self.node.0]
+    }
+
+    /// Reads this node's **local** clock. This is the only notion of time a
+    /// node may base decisions or log entries on.
+    pub fn now_local(&self) -> LocalTime {
+        self.core.clocks[self.node.0].read(self.core.now)
+    }
+
+    /// True simulation time. **Instrumentation/ablation only** — production
+    /// node logic must use [`Context::now_local`], exactly as the paper's
+    /// agents could only read their VM clocks.
+    pub fn true_now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Sends `msg` to `dst`. Delivery is asynchronous with a sampled network
+    /// delay; the message may be lost or blocked by a partition. Messages on
+    /// the same (src, dst) pair may be reordered by jitter — use
+    /// [`Context::send_ordered`] for FIFO semantics.
+    pub fn send(&mut self, dst: NodeId, msg: M) {
+        self.core.send(self.node, dst, msg, false);
+    }
+
+    /// Like [`Context::send`], but deliveries from this node to `dst` issued
+    /// through this method never overtake one another (a TCP-like FIFO
+    /// channel). Used by replication streams, whose real-world counterparts
+    /// run over connections that preserve order.
+    pub fn send_ordered(&mut self, dst: NodeId, msg: M) {
+        self.core.send(self.node, dst, msg, true);
+    }
+
+    /// Schedules [`Node::on_timer`] on this node after `delay`, carrying
+    /// `token`. Timers always fire; stale timers must be ignored by the node.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        let at = self.core.now + delay;
+        self.core.push(at, self.node, EventKind::Timer { token });
+    }
+
+    /// This node's private deterministic random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.core.node_rngs[self.node.0]
+    }
+}
+
+/// A complete simulated world: nodes + network + event queue.
+pub struct World<M> {
+    core: WorldCore<M>,
+    nodes: Vec<Option<Box<dyn Node<M>>>>,
+    rng_root: SimRng,
+    clock_config: ClockConfig,
+}
+
+impl<M: 'static> World<M> {
+    /// Creates an empty world from a configuration and a seed.
+    pub fn new(config: WorldConfig, seed: u64) -> Self {
+        let rng_root = SimRng::new(seed);
+        World {
+            core: WorldCore {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                regions: Vec::new(),
+                clocks: Vec::new(),
+                node_rngs: Vec::new(),
+                net: config.net,
+                net_rng: rng_root.split("net"),
+                delivered: 0,
+                dropped: 0,
+                ordered_last: std::collections::HashMap::new(),
+                trace: None,
+            },
+            nodes: Vec::new(),
+            rng_root,
+            clock_config: config.clocks,
+        }
+    }
+
+    /// Adds a node in `region` with a clock sampled from the world's
+    /// [`ClockConfig`]. Returns its id. The node's `on_start` runs at the
+    /// current simulation time once the loop is driven.
+    pub fn add_node(&mut self, region: Region, node: Box<dyn Node<M>>) -> NodeId {
+        let idx = self.nodes.len() as u64;
+        let mut clock_rng = self.rng_root.split_indexed("clock", idx);
+        let clock = LocalClock::sample(&self.clock_config, &mut clock_rng);
+        self.add_node_with_clock(region, clock, node)
+    }
+
+    /// Adds a node with an explicit clock (e.g. [`LocalClock::perfect`]).
+    pub fn add_node_with_clock(
+        &mut self,
+        region: Region,
+        clock: LocalClock,
+        node: Box<dyn Node<M>>,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.core.regions.push(region);
+        self.core.clocks.push(clock);
+        self.core.node_rngs.push(self.rng_root.split_indexed("node", id.0 as u64));
+        self.nodes.push(Some(node));
+        self.core.push(self.core.now, id, EventKind::Start);
+        id
+    }
+
+    /// Current true simulation time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Number of messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.core.delivered
+    }
+
+    /// Number of messages dropped (loss or partition) so far.
+    pub fn dropped(&self) -> u64 {
+        self.core.dropped
+    }
+
+    /// The region a node was placed in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this world.
+    pub fn region_of(&self, id: NodeId) -> Region {
+        self.core.regions[id.0]
+    }
+
+    /// The true clock of a node — for ablations comparing estimated clock
+    /// deltas against ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this world.
+    pub fn clock_of(&self, id: NodeId) -> &LocalClock {
+        &self.core.clocks[id.0]
+    }
+
+    /// Borrows a node back as its concrete type (post-run result
+    /// extraction).
+    pub fn node_as<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        let node = self.nodes.get(id.0)?.as_deref()?;
+        (node as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutably borrows a node back as its concrete type.
+    pub fn node_as_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        let node = self.nodes.get_mut(id.0)?.as_deref_mut()?;
+        (node as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// Processes a single event. Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.core.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.core.now, "time went backwards");
+        self.core.now = ev.at;
+        // Take the node out so we can hand the core to it mutably.
+        let mut node = match self.nodes.get_mut(ev.dst.0).and_then(Option::take) {
+            Some(n) => n,
+            None => return true, // node slot empty (shouldn't happen) — drop event
+        };
+        {
+            let mut ctx = Context { core: &mut self.core, node: ev.dst };
+            match ev.kind {
+                EventKind::Start => {
+                    ctx.core.record(ev.dst, SimEventKind::Started);
+                    node.on_start(&mut ctx);
+                }
+                EventKind::Deliver { src, msg } => {
+                    ctx.core.delivered += 1;
+                    ctx.core.record(ev.dst, SimEventKind::Delivered { src });
+                    node.on_message(&mut ctx, src, msg);
+                }
+                EventKind::Timer { token } => {
+                    ctx.core.record(ev.dst, SimEventKind::Timer(token));
+                    node.on_timer(&mut ctx, token);
+                }
+            }
+        }
+        self.nodes[ev.dst.0] = Some(node);
+        true
+    }
+
+    /// Runs until the queue is empty or `deadline` is reached; the clock is
+    /// left at `max(now, deadline)` if the queue drains early, or at the last
+    /// processed event otherwise.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(ev)) = self.core.queue.peek() {
+            if ev.at > deadline {
+                self.core.now = deadline;
+                return;
+            }
+            self.step();
+        }
+        if self.core.now < deadline {
+            self.core.now = deadline;
+        }
+    }
+
+    /// Runs until no events remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 500 million events, which indicates a livelock (e.g. a
+    /// node rescheduling a timer unconditionally forever).
+    pub fn run_until_idle(&mut self) {
+        assert!(
+            self.run_capped(500_000_000),
+            "simulation did not quiesce within 500M events — livelock?"
+        );
+    }
+
+    /// Runs until idle or until `max_events` have been processed. Returns
+    /// `true` if the world went idle.
+    pub fn run_capped(&mut self, max_events: u64) -> bool {
+        for _ in 0..max_events {
+            if !self.step() {
+                return true;
+            }
+        }
+        self.core.queue.is_empty()
+    }
+
+    /// Runs until `predicate` returns true (checked after every event) or the
+    /// queue drains. Returns `true` if the predicate fired.
+    pub fn run_while<F: FnMut(&World<M>) -> bool>(&mut self, mut keep_going: F) -> bool {
+        loop {
+            if !keep_going(self) {
+                return true;
+            }
+            if !self.step() {
+                return false;
+            }
+        }
+    }
+}
+
+impl<M: 'static> World<M> {
+    /// Replaces the clock-sampling configuration used by subsequent
+    /// [`World::add_node`] calls.
+    pub fn set_clock_config(&mut self, config: ClockConfig) {
+        self.clock_config = config;
+    }
+
+    /// Schedules a partition after construction (useful once node ids are
+    /// known, e.g. to cut a specific replica off).
+    pub fn add_partition(&mut self, spec: crate::net::PartitionSpec) {
+        self.core.net.add_partition(spec);
+    }
+
+    /// Enables event tracing: every dispatch and drop is recorded until
+    /// [`World::take_trace`] drains the log. Costs one `Vec` push per
+    /// event — leave off for large campaigns.
+    pub fn enable_tracing(&mut self) {
+        if self.core.trace.is_none() {
+            self.core.trace = Some(Vec::new());
+        }
+    }
+
+    /// Drains and returns the event trace recorded so far (empty when
+    /// tracing was never enabled).
+    pub fn take_trace(&mut self) -> Vec<SimEvent> {
+        self.core.trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{LatencyMatrix, LinkSpec, PartitionSpec};
+
+    type Msg = &'static str;
+
+    /// Echoes each message back `bounces` times.
+    struct Echo {
+        bounces: u32,
+        received: Vec<(NodeId, Msg)>,
+        local_stamps: Vec<LocalTime>,
+    }
+    impl Echo {
+        fn new(bounces: u32) -> Self {
+            Echo { bounces, received: Vec::new(), local_stamps: Vec::new() }
+        }
+    }
+    impl Node<Msg> for Echo {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+            self.received.push((from, msg));
+            self.local_stamps.push(ctx.now_local());
+            if self.bounces > 0 {
+                self.bounces -= 1;
+                ctx.send(from, "pong");
+            }
+        }
+        fn on_timer(&mut self, _: &mut Context<'_, Msg>, _: u64) {}
+    }
+
+    struct Kick {
+        target: NodeId,
+    }
+    impl Node<Msg> for Kick {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            ctx.send(self.target, "ping");
+        }
+        fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+        fn on_timer(&mut self, _: &mut Context<'_, Msg>, _: u64) {}
+    }
+
+    fn two_node_world() -> (World<Msg>, NodeId, NodeId) {
+        let mut w = World::new(WorldConfig::default(), 1);
+        let echo = w.add_node(Region::Tokyo, Box::new(Echo::new(0)));
+        let kick = w.add_node(Region::Oregon, Box::new(Kick { target: echo }));
+        (w, echo, kick)
+    }
+
+    #[test]
+    fn message_arrives_after_link_latency() {
+        let (mut w, echo, kick) = two_node_world();
+        w.run_until_idle();
+        let e = w.node_as::<Echo>(echo).unwrap();
+        assert_eq!(e.received, vec![(kick, "ping")]);
+        // Oregon→Tokyo base one-way is 48 ms in the paper WAN.
+        assert!(w.now() >= SimTime::from_millis(48));
+        assert_eq!(w.delivered(), 1);
+    }
+
+    #[test]
+    fn downcast_wrong_type_is_none() {
+        let (w, echo, _) = two_node_world();
+        assert!(w.node_as::<Kick>(echo).is_none());
+        assert!(w.node_as::<Echo>(NodeId(99)).is_none());
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = |seed| {
+            let mut w = World::new(WorldConfig::default(), seed);
+            let echo = w.add_node(Region::Tokyo, Box::new(Echo::new(5)));
+            let _kick = w.add_node(Region::Oregon, Box::new(Echo::new(5)));
+            let kick = w.add_node(Region::Ireland, Box::new(Kick { target: echo }));
+            let _ = kick;
+            w.run_until_idle();
+            w.now()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        impl Node<Msg> for TimerNode {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.set_timer(SimDuration::from_millis(30), 3);
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+                ctx.set_timer(SimDuration::from_millis(20), 2);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+            fn on_timer(&mut self, _: &mut Context<'_, Msg>, token: u64) {
+                self.fired.push(token);
+            }
+        }
+        let mut w = World::new(WorldConfig::default(), 1);
+        let id = w.add_node(Region::Oregon, Box::new(TimerNode { fired: vec![] }));
+        w.run_until_idle();
+        assert_eq!(w.node_as::<TimerNode>(id).unwrap().fired, vec![1, 2, 3]);
+        assert_eq!(w.now(), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn equal_deadline_events_fire_in_schedule_order() {
+        struct Multi {
+            fired: Vec<u64>,
+        }
+        impl Node<Msg> for Multi {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                for token in [9, 4, 7] {
+                    ctx.set_timer(SimDuration::from_millis(5), token);
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+            fn on_timer(&mut self, _: &mut Context<'_, Msg>, token: u64) {
+                self.fired.push(token);
+            }
+        }
+        let mut w = World::new(WorldConfig::default(), 1);
+        let id = w.add_node(Region::Oregon, Box::new(Multi { fired: vec![] }));
+        w.run_until_idle();
+        // FIFO among same-time events, by insertion sequence.
+        assert_eq!(w.node_as::<Multi>(id).unwrap().fired, vec![9, 4, 7]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let (mut w, _, _) = two_node_world();
+        w.run_until(SimTime::from_millis(1));
+        assert_eq!(w.now(), SimTime::from_millis(1));
+        assert_eq!(w.delivered(), 0);
+        w.run_until(SimTime::from_secs(10));
+        assert_eq!(w.delivered(), 1);
+        assert_eq!(w.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn partition_drops_messages() {
+        let mut cfg = WorldConfig::default();
+        cfg.net.add_partition(PartitionSpec {
+            side_a: vec![NodeId(0)],
+            side_b: vec![NodeId(1)],
+            start: SimTime::ZERO,
+            end: SimTime::from_secs(60),
+        });
+        let mut w = World::new(cfg, 1);
+        let echo = w.add_node(Region::Tokyo, Box::new(Echo::new(0)));
+        let _kick = w.add_node(Region::Oregon, Box::new(Kick { target: echo }));
+        w.run_until_idle();
+        assert_eq!(w.dropped(), 1);
+        assert!(w.node_as::<Echo>(echo).unwrap().received.is_empty());
+    }
+
+    #[test]
+    fn lossy_link_drops_probabilistically() {
+        let mut cfg = WorldConfig::default();
+        cfg.net.matrix = LatencyMatrix::uniform(LinkSpec::wan_ms(10).with_loss(1.0));
+        let mut w = World::new(cfg, 1);
+        let echo = w.add_node(Region::Tokyo, Box::new(Echo::new(0)));
+        let _kick = w.add_node(Region::Oregon, Box::new(Kick { target: echo }));
+        w.run_until_idle();
+        assert_eq!(w.dropped(), 1);
+        assert_eq!(w.delivered(), 0);
+    }
+
+    #[test]
+    fn local_clock_visible_and_offset() {
+        let mut w = World::new(WorldConfig::default(), 1);
+        let echo = w.add_node_with_clock(
+            Region::Tokyo,
+            LocalClock::new(1_000_000_000, 0.0),
+            Box::new(Echo::new(0)),
+        );
+        let _kick = w.add_node(Region::Oregon, Box::new(Kick { target: echo }));
+        w.run_until_idle();
+        let e = w.node_as::<Echo>(echo).unwrap();
+        let stamp = e.local_stamps[0];
+        // Reading = true delivery time + 1 s offset.
+        assert_eq!(stamp.as_nanos(), w.now().as_nanos() as i64 + 1_000_000_000);
+    }
+
+    #[test]
+    fn run_while_predicate_stops_early() {
+        let (mut w, _, _) = two_node_world();
+        let stopped = w.run_while(|w| w.delivered() == 0);
+        assert!(stopped);
+        assert_eq!(w.delivered(), 1);
+    }
+
+    #[test]
+    fn run_capped_reports_livelock() {
+        struct Loop;
+        impl Node<Msg> for Loop {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _: u64) {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+        }
+        let mut w = World::new(WorldConfig::default(), 1);
+        w.add_node(Region::Oregon, Box::new(Loop));
+        assert!(!w.run_capped(1000));
+    }
+
+    #[test]
+    fn ordered_sends_never_overtake() {
+        struct Collector {
+            got: Vec<Msg>,
+        }
+        impl Node<Msg> for Collector {
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, msg: Msg) {
+                self.got.push(msg);
+            }
+            fn on_timer(&mut self, _: &mut Context<'_, Msg>, _: u64) {}
+        }
+        struct Burst {
+            target: NodeId,
+            ordered: bool,
+        }
+        impl Node<Msg> for Burst {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                let labels: [Msg; 5] = ["a", "b", "c", "d", "e"];
+                for m in labels {
+                    if self.ordered {
+                        ctx.send_ordered(self.target, m);
+                    } else {
+                        ctx.send(self.target, m);
+                    }
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+            fn on_timer(&mut self, _: &mut Context<'_, Msg>, _: u64) {}
+        }
+        // Across many seeds, ordered bursts always arrive in send order;
+        // unordered bursts get reordered by jitter at least once.
+        let mut unordered_scrambled = false;
+        for seed in 0..20 {
+            for ordered in [true, false] {
+                let mut w = World::new(WorldConfig::default(), seed);
+                let sink = w.add_node(Region::Tokyo, Box::new(Collector { got: vec![] }));
+                let _src =
+                    w.add_node(Region::Oregon, Box::new(Burst { target: sink, ordered }));
+                w.run_until_idle();
+                let got = &w.node_as::<Collector>(sink).unwrap().got;
+                assert_eq!(got.len(), 5);
+                let in_order = got == &["a", "b", "c", "d", "e"];
+                if ordered {
+                    assert!(in_order, "ordered send scrambled at seed {seed}: {got:?}");
+                } else if !in_order {
+                    unordered_scrambled = true;
+                }
+            }
+        }
+        assert!(unordered_scrambled, "jitter should scramble some unordered burst");
+    }
+
+    #[test]
+    fn worlds_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<World<String>>();
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::net::Region;
+
+    type Msg = u32;
+
+    struct Echo;
+    impl Node<Msg> for Echo {
+        fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+        fn on_timer(&mut self, _: &mut Context<'_, Msg>, _: u64) {}
+    }
+    struct Kick {
+        target: NodeId,
+    }
+    impl Node<Msg> for Kick {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            ctx.set_timer(SimDuration::from_millis(5), 9);
+        }
+        fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _: u64) {
+            ctx.send(self.target, 1);
+        }
+    }
+
+    #[test]
+    fn tracing_records_starts_timers_and_deliveries() {
+        let mut w = World::new(WorldConfig::default(), 2);
+        w.enable_tracing();
+        let echo = w.add_node(Region::Tokyo, Box::new(Echo));
+        let kick = w.add_node(Region::Oregon, Box::new(Kick { target: echo }));
+        w.run_until_idle();
+        let trace = w.take_trace();
+        assert!(trace
+            .iter()
+            .any(|e| e.node == kick && e.kind == SimEventKind::Started));
+        assert!(trace
+            .iter()
+            .any(|e| e.node == kick && e.kind == SimEventKind::Timer(9)));
+        let delivered: Vec<_> = trace
+            .iter()
+            .filter(|e| matches!(e.kind, SimEventKind::Delivered { .. }))
+            .collect();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].node, echo);
+        // Times are monotone.
+        for w in trace.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        // Drained: the second take is empty.
+        assert!(w.take_trace().is_empty());
+    }
+
+    #[test]
+    fn tracing_off_records_nothing() {
+        let mut w = World::new(WorldConfig::default(), 2);
+        let echo = w.add_node(Region::Tokyo, Box::new(Echo));
+        let _kick = w.add_node(Region::Oregon, Box::new(Kick { target: echo }));
+        w.run_until_idle();
+        assert!(w.take_trace().is_empty());
+    }
+
+    #[test]
+    fn drops_are_traced() {
+        let mut cfg = WorldConfig::default();
+        cfg.net.matrix =
+            crate::net::LatencyMatrix::uniform(crate::net::LinkSpec::wan_ms(5).with_loss(1.0));
+        let mut w = World::new(cfg, 2);
+        w.enable_tracing();
+        let echo = w.add_node(Region::Tokyo, Box::new(Echo));
+        let kick = w.add_node(Region::Oregon, Box::new(Kick { target: echo }));
+        w.run_until_idle();
+        let trace = w.take_trace();
+        assert!(trace
+            .iter()
+            .any(|e| e.node == echo && e.kind == SimEventKind::Dropped { src: kick }));
+    }
+}

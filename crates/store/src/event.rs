@@ -1,0 +1,128 @@
+//! Posts — the write events of the paper's model.
+//!
+//! A *write request creates an event that is inserted into the service
+//! state*; a *read request returns a sequence of events* (§III). A
+//! [`PostId`] is globally unique and deterministic: the author id plus the
+//! author's own sequence number. This mirrors how the paper's tests name
+//! messages M1…M6 by writer and position.
+
+use conprobe_sim::{LocalTime, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a writing client (an agent in the measurement study).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct AuthorId(pub u32);
+
+impl fmt::Display for AuthorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Globally unique post identifier: `(author, author-local sequence)`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PostId {
+    /// The writing client.
+    pub author: AuthorId,
+    /// 1-based sequence number within the author's session.
+    pub seq: u32,
+}
+
+impl PostId {
+    /// Creates a post id.
+    pub const fn new(author: AuthorId, seq: u32) -> Self {
+        PostId { author, seq }
+    }
+
+    /// Packs the id into a single `u64` (author in the high 32 bits).
+    pub const fn as_u64(self) -> u64 {
+        ((self.author.0 as u64) << 32) | self.seq as u64
+    }
+
+    /// Unpacks an id produced by [`PostId::as_u64`].
+    pub const fn from_u64(raw: u64) -> Self {
+        PostId { author: AuthorId((raw >> 32) as u32), seq: raw as u32 }
+    }
+}
+
+impl fmt::Display for PostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.author, self.seq)
+    }
+}
+
+/// A post as submitted by a client.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Post {
+    /// Unique identifier.
+    pub id: PostId,
+    /// Message body (opaque to the infrastructure).
+    pub content: String,
+    /// The writer's local clock reading at submission time.
+    pub client_ts: LocalTime,
+}
+
+impl Post {
+    /// Creates a post.
+    pub fn new(id: PostId, content: impl Into<String>, client_ts: LocalTime) -> Self {
+        Post { id, content: content.into(), client_ts }
+    }
+}
+
+/// A post as held by a replica, annotated with server-side metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredPost {
+    /// The post itself.
+    pub post: Post,
+    /// Server timestamp assigned by the replica that first accepted the
+    /// write (used by timestamp-based ordering policies).
+    pub server_ts: SimTime,
+    /// Position in this replica's arrival order (used by arrival-based
+    /// ordering policies; rewritten by canonical re-sequencing).
+    pub arrival_index: u64,
+}
+
+impl StoredPost {
+    /// Shorthand for the post id.
+    pub fn id(&self) -> PostId {
+        self.post.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn post_id_packs_and_unpacks() {
+        let id = PostId::new(AuthorId(3), 7);
+        assert_eq!(PostId::from_u64(id.as_u64()), id);
+        assert_eq!(id.to_string(), "a3#7");
+    }
+
+    #[test]
+    fn post_id_round_trip_extremes() {
+        for (a, s) in [(0, 0), (u32::MAX, u32::MAX), (1, u32::MAX), (u32::MAX, 1)] {
+            let id = PostId::new(AuthorId(a), s);
+            assert_eq!(PostId::from_u64(id.as_u64()), id);
+        }
+    }
+
+    #[test]
+    fn post_id_orders_by_author_then_seq() {
+        assert!(PostId::new(AuthorId(1), 9) < PostId::new(AuthorId(2), 1));
+        assert!(PostId::new(AuthorId(1), 1) < PostId::new(AuthorId(1), 2));
+    }
+
+    #[test]
+    fn post_construction() {
+        let p = Post::new(PostId::new(AuthorId(0), 1), "hello", LocalTime::from_nanos(5));
+        assert_eq!(p.content, "hello");
+        assert_eq!(p.client_ts.as_nanos(), 5);
+    }
+}

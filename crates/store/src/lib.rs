@@ -1,0 +1,62 @@
+//! # conprobe-store — replication substrate for the simulated services
+//!
+//! The paper treats each online service as a black box, but reproducing the
+//! paper requires *building* those black boxes. This crate provides the
+//! reusable machinery the four service models in `conprobe-services` are
+//! assembled from:
+//!
+//! * [`event`] — posts and their identifiers (the "writes" of the paper's
+//!   model: each write creates an event inserted into the service state).
+//! * [`ordering`] — policies that decide the sequence a read returns,
+//!   including the *timestamp with 1-second precision and reversed
+//!   tie-breaking* rule the paper reverse-engineered from Facebook Group.
+//! * [`replica`] — a replica's state machine: apply, deduplicate, snapshot,
+//!   digest/diff for anti-entropy, canonical re-sequencing.
+//! * [`frontend`] — per-datacenter read caches with refresh intervals (the
+//!   mechanism behind read-your-writes/monotonic-reads violations in the
+//!   Google+ model).
+//! * [`ranking`] — interest-score feed selection with per-read noise and
+//!   top-K truncation (the mechanism behind Facebook Feed's near-universal
+//!   order divergence: "the reply to a read contains a subset of the writes
+//!   … based on a criteria that depends on the expected interest").
+//! * [`routing`] — client-region → replica affinity maps (Oregon and Tokyo
+//!   sharing a datacenter in the Google+ model, Tokyo isolated in the
+//!   Facebook Group model).
+//!
+//! Everything here is pure state-machine logic — no event loop, no I/O —
+//! which keeps it unit- and property-testable in isolation. The `Node`
+//! implementations that wire these pieces to the simulator live in
+//! `conprobe-services`.
+//!
+//! ## Example: the Facebook Group reversal in three lines
+//!
+//! ```
+//! use conprobe_store::{OrderingPolicy, ReplicaCore, Post, PostId, AuthorId};
+//! use conprobe_sim::{LocalTime, SimTime};
+//!
+//! let mut replica = ReplicaCore::new(OrderingPolicy::facebook_group());
+//! // Two writes by the same author, 300 ms apart — same one-second bucket.
+//! let m1 = Post::new(PostId::new(AuthorId(1), 1), "first", LocalTime::from_nanos(0));
+//! let m2 = Post::new(PostId::new(AuthorId(1), 2), "second", LocalTime::from_nanos(0));
+//! replica.apply_new(m1.clone(), SimTime::from_millis(1_100));
+//! replica.apply_new(m2.clone(), SimTime::from_millis(1_400));
+//! // The reversed tie-break presents them backwards — to every reader.
+//! assert_eq!(replica.snapshot(), vec![m2.id, m1.id]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod frontend;
+pub mod ordering;
+pub mod ranking;
+pub mod replica;
+pub mod routing;
+
+pub use event::{AuthorId, Post, PostId, StoredPost};
+pub use frontend::ReadCache;
+pub use ordering::{OrderingPolicy, TieBreak};
+pub use ranking::{FeedRanker, RankingConfig};
+pub use replica::ReplicaCore;
+pub use routing::AffinityMap;

@@ -1,0 +1,51 @@
+//! The paper's Cristian-style clock synchronization, inspected.
+//!
+//! §IV: the coordinator probes each agent's clock over the WAN, assumes
+//! symmetric one-way delays, averages, and claims an uncertainty of half
+//! the RTT. Because the simulator knows the *true* clock offsets, we can
+//! check how good that estimate actually is under drifting clocks — the
+//! paper could not.
+//!
+//! ```sh
+//! cargo run --release --example clock_sync
+//! ```
+
+use conprobe::harness::proto::TestKind;
+use conprobe::harness::runner::{run_one_test, TestConfig};
+use conprobe::services::ServiceKind;
+use conprobe::sim::ClockConfig;
+
+fn main() {
+    let locations = ["Oregon", "Tokyo", "Ireland"];
+    println!(
+        "{:<28}{:>12}{:>14}{:>16}",
+        "clock regime", "agent", "|error| (ms)", "claimed ±(ms)"
+    );
+    for (label, clocks) in [
+        ("perfect clocks", ClockConfig::perfect()),
+        ("±2s offset, ±50ppm drift", ClockConfig::default()),
+        (
+            "±30s offset, ±500ppm drift",
+            ClockConfig { max_initial_offset_nanos: 30_000_000_000, max_drift_ppm: 500.0 },
+        ),
+    ] {
+        let mut config = TestConfig::paper(ServiceKind::Blogger, TestKind::Test2);
+        config.agent_clocks = clocks;
+        let result = run_one_test(&config, 11);
+        for (i, loc) in locations.iter().enumerate() {
+            println!(
+                "{:<28}{:>12}{:>14.3}{:>16.3}",
+                if i == 0 { label } else { "" },
+                loc,
+                result.clock_error_nanos[i] as f64 / 1e6,
+                result.clock_uncertainty_nanos[i] as f64 / 1e6,
+            );
+        }
+    }
+    println!(
+        "\nThe estimate error stays within the half-RTT uncertainty bound \
+         (paper §IV) except for what clock drift accumulates between the \
+         sync phase and the end of the test — which is why the paper \
+         re-synchronizes before every test."
+    );
+}

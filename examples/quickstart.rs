@@ -1,0 +1,46 @@
+//! Quickstart: run one instance of the paper's Test 1 against the simulated
+//! Facebook Group service and print every anomaly the checkers find.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use conprobe::core::AnomalyKind;
+use conprobe::harness::proto::TestKind;
+use conprobe::harness::runner::{run_one_test, TestConfig};
+use conprobe::services::ServiceKind;
+
+fn main() {
+    // The paper's Test 1 configuration for Facebook Group (Table I):
+    // 300 ms background reads, staggered write pairs, completion when all
+    // agents have seen M6.
+    let config = TestConfig::paper(ServiceKind::FacebookGroup, TestKind::Test1);
+    let result = run_one_test(&config, 7);
+
+    println!(
+        "test {} after {:.1}s: {} writes, reads per agent {:?}",
+        if result.completed { "completed" } else { "TIMED OUT" },
+        result.duration_secs,
+        result.writes_total,
+        result.reads_per_agent,
+    );
+
+    if result.analysis.is_clean() {
+        println!("no anomalies observed");
+        return;
+    }
+    println!("\nanomalies:");
+    for kind in AnomalyKind::ALL {
+        let count = result.analysis.count(kind);
+        if count > 0 {
+            println!("  {kind}: {count} observation(s)");
+        }
+    }
+    println!("\nfirst observations:");
+    for obs in result.analysis.observations.iter().take(5) {
+        println!("  {obs}");
+    }
+    // The expected outcome for Facebook Group: monotonic-writes violations
+    // from the 1-second-timestamp reversed tie-break, and nothing else —
+    // exactly the paper's §V finding.
+}

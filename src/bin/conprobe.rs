@@ -1,0 +1,22 @@
+//! The `conprobe` CLI: run tests, analyze traces, summarize campaigns.
+//!
+//! ```sh
+//! cargo run --release --bin conprobe -- run --service gplus --test 1 --timeline
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match conprobe::cli::parse(&args).and_then(conprobe::cli::execute) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", conprobe::cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

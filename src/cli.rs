@@ -1,0 +1,394 @@
+//! The `conprobe` command-line interface (logic layer).
+//!
+//! All argument parsing and command execution lives here and returns
+//! strings/results so it can be unit-tested; `src/bin/conprobe.rs` is the
+//! thin I/O shell.
+
+use conprobe_core::checkers::WfrMode;
+use conprobe_core::{analyze, timeline, AnomalyKind, CheckerConfig, TestTrace, Verdict};
+use conprobe_harness::proto::{test1_trigger_pairs, TestKind};
+use conprobe_harness::runner::{run_one_test, TestConfig};
+use conprobe_harness::stats;
+use conprobe_services::ServiceKind;
+use conprobe_sim::SimDuration;
+use conprobe_store::PostId;
+use std::fmt::Write as _;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one test instance and report.
+    Run {
+        /// Service under test.
+        service: ServiceKind,
+        /// Test design.
+        kind: TestKind,
+        /// Seed.
+        seed: u64,
+        /// Wrap agents in a session guard.
+        guard: bool,
+        /// Enable the white-box replica probe.
+        whitebox: bool,
+        /// Print the ASCII timeline.
+        show_timeline: bool,
+        /// Dump the trace as JSON to this path.
+        json_out: Option<String>,
+    },
+    /// Analyze a previously exported trace JSON.
+    Analyze {
+        /// Path to the trace JSON.
+        path: String,
+        /// Interpret as a Test 1 trace (enables the trigger-pair WFR mode).
+        test1: bool,
+    },
+    /// Run a small campaign cell and summarize.
+    Campaign {
+        /// Service under test.
+        service: ServiceKind,
+        /// Test design.
+        kind: TestKind,
+        /// Number of instances.
+        tests: u32,
+        /// Seed.
+        seed: u64,
+    },
+    /// List the available service models.
+    Services,
+    /// Print usage.
+    Help,
+}
+
+/// Errors produced by parsing or execution.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+impl std::error::Error for CliError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+conprobe — black-box consistency characterization (DSN'16 reproduction)
+
+USAGE:
+  conprobe run --service <svc> [--test 1|2] [--seed N] [--guard]
+               [--whitebox] [--timeline] [--json FILE]
+  conprobe analyze <trace.json> [--test1]
+  conprobe campaign --service <svc> [--test 1|2] [--tests N] [--seed N]
+  conprobe services
+  conprobe help
+
+  <svc>: blogger | gplus | fbfeed | fbgroup
+";
+
+fn parse_service(s: &str) -> Result<ServiceKind, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "blogger" => Ok(ServiceKind::Blogger),
+        "gplus" | "google+" | "googleplus" => Ok(ServiceKind::GooglePlus),
+        "fbfeed" | "feed" => Ok(ServiceKind::FacebookFeed),
+        "fbgroup" | "group" => Ok(ServiceKind::FacebookGroup),
+        other => Err(CliError(format!("unknown service '{other}'"))),
+    }
+}
+
+fn parse_test(s: &str) -> Result<TestKind, CliError> {
+    match s {
+        "1" | "test1" => Ok(TestKind::Test1),
+        "2" | "test2" => Ok(TestKind::Test2),
+        other => Err(CliError(format!("unknown test '{other}' (use 1 or 2)"))),
+    }
+}
+
+/// Parses a raw argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter().map(String::as_str);
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    let mut service = None;
+    let mut kind = TestKind::Test1;
+    let mut seed = 42u64;
+    let mut tests = 20u32;
+    let mut guard = false;
+    let mut whitebox = false;
+    let mut show_timeline = false;
+    let mut json_out = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut test1 = false;
+    while let Some(a) = it.next() {
+        match a {
+            "--service" => {
+                service =
+                    Some(parse_service(it.next().ok_or(CliError("--service needs a value".into()))?)?)
+            }
+            "--test" => kind = parse_test(it.next().ok_or(CliError("--test needs a value".into()))?)?,
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or(CliError("--seed needs a value".into()))?
+                    .parse()
+                    .map_err(|e| CliError(format!("--seed: {e}")))?
+            }
+            "--tests" => {
+                tests = it
+                    .next()
+                    .ok_or(CliError("--tests needs a value".into()))?
+                    .parse()
+                    .map_err(|e| CliError(format!("--tests: {e}")))?
+            }
+            "--guard" => guard = true,
+            "--whitebox" => whitebox = true,
+            "--timeline" => show_timeline = true,
+            "--test1" => test1 = true,
+            "--json" => {
+                json_out = Some(it.next().ok_or(CliError("--json needs a path".into()))?.to_string())
+            }
+            other if other.starts_with('-') => {
+                return Err(CliError(format!("unknown flag '{other}'")))
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    match cmd {
+        "run" => Ok(Command::Run {
+            service: service.ok_or(CliError("run requires --service".into()))?,
+            kind,
+            seed,
+            guard,
+            whitebox,
+            show_timeline,
+            json_out,
+        }),
+        "analyze" => Ok(Command::Analyze {
+            path: positional
+                .first()
+                .cloned()
+                .ok_or(CliError("analyze requires a trace path".into()))?,
+            test1,
+        }),
+        "campaign" => Ok(Command::Campaign {
+            service: service.ok_or(CliError("campaign requires --service".into()))?,
+            kind,
+            tests,
+            seed,
+        }),
+        "services" => Ok(Command::Services),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(CliError(format!("unknown command '{other}'"))),
+    }
+}
+
+fn report_analysis(
+    out: &mut String,
+    analysis: &conprobe_core::TestAnalysis<PostId>,
+    trace: &TestTrace<PostId>,
+    show_timeline: bool,
+) {
+    let _ = writeln!(out, "operations: {} writes, {} reads", trace.write_count(), trace.read_count());
+    for kind in AnomalyKind::ALL {
+        let n = analysis.count(kind);
+        if n > 0 {
+            let _ = writeln!(out, "  {kind}: {n} observation(s)");
+        }
+    }
+    if analysis.is_clean() {
+        let _ = writeln!(out, "  no anomalies");
+    }
+    let _ = writeln!(out, "{}", Verdict::from_analysis(analysis));
+    if show_timeline {
+        let _ = writeln!(out, "\n{}", timeline::render(trace, &analysis.observations, 72));
+    }
+}
+
+/// Executes a command, returning the text to print.
+pub fn execute(cmd: Command) -> Result<String, CliError> {
+    let mut out = String::new();
+    match cmd {
+        Command::Help => out.push_str(USAGE),
+        Command::Services => {
+            for s in ServiceKind::ALL {
+                let topo = conprobe_services::catalog::topology(s);
+                let _ = writeln!(
+                    out,
+                    "{:<10} — {} replica(s): {}",
+                    s.name(),
+                    topo.replicas.len(),
+                    topo.replicas
+                        .iter()
+                        .map(|(r, _)| r.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+            }
+        }
+        Command::Run { service, kind, seed, guard, whitebox, show_timeline, json_out } => {
+            let mut config = TestConfig::paper(service, kind);
+            config.use_guard = guard;
+            if whitebox {
+                config.whitebox_period = Some(SimDuration::from_millis(100));
+            }
+            let r = run_one_test(&config, seed);
+            let _ = writeln!(
+                out,
+                "{service} {kind} (seed {seed}): {} in {:.1}s",
+                if r.completed { "completed" } else { "TIMED OUT" },
+                r.duration_secs
+            );
+            report_analysis(&mut out, &r.analysis, &r.trace, show_timeline);
+            if let Some(report) = &r.whitebox {
+                let _ = writeln!(
+                    out,
+                    "white-box: {} samples over {} replicas; true content divergence: {}, \
+                     true order divergence: {}",
+                    report.samples,
+                    report.replicas,
+                    report.any_true_content_divergence(),
+                    report.any_true_order_divergence()
+                );
+            }
+            if let Some(path) = json_out {
+                let json = serde_json::to_string_pretty(&r.trace)
+                    .map_err(|e| CliError(format!("serialize: {e}")))?;
+                std::fs::write(&path, json).map_err(|e| CliError(format!("write {path}: {e}")))?;
+                let _ = writeln!(out, "trace written to {path}");
+            }
+        }
+        Command::Analyze { path, test1 } => {
+            let json =
+                std::fs::read_to_string(&path).map_err(|e| CliError(format!("read {path}: {e}")))?;
+            let trace: TestTrace<PostId> =
+                serde_json::from_str(&json).map_err(|e| CliError(format!("parse {path}: {e}")))?;
+            let config = if test1 {
+                CheckerConfig {
+                    wfr_mode: WfrMode::TriggerPairs(test1_trigger_pairs(3)),
+                    compute_windows: true,
+                }
+            } else {
+                CheckerConfig::default()
+            };
+            let analysis = analyze(&trace, &config);
+            let _ = writeln!(out, "analyzed {path}:");
+            report_analysis(&mut out, &analysis, &trace, true);
+        }
+        Command::Campaign { service, kind, tests, seed } => {
+            let config =
+                conprobe_harness::CampaignConfig::paper(service, kind, tests).with_seed(seed);
+            let result = conprobe_harness::run_campaign(&config);
+            let _ = writeln!(
+                out,
+                "{service} {kind} × {tests}: {}/{} completed, {} reads, {} writes",
+                result.completed(),
+                tests,
+                result.total_reads(),
+                result.total_writes()
+            );
+            for kind in AnomalyKind::ALL {
+                let p = stats::prevalence(&result.results, kind);
+                if p > 0.0 {
+                    let _ = writeln!(out, "  {kind:<22} {p:>5.1}% of tests");
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_run_with_flags() {
+        let cmd = parse(&args("run --service gplus --test 2 --seed 7 --guard --timeline")).unwrap();
+        match cmd {
+            Command::Run { service, kind, seed, guard, show_timeline, whitebox, json_out } => {
+                assert_eq!(service, ServiceKind::GooglePlus);
+                assert_eq!(kind, TestKind::Test2);
+                assert_eq!(seed, 7);
+                assert!(guard && show_timeline && !whitebox);
+                assert!(json_out.is_none());
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_service_aliases() {
+        for (alias, kind) in [
+            ("blogger", ServiceKind::Blogger),
+            ("GPLUS", ServiceKind::GooglePlus),
+            ("feed", ServiceKind::FacebookFeed),
+            ("fbgroup", ServiceKind::FacebookGroup),
+        ] {
+            assert_eq!(parse_service(alias).unwrap(), kind);
+        }
+        assert!(parse_service("myspace").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_and_unknown_args() {
+        assert!(parse(&args("run")).is_err(), "run requires --service");
+        assert!(parse(&args("run --service blogger --frobnicate")).is_err());
+        assert!(parse(&args("bogus")).is_err());
+        assert!(parse(&args("analyze")).is_err(), "analyze requires a path");
+        assert!(matches!(parse(&args("help")).unwrap(), Command::Help));
+        assert!(matches!(parse(&[]).unwrap(), Command::Help));
+    }
+
+    #[test]
+    fn services_listing_names_all_models() {
+        let out = execute(Command::Services).unwrap();
+        for name in ["Blogger", "Google+", "FB Feed", "FB Group"] {
+            assert!(out.contains(name), "{out}");
+        }
+    }
+
+    #[test]
+    fn run_and_analyze_round_trip() {
+        let dir = std::env::temp_dir().join("conprobe-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json").to_string_lossy().to_string();
+        let out = execute(
+            parse(&args(&format!(
+                "run --service fbgroup --test 1 --seed 3 --json {path}"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("completed"), "{out}");
+        assert!(out.contains("monotonic writes"), "{out}");
+        assert!(out.contains("strongest compatible level"), "{out}");
+
+        let out = execute(parse(&args(&format!("analyze {path} --test1"))).unwrap()).unwrap();
+        assert!(out.contains("analyzed"), "{out}");
+        assert!(out.contains("monotonic writes"), "{out}");
+        assert!(out.contains("anomalous read"), "timeline shown: {out}");
+    }
+
+    #[test]
+    fn run_with_whitebox_reports_ground_truth() {
+        let out = execute(
+            parse(&args("run --service fbfeed --test 2 --seed 2 --whitebox")).unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("white-box:"), "{out}");
+        assert!(out.contains("true order divergence: false"), "{out}");
+    }
+
+    #[test]
+    fn campaign_summarizes_prevalence() {
+        let out = execute(
+            parse(&args("campaign --service blogger --test 2 --tests 2 --seed 1")).unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("2/2 completed"), "{out}");
+        assert!(!out.contains("read your writes"), "Blogger clean: {out}");
+    }
+}

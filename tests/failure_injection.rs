@@ -1,0 +1,210 @@
+//! Robustness of the measurement harness under injected faults: message
+//! loss, partitions, and hostile clocks. The paper's infrastructure had to
+//! survive a real WAN; ours must survive a simulated-adversarial one.
+
+use conprobe::core::AnomalyKind;
+use conprobe::harness::proto::TestKind;
+use conprobe::harness::runner::{run_one_test, TestConfig};
+use conprobe::services::ServiceKind;
+use conprobe::sim::ClockConfig;
+
+/// The full-test Tokyo partition: divergence is detected, the test times
+/// out or completes, and the harness still produces a coherent trace.
+#[test]
+fn partition_produces_divergence_and_a_coherent_trace() {
+    let mut config = TestConfig::paper(ServiceKind::FacebookGroup, TestKind::Test2);
+    config.tokyo_partition = true;
+    for seed in 0..3 {
+        let r = run_one_test(&config, seed);
+        assert!(r.partitioned);
+        assert!(r.has(AnomalyKind::ContentDivergence));
+        // The Tokyo agent still performed its reads (it could reach its own
+        // front door throughout).
+        assert!(r.reads_per_agent[1] > 0);
+        // The divergence windows for the Tokyo pairs are long (the fault
+        // heals after ~11 s) but eventually close thanks to anti-entropy.
+        let w = r
+            .analysis
+            .pair_windows(conprobe::core::WindowKind::Content, conprobe::core::AgentId(0), conprobe::core::AgentId(1))
+            .expect("windows computed");
+        assert!(w.any_divergence());
+    }
+}
+
+/// Partitioned Test 1 cannot complete (M6 never reaches Tokyo while the
+/// partition holds and the test is shorter than the heal time when
+/// max_duration is small) — the coordinator must time out gracefully.
+#[test]
+fn partitioned_test1_times_out_gracefully() {
+    let mut config = TestConfig::paper(ServiceKind::FacebookGroup, TestKind::Test1);
+    config.tokyo_partition = true;
+    config.max_duration = conprobe::sim::SimDuration::from_secs(6); // < heal time
+    let r = run_one_test(&config, 1);
+    assert!(!r.completed, "completion requires Tokyo to see M6");
+    // The trace still contains every agent's log.
+    assert_eq!(r.reads_per_agent.len(), 3);
+    assert!(r.reads_per_agent.iter().all(|n| *n > 0));
+}
+
+/// Extreme clock offsets and drift do not break the methodology: the
+/// Cristian-style sync absorbs the offset, and anomaly detection (which
+/// never compares across agents' raw clocks) is unaffected.
+#[test]
+fn hostile_clocks_do_not_create_false_anomalies() {
+    let mut config = TestConfig::paper(ServiceKind::Blogger, TestKind::Test1);
+    config.agent_clocks = ClockConfig {
+        max_initial_offset_nanos: 60_000_000_000, // ±60 s
+        max_drift_ppm: 1_000.0,                   // ±1000 ppm (86 s/day)
+    };
+    for seed in 0..4 {
+        let r = run_one_test(&config, seed);
+        assert!(r.completed, "seed {seed}");
+        assert!(
+            r.analysis.is_clean(),
+            "hostile clocks must not fabricate anomalies on a linearizable \
+             service: {:?}",
+            r.analysis.observations.first()
+        );
+    }
+}
+
+/// Under extreme drift the claimed half-RTT uncertainty is no longer a
+/// bound by the end of a long test — the estimate decays, which is exactly
+/// why the paper re-syncs before every test.
+#[test]
+fn drift_decays_the_clock_estimate() {
+    let mut config = TestConfig::paper(ServiceKind::Blogger, TestKind::Test2);
+    config.agent_clocks = ClockConfig { max_initial_offset_nanos: 0, max_drift_ppm: 0.0 };
+    let perfect = run_one_test(&config, 2);
+    config.agent_clocks = ClockConfig {
+        max_initial_offset_nanos: 1_000_000_000,
+        max_drift_ppm: 2_000.0,
+    };
+    let drifty = run_one_test(&config, 2);
+    let perfect_err: i64 = perfect.clock_error_nanos.iter().sum();
+    let drifty_err: i64 = drifty.clock_error_nanos.iter().sum();
+    assert!(
+        drifty_err > perfect_err,
+        "2000 ppm drift should add measurable estimate error \
+         ({perfect_err} vs {drifty_err})"
+    );
+}
+
+/// The whole pipeline survives a lossy WAN: clock probes are re-sent,
+/// agent requests are retransmitted (replicas deduplicate by post id),
+/// anti-entropy repairs lost replication pushes, and log collection retries
+/// until it has every agent's data.
+#[test]
+fn lossy_network_is_survivable() {
+    for service in [ServiceKind::Blogger, ServiceKind::GooglePlus] {
+        let mut config = TestConfig::paper(service, TestKind::Test1);
+        config.link_loss = 0.03; // 3 % of all messages vanish
+        let mut completed = 0;
+        for seed in 0..4 {
+            let r = run_one_test(&config, seed);
+            // Even a timed-out run must still produce a full trace.
+            assert_eq!(r.reads_per_agent.len(), 3, "seed {seed}");
+            assert!(r.writes_total >= 1, "seed {seed}: some writes must land");
+            if r.completed {
+                completed += 1;
+                assert_eq!(r.writes_total, 6, "completed runs saw all of M1..M6");
+            }
+        }
+        assert!(completed >= 3, "{service}: most lossy runs should still complete");
+    }
+}
+
+/// Under loss, Blogger must stay anomaly-free: retransmissions and
+/// duplicate acknowledgements must not fabricate events or reorderings.
+#[test]
+fn loss_does_not_fabricate_anomalies_on_a_linearizable_service() {
+    let mut config = TestConfig::paper(ServiceKind::Blogger, TestKind::Test2);
+    config.link_loss = 0.05;
+    for seed in 10..14 {
+        let r = run_one_test(&config, seed);
+        assert!(
+            r.analysis.is_clean(),
+            "seed {seed}: loss fabricated {:?}",
+            r.analysis.observations.first()
+        );
+    }
+}
+
+/// Crash-fault injection: crashing one Google+ replica mid-test wipes its
+/// volatile state. Agents of that DC observe massive monotonic-reads
+/// violations (everything they had seen disappears), and anti-entropy
+/// restores the state after recovery — a failure mode the black-box
+/// methodology detects without any knowledge of the crash.
+#[test]
+fn replica_crash_is_visible_as_monotonic_reads_violations() {
+    use conprobe::harness::runner::CrashFault;
+    let mut config = TestConfig::paper(ServiceKind::GooglePlus, TestKind::Test2);
+    config.crash_fault = Some(CrashFault {
+        replica: 0, // DC-West, serving Oregon and Tokyo
+        at: conprobe::sim::SimDuration::from_secs(8),
+        down_for: conprobe::sim::SimDuration::from_secs(4),
+    });
+    let mut mr_hits = 0;
+    for seed in 0..3 {
+        let r = run_one_test(&config, seed);
+        if r.has(AnomalyKind::MonotonicReads) {
+            mr_hits += 1;
+        }
+        // The run still concludes and produces full logs.
+        assert_eq!(r.reads_per_agent.len(), 3);
+    }
+    assert!(
+        mr_hits >= 2,
+        "state loss at the serving replica must surface as MR violations \
+         ({mr_hits}/3 tests)"
+    );
+}
+
+/// A crash of an unused replica (FB Group's idle Tokyo replica) is
+/// invisible to the black-box methodology — faults only matter when they
+/// intersect the serving path.
+#[test]
+fn crash_of_an_idle_replica_is_invisible() {
+    use conprobe::harness::runner::CrashFault;
+    let mut config = TestConfig::paper(ServiceKind::FacebookGroup, TestKind::Test2);
+    config.crash_fault = Some(CrashFault {
+        replica: 1, // the idle Tokyo replica
+        at: conprobe::sim::SimDuration::from_secs(8),
+        down_for: conprobe::sim::SimDuration::from_secs(4),
+    });
+    let r = run_one_test(&config, 5);
+    assert!(r.completed);
+    assert!(
+        !r.has(AnomalyKind::ContentDivergence) && !r.has(AnomalyKind::MonotonicReads),
+        "an idle replica's crash must not affect observations"
+    );
+}
+
+/// A server-side rate limit throttles over-eager requests, and the agents'
+/// backoff keeps the test progressing: retried writes keep Test 1's
+/// staggered chain alive.
+#[test]
+fn server_side_rate_limit_is_survivable() {
+    use conprobe::services::catalog;
+    use conprobe::services::ReplicaParams;
+
+    // Blogger with a server-enforced 350 ms per-client interval: the
+    // agents' 300 ms read cadence plus the write bursts will trip it.
+    let mut topo = catalog::topology(ServiceKind::Blogger);
+    for (_, params) in &mut topo.replicas {
+        *params = ReplicaParams {
+            rate_limit: Some(conprobe::sim::SimDuration::from_millis(350)),
+            ..params.clone()
+        };
+    }
+    let mut config = TestConfig::paper(ServiceKind::Blogger, TestKind::Test1);
+    config.service_override = Some(topo);
+    let r = run_one_test(&config, 2);
+    assert!(r.completed, "backoff must keep the test progressing");
+    assert_eq!(r.writes_total, 6, "all writes eventually accepted");
+    assert!(
+        r.analysis.is_clean(),
+        "throttling must not fabricate anomalies: {:?}",
+        r.analysis.observations.first()
+    );
+}

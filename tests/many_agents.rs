@@ -1,0 +1,85 @@
+//! The methodology beyond three agents: Test 1's staggered chain, trigger
+//! pairs, completion condition and the checkers all generalize to any agent
+//! count.
+
+use conprobe::core::{AgentId, AnomalyKind};
+use conprobe::harness::proto::{test1_trigger_pairs, TestKind};
+use conprobe::harness::runner::{run_one_test, TestConfig};
+use conprobe::harness::stats;
+use conprobe::services::ServiceKind;
+use conprobe::sim::net::Region;
+
+fn regions(n: usize) -> Vec<Region> {
+    let pool = [
+        Region::Oregon,
+        Region::Tokyo,
+        Region::Ireland,
+        Region::Virginia,
+        Region::Datacenter(7),
+    ];
+    (0..n).map(|i| pool[i % pool.len()]).collect()
+}
+
+#[test]
+fn five_agent_test1_runs_the_full_chain() {
+    let mut config = TestConfig::paper(ServiceKind::Blogger, TestKind::Test1);
+    config.agent_regions = regions(5);
+    let r = run_one_test(&config, 3);
+    assert!(r.completed);
+    assert_eq!(r.writes_total, 10, "M1..M10: two writes per agent");
+    assert_eq!(r.reads_per_agent.len(), 5);
+    assert!(r.analysis.is_clean(), "Blogger stays clean with five agents");
+    // The chain is honored: agent i's first write happens after it saw
+    // agent i-1's second write.
+    for i in 1..5u32 {
+        let trigger = conprobe::store::PostId::new(conprobe::store::AuthorId(i - 1), 2);
+        let own_first = r
+            .trace
+            .writes_by(AgentId(i))
+            .first()
+            .map(|(op, _)| op.invoke)
+            .expect("agent wrote");
+        let saw_trigger = r
+            .trace
+            .reads_by(AgentId(i))
+            .iter()
+            .filter(|read| read.read_seq().unwrap().contains(&trigger))
+            .map(|read| read.response)
+            .min()
+            .expect("agent observed its trigger");
+        assert!(
+            saw_trigger <= own_first,
+            "agent {i} wrote before observing its trigger"
+        );
+    }
+}
+
+#[test]
+fn two_agent_test2_measures_divergence() {
+    let mut config = TestConfig::paper(ServiceKind::GooglePlus, TestKind::Test2);
+    config.agent_regions = vec![Region::Oregon, Region::Ireland];
+    let r = run_one_test(&config, 4);
+    assert!(r.completed);
+    assert_eq!(r.writes_total, 2);
+    // Cross-DC pair → divergence machinery engages.
+    assert_eq!(r.analysis.content_windows.len(), 1, "one pair only");
+}
+
+#[test]
+fn trigger_pairs_scale_with_agent_count() {
+    assert_eq!(test1_trigger_pairs(5).len(), 4);
+    assert_eq!(test1_trigger_pairs(2).len(), 1);
+}
+
+#[test]
+fn stats_helpers_handle_any_agent_count() {
+    assert_eq!(stats::pairs(2), vec![(0, 1)]);
+    assert_eq!(stats::pairs(4).len(), 6);
+    assert_eq!(stats::pair_label((0, 1)), "OR-JP");
+    assert_eq!(stats::pair_label((3, 4)), "a3-a4");
+    let mut config = TestConfig::paper(ServiceKind::Blogger, TestKind::Test2);
+    config.agent_regions = regions(4);
+    let results = vec![run_one_test(&config, 1)];
+    assert_eq!(stats::agent_count(&results), 4);
+    assert_eq!(stats::prevalence(&results, AnomalyKind::ContentDivergence), 0.0);
+}

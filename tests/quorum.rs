@@ -1,0 +1,85 @@
+//! The methodology applied to a quorum system (reference topology beyond
+//! the paper): majority-synchronous writes + quorum reads.
+//!
+//! Expected profile:
+//! * **read your writes: never violated** — the write quorum and every read
+//!   quorum intersect, so a client's acknowledged write is always in some
+//!   replica its next read consults;
+//! * **order divergence: never** — coordinators present a canonical
+//!   timestamp order;
+//! * **monotonic reads: possible without read repair** — two successive
+//!   reads may be answered by different majorities, the second missing a
+//!   write the first had; read repair closes the gap over time.
+
+use conprobe::core::AnomalyKind;
+use conprobe::harness::proto::TestKind;
+use conprobe::harness::runner::{run_one_test, TestConfig};
+use conprobe::services::catalog::topology_quorum;
+use conprobe::services::ServiceKind;
+
+fn quorum_config(kind: TestKind, read_repair: bool) -> TestConfig {
+    let mut config = TestConfig::paper(ServiceKind::Blogger, kind);
+    config.service_override = Some(topology_quorum(read_repair));
+    config
+}
+
+#[test]
+fn quorum_system_never_violates_read_your_writes() {
+    for kind in [TestKind::Test1, TestKind::Test2] {
+        for seed in 0..4 {
+            let r = run_one_test(&quorum_config(kind, false), seed);
+            assert!(r.completed, "{kind} seed {seed}");
+            assert!(
+                !r.has(AnomalyKind::ReadYourWrites),
+                "{kind} seed {seed}: overlapping quorums guarantee RYW"
+            );
+        }
+    }
+}
+
+#[test]
+fn quorum_system_never_shows_order_divergence() {
+    for seed in 0..6 {
+        let r = run_one_test(&quorum_config(TestKind::Test2, false), seed);
+        assert!(
+            !r.has(AnomalyKind::OrderDivergence),
+            "seed {seed}: canonical timestamp order at every coordinator"
+        );
+    }
+}
+
+#[test]
+fn quorum_writes_are_globally_ordered_consistently() {
+    // Monotonic writes: a client's two sync-majority writes carry
+    // increasing timestamps and every read presents timestamp order.
+    for seed in 0..4 {
+        let r = run_one_test(&quorum_config(TestKind::Test1, false), seed);
+        assert!(
+            !r.has(AnomalyKind::MonotonicWrites),
+            "seed {seed}: sync writes cannot reorder"
+        );
+    }
+}
+
+#[test]
+fn read_repair_reduces_monotonic_read_exposure() {
+    // MR violations require one majority to answer with a write another
+    // majority lacks. Without repair this stays possible throughout a
+    // test; with repair every read heals the lag. We compare total MR
+    // observations across seeds (a statistical, not absolute, claim).
+    let count = |read_repair: bool| -> usize {
+        (0..10)
+            .map(|seed| {
+                run_one_test(&quorum_config(TestKind::Test2, read_repair), seed)
+                    .analysis
+                    .count(AnomalyKind::MonotonicReads)
+            })
+            .sum()
+    };
+    let without = count(false);
+    let with = count(true);
+    assert!(
+        with <= without,
+        "read repair must not increase MR exposure ({with} > {without})"
+    );
+}
