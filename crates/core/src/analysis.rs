@@ -87,14 +87,17 @@ impl<K: EventKey> TestAnalysis<K> {
     pub fn pair_has(&self, kind: AnomalyKind, a: AgentId, b: AgentId) -> bool {
         let pair = if a <= b { (a, b) } else { (b, a) };
         self.observations.iter().any(|o| {
-            o.kind == kind
-                && o.other_agent.is_some()
-                && (o.agent, o.other_agent.unwrap()) == pair
+            o.kind == kind && o.other_agent.is_some() && (o.agent, o.other_agent.unwrap()) == pair
         })
     }
 
     /// The content or order windows for one pair, if computed.
-    pub fn pair_windows(&self, kind: WindowKind, a: AgentId, b: AgentId) -> Option<&WindowAnalysis> {
+    pub fn pair_windows(
+        &self,
+        kind: WindowKind,
+        a: AgentId,
+        b: AgentId,
+    ) -> Option<&WindowAnalysis> {
         let pair = if a <= b { (a, b) } else { (b, a) };
         let list = match kind {
             WindowKind::Content => &self.content_windows,
@@ -114,10 +117,7 @@ pub fn analyze<K: EventKey>(trace: &TestTrace<K>, config: &CheckerConfig<K>) -> 
     observations.extend(checkers::check_content_divergence(trace));
     observations.extend(checkers::check_order_divergence(trace));
     let (content_windows, order_windows) = if config.compute_windows {
-        (
-            all_pair_windows(trace, WindowKind::Content),
-            all_pair_windows(trace, WindowKind::Order),
-        )
+        (all_pair_windows(trace, WindowKind::Content), all_pair_windows(trace, WindowKind::Order))
     } else {
         (Vec::new(), Vec::new())
     };

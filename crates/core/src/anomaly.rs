@@ -1,13 +1,10 @@
 //! Anomaly taxonomy and observation records.
 
 use crate::trace::{AgentId, Timestamp};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The six anomalies of the paper's §III.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AnomalyKind {
     /// A client's completed write is missing from its own later read.
     ReadYourWrites,
@@ -75,7 +72,7 @@ impl fmt::Display for AnomalyKind {
 }
 
 /// One detected instance of an anomaly.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Observation<K> {
     /// Which anomaly.
     pub kind: AnomalyKind,

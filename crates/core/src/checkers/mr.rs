@@ -33,8 +33,7 @@ pub fn check<K: EventKey>(trace: &TestTrace<K>) -> Vec<Observation<K>> {
         for pair in reads.windows(2) {
             let s1 = pair[0].read_seq().expect("read");
             let s2: HashSet<&K> = pair[1].read_seq().expect("read").iter().collect();
-            let vanished: Vec<K> =
-                s1.iter().filter(|x| !s2.contains(*x)).cloned().collect();
+            let vanished: Vec<K> = s1.iter().filter(|x| !s2.contains(*x)).cloned().collect();
             if !vanished.is_empty() {
                 out.push(Observation {
                     kind: AnomalyKind::MonotonicReads,

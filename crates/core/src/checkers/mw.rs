@@ -35,8 +35,8 @@ pub fn check<K: EventKey>(trace: &TestTrace<K>) -> Vec<Observation<K>> {
             'pairs: for (i, x) in w.iter().enumerate() {
                 for y in &w[i + 1..] {
                     let violation = match (pos.get(*x), pos.get(*y)) {
-                        (None, Some(_)) => true,            // y visible, x missing
-                        (Some(px), Some(py)) => py < px,    // both visible, inverted
+                        (None, Some(_)) => true,         // y visible, x missing
+                        (Some(px), Some(py)) => py < px, // both visible, inverted
                         _ => false,
                     };
                     if violation {

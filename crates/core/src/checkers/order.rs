@@ -51,8 +51,7 @@ pub fn check<K: EventKey>(trace: &TestTrace<K>) -> Vec<Observation<K>> {
         .iter()
         .enumerate()
         .filter_map(|(i, op)| {
-            op.read_seq()
-                .map(|s| (i, s.iter().enumerate().map(|(p, k)| (k, p)).collect()))
+            op.read_seq().map(|s| (i, s.iter().enumerate().map(|(p, k)| (k, p)).collect()))
         })
         .collect();
     let indexed_reads = |agent| {
@@ -193,43 +192,54 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::testutil::TestRng;
 
-    fn arb_seq() -> impl Strategy<Value = Vec<u8>> {
-        // Sequences of distinct small ids.
-        proptest::collection::vec(0u8..12, 0..10).prop_map(|v| {
-            let mut seen = std::collections::HashSet::new();
-            v.into_iter().filter(|x| seen.insert(*x)).collect()
-        })
+    /// A random sequence of distinct small ids.
+    fn gen_seq(rng: &mut TestRng) -> Vec<u8> {
+        let len = rng.range_usize(0, 10);
+        let mut seen = std::collections::HashSet::new();
+        (0..len).map(|_| rng.range(0, 12) as u8).filter(|x| seen.insert(*x)).collect()
     }
 
-    proptest! {
-        /// find_inversion is symmetric in *existence*: an inversion between
-        /// s1 and s2 exists iff one exists between s2 and s1.
-        #[test]
-        fn inversion_existence_is_symmetric(s1 in arb_seq(), s2 in arb_seq()) {
-            prop_assert_eq!(
+    /// find_inversion is symmetric in *existence*: an inversion between
+    /// s1 and s2 exists iff one exists between s2 and s1.
+    #[test]
+    fn inversion_existence_is_symmetric() {
+        let mut rng = TestRng::new(0x08DE81);
+        for case in 0..500 {
+            let s1 = gen_seq(&mut rng);
+            let s2 = gen_seq(&mut rng);
+            assert_eq!(
                 find_inversion(&s1, &s2).is_some(),
-                find_inversion(&s2, &s1).is_some()
+                find_inversion(&s2, &s1).is_some(),
+                "case {case}: {s1:?} vs {s2:?}"
             );
         }
+    }
 
-        /// A sequence never diverges from itself or its own subsequences.
-        #[test]
-        fn no_self_inversion(s in arb_seq(), mask in proptest::collection::vec(any::<bool>(), 10)) {
-            prop_assert_eq!(find_inversion(&s, &s), None);
-            let sub: Vec<u8> = s.iter().zip(mask.iter().chain(std::iter::repeat(&true)))
-                .filter(|(_, keep)| **keep).map(|(x, _)| *x).collect();
-            prop_assert_eq!(find_inversion(&s, &sub), None);
+    /// A sequence never diverges from itself or its own subsequences.
+    #[test]
+    fn no_self_inversion() {
+        let mut rng = TestRng::new(0x08DE82);
+        for case in 0..500 {
+            let s = gen_seq(&mut rng);
+            assert_eq!(find_inversion(&s, &s), None, "case {case}");
+            let sub: Vec<u8> = s.iter().filter(|_| rng.chance(0.5)).copied().collect();
+            assert_eq!(find_inversion(&s, &sub), None, "case {case}: {s:?} vs {sub:?}");
         }
+    }
 
-        /// Any witness returned truly satisfies the §III predicate.
-        #[test]
-        fn witnesses_are_sound(s1 in arb_seq(), s2 in arb_seq()) {
+    /// Any witness returned truly satisfies the §III predicate.
+    #[test]
+    fn witnesses_are_sound() {
+        let mut rng = TestRng::new(0x08DE83);
+        for case in 0..500 {
+            let s1 = gen_seq(&mut rng);
+            let s2 = gen_seq(&mut rng);
             if let Some((x, y)) = find_inversion(&s1, &s2) {
                 let p = |s: &[u8], v: u8| s.iter().position(|e| *e == v).unwrap();
-                prop_assert!(p(&s1, x) < p(&s1, y));
-                prop_assert!(p(&s2, y) < p(&s2, x));
+                assert!(p(&s1, x) < p(&s1, y), "case {case}");
+                assert!(p(&s2, y) < p(&s2, x), "case {case}");
             }
         }
     }

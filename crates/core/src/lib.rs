@@ -51,6 +51,7 @@
 pub mod analysis;
 pub mod anomaly;
 pub mod checkers;
+pub mod testutil;
 pub mod timeline;
 pub mod trace;
 pub mod verdict;

@@ -54,11 +54,7 @@ pub fn render<K: EventKey>(
         }
         let _ = writeln!(out, "{:<8}|{}|", agent.to_string(), String::from_utf8(row).unwrap());
     }
-    let _ = writeln!(
-        out,
-        "{:<8} {}..{}  (w=write, r=read, !=anomalous read)",
-        "time", start, end
-    );
+    let _ = writeln!(out, "{:<8} {}..{}  (w=write, r=read, !=anomalous read)", "time", start, end);
     if !observations.is_empty() {
         let _ = writeln!(out, "anomalies ({}):", observations.len());
         let mut sorted: Vec<&Observation<K>> = observations.iter().collect();

@@ -6,7 +6,7 @@
 //! clock deltas, then hands the merged log to the checkers as a
 //! [`TestTrace`].
 
-use serde::{Deserialize, Serialize};
+use conprobe_json::{member, FromJson, JsonError, JsonValue, ToJson};
 use std::fmt;
 use std::hash::Hash;
 
@@ -17,9 +17,7 @@ pub trait EventKey: Clone + Eq + Hash + Ord + fmt::Debug {}
 impl<T: Clone + Eq + Hash + Ord + fmt::Debug> EventKey for T {}
 
 /// Identifies an agent (client) in a test.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AgentId(pub u32);
 
 impl fmt::Display for AgentId {
@@ -32,9 +30,7 @@ impl fmt::Display for AgentId {
 ///
 /// Signed: clock-delta correction can map an early local reading before the
 /// coordinator's zero.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(i64);
 
 impl Timestamp {
@@ -79,7 +75,7 @@ impl fmt::Display for Timestamp {
 }
 
 /// What an operation did.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OpKind<K> {
     /// A write that created event `id`.
     Write {
@@ -94,7 +90,7 @@ pub enum OpKind<K> {
 }
 
 /// One logged operation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpRecord<K> {
     /// The agent that issued the operation.
     pub agent: AgentId,
@@ -138,7 +134,7 @@ impl<K> OpRecord<K> {
 ///
 /// Operations are stored sorted by `(invoke, response)`; the accessors the
 /// checkers use are derived views.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TestTrace<K> {
     ops: Vec<OpRecord<K>>,
 }
@@ -218,6 +214,97 @@ impl<K: EventKey> TestTrace<K> {
     /// Total number of write operations.
     pub fn write_count(&self) -> usize {
         self.ops.iter().filter(|o| o.is_write()).count()
+    }
+}
+
+impl ToJson for AgentId {
+    fn to_json(&self) -> JsonValue {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for AgentId {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        u32::from_json(v).map(AgentId)
+    }
+}
+
+impl ToJson for Timestamp {
+    fn to_json(&self) -> JsonValue {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for Timestamp {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        i64::from_json(v).map(Timestamp)
+    }
+}
+
+impl<K: ToJson> ToJson for OpKind<K> {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            OpKind::Write { id } => JsonValue::Object(vec![(
+                "Write".into(),
+                JsonValue::Object(vec![("id".into(), id.to_json())]),
+            )]),
+            OpKind::Read { seq } => JsonValue::Object(vec![(
+                "Read".into(),
+                JsonValue::Object(vec![("seq".into(), seq.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl<K: FromJson> FromJson for OpKind<K> {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        if let Some(w) = v.get("Write") {
+            Ok(OpKind::Write { id: K::from_json(member(w, "id")?)? })
+        } else if let Some(r) = v.get("Read") {
+            Ok(OpKind::Read { seq: Vec::from_json(member(r, "seq")?)? })
+        } else {
+            Err(JsonError::schema("expected `Write` or `Read` variant"))
+        }
+    }
+}
+
+impl<K: ToJson> ToJson for OpRecord<K> {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("agent".into(), self.agent.to_json()),
+            ("invoke".into(), self.invoke.to_json()),
+            ("response".into(), self.response.to_json()),
+            ("kind".into(), self.kind.to_json()),
+        ])
+    }
+}
+
+impl<K: FromJson> FromJson for OpRecord<K> {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        Ok(OpRecord {
+            agent: AgentId::from_json(member(v, "agent")?)?,
+            invoke: Timestamp::from_json(member(v, "invoke")?)?,
+            response: Timestamp::from_json(member(v, "response")?)?,
+            kind: OpKind::from_json(member(v, "kind")?)?,
+        })
+    }
+}
+
+impl<K: ToJson> ToJson for TestTrace<K> {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![("ops".into(), self.ops.to_json())])
+    }
+}
+
+impl<K: EventKey + FromJson> FromJson for TestTrace<K> {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let ops: Vec<OpRecord<K>> = Vec::from_json(member(v, "ops")?)?;
+        for op in &ops {
+            if op.response < op.invoke {
+                return Err(JsonError::schema("operation response precedes invocation"));
+            }
+        }
+        Ok(TestTrace::new(ops))
     }
 }
 
@@ -324,7 +411,12 @@ mod tests {
 
     #[test]
     fn op_record_inspectors() {
-        let w = OpRecord { agent: AgentId(0), invoke: t(0), response: t(1), kind: OpKind::Write { id: 9u32 } };
+        let w = OpRecord {
+            agent: AgentId(0),
+            invoke: t(0),
+            response: t(1),
+            kind: OpKind::Write { id: 9u32 },
+        };
         let r = OpRecord {
             agent: AgentId(0),
             invoke: t(2),
@@ -338,12 +430,15 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let mut b = TestTraceBuilder::new();
         b.write(AgentId(0), t(0), t(5), 1u32).read(AgentId(1), t(6), t(9), vec![1u32]);
         let trace = b.build();
-        let json = serde_json::to_string(&trace).unwrap();
-        let back: TestTrace<u32> = serde_json::from_str(&json).unwrap();
+        let json = trace.to_json().to_compact();
+        let back = TestTrace::<u32>::from_json(&conprobe_json::parse(&json).unwrap()).unwrap();
         assert_eq!(trace, back);
+        // Corrupted logs are rejected at parse time, mirroring `TestTrace::new`.
+        let bad = json.replace("\"invoke\":6000000", "\"invoke\":99000000");
+        assert!(TestTrace::<u32>::from_json(&conprobe_json::parse(&bad).unwrap()).is_err());
     }
 }

@@ -16,11 +16,10 @@
 use crate::analysis::TestAnalysis;
 use crate::anomaly::AnomalyKind;
 use crate::trace::EventKey;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The status of one guarantee in one trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {
     /// An anomaly in the trace proves the guarantee does not hold.
     Violated,
@@ -54,7 +53,7 @@ impl fmt::Display for Status {
 }
 
 /// The guarantee profile derived from a [`TestAnalysis`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Verdict {
     /// Read Your Writes session guarantee.
     pub read_your_writes: Status,
@@ -126,13 +125,16 @@ impl Verdict {
 
 impl fmt::Display for Verdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "RYW {}, MR {}, MW {}, WFR {}, content {}, order {}",
+        writeln!(
+            f,
+            "RYW {}, MR {}, MW {}, WFR {}, content {}, order {}",
             self.read_your_writes,
             self.monotonic_reads,
             self.monotonic_writes,
             self.writes_follow_reads,
             self.content_agreement,
-            self.order_agreement)?;
+            self.order_agreement
+        )?;
         write!(f, "strongest compatible level: {}", self.strongest_level())
     }
 }

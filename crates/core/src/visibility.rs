@@ -14,10 +14,9 @@
 //! the trace is reported as [`Visibility::Never`] (right-censored).
 
 use crate::trace::{AgentId, EventKey, TestTrace, Timestamp};
-use serde::{Deserialize, Serialize};
 
 /// When (if ever) an agent first observed a write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Visibility {
     /// First observed this many nanoseconds after the write's
     /// acknowledgement (negative values are clamped to zero: the read that
@@ -38,7 +37,7 @@ impl Visibility {
 }
 
 /// The visibility of one write at one observing agent.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VisibilityRecord<K> {
     /// The observed write.
     pub event: K,
@@ -111,8 +110,7 @@ pub fn staleness_bound_nanos<K: EventKey>(trace: &TestTrace<K>) -> Option<i64> {
                     bound = bound.max(r.invoke.delta_nanos(wop.response));
                 }
             }
-            if !observed_eventually && reads.last().expect("non-empty").invoke > wop.response
-            {
+            if !observed_eventually && reads.last().expect("non-empty").invoke > wop.response {
                 return None; // censored: never observed
             }
         }
@@ -121,7 +119,7 @@ pub fn staleness_bound_nanos<K: EventKey>(trace: &TestTrace<K>) -> Option<i64> {
 }
 
 /// Summary statistics of a set of visibility records.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VisibilitySummary {
     /// Number of (write, reader) pairs considered.
     pub total: usize,
@@ -137,8 +135,7 @@ pub struct VisibilitySummary {
 
 /// Summarizes records (optionally restricted with a filter first).
 pub fn summarize<K>(records: &[VisibilityRecord<K>]) -> VisibilitySummary {
-    let mut lat: Vec<f64> =
-        records.iter().filter_map(|r| r.visibility.secs()).collect();
+    let mut lat: Vec<f64> = records.iter().filter_map(|r| r.visibility.secs()).collect();
     lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pick = |q: f64| {
         if lat.is_empty() {

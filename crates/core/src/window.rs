@@ -20,11 +20,10 @@
 
 use crate::checkers::order::find_inversion;
 use crate::trace::{AgentId, EventKey, TestTrace, Timestamp};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Which divergence condition a window measures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WindowKind {
     /// Mutual content difference between the latest views.
     Content,
@@ -33,7 +32,7 @@ pub enum WindowKind {
 }
 
 /// The divergence windows of one agent pair in one test.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WindowAnalysis {
     /// The agent pair (first < second).
     pub pair: (AgentId, AgentId),
@@ -86,11 +85,8 @@ pub fn windows<K: EventKey>(
 ) -> WindowAnalysis {
     let pair = if a <= b { (a, b) } else { (b, a) };
     // Merged read timeline of the two agents, by response time.
-    let mut reads: Vec<_> = trace
-        .reads()
-        .into_iter()
-        .filter(|r| r.agent == pair.0 || r.agent == pair.1)
-        .collect();
+    let mut reads: Vec<_> =
+        trace.reads().into_iter().filter(|r| r.agent == pair.0 || r.agent == pair.1).collect();
     reads.sort_by_key(|r| r.response);
 
     let mut last_a: Option<&[K]> = None;
@@ -126,7 +122,10 @@ pub fn windows<K: EventKey>(
 }
 
 /// Computes windows of `kind` for every agent pair in the trace.
-pub fn all_pair_windows<K: EventKey>(trace: &TestTrace<K>, kind: WindowKind) -> Vec<WindowAnalysis> {
+pub fn all_pair_windows<K: EventKey>(
+    trace: &TestTrace<K>,
+    kind: WindowKind,
+) -> Vec<WindowAnalysis> {
     let agents = trace.agents();
     let mut out = Vec::new();
     for (i, &a) in agents.iter().enumerate() {
@@ -264,22 +263,30 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use crate::testutil::TestRng;
     use crate::trace::TestTraceBuilder;
-    use proptest::prelude::*;
 
-    fn arb_reads() -> impl Strategy<Value = Vec<(u8, Vec<u8>)>> {
-        proptest::collection::vec(
-            (0u8..2, proptest::collection::vec(0u8..6, 0..5)),
-            0..20,
-        )
+    /// Random read schedules for two agents over a tiny id space.
+    fn gen_reads(rng: &mut TestRng) -> Vec<(u8, Vec<u8>)> {
+        let n = rng.range_usize(0, 20);
+        (0..n)
+            .map(|_| {
+                let agent = rng.range(0, 2) as u8;
+                let len = rng.range_usize(0, 5);
+                let seq: Vec<u8> = (0..len).map(|_| rng.range(0, 6) as u8).collect();
+                (agent, seq)
+            })
+            .collect()
     }
 
-    proptest! {
-        /// Windows are well-formed: non-negative, non-overlapping,
-        /// chronologically ordered, and any open window starts after the
-        /// last closed one ends.
-        #[test]
-        fn windows_are_well_formed(reads in arb_reads()) {
+    /// Windows are well-formed: non-negative, non-overlapping,
+    /// chronologically ordered, and any open window starts after the
+    /// last closed one ends.
+    #[test]
+    fn windows_are_well_formed() {
+        let mut rng = TestRng::new(0x37117D01);
+        for case in 0..400 {
+            let reads = gen_reads(&mut rng);
             let mut b = TestTraceBuilder::new();
             for (i, (agent, mut seq)) in reads.into_iter().enumerate() {
                 seq.dedup();
@@ -291,20 +298,24 @@ mod proptests {
                 let w = windows(&trace, AgentId(0), AgentId(1), kind);
                 let mut prev_end = Timestamp::from_millis(-1);
                 for (s, e) in &w.windows {
-                    prop_assert!(s <= e, "negative window");
-                    prop_assert!(*s >= prev_end, "overlapping windows");
+                    assert!(s <= e, "case {case}: negative window");
+                    assert!(*s >= prev_end, "case {case}: overlapping windows");
                     prev_end = *e;
                 }
                 if let Some(open) = w.open_since {
-                    prop_assert!(open >= prev_end);
+                    assert!(open >= prev_end, "case {case}");
                 }
             }
         }
+    }
 
-        /// An order-divergence window implies a content- or order-divergence
-        /// anomaly is detectable by the presence checkers.
-        #[test]
-        fn open_order_window_implies_checker_detection(reads in arb_reads()) {
+    /// An order-divergence window implies a content- or order-divergence
+    /// anomaly is detectable by the presence checkers.
+    #[test]
+    fn open_order_window_implies_checker_detection() {
+        let mut rng = TestRng::new(0x37117D02);
+        for case in 0..400 {
+            let reads = gen_reads(&mut rng);
             let mut b = TestTraceBuilder::new();
             for (i, (agent, mut seq)) in reads.into_iter().enumerate() {
                 seq.sort();
@@ -316,8 +327,10 @@ mod proptests {
             let w = windows(&trace, AgentId(0), AgentId(1), WindowKind::Content);
             if w.any_divergence() {
                 let obs = crate::checkers::content::check(&trace);
-                prop_assert!(!obs.is_empty(),
-                    "window sweep found divergence the checker missed");
+                assert!(
+                    !obs.is_empty(),
+                    "case {case}: window sweep found divergence the checker missed"
+                );
             }
         }
     }

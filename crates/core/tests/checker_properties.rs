@@ -7,11 +7,14 @@
 //! corruption (drop a client's own write, reverse a pair, make an event
 //! vanish, …) and assert the corresponding checker fires (completeness for
 //! the planted class).
+//!
+//! Schedules are drawn from a seeded [`TestRng`] so every case replays
+//! exactly (the offline build has no property-testing framework).
 
 use conprobe_core::checkers::{self, WfrMode};
+use conprobe_core::testutil::TestRng;
 use conprobe_core::trace::{AgentId, OpKind, OpRecord, TestTrace, Timestamp};
 use conprobe_core::window::{all_pair_windows, WindowKind};
-use proptest::prelude::*;
 
 type K = (u32, u32); // (author, seq)
 
@@ -22,14 +25,18 @@ enum Step {
     Read(u32),
 }
 
-fn arb_schedule(agents: u32) -> impl Strategy<Value = Vec<Step>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0..agents).prop_map(Step::Write),
-            (0..agents).prop_map(Step::Read),
-        ],
-        1..40,
-    )
+fn gen_schedule(rng: &mut TestRng, agents: u32) -> Vec<Step> {
+    let len = rng.range_usize(1, 40);
+    (0..len)
+        .map(|_| {
+            let a = rng.range(0, u64::from(agents)) as u32;
+            if rng.chance(0.5) {
+                Step::Write(a)
+            } else {
+                Step::Read(a)
+            }
+        })
+        .collect()
 }
 
 /// Builds a linearizable trace: operations execute instantaneously in
@@ -66,45 +73,54 @@ fn linearizable_trace(schedule: &[Step]) -> TestTrace<K> {
     TestTrace::new(ops)
 }
 
-proptest! {
-    /// Soundness: a linearizable execution triggers no checker at all.
-    #[test]
-    fn linearizable_executions_are_clean(schedule in arb_schedule(3)) {
-        let trace = linearizable_trace(&schedule);
-        prop_assert!(checkers::check_read_your_writes(&trace).is_empty());
-        prop_assert!(checkers::check_monotonic_writes(&trace).is_empty());
-        prop_assert!(checkers::check_monotonic_reads(&trace).is_empty());
-        prop_assert!(
-            checkers::check_writes_follow_reads(&trace, &WfrMode::General).is_empty()
+const CASES: usize = 300;
+
+/// Soundness: a linearizable execution triggers no checker at all.
+#[test]
+fn linearizable_executions_are_clean() {
+    let mut rng = TestRng::new(0xC8EC_0001);
+    for case in 0..CASES {
+        let trace = linearizable_trace(&gen_schedule(&mut rng, 3));
+        assert!(checkers::check_read_your_writes(&trace).is_empty(), "case {case}");
+        assert!(checkers::check_monotonic_writes(&trace).is_empty(), "case {case}");
+        assert!(checkers::check_monotonic_reads(&trace).is_empty(), "case {case}");
+        assert!(
+            checkers::check_writes_follow_reads(&trace, &WfrMode::General).is_empty(),
+            "case {case}"
         );
-        prop_assert!(checkers::check_content_divergence(&trace).is_empty());
-        prop_assert!(checkers::check_order_divergence(&trace).is_empty());
+        assert!(checkers::check_content_divergence(&trace).is_empty(), "case {case}");
+        assert!(checkers::check_order_divergence(&trace).is_empty(), "case {case}");
         for kind in [WindowKind::Content, WindowKind::Order] {
             for w in all_pair_windows(&trace, kind) {
-                prop_assert!(!w.any_divergence());
+                assert!(!w.any_divergence(), "case {case}");
             }
         }
     }
+}
 
-    /// Completeness (RYW): erase one of a client's own completed writes
-    /// from one of its later reads — the RYW checker must fire.
-    #[test]
-    fn planted_ryw_is_found(schedule in arb_schedule(3), pick in any::<prop::sample::Index>()) {
-        let trace = linearizable_trace(&schedule);
+/// Completeness (RYW): erase one of a client's own completed writes
+/// from one of its later reads — the RYW checker must fire.
+#[test]
+fn planted_ryw_is_found() {
+    let mut rng = TestRng::new(0xC8EC_0002);
+    let mut exercised = 0;
+    for case in 0..CASES {
+        let trace = linearizable_trace(&gen_schedule(&mut rng, 3));
         // Find a read whose agent has a previous write in it.
         let candidates: Vec<usize> = trace
             .ops()
             .iter()
             .enumerate()
             .filter(|(_, op)| {
-                op.read_seq()
-                    .map(|s| s.iter().any(|(a, _)| *a == op.agent.0))
-                    .unwrap_or(false)
+                op.read_seq().map(|s| s.iter().any(|(a, _)| *a == op.agent.0)).unwrap_or(false)
             })
             .map(|(i, _)| i)
             .collect();
-        prop_assume!(!candidates.is_empty());
-        let victim = candidates[pick.index(candidates.len())];
+        if candidates.is_empty() {
+            continue;
+        }
+        exercised += 1;
+        let victim = candidates[rng.range_usize(0, candidates.len())];
         let mut ops = trace.ops().to_vec();
         let agent = ops[victim].agent;
         if let OpKind::Read { seq } = &mut ops[victim].kind {
@@ -113,15 +129,20 @@ proptest! {
         }
         let mutated = TestTrace::new(ops);
         let obs = checkers::check_read_your_writes(&mutated);
-        prop_assert!(!obs.is_empty(), "erased own write not detected");
-        prop_assert!(obs.iter().any(|o| o.agent == agent));
+        assert!(!obs.is_empty(), "case {case}: erased own write not detected");
+        assert!(obs.iter().any(|o| o.agent == agent), "case {case}");
     }
+    assert!(exercised > CASES / 4, "too few exercised cases: {exercised}");
+}
 
-    /// Completeness (MW): reverse the first two same-author events inside
-    /// one read — the MW checker must fire.
-    #[test]
-    fn planted_mw_is_found(schedule in arb_schedule(2), pick in any::<prop::sample::Index>()) {
-        let trace = linearizable_trace(&schedule);
+/// Completeness (MW): reverse the first two same-author events inside
+/// one read — the MW checker must fire.
+#[test]
+fn planted_mw_is_found() {
+    let mut rng = TestRng::new(0xC8EC_0003);
+    let mut exercised = 0;
+    for case in 0..CASES {
+        let trace = linearizable_trace(&gen_schedule(&mut rng, 2));
         let candidates: Vec<usize> = trace
             .ops()
             .iter()
@@ -136,8 +157,11 @@ proptest! {
             })
             .map(|(i, _)| i)
             .collect();
-        prop_assume!(!candidates.is_empty());
-        let victim = candidates[pick.index(candidates.len())];
+        if candidates.is_empty() {
+            continue;
+        }
+        exercised += 1;
+        let victim = candidates[rng.range_usize(0, candidates.len())];
         let mut ops = trace.ops().to_vec();
         if let OpKind::Read { seq } = &mut ops[victim].kind {
             let idx: Vec<usize> = seq
@@ -150,19 +174,24 @@ proptest! {
             seq.swap(idx[0], idx[1]);
         }
         let mutated = TestTrace::new(ops);
-        prop_assert!(
+        assert!(
             !checkers::check_monotonic_writes(&mutated).is_empty(),
-            "reversed same-author pair not detected"
+            "case {case}: reversed same-author pair not detected"
         );
     }
+    assert!(exercised > CASES / 4, "too few exercised cases: {exercised}");
+}
 
-    /// Completeness (MR): drop any event from a read that is not the
-    /// agent's last — the *next* read still shows everything, so instead
-    /// drop from the last read; the event was visible in the previous read
-    /// by the same agent, so MR fires.
-    #[test]
-    fn planted_mr_is_found(schedule in arb_schedule(2)) {
-        let trace = linearizable_trace(&schedule);
+/// Completeness (MR): drop any event from a read that is not the
+/// agent's last — the *next* read still shows everything, so instead
+/// drop from the last read; the event was visible in the previous read
+/// by the same agent, so MR fires.
+#[test]
+fn planted_mr_is_found() {
+    let mut rng = TestRng::new(0xC8EC_0004);
+    let mut exercised = 0;
+    for case in 0..CASES {
+        let trace = linearizable_trace(&gen_schedule(&mut rng, 2));
         // Find an agent with ≥2 reads whose earlier read is non-empty.
         let mut target: Option<(AgentId, usize)> = None;
         for agent in trace.agents() {
@@ -174,39 +203,56 @@ proptest! {
                 .map(|(i, _)| i)
                 .collect();
             if reads.len() >= 2 {
-                let first_len =
-                    trace.ops()[reads[reads.len() - 2]].read_seq().unwrap().len();
+                let first_len = trace.ops()[reads[reads.len() - 2]].read_seq().unwrap().len();
                 if first_len > 0 {
                     target = Some((agent, *reads.last().unwrap()));
                     break;
                 }
             }
         }
-        prop_assume!(target.is_some());
-        let (agent, last_read) = target.unwrap();
+        let Some((agent, last_read)) = target else { continue };
         let mut ops = trace.ops().to_vec();
         if let OpKind::Read { seq } = &mut ops[last_read].kind {
-            prop_assume!(!seq.is_empty());
+            if seq.is_empty() {
+                continue;
+            }
             seq.remove(0);
         }
+        exercised += 1;
         let mutated = TestTrace::new(ops);
         let obs = checkers::check_monotonic_reads(&mutated);
-        prop_assert!(!obs.is_empty(), "vanished event not detected");
-        prop_assert!(obs.iter().any(|o| o.agent == agent));
+        assert!(!obs.is_empty(), "case {case}: vanished event not detected");
+        assert!(obs.iter().any(|o| o.agent == agent), "case {case}");
     }
+    assert!(exercised > CASES / 4, "too few exercised cases: {exercised}");
+}
 
-    /// Completeness (content divergence): give two agents' overlapping
-    /// reads disjoint suffixes — the checker must fire for that pair.
-    #[test]
-    fn planted_content_divergence_is_found(schedule in arb_schedule(2)) {
-        let trace = linearizable_trace(&schedule);
-        let r0: Vec<usize> = trace.ops().iter().enumerate()
+/// Completeness (content divergence): give two agents' overlapping
+/// reads disjoint suffixes — the checker must fire for that pair.
+#[test]
+fn planted_content_divergence_is_found() {
+    let mut rng = TestRng::new(0xC8EC_0005);
+    let mut exercised = 0;
+    for case in 0..CASES {
+        let trace = linearizable_trace(&gen_schedule(&mut rng, 2));
+        let r0: Vec<usize> = trace
+            .ops()
+            .iter()
+            .enumerate()
             .filter(|(_, op)| op.agent == AgentId(0) && op.is_read())
-            .map(|(i, _)| i).collect();
-        let r1: Vec<usize> = trace.ops().iter().enumerate()
+            .map(|(i, _)| i)
+            .collect();
+        let r1: Vec<usize> = trace
+            .ops()
+            .iter()
+            .enumerate()
             .filter(|(_, op)| op.agent == AgentId(1) && op.is_read())
-            .map(|(i, _)| i).collect();
-        prop_assume!(!r0.is_empty() && !r1.is_empty());
+            .map(|(i, _)| i)
+            .collect();
+        if r0.is_empty() || r1.is_empty() {
+            continue;
+        }
+        exercised += 1;
         let mut ops = trace.ops().to_vec();
         if let OpKind::Read { seq } = &mut ops[r0[0]].kind {
             seq.push((90, 1)); // phantom event only agent 0 sees
@@ -215,17 +261,24 @@ proptest! {
             seq.push((91, 1)); // phantom event only agent 1 sees
         }
         let mutated = TestTrace::new(ops);
-        prop_assert!(!checkers::check_content_divergence(&mutated).is_empty());
+        assert!(
+            !checkers::check_content_divergence(&mutated).is_empty(),
+            "case {case}: disjoint suffixes not detected"
+        );
     }
+    assert!(exercised > CASES / 4, "too few exercised cases: {exercised}");
+}
 
-    /// Divergence-window sweep agrees with the presence checker whenever
-    /// the reads overlap in time (simultaneous divergence ⇒ presence).
-    #[test]
-    fn window_divergence_implies_presence(schedule in arb_schedule(3)) {
-        let trace = linearizable_trace(&schedule);
+/// Divergence-window sweep agrees with the presence checker whenever
+/// the reads overlap in time (simultaneous divergence ⇒ presence).
+#[test]
+fn window_divergence_implies_presence() {
+    let mut rng = TestRng::new(0xC8EC_0006);
+    for case in 0..CASES {
+        let trace = linearizable_trace(&gen_schedule(&mut rng, 3));
         for w in all_pair_windows(&trace, WindowKind::Content) {
             if w.any_divergence() {
-                prop_assert!(!checkers::check_content_divergence(&trace).is_empty());
+                assert!(!checkers::check_content_divergence(&trace).is_empty(), "case {case}");
             }
         }
     }

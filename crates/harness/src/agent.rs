@@ -27,8 +27,8 @@
 
 use crate::proto::{test1_post, AgentTestPlan, HarnessMsg, LocalOpRecord, Msg, TestKind};
 use conprobe_core::trace::OpKind;
-use conprobe_session::{GuardConfig, IssueOrder, SessionGuard};
 use conprobe_services::{ClientOp, NetMsg, OpResult};
+use conprobe_session::{GuardConfig, IssueOrder, SessionGuard};
 use conprobe_sim::{Context, LocalTime, Node, NodeId, SimDuration};
 use conprobe_store::{Post, PostId};
 use std::cmp::Ordering;
@@ -52,18 +52,61 @@ impl IssueOrder<PostId> for PostIdOrder {
 
 const TOKEN_START: u64 = 1;
 const TOKEN_READ: u64 = 2;
+const TOKEN_HEARTBEAT: u64 = 3;
+/// Deadline for the post-Stop write-flush grace period.
+const TOKEN_FLUSH: u64 = 4;
 /// High-bit namespace for throttle-backoff timers.
 const TOKEN_THROTTLED: u64 = 1 << 62;
 /// High-bit namespace for per-request retry timers: `TOKEN_RETRY | req_id`.
 const TOKEN_RETRY: u64 = 1 << 63;
-/// Transport-level retry interval for requests with no response (the
-/// paper's HTTP client had TCP retransmits and library-level retries; the
-/// simulated WAN can drop messages when loss is configured).
-const RETRY_AFTER: SimDuration = SimDuration::from_secs(3);
+/// Liveness beacon period (agent → coordinator).
+const HEARTBEAT_PERIOD: SimDuration = SimDuration::from_secs(1);
+/// First retransmit delay for an unanswered request. The paper's HTTP
+/// client had TCP retransmits and library-level retries; the simulated WAN
+/// can drop messages when loss is configured.
+const RETRY_INITIAL: SimDuration = SimDuration::from_secs(1);
+/// Cap on the exponentially growing retransmit delay.
+const RETRY_CAP: SimDuration = SimDuration::from_secs(8);
+/// Transmissions per operation (first send included) before the agent
+/// abandons it as undeliverable.
+const MAX_ATTEMPTS: u32 = 8;
+/// Consecutive throttle rejections that trip the read-period widening
+/// circuit.
+const THROTTLE_TRIP: u32 = 3;
+/// Cap on the read-period widening factor under a sustained throttle storm.
+const WIDEN_CAP: u64 = 8;
+/// How long a stopped agent holds its log back while a write ack is still
+/// outstanding. One retransmit round fits inside it, so an ack lost right
+/// at the end of the test is usually recovered; after the grace the log
+/// ships as-is — better a log missing one record than a quarantined agent.
+const STOP_FLUSH_GRACE: SimDuration = SimDuration::from_millis(1500);
 
 enum PendingOp {
     Read,
     Write(PostId),
+}
+
+/// One in-flight request awaiting a response.
+struct Pending {
+    invoke: LocalTime,
+    kind: PendingOp,
+    op: ClientOp,
+    /// Transmissions so far (first send included).
+    attempts: u32,
+}
+
+/// Transport-level counters for one agent (diagnostics and the fault
+/// ledger): how hard the resilient RPC layer had to work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RpcStats {
+    /// Retransmissions of unanswered requests.
+    pub retransmits: u64,
+    /// Operations given up on after [`MAX_ATTEMPTS`] transmissions.
+    pub abandoned: u64,
+    /// Responses rejected by the service's rate limiter.
+    pub throttled: u64,
+    /// Longest run of consecutive throttle rejections.
+    pub max_throttle_streak: u32,
 }
 
 /// The deployed measurement agent.
@@ -72,7 +115,7 @@ pub struct AgentNode {
     coordinator: Option<NodeId>,
     plan: Option<AgentTestPlan>,
     records: Vec<LocalOpRecord>,
-    pending: HashMap<u64, (LocalTime, PendingOp, ClientOp)>,
+    pending: HashMap<u64, Pending>,
     next_req: u64,
     reads_issued: u32,
     reads_done: u32,
@@ -80,9 +123,12 @@ pub struct AgentNode {
     triggered: bool,
     completion_sent: bool,
     stopped: bool,
-    throttled: u64,
+    rpc: RpcStats,
+    /// Consecutive throttle rejections with no success in between; drives
+    /// the read-period widening circuit.
+    throttle_streak: u32,
     /// Operations rejected by the rate limiter, awaiting a backoff retry.
-    throttle_backlog: HashMap<u64, (LocalTime, PendingOp, ClientOp)>,
+    throttle_backlog: HashMap<u64, (PendingOp, ClientOp)>,
     next_backoff: u64,
     guard: Option<SessionGuard<PostId, PostIdOrder>>,
     use_guard: bool,
@@ -106,7 +152,8 @@ impl AgentNode {
             triggered: false,
             completion_sent: false,
             stopped: false,
-            throttled: 0,
+            rpc: RpcStats::default(),
+            throttle_streak: 0,
             throttle_backlog: HashMap::new(),
             next_backoff: 0,
             guard: None,
@@ -121,20 +168,50 @@ impl AgentNode {
 
     /// Requests rejected by the service's rate limit (diagnostics).
     pub fn throttled(&self) -> u64 {
-        self.throttled
+        self.rpc.throttled
+    }
+
+    /// Transport-level RPC counters (diagnostics and the fault ledger).
+    pub fn rpc_stats(&self) -> RpcStats {
+        self.rpc
     }
 
     fn plan(&self) -> &AgentTestPlan {
         self.plan.as_ref().expect("agent acted before receiving a plan")
     }
 
+    /// Exponential backoff with deterministic jitter: `attempts`
+    /// transmissions have happened; the next retry fires after
+    /// `min(RETRY_INITIAL·2^(attempts−1), RETRY_CAP)` plus up to 25 %
+    /// jitter drawn from the agent's own random stream (so retransmits
+    /// de-synchronize across agents without perturbing any other stream).
+    fn retry_delay(&self, ctx: &mut Context<'_, Msg>, attempts: u32) -> SimDuration {
+        let shift = attempts.saturating_sub(1).min(6);
+        let base = RETRY_INITIAL.saturating_mul(1 << shift).min(RETRY_CAP);
+        let jitter = ctx.rng().gen_range(0..base.as_nanos() / 4 + 1);
+        base + SimDuration::from_nanos(jitter)
+    }
+
+    /// Read-period multiplier while the throttle circuit is tripped: 1×
+    /// below [`THROTTLE_TRIP`] consecutive rejections, then widening with
+    /// the streak up to [`WIDEN_CAP`]×.
+    fn widen_factor(&self) -> u64 {
+        if self.throttle_streak < THROTTLE_TRIP {
+            1
+        } else {
+            u64::from(self.throttle_streak - THROTTLE_TRIP + 2).min(WIDEN_CAP)
+        }
+    }
+
     fn issue(&mut self, ctx: &mut Context<'_, Msg>, op: ClientOp, kind: PendingOp) {
         let req_id = self.next_req;
         self.next_req += 1;
-        self.pending.insert(req_id, (ctx.now_local(), kind, op.clone()));
+        self.pending
+            .insert(req_id, Pending { invoke: ctx.now_local(), kind, op: op.clone(), attempts: 1 });
         let entry = self.plan().service_entry;
         ctx.send(entry, NetMsg::Request { req_id, op });
-        ctx.set_timer(RETRY_AFTER, TOKEN_RETRY | req_id);
+        let delay = self.retry_delay(ctx, 1);
+        ctx.set_timer(delay, TOKEN_RETRY | req_id);
     }
 
     fn issue_read(&mut self, ctx: &mut Context<'_, Msg>) {
@@ -167,7 +244,52 @@ impl AgentNode {
                 }
             }
         };
-        ctx.set_timer(period, TOKEN_READ);
+        // A tripped throttle circuit widens the period: under a sustained
+        // `Throttled` storm, hammering the front door at full rate only
+        // deepens the storm and bloats the retry backlog.
+        ctx.set_timer(period.saturating_mul(self.widen_factor()), TOKEN_READ);
+    }
+
+    /// Handles a `TOKEN_RETRY | req_id` timer: retransmits the operation
+    /// with growing backoff (replicas deduplicate writes by post id; reads
+    /// are idempotent), or abandons it once the attempt budget is spent —
+    /// the request is undeliverable (dead service or severed link), and
+    /// the coordinator's liveness machinery handles a stalled test.
+    fn retransmit(&mut self, ctx: &mut Context<'_, Msg>, token: u64) {
+        let req_id = token & !TOKEN_RETRY;
+        let retransmit = match self.pending.get_mut(&req_id) {
+            None => return, // answered in the meantime
+            Some(p) if p.attempts >= MAX_ATTEMPTS => None,
+            Some(p) => {
+                p.attempts += 1;
+                Some((p.op.clone(), p.attempts))
+            }
+        };
+        match retransmit {
+            Some((op, attempts)) => {
+                self.rpc.retransmits += 1;
+                let entry = self.plan().service_entry;
+                ctx.send(entry, NetMsg::Request { req_id, op });
+                let delay = self.retry_delay(ctx, attempts);
+                ctx.set_timer(delay, TOKEN_RETRY | req_id);
+            }
+            None => {
+                self.pending.remove(&req_id);
+                self.rpc.abandoned += 1;
+            }
+        }
+    }
+
+    fn ship_log(&mut self, ctx: &mut Context<'_, Msg>) {
+        if let Some(coord) = self.coordinator {
+            ctx.send(
+                coord,
+                NetMsg::App(HarnessMsg::Log {
+                    agent_index: self.agent_index,
+                    records: self.records.clone(),
+                }),
+            );
+        }
     }
 
     fn report_completion(&mut self, ctx: &mut Context<'_, Msg>) {
@@ -181,7 +303,12 @@ impl AgentNode {
         }
     }
 
-    fn handle_read_result(&mut self, ctx: &mut Context<'_, Msg>, invoke: LocalTime, raw: Vec<PostId>) {
+    fn handle_read_result(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        invoke: LocalTime,
+        raw: Vec<PostId>,
+    ) {
         let seq = match &mut self.guard {
             Some(g) => g.filter_read(&raw),
             None => raw,
@@ -230,10 +357,7 @@ impl Node<Msg> for AgentNode {
                 );
             }
             NetMsg::App(HarnessMsg::Start(plan)) => {
-                ctx.send(
-                    from,
-                    NetMsg::App(HarnessMsg::StartAck { agent_index: self.agent_index }),
-                );
+                ctx.send(from, NetMsg::App(HarnessMsg::StartAck { agent_index: self.agent_index }));
                 if self.plan.is_some() {
                     return; // duplicate Start (retry): already running
                 }
@@ -246,38 +370,62 @@ impl Node<Msg> for AgentNode {
                 self.triggered = false;
                 self.completion_sent = false;
                 self.stopped = false;
-                self.guard = self
-                    .use_guard
-                    .then(|| SessionGuard::new(GuardConfig::default(), PostIdOrder));
+                self.guard =
+                    self.use_guard.then(|| SessionGuard::new(GuardConfig::default(), PostIdOrder));
                 debug_assert_eq!(plan.agent_index, self.agent_index, "plan routed to wrong agent");
                 let now = ctx.now_local();
                 let wait = plan.start_at_local.delta_nanos(now).max(0) as u64;
                 self.plan = Some(*plan);
                 ctx.set_timer(SimDuration::from_nanos(wait), TOKEN_START);
+                // Liveness beacons run from plan receipt until Stop.
+                ctx.set_timer(SimDuration::ZERO, TOKEN_HEARTBEAT);
             }
             NetMsg::App(HarnessMsg::Stop) => {
                 // Stop may arrive repeatedly (the coordinator retries until
                 // it has our log), and even before a Start if that was
                 // lost — always answer with what we have.
+                let first = !self.stopped;
                 self.stopped = true;
-                ctx.send(
-                    from,
-                    NetMsg::App(HarnessMsg::Log {
-                        agent_index: self.agent_index,
-                        records: self.records.clone(),
-                    }),
-                );
+                self.coordinator = Some(from);
+                if first {
+                    // In-flight reads are simply incomplete operations and
+                    // are dropped. An in-flight *write* may well have taken
+                    // effect with only its ack lost, so it keeps
+                    // retransmitting through a short grace before the log
+                    // ships — losing its record would understate the trace.
+                    self.pending.retain(|_, p| matches!(p.kind, PendingOp::Write(_)));
+                    self.throttle_backlog.clear();
+                    if !self.pending.is_empty() {
+                        ctx.set_timer(STOP_FLUSH_GRACE, TOKEN_FLUSH);
+                        return;
+                    }
+                }
+                self.ship_log(ctx);
             }
             NetMsg::Response { req_id, result } => {
-                if self.stopped {
-                    return;
-                }
-                let Some((invoke, kind, _op)) = self.pending.remove(&req_id) else {
+                let Some(Pending { invoke, kind, op, .. }) = self.pending.remove(&req_id) else {
                     return; // response to a request we no longer track
                 };
+                if self.stopped {
+                    // Only a late write ack still matters: record it, and
+                    // release the held log once no write is outstanding.
+                    if let (PendingOp::Write(id), OpResult::WriteAck(acked)) = (&kind, &result) {
+                        debug_assert_eq!(id, acked);
+                        self.records.push(LocalOpRecord {
+                            invoke,
+                            response: ctx.now_local(),
+                            kind: OpKind::Write { id: *id },
+                        });
+                        if self.pending.is_empty() {
+                            self.ship_log(ctx);
+                        }
+                    }
+                    return;
+                }
                 match (kind, result) {
                     (PendingOp::Write(id), OpResult::WriteAck(acked)) => {
                         debug_assert_eq!(id, acked);
+                        self.throttle_streak = 0;
                         self.records.push(LocalOpRecord {
                             invoke,
                             response: ctx.now_local(),
@@ -294,16 +442,22 @@ impl Node<Msg> for AgentNode {
                         }
                     }
                     (PendingOp::Read, OpResult::ReadOk(seq)) => {
+                        self.throttle_streak = 0;
                         self.handle_read_result(ctx, invoke, seq);
                     }
                     (kind, OpResult::Throttled) => {
-                        // Back off one read period and retry: a throttled
-                        // write would otherwise stall Test 1's chain.
-                        self.throttled += 1;
+                        // Back off and retry: a throttled write would
+                        // otherwise stall Test 1's chain. The backoff
+                        // itself widens with the streak, like the read
+                        // period.
+                        self.rpc.throttled += 1;
+                        self.throttle_streak += 1;
+                        self.rpc.max_throttle_streak =
+                            self.rpc.max_throttle_streak.max(self.throttle_streak);
                         let token = TOKEN_THROTTLED | self.next_backoff;
                         self.next_backoff += 1;
-                        let period = self.plan().read_period;
-                        self.throttle_backlog.insert(token, (invoke, kind, _op));
+                        let period = self.plan().read_period.saturating_mul(self.widen_factor());
+                        self.throttle_backlog.insert(token, (kind, op));
                         ctx.set_timer(period, token);
                     }
                     _ => {}
@@ -315,37 +469,60 @@ impl Node<Msg> for AgentNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: u64) {
-        if self.stopped || self.plan.is_none() {
+        if self.plan.is_none() {
+            return;
+        }
+        if self.stopped {
+            match token {
+                // The post-Stop grace expired: stop chasing unacked writes
+                // and ship whatever the log holds.
+                TOKEN_FLUSH => {
+                    self.rpc.abandoned += self.pending.len() as u64;
+                    self.pending.clear();
+                    self.ship_log(ctx);
+                }
+                // Write retransmissions keep running during the grace.
+                t if t & TOKEN_RETRY != 0 => self.retransmit(ctx, t),
+                _ => {}
+            }
             return;
         }
         if token & TOKEN_THROTTLED != 0 && token & TOKEN_RETRY == 0 {
-            if let Some((_, kind, op)) = self.throttle_backlog.remove(&token) {
+            if let Some((kind, op)) = self.throttle_backlog.remove(&token) {
                 // The throttled attempt failed visibly, so the retry is a
                 // *new* operation with a fresh invocation time (unlike a
                 // lost-message retransmit, where the original request may
                 // have taken effect).
-                let req_id = self.next_req;
-                self.next_req += 1;
-                self.pending.insert(req_id, (ctx.now_local(), kind, op.clone()));
-                let entry = self.plan().service_entry;
-                ctx.send(entry, NetMsg::Request { req_id, op });
-                ctx.set_timer(RETRY_AFTER, TOKEN_RETRY | req_id);
+                self.issue(ctx, op, kind);
             }
             return;
         }
         if token & TOKEN_RETRY != 0 {
-            let req_id = token & !TOKEN_RETRY;
-            if let Some((_, _, op)) = self.pending.get(&req_id) {
-                // Still unanswered: retransmit (replicas deduplicate writes
-                // by post id; reads are idempotent).
-                let op = op.clone();
-                let entry = self.plan().service_entry;
-                ctx.send(entry, NetMsg::Request { req_id, op });
-                ctx.set_timer(RETRY_AFTER, TOKEN_RETRY | req_id);
-            }
+            self.retransmit(ctx, token);
             return;
         }
         match token {
+            TOKEN_HEARTBEAT => {
+                if let Some(coord) = self.coordinator {
+                    ctx.send(
+                        coord,
+                        NetMsg::App(HarnessMsg::Heartbeat { agent_index: self.agent_index }),
+                    );
+                    // CompletionSeen is not acknowledged, so a lossy link
+                    // can eat it and stall the coordinator until the test
+                    // timeout. Re-announce on every beacon until Stop; the
+                    // coordinator treats duplicates as idempotent.
+                    if self.completion_sent {
+                        ctx.send(
+                            coord,
+                            NetMsg::App(HarnessMsg::CompletionSeen {
+                                agent_index: self.agent_index,
+                            }),
+                        );
+                    }
+                }
+                ctx.set_timer(HEARTBEAT_PERIOD, TOKEN_HEARTBEAT);
+            }
             TOKEN_START => {
                 match self.plan().kind {
                     TestKind::Test1 => {

@@ -11,8 +11,8 @@ use crate::proto::TestKind;
 use crate::runner::{run_one_test, TestConfig, TestResult};
 use conprobe_services::ServiceKind;
 use conprobe_sim::{SimDuration, SimRng};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One (service, test-kind) campaign cell.
 #[derive(Debug, Clone)]
@@ -143,9 +143,9 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
     }
     .min(n.max(1));
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     return;
@@ -155,14 +155,17 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
                 test.tokyo_partition =
                     test.tokyo_partition || config.partition_tests.contains(&(i as u32));
                 let result = run_one_test(&test, seed);
-                slots.lock()[i] = Some(result);
+                slots.lock().expect("campaign worker panicked")[i] = Some(result);
             });
         }
-    })
-    .expect("campaign worker panicked");
+    });
 
-    let results: Vec<TestResult> =
-        slots.into_inner().into_iter().map(|r| r.expect("all instances ran")).collect();
+    let results: Vec<TestResult> = slots
+        .into_inner()
+        .expect("campaign worker panicked")
+        .into_iter()
+        .map(|r| r.expect("all instances ran"))
+        .collect();
     CampaignResult { config: config.clone(), results }
 }
 
@@ -211,8 +214,7 @@ mod tests {
         assert!(out.results.iter().all(|r| r.analysis.is_clean()));
         assert!(out.mean_reads_per_agent() > 1.0);
         // Per-instance seeds differ.
-        let seeds: std::collections::HashSet<_> =
-            out.results.iter().map(|r| r.seed).collect();
+        let seeds: std::collections::HashSet<_> = out.results.iter().map(|r| r.seed).collect();
         assert_eq!(seeds.len(), 4);
     }
 

@@ -8,11 +8,10 @@
 //! delta. The uncertainty of this computation is half of the RTT values."*
 
 use conprobe_sim::LocalTime;
-use serde::{Deserialize, Serialize};
 
 /// One completed probe: the coordinator's send/receive local times and the
 /// agent's reported local reading.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProbeSample {
     /// Coordinator local time when the probe was sent.
     pub sent: LocalTime,
@@ -37,7 +36,7 @@ impl ProbeSample {
 }
 
 /// The estimated clock delta of one agent relative to the coordinator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeltaEstimate {
     /// Estimated `agent_local − coordinator_local`, in nanoseconds.
     pub delta_nanos: i64,

@@ -20,6 +20,22 @@ const TOKEN_TIMEOUT: u64 = 2;
 const TOKEN_STOP_RETRY: u64 = 3;
 const TOKEN_FINALIZE: u64 = 4;
 const TOKEN_START_RETRY: u64 = 5;
+const TOKEN_LIVENESS: u64 = 6;
+
+/// Pause between Stop retransmission rounds while collecting logs.
+const STOP_RETRY_PERIOD: SimDuration = SimDuration::from_secs(2);
+/// Stop retransmission rounds before a silent agent is quarantined and the
+/// test concludes with a partial (salvaged) trace. Bounds what used to be
+/// an unbounded retry loop: a dead agent now costs
+/// `MAX_STOP_ROUNDS × STOP_RETRY_PERIOD` of collection time, not the full
+/// finalize grace period.
+const MAX_STOP_ROUNDS: u32 = 5;
+/// How often the coordinator re-evaluates agent liveness while running.
+const LIVENESS_PERIOD: SimDuration = SimDuration::from_secs(2);
+/// An agent whose last heartbeat is older than this is considered dead
+/// (agents beacon every second; six consecutive losses are implausible on
+/// a merely lossy link).
+const DEAD_AFTER_NANOS: i64 = 6_000_000_000;
 
 /// Static configuration of one test run, from the coordinator's viewpoint.
 #[derive(Debug, Clone)]
@@ -49,6 +65,22 @@ pub struct CoordinatorConfig {
     pub reads_target: u32,
 }
 
+/// Per-agent liveness summary at the end of a test (part of the fault
+/// ledger).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgentHealth {
+    /// The agent's index.
+    pub agent_index: u32,
+    /// Heartbeats received from the agent.
+    pub heartbeats: u64,
+    /// The agent was written off as dead or unreachable (its Stop retry
+    /// budget ran out, or it went silent and the test concluded without
+    /// it).
+    pub quarantined: bool,
+    /// The agent's operation log made it back to the coordinator.
+    pub log_collected: bool,
+}
+
 /// Everything the coordinator knows at the end of a test.
 #[derive(Debug, Clone)]
 pub struct TestOutcome {
@@ -56,11 +88,17 @@ pub struct TestOutcome {
     pub trace: TestTrace<PostId>,
     /// Per-agent delta estimates used for the correction.
     pub deltas: Vec<DeltaEstimate>,
-    /// `true` if every agent reported completion before the timeout.
+    /// `true` if every agent reported completion before the timeout and
+    /// no agent had to be quarantined.
     pub completed: bool,
     /// Coordinator-local nanoseconds from synchronized start to the last
     /// collected log.
     pub duration_nanos: i64,
+    /// Per-agent liveness accounting.
+    pub agent_health: Vec<AgentHealth>,
+    /// `true` if the trace is a coherent *partial* view: one or more
+    /// agents were quarantined and their operations are missing.
+    pub salvaged: bool,
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -87,6 +125,17 @@ pub struct CoordinatorNode {
     timed_out: bool,
     stop_sent: bool,
     outcome: Option<TestOutcome>,
+    /// Heartbeats received per agent.
+    heartbeats: Vec<u64>,
+    /// Coordinator-local receipt time of each agent's latest heartbeat.
+    last_heartbeat: Vec<Option<LocalTime>>,
+    /// Agents written off as dead/unreachable.
+    quarantined: HashSet<u32>,
+    /// Stop retransmission rounds spent so far.
+    stop_rounds: u32,
+    /// Coordinator-local time the Start messages went out (liveness
+    /// baseline for agents that never heartbeat).
+    running_since: LocalTime,
 }
 
 impl CoordinatorNode {
@@ -114,6 +163,11 @@ impl CoordinatorNode {
             timed_out: false,
             stop_sent: false,
             outcome: None,
+            heartbeats: vec![0; n],
+            last_heartbeat: vec![None; n],
+            quarantined: HashSet::new(),
+            stop_rounds: 0,
+            running_since: LocalTime::from_nanos(0),
         }
     }
 
@@ -166,6 +220,35 @@ impl CoordinatorNode {
         }
         ctx.set_timer(self.cfg.start_margin + self.cfg.max_duration, TOKEN_TIMEOUT);
         ctx.set_timer(SimDuration::from_millis(700), TOKEN_START_RETRY);
+        self.running_since = ctx.now_local();
+        ctx.set_timer(LIVENESS_PERIOD, TOKEN_LIVENESS);
+    }
+
+    /// Whether agent `i` currently looks dead: no heartbeat for longer
+    /// than the liveness window (or never, counting from test start plus
+    /// the start margin). Purely observational — a later heartbeat makes
+    /// the agent look alive again.
+    fn looks_dead(&self, i: usize, now: LocalTime) -> bool {
+        match self.last_heartbeat[i] {
+            Some(at) => now.delta_nanos(at) > DEAD_AFTER_NANOS,
+            None => {
+                now.delta_nanos(self.running_since)
+                    > DEAD_AFTER_NANOS + self.cfg.start_margin.as_nanos() as i64
+            }
+        }
+    }
+
+    /// Concludes collection with whatever arrived: agents without a log
+    /// are quarantined, their logs recorded as empty, and the outcome is
+    /// flagged as salvaged.
+    fn salvage_finish(&mut self, ctx: &mut Context<'_, Msg>) {
+        for i in 0..self.cfg.agents.len() as u32 {
+            if !self.logs.contains_key(&i) {
+                self.quarantined.insert(i);
+                self.logs.insert(i, Vec::new());
+            }
+        }
+        self.finish(ctx);
     }
 
     fn send_stop(&mut self, ctx: &mut Context<'_, Msg>) {
@@ -198,11 +281,21 @@ impl CoordinatorNode {
             }
         }
         self.phase = Phase::Done;
+        let agent_health = (0..self.cfg.agents.len() as u32)
+            .map(|i| AgentHealth {
+                agent_index: i,
+                heartbeats: self.heartbeats[i as usize],
+                quarantined: self.quarantined.contains(&i),
+                log_collected: !self.quarantined.contains(&i),
+            })
+            .collect();
         self.outcome = Some(TestOutcome {
             trace: TestTrace::new(ops),
             deltas: self.deltas.clone(),
-            completed: !self.timed_out,
+            completed: !self.timed_out && self.quarantined.is_empty(),
             duration_nanos: ctx.now_local().delta_nanos(self.started_at),
+            agent_health,
+            salvaged: !self.quarantined.is_empty(),
         });
     }
 }
@@ -233,6 +326,12 @@ impl Node<Msg> for CoordinatorNode {
             NetMsg::App(HarnessMsg::StartAck { agent_index }) => {
                 self.start_acks.insert(agent_index);
             }
+            NetMsg::App(HarnessMsg::Heartbeat { agent_index }) => {
+                if let Some(slot) = self.last_heartbeat.get_mut(agent_index as usize) {
+                    *slot = Some(ctx.now_local());
+                    self.heartbeats[agent_index as usize] += 1;
+                }
+            }
             NetMsg::App(HarnessMsg::CompletionSeen { agent_index }) => {
                 if self.phase != Phase::Running {
                     return;
@@ -243,6 +342,9 @@ impl Node<Msg> for CoordinatorNode {
                 }
             }
             NetMsg::App(HarnessMsg::Log { agent_index, records }) => {
+                if self.phase != Phase::Collecting {
+                    return;
+                }
                 self.logs.insert(agent_index, records);
                 if self.logs.len() == self.cfg.agents.len() {
                     self.finish(ctx);
@@ -263,50 +365,69 @@ impl Node<Msg> for CoordinatorNode {
                     // Drop probes that have been in flight implausibly long
                     // (lost request or reply) so probing self-heals.
                     let now = ctx.now_local();
-                    self.in_flight
-                        .retain(|_, (_, sent)| now.delta_nanos(*sent) < 3_000_000_000);
+                    self.in_flight.retain(|_, (_, sent)| now.delta_nanos(*sent) < 3_000_000_000);
                     if self.in_flight.is_empty() {
                         self.send_probe(ctx, idx);
                     }
                     ctx.set_timer(self.cfg.probe_spacing, TOKEN_PROBE);
                 }
             }
-            TOKEN_TIMEOUT
-                if self.phase == Phase::Running => {
-                    self.timed_out = true;
-                    self.send_stop(ctx);
-                }
+            TOKEN_TIMEOUT if self.phase == Phase::Running => {
+                self.timed_out = true;
+                self.send_stop(ctx);
+            }
             TOKEN_START_RETRY
                 if self.phase == Phase::Running
-                    && self.start_acks.len() < self.cfg.agents.len()
-                => {
-                    for (i, agent) in self.cfg.agents.clone().into_iter().enumerate() {
-                        if !self.start_acks.contains(&(i as u32)) {
-                            let plan = self.plans[i].clone();
-                            ctx.send(agent, NetMsg::App(HarnessMsg::Start(Box::new(plan))));
-                        }
+                    && self.start_acks.len() < self.cfg.agents.len() =>
+            {
+                for (i, agent) in self.cfg.agents.clone().into_iter().enumerate() {
+                    if !self.start_acks.contains(&(i as u32)) {
+                        let plan = self.plans[i].clone();
+                        ctx.send(agent, NetMsg::App(HarnessMsg::Start(Box::new(plan))));
                     }
-                    ctx.set_timer(SimDuration::from_millis(700), TOKEN_START_RETRY);
                 }
-            TOKEN_STOP_RETRY
-                if self.phase == Phase::Collecting => {
-                    for (i, agent) in self.cfg.agents.clone().into_iter().enumerate() {
-                        if !self.logs.contains_key(&(i as u32)) {
-                            ctx.send(agent, NetMsg::App(HarnessMsg::Stop));
-                        }
+                ctx.set_timer(SimDuration::from_millis(700), TOKEN_START_RETRY);
+            }
+            TOKEN_STOP_RETRY if self.phase == Phase::Collecting => {
+                self.stop_rounds += 1;
+                if self.stop_rounds > MAX_STOP_ROUNDS {
+                    // Retry budget exhausted: quarantine the silent
+                    // agents and salvage a coherent partial trace from
+                    // the logs that did arrive.
+                    self.salvage_finish(ctx);
+                    return;
+                }
+                for (i, agent) in self.cfg.agents.clone().into_iter().enumerate() {
+                    if !self.logs.contains_key(&(i as u32)) {
+                        ctx.send(agent, NetMsg::App(HarnessMsg::Stop));
                     }
-                    ctx.set_timer(SimDuration::from_secs(2), TOKEN_STOP_RETRY);
                 }
-            TOKEN_FINALIZE
-                if self.phase == Phase::Collecting => {
-                    // Straggler logs are treated as empty; the test is
-                    // marked as not completed.
+                ctx.set_timer(STOP_RETRY_PERIOD, TOKEN_STOP_RETRY);
+            }
+            TOKEN_FINALIZE if self.phase == Phase::Collecting => {
+                // Backstop behind the Stop retry budget (kept in case
+                // the budget is ever raised past it): stragglers are
+                // quarantined and the test concludes.
+                self.timed_out = true;
+                self.salvage_finish(ctx);
+            }
+            TOKEN_LIVENESS if self.phase == Phase::Running => {
+                // Graceful degradation: when every agent that still
+                // looks alive has completed and at least one looks
+                // dead, stop now instead of waiting out max_duration
+                // for a completion that can never arrive.
+                let now = ctx.now_local();
+                let n = self.cfg.agents.len();
+                let any_dead = (0..n).any(|i| self.looks_dead(i, now));
+                let live_done = (0..n)
+                    .all(|i| self.looks_dead(i, now) || self.completions.contains(&(i as u32)));
+                if any_dead && live_done {
                     self.timed_out = true;
-                    for i in 0..self.cfg.agents.len() as u32 {
-                        self.logs.entry(i).or_default();
-                    }
-                    self.finish(ctx);
+                    self.send_stop(ctx);
+                } else {
+                    ctx.set_timer(LIVENESS_PERIOD, TOKEN_LIVENESS);
                 }
+            }
             _ => {}
         }
     }

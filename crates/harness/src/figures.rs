@@ -121,11 +121,8 @@ pub fn render_fig3(cells: &[(&CampaignResult, &CampaignResult)]) -> String {
         let vals: String = cells
             .iter()
             .map(|(t1, t2)| {
-                let results = if AnomalyKind::SESSION.contains(&kind) {
-                    &t1.results
-                } else {
-                    &t2.results
-                };
+                let results =
+                    if AnomalyKind::SESSION.contains(&kind) { &t1.results } else { &t2.results };
                 format!("{:>9.1}%", prevalence(results, kind))
             })
             .collect();
@@ -142,9 +139,7 @@ pub fn render_observation_figure(
     kind: AnomalyKind,
     cells: &[&CampaignResult],
 ) -> String {
-    let mut s = header(&format!(
-        "Figure {figure_no}: distribution of {kind} anomalies per test"
-    ));
+    let mut s = header(&format!("Figure {figure_no}: distribution of {kind} anomalies per test"));
     for cell in cells {
         let p = prevalence(&cell.results, kind);
         if p == 0.0 {
@@ -186,10 +181,7 @@ pub fn render_fig8(cells: &[&CampaignResult]) -> String {
         s,
         "{:<12}{}",
         "pair",
-        cells
-            .iter()
-            .map(|c| format!("{:>10}", c.config.test.service.name()))
-            .collect::<String>()
+        cells.iter().map(|c| format!("{:>10}", c.config.test.service.name())).collect::<String>()
     );
     for pair in PAIRS {
         let vals: String = cells
@@ -221,7 +213,10 @@ pub fn render_window_cdf(figure_no: u8, kind: WindowKind, cells: &[&CampaignResu
             s,
             "  {:<8}{}{:>14}{:>10}",
             "pair",
-            CDF_QS.iter().map(|q| format!("{:>8}", format!("p{:.0}", q * 100.0))).collect::<String>(),
+            CDF_QS
+                .iter()
+                .map(|q| format!("{:>8}", format!("p{:.0}", q * 100.0)))
+                .collect::<String>(),
             "unconverged",
             "n"
         );
@@ -236,14 +231,8 @@ pub fn render_window_cdf(figure_no: u8, kind: WindowKind, cells: &[&CampaignResu
                 })
                 .collect();
             let nc = nonconvergence_fraction(&cell.results, kind, pair);
-            let _ = writeln!(
-                s,
-                "  {:<8}{}{:>13.1}%{:>10}",
-                pair_label(pair),
-                cols,
-                nc,
-                windows.len()
-            );
+            let _ =
+                writeln!(s, "  {:<8}{}{:>13.1}%{:>10}", pair_label(pair), cols, nc, windows.len());
         }
     }
     s
@@ -256,12 +245,8 @@ pub fn window_cdf_csv(kind: WindowKind, cells: &[&CampaignResult]) -> String {
     for cell in cells {
         for pair in PAIRS {
             for w in largest_windows_secs(&cell.results, kind, pair) {
-                let _ = writeln!(
-                    s,
-                    "{},{},{w:.6}",
-                    cell.config.test.service.name(),
-                    pair_label(pair)
-                );
+                let _ =
+                    writeln!(s, "{},{},{w:.6}", cell.config.test.service.name(), pair_label(pair));
             }
         }
     }

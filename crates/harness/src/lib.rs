@@ -62,6 +62,8 @@ pub mod schedule;
 pub mod stats;
 pub mod whitebox;
 
+pub use agent::RpcStats;
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
+pub use coordinator::AgentHealth;
 pub use proto::{HarnessMsg, Msg, TestKind};
 pub use runner::{run_one_test, TestConfig, TestResult};

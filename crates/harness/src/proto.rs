@@ -6,16 +6,13 @@
 //! point of the paper's uncertainty analysis).
 
 use conprobe_core::trace::OpKind;
-use conprobe_sim::{LocalTime, SimDuration};
 use conprobe_services::NetMsg;
 use conprobe_sim::NodeId;
+use conprobe_sim::{LocalTime, SimDuration};
 use conprobe_store::PostId;
-use serde::{Deserialize, Serialize};
 
 /// The two test designs of §IV.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TestKind {
     /// Staggered write pairs; detects the session-guarantee anomalies.
     Test1,
@@ -33,7 +30,7 @@ impl std::fmt::Display for TestKind {
 }
 
 /// One operation as logged by an agent, in the agent's *local* time.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LocalOpRecord {
     /// Local invocation time.
     pub invoke: LocalTime,
@@ -97,6 +94,14 @@ pub enum HarnessMsg {
         /// The reporting agent's index.
         agent_index: u32,
     },
+    /// Agent → coordinator: periodic liveness beacon, sent once per second
+    /// from test start until `Stop`. Lets the coordinator distinguish a
+    /// slow agent from a dead or unreachable one and degrade gracefully
+    /// instead of waiting out the full test timeout.
+    Heartbeat {
+        /// The beaconing agent's index.
+        agent_index: u32,
+    },
     /// Coordinator → agent: stop and ship your log.
     Stop,
     /// Agent → coordinator: my full operation log.
@@ -121,9 +126,7 @@ pub fn test1_post(agent_index: u32, seq: u32) -> PostId {
 /// only write operations that require the observation of M2 and M4,
 /// respectively, as a trigger."*
 pub fn test1_trigger_pairs(total_agents: u32) -> Vec<(PostId, PostId)> {
-    (1..total_agents)
-        .map(|i| (test1_post(i - 1, 2), test1_post(i, 1)))
-        .collect()
+    (1..total_agents).map(|i| (test1_post(i - 1, 2), test1_post(i, 1))).collect()
 }
 
 #[cfg(test)]
@@ -137,10 +140,7 @@ mod tests {
         let pairs = test1_trigger_pairs(3);
         assert_eq!(
             pairs,
-            vec![
-                (test1_post(0, 2), test1_post(1, 1)),
-                (test1_post(1, 2), test1_post(2, 1)),
-            ]
+            vec![(test1_post(0, 2), test1_post(1, 1)), (test1_post(1, 2), test1_post(2, 1)),]
         );
     }
 

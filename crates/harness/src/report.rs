@@ -8,12 +8,12 @@
 use crate::campaign::CampaignResult;
 use crate::figures::CDF_QS;
 use crate::stats::{
-    self, largest_windows_secs, nonconvergence_fraction, pair_label, pair_prevalence,
-    prevalence, quantiles, PAIRS,
+    self, largest_windows_secs, nonconvergence_fraction, pair_label, pair_prevalence, prevalence,
+    quantiles, PAIRS,
 };
 use conprobe_core::window::WindowKind;
 use conprobe_core::AnomalyKind;
-use serde::{Deserialize, Serialize};
+use conprobe_json::{member, FromJson, JsonError, JsonValue, ToJson};
 use std::collections::BTreeMap;
 
 /// Rounds to microsecond-ish precision so emitted floats have short,
@@ -23,7 +23,7 @@ fn round6(v: f64) -> f64 {
 }
 
 /// Per-pair window statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowStats {
     /// Quantiles of the largest converged window per test, in seconds, at
     /// [`CDF_QS`] (None where no data).
@@ -35,7 +35,7 @@ pub struct WindowStats {
 }
 
 /// One campaign cell's aggregated numbers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellReport {
     /// Instances executed.
     pub tests: usize,
@@ -109,7 +109,7 @@ impl CellReport {
 }
 
 /// The whole study: one [`CellReport`] per (service, test kind).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StudyReport {
     /// Generator version (crate version).
     pub generator: String,
@@ -139,13 +139,104 @@ impl StudyReport {
     }
 
     /// Serializes to pretty JSON.
-    ///
-    /// # Errors
-    ///
-    /// Returns the underlying `serde_json` error on failure (practically
-    /// unreachable for this data model).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    pub fn to_json(&self) -> String {
+        ToJson::to_json(self).to_pretty()
+    }
+}
+
+fn map_to_json<V: ToJson>(map: &BTreeMap<String, V>) -> JsonValue {
+    JsonValue::Object(map.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+}
+
+fn map_from_json<V: FromJson>(v: &JsonValue) -> Result<BTreeMap<String, V>, JsonError> {
+    v.as_object()
+        .ok_or_else(|| JsonError::schema("expected object"))?
+        .iter()
+        .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+        .collect()
+}
+
+impl ToJson for WindowStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("quantiles_secs".into(), self.quantiles_secs.to_json()),
+            ("nonconvergence_pct".into(), self.nonconvergence_pct.to_json()),
+            ("samples".into(), self.samples.to_json()),
+        ])
+    }
+}
+
+impl FromJson for WindowStats {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        Ok(WindowStats {
+            quantiles_secs: Vec::from_json(member(v, "quantiles_secs")?)?,
+            nonconvergence_pct: f64::from_json(member(v, "nonconvergence_pct")?)?,
+            samples: usize::from_json(member(v, "samples")?)?,
+        })
+    }
+}
+
+impl ToJson for CellReport {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("tests".into(), self.tests.to_json()),
+            ("completed".into(), self.completed.to_json()),
+            ("total_reads".into(), self.total_reads.to_json()),
+            ("total_writes".into(), self.total_writes.to_json()),
+            ("mean_reads_per_agent".into(), self.mean_reads_per_agent.to_json()),
+            ("prevalence_pct".into(), map_to_json(&self.prevalence_pct)),
+            (
+                "content_divergence_per_pair_pct".into(),
+                map_to_json(&self.content_divergence_per_pair_pct),
+            ),
+            ("content_windows".into(), map_to_json(&self.content_windows)),
+            ("order_windows".into(), map_to_json(&self.order_windows)),
+            ("clock_error_ms".into(), self.clock_error_ms.to_vec().to_json()),
+        ])
+    }
+}
+
+impl FromJson for CellReport {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let clock: Vec<f64> = Vec::from_json(member(v, "clock_error_ms")?)?;
+        let clock_error_ms: [f64; 3] = clock
+            .try_into()
+            .map_err(|_| JsonError::schema("clock_error_ms must have 3 entries"))?;
+        Ok(CellReport {
+            tests: usize::from_json(member(v, "tests")?)?,
+            completed: usize::from_json(member(v, "completed")?)?,
+            total_reads: u64::from_json(member(v, "total_reads")?)?,
+            total_writes: u64::from_json(member(v, "total_writes")?)?,
+            mean_reads_per_agent: f64::from_json(member(v, "mean_reads_per_agent")?)?,
+            prevalence_pct: map_from_json(member(v, "prevalence_pct")?)?,
+            content_divergence_per_pair_pct: map_from_json(member(
+                v,
+                "content_divergence_per_pair_pct",
+            )?)?,
+            content_windows: map_from_json(member(v, "content_windows")?)?,
+            order_windows: map_from_json(member(v, "order_windows")?)?,
+            clock_error_ms,
+        })
+    }
+}
+
+impl ToJson for StudyReport {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("generator".into(), self.generator.to_json()),
+            ("seed".into(), self.seed.to_json()),
+            ("services".into(), map_to_json(&self.services)),
+        ])
+    }
+}
+
+impl FromJson for StudyReport {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        Ok(StudyReport {
+            generator: String::from_json(member(v, "generator")?)?,
+            seed: u64::from_json(member(v, "seed")?)?,
+            services: map_from_json(member(v, "services")?)?,
+        })
     }
 }
 
@@ -167,11 +258,11 @@ mod tests {
         let t1 = cell(ServiceKind::Blogger, TestKind::Test1);
         let t2 = cell(ServiceKind::Blogger, TestKind::Test2);
         let report = StudyReport::new(42, &[("Blogger", &t1, &t2)]);
-        let json = report.to_json().unwrap();
-        let back: StudyReport = serde_json::from_str(&json).unwrap();
+        let json = report.to_json();
+        let back = StudyReport::from_json(&conprobe_json::parse(&json).unwrap()).unwrap();
         // Floats may lose a ULP through JSON; a second serialization is a
         // fixpoint, so compare at the JSON level.
-        assert_eq!(json, back.to_json().unwrap());
+        assert_eq!(json, back.to_json());
         assert_eq!(report.services.len(), back.services.len());
         assert!(json.contains("\"RYW\""));
         assert!(json.contains("OR-JP"));

@@ -1,13 +1,17 @@
 //! Single-test execution: build a world, run it, analyze the trace.
 
-use crate::agent::AgentNode;
-use crate::coordinator::{CoordinatorConfig, CoordinatorNode};
+use crate::agent::{AgentNode, RpcStats};
+use crate::coordinator::{AgentHealth, CoordinatorConfig, CoordinatorNode};
 use crate::proto::{test1_trigger_pairs, Msg, TestKind};
 use conprobe_core::checkers::WfrMode;
 use conprobe_core::{analyze, CheckerConfig, TestAnalysis, TestTrace};
+use conprobe_services::fault_driver::{ExecutedAction, FaultDriver};
 use conprobe_services::{deploy, ServiceCluster, ServiceKind};
 use conprobe_sim::net::{PartitionSpec, Region};
-use conprobe_sim::{ClockConfig, NodeId, SimDuration, SimTime, World, WorldConfig};
+use conprobe_sim::{
+    ClockConfig, FaultEvent, FaultNetStats, FaultPlan, NodeId, SimDuration, SimTime, World,
+    WorldConfig,
+};
 use conprobe_store::PostId;
 
 /// Configuration of one test instance.
@@ -55,8 +59,15 @@ pub struct TestConfig {
     pub whitebox_period: Option<SimDuration>,
     /// Crash one replica mid-test (fault injection): volatile state is
     /// lost, requests go unanswered until recovery, anti-entropy repairs
-    /// the state afterwards.
+    /// the state afterwards. Legacy shorthand — merged into
+    /// [`TestConfig::fault_plan`] as a one-cycle
+    /// [`FaultEvent::CrashCycle`] at run time.
     pub crash_fault: Option<CrashFault>,
+    /// Declarative fault script executed against the world and the service
+    /// (link flaps, loss bursts, degraded links, crash cycles, brownouts).
+    /// The resulting interference is accounted in
+    /// [`TestResult::fault_ledger`].
+    pub fault_plan: FaultPlan,
     /// Agent deployment regions, in agent-index order. The paper's three
     /// (Oregon, Tokyo, Ireland) by default; any count ≥ 2 works — Test 1's
     /// message naming, trigger chain and completion condition generalize
@@ -112,8 +123,49 @@ impl TestConfig {
             rotation: 0,
             whitebox_period: None,
             crash_fault: None,
+            fault_plan: FaultPlan::default(),
             agent_regions: Region::AGENTS.to_vec(),
         }
+    }
+
+    /// The fault plan actually executed: [`TestConfig::fault_plan`] plus
+    /// the legacy [`TestConfig::crash_fault`] folded in as a one-cycle
+    /// crash.
+    pub fn effective_fault_plan(&self) -> FaultPlan {
+        let mut plan = self.fault_plan.clone();
+        if let Some(fault) = self.crash_fault {
+            plan.push(FaultEvent::CrashCycle {
+                target: fault.replica,
+                at: SimTime::ZERO + fault.at,
+                down_for: fault.down_for,
+                up_for: SimDuration::ZERO,
+                cycles: 1,
+            });
+        }
+        plan
+    }
+}
+
+/// Everything a test's fault plan did to the run: network interference
+/// counters, the executed service transitions, and how hard each agent's
+/// RPC layer had to work to get through.
+#[derive(Debug, Clone, Default)]
+pub struct FaultLedger {
+    /// Messages blocked/dropped/delayed by the plan's network effects.
+    pub net: FaultNetStats,
+    /// Service transitions (crash/recover/brownout) in firing order.
+    pub actions: Vec<ExecutedAction>,
+    /// Plan actions dropped for naming a replica the topology lacks.
+    pub skipped_actions: usize,
+    /// Per-agent transport counters (retransmits, abandonments,
+    /// throttles).
+    pub agent_rpc: Vec<RpcStats>,
+}
+
+impl FaultLedger {
+    /// True when the plan interfered with the run in any visible way.
+    pub fn any_interference(&self) -> bool {
+        self.net.total() > 0 || !self.actions.is_empty()
     }
 }
 
@@ -144,6 +196,13 @@ pub struct TestResult {
     pub agent_regions: Vec<Region>,
     /// Replica-level ground truth, when white-box probing was enabled.
     pub whitebox: Option<crate::whitebox::WhiteboxReport>,
+    /// What the fault plan did to the run.
+    pub fault_ledger: FaultLedger,
+    /// Per-agent liveness accounting from the coordinator.
+    pub agent_health: Vec<AgentHealth>,
+    /// The trace is a coherent partial view: one or more agents were
+    /// quarantined and contributed nothing.
+    pub salvaged: bool,
     /// The seed this test ran with.
     pub seed: u64,
 }
@@ -170,19 +229,18 @@ pub fn run_one_test(config: &TestConfig, seed: u64) -> TestResult {
     if config.link_loss > 0.0 {
         matrix = matrix.with_loss_everywhere(config.link_loss);
     }
-    let world_config = WorldConfig {
-        net: conprobe_sim::net::NetworkConfig::new(matrix),
-        clocks: config.agent_clocks.clone(),
-    };
+    let fault_plan = config.effective_fault_plan();
+    let mut net = conprobe_sim::net::NetworkConfig::new(matrix);
+    net.effects = fault_plan.network_effects();
+    net.fault_seed = fault_plan.seed();
+    let world_config = WorldConfig { net, clocks: config.agent_clocks.clone() };
     let mut world: World<Msg> = World::new(world_config, seed);
 
     // Service first (replica node ids are deterministic: 0..n).
     let mut cluster: ServiceCluster = match &config.service_override {
-        Some(topo) => conprobe_services::catalog::deploy_topology(
-            &mut world,
-            config.service,
-            topo.clone(),
-        ),
+        Some(topo) => {
+            conprobe_services::catalog::deploy_topology(&mut world, config.service, topo.clone())
+        }
         None => deploy(&mut world, config.service),
     };
     if config.tokyo_partition {
@@ -195,8 +253,7 @@ pub fn run_one_test(config: &TestConfig, seed: u64) -> TestResult {
     let mut agents = Vec::new();
     let mut entries = Vec::new();
     for i in 0..n_agents {
-        let region =
-            config.agent_regions[((i + config.rotation) % n_agents) as usize];
+        let region = config.agent_regions[((i + config.rotation) % n_agents) as usize];
         let id = world.add_node(region, Box::new(AgentNode::new(i, config.use_guard)));
         entries.push(cluster.entry_for(region));
         agents.push(id);
@@ -218,13 +275,13 @@ pub fn run_one_test(config: &TestConfig, seed: u64) -> TestResult {
     };
     let coord = world.add_node(Region::Virginia, Box::new(CoordinatorNode::new(coord_cfg)));
 
-    if let Some(fault) = config.crash_fault {
-        let replica = cluster.replicas[fault.replica.min(cluster.replicas.len() - 1)];
+    // One driver executes the whole service-level half of the fault plan.
+    let fault_driver = (!fault_plan.is_empty()).then(|| {
         world.add_node(
             Region::Virginia,
-            Box::new(FaultInjector { target: replica, fault }),
-        );
-    }
+            Box::new(FaultDriver::new(&fault_plan, cluster.replicas.clone())),
+        )
+    });
 
     // Optional white-box probe, co-located with the coordinator.
     let probe = config.whitebox_period.map(|period| {
@@ -267,10 +324,21 @@ pub fn run_one_test(config: &TestConfig, seed: u64) -> TestResult {
         .collect();
 
     let agent_regions = agents.iter().map(|id| world.region_of(*id)).collect();
+    let (actions, skipped_actions) = fault_driver
+        .and_then(|d| world.node_as::<FaultDriver>(d))
+        .map(|d| (d.log().to_vec(), d.skipped()))
+        .unwrap_or_default();
+    let fault_ledger = FaultLedger {
+        net: world.fault_stats(),
+        actions,
+        skipped_actions,
+        agent_rpc: agents
+            .iter()
+            .map(|id| world.node_as::<AgentNode>(*id).map(|a| a.rpc_stats()).unwrap_or_default())
+            .collect(),
+    };
     let whitebox = probe.map(|p| {
-        let node = world
-            .node_as::<crate::whitebox::WhiteboxProbe>(p)
-            .expect("probe node exists");
+        let node = world.node_as::<crate::whitebox::WhiteboxProbe>(p).expect("probe node exists");
         crate::whitebox::WhiteboxReport::from_samples(node.samples(), cluster.replicas.len())
     });
     TestResult {
@@ -285,26 +353,10 @@ pub fn run_one_test(config: &TestConfig, seed: u64) -> TestResult {
         clock_uncertainty_nanos: clock_uncertainty,
         trace: outcome.trace,
         analysis,
+        fault_ledger,
+        agent_health: outcome.agent_health,
+        salvaged: outcome.salvaged,
         seed,
-    }
-}
-
-/// Sends Crash/Recover control messages to one replica on schedule.
-struct FaultInjector {
-    target: NodeId,
-    fault: CrashFault,
-}
-
-impl conprobe_sim::Node<Msg> for FaultInjector {
-    fn on_start(&mut self, ctx: &mut conprobe_sim::Context<'_, Msg>) {
-        ctx.set_timer(self.fault.at, 1);
-        ctx.set_timer(self.fault.at + self.fault.down_for, 2);
-    }
-    fn on_message(&mut self, _: &mut conprobe_sim::Context<'_, Msg>, _: NodeId, _: Msg) {}
-    fn on_timer(&mut self, ctx: &mut conprobe_sim::Context<'_, Msg>, token: u64) {
-        use conprobe_services::{ControlMsg, NetMsg};
-        let ctl = if token == 1 { ControlMsg::Crash } else { ControlMsg::Recover };
-        ctx.send(self.target, NetMsg::Control(ctl));
     }
 }
 
@@ -338,10 +390,8 @@ fn add_tokyo_partition(world: &mut World<Msg>, cluster: &mut ServiceCluster, con
 fn drive(world: &mut World<Msg>, coord: NodeId) {
     // Generous budget: a long Test 2 is ~200k events.
     for _ in 0..50_000_000u64 {
-        let done = world
-            .node_as::<CoordinatorNode>(coord)
-            .map(|c| c.outcome().is_some())
-            .unwrap_or(false);
+        let done =
+            world.node_as::<CoordinatorNode>(coord).map(|c| c.outcome().is_some()).unwrap_or(false);
         if done {
             return;
         }
@@ -361,8 +411,11 @@ mod tests {
         let r = run_one_test(&config, 1);
         assert!(r.completed, "Blogger Test 1 must complete");
         assert_eq!(r.writes_total, 6, "M1..M6");
-        assert!(r.analysis.is_clean(), "Blogger shows no anomalies: {:?}",
-            r.analysis.observations.first());
+        assert!(
+            r.analysis.is_clean(),
+            "Blogger shows no anomalies: {:?}",
+            r.analysis.observations.first()
+        );
         assert!(r.reads_per_agent.iter().all(|n| *n >= 2));
     }
 
@@ -390,9 +443,8 @@ mod tests {
     fn fbgroup_test1_shows_monotonic_writes_reversal() {
         let config = TestConfig::paper(ServiceKind::FacebookGroup, TestKind::Test1);
         // MW appears in most but not all tests; check across a few seeds.
-        let hits = (0..5)
-            .filter(|s| run_one_test(&config, *s).has(AnomalyKind::MonotonicWrites))
-            .count();
+        let hits =
+            (0..5).filter(|s| run_one_test(&config, *s).has(AnomalyKind::MonotonicWrites)).count();
         assert!(hits >= 3, "FB Group same-second reversal should dominate, got {hits}/5");
     }
 
@@ -402,10 +454,7 @@ mod tests {
         config.tokyo_partition = true;
         let r = run_one_test(&config, 3);
         assert!(r.partitioned);
-        assert!(
-            r.has(AnomalyKind::ContentDivergence),
-            "a partitioned Tokyo replica must diverge"
-        );
+        assert!(r.has(AnomalyKind::ContentDivergence), "a partitioned Tokyo replica must diverge");
     }
 
     #[test]
@@ -415,10 +464,7 @@ mod tests {
         for (err, unc) in r.clock_error_nanos.iter().zip(&r.clock_uncertainty_nanos) {
             // Error ≤ uncertainty + drift slack (clocks drift between sync
             // and measurement; allow 3× for the ±50 ppm default).
-            assert!(
-                *err <= unc * 3 + 20_000_000,
-                "clock error {err} vs uncertainty {unc}"
-            );
+            assert!(*err <= unc * 3 + 20_000_000, "clock error {err} vs uncertainty {unc}");
         }
     }
 

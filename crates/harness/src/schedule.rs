@@ -57,9 +57,8 @@ impl StudyPlan {
         let blocks = self.total.as_nanos() / self.block.as_nanos().max(1);
         let t1_blocks = blocks.div_ceil(2);
         let t2_blocks = blocks / 2;
-        let remainder = SimDuration::from_nanos(
-            self.total.as_nanos() - blocks * self.block.as_nanos(),
-        );
+        let remainder =
+            SimDuration::from_nanos(self.total.as_nanos() - blocks * self.block.as_nanos());
         let t1 = SimDuration::from_nanos(t1_blocks * self.block.as_nanos())
             + if blocks.is_multiple_of(2) { remainder } else { SimDuration::ZERO };
         let t2 = SimDuration::from_nanos(t2_blocks * self.block.as_nanos())
@@ -157,14 +156,8 @@ mod tests {
         for service in [ServiceKind::GooglePlus, ServiceKind::FacebookFeed] {
             let plan = StudyPlan::paper(service);
             let counts = plan_counts(&plan, 1, 7);
-            assert!(
-                (200..5_000).contains(&counts.test1),
-                "{service} test1: {counts:?}"
-            );
-            assert!(
-                (200..20_000).contains(&counts.test2),
-                "{service} test2: {counts:?}"
-            );
+            assert!((200..5_000).contains(&counts.test1), "{service} test1: {counts:?}");
+            assert!((200..20_000).contains(&counts.test2), "{service} test2: {counts:?}");
         }
     }
 

@@ -18,10 +18,7 @@ pub const PAIRS: [(u32, u32); 3] = [(0, 1), (0, 2), (1, 2)];
 /// beyond them).
 pub fn pair_label(pair: (u32, u32)) -> String {
     let name = |i: u32| {
-        LOCATIONS_SHORT
-            .get(i as usize)
-            .map(|s| s.to_string())
-            .unwrap_or_else(|| format!("a{i}"))
+        LOCATIONS_SHORT.get(i as usize).map(|s| s.to_string()).unwrap_or_else(|| format!("a{i}"))
     };
     format!("{}-{}", name(pair.0), name(pair.1))
 }
@@ -111,10 +108,7 @@ pub fn location_correlation(results: &[TestResult], kind: AnomalyKind) -> BTreeM
             .join("+");
         *counts.entry(label).or_default() += 1;
     }
-    counts
-        .into_iter()
-        .map(|(k, v)| (k, 100.0 * v as f64 / affected.max(1) as f64))
-        .collect()
+    counts.into_iter().map(|(k, v)| (k, 100.0 * v as f64 / affected.max(1) as f64)).collect()
 }
 
 /// Per-pair prevalence of a divergence anomaly (Figure 8): percentage of
@@ -157,11 +151,7 @@ pub fn largest_windows_secs(
 
 /// Fraction (0–100) of *divergent* tests in which the pair never
 /// re-converged before the test ended (Figure 10's exclusion percentages).
-pub fn nonconvergence_fraction(
-    results: &[TestResult],
-    kind: WindowKind,
-    pair: (u32, u32),
-) -> f64 {
+pub fn nonconvergence_fraction(results: &[TestResult], kind: WindowKind, pair: (u32, u32)) -> f64 {
     let mut divergent = 0u32;
     let mut open = 0u32;
     for r in results {
@@ -184,8 +174,7 @@ pub fn quantiles(sorted: &[f64], qs: &[f64]) -> Vec<Option<f64>> {
             if sorted.is_empty() {
                 None
             } else {
-                let idx =
-                    ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+                let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
                 Some(sorted[idx])
             }
         })

@@ -133,10 +133,8 @@ impl WhiteboxReport {
         WhiteboxReport {
             content_windows: all_pair_windows(&trace, WindowKind::Content),
             order_windows: all_pair_windows(&trace, WindowKind::Order),
-            content_presence: !conprobe_core::checkers::check_content_divergence(&trace)
-                .is_empty(),
-            order_presence: !conprobe_core::checkers::check_order_divergence(&trace)
-                .is_empty(),
+            content_presence: !conprobe_core::checkers::check_content_divergence(&trace).is_empty(),
+            order_presence: !conprobe_core::checkers::check_order_divergence(&trace).is_empty(),
             samples: samples.len(),
             replicas,
         }
@@ -162,17 +160,13 @@ mod tests {
         ReplicaSample {
             replica,
             at_nanos: ms * 1_000_000,
-            seq: seq
-                .into_iter()
-                .map(|s| PostId::new(conprobe_store::AuthorId(0), s))
-                .collect(),
+            seq: seq.into_iter().map(|s| PostId::new(conprobe_store::AuthorId(0), s)).collect(),
         }
     }
 
     #[test]
     fn identical_replicas_show_no_divergence() {
-        let samples =
-            vec![sample(0, 100, vec![1, 2]), sample(1, 110, vec![1, 2])];
+        let samples = vec![sample(0, 100, vec![1, 2]), sample(1, 110, vec![1, 2])];
         let report = WhiteboxReport::from_samples(&samples, 2);
         assert!(!report.any_true_content_divergence());
         assert!(!report.any_true_order_divergence());
@@ -194,8 +188,7 @@ mod tests {
 
     #[test]
     fn order_flip_across_replicas_is_detected() {
-        let samples =
-            vec![sample(0, 100, vec![1, 2]), sample(1, 110, vec![2, 1])];
+        let samples = vec![sample(0, 100, vec![1, 2]), sample(1, 110, vec![2, 1])];
         let report = WhiteboxReport::from_samples(&samples, 2);
         assert!(report.any_true_order_divergence());
     }

@@ -2,9 +2,9 @@
 //! coordinator's estimates must recover known clock offsets within the
 //! paper's half-RTT uncertainty bound.
 
+use conprobe_harness::agent::AgentNode;
 use conprobe_harness::coordinator::{CoordinatorConfig, CoordinatorNode};
 use conprobe_harness::proto::{Msg, TestKind};
-use conprobe_harness::agent::AgentNode;
 use conprobe_sim::net::Region;
 use conprobe_sim::{LocalClock, SimDuration, SimTime, World, WorldConfig};
 
@@ -23,11 +23,8 @@ fn sync_world(offsets_ms: [i64; 3]) -> Vec<i64> {
     let mut agents = Vec::new();
     for (i, region) in Region::AGENTS.into_iter().enumerate() {
         let clock = LocalClock::new(offsets_ms[i] * 1_000_000, 0.0);
-        let id = world.add_node_with_clock(
-            region,
-            clock,
-            Box::new(AgentNode::new(i as u32, false)),
-        );
+        let id =
+            world.add_node_with_clock(region, clock, Box::new(AgentNode::new(i as u32, false)));
         agents.push(id);
     }
     let coord = world.add_node_with_clock(

@@ -1,0 +1,767 @@
+//! # conprobe-json — a minimal, dependency-free JSON layer
+//!
+//! The workspace must build and test without network access, so it cannot
+//! pull `serde`/`serde_json` from a registry. This crate supplies the small
+//! slice of JSON functionality conprobe actually needs: a [`JsonValue`]
+//! document model, a strict recursive-descent [`parse`] function, compact and
+//! pretty writers, and the [`ToJson`]/[`FromJson`] conversion traits the rest
+//! of the workspace implements by hand for its (few) serialized types.
+//!
+//! Design notes:
+//!
+//! * Object members preserve insertion order (a `Vec` of pairs, not a map),
+//!   so writers emit fields in the order the `ToJson` impl listed them and a
+//!   serialize→parse→serialize round trip is a fixpoint.
+//! * Numbers keep their integer-ness: `Int`/`UInt` survive round trips
+//!   exactly; only values written with a decimal point or exponent parse as
+//!   `Float`. This matters for 64-bit seeds and nanosecond timestamps that
+//!   exceed `f64`'s 53-bit integer range.
+//! * The parser is strict (no trailing commas, no comments, no NaN/Infinity)
+//!   and recursion-limited so hostile inputs fail cleanly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A parsed or constructed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer that fits `i64`.
+    Int(i64),
+    /// An unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// Any other finite number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; members keep insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a member of an object by key.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(n) => Some(*n),
+            JsonValue::UInt(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(n) => u64::try_from(*n).ok(),
+            JsonValue::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(n) => Some(*n as f64),
+            JsonValue::UInt(n) => Some(*n as f64),
+            JsonValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Serializes without whitespace.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        write_value(self, None, 0, &mut out);
+        out
+    }
+
+    /// Serializes with 2-space indentation (the `serde_json` pretty style).
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(self, Some(2), 0, &mut out);
+        out
+    }
+}
+
+/// Where and why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonError {
+    /// A schema-level error (shape mismatch rather than syntax).
+    pub fn schema(message: impl Into<String>) -> Self {
+        JsonError { offset: 0, message: message.into() }
+    }
+}
+
+/// Types that can render themselves as a [`JsonValue`].
+pub trait ToJson {
+    /// Converts to a document-model value.
+    fn to_json(&self) -> JsonValue;
+}
+
+/// Types that can reconstruct themselves from a [`JsonValue`].
+pub trait FromJson: Sized {
+    /// Converts from a document-model value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a schema [`JsonError`] when the value has the wrong shape.
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError>;
+}
+
+/// Fetches a required object member, with a schema error naming the key.
+pub fn member<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, JsonError> {
+    v.get(key).ok_or_else(|| JsonError::schema(format!("missing member `{key}`")))
+}
+
+fn uint_to_json(n: u64) -> JsonValue {
+    if n <= i64::MAX as u64 {
+        JsonValue::Int(n as i64)
+    } else {
+        JsonValue::UInt(n)
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> JsonValue {
+                uint_to_json(*self as u64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+                match v {
+                    JsonValue::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| JsonError::schema("integer out of range")),
+                    JsonValue::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| JsonError::schema("integer out of range")),
+                    _ => Err(JsonError::schema(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u32, u64, usize);
+
+impl ToJson for i64 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Int(*self)
+    }
+}
+
+impl FromJson for i64 {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        v.as_i64().ok_or_else(|| JsonError::schema("expected i64"))
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Float(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        v.as_f64().ok_or_else(|| JsonError::schema("expected number"))
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        v.as_bool().ok_or_else(|| JsonError::schema("expected bool"))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        v.as_str().map(str::to_string).ok_or_else(|| JsonError::schema("expected string"))
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        v.as_array()
+            .ok_or_else(|| JsonError::schema("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            Some(t) => t.to_json(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        match v.as_array() {
+            Some([a, b]) => Ok((A::from_json(a)?, B::from_json(b)?)),
+            _ => Err(JsonError::schema("expected 2-element array")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &JsonValue, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(true) => out.push_str("true"),
+        JsonValue::Bool(false) => out.push_str("false"),
+        JsonValue::Int(n) => out.push_str(&n.to_string()),
+        JsonValue::UInt(n) => out.push_str(&n.to_string()),
+        JsonValue::Float(f) => write_float(*f, out),
+        JsonValue::Str(s) => write_string(s, out),
+        JsonValue::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_value(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        JsonValue::Object(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_float(f: f64, out: &mut String) {
+    if !f.is_finite() {
+        // JSON has no NaN/Infinity; mirror serde_json's lossy `null`.
+        out.push_str("null");
+        return;
+    }
+    // `{}` on f64 is the shortest representation that round-trips, but drops
+    // the decimal point for whole numbers; keep `.0` so the value re-parses
+    // as Float and serialization stays a fixpoint.
+    let s = format!("{f}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] with the byte offset of the first syntax problem,
+/// including trailing garbage after the top-level value.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError { offset: self.pos, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(JsonValue::Null),
+            Some(b't') if self.eat_literal("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                // High surrogate: require a low surrogate.
+                                if !self.eat_literal("\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            s.push(c.ok_or_else(|| self.err("invalid code point"))?);
+                            // hex4 leaves pos past the digits; compensate for
+                            // the `self.pos += 1` below.
+                            self.pos -= 1;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    // Input is a &str, so the slice is valid UTF-8.
+                    s.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(JsonValue::Int(n));
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(JsonValue::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|_| JsonError { offset: start, message: "invalid number".into() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse("42").unwrap(), JsonValue::Int(42));
+        assert_eq!(parse("-7").unwrap(), JsonValue::Int(-7));
+        assert_eq!(parse("1.5").unwrap(), JsonValue::Float(1.5));
+        assert_eq!(parse("2e3").unwrap(), JsonValue::Float(2000.0));
+        assert_eq!(parse("\"hi\"").unwrap(), JsonValue::Str("hi".into()));
+    }
+
+    #[test]
+    fn big_u64_survives() {
+        let v = parse("18446744073709551615").unwrap();
+        assert_eq!(v, JsonValue::UInt(u64::MAX));
+        assert_eq!(v.to_compact(), "18446744073709551615");
+        assert_eq!(u64::from_json(&v).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let src = r#"{"a":[1,2,{"b":null}],"c":{"d":true},"e":-1.25,"f":"x\ny"}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.to_compact(), src);
+        let re = parse(&v.to_pretty()).unwrap();
+        assert_eq!(re, v);
+    }
+
+    #[test]
+    fn pretty_matches_expected_shape() {
+        let v = parse(r#"{"k":[1]}"#).unwrap();
+        assert_eq!(v.to_pretty(), "{\n  \"k\": [\n    1\n  ]\n}");
+        assert_eq!(parse("[]").unwrap().to_pretty(), "[]");
+        assert_eq!(parse("{}").unwrap().to_pretty(), "{}");
+    }
+
+    #[test]
+    fn floats_reparse_as_floats() {
+        let v = JsonValue::Float(3.0);
+        assert_eq!(v.to_compact(), "3.0");
+        assert_eq!(parse("3.0").unwrap(), JsonValue::Float(3.0));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = parse(r#""a\"b\\c\u0041\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v, JsonValue::Str("a\"b\\cAé😀".into()));
+        let round = parse(&v.to_compact()).unwrap();
+        assert_eq!(round, v);
+        assert_eq!(JsonValue::Str("\u{1}".into()).to_compact(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "tru",
+            "[1,",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "[1] garbage",
+            "{'a':1}",
+            "\"\\ud800\"",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_deep_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = parse(r#"{"n":3,"s":"x","b":false,"a":[1,2]}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_i64(), Some(3));
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+        assert!(v.get("missing").is_none());
+        assert!(member(&v, "missing").is_err());
+    }
+
+    #[test]
+    fn trait_impls_round_trip() {
+        let xs: Vec<u64> = vec![1, 2, u64::MAX];
+        assert_eq!(Vec::<u64>::from_json(&xs.to_json()).unwrap(), xs);
+        let opt: Option<String> = Some("hi".into());
+        assert_eq!(Option::<String>::from_json(&opt.to_json()).unwrap(), opt);
+        let none: Option<String> = None;
+        assert_eq!(Option::<String>::from_json(&none.to_json()).unwrap(), none);
+        let pair: (u32, f64) = (7, 0.5);
+        assert_eq!(<(u32, f64)>::from_json(&pair.to_json()).unwrap(), pair);
+        assert!(u32::from_json(&JsonValue::Int(-1)).is_err());
+        assert!(u32::from_json(&JsonValue::Str("x".into())).is_err());
+    }
+}

@@ -8,6 +8,7 @@
 //! measurement and measured — flows over the same simulated WAN, exactly as
 //! in the paper's deployment.
 
+use conprobe_sim::BrownoutMode;
 use conprobe_store::{Post, PostId, StoredPost};
 use std::collections::HashSet;
 
@@ -87,6 +88,12 @@ pub enum ControlMsg {
     /// Restart the replica with empty state; periodic anti-entropy (if
     /// configured) re-fills it from the peers.
     Recover,
+    /// Put the front door into a brownout: client requests are mistreated
+    /// per the mode (throttle storm or delayed service) while replication
+    /// and internal traffic continue normally.
+    BrownoutStart(BrownoutMode),
+    /// End the brownout; client requests are served normally again.
+    BrownoutEnd,
 }
 
 /// Everything that flows over the simulated network.

@@ -16,13 +16,10 @@ use crate::replica_node::{DelayDist, ReadPath, ReplicaNode, ReplicaParams};
 use conprobe_sim::net::Region;
 use conprobe_sim::{LocalClock, NodeId, SimDuration, World};
 use conprobe_store::{AffinityMap, OrderingPolicy, RankingConfig, TieBreak};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The four services of the measurement study.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ServiceKind {
     /// Blogger — strongly consistent blog service.
     Blogger,
@@ -280,10 +277,7 @@ pub fn topology_primary_backup(repl_delay_ms: u64) -> Topology {
         ..primary.clone()
     };
     let mut affinity = AffinityMap::with_fallback(1);
-    affinity
-        .assign(Region::Oregon, 1)
-        .assign(Region::Tokyo, 2)
-        .assign(Region::Ireland, 3);
+    affinity.assign(Region::Oregon, 1).assign(Region::Tokyo, 2).assign(Region::Ireland, 3);
     Topology {
         replicas: vec![
             (Region::Virginia, primary),
@@ -299,7 +293,10 @@ pub fn topology_primary_backup(repl_delay_ms: u64) -> Topology {
 ///
 /// Replica nodes get perfect clocks (service infrastructure is internally
 /// time-synchronized; only measurement agents have drifting clocks).
-pub fn deploy<A: Send + 'static>(world: &mut World<NetMsg<A>>, kind: ServiceKind) -> ServiceCluster {
+pub fn deploy<A: Send + 'static>(
+    world: &mut World<NetMsg<A>>,
+    kind: ServiceKind,
+) -> ServiceCluster {
     deploy_topology(world, kind, topology(kind))
 }
 
@@ -321,10 +318,7 @@ pub fn deploy_topology<A: Send + 'static>(
     for (i, id) in ids.iter().enumerate() {
         let peers: Vec<NodeId> =
             ids.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, p)| *p).collect();
-        world
-            .node_as_mut::<ReplicaNode>(*id)
-            .expect("just added a ReplicaNode")
-            .set_peers(peers);
+        world.node_as_mut::<ReplicaNode>(*id).expect("just added a ReplicaNode").set_peers(peers);
     }
     ServiceCluster { kind, replicas: ids, affinity: topo.affinity }
 }

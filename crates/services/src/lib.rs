@@ -41,8 +41,10 @@
 
 pub mod api;
 pub mod catalog;
+pub mod fault_driver;
 pub mod replica_node;
 
 pub use api::{ClientOp, ControlMsg, NetMsg, OpResult, ReplMsg};
 pub use catalog::{deploy, ServiceCluster, ServiceKind};
+pub use fault_driver::{ExecutedAction, FaultDriver};
 pub use replica_node::{DelayDist, ReadPath, ReplicaNode, ReplicaParams};

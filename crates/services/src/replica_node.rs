@@ -25,9 +25,11 @@
 //! not model.
 
 use crate::api::{ClientOp, NetMsg, OpResult, ReplMsg};
-use conprobe_sim::{Context, Node, NodeId, SimDuration, SimRng, SimTime};
+use conprobe_sim::{BrownoutMode, Context, Node, NodeId, SimDuration, SimRng, SimTime};
 use conprobe_store::ranking::RankablePost;
-use conprobe_store::{FeedRanker, OrderingPolicy, Post, PostId, RankingConfig, ReadCache, ReplicaCore};
+use conprobe_store::{
+    FeedRanker, OrderingPolicy, Post, PostId, RankingConfig, ReadCache, ReplicaCore,
+};
 use std::collections::HashMap;
 
 /// A sampled delay distribution.
@@ -187,6 +189,7 @@ impl Default for ReplicaParams {
 const TOKEN_ANTI_ENTROPY: u64 = 0;
 const TOKEN_KIND_APPLY: u64 = 1 << 62;
 const TOKEN_KIND_PUSH: u64 = 2 << 62;
+const TOKEN_KIND_DELAY: u64 = 3 << 62;
 const TOKEN_KIND_MASK: u64 = 3 << 62;
 
 /// A service replica (also the service's front door for its clients).
@@ -205,6 +208,12 @@ pub struct ReplicaNode {
     last_push_at: HashMap<NodeId, SimTime>,
     /// True while crashed (fault injection): all traffic is ignored.
     crashed: bool,
+    /// Active front-door brownout (fault injection). Survives a crash: it
+    /// models an external overload condition, not volatile process state.
+    brownout: Option<BrownoutMode>,
+    /// Client requests held by a [`BrownoutMode::Delay`] brownout, keyed by
+    /// the hold timer's token.
+    delayed_requests: HashMap<u64, (NodeId, u64, ClientOp)>,
     /// Sync-majority writes awaiting peer acknowledgements.
     pending_sync_writes: HashMap<u64, PendingSyncWrite>,
     /// Quorum reads awaiting peer snapshots.
@@ -274,6 +283,8 @@ impl ReplicaNode {
             last_op_at: HashMap::new(),
             last_push_at: HashMap::new(),
             crashed: false,
+            brownout: None,
+            delayed_requests: HashMap::new(),
             pending_sync_writes: HashMap::new(),
             pending_quorum_reads: HashMap::new(),
             forwarded_writes: HashMap::new(),
@@ -300,6 +311,11 @@ impl ReplicaNode {
     /// Whether the replica is currently crashed (fault injection).
     pub fn is_crashed(&self) -> bool {
         self.crashed
+    }
+
+    /// The active front-door brownout, if any (fault injection).
+    pub fn brownout(&self) -> Option<BrownoutMode> {
+        self.brownout
     }
 
     /// `(writes, reads, throttled)` request counters.
@@ -411,10 +427,8 @@ impl ReplicaNode {
         let payload = self.core.missing_from(&std::collections::HashSet::new());
         let mine: Vec<conprobe_store::StoredPost> =
             payload.into_iter().filter(|p| p.id() == post_id).collect();
-        self.pending_sync_writes.insert(
-            token,
-            PendingSyncWrite { client, req_id, post_id, acks_remaining },
-        );
+        self.pending_sync_writes
+            .insert(token, PendingSyncWrite { client, req_id, post_id, acks_remaining });
         for peer in self.peers.clone() {
             ctx.send_ordered(peer, NetMsg::Repl(ReplMsg::SyncPush { token, posts: mine.clone() }));
         }
@@ -489,6 +503,82 @@ impl ReplicaNode {
         }
     }
 
+    /// Serves one client request: rate-limit check, then the op itself.
+    /// Called both on message receipt and when a brownout-held request's
+    /// delay expires.
+    fn handle_request<A>(
+        &mut self,
+        ctx: &mut Context<'_, NetMsg<A>>,
+        from: NodeId,
+        req_id: u64,
+        op: ClientOp,
+    ) {
+        // White-box inspection is harness instrumentation, exempt from the
+        // service's public rate limit.
+        if !matches!(op, ClientOp::Inspect) && self.throttled(ctx, from) {
+            self.stats.2 += 1;
+            ctx.send(from, NetMsg::Response { req_id, result: OpResult::Throttled });
+            return;
+        }
+        match op {
+            ClientOp::Write(post) => {
+                self.stats.0 += 1;
+                let server_ts = ctx.true_now();
+                let id = post.id;
+                match self.params.write_mode {
+                    WriteMode::LocalAck => {
+                        // Acknowledge immediately; visibility follows later.
+                        ctx.send(from, NetMsg::Response { req_id, result: OpResult::WriteAck(id) });
+                        let delay = self.params.apply_delay.sample(ctx.rng());
+                        if delay.is_zero() {
+                            self.apply_and_replicate(ctx, post, server_ts);
+                        } else {
+                            let token = self.fresh_token(TOKEN_KIND_APPLY);
+                            self.pending_apply.insert(token, (post, server_ts));
+                            ctx.set_timer(delay, token);
+                        }
+                    }
+                    WriteMode::SyncMajority => {
+                        self.sync_majority_write(ctx, from, req_id, post, server_ts);
+                    }
+                    WriteMode::ForwardToPrimary => {
+                        let Some(primary) = self.peers.first().copied() else {
+                            // No primary configured: degrade to a local ack
+                            // so the client is not left hanging.
+                            ctx.send(
+                                from,
+                                NetMsg::Response { req_id, result: OpResult::WriteAck(id) },
+                            );
+                            self.apply_and_replicate(ctx, post, server_ts);
+                            return;
+                        };
+                        let fwd = self.next_forward_req;
+                        self.next_forward_req += 1;
+                        self.forwarded_writes.insert(fwd, (from, req_id));
+                        ctx.send_ordered(
+                            primary,
+                            NetMsg::Request { req_id: fwd, op: ClientOp::Write(post) },
+                        );
+                    }
+                }
+            }
+            ClientOp::Read => {
+                self.stats.1 += 1;
+                if let ReadPath::Quorum { read_repair } = self.params.read_path {
+                    self.begin_quorum_read(ctx, from, req_id, read_repair);
+                } else {
+                    let seq = self.serve_read(ctx);
+                    ctx.send(from, NetMsg::Response { req_id, result: OpResult::ReadOk(seq) });
+                }
+            }
+            ClientOp::Inspect => {
+                // Authoritative state, bypassing every read path.
+                let seq = self.core.snapshot();
+                ctx.send(from, NetMsg::Response { req_id, result: OpResult::ReadOk(seq) });
+            }
+        }
+    }
+
     fn serve_read<A>(&mut self, ctx: &mut Context<'_, NetMsg<A>>) -> Vec<PostId> {
         let now = ctx.true_now();
         match &self.params.read_path {
@@ -507,8 +597,7 @@ impl ReplicaNode {
                         .snapshot_posts()
                         .into_iter()
                         .filter(|p| {
-                            self.indexed_at.get(&p.id()).copied().unwrap_or(p.server_ts)
-                                <= now
+                            self.indexed_at.get(&p.id()).copied().unwrap_or(p.server_ts) <= now
                         })
                         .map(|p| p.id())
                         .collect()
@@ -541,9 +630,7 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
     fn on_start(&mut self, ctx: &mut Context<'_, NetMsg<A>>) {
         if let Some(period) = self.params.anti_entropy {
             // Random phase so replicas don't exchange in lock-step.
-            let phase = SimDuration::from_nanos(
-                ctx.rng().gen_range(0..period.as_nanos().max(1)),
-            );
+            let phase = SimDuration::from_nanos(ctx.rng().gen_range(0..period.as_nanos().max(1)));
             ctx.set_timer(phase, TOKEN_ANTI_ENTROPY);
         }
     }
@@ -552,13 +639,14 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
         if let NetMsg::Control(ctl) = &msg {
             match ctl {
                 crate::api::ControlMsg::Crash => {
-                    // Volatile state is lost wholesale; in-flight applies
-                    // and pushes are dropped with it.
+                    // Volatile state is lost wholesale; in-flight applies,
+                    // pushes and held client requests are dropped with it.
                     self.core = ReplicaCore::new(self.params.ordering);
                     self.visible_at.clear();
                     self.indexed_at.clear();
                     self.pending_apply.clear();
                     self.pending_push.clear();
+                    self.delayed_requests.clear();
                     self.last_op_at.clear();
                     self.crashed = true;
                 }
@@ -573,6 +661,12 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
                         }
                     }
                 }
+                crate::api::ControlMsg::BrownoutStart(mode) => {
+                    self.brownout = Some(*mode);
+                }
+                crate::api::ControlMsg::BrownoutEnd => {
+                    self.brownout = None;
+                }
             }
             return;
         }
@@ -581,90 +675,28 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
         }
         match msg {
             NetMsg::Request { req_id, op } => {
-                // White-box inspection is harness instrumentation, exempt
-                // from the service's public rate limit.
-                if !matches!(op, ClientOp::Inspect) && self.throttled(ctx, from) {
-                    self.stats.2 += 1;
-                    ctx.send(from, NetMsg::Response { req_id, result: OpResult::Throttled });
-                    return;
-                }
-                match op {
-                    ClientOp::Write(post) => {
-                        self.stats.0 += 1;
-                        let server_ts = ctx.true_now();
-                        let id = post.id;
-                        match self.params.write_mode {
-                            WriteMode::LocalAck => {
-                                // Acknowledge immediately; visibility
-                                // follows later.
-                                ctx.send(
-                                    from,
-                                    NetMsg::Response {
-                                        req_id,
-                                        result: OpResult::WriteAck(id),
-                                    },
-                                );
-                                let delay = self.params.apply_delay.sample(ctx.rng());
-                                if delay.is_zero() {
-                                    self.apply_and_replicate(ctx, post, server_ts);
-                                } else {
-                                    let token = self.fresh_token(TOKEN_KIND_APPLY);
-                                    self.pending_apply.insert(token, (post, server_ts));
-                                    ctx.set_timer(delay, token);
-                                }
-                            }
-                            WriteMode::SyncMajority => {
-                                self.sync_majority_write(ctx, from, req_id, post, server_ts);
-                            }
-                            WriteMode::ForwardToPrimary => {
-                                let Some(primary) = self.peers.first().copied() else {
-                                    // No primary configured: degrade to a
-                                    // local ack so the client is not left
-                                    // hanging.
-                                    ctx.send(
-                                        from,
-                                        NetMsg::Response {
-                                            req_id,
-                                            result: OpResult::WriteAck(id),
-                                        },
-                                    );
-                                    self.apply_and_replicate(ctx, post, server_ts);
-                                    return;
-                                };
-                                let fwd = self.next_forward_req;
-                                self.next_forward_req += 1;
-                                self.forwarded_writes.insert(fwd, (from, req_id));
-                                ctx.send_ordered(
-                                    primary,
-                                    NetMsg::Request {
-                                        req_id: fwd,
-                                        op: ClientOp::Write(post),
-                                    },
-                                );
-                            }
-                        }
-                    }
-                    ClientOp::Read => {
-                        self.stats.1 += 1;
-                        if let ReadPath::Quorum { read_repair } = self.params.read_path {
-                            self.begin_quorum_read(ctx, from, req_id, read_repair);
-                        } else {
-                            let seq = self.serve_read(ctx);
+                // A browned-out front door mistreats client traffic before
+                // any normal processing; white-box inspection stays exempt.
+                if !matches!(op, ClientOp::Inspect) {
+                    match self.brownout {
+                        Some(BrownoutMode::ThrottleStorm) => {
+                            self.stats.2 += 1;
                             ctx.send(
                                 from,
-                                NetMsg::Response { req_id, result: OpResult::ReadOk(seq) },
+                                NetMsg::Response { req_id, result: OpResult::Throttled },
                             );
+                            return;
                         }
-                    }
-                    ClientOp::Inspect => {
-                        // Authoritative state, bypassing every read path.
-                        let seq = self.core.snapshot();
-                        ctx.send(
-                            from,
-                            NetMsg::Response { req_id, result: OpResult::ReadOk(seq) },
-                        );
+                        Some(BrownoutMode::Delay(hold)) => {
+                            let token = self.fresh_token(TOKEN_KIND_DELAY);
+                            self.delayed_requests.insert(token, (from, req_id, op));
+                            ctx.set_timer(hold, token);
+                            return;
+                        }
+                        None => {}
                     }
                 }
+                self.handle_request(ctx, from, req_id, op);
             }
             NetMsg::Repl(ReplMsg::SyncPush { token, posts }) => {
                 let now = ctx.true_now();
@@ -773,6 +805,13 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
             TOKEN_KIND_PUSH => {
                 if let Some((peer, posts)) = self.pending_push.remove(&token) {
                     ctx.send_ordered(peer, NetMsg::Repl(ReplMsg::Push(posts)));
+                }
+            }
+            TOKEN_KIND_DELAY => {
+                // A brownout-held request's delay expired: serve it now,
+                // whether or not the brownout has since ended.
+                if let Some((client, req_id, op)) = self.delayed_requests.remove(&token) {
+                    self.handle_request(ctx, client, req_id, op);
                 }
             }
             _ => {}
@@ -902,10 +941,7 @@ mod tests {
         w.run_until_idle();
         let s = w.node_as::<Script>(client).unwrap();
         assert_eq!(s.responses[1].1, OpResult::ReadOk(vec![]), "write acked but invisible");
-        assert_eq!(
-            s.responses[2].1,
-            OpResult::ReadOk(vec![PostId::new(AuthorId(1), 1)])
-        );
+        assert_eq!(s.responses[2].1, OpResult::ReadOk(vec![PostId::new(AuthorId(1), 1)]));
     }
 
     #[test]
@@ -975,11 +1011,8 @@ mod tests {
         );
         w.run_until_idle();
         let s = w.node_as::<Script>(client).unwrap();
-        let throttled = s
-            .responses
-            .iter()
-            .filter(|(_, r)| matches!(r, OpResult::Throttled))
-            .count();
+        let throttled =
+            s.responses.iter().filter(|(_, r)| matches!(r, OpResult::Throttled)).count();
         assert_eq!(throttled, 1);
         let (_, _, t) = w.node_as::<ReplicaNode>(replica).unwrap().stats();
         assert_eq!(t, 1);
@@ -1008,10 +1041,7 @@ mod tests {
         w.run_until_idle();
         let s = w.node_as::<Script>(client).unwrap();
         assert_eq!(s.responses[2].1, OpResult::ReadOk(vec![]), "served from stale cache");
-        assert_eq!(
-            s.responses[3].1,
-            OpResult::ReadOk(vec![PostId::new(AuthorId(1), 1)])
-        );
+        assert_eq!(s.responses[3].1, OpResult::ReadOk(vec![PostId::new(AuthorId(1), 1)]));
     }
 
     #[test]
@@ -1041,10 +1071,7 @@ mod tests {
         w.run_until_idle();
         let s = w.node_as::<Script>(client).unwrap();
         assert_eq!(s.responses[1].1, OpResult::ReadOk(vec![]));
-        assert_eq!(
-            s.responses[2].1,
-            OpResult::ReadOk(vec![PostId::new(AuthorId(1), 1)])
-        );
+        assert_eq!(s.responses[2].1, OpResult::ReadOk(vec![PostId::new(AuthorId(1), 1)]));
     }
 
     #[test]
@@ -1071,10 +1098,7 @@ mod tests {
         let s = w.node_as::<Script>(client).unwrap();
         assert_eq!(
             s.responses[2].1,
-            OpResult::ReadOk(vec![
-                PostId::new(AuthorId(1), 2),
-                PostId::new(AuthorId(1), 1)
-            ]),
+            OpResult::ReadOk(vec![PostId::new(AuthorId(1), 2), PostId::new(AuthorId(1), 1)]),
             "same-second writes appear reversed — the paper's FB Group quirk"
         );
     }
@@ -1109,30 +1133,22 @@ mod tests {
 #[cfg(test)]
 mod crash_tests {
     use super::*;
-    use crate::api::ControlMsg;
+    use crate::fault_driver::FaultDriver;
     use conprobe_sim::net::Region;
-    use conprobe_sim::{LocalClock, LocalTime, World, WorldConfig};
+    use conprobe_sim::{FaultEvent, FaultPlan, LocalClock, LocalTime, SimTime, World, WorldConfig};
     use conprobe_store::AuthorId;
 
     type Msg = NetMsg<()>;
 
-    /// Injects Crash/Recover at scheduled times and a write before the
-    /// crash.
-    struct FaultScript {
-        target: NodeId,
-        crash_at: SimDuration,
-        recover_at: SimDuration,
-    }
-    impl Node<Msg> for FaultScript {
-        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
-            ctx.set_timer(self.crash_at, 1);
-            ctx.set_timer(self.recover_at, 2);
-        }
-        fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
-        fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: u64) {
-            let ctl = if token == 1 { ControlMsg::Crash } else { ControlMsg::Recover };
-            ctx.send(self.target, NetMsg::Control(ctl));
-        }
+    /// One crash/recover window as a declarative plan (target index 0).
+    fn crash_window(crash_at: SimDuration, recover_at: SimDuration) -> FaultPlan {
+        FaultPlan::new(0).with(FaultEvent::CrashCycle {
+            target: 0,
+            at: SimTime::ZERO + crash_at,
+            down_for: recover_at - crash_at,
+            up_for: SimDuration::ZERO,
+            cycles: 1,
+        })
     }
 
     struct Writer {
@@ -1140,11 +1156,7 @@ mod crash_tests {
     }
     impl Node<Msg> for Writer {
         fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
-            let post = Post::new(
-                PostId::new(AuthorId(1), 1),
-                "durable?",
-                LocalTime::from_nanos(0),
-            );
+            let post = Post::new(PostId::new(AuthorId(1), 1), "durable?", LocalTime::from_nanos(0));
             ctx.send(self.target, NetMsg::Request { req_id: 0, op: ClientOp::Write(post) });
         }
         fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
@@ -1168,14 +1180,10 @@ mod crash_tests {
             Box::new(ReplicaNode::new(ReplicaParams::default())),
         );
         let _writer = w.add_node(Region::Oregon, Box::new(Writer { target: replica }));
-        let _faults = w.add_node(
-            Region::Virginia,
-            Box::new(FaultScript {
-                target: replica,
-                crash_at: SimDuration::from_secs(2),
-                recover_at: SimDuration::from_secs(3600), // never within the run
-            }),
-        );
+        // Recovery at 3600 s: never within the run.
+        let plan = crash_window(SimDuration::from_secs(2), SimDuration::from_secs(3600));
+        let _faults =
+            w.add_node(Region::Virginia, Box::new(FaultDriver::new(&plan, vec![replica])));
         w.run_until(conprobe_sim::SimTime::from_secs(10));
         let node = w.node_as::<ReplicaNode>(replica).unwrap();
         assert!(node.is_crashed());
@@ -1198,14 +1206,8 @@ mod crash_tests {
         w.node_as_mut::<ReplicaNode>(r0).unwrap().set_peers(vec![r1]);
         w.node_as_mut::<ReplicaNode>(r1).unwrap().set_peers(vec![r0]);
         let _writer = w.add_node(Region::Oregon, Box::new(Writer { target: r0 }));
-        let _faults = w.add_node(
-            Region::Virginia,
-            Box::new(FaultScript {
-                target: r1,
-                crash_at: SimDuration::from_secs(2),
-                recover_at: SimDuration::from_secs(4),
-            }),
-        );
+        let plan = crash_window(SimDuration::from_secs(2), SimDuration::from_secs(4));
+        let _faults = w.add_node(Region::Virginia, Box::new(FaultDriver::new(&plan, vec![r1])));
         // Let replication, the crash, the recovery and one repair round run.
         w.run_until(conprobe_sim::SimTime::from_secs(8));
         let survivor = w.node_as::<ReplicaNode>(r0).unwrap();
@@ -1227,14 +1229,9 @@ mod crash_tests {
             Box::new(ReplicaNode::new(ReplicaParams::default())),
         );
         let _writer = w.add_node(Region::Oregon, Box::new(Writer { target: replica }));
-        let _faults = w.add_node(
-            Region::Virginia,
-            Box::new(FaultScript {
-                target: replica,
-                crash_at: SimDuration::from_secs(2),
-                recover_at: SimDuration::from_secs(3),
-            }),
-        );
+        let plan = crash_window(SimDuration::from_secs(2), SimDuration::from_secs(3));
+        let _faults =
+            w.add_node(Region::Virginia, Box::new(FaultDriver::new(&plan, vec![replica])));
         w.run_until(conprobe_sim::SimTime::from_secs(10));
         let node = w.node_as::<ReplicaNode>(replica).unwrap();
         assert!(!node.is_crashed());

@@ -6,9 +6,10 @@
 use conprobe_services::replica_node::{DelayDist, ReadPath, ReplicaNode, ReplicaParams};
 use conprobe_services::{ClientOp, NetMsg};
 use conprobe_sim::net::Region;
-use conprobe_sim::{Context, LocalClock, LocalTime, Node, NodeId, SimDuration, SimTime, World, WorldConfig};
+use conprobe_sim::{
+    Context, LocalClock, LocalTime, Node, NodeId, SimDuration, SimRng, SimTime, World, WorldConfig,
+};
 use conprobe_store::{AuthorId, OrderingPolicy, Post, PostId};
-use proptest::prelude::*;
 
 type Msg = NetMsg<()>;
 
@@ -31,12 +32,12 @@ impl Node<Msg> for Blaster {
             return;
         }
         self.sent += 1;
-        let post = Post::new(
-            PostId::new(AuthorId(self.author), self.sent),
-            "x",
-            LocalTime::from_nanos(0),
+        let post =
+            Post::new(PostId::new(AuthorId(self.author), self.sent), "x", LocalTime::from_nanos(0));
+        ctx.send(
+            self.target,
+            NetMsg::Request { req_id: self.sent as u64, op: ClientOp::Write(post) },
         );
-        ctx.send(self.target, NetMsg::Request { req_id: self.sent as u64, op: ClientOp::Write(post) });
         ctx.set_timer(SimDuration::from_millis(self.gap_ms), 0);
     }
 }
@@ -52,30 +53,22 @@ struct Scenario {
     seed: u64,
 }
 
-fn arb_scenario() -> impl Strategy<Value = Scenario> {
-    (
-        2usize..5,
-        proptest::collection::vec((0usize..4, 1u32..5, 10u64..400), 1..4),
-        0u64..800,
-        0.0f64..0.5,
-        300u64..3_000,
-        any::<bool>(),
-        any::<u64>(),
-    )
-        .prop_map(|(replicas, writers, repl_base_ms, apply_slow_prob, ae, canon, seed)| {
-            Scenario {
-                replicas,
-                writers: writers
-                    .into_iter()
-                    .map(|(r, n, g)| (r % replicas, n, g))
-                    .collect(),
-                repl_base_ms,
-                apply_slow_prob,
-                anti_entropy_ms: ae,
-                canonicalize: canon,
-                seed,
-            }
+fn gen_scenario(rng: &mut SimRng) -> Scenario {
+    let replicas = rng.gen_range(2usize..5);
+    let writers = (0..rng.gen_range(1usize..4))
+        .map(|_| {
+            (rng.gen_range(0usize..4) % replicas, rng.gen_range(1u32..5), rng.gen_range(10u64..400))
         })
+        .collect();
+    Scenario {
+        replicas,
+        writers,
+        repl_base_ms: rng.gen_range(0u64..800),
+        apply_slow_prob: rng.gen_range(0.0f64..0.5),
+        anti_entropy_ms: rng.gen_range(300u64..3_000),
+        canonicalize: rng.gen_bool(0.5),
+        seed: rng.gen_u64(),
+    }
 }
 
 fn run_scenario(s: &Scenario) -> Vec<(Vec<PostId>, usize)> {
@@ -139,24 +132,27 @@ fn run_scenario(s: &Scenario) -> Vec<(Vec<PostId>, usize)> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// All replicas hold the same set of posts after quiescence, and with
-    /// canonical re-sequencing (or timestamp ordering) the same *sequence*.
-    #[test]
-    fn replicas_converge(s in arb_scenario()) {
+/// All replicas hold the same set of posts after quiescence, and with
+/// canonical re-sequencing (or timestamp ordering) the same *sequence*.
+#[test]
+fn replicas_converge() {
+    let mut rng = SimRng::new(0xC04E_0001);
+    for _ in 0..24 {
+        let s = gen_scenario(&mut rng);
         let total: u32 = s.writers.iter().map(|(_, n, _)| *n).sum();
         let states = run_scenario(&s);
         for (snapshot, applied) in &states {
-            prop_assert_eq!(*applied, total as usize, "every write reaches every replica");
-            prop_assert_eq!(snapshot.len(), total as usize);
+            assert_eq!(
+                *applied, total as usize,
+                "every write reaches every replica (scenario {s:?})"
+            );
+            assert_eq!(snapshot.len(), total as usize, "scenario {s:?}");
         }
         let first = &states[0].0;
         for (snapshot, _) in &states[1..] {
-            prop_assert_eq!(
+            assert_eq!(
                 snapshot, first,
-                "replicas must agree on the final sequence (scenario {:?})", s
+                "replicas must agree on the final sequence (scenario {s:?})"
             );
         }
     }

@@ -307,8 +307,7 @@ mod tests {
 
     #[test]
     fn disabled_guard_is_transparent_per_read_content() {
-        let mut g: SessionGuard<Key, NoOrder> =
-            SessionGuard::new(GuardConfig::disabled(), NoOrder);
+        let mut g: SessionGuard<Key, NoOrder> = SessionGuard::new(GuardConfig::disabled(), NoOrder);
         g.note_write_ack((1, 1));
         // No injection when RYW is off…
         assert_eq!(g.filter_read(&[]), Vec::<Key>::new());
@@ -320,13 +319,8 @@ mod tests {
     #[test]
     fn view_is_always_monotone_prefix() {
         let mut g = guard();
-        let reads: Vec<Vec<Key>> = vec![
-            vec![(2, 1)],
-            vec![(2, 2), (2, 1)],
-            vec![],
-            vec![(3, 1)],
-            vec![(2, 3), (3, 1)],
-        ];
+        let reads: Vec<Vec<Key>> =
+            vec![vec![(2, 1)], vec![(2, 2), (2, 1)], vec![], vec![(3, 1)], vec![(2, 3), (3, 1)]];
         let mut prev: Vec<Key> = Vec::new();
         for r in reads {
             let v = g.filter_read(&r);
@@ -390,27 +384,34 @@ mod tests {
 mod proptests {
     use super::*;
     use crate::order::AuthorSeqOrder;
-    use proptest::prelude::*;
+    use conprobe_core::testutil::TestRng;
     use std::cmp::Ordering;
 
     type Key = (u32, u32);
 
-    fn arb_reads() -> impl Strategy<Value = Vec<Vec<Key>>> {
-        proptest::collection::vec(
-            proptest::collection::vec((0u32..3, 1u32..6), 0..6).prop_map(|v| {
+    /// Random read results: duplicate-free lists of (author, seq) keys.
+    fn gen_reads(rng: &mut TestRng) -> Vec<Vec<Key>> {
+        let n = rng.range_usize(0, 12);
+        (0..n)
+            .map(|_| {
+                let len = rng.range_usize(0, 6);
                 let mut seen = std::collections::HashSet::new();
-                v.into_iter().filter(|k| seen.insert(*k)).collect()
-            }),
-            0..12,
-        )
+                (0..len)
+                    .map(|_| (rng.range(0, 3) as u32, rng.range(1, 6) as u32))
+                    .filter(|k| seen.insert(*k))
+                    .collect()
+            })
+            .collect()
     }
 
-    proptest! {
-        /// Liveness: if the service eventually presents every event (in a
-        /// final, complete read), the guard eventually delivers every event
-        /// — nothing is suppressed forever once dependencies are available.
-        #[test]
-        fn guard_is_live_once_service_converges(reads in arb_reads()) {
+    /// Liveness: if the service eventually presents every event (in a
+    /// final, complete read), the guard eventually delivers every event
+    /// — nothing is suppressed forever once dependencies are available.
+    #[test]
+    fn guard_is_live_once_service_converges() {
+        let mut rng = TestRng::new(0x6A8D_0001);
+        for case in 0..400 {
+            let reads = gen_reads(&mut rng);
             let mut g = SessionGuard::new(GuardConfig::default(), AuthorSeqOrder);
             let mut all: Vec<Key> = reads.iter().flatten().copied().collect();
             all.sort();
@@ -431,32 +432,36 @@ mod proptests {
             complete.dedup();
             let final_view = g.filter_read(&complete);
             for e in &complete {
-                prop_assert!(
+                assert!(
                     final_view.contains(e),
-                    "event {e:?} still suppressed after convergence"
+                    "case {case}: event {e:?} still suppressed after convergence"
                 );
             }
-            prop_assert_eq!(g.stats().pending, 0);
+            assert_eq!(g.stats().pending, 0, "case {case}");
         }
+    }
 
-        /// For any service behaviour: the view is duplicate-free, monotone
-        /// (each result is a prefix of the next), and never shows a later
-        /// same-session event before an earlier one.
-        #[test]
-        fn guard_invariants(reads in arb_reads()) {
+    /// For any service behaviour: the view is duplicate-free, monotone
+    /// (each result is a prefix of the next), and never shows a later
+    /// same-session event before an earlier one.
+    #[test]
+    fn guard_invariants() {
+        let mut rng = TestRng::new(0x6A8D_0002);
+        for case in 0..400 {
+            let reads = gen_reads(&mut rng);
             let mut g = SessionGuard::new(GuardConfig::default(), AuthorSeqOrder);
             let mut prev: Vec<Key> = Vec::new();
             for r in reads {
                 let v = g.filter_read(&r);
                 let set: std::collections::HashSet<_> = v.iter().collect();
-                prop_assert_eq!(set.len(), v.len(), "duplicates in view");
-                prop_assert!(v.starts_with(&prev));
+                assert_eq!(set.len(), v.len(), "case {case}: duplicates in view");
+                assert!(v.starts_with(&prev), "case {case}");
                 for (i, a) in v.iter().enumerate() {
                     for b in &v[i + 1..] {
-                        prop_assert_ne!(
+                        assert_ne!(
                             (a.0 == b.0).then(|| a.1.cmp(&b.1)),
                             Some(Ordering::Greater),
-                            "same-session inversion in view"
+                            "case {case}: same-session inversion in view"
                         );
                     }
                 }

@@ -10,16 +10,13 @@
 
 use crate::rng::SimRng;
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A reading of some node's local clock, in nanoseconds on that node's own
 /// timeline. Distinct from [`SimTime`] so the type system prevents mixing
 /// local readings from different nodes, or local readings with true time,
 /// without an explicit conversion through an estimated delta.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LocalTime(i64);
 
 impl LocalTime {
@@ -51,7 +48,7 @@ impl fmt::Display for LocalTime {
 }
 
 /// Configuration for generating node clocks.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClockConfig {
     /// Maximum absolute initial offset from true time, in nanoseconds.
     /// Offsets are drawn uniformly from `[-max, +max]`.
@@ -77,7 +74,7 @@ impl ClockConfig {
 }
 
 /// A node's local clock: `local(t) = t + offset + drift_ppm * 1e-6 * t`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LocalClock {
     offset_nanos: i64,
     drift_ppm: f64,

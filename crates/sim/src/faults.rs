@@ -1,0 +1,507 @@
+//! Declarative, composable fault plans.
+//!
+//! A [`FaultPlan`] is a timed script of [`FaultEvent`]s — link flaps, loss
+//! bursts, degraded links, replica crash/restart cycles, front-door
+//! brownouts — that can be attached to a simulated world. The plan is pure
+//! data: it compiles into
+//!
+//! * **network effects** ([`FaultPlan::network_effects`]) — region-scoped
+//!   [`LinkEffect`] windows that [`crate::world::World`] consults on every
+//!   send, using a dedicated `"faults"` random stream (so an empty plan
+//!   leaves every existing random stream untouched and replays remain
+//!   byte-identical);
+//! * **service actions** ([`FaultPlan::service_actions`]) — a time-sorted
+//!   list of crash/recover/brownout transitions against abstract target
+//!   indices, which a deployment layer (that knows the real node ids) turns
+//!   into control messages.
+//!
+//! Everything is deterministic: the same seed and plan produce the same
+//! fault timeline, drop decisions and delay samples on every run.
+
+use crate::net::Region;
+use crate::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// Which links a network-level fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkScope {
+    /// Every link in the world, including intra-region ones.
+    All,
+    /// Links between the two regions, in both directions.
+    Between(Region, Region),
+    /// Every link with at least one endpoint in the region.
+    Touching(Region),
+}
+
+impl LinkScope {
+    /// Whether a message between regions `a` and `b` is covered.
+    pub fn covers(&self, a: Region, b: Region) -> bool {
+        match self {
+            LinkScope::All => true,
+            LinkScope::Between(x, y) => (a == *x && b == *y) || (a == *y && b == *x),
+            LinkScope::Touching(r) => a == *r || b == *r,
+        }
+    }
+}
+
+/// What an active [`LinkEffect`] does to covered traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EffectKind {
+    /// Drop every covered message (a hard outage).
+    Block,
+    /// Drop each covered message with this probability.
+    Loss(f64),
+    /// Add `base + Exp(jitter_mean)` of extra one-way delay.
+    ExtraDelay {
+        /// Minimum extra delay.
+        base: SimDuration,
+        /// Mean of the exponential tail added on top of `base`.
+        jitter_mean: SimDuration,
+    },
+}
+
+/// One compiled network-fault window: during `[start, end)`, traffic
+/// covered by `scope` suffers `kind`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkEffect {
+    /// The links affected.
+    pub scope: LinkScope,
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+    /// The fault behaviour while active.
+    pub kind: EffectKind,
+}
+
+impl LinkEffect {
+    /// Whether this effect applies to an `a → b` message sent at `at`.
+    pub fn applies(&self, a: Region, b: Region, at: SimTime) -> bool {
+        at >= self.start && at < self.end && self.scope.covers(a, b)
+    }
+}
+
+/// How a browned-out front door mistreats client requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrownoutMode {
+    /// Answer every client request with a throttle rejection — the
+    /// "`Throttled`-storm" failure mode of an overloaded rate limiter.
+    ThrottleStorm,
+    /// Hold every client request for this long before serving it.
+    Delay(SimDuration),
+}
+
+/// One timed fault in a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// The covered links flap: starting at `at`, they go down for
+    /// `down_for`, come back up for `up_for`, and repeat `flaps` times.
+    LinkFlap {
+        /// The links affected.
+        scope: LinkScope,
+        /// First outage start.
+        at: SimTime,
+        /// Outage length per flap.
+        down_for: SimDuration,
+        /// Healthy gap between consecutive outages.
+        up_for: SimDuration,
+        /// Number of down/up cycles.
+        flaps: u32,
+    },
+    /// A burst of heavy random loss on the covered links.
+    LossBurst {
+        /// The links affected.
+        scope: LinkScope,
+        /// Burst start.
+        at: SimTime,
+        /// Burst length.
+        duration: SimDuration,
+        /// Per-message drop probability during the burst.
+        loss: f64,
+    },
+    /// A latency spike: covered links gain `extra_base + Exp(extra_jitter)`
+    /// of one-way delay.
+    DegradedLink {
+        /// The links affected.
+        scope: LinkScope,
+        /// Degradation start.
+        at: SimTime,
+        /// Degradation length.
+        duration: SimDuration,
+        /// Minimum extra one-way delay.
+        extra_base: SimDuration,
+        /// Mean of the exponential extra jitter.
+        extra_jitter: SimDuration,
+    },
+    /// A service target crashes and restarts repeatedly: `cycles` rounds of
+    /// down `down_for`, then up `up_for`, starting at `at`.
+    CrashCycle {
+        /// Abstract target index (resolved against the deployed replica
+        /// list by the layer that executes the plan).
+        target: usize,
+        /// First crash instant.
+        at: SimTime,
+        /// Downtime per cycle.
+        down_for: SimDuration,
+        /// Uptime between recoveries and the next crash.
+        up_for: SimDuration,
+        /// Number of crash/restart rounds.
+        cycles: u32,
+    },
+    /// A front-door brownout: the target mistreats client requests per
+    /// `mode` for the duration of the window.
+    Brownout {
+        /// Abstract target index.
+        target: usize,
+        /// Brownout start.
+        at: SimTime,
+        /// Brownout length.
+        duration: SimDuration,
+        /// The misbehaviour.
+        mode: BrownoutMode,
+    },
+}
+
+/// A service-level state transition compiled from a plan, to be executed
+/// against target `target` at time `at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceAction {
+    /// Abstract target index.
+    pub target: usize,
+    /// When the transition happens.
+    pub at: SimTime,
+    /// The transition.
+    pub action: ServiceActionKind,
+}
+
+/// The service-level transitions a plan can schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceActionKind {
+    /// Crash the target (volatile state lost).
+    Crash,
+    /// Restart the target with empty state.
+    Recover,
+    /// Begin a brownout in the given mode.
+    BrownoutStart(BrownoutMode),
+    /// End the brownout.
+    BrownoutEnd,
+}
+
+impl fmt::Display for ServiceActionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceActionKind::Crash => f.write_str("crash"),
+            ServiceActionKind::Recover => f.write_str("recover"),
+            ServiceActionKind::BrownoutStart(BrownoutMode::ThrottleStorm) => {
+                f.write_str("brownout(throttle-storm)")
+            }
+            ServiceActionKind::BrownoutStart(BrownoutMode::Delay(d)) => {
+                write!(f, "brownout(delay {d})")
+            }
+            ServiceActionKind::BrownoutEnd => f.write_str("brownout-end"),
+        }
+    }
+}
+
+/// Network-fault counters accumulated by a world (part of the fault
+/// ledger): how many messages a plan's effects blocked, probabilistically
+/// dropped, or delayed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultNetStats {
+    /// Messages dropped by a [`EffectKind::Block`] window.
+    pub blocked: u64,
+    /// Messages dropped by a [`EffectKind::Loss`] sample.
+    pub dropped: u64,
+    /// Messages that picked up [`EffectKind::ExtraDelay`].
+    pub delayed: u64,
+}
+
+impl FaultNetStats {
+    /// Total messages the plan interfered with.
+    pub fn total(&self) -> u64 {
+        self.blocked + self.dropped + self.delayed
+    }
+}
+
+/// A deterministic script of composable fault events.
+///
+/// Build one with [`FaultPlan::new`] and the [`FaultPlan::with`] builder,
+/// then hand it to the harness (or compile it yourself via
+/// [`FaultPlan::network_effects`] / [`FaultPlan::service_actions`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::new(0)
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan. `seed` feeds the world's dedicated fault random
+    /// stream, so two plans with the same events but different seeds make
+    /// different (but individually reproducible) drop/delay decisions.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, events: Vec::new() }
+    }
+
+    /// Builder-style event append.
+    pub fn with(mut self, event: FaultEvent) -> Self {
+        self.push(event);
+        self
+    }
+
+    /// Appends an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a loss probability is outside `[0, 1]`.
+    pub fn push(&mut self, event: FaultEvent) {
+        if let FaultEvent::LossBurst { loss, .. } = event {
+            assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        }
+        self.events.push(event);
+    }
+
+    /// The plan's fault-stream seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True when no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Compiles the network-level events into [`LinkEffect`] windows.
+    pub fn network_effects(&self) -> Vec<LinkEffect> {
+        let mut out = Vec::new();
+        for ev in &self.events {
+            match *ev {
+                FaultEvent::LinkFlap { scope, at, down_for, up_for, flaps } => {
+                    let period = down_for + up_for;
+                    for k in 0..flaps as u64 {
+                        let start = at + period.saturating_mul(k);
+                        out.push(LinkEffect {
+                            scope,
+                            start,
+                            end: start + down_for,
+                            kind: EffectKind::Block,
+                        });
+                    }
+                }
+                FaultEvent::LossBurst { scope, at, duration, loss } => {
+                    out.push(LinkEffect {
+                        scope,
+                        start: at,
+                        end: at + duration,
+                        kind: EffectKind::Loss(loss),
+                    });
+                }
+                FaultEvent::DegradedLink { scope, at, duration, extra_base, extra_jitter } => {
+                    out.push(LinkEffect {
+                        scope,
+                        start: at,
+                        end: at + duration,
+                        kind: EffectKind::ExtraDelay {
+                            base: extra_base,
+                            jitter_mean: extra_jitter,
+                        },
+                    });
+                }
+                FaultEvent::CrashCycle { .. } | FaultEvent::Brownout { .. } => {}
+            }
+        }
+        out
+    }
+
+    /// Compiles the service-level events into a time-sorted action list
+    /// (stable under equal times, so composition order breaks ties).
+    pub fn service_actions(&self) -> Vec<ServiceAction> {
+        let mut out = Vec::new();
+        for ev in &self.events {
+            match *ev {
+                FaultEvent::CrashCycle { target, at, down_for, up_for, cycles } => {
+                    let period = down_for + up_for;
+                    for k in 0..cycles as u64 {
+                        let crash_at = at + period.saturating_mul(k);
+                        out.push(ServiceAction {
+                            target,
+                            at: crash_at,
+                            action: ServiceActionKind::Crash,
+                        });
+                        out.push(ServiceAction {
+                            target,
+                            at: crash_at + down_for,
+                            action: ServiceActionKind::Recover,
+                        });
+                    }
+                }
+                FaultEvent::Brownout { target, at, duration, mode } => {
+                    out.push(ServiceAction {
+                        target,
+                        at,
+                        action: ServiceActionKind::BrownoutStart(mode),
+                    });
+                    out.push(ServiceAction {
+                        target,
+                        at: at + duration,
+                        action: ServiceActionKind::BrownoutEnd,
+                    });
+                }
+                FaultEvent::LinkFlap { .. }
+                | FaultEvent::LossBurst { .. }
+                | FaultEvent::DegradedLink { .. } => {}
+            }
+        }
+        out.sort_by_key(|a| a.at);
+        out
+    }
+
+    /// The instant after which the plan schedules nothing (the latest
+    /// window end / last action time); [`SimTime::ZERO`] for an empty plan.
+    pub fn end_time(&self) -> SimTime {
+        let net = self.network_effects().into_iter().map(|e| e.end);
+        let svc = self.service_actions().into_iter().map(|a| a.at);
+        net.chain(svc).max().unwrap_or(SimTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_coverage() {
+        let or = Region::Oregon;
+        let jp = Region::Tokyo;
+        let ir = Region::Ireland;
+        assert!(LinkScope::All.covers(or, jp));
+        assert!(LinkScope::Between(or, jp).covers(jp, or), "symmetric");
+        assert!(!LinkScope::Between(or, jp).covers(or, ir));
+        assert!(LinkScope::Touching(jp).covers(or, jp));
+        assert!(LinkScope::Touching(jp).covers(jp, jp));
+        assert!(!LinkScope::Touching(jp).covers(or, ir));
+    }
+
+    #[test]
+    fn link_flap_compiles_to_block_windows() {
+        let plan = FaultPlan::new(1).with(FaultEvent::LinkFlap {
+            scope: LinkScope::All,
+            at: SimTime::from_secs(10),
+            down_for: SimDuration::from_secs(2),
+            up_for: SimDuration::from_secs(3),
+            flaps: 3,
+        });
+        let effects = plan.network_effects();
+        assert_eq!(effects.len(), 3);
+        for (k, e) in effects.iter().enumerate() {
+            assert_eq!(e.kind, EffectKind::Block);
+            assert_eq!(e.start, SimTime::from_secs(10 + 5 * k as u64));
+            assert_eq!(e.end, SimTime::from_secs(12 + 5 * k as u64));
+        }
+        // Windows are end-exclusive and scoped.
+        assert!(effects[0].applies(Region::Oregon, Region::Tokyo, SimTime::from_secs(10)));
+        assert!(!effects[0].applies(Region::Oregon, Region::Tokyo, SimTime::from_secs(12)));
+        assert_eq!(plan.end_time(), SimTime::from_secs(22));
+    }
+
+    #[test]
+    fn crash_cycle_compiles_to_paired_actions() {
+        let plan = FaultPlan::new(1).with(FaultEvent::CrashCycle {
+            target: 1,
+            at: SimTime::from_secs(5),
+            down_for: SimDuration::from_secs(1),
+            up_for: SimDuration::from_secs(4),
+            cycles: 2,
+        });
+        let actions = plan.service_actions();
+        assert_eq!(actions.len(), 4);
+        assert_eq!(actions[0].action, ServiceActionKind::Crash);
+        assert_eq!(actions[0].at, SimTime::from_secs(5));
+        assert_eq!(actions[1].action, ServiceActionKind::Recover);
+        assert_eq!(actions[1].at, SimTime::from_secs(6));
+        assert_eq!(actions[2].at, SimTime::from_secs(10));
+        assert_eq!(actions[3].at, SimTime::from_secs(11));
+        assert!(actions.iter().all(|a| a.target == 1));
+    }
+
+    #[test]
+    fn brownout_compiles_to_start_end_pair() {
+        let plan = FaultPlan::new(1).with(FaultEvent::Brownout {
+            target: 0,
+            at: SimTime::from_secs(3),
+            duration: SimDuration::from_secs(7),
+            mode: BrownoutMode::ThrottleStorm,
+        });
+        let actions = plan.service_actions();
+        assert_eq!(
+            actions[0].action,
+            ServiceActionKind::BrownoutStart(BrownoutMode::ThrottleStorm)
+        );
+        assert_eq!(actions[1].action, ServiceActionKind::BrownoutEnd);
+        assert_eq!(actions[1].at, SimTime::from_secs(10));
+        assert_eq!(plan.end_time(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn composed_plans_interleave_actions_in_time_order() {
+        let plan = FaultPlan::new(9)
+            .with(FaultEvent::Brownout {
+                target: 0,
+                at: SimTime::from_secs(8),
+                duration: SimDuration::from_secs(4),
+                mode: BrownoutMode::Delay(SimDuration::from_millis(500)),
+            })
+            .with(FaultEvent::CrashCycle {
+                target: 1,
+                at: SimTime::from_secs(9),
+                down_for: SimDuration::from_secs(1),
+                up_for: SimDuration::ZERO,
+                cycles: 1,
+            })
+            .with(FaultEvent::LossBurst {
+                scope: LinkScope::All,
+                at: SimTime::from_secs(1),
+                duration: SimDuration::from_secs(2),
+                loss: 0.5,
+            });
+        let actions = plan.service_actions();
+        let times: Vec<u64> = actions.iter().map(|a| a.at.as_nanos()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "actions are time-sorted");
+        assert_eq!(actions.len(), 4);
+        assert_eq!(plan.network_effects().len(), 1);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.seed(), 9);
+    }
+
+    #[test]
+    fn empty_plan_compiles_to_nothing() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert!(plan.network_effects().is_empty());
+        assert!(plan.service_actions().is_empty());
+        assert_eq!(plan.end_time(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn loss_burst_validates_probability() {
+        let _ = FaultPlan::new(0).with(FaultEvent::LossBurst {
+            scope: LinkScope::All,
+            at: SimTime::ZERO,
+            duration: SimDuration::from_secs(1),
+            loss: 1.5,
+        });
+    }
+}

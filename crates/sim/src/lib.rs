@@ -61,12 +61,17 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod faults;
 pub mod net;
 pub mod rng;
 pub mod time;
 pub mod world;
 
 pub use clock::{ClockConfig, LocalClock, LocalTime};
+pub use faults::{
+    BrownoutMode, EffectKind, FaultEvent, FaultNetStats, FaultPlan, LinkEffect, LinkScope,
+    ServiceAction, ServiceActionKind,
+};
 pub use net::{LatencyMatrix, LinkSpec, NetworkConfig, PartitionSpec, Region};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -7,25 +7,36 @@
 //! stable: adding a new consumer with a fresh label does not perturb the
 //! values any existing consumer sees, which keeps regression tests meaningful
 //! as the simulator grows.
+//!
+//! The generator is an in-repo xoshiro256++ (public-domain algorithm by
+//! Blackman & Vigna), state-seeded via splitmix64 — no external crates, and
+//! byte-identical output on every platform.
 
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
 
 /// A deterministic random stream.
 ///
-/// Wraps [`rand::rngs::StdRng`] (ChaCha-based, portable across platforms)
-/// and adds labelled splitting.
+/// Wraps an xoshiro256++ engine and adds labelled splitting.
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a stream from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SimRng { seed, inner: StdRng::seed_from_u64(seed) }
+        // splitmix64 stream expansion, the canonical xoshiro seeding.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let state = [next(), next(), next(), next()];
+        SimRng { seed, state }
     }
 
     /// The seed this stream was created from.
@@ -49,22 +60,32 @@ impl SimRng {
     }
 
     /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
     pub fn gen_range<T, R>(&mut self, range: R) -> T
     where
-        T: SampleUniform,
         R: SampleRange<T>,
     {
-        self.inner.gen_range(range)
+        range.sample(self)
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
     pub fn gen_bool(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        let p = p.clamp(0.0, 1.0);
+        if p == 0.0 {
+            // Consume a draw anyway so the stream advances uniformly.
+            let _ = self.gen_unit();
+            return false;
+        }
+        self.gen_unit() < p
     }
 
     /// Samples a uniform `f64` in `[0, 1)`.
     pub fn gen_unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits → uniform on [0, 1).
+        (self.gen_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Samples from an exponential distribution with the given mean.
@@ -77,14 +98,14 @@ impl SimRng {
         if mean == 0.0 {
             return 0.0;
         }
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u: f64 = self.gen_range(f64::MIN_POSITIVE..1.0);
         -mean * u.ln()
     }
 
     /// Samples from a normal distribution via the Box–Muller transform.
     pub fn gen_normal(&mut self, mean: f64, std_dev: f64) -> f64 {
-        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1: f64 = self.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.gen_unit();
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         mean + std_dev * z
     }
@@ -94,14 +115,100 @@ impl SimRng {
         if slice.is_empty() {
             None
         } else {
-            let i = self.inner.gen_range(0..slice.len());
+            let i = self.gen_range(0..slice.len());
             Some(&slice[i])
         }
     }
 
-    /// Samples a raw `u64`.
+    /// Samples a raw `u64` (one step of xoshiro256++).
     pub fn gen_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, n)` via 128-bit widening multiply.
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((u128::from(self.gen_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// Range shapes [`SimRng::gen_range`] accepts — half-open and inclusive
+/// ranges over the integer and float types the simulator samples.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample(self, rng: &mut SimRng) -> T;
+}
+
+macro_rules! uint_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut SimRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut SimRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                match (hi - lo).checked_add(1) {
+                    Some(span) => lo + rng.below(span as u64) as $t,
+                    None => rng.gen_u64() as $t, // full-width range
+                }
+            }
+        }
+    )*};
+}
+
+uint_range_impls!(u32, u64, usize);
+
+impl SampleRange<i64> for Range<i64> {
+    fn sample(self, rng: &mut SimRng) -> i64 {
+        assert!(self.start < self.end, "empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(rng.below(span) as i64)
+    }
+}
+
+impl SampleRange<i64> for RangeInclusive<i64> {
+    fn sample(self, rng: &mut SimRng) -> i64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        match (hi.wrapping_sub(lo) as u64).checked_add(1) {
+            Some(span) => lo.wrapping_add(rng.below(span) as i64),
+            None => rng.gen_u64() as i64, // full-width range
+        }
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut SimRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let v = self.start + rng.gen_unit() * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample(self, rng: &mut SimRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + rng.gen_unit() * (hi - lo)
     }
 }
 
@@ -156,10 +263,48 @@ mod tests {
     fn split_labels_differ() {
         let parent = SimRng::new(99);
         assert_ne!(parent.split("a").gen_u64(), parent.split("b").gen_u64());
-        assert_ne!(
-            parent.split_indexed("n", 0).gen_u64(),
-            parent.split_indexed("n", 1).gen_u64()
-        );
+        assert_ne!(parent.split_indexed("n", 0).gen_u64(), parent.split_indexed("n", 1).gen_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SimRng::new(3);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g = r.gen_range(-1.0f64..=1.0);
+            assert!((-1.0..=1.0).contains(&g));
+            let u = r.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+        // Degenerate inclusive range.
+        assert_eq!(r.gen_range(7u64..=7), 7);
+        assert_eq!(r.gen_range(-2i64..=-2), -2);
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut r = SimRng::new(11);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.gen_range(0usize..8)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 10_000.0).abs() < 500.0, "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn unit_is_in_half_open_interval() {
+        let mut r = SimRng::new(4);
+        for _ in 0..10_000 {
+            let u = r.gen_unit();
+            assert!((0.0..1.0).contains(&u));
+        }
     }
 
     #[test]

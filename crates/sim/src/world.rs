@@ -9,17 +9,17 @@
 //! exactly reproducible for a given configuration and seed.
 
 use crate::clock::{ClockConfig, LocalClock, LocalTime};
+use crate::faults::FaultNetStats;
 use crate::net::{NetworkConfig, Region};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
 
 /// What happened in one simulator event (when tracing is enabled).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimEventKind {
     /// A message was delivered from the contained node.
     Delivered {
@@ -38,7 +38,7 @@ pub enum SimEventKind {
 }
 
 /// One entry of the simulator's event trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimEvent {
     /// True simulation time of the event.
     pub at: SimTime,
@@ -49,9 +49,7 @@ pub struct SimEvent {
 }
 
 /// Identifies a node within one [`World`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub usize);
 
 impl fmt::Display for NodeId {
@@ -128,8 +126,12 @@ struct WorldCore<M> {
     node_rngs: Vec<SimRng>,
     net: NetworkConfig,
     net_rng: SimRng,
+    /// Dedicated stream for fault-plan loss/delay sampling, split from the
+    /// plan's own seed so an empty plan perturbs nothing.
+    fault_rng: SimRng,
     delivered: u64,
     dropped: u64,
+    fault_stats: FaultNetStats,
     /// Last scheduled arrival per ordered (src, dst) channel.
     ordered_last: std::collections::HashMap<(NodeId, NodeId), SimTime>,
     /// Event trace, when enabled (None = tracing off).
@@ -163,7 +165,30 @@ impl<M> WorldCore<M> {
             self.record(dst, SimEventKind::Dropped { src });
             return;
         }
-        let delay = self.net.matrix.sample_delay(ra, rb, &mut self.net_rng);
+        let mut delay = self.net.matrix.sample_delay(ra, rb, &mut self.net_rng);
+        // Fault-plan effects, sampled from their own stream. The guard
+        // keeps configurations without a plan on byte-identical replay.
+        if !self.net.effects.is_empty() {
+            if self.net.fault_blocks(ra, rb, self.now) {
+                self.dropped += 1;
+                self.fault_stats.blocked += 1;
+                self.record(dst, SimEventKind::Dropped { src });
+                return;
+            }
+            if let Some(p) = self.net.fault_loss(ra, rb, self.now) {
+                if self.fault_rng.gen_bool(p) {
+                    self.dropped += 1;
+                    self.fault_stats.dropped += 1;
+                    self.record(dst, SimEventKind::Dropped { src });
+                    return;
+                }
+            }
+            let extra = self.net.fault_extra_delay(ra, rb, self.now, &mut self.fault_rng);
+            if !extra.is_zero() {
+                self.fault_stats.delayed += 1;
+                delay += extra;
+            }
+        }
         let mut at = self.now + delay;
         if ordered {
             let last = self.ordered_last.entry((src, dst)).or_insert(SimTime::ZERO);
@@ -247,6 +272,7 @@ impl<M: 'static> World<M> {
     /// Creates an empty world from a configuration and a seed.
     pub fn new(config: WorldConfig, seed: u64) -> Self {
         let rng_root = SimRng::new(seed);
+        let fault_rng = rng_root.split_indexed("faults", config.net.fault_seed);
         World {
             core: WorldCore {
                 now: SimTime::ZERO,
@@ -257,8 +283,10 @@ impl<M: 'static> World<M> {
                 node_rngs: Vec::new(),
                 net: config.net,
                 net_rng: rng_root.split("net"),
+                fault_rng,
                 delivered: 0,
                 dropped: 0,
+                fault_stats: FaultNetStats::default(),
                 ordered_last: std::collections::HashMap::new(),
                 trace: None,
             },
@@ -304,9 +332,15 @@ impl<M: 'static> World<M> {
         self.core.delivered
     }
 
-    /// Number of messages dropped (loss or partition) so far.
+    /// Number of messages dropped (loss, partition or fault plan) so far.
     pub fn dropped(&self) -> u64 {
         self.core.dropped
+    }
+
+    /// Counters of fault-plan network interference (the network half of a
+    /// fault ledger). All zero when no effects are configured.
+    pub fn fault_stats(&self) -> FaultNetStats {
+        self.core.fault_stats
     }
 
     /// The region a node was placed in.
@@ -440,6 +474,11 @@ impl<M: 'static> World<M> {
     /// known, e.g. to cut a specific replica off).
     pub fn add_partition(&mut self, spec: crate::net::PartitionSpec) {
         self.core.net.add_partition(spec);
+    }
+
+    /// Schedules a fault-plan link effect after construction.
+    pub fn add_fault_effect(&mut self, effect: crate::faults::LinkEffect) {
+        self.core.net.add_effect(effect);
     }
 
     /// Enables event tracing: every dispatch and drop is recorded until
@@ -702,8 +741,7 @@ mod tests {
             for ordered in [true, false] {
                 let mut w = World::new(WorldConfig::default(), seed);
                 let sink = w.add_node(Region::Tokyo, Box::new(Collector { got: vec![] }));
-                let _src =
-                    w.add_node(Region::Oregon, Box::new(Burst { target: sink, ordered }));
+                let _src = w.add_node(Region::Oregon, Box::new(Burst { target: sink, ordered }));
                 w.run_until_idle();
                 let got = &w.node_as::<Collector>(sink).unwrap().got;
                 assert_eq!(got.len(), 5);
@@ -722,6 +760,148 @@ mod tests {
     fn worlds_are_send() {
         fn assert_send<T: Send>() {}
         assert_send::<World<String>>();
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::faults::{EffectKind, FaultEvent, FaultPlan, LinkEffect, LinkScope};
+
+    type Msg = &'static str;
+
+    /// Sends one "ping" to `target` every 100 ms, `count` times.
+    struct Pinger {
+        target: NodeId,
+        count: u32,
+    }
+    impl Node<Msg> for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            ctx.set_timer(SimDuration::from_millis(100), 0);
+        }
+        fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _: u64) {
+            if self.count > 0 {
+                self.count -= 1;
+                ctx.send(self.target, "ping");
+                ctx.set_timer(SimDuration::from_millis(100), 0);
+            }
+        }
+    }
+
+    struct Sink {
+        got: u32,
+    }
+    impl Node<Msg> for Sink {
+        fn on_message(&mut self, _: &mut Context<'_, Msg>, _: NodeId, _: Msg) {
+            self.got += 1;
+        }
+        fn on_timer(&mut self, _: &mut Context<'_, Msg>, _: u64) {}
+    }
+
+    fn pinger_world(effects: Vec<LinkEffect>, seed: u64) -> (World<Msg>, NodeId) {
+        let mut cfg = WorldConfig::default();
+        cfg.net.effects = effects;
+        let mut w = World::new(cfg, seed);
+        let sink = w.add_node(Region::Tokyo, Box::new(Sink { got: 0 }));
+        let _src = w.add_node(Region::Oregon, Box::new(Pinger { target: sink, count: 50 }));
+        (w, sink)
+    }
+
+    #[test]
+    fn block_window_drops_and_is_counted() {
+        let plan = FaultPlan::new(1).with(FaultEvent::LinkFlap {
+            scope: LinkScope::Between(Region::Oregon, Region::Tokyo),
+            at: SimTime::from_secs(1),
+            down_for: SimDuration::from_secs(1),
+            up_for: SimDuration::from_secs(1),
+            flaps: 1,
+        });
+        let (mut w, sink) = pinger_world(plan.network_effects(), 3);
+        w.run_until_idle();
+        let stats = w.fault_stats();
+        // Sends at 1.0 s..1.9 s fall inside the block window (10 of 50).
+        assert_eq!(stats.blocked, 10);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.delayed, 0);
+        assert_eq!(w.node_as::<Sink>(sink).unwrap().got, 40);
+        assert_eq!(w.dropped(), 10);
+    }
+
+    #[test]
+    fn loss_burst_drops_probabilistically_and_deterministically() {
+        let plan = FaultPlan::new(7).with(FaultEvent::LossBurst {
+            scope: LinkScope::All,
+            at: SimTime::ZERO,
+            duration: SimDuration::from_secs(60),
+            loss: 0.5,
+        });
+        let run = |seed| {
+            let (mut w, sink) = pinger_world(plan.network_effects(), seed);
+            w.run_until_idle();
+            (w.fault_stats(), w.node_as::<Sink>(sink).unwrap().got)
+        };
+        let (stats, got) = run(5);
+        assert!(stats.dropped > 10 && stats.dropped < 40, "~half of 50: {stats:?}");
+        assert_eq!(got, 50 - stats.dropped as u32);
+        assert_eq!(run(5), (stats, got), "same seed + plan replays identically");
+        assert_ne!(run(6).0, stats, "a different world seed makes different drops");
+    }
+
+    #[test]
+    fn degraded_link_adds_delay_without_dropping() {
+        let plan = FaultPlan::new(2).with(FaultEvent::DegradedLink {
+            scope: LinkScope::Touching(Region::Tokyo),
+            at: SimTime::ZERO,
+            duration: SimDuration::from_secs(60),
+            extra_base: SimDuration::from_secs(1),
+            extra_jitter: SimDuration::from_millis(10),
+        });
+        let (mut w, sink) = pinger_world(plan.network_effects(), 4);
+        let (mut base, base_sink) = pinger_world(Vec::new(), 4);
+        w.run_until_idle();
+        base.run_until_idle();
+        assert_eq!(w.fault_stats().delayed, 50);
+        assert_eq!(w.node_as::<Sink>(sink).unwrap().got, 50, "nothing dropped");
+        assert_eq!(base.node_as::<Sink>(base_sink).unwrap().got, 50);
+        // The last ping leaves at 5.0 s and gains ≥ 1 s extra delay, so the
+        // degraded world's final delivery lands past 6.0 s; the baseline
+        // world is fully idle well before that.
+        assert!(w.now() >= SimTime::from_secs(6));
+        assert!(base.now() < SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn empty_effects_leave_existing_streams_untouched() {
+        // A world with no effects must behave exactly like one built before
+        // the fault engine existed: same deliveries, same finish time.
+        let (mut a, sink_a) = pinger_world(Vec::new(), 9);
+        let mut cfg = WorldConfig::default();
+        cfg.net.fault_seed = 0xDEAD_BEEF; // different fault stream, unused
+        let mut b = World::new(cfg, 9);
+        let sink_b = b.add_node(Region::Tokyo, Box::new(Sink { got: 0 }));
+        let _src = b.add_node(Region::Oregon, Box::new(Pinger { target: sink_b, count: 50 }));
+        a.run_until_idle();
+        b.run_until_idle();
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.node_as::<Sink>(sink_a).unwrap().got, b.node_as::<Sink>(sink_b).unwrap().got);
+        assert_eq!(a.fault_stats(), FaultNetStats::default());
+    }
+
+    #[test]
+    fn expired_effect_has_no_influence() {
+        // An effect entirely in the past still exercises the effects path
+        // (fault_rng exists) but changes nothing observable.
+        let effects = vec![LinkEffect {
+            scope: LinkScope::All,
+            start: SimTime::ZERO,
+            end: SimTime::from_millis(1),
+            kind: EffectKind::Block,
+        }];
+        let (mut w, sink) = pinger_world(effects, 11);
+        w.run_until_idle();
+        assert_eq!(w.fault_stats(), FaultNetStats::default());
+        assert_eq!(w.node_as::<Sink>(sink).unwrap().got, 50);
     }
 }
 
@@ -758,16 +938,10 @@ mod trace_tests {
         let kick = w.add_node(Region::Oregon, Box::new(Kick { target: echo }));
         w.run_until_idle();
         let trace = w.take_trace();
-        assert!(trace
-            .iter()
-            .any(|e| e.node == kick && e.kind == SimEventKind::Started));
-        assert!(trace
-            .iter()
-            .any(|e| e.node == kick && e.kind == SimEventKind::Timer(9)));
-        let delivered: Vec<_> = trace
-            .iter()
-            .filter(|e| matches!(e.kind, SimEventKind::Delivered { .. }))
-            .collect();
+        assert!(trace.iter().any(|e| e.node == kick && e.kind == SimEventKind::Started));
+        assert!(trace.iter().any(|e| e.node == kick && e.kind == SimEventKind::Timer(9)));
+        let delivered: Vec<_> =
+            trace.iter().filter(|e| matches!(e.kind, SimEventKind::Delivered { .. })).collect();
         assert_eq!(delivered.len(), 1);
         assert_eq!(delivered[0].node, echo);
         // Times are monotone.

@@ -6,14 +6,12 @@
 //! author's own sequence number. This mirrors how the paper's tests name
 //! messages M1…M6 by writer and position.
 
+use conprobe_json::{member, FromJson, JsonError, JsonValue, ToJson};
 use conprobe_sim::{LocalTime, SimTime};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a writing client (an agent in the measurement study).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AuthorId(pub u32);
 
 impl fmt::Display for AuthorId {
@@ -23,9 +21,7 @@ impl fmt::Display for AuthorId {
 }
 
 /// Globally unique post identifier: `(author, author-local sequence)`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PostId {
     /// The writing client.
     pub author: AuthorId,
@@ -56,8 +52,38 @@ impl fmt::Display for PostId {
     }
 }
 
+impl ToJson for AuthorId {
+    fn to_json(&self) -> JsonValue {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for AuthorId {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        u32::from_json(v).map(AuthorId)
+    }
+}
+
+impl ToJson for PostId {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("author".into(), self.author.to_json()),
+            ("seq".into(), self.seq.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PostId {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        Ok(PostId {
+            author: AuthorId::from_json(member(v, "author")?)?,
+            seq: u32::from_json(member(v, "seq")?)?,
+        })
+    }
+}
+
 /// A post as submitted by a client.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Post {
     /// Unique identifier.
     pub id: PostId,
@@ -75,7 +101,7 @@ impl Post {
 }
 
 /// A post as held by a replica, annotated with server-side metadata.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoredPost {
     /// The post itself.
     pub post: Post,

@@ -17,10 +17,9 @@
 
 use crate::event::StoredPost;
 use conprobe_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Rule for ordering events whose (truncated) timestamps are equal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TieBreak {
     /// Ascending post id — stable, author-then-sequence order.
     PostId,
@@ -32,7 +31,7 @@ pub enum TieBreak {
 }
 
 /// How a replica orders its event sequence for reads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OrderingPolicy {
     /// Order of arrival at this replica.
     Arrival,
@@ -56,10 +55,7 @@ impl OrderingPolicy {
 
     /// Exact (nanosecond) timestamp order with stable id tie-break.
     pub fn exact_timestamp() -> Self {
-        OrderingPolicy::Timestamp {
-            precision: SimDuration::from_nanos(1),
-            tie: TieBreak::PostId,
-        }
+        OrderingPolicy::Timestamp { precision: SimDuration::from_nanos(1), tie: TieBreak::PostId }
     }
 
     /// A sort key for `post` under this policy. Sorting by this key yields
@@ -173,52 +169,69 @@ mod tests {
 mod proptests {
     use super::*;
     use crate::event::{AuthorId, Post, PostId};
-    use conprobe_sim::{LocalTime, SimTime};
-    use proptest::prelude::*;
+    use conprobe_sim::{LocalTime, SimRng, SimTime};
 
-    fn arb_post() -> impl Strategy<Value = StoredPost> {
-        (0u32..4, 1u32..50, 0u64..10_000, 0u64..1_000).prop_map(|(a, s, ms, arr)| StoredPost {
-            post: Post::new(PostId::new(AuthorId(a), s), "x", LocalTime::from_nanos(0)),
-            server_ts: SimTime::from_millis(ms),
-            arrival_index: arr,
-        })
+    fn gen_post(rng: &mut SimRng) -> StoredPost {
+        StoredPost {
+            post: Post::new(
+                PostId::new(AuthorId(rng.gen_range(0u32..4)), rng.gen_range(1u32..50)),
+                "x",
+                LocalTime::from_nanos(0),
+            ),
+            server_ts: SimTime::from_millis(rng.gen_range(0u64..10_000)),
+            arrival_index: rng.gen_range(0u64..1_000),
+        }
     }
 
-    proptest! {
-        /// Sorting is idempotent: applying the policy twice equals once.
-        #[test]
-        fn sort_is_idempotent(mut posts in proptest::collection::vec(arb_post(), 0..30)) {
+    fn gen_posts(rng: &mut SimRng, max: usize) -> Vec<StoredPost> {
+        let len = rng.gen_range(0..max);
+        (0..len).map(|_| gen_post(rng)).collect()
+    }
+
+    /// Sorting is idempotent: applying the policy twice equals once.
+    #[test]
+    fn sort_is_idempotent() {
+        let mut rng = SimRng::new(0x5702_0001);
+        for case in 0..400 {
+            let mut posts = gen_posts(&mut rng, 30);
             let policy = OrderingPolicy::facebook_group();
             policy.sort(&mut posts);
             let once = posts.clone();
             policy.sort(&mut posts);
-            prop_assert_eq!(once, posts);
+            assert_eq!(once, posts, "case {case}");
         }
+    }
 
-        /// The sort key induces the same order regardless of input
-        /// permutation (total order ⇒ canonical result), provided keys are
-        /// unique, which holds when post ids are unique.
-        #[test]
-        fn sort_is_permutation_invariant(posts in proptest::collection::vec(arb_post(), 0..20)) {
+    /// The sort key induces the same order regardless of input
+    /// permutation (total order ⇒ canonical result), provided keys are
+    /// unique, which holds when post ids are unique.
+    #[test]
+    fn sort_is_permutation_invariant() {
+        let mut rng = SimRng::new(0x5702_0002);
+        for case in 0..400 {
+            let posts = gen_posts(&mut rng, 20);
             // Deduplicate ids to make keys unique under ReversePostId.
             let mut seen = std::collections::HashSet::new();
-            let posts: Vec<_> =
-                posts.into_iter().filter(|p| seen.insert(p.id())).collect();
+            let posts: Vec<_> = posts.into_iter().filter(|p| seen.insert(p.id())).collect();
             let policy = OrderingPolicy::facebook_group();
             let mut a = posts.clone();
             let mut b = posts;
             b.reverse();
             policy.sort(&mut a);
             policy.sort(&mut b);
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "case {case}");
         }
+    }
 
-        /// Exact-timestamp ordering never inverts strictly-ordered stamps.
-        #[test]
-        fn exact_timestamp_respects_time(mut posts in proptest::collection::vec(arb_post(), 0..30)) {
+    /// Exact-timestamp ordering never inverts strictly-ordered stamps.
+    #[test]
+    fn exact_timestamp_respects_time() {
+        let mut rng = SimRng::new(0x5702_0003);
+        for case in 0..400 {
+            let mut posts = gen_posts(&mut rng, 30);
             OrderingPolicy::exact_timestamp().sort(&mut posts);
             for w in posts.windows(2) {
-                prop_assert!(w[0].server_ts <= w[1].server_ts);
+                assert!(w[0].server_ts <= w[1].server_ts, "case {case}");
             }
         }
     }

@@ -23,10 +23,9 @@
 
 use crate::event::{PostId, StoredPost};
 use conprobe_sim::{SimDuration, SimRng, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the ranked read path.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RankingConfig {
     /// Standard deviation of the per-(read, post) interest noise, in
     /// seconds of equivalent age.
@@ -128,11 +127,7 @@ mod tests {
     fn rankable(seq: u32, server_ms: u64, visible_ms: u64) -> RankablePost {
         RankablePost {
             stored: StoredPost {
-                post: Post::new(
-                    PostId::new(AuthorId(1), seq),
-                    "m",
-                    LocalTime::from_nanos(0),
-                ),
+                post: Post::new(PostId::new(AuthorId(1), seq), "m", LocalTime::from_nanos(0)),
                 server_ts: SimTime::from_millis(server_ms),
                 arrival_index: seq as u64,
             },

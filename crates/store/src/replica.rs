@@ -49,8 +49,7 @@ impl ReplicaCore {
         if !self.seen.insert(post.id) {
             return None;
         }
-        let stored =
-            StoredPost { post, server_ts, arrival_index: self.arrival_counter };
+        let stored = StoredPost { post, server_ts, arrival_index: self.arrival_counter };
         self.arrival_counter += 1;
         self.posts.push(stored);
         self.posts.last()
@@ -133,10 +132,7 @@ mod tests {
         r.apply_new(post(1, 1), SimTime::from_millis(10)).unwrap();
         r.apply_new(post(2, 1), SimTime::from_millis(5)).unwrap();
         assert_eq!(r.len(), 2);
-        assert_eq!(
-            r.snapshot(),
-            vec![PostId::new(AuthorId(1), 1), PostId::new(AuthorId(2), 1)]
-        );
+        assert_eq!(r.snapshot(), vec![PostId::new(AuthorId(1), 1), PostId::new(AuthorId(2), 1)]);
     }
 
     #[test]
@@ -224,18 +220,22 @@ mod tests {
 mod proptests {
     use super::*;
     use crate::event::AuthorId;
-    use conprobe_sim::LocalTime;
-    use proptest::prelude::*;
+    use conprobe_sim::{LocalTime, SimRng};
 
-    fn arb_ops() -> impl Strategy<Value = Vec<(u32, u32, u64)>> {
-        proptest::collection::vec((0u32..3, 1u32..20, 0u64..5_000), 0..40)
+    fn gen_ops(rng: &mut SimRng) -> Vec<(u32, u32, u64)> {
+        let len = rng.gen_range(0usize..40);
+        (0..len)
+            .map(|_| (rng.gen_range(0u32..3), rng.gen_range(1u32..20), rng.gen_range(0u64..5_000)))
+            .collect()
     }
 
-    proptest! {
-        /// A replica's snapshot never contains duplicates and always has
-        /// exactly as many entries as distinct applied ids.
-        #[test]
-        fn snapshot_is_duplicate_free(ops in arb_ops()) {
+    /// A replica's snapshot never contains duplicates and always has
+    /// exactly as many entries as distinct applied ids.
+    #[test]
+    fn snapshot_is_duplicate_free() {
+        let mut rng = SimRng::new(0x4E01_0001);
+        for case in 0..400 {
+            let ops = gen_ops(&mut rng);
             let mut r = ReplicaCore::new(OrderingPolicy::Arrival);
             let mut distinct = std::collections::HashSet::new();
             for (a, s, ms) in ops {
@@ -245,33 +245,43 @@ mod proptests {
             }
             let snap = r.snapshot();
             let set: std::collections::HashSet<_> = snap.iter().copied().collect();
-            prop_assert_eq!(set.len(), snap.len());
-            prop_assert_eq!(snap.len(), distinct.len());
+            assert_eq!(set.len(), snap.len(), "case {case}");
+            assert_eq!(snap.len(), distinct.len(), "case {case}");
         }
+    }
 
-        /// Anti-entropy exchange makes two replicas' digests equal, and
-        /// canonical re-sequencing makes their snapshots equal.
-        #[test]
-        fn anti_entropy_converges(ops in arb_ops(), split in 0usize..40) {
+    /// Anti-entropy exchange makes two replicas' digests equal, and
+    /// canonical re-sequencing makes their snapshots equal.
+    #[test]
+    fn anti_entropy_converges() {
+        let mut rng = SimRng::new(0x4E01_0002);
+        for case in 0..400 {
+            let ops = gen_ops(&mut rng);
+            let split = rng.gen_range(0usize..40);
             // Each post id must be written exactly once (as in the real
             // system, where a write has a single home replica).
             let mut seen = std::collections::HashSet::new();
-            let ops: Vec<_> =
-                ops.into_iter().filter(|(a, s, _)| seen.insert((*a, *s))).collect();
+            let ops: Vec<_> = ops.into_iter().filter(|(a, s, _)| seen.insert((*a, *s))).collect();
             let mut a = ReplicaCore::new(OrderingPolicy::Arrival);
             let mut b = ReplicaCore::new(OrderingPolicy::Arrival);
             for (i, (au, s, ms)) in ops.iter().enumerate() {
-                let p = Post::new(
-                    PostId::new(AuthorId(*au), *s), "x", LocalTime::from_nanos(0));
-                if i < split { a.apply_new(p, SimTime::from_millis(*ms)); }
-                else { b.apply_new(p, SimTime::from_millis(*ms)); }
+                let p = Post::new(PostId::new(AuthorId(*au), *s), "x", LocalTime::from_nanos(0));
+                if i < split {
+                    a.apply_new(p, SimTime::from_millis(*ms));
+                } else {
+                    b.apply_new(p, SimTime::from_millis(*ms));
+                }
             }
-            for sp in a.missing_from(&b.digest()) { b.apply_replicated(sp); }
-            for sp in b.missing_from(&a.digest()) { a.apply_replicated(sp); }
-            prop_assert_eq!(a.digest(), b.digest());
+            for sp in a.missing_from(&b.digest()) {
+                b.apply_replicated(sp);
+            }
+            for sp in b.missing_from(&a.digest()) {
+                a.apply_replicated(sp);
+            }
+            assert_eq!(a.digest(), b.digest(), "case {case}");
             a.resequence_canonical();
             b.resequence_canonical();
-            prop_assert_eq!(a.snapshot(), b.snapshot());
+            assert_eq!(a.snapshot(), b.snapshot(), "case {case}");
         }
     }
 }

@@ -9,12 +9,11 @@
 //! [`AffinityMap`] encodes those assignments.
 
 use conprobe_sim::net::Region;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Maps client regions to replica indices (indices are interpreted by the
 /// service model that owns the map).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct AffinityMap {
     assignments: BTreeMap<Region, usize>,
     fallback: usize,
@@ -68,12 +67,7 @@ impl AffinityMap {
 
     /// The number of distinct replicas referenced (including the fallback).
     pub fn replica_count(&self) -> usize {
-        self.assignments
-            .values()
-            .copied()
-            .chain(std::iter::once(self.fallback))
-            .max()
-            .unwrap_or(0)
+        self.assignments.values().copied().chain(std::iter::once(self.fallback)).max().unwrap_or(0)
             + 1
     }
 }

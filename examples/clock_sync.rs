@@ -17,10 +17,7 @@ use conprobe::sim::ClockConfig;
 
 fn main() {
     let locations = ["Oregon", "Tokyo", "Ireland"];
-    println!(
-        "{:<28}{:>12}{:>14}{:>16}",
-        "clock regime", "agent", "|error| (ms)", "claimed ±(ms)"
-    );
+    println!("{:<28}{:>12}{:>14}{:>16}", "clock regime", "agent", "|error| (ms)", "claimed ±(ms)");
     for (label, clocks) in [
         ("perfect clocks", ClockConfig::perfect()),
         ("±2s offset, ±50ppm drift", ClockConfig::default()),

@@ -58,5 +58,9 @@ fn main() {
         ServiceKind::Blogger,
         Some(topology_primary_backup(400)),
     );
-    profile("majority quorums (sync writes + quorum reads)", ServiceKind::Blogger, Some(topology_quorum(true)));
+    profile(
+        "majority quorums (sync writes + quorum reads)",
+        ServiceKind::Blogger,
+        Some(topology_quorum(true)),
+    );
 }

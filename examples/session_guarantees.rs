@@ -40,12 +40,7 @@ fn main() {
         let guarded = prevalence(service, true, runs);
         println!("{:<24}{:>12}{:>12}", "anomaly", "raw", "guarded");
         for ((kind, r), (_, g)) in raw.iter().zip(&guarded) {
-            println!(
-                "{:<24}{:>9}/{runs}{:>9}/{runs}",
-                kind.to_string(),
-                r,
-                g
-            );
+            println!("{:<24}{:>9}/{runs}{:>9}/{runs}", kind.to_string(), r, g);
         }
         println!();
     }

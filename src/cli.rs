@@ -9,8 +9,10 @@ use conprobe_core::{analyze, timeline, AnomalyKind, CheckerConfig, TestTrace, Ve
 use conprobe_harness::proto::{test1_trigger_pairs, TestKind};
 use conprobe_harness::runner::{run_one_test, TestConfig};
 use conprobe_harness::stats;
+use conprobe_json::{FromJson, ToJson};
 use conprobe_services::ServiceKind;
-use conprobe_sim::SimDuration;
+use conprobe_sim::net::Region;
+use conprobe_sim::{BrownoutMode, FaultEvent, FaultPlan, LinkScope, SimDuration, SimTime};
 use conprobe_store::PostId;
 use std::fmt::Write as _;
 
@@ -52,6 +54,18 @@ pub enum Command {
         /// Seed.
         seed: u64,
     },
+    /// Sweep fault-plan intensity levels against one service and report
+    /// how the measurement degrades.
+    Chaos {
+        /// Service under test.
+        service: ServiceKind,
+        /// Test design.
+        kind: TestKind,
+        /// Seed (both for the world and the fault plan).
+        seed: u64,
+        /// Highest intensity level to run (sweeps 0..=levels).
+        levels: u32,
+    },
     /// List the available service models.
     Services,
     /// Print usage.
@@ -78,6 +92,7 @@ USAGE:
                [--whitebox] [--timeline] [--json FILE]
   conprobe analyze <trace.json> [--test1]
   conprobe campaign --service <svc> [--test 1|2] [--tests N] [--seed N]
+  conprobe chaos --service <svc> [--test 1|2] [--seed N] [--levels N]
   conprobe services
   conprobe help
 
@@ -112,6 +127,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut kind = TestKind::Test1;
     let mut seed = 42u64;
     let mut tests = 20u32;
+    let mut levels = 3u32;
     let mut guard = false;
     let mut whitebox = false;
     let mut show_timeline = false;
@@ -121,10 +137,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     while let Some(a) = it.next() {
         match a {
             "--service" => {
-                service =
-                    Some(parse_service(it.next().ok_or(CliError("--service needs a value".into()))?)?)
+                service = Some(parse_service(
+                    it.next().ok_or(CliError("--service needs a value".into()))?,
+                )?)
             }
-            "--test" => kind = parse_test(it.next().ok_or(CliError("--test needs a value".into()))?)?,
+            "--test" => {
+                kind = parse_test(it.next().ok_or(CliError("--test needs a value".into()))?)?
+            }
             "--seed" => {
                 seed = it
                     .next()
@@ -139,12 +158,20 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .parse()
                     .map_err(|e| CliError(format!("--tests: {e}")))?
             }
+            "--levels" => {
+                levels = it
+                    .next()
+                    .ok_or(CliError("--levels needs a value".into()))?
+                    .parse()
+                    .map_err(|e| CliError(format!("--levels: {e}")))?
+            }
             "--guard" => guard = true,
             "--whitebox" => whitebox = true,
             "--timeline" => show_timeline = true,
             "--test1" => test1 = true,
             "--json" => {
-                json_out = Some(it.next().ok_or(CliError("--json needs a path".into()))?.to_string())
+                json_out =
+                    Some(it.next().ok_or(CliError("--json needs a path".into()))?.to_string())
             }
             other if other.starts_with('-') => {
                 return Err(CliError(format!("unknown flag '{other}'")))
@@ -175,10 +202,76 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             tests,
             seed,
         }),
+        "chaos" => Ok(Command::Chaos {
+            service: service.ok_or(CliError("chaos requires --service".into()))?,
+            kind,
+            seed,
+            levels,
+        }),
         "services" => Ok(Command::Services),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(CliError(format!("unknown command '{other}'"))),
     }
+}
+
+/// The fault plan for one intensity level of the chaos sweep.
+///
+/// Level 0 is fault-free; each level above it adds one fault class on top
+/// of the previous ones and turns the shared knobs up. All windows start
+/// ≥ 4 s into the run so clock sync and the synchronized start happen on
+/// a healthy network — the faults hit the measured phase (which opens
+/// ~2.5 s in), not the harness bootstrap.
+///
+/// * level ≥ 1 — a global loss burst (`5·level` %, capped at 50 %).
+/// * level ≥ 2 — a latency spike on every link touching Tokyo.
+/// * level ≥ 3 — a Tokyo↔Ireland link flap plus one crash/restart cycle
+///   of replica 1 (skipped — and accounted — on single-replica
+///   topologies).
+/// * level ≥ 4 — a throttle-storm brownout of replica 0's front door.
+pub fn chaos_plan(level: u32, seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::new(seed);
+    if level >= 1 {
+        plan.push(FaultEvent::LossBurst {
+            scope: LinkScope::All,
+            at: SimTime::from_secs(4),
+            duration: SimDuration::from_secs(10),
+            loss: f64::from(level.min(10)) * 0.05,
+        });
+    }
+    if level >= 2 {
+        plan.push(FaultEvent::DegradedLink {
+            scope: LinkScope::Touching(Region::Tokyo),
+            at: SimTime::from_secs(5),
+            duration: SimDuration::from_secs(8),
+            extra_base: SimDuration::from_millis(40).saturating_mul(u64::from(level)),
+            extra_jitter: SimDuration::from_millis(20),
+        });
+    }
+    if level >= 3 {
+        plan.push(FaultEvent::LinkFlap {
+            scope: LinkScope::Between(Region::Tokyo, Region::Ireland),
+            at: SimTime::from_secs(6),
+            down_for: SimDuration::from_secs(2),
+            up_for: SimDuration::from_secs(2),
+            flaps: level - 2,
+        });
+        plan.push(FaultEvent::CrashCycle {
+            target: 1,
+            at: SimTime::from_secs(7),
+            down_for: SimDuration::from_secs(4),
+            up_for: SimDuration::ZERO,
+            cycles: 1,
+        });
+    }
+    if level >= 4 {
+        plan.push(FaultEvent::Brownout {
+            target: 0,
+            at: SimTime::from_secs(8),
+            duration: SimDuration::from_secs(5),
+            mode: BrownoutMode::ThrottleStorm,
+        });
+    }
+    plan
 }
 
 fn report_analysis(
@@ -187,7 +280,8 @@ fn report_analysis(
     trace: &TestTrace<PostId>,
     show_timeline: bool,
 ) {
-    let _ = writeln!(out, "operations: {} writes, {} reads", trace.write_count(), trace.read_count());
+    let _ =
+        writeln!(out, "operations: {} writes, {} reads", trace.write_count(), trace.read_count());
     for kind in AnomalyKind::ALL {
         let n = analysis.count(kind);
         if n > 0 {
@@ -216,11 +310,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                     "{:<10} — {} replica(s): {}",
                     s.name(),
                     topo.replicas.len(),
-                    topo.replicas
-                        .iter()
-                        .map(|(r, _)| r.to_string())
-                        .collect::<Vec<_>>()
-                        .join(", ")
+                    topo.replicas.iter().map(|(r, _)| r.to_string()).collect::<Vec<_>>().join(", ")
                 );
             }
         }
@@ -250,17 +340,18 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 );
             }
             if let Some(path) = json_out {
-                let json = serde_json::to_string_pretty(&r.trace)
-                    .map_err(|e| CliError(format!("serialize: {e}")))?;
+                let json = ToJson::to_json(&r.trace).to_pretty();
                 std::fs::write(&path, json).map_err(|e| CliError(format!("write {path}: {e}")))?;
                 let _ = writeln!(out, "trace written to {path}");
             }
         }
         Command::Analyze { path, test1 } => {
-            let json =
-                std::fs::read_to_string(&path).map_err(|e| CliError(format!("read {path}: {e}")))?;
+            let json = std::fs::read_to_string(&path)
+                .map_err(|e| CliError(format!("read {path}: {e}")))?;
+            let doc =
+                conprobe_json::parse(&json).map_err(|e| CliError(format!("parse {path}: {e}")))?;
             let trace: TestTrace<PostId> =
-                serde_json::from_str(&json).map_err(|e| CliError(format!("parse {path}: {e}")))?;
+                FromJson::from_json(&doc).map_err(|e| CliError(format!("parse {path}: {e}")))?;
             let config = if test1 {
                 CheckerConfig {
                     wfr_mode: WfrMode::TriggerPairs(test1_trigger_pairs(3)),
@@ -272,6 +363,36 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             let analysis = analyze(&trace, &config);
             let _ = writeln!(out, "analyzed {path}:");
             report_analysis(&mut out, &analysis, &trace, true);
+        }
+        Command::Chaos { service, kind, seed, levels } => {
+            let _ = writeln!(out, "{service} {kind} chaos sweep (seed {seed}):");
+            for level in 0..=levels {
+                let mut config = TestConfig::paper(service, kind);
+                config.fault_plan = chaos_plan(level, seed);
+                let r = run_one_test(&config, seed);
+                let ledger = &r.fault_ledger;
+                let rpc: u64 = ledger.agent_rpc.iter().map(|s| s.retransmits).sum();
+                let anomalies: usize = AnomalyKind::ALL.iter().map(|k| r.analysis.count(*k)).sum();
+                let _ = writeln!(
+                    out,
+                    "  level {level}: {} in {:>5.1}s; {anomalies} anomaly observation(s); \
+                     net {}/{}/{} blocked/dropped/delayed; {} service action(s) \
+                     ({} skipped); {rpc} retransmit(s)",
+                    if r.salvaged {
+                        "SALVAGED"
+                    } else if r.completed {
+                        "completed"
+                    } else {
+                        "TIMED OUT"
+                    },
+                    r.duration_secs,
+                    ledger.net.blocked,
+                    ledger.net.dropped,
+                    ledger.net.delayed,
+                    ledger.actions.len(),
+                    ledger.skipped_actions,
+                );
+            }
         }
         Command::Campaign { service, kind, tests, seed } => {
             let config =
@@ -356,10 +477,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("trace.json").to_string_lossy().to_string();
         let out = execute(
-            parse(&args(&format!(
-                "run --service fbgroup --test 1 --seed 3 --json {path}"
-            )))
-            .unwrap(),
+            parse(&args(&format!("run --service fbgroup --test 1 --seed 3 --json {path}")))
+                .unwrap(),
         )
         .unwrap();
         assert!(out.contains("completed"), "{out}");
@@ -374,12 +493,34 @@ mod tests {
 
     #[test]
     fn run_with_whitebox_reports_ground_truth() {
-        let out = execute(
-            parse(&args("run --service fbfeed --test 2 --seed 2 --whitebox")).unwrap(),
-        )
-        .unwrap();
+        let out =
+            execute(parse(&args("run --service fbfeed --test 2 --seed 2 --whitebox")).unwrap())
+                .unwrap();
         assert!(out.contains("white-box:"), "{out}");
         assert!(out.contains("true order divergence: false"), "{out}");
+    }
+
+    #[test]
+    fn chaos_sweep_reports_interference_per_level() {
+        let cmd = parse(&args("chaos --service blogger --test 1 --seed 3 --levels 1")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Chaos {
+                service: ServiceKind::Blogger,
+                kind: TestKind::Test1,
+                seed: 3,
+                levels: 1
+            }
+        );
+        let out = execute(cmd).unwrap();
+        assert!(out.contains("chaos sweep"), "{out}");
+        assert!(out.contains("level 0"), "{out}");
+        assert!(out.contains("level 1"), "{out}");
+        // Level 0 runs fault-free…
+        assert!(out.contains("net 0/0/0"), "{out}");
+        // …and the plan builder escalates monotonically.
+        assert!(chaos_plan(0, 1).is_empty());
+        assert!(chaos_plan(1, 1).events().len() < chaos_plan(4, 1).events().len());
     }
 
     #[test]

@@ -12,6 +12,7 @@ pub mod cli;
 
 pub use conprobe_core as core;
 pub use conprobe_harness as harness;
+pub use conprobe_json as json;
 pub use conprobe_services as services;
 pub use conprobe_session as session;
 pub use conprobe_sim as sim;

@@ -32,11 +32,9 @@ fn blogger_shows_no_anomalies_in_either_test() {
 #[test]
 fn facebook_feed_exhibits_all_anomaly_kinds() {
     let t1 = run_many(ServiceKind::FacebookFeed, TestKind::Test1, 8);
-    for kind in [
-        AnomalyKind::ReadYourWrites,
-        AnomalyKind::MonotonicWrites,
-        AnomalyKind::MonotonicReads,
-    ] {
+    for kind in
+        [AnomalyKind::ReadYourWrites, AnomalyKind::MonotonicWrites, AnomalyKind::MonotonicReads]
+    {
         let p = stats::prevalence(&t1, kind);
         assert!(p > 40.0, "{kind} prevalence too low on FB Feed: {p}%");
     }
@@ -76,10 +74,8 @@ fn facebook_group_shows_only_the_reversal_quirk() {
 #[test]
 fn fbgroup_reversal_is_observed_consistently_by_all_agents() {
     let results = run_many(ServiceKind::FacebookGroup, TestKind::Test1, 6);
-    let affected: Vec<_> = results
-        .iter()
-        .filter(|r| r.analysis.has(AnomalyKind::MonotonicWrites))
-        .collect();
+    let affected: Vec<_> =
+        results.iter().filter(|r| r.analysis.has(AnomalyKind::MonotonicWrites)).collect();
     assert!(!affected.is_empty());
     for r in &affected {
         let observers = r.analysis.agents_observing(AnomalyKind::MonotonicWrites);
@@ -161,10 +157,8 @@ fn test2_read_schedule_is_adaptive() {
     let r = run_one_test(&config, 5);
     let reads = r.trace.reads_by(AgentId(0));
     assert_eq!(reads.len() as u32, config.reads_target);
-    let gaps: Vec<i64> = reads
-        .windows(2)
-        .map(|w| w[1].invoke.as_nanos() - w[0].invoke.as_nanos())
-        .collect();
+    let gaps: Vec<i64> =
+        reads.windows(2).map(|w| w[1].invoke.as_nanos() - w[0].invoke.as_nanos()).collect();
     let fast = &gaps[..(config.fast_reads as usize - 1)];
     let slow = &gaps[config.fast_reads as usize..];
     let fast_mean = fast.iter().sum::<i64>() as f64 / fast.len() as f64;

@@ -79,10 +79,7 @@ fn whitebox_separates_true_divergence_from_read_path_artifacts() {
         }
     }
     assert_eq!(blackbox_od, 4, "agents perceive order divergence in every test");
-    assert_eq!(
-        whitebox_od, 0,
-        "replicas never truly order-diverge on FB Feed — it's the ranking"
-    );
+    assert_eq!(whitebox_od, 0, "replicas never truly order-diverge on FB Feed — it's the ranking");
 
     // Google+: when agents see order divergence, the replicas really did
     // hold different orders at some point.

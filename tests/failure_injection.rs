@@ -6,7 +6,8 @@ use conprobe::core::AnomalyKind;
 use conprobe::harness::proto::TestKind;
 use conprobe::harness::runner::{run_one_test, TestConfig};
 use conprobe::services::ServiceKind;
-use conprobe::sim::ClockConfig;
+use conprobe::sim::net::Region;
+use conprobe::sim::{ClockConfig, FaultEvent, FaultPlan, LinkScope, SimDuration, SimTime};
 
 /// The full-test Tokyo partition: divergence is detected, the test times
 /// out or completes, and the harness still produces a coherent trace.
@@ -25,7 +26,11 @@ fn partition_produces_divergence_and_a_coherent_trace() {
         // heals after ~11 s) but eventually close thanks to anti-entropy.
         let w = r
             .analysis
-            .pair_windows(conprobe::core::WindowKind::Content, conprobe::core::AgentId(0), conprobe::core::AgentId(1))
+            .pair_windows(
+                conprobe::core::WindowKind::Content,
+                conprobe::core::AgentId(0),
+                conprobe::core::AgentId(1),
+            )
             .expect("windows computed");
         assert!(w.any_divergence());
     }
@@ -76,10 +81,8 @@ fn drift_decays_the_clock_estimate() {
     let mut config = TestConfig::paper(ServiceKind::Blogger, TestKind::Test2);
     config.agent_clocks = ClockConfig { max_initial_offset_nanos: 0, max_drift_ppm: 0.0 };
     let perfect = run_one_test(&config, 2);
-    config.agent_clocks = ClockConfig {
-        max_initial_offset_nanos: 1_000_000_000,
-        max_drift_ppm: 2_000.0,
-    };
+    config.agent_clocks =
+        ClockConfig { max_initial_offset_nanos: 1_000_000_000, max_drift_ppm: 2_000.0 };
     let drifty = run_one_test(&config, 2);
     let perfect_err: i64 = perfect.clock_error_nanos.iter().sum();
     let drifty_err: i64 = drifty.clock_error_nanos.iter().sum();
@@ -206,5 +209,132 @@ fn server_side_rate_limit_is_survivable() {
         r.analysis.is_clean(),
         "throttling must not fabricate anomalies: {:?}",
         r.analysis.observations.first()
+    );
+}
+
+/// A link flap, a loss burst, and a crash/restart cycle composed in one
+/// declarative plan. Timings sit inside Test 2's measured phase (which
+/// opens ~2.5 s into the run and lasts ~36 s for FB Group).
+fn combined_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with(FaultEvent::LossBurst {
+            scope: LinkScope::All,
+            at: SimTime::from_secs(5),
+            duration: SimDuration::from_secs(8),
+            loss: 0.15,
+        })
+        .with(FaultEvent::LinkFlap {
+            // Ireland↔Virginia carries the Ireland agent's heartbeats and
+            // its service traffic (FB Group's replicas are US-side), so
+            // the flap demonstrably blocks messages.
+            scope: LinkScope::Between(Region::Ireland, Region::Virginia),
+            at: SimTime::from_secs(6),
+            down_for: SimDuration::from_secs(2),
+            up_for: SimDuration::from_secs(2),
+            flaps: 2,
+        })
+        .with(FaultEvent::CrashCycle {
+            target: 0,
+            at: SimTime::from_secs(12),
+            down_for: SimDuration::from_secs(3),
+            up_for: SimDuration::from_secs(2),
+            cycles: 2,
+        })
+}
+
+/// The headline property of the fault engine: a plan composing a link
+/// flap, a loss burst, and a crash/restart cycle executes against a full
+/// test, every interference is accounted in the ledger, and replaying the
+/// same world seed and plan reproduces the run byte for byte — trace,
+/// anomaly verdicts, ledger, and agent health all identical.
+#[test]
+fn combined_fault_plan_is_deterministic_and_accounted() {
+    let mut config = TestConfig::paper(ServiceKind::FacebookGroup, TestKind::Test2);
+    config.fault_plan = combined_plan(99);
+
+    let a = run_one_test(&config, 11);
+    let b = run_one_test(&config, 11);
+
+    // The plan ran: network interference and all four crash/recover
+    // transitions (2 cycles) are on the ledger.
+    assert!(a.fault_ledger.net.dropped > 0, "loss burst must drop messages");
+    assert!(a.fault_ledger.net.blocked > 0, "link flap must block messages");
+    assert_eq!(a.fault_ledger.actions.len(), 4, "crash,recover × 2 cycles");
+    assert_eq!(a.fault_ledger.skipped_actions, 0);
+    assert!(a.fault_ledger.any_interference());
+
+    // The run still concludes with a full-size trace.
+    assert_eq!(a.reads_per_agent.len(), 3);
+    assert!(a.writes_total >= 1);
+
+    // Byte-identical replay.
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.duration_secs, b.duration_secs);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.salvaged, b.salvaged);
+    assert_eq!(a.fault_ledger.net, b.fault_ledger.net);
+    assert_eq!(a.fault_ledger.actions, b.fault_ledger.actions);
+    assert_eq!(a.fault_ledger.agent_rpc, b.fault_ledger.agent_rpc);
+    for kind in AnomalyKind::ALL {
+        assert_eq!(a.analysis.count(kind), b.analysis.count(kind), "{kind}");
+    }
+
+    // A different fault seed reshuffles the probabilistic interference
+    // without touching the deterministic service transitions.
+    config.fault_plan = combined_plan(100);
+    let c = run_one_test(&config, 11);
+    assert_eq!(c.fault_ledger.actions.len(), 4);
+    assert_ne!(
+        a.fault_ledger.net, c.fault_ledger.net,
+        "a different plan seed should redraw the loss coin flips"
+    );
+}
+
+/// Graceful coordinator degradation: an agent whose region is cut off
+/// mid-test (covering its service path *and* its heartbeat path) is
+/// quarantined after the bounded Stop-retry budget, and the coordinator
+/// salvages a coherent partial trace from the surviving agents instead of
+/// hanging.
+#[test]
+fn severed_agent_is_quarantined_and_the_trace_salvaged() {
+    let mut config = TestConfig::paper(ServiceKind::FacebookGroup, TestKind::Test1);
+    // Cut every Tokyo link shortly after the synchronized start and keep
+    // it down past the end of the run. Clock sync (~2.5 s) and the start
+    // margin complete on a healthy network, so the agent is mid-test —
+    // beaconing and writing — when the link dies.
+    config.start_margin = SimDuration::from_secs(2);
+    config.fault_plan = FaultPlan::new(1).with(FaultEvent::LinkFlap {
+        scope: LinkScope::Touching(Region::Tokyo),
+        at: SimTime::from_secs(5),
+        down_for: SimDuration::from_secs(300),
+        up_for: SimDuration::ZERO,
+        flaps: 1,
+    });
+    config.max_duration = SimDuration::from_secs(20);
+
+    let r = run_one_test(&config, 4);
+
+    assert!(!r.completed, "a severed agent must not count as a clean run");
+    assert!(r.salvaged, "the partial trace must be flagged as salvaged");
+    assert_eq!(r.agent_health.len(), 3);
+    let tokyo = &r.agent_health[1];
+    assert!(tokyo.quarantined, "the unreachable agent is quarantined");
+    assert!(!tokyo.log_collected);
+    assert!(tokyo.heartbeats > 0, "it was alive before the cut");
+    for i in [0usize, 2] {
+        assert!(r.agent_health[i].log_collected, "agent {i} salvaged");
+        assert!(!r.agent_health[i].quarantined);
+        assert!(r.reads_per_agent[i] > 0, "agent {i} contributed reads");
+    }
+    assert_eq!(r.reads_per_agent[1], 0, "no log, no reads in the trace");
+    assert!(r.fault_ledger.net.blocked > 0, "the cut is on the ledger");
+
+    // Degradation is as deterministic as a healthy run.
+    let r2 = run_one_test(&config, 4);
+    assert_eq!(r.trace, r2.trace);
+    assert_eq!(r.salvaged, r2.salvaged);
+    assert_eq!(
+        r.agent_health.iter().map(|h| h.quarantined).collect::<Vec<_>>(),
+        r2.agent_health.iter().map(|h| h.quarantined).collect::<Vec<_>>()
     );
 }

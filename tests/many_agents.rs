@@ -10,13 +10,8 @@ use conprobe::services::ServiceKind;
 use conprobe::sim::net::Region;
 
 fn regions(n: usize) -> Vec<Region> {
-    let pool = [
-        Region::Oregon,
-        Region::Tokyo,
-        Region::Ireland,
-        Region::Virginia,
-        Region::Datacenter(7),
-    ];
+    let pool =
+        [Region::Oregon, Region::Tokyo, Region::Ireland, Region::Virginia, Region::Datacenter(7)];
     (0..n).map(|i| pool[i % pool.len()]).collect()
 }
 
@@ -33,12 +28,8 @@ fn five_agent_test1_runs_the_full_chain() {
     // agent i-1's second write.
     for i in 1..5u32 {
         let trigger = conprobe::store::PostId::new(conprobe::store::AuthorId(i - 1), 2);
-        let own_first = r
-            .trace
-            .writes_by(AgentId(i))
-            .first()
-            .map(|(op, _)| op.invoke)
-            .expect("agent wrote");
+        let own_first =
+            r.trace.writes_by(AgentId(i)).first().map(|(op, _)| op.invoke).expect("agent wrote");
         let saw_trigger = r
             .trace
             .reads_by(AgentId(i))
@@ -47,10 +38,7 @@ fn five_agent_test1_runs_the_full_chain() {
             .map(|read| read.response)
             .min()
             .expect("agent observed its trigger");
-        assert!(
-            saw_trigger <= own_first,
-            "agent {i} wrote before observing its trigger"
-        );
+        assert!(saw_trigger <= own_first, "agent {i} wrote before observing its trigger");
     }
 }
 

@@ -54,10 +54,7 @@ fn quorum_writes_are_globally_ordered_consistently() {
     // increasing timestamps and every read presents timestamp order.
     for seed in 0..4 {
         let r = run_one_test(&quorum_config(TestKind::Test1, false), seed);
-        assert!(
-            !r.has(AnomalyKind::MonotonicWrites),
-            "seed {seed}: sync writes cannot reorder"
-        );
+        assert!(!r.has(AnomalyKind::MonotonicWrites), "seed {seed}: sync writes cannot reorder");
     }
 }
 
@@ -78,8 +75,5 @@ fn read_repair_reduces_monotonic_read_exposure() {
     };
     let without = count(false);
     let with = count(true);
-    assert!(
-        with <= without,
-        "read repair must not increase MR exposure ({with} > {without})"
-    );
+    assert!(with <= without, "read repair must not increase MR exposure ({with} > {without})");
 }

@@ -7,6 +7,7 @@ use conprobe::core::checkers::WfrMode;
 use conprobe::core::{analyze, AnomalyKind, CheckerConfig, TestTrace};
 use conprobe::harness::proto::{test1_trigger_pairs, TestKind};
 use conprobe::harness::runner::{run_one_test, TestConfig};
+use conprobe::json::{FromJson, ToJson};
 use conprobe::services::ServiceKind;
 use conprobe::store::PostId;
 
@@ -14,8 +15,9 @@ use conprobe::store::PostId;
 fn traces_round_trip_through_json() {
     let config = TestConfig::paper(ServiceKind::FacebookFeed, TestKind::Test1);
     let r = run_one_test(&config, 21);
-    let json = serde_json::to_string(&r.trace).expect("serialize");
-    let back: TestTrace<PostId> = serde_json::from_str(&json).expect("deserialize");
+    let json = r.trace.to_json().to_compact();
+    let parsed = conprobe::json::parse(&json).expect("parse");
+    let back: TestTrace<PostId> = FromJson::from_json(&parsed).expect("deserialize");
     assert_eq!(r.trace, back);
 
     // Re-analysis of the imported trace reproduces the original findings.
@@ -25,11 +27,7 @@ fn traces_round_trip_through_json() {
     };
     let re = analyze(&back, &checker);
     for kind in AnomalyKind::ALL {
-        assert_eq!(
-            re.count(kind),
-            r.analysis.count(kind),
-            "{kind} count changed after round trip"
-        );
+        assert_eq!(re.count(kind), r.analysis.count(kind), "{kind} count changed after round trip");
     }
     assert_eq!(re.content_windows, r.analysis.content_windows);
     assert_eq!(re.order_windows, r.analysis.order_windows);
@@ -50,10 +48,8 @@ fn disabling_windows_does_not_change_observations() {
     let config = TestConfig::paper(ServiceKind::GooglePlus, TestKind::Test2);
     let r = run_one_test(&config, 9);
     let with = analyze(&r.trace, &CheckerConfig::default());
-    let without = analyze(
-        &r.trace,
-        &CheckerConfig { compute_windows: false, ..Default::default() },
-    );
+    let without =
+        analyze(&r.trace, &CheckerConfig { compute_windows: false, ..Default::default() });
     assert_eq!(with.observations, without.observations);
     assert!(without.content_windows.is_empty());
 }
@@ -70,10 +66,7 @@ fn observation_metadata_is_well_formed() {
         assert!(obs.agent.0 < 3);
         assert!(obs.at >= first && obs.at <= last, "{obs}");
         assert!(!obs.witnesses.is_empty());
-        if matches!(
-            obs.kind,
-            AnomalyKind::ContentDivergence | AnomalyKind::OrderDivergence
-        ) {
+        if matches!(obs.kind, AnomalyKind::ContentDivergence | AnomalyKind::OrderDivergence) {
             let other = obs.other_agent.expect("divergence names a pair");
             assert!(obs.agent < other, "pairs are normalized");
         }
