@@ -159,7 +159,7 @@ fn main() -> ExitCode {
             .map(|(s, (a, b))| (s.name(), *a, *b))
             .collect();
         let report = conprobe_harness::report::StudyReport::new(args.seed, &cells_for_report);
-        std::fs::write(path, report.to_json().expect("serialize report")).expect("write report");
+        std::fs::write(path, report.to_json()).expect("write report");
         eprintln!("JSON report written to {path}");
     }
     if let Some(dir) = &args.csv_dir {

@@ -14,13 +14,18 @@
 //! each (service, test) pair at a configurable scale and caches results for
 //! the renderers.
 
-use conprobe_harness::campaign::{run_campaign, CampaignConfig, CampaignResult};
+use conprobe_harness::campaign::{run_campaign_with_progress, CampaignConfig, CampaignResult};
 use conprobe_harness::proto::TestKind;
 use conprobe_services::ServiceKind;
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Runs the (service × test-kind) campaign grid at `tests` instances per
 /// cell, returning results keyed by `(service, kind)`.
+///
+/// Each cell reports per-test progress and throughput to stderr — the full
+/// grid takes minutes at paper scale, and a silent run is indistinguishable
+/// from a hung one.
 pub fn run_cells(
     services: &[ServiceKind],
     kinds: &[TestKind],
@@ -31,7 +36,15 @@ pub fn run_cells(
     for &service in services {
         for &kind in kinds {
             let config = CampaignConfig::paper(service, kind, tests).with_seed(seed);
-            out.insert((service, kind), run_campaign(&config));
+            let started = Instant::now();
+            let progress = move |done: usize, total: usize| {
+                let rate = done as f64 / started.elapsed().as_secs_f64().max(1e-9);
+                eprint!("\r  {service} {kind}: {done}/{total} tests ({rate:.1} tests/sec)");
+                if done == total {
+                    eprintln!();
+                }
+            };
+            out.insert((service, kind), run_campaign_with_progress(&config, Some(&progress)));
         }
     }
     out

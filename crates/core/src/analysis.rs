@@ -1,9 +1,11 @@
 //! Whole-test analysis: run every checker, aggregate per test.
 
 use crate::anomaly::{AnomalyKind, Observation};
-use crate::checkers::{self, WfrMode};
+use crate::checkers::WfrMode;
+use crate::checkers::{content, mr, mw, order, ryw, wfr};
+use crate::index::TraceIndex;
 use crate::trace::{AgentId, EventKey, TestTrace};
-use crate::window::{all_pair_windows, WindowAnalysis, WindowKind};
+use crate::window::{all_pair_windows_indexed, WindowAnalysis, WindowKind};
 use std::collections::BTreeSet;
 
 /// Configuration for [`analyze`].
@@ -108,16 +110,24 @@ impl<K: EventKey> TestAnalysis<K> {
 }
 
 /// Runs every checker (plus window computation) over `trace`.
+///
+/// The derived views every checker needs (agent lists, per-agent read and
+/// write lists, per-read position maps) are computed once in a shared
+/// [`TraceIndex`] instead of per checker and per agent pair.
 pub fn analyze<K: EventKey>(trace: &TestTrace<K>, config: &CheckerConfig<K>) -> TestAnalysis<K> {
+    let index = TraceIndex::new(trace);
     let mut observations = Vec::new();
-    observations.extend(checkers::check_read_your_writes(trace));
-    observations.extend(checkers::check_monotonic_writes(trace));
-    observations.extend(checkers::check_monotonic_reads(trace));
-    observations.extend(checkers::check_writes_follow_reads(trace, &config.wfr_mode));
-    observations.extend(checkers::check_content_divergence(trace));
-    observations.extend(checkers::check_order_divergence(trace));
+    observations.extend(ryw::check_indexed(&index));
+    observations.extend(mw::check_indexed(&index));
+    observations.extend(mr::check_indexed(&index));
+    observations.extend(wfr::check_indexed(&index, &config.wfr_mode));
+    observations.extend(content::check_indexed(&index));
+    observations.extend(order::check_indexed(&index));
     let (content_windows, order_windows) = if config.compute_windows {
-        (all_pair_windows(trace, WindowKind::Content), all_pair_windows(trace, WindowKind::Order))
+        (
+            all_pair_windows_indexed(&index, WindowKind::Content),
+            all_pair_windows_indexed(&index, WindowKind::Order),
+        )
     } else {
         (Vec::new(), Vec::new())
     };

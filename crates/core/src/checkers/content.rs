@@ -13,8 +13,13 @@
 //! presence per agent pair.
 
 use crate::anomaly::{AnomalyKind, Observation};
+use crate::index::{ReadView, TraceIndex};
 use crate::trace::{EventKey, TestTrace};
-use std::collections::HashSet;
+
+/// The first element of `a`'s sequence that `b`'s sequence lacks.
+fn first_only_in<'t, K>(a: &ReadView<'t, K>, b: &ReadView<'t, K>) -> Option<&'t K> {
+    a.keys().iter().zip(a.seq).find(|(&k, _)| !b.contains(k)).map(|(_, x)| x)
+}
 
 /// Finds content divergence between every pair of agents in `trace`.
 ///
@@ -23,41 +28,26 @@ use std::collections::HashSet;
 /// second) from the earliest diverging read pair, and the total number of
 /// diverging read pairs in the detail string.
 pub fn check<K: EventKey>(trace: &TestTrace<K>) -> Vec<Observation<K>> {
-    let agents = trace.agents();
-    // Precompute each read's element set once (the pair loops below visit
-    // every read many times).
-    let sets: std::collections::HashMap<usize, HashSet<&K>> = trace
-        .ops()
-        .iter()
-        .enumerate()
-        .filter_map(|(i, op)| op.read_seq().map(|s| (i, s.iter().collect())))
-        .collect();
-    let indexed_reads = |agent| {
-        trace
-            .ops()
-            .iter()
-            .enumerate()
-            .filter(move |(_, op)| op.agent == agent && op.is_read())
-            .collect::<Vec<_>>()
-    };
+    check_indexed(&TraceIndex::new(trace))
+}
+
+/// [`check`] against a prebuilt [`TraceIndex`].
+pub fn check_indexed<K: EventKey>(index: &TraceIndex<'_, K>) -> Vec<Observation<K>> {
+    let agents = index.agents();
     let mut out = Vec::new();
     for (i, &a) in agents.iter().enumerate() {
         for &b in &agents[i + 1..] {
-            let reads_a = indexed_reads(a);
-            let reads_b = indexed_reads(b);
+            let reads_a: Vec<_> = index.reads_of(a).collect();
+            let reads_b: Vec<_> = index.reads_of(b).collect();
             let mut first_witness: Option<(K, K, crate::trace::Timestamp)> = None;
             let mut pair_count = 0usize;
-            for (ia, ra) in &reads_a {
-                let sa = ra.read_seq().expect("read");
-                let set_a = &sets[ia];
-                for (ib, rb) in &reads_b {
-                    let sb = rb.read_seq().expect("read");
-                    let set_b = &sets[ib];
-                    let x = sa.iter().find(|x| !set_b.contains(*x));
-                    let y = sb.iter().find(|y| !set_a.contains(*y));
+            for ra in &reads_a {
+                for rb in &reads_b {
+                    let x = first_only_in(ra, rb);
+                    let y = first_only_in(rb, ra);
                     if let (Some(x), Some(y)) = (x, y) {
                         pair_count += 1;
-                        let at = ra.response.max(rb.response);
+                        let at = ra.op.response.max(rb.op.response);
                         if first_witness.is_none() {
                             first_witness = Some((x.clone(), y.clone(), at));
                         }

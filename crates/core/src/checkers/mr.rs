@@ -13,8 +13,8 @@
 //! not one per later read).
 
 use crate::anomaly::{AnomalyKind, Observation};
+use crate::index::TraceIndex;
 use crate::trace::{EventKey, TestTrace};
-use std::collections::HashSet;
 
 /// Finds all Monotonic Reads violations in `trace`.
 ///
@@ -22,24 +22,33 @@ use std::collections::HashSet;
 /// previously observed event disappeared; the vanished events are the
 /// witnesses.
 pub fn check<K: EventKey>(trace: &TestTrace<K>) -> Vec<Observation<K>> {
+    check_indexed(&TraceIndex::new(trace))
+}
+
+/// [`check`] against a prebuilt [`TraceIndex`].
+pub fn check_indexed<K: EventKey>(index: &TraceIndex<'_, K>) -> Vec<Observation<K>> {
     let mut out = Vec::new();
-    for agent in trace.agents() {
+    for &agent in index.agents() {
         // "(in that order)" in §III is the order results were *returned*:
         // a client reacts to responses, and retransmitted reads can
         // overlap later ones, so response order — not invocation order —
         // defines the successive views.
-        let mut reads = trace.reads_by(agent);
-        reads.sort_by_key(|r| r.response);
+        let reads: Vec<_> = index.reads_of_by_response(agent).collect();
         for pair in reads.windows(2) {
-            let s1 = pair[0].read_seq().expect("read");
-            let s2: HashSet<&K> = pair[1].read_seq().expect("read").iter().collect();
-            let vanished: Vec<K> = s1.iter().filter(|x| !s2.contains(*x)).cloned().collect();
+            let (r1, r2) = (pair[0], pair[1]);
+            let vanished: Vec<K> = r1
+                .keys()
+                .iter()
+                .zip(r1.seq)
+                .filter(|(&k, _)| !r2.contains(k))
+                .map(|(_, x)| x.clone())
+                .collect();
             if !vanished.is_empty() {
                 out.push(Observation {
                     kind: AnomalyKind::MonotonicReads,
                     agent,
                     other_agent: None,
-                    at: pair[1].response,
+                    at: r2.op.response,
                     detail: format!(
                         "{} event(s) observed by {agent} disappeared from its next read: \
                          {vanished:?}",

@@ -9,8 +9,8 @@
 //! write `x` of the same client is either missing or ordered after `y`.
 
 use crate::anomaly::{AnomalyKind, Observation};
+use crate::index::TraceIndex;
 use crate::trace::{EventKey, TestTrace};
-use std::collections::HashMap;
 
 /// Finds all Monotonic Writes violations in `trace`.
 ///
@@ -18,38 +18,40 @@ use std::collections::HashMap;
 /// violating pair; witnesses are `[x, y]` for the first violating pair in
 /// issue order.
 pub fn check<K: EventKey>(trace: &TestTrace<K>) -> Vec<Observation<K>> {
-    let agents = trace.agents();
+    check_indexed(&TraceIndex::new(trace))
+}
+
+/// [`check`] against a prebuilt [`TraceIndex`].
+pub fn check_indexed<K: EventKey>(index: &TraceIndex<'_, K>) -> Vec<Observation<K>> {
     let mut out = Vec::new();
-    for read in trace.reads() {
-        let seq = read.read_seq().expect("reads are reads");
-        let pos: HashMap<&K, usize> = seq.iter().enumerate().map(|(i, k)| (k, i)).collect();
-        for &writer in &agents {
+    for read in index.reads() {
+        for &writer in index.agents() {
             // The writer's writes completed before this read began, in
             // issue order.
-            let w: Vec<&K> = trace
-                .writes_by(writer)
-                .into_iter()
-                .filter(|(op, _)| op.response <= read.invoke)
-                .map(|(_, id)| id)
+            let w: Vec<_> = index
+                .writes_of(writer)
+                .iter()
+                .filter(|w| w.op.response <= read.op.invoke)
                 .collect();
             'pairs: for (i, x) in w.iter().enumerate() {
                 for y in &w[i + 1..] {
-                    let violation = match (pos.get(*x), pos.get(*y)) {
+                    let violation = match (read.position(x.key), read.position(y.key)) {
                         (None, Some(_)) => true,         // y visible, x missing
                         (Some(px), Some(py)) => py < px, // both visible, inverted
                         _ => false,
                     };
                     if violation {
+                        let (x, y) = (x.id, y.id);
                         out.push(Observation {
                             kind: AnomalyKind::MonotonicWrites,
-                            agent: read.agent,
+                            agent: read.op.agent,
                             other_agent: Some(writer),
-                            at: read.response,
-                            witnesses: vec![(*x).clone(), (*y).clone()],
+                            at: read.op.response,
+                            witnesses: vec![x.clone(), y.clone()],
                             detail: format!(
                                 "read by {} sees {writer}'s write {y:?} but write {x:?} \
                                  is missing or ordered after it",
-                                read.agent
+                                read.op.agent
                             ),
                         });
                         break 'pairs;

@@ -6,6 +6,7 @@
 //! `∃x, y ∈ S₁, S₂ : S₁(x) ≺ S₁(y) ∧ S₂(y) ≺ S₂(x)`."*
 
 use crate::anomaly::{AnomalyKind, Observation};
+use crate::index::{ReadView, TraceIndex};
 use crate::trace::{EventKey, TestTrace};
 use std::collections::HashMap;
 
@@ -18,12 +19,6 @@ use std::collections::HashMap;
 /// and any non-monotonicity yields an adjacent witness.
 pub fn find_inversion<K: EventKey>(s1: &[K], s2: &[K]) -> Option<(K, K)> {
     let pos2: HashMap<&K, usize> = s2.iter().enumerate().map(|(i, k)| (k, i)).collect();
-    find_inversion_indexed(s1, &pos2)
-}
-
-/// [`find_inversion`] against a pre-built position index of the second
-/// sequence (lets pairwise sweeps index each read once).
-fn find_inversion_indexed<K: EventKey>(s1: &[K], pos2: &HashMap<&K, usize>) -> Option<(K, K)> {
     let mut prev: Option<(&K, usize)> = None;
     for x in s1 {
         if let Some(&p2) = pos2.get(x) {
@@ -38,42 +33,52 @@ fn find_inversion_indexed<K: EventKey>(s1: &[K], pos2: &HashMap<&K, usize>) -> O
     None
 }
 
+/// [`find_inversion`] between two indexed reads — position lookups are
+/// array probes on interned keys instead of per-call hash maps.
+pub fn inversion_between<'t, K>(
+    a: &ReadView<'t, K>,
+    b: &ReadView<'t, K>,
+) -> Option<(&'t K, &'t K)> {
+    let mut prev: Option<(&'t K, u32)> = None;
+    for (&k, x) in a.keys().iter().zip(a.seq) {
+        if let Some(p2) = b.position(k) {
+            if let Some((px, pp2)) = prev {
+                if p2 < pp2 {
+                    return Some((px, x));
+                }
+            }
+            prev = Some((x, p2));
+        }
+    }
+    None
+}
+
 /// Finds order divergence between every pair of agents in `trace`.
 ///
 /// Emits at most one [`Observation`] per unordered agent pair, witnessing
 /// the inverted event pair from the earliest diverging read pair, with the
 /// total count of diverging read pairs in the detail string.
 pub fn check<K: EventKey>(trace: &TestTrace<K>) -> Vec<Observation<K>> {
-    let agents = trace.agents();
-    // Pre-index every read's element positions once.
-    let positions: HashMap<usize, HashMap<&K, usize>> = trace
-        .ops()
-        .iter()
-        .enumerate()
-        .filter_map(|(i, op)| {
-            op.read_seq().map(|s| (i, s.iter().enumerate().map(|(p, k)| (k, p)).collect()))
-        })
-        .collect();
-    let indexed_reads = |agent| {
-        trace
-            .ops()
-            .iter()
-            .enumerate()
-            .filter(move |(_, op)| op.agent == agent && op.is_read())
-            .collect::<Vec<_>>()
-    };
+    check_indexed(&TraceIndex::new(trace))
+}
+
+/// [`check`] against a prebuilt [`TraceIndex`].
+pub fn check_indexed<K: EventKey>(index: &TraceIndex<'_, K>) -> Vec<Observation<K>> {
+    let agents = index.agents();
     let mut out = Vec::new();
     for (i, &a) in agents.iter().enumerate() {
         for &b in &agents[i + 1..] {
+            let reads_a: Vec<_> = index.reads_of(a).collect();
+            let reads_b: Vec<_> = index.reads_of(b).collect();
             let mut first: Option<(K, K, crate::trace::Timestamp)> = None;
             let mut pair_count = 0usize;
-            for (_, ra) in indexed_reads(a) {
-                let sa = ra.read_seq().expect("read");
-                for (ib, rb) in indexed_reads(b) {
-                    if let Some((x, y)) = find_inversion_indexed(sa, &positions[&ib]) {
+            for ra in &reads_a {
+                for rb in &reads_b {
+                    if let Some((x, y)) = inversion_between(ra, rb) {
                         pair_count += 1;
                         if first.is_none() {
-                            first = Some((x, y, ra.response.max(rb.response)));
+                            first =
+                                Some((x.clone(), y.clone(), ra.op.response.max(rb.op.response)));
                         }
                     }
                 }

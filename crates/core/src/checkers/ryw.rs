@@ -10,32 +10,35 @@
 //! started is not required to be visible.
 
 use crate::anomaly::{AnomalyKind, Observation};
+use crate::index::TraceIndex;
 use crate::trace::{EventKey, TestTrace};
-use std::collections::HashSet;
 
 /// Finds all Read Your Writes violations in `trace`.
 ///
 /// Emits one [`Observation`] per read that is missing at least one of the
 /// reader's own completed writes; the missing writes are the witnesses.
 pub fn check<K: EventKey>(trace: &TestTrace<K>) -> Vec<Observation<K>> {
+    check_indexed(&TraceIndex::new(trace))
+}
+
+/// [`check`] against a prebuilt [`TraceIndex`] (lets [`crate::analysis::
+/// analyze`] share one index across every checker).
+pub fn check_indexed<K: EventKey>(index: &TraceIndex<'_, K>) -> Vec<Observation<K>> {
     let mut out = Vec::new();
-    for agent in trace.agents() {
-        let writes = trace.writes_by(agent);
-        for read in trace.reads_by(agent) {
-            let seq = read.read_seq().expect("reads_by returns reads");
-            let visible: HashSet<&K> = seq.iter().collect();
+    for &agent in index.agents() {
+        let writes = index.writes_of(agent);
+        for read in index.reads_of(agent) {
             let missing: Vec<K> = writes
                 .iter()
-                .filter(|(op, _)| op.response <= read.invoke)
-                .filter(|(_, id)| !visible.contains(id))
-                .map(|(_, id)| (*id).clone())
+                .filter(|w| w.op.response <= read.op.invoke && !read.contains(w.key))
+                .map(|w| w.id.clone())
                 .collect();
             if !missing.is_empty() {
                 out.push(Observation {
                     kind: AnomalyKind::ReadYourWrites,
                     agent,
                     other_agent: None,
-                    at: read.response,
+                    at: read.op.response,
                     detail: format!(
                         "read by {agent} misses {} own completed write(s): {missing:?}",
                         missing.len()

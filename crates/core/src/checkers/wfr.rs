@@ -16,8 +16,8 @@
 //!   `(dep, w)` flags reads that contain `w` but not `dep`.
 
 use crate::anomaly::{AnomalyKind, Observation};
-use crate::trace::{AgentId, EventKey, TestTrace};
-use std::collections::{HashMap, HashSet};
+use crate::index::TraceIndex;
+use crate::trace::{EventKey, TestTrace};
 
 /// Which dependency relation the checker uses.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,46 +30,63 @@ pub enum WfrMode<K> {
     TriggerPairs(Vec<(K, K)>),
 }
 
+/// A `(dependency, write)` pair to check, with interned key ids.
+///
+/// `dep_key` may be `u32::MAX` when a trigger pair names a dependency that
+/// never appears in the trace — such a dependency is never visible, so any
+/// read showing the write violates the pair.
+struct Dep<'m, K> {
+    dep: &'m K,
+    write: &'m K,
+    dep_key: u32,
+    write_key: u32,
+}
+
 /// Finds Writes Follows Reads violations in `trace` under `mode`.
 ///
 /// Emits one [`Observation`] per read that contains a write without one of
 /// its dependencies; witnesses are `[missing dependency, write]` for each
 /// violated dependency.
 pub fn check<K: EventKey>(trace: &TestTrace<K>, mode: &WfrMode<K>) -> Vec<Observation<K>> {
-    let deps: Vec<(K, K, AgentId)> = match mode {
-        WfrMode::TriggerPairs(pairs) => {
-            // Attribute each write to its author (for reporting only).
-            let author: HashMap<&K, AgentId> =
-                trace.writes().into_iter().map(|(op, id)| (id, op.agent)).collect();
-            pairs
-                .iter()
-                .map(|(dep, w)| {
-                    (dep.clone(), w.clone(), author.get(w).copied().unwrap_or(AgentId(u32::MAX)))
-                })
-                .collect()
-        }
-        WfrMode::General => general_dependencies(trace),
+    check_indexed(&TraceIndex::new(trace), mode)
+}
+
+/// [`check`] against a prebuilt [`TraceIndex`].
+pub fn check_indexed<'m, K: EventKey>(
+    index: &'m TraceIndex<'_, K>,
+    mode: &'m WfrMode<K>,
+) -> Vec<Observation<K>> {
+    let deps: Vec<Dep<'m, K>> = match mode {
+        WfrMode::TriggerPairs(pairs) => pairs
+            .iter()
+            .filter_map(|(dep, w)| {
+                // A write absent from the whole trace is never visible, so
+                // the pair can never fire.
+                let write_key = index.key_id(w)?;
+                let dep_key = index.key_id(dep).unwrap_or(u32::MAX);
+                Some(Dep { dep, write: w, dep_key, write_key })
+            })
+            .collect(),
+        WfrMode::General => general_dependencies(index),
     };
     let mut out = Vec::new();
-    for read in trace.reads() {
-        let seq = read.read_seq().expect("read");
-        let visible: HashSet<&K> = seq.iter().collect();
+    for read in index.reads() {
         let mut witnesses = Vec::new();
-        for (dep, w, _) in &deps {
-            if visible.contains(w) && !visible.contains(dep) {
-                witnesses.push(dep.clone());
-                witnesses.push(w.clone());
+        for d in &deps {
+            if read.contains(d.write_key) && !read.contains(d.dep_key) {
+                witnesses.push(d.dep.clone());
+                witnesses.push(d.write.clone());
             }
         }
         if !witnesses.is_empty() {
             out.push(Observation {
                 kind: AnomalyKind::WritesFollowReads,
-                agent: read.agent,
+                agent: read.op.agent,
                 other_agent: None,
-                at: read.response,
+                at: read.op.response,
                 detail: format!(
                     "read by {} sees write(s) without their read dependencies: {witnesses:?}",
-                    read.agent
+                    read.op.agent
                 ),
                 witnesses,
             });
@@ -78,24 +95,30 @@ pub fn check<K: EventKey>(trace: &TestTrace<K>, mode: &WfrMode<K>) -> Vec<Observ
     out
 }
 
-/// Computes the general dependency set: `(x, w, author)` for every write `w`
-/// and every event `x` the author had observed before issuing `w`.
-fn general_dependencies<K: EventKey>(trace: &TestTrace<K>) -> Vec<(K, K, AgentId)> {
+/// Computes the general dependency set: `(x, w)` for every write `w` and
+/// every event `x` the author had observed before issuing `w`.
+///
+/// Dependencies are collected in read order with a seen-set for dedup, so
+/// the result order is deterministic (the `HashSet` iteration this
+/// replaces made witness order vary run to run).
+fn general_dependencies<'m, K: EventKey>(index: &'m TraceIndex<'_, K>) -> Vec<Dep<'m, K>> {
     let mut deps = Vec::new();
-    for agent in trace.agents() {
-        let reads = trace.reads_by(agent);
-        for (wop, w) in trace.writes_by(agent) {
-            let mut observed: HashSet<&K> = HashSet::new();
-            for r in &reads {
-                if r.response <= wop.invoke {
-                    observed.extend(r.read_seq().expect("read").iter());
+    for &agent in index.agents() {
+        for w in index.writes_of(agent) {
+            let mut seen = vec![false; index.key_count()];
+            for r in index.reads_of(agent) {
+                if r.op.response > w.op.invoke {
+                    continue;
                 }
-            }
-            // A write trivially "depends" on the author's own earlier
-            // writes only through RYW/MW; exclude w itself if it was echoed.
-            observed.remove(w);
-            for x in observed {
-                deps.push((x.clone(), w.clone(), agent));
+                for (&k, x) in r.keys().iter().zip(r.seq) {
+                    // A write trivially "depends" on the author's own
+                    // earlier writes only through RYW/MW; exclude w itself
+                    // if it was echoed.
+                    if k != w.key && !seen[k as usize] {
+                        seen[k as usize] = true;
+                        deps.push(Dep { dep: x, write: w.id, dep_key: k, write_key: w.key });
+                    }
+                }
             }
         }
     }
@@ -105,7 +128,7 @@ fn general_dependencies<K: EventKey>(trace: &TestTrace<K>) -> Vec<(K, K, AgentId
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::{TestTraceBuilder, Timestamp};
+    use crate::trace::{AgentId, TestTraceBuilder, Timestamp};
 
     fn t(ms: i64) -> Timestamp {
         Timestamp::from_millis(ms)

@@ -18,9 +18,9 @@
 //! results exclude runs where convergence was not reached during the test")
 //! — here exposed as [`WindowAnalysis::open_since`].
 
-use crate::checkers::order::find_inversion;
+use crate::checkers::order::inversion_between;
+use crate::index::{ReadView, TraceIndex};
 use crate::trace::{AgentId, EventKey, TestTrace, Timestamp};
-use std::collections::HashSet;
 
 /// Which divergence condition a window measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,10 +66,8 @@ impl WindowAnalysis {
     }
 }
 
-fn content_diverged<K: EventKey>(sa: &[K], sb: &[K]) -> bool {
-    let set_a: HashSet<&K> = sa.iter().collect();
-    let set_b: HashSet<&K> = sb.iter().collect();
-    sa.iter().any(|x| !set_b.contains(x)) && sb.iter().any(|y| !set_a.contains(y))
+fn content_diverged<K>(a: &ReadView<'_, K>, b: &ReadView<'_, K>) -> bool {
+    a.keys().iter().any(|&x| !b.contains(x)) && b.keys().iter().any(|&y| !a.contains(y))
 }
 
 /// Computes the divergence windows of `kind` between agents `a` and `b`.
@@ -83,35 +81,44 @@ pub fn windows<K: EventKey>(
     b: AgentId,
     kind: WindowKind,
 ) -> WindowAnalysis {
-    let pair = if a <= b { (a, b) } else { (b, a) };
-    // Merged read timeline of the two agents, by response time.
-    let mut reads: Vec<_> =
-        trace.reads().into_iter().filter(|r| r.agent == pair.0 || r.agent == pair.1).collect();
-    reads.sort_by_key(|r| r.response);
+    windows_indexed(&TraceIndex::new(trace), a, b, kind)
+}
 
-    let mut last_a: Option<&[K]> = None;
-    let mut last_b: Option<&[K]> = None;
+/// [`windows`] against a prebuilt [`TraceIndex`].
+pub fn windows_indexed<K: EventKey>(
+    index: &TraceIndex<'_, K>,
+    a: AgentId,
+    b: AgentId,
+    kind: WindowKind,
+) -> WindowAnalysis {
+    let pair = if a <= b { (a, b) } else { (b, a) };
+    // Merged read timeline of the two agents, by response time. The global
+    // response-order list is stable on ties, so filtering it gives the same
+    // order as a stable sort of the filtered reads.
+    let reads = index.reads_by_response().filter(|r| r.op.agent == pair.0 || r.op.agent == pair.1);
+
+    let mut last_a: Option<&ReadView<'_, K>> = None;
+    let mut last_b: Option<&ReadView<'_, K>> = None;
     let mut open: Option<Timestamp> = None;
     let mut closed = Vec::new();
 
     for r in reads {
-        let seq = r.read_seq().expect("read");
-        if r.agent == pair.0 {
-            last_a = Some(seq);
+        if r.op.agent == pair.0 {
+            last_a = Some(r);
         } else {
-            last_b = Some(seq);
+            last_b = Some(r);
         }
         let diverged = match (last_a, last_b) {
-            (Some(sa), Some(sb)) => match kind {
-                WindowKind::Content => content_diverged(sa, sb),
-                WindowKind::Order => find_inversion(sa, sb).is_some(),
+            (Some(ra), Some(rb)) => match kind {
+                WindowKind::Content => content_diverged(ra, rb),
+                WindowKind::Order => inversion_between(ra, rb).is_some(),
             },
             _ => false,
         };
         match (diverged, open) {
-            (true, None) => open = Some(r.response),
+            (true, None) => open = Some(r.op.response),
             (false, Some(start)) => {
-                closed.push((start, r.response));
+                closed.push((start, r.op.response));
                 open = None;
             }
             _ => {}
@@ -126,11 +133,19 @@ pub fn all_pair_windows<K: EventKey>(
     trace: &TestTrace<K>,
     kind: WindowKind,
 ) -> Vec<WindowAnalysis> {
-    let agents = trace.agents();
+    all_pair_windows_indexed(&TraceIndex::new(trace), kind)
+}
+
+/// [`all_pair_windows`] against a prebuilt [`TraceIndex`].
+pub fn all_pair_windows_indexed<K: EventKey>(
+    index: &TraceIndex<'_, K>,
+    kind: WindowKind,
+) -> Vec<WindowAnalysis> {
+    let agents = index.agents();
     let mut out = Vec::new();
     for (i, &a) in agents.iter().enumerate() {
         for &b in &agents[i + 1..] {
-            out.push(windows(trace, a, b, kind));
+            out.push(windows_indexed(index, a, b, kind));
         }
     }
     out

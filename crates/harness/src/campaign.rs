@@ -125,15 +125,32 @@ impl CampaignResult {
             .sum();
         per_agent / self.results.len() as f64
     }
+
+    /// Total simulator events (message deliveries) across all instances.
+    pub fn total_sim_events(&self) -> u64 {
+        self.results.iter().map(|r| r.sim_events).sum()
+    }
 }
 
 /// Runs every instance of a campaign cell, in parallel.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
+    run_campaign_with_progress(config, None)
+}
+
+/// Like [`run_campaign`], invoking `progress(done, total)` from the worker
+/// that finishes each instance — callers surface completed/total and
+/// tests/sec so long cells aren't silent. The callback runs concurrently
+/// from multiple worker threads.
+pub fn run_campaign_with_progress(
+    config: &CampaignConfig,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) -> CampaignResult {
     let n = config.tests as usize;
     let mut slots: Vec<Option<TestResult>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     let slots = Mutex::new(slots);
     let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
     let root = SimRng::new(config.seed);
 
     let workers = if config.threads == 0 {
@@ -156,6 +173,10 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
                     test.tokyo_partition || config.partition_tests.contains(&(i as u32));
                 let result = run_one_test(&test, seed);
                 slots.lock().expect("campaign worker panicked")[i] = Some(result);
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(cb) = progress {
+                    cb(finished, n);
+                }
             });
         }
     });

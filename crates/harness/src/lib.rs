@@ -63,7 +63,7 @@ pub mod stats;
 pub mod whitebox;
 
 pub use agent::RpcStats;
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
+pub use campaign::{run_campaign, run_campaign_with_progress, CampaignConfig, CampaignResult};
 pub use coordinator::AgentHealth;
 pub use proto::{HarnessMsg, Msg, TestKind};
 pub use runner::{run_one_test, TestConfig, TestResult};

@@ -205,6 +205,9 @@ pub struct TestResult {
     pub salvaged: bool,
     /// The seed this test ran with.
     pub seed: u64,
+    /// Simulator events (message deliveries) processed during the run —
+    /// the denominator for `conprobe-bench`'s events/sec metric.
+    pub sim_events: u64,
 }
 
 impl TestResult {
@@ -292,6 +295,7 @@ pub fn run_one_test(config: &TestConfig, seed: u64) -> TestResult {
     });
 
     drive(&mut world, coord);
+    let sim_events = world.delivered();
 
     let outcome = world
         .node_as::<CoordinatorNode>(coord)
@@ -357,6 +361,7 @@ pub fn run_one_test(config: &TestConfig, seed: u64) -> TestResult {
         agent_health: outcome.agent_health,
         salvaged: outcome.salvaged,
         seed,
+        sim_events,
     }
 }
 

@@ -31,6 +31,7 @@ use conprobe_store::{
     FeedRanker, OrderingPolicy, Post, PostId, RankingConfig, ReadCache, ReplicaCore,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A sampled delay distribution.
 #[derive(Debug, Clone)]
@@ -324,7 +325,8 @@ impl ReplicaNode {
     }
 
     /// The replica's current policy-ordered snapshot (diagnostics).
-    pub fn snapshot(&self) -> Vec<PostId> {
+    /// Shares the replica core's cached view.
+    pub fn snapshot(&self) -> Arc<[PostId]> {
         self.core.snapshot()
     }
 
@@ -363,7 +365,11 @@ impl ReplicaNode {
             return; // duplicate
         };
         self.record_visibility(stored.id(), now, ctx.rng());
-        for peer in self.peers.clone() {
+        // By index: the loop body mutates `self` (push timers, tokens), so
+        // it cannot hold a borrow of `self.peers` — but it doesn't need to
+        // clone the peer list every write either.
+        for i in 0..self.peers.len() {
+            let peer = self.peers[i];
             let delay = self.params.repl_delay.sample(ctx.rng());
             if delay.is_zero() {
                 ctx.send_ordered(peer, NetMsg::Repl(ReplMsg::Push(vec![stored.clone()])));
@@ -429,7 +435,7 @@ impl ReplicaNode {
             payload.into_iter().filter(|p| p.id() == post_id).collect();
         self.pending_sync_writes
             .insert(token, PendingSyncWrite { client, req_id, post_id, acks_remaining });
-        for peer in self.peers.clone() {
+        for &peer in &self.peers {
             ctx.send_ordered(peer, NetMsg::Repl(ReplMsg::SyncPush { token, posts: mine.clone() }));
         }
     }
@@ -443,7 +449,8 @@ impl ReplicaNode {
         read_repair: bool,
     ) {
         let responses_remaining = self.majority().saturating_sub(1);
-        let merged = self.core.snapshot_posts();
+        // Owned: the merge below extends this with peer snapshots.
+        let merged = self.core.snapshot_posts().to_vec();
         if responses_remaining == 0 {
             let seq = quorum_order(merged);
             ctx.send(client, NetMsg::Response { req_id, result: OpResult::ReadOk(seq) });
@@ -454,7 +461,7 @@ impl ReplicaNode {
             token,
             PendingQuorumRead { client, req_id, responses_remaining, merged, read_repair },
         );
-        for peer in self.peers.clone() {
+        for &peer in &self.peers {
             ctx.send(peer, NetMsg::Repl(ReplMsg::SnapshotReq { token }));
         }
     }
@@ -491,7 +498,7 @@ impl ReplicaNode {
                         self.record_visibility(id, now, ctx.rng());
                     }
                 }
-                for peer in self.peers.clone() {
+                for &peer in &self.peers {
                     ctx.send_ordered(peer, NetMsg::Repl(ReplMsg::Push(p.merged.clone())));
                 }
             }
@@ -573,7 +580,7 @@ impl ReplicaNode {
             }
             ClientOp::Inspect => {
                 // Authoritative state, bypassing every read path.
-                let seq = self.core.snapshot();
+                let seq = self.core.snapshot().to_vec();
                 ctx.send(from, NetMsg::Response { req_id, result: OpResult::ReadOk(seq) });
             }
         }
@@ -582,7 +589,7 @@ impl ReplicaNode {
     fn serve_read<A>(&mut self, ctx: &mut Context<'_, NetMsg<A>>) -> Vec<PostId> {
         let now = ctx.true_now();
         match &self.params.read_path {
-            ReadPath::Snapshot => self.core.snapshot(),
+            ReadPath::Snapshot => self.core.snapshot().to_vec(),
             ReadPath::Caches { count, .. } => {
                 let idx = if *count == 1 { 0 } else { ctx.rng().gen_range(0..*count) };
                 if self.caches[idx].is_stale(now) {
@@ -595,29 +602,29 @@ impl ReplicaNode {
                 if *stale_prob > 0.0 && ctx.rng().gen_bool(*stale_prob) {
                     self.core
                         .snapshot_posts()
-                        .into_iter()
+                        .iter()
                         .filter(|p| {
                             self.indexed_at.get(&p.id()).copied().unwrap_or(p.server_ts) <= now
                         })
                         .map(|p| p.id())
                         .collect()
                 } else {
-                    self.core.snapshot()
+                    self.core.snapshot().to_vec()
                 }
             }
             // Quorum reads are answered asynchronously in
             // `begin_quorum_read`; serve_read is never called for them.
-            ReadPath::Quorum { .. } => self.core.snapshot(),
+            ReadPath::Quorum { .. } => self.core.snapshot().to_vec(),
             ReadPath::Ranked(_) => {
                 let ranker = self.ranker.as_ref().expect("ranked path has ranker");
                 let posts: Vec<RankablePost> = self
                     .core
                     .snapshot_posts()
-                    .into_iter()
+                    .iter()
                     .map(|stored| {
                         let visible_at =
                             self.visible_at.get(&stored.id()).copied().unwrap_or(stored.server_ts);
-                        RankablePost { stored, visible_at }
+                        RankablePost { stored: stored.clone(), visible_at }
                     })
                     .collect();
                 ranker.read(&posts, now, ctx.rng())
@@ -656,7 +663,7 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
                     // without waiting for the next periodic round.
                     if self.params.anti_entropy.is_some() {
                         let digest = self.core.digest();
-                        for peer in self.peers.clone() {
+                        for &peer in &self.peers {
                             ctx.send(peer, NetMsg::Repl(ReplMsg::DigestReq(digest.clone())));
                         }
                     }
@@ -728,7 +735,7 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
                 }
             }
             NetMsg::Repl(ReplMsg::SnapshotReq { token }) => {
-                let posts = self.core.snapshot_posts();
+                let posts = self.core.snapshot_posts().to_vec();
                 ctx.send(from, NetMsg::Repl(ReplMsg::SnapshotResp { token, posts }));
             }
             NetMsg::Repl(ReplMsg::SnapshotResp { token, posts }) => {
@@ -787,8 +794,9 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
             return;
         }
         if token == TOKEN_ANTI_ENTROPY {
+            // Borrow the peer list: the per-tick clone was pure overhead.
             let digest = self.core.digest();
-            for peer in self.peers.clone() {
+            for &peer in &self.peers {
                 ctx.send(peer, NetMsg::Repl(ReplMsg::DigestReq(digest.clone())));
             }
             if let Some(period) = self.params.anti_entropy {

@@ -71,7 +71,7 @@ fn gen_scenario(rng: &mut SimRng) -> Scenario {
     }
 }
 
-fn run_scenario(s: &Scenario) -> Vec<(Vec<PostId>, usize)> {
+fn run_scenario(s: &Scenario) -> Vec<(std::sync::Arc<[PostId]>, usize)> {
     let params = ReplicaParams {
         ordering: if s.canonicalize {
             OrderingPolicy::Arrival

@@ -17,6 +17,7 @@ use crate::faults::{EffectKind, LinkEffect};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::world::NodeId;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -40,13 +41,15 @@ impl Region {
     pub const AGENTS: [Region; 3] = [Region::Oregon, Region::Tokyo, Region::Ireland];
 
     /// Short label used in figures ("OR", "JP", "IR", "VA", "DCn").
-    pub fn short(&self) -> String {
+    ///
+    /// Borrowed for the fixed regions; only `Datacenter(n)` allocates.
+    pub fn short(&self) -> Cow<'static, str> {
         match self {
-            Region::Oregon => "OR".to_string(),
-            Region::Tokyo => "JP".to_string(),
-            Region::Ireland => "IR".to_string(),
-            Region::Virginia => "VA".to_string(),
-            Region::Datacenter(n) => format!("DC{n}"),
+            Region::Oregon => Cow::Borrowed("OR"),
+            Region::Tokyo => Cow::Borrowed("JP"),
+            Region::Ireland => Cow::Borrowed("IR"),
+            Region::Virginia => Cow::Borrowed("VA"),
+            Region::Datacenter(n) => Cow::Owned(format!("DC{n}")),
         }
     }
 }
@@ -309,6 +312,23 @@ impl NetworkConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn short_labels_match_figures() {
+        assert_eq!(Region::Oregon.short(), "OR");
+        assert_eq!(Region::Tokyo.short(), "JP");
+        assert_eq!(Region::Ireland.short(), "IR");
+        assert_eq!(Region::Virginia.short(), "VA");
+        assert_eq!(Region::Datacenter(3).short(), "DC3");
+    }
+
+    #[test]
+    fn short_borrows_for_fixed_regions() {
+        for r in Region::AGENTS.iter().chain([Region::Virginia].iter()) {
+            assert!(matches!(r.short(), Cow::Borrowed(_)), "{r} should not allocate");
+        }
+        assert!(matches!(Region::Datacenter(0).short(), Cow::Owned(_)));
+    }
 
     #[test]
     fn lookup_is_symmetric() {

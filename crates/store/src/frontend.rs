@@ -13,11 +13,12 @@
 
 use crate::event::PostId;
 use conprobe_sim::{SimDuration, SimTime};
+use std::sync::Arc;
 
 /// A snapshot cache in front of a replica.
 #[derive(Debug, Clone)]
 pub struct ReadCache {
-    snapshot: Vec<PostId>,
+    snapshot: Arc<[PostId]>,
     last_refresh: Option<SimTime>,
     refresh_every: SimDuration,
 }
@@ -26,7 +27,7 @@ impl ReadCache {
     /// Creates an empty cache that considers itself stale after
     /// `refresh_every`. A never-refreshed cache is always stale.
     pub fn new(refresh_every: SimDuration) -> Self {
-        ReadCache { snapshot: Vec::new(), last_refresh: None, refresh_every }
+        ReadCache { snapshot: Arc::from([]), last_refresh: None, refresh_every }
     }
 
     /// The cached sequence served to readers.
@@ -52,8 +53,9 @@ impl ReadCache {
         }
     }
 
-    /// Installs a fresh snapshot taken at `now`.
-    pub fn refresh(&mut self, snapshot: Vec<PostId>, now: SimTime) {
+    /// Installs a fresh snapshot taken at `now`. The `Arc` slice is the
+    /// replica's cached view, shared rather than copied.
+    pub fn refresh(&mut self, snapshot: Arc<[PostId]>, now: SimTime) {
         self.snapshot = snapshot;
         self.last_refresh = Some(now);
     }
@@ -63,7 +65,7 @@ impl ReadCache {
     /// Returns `true` if a refresh happened.
     pub fn refresh_if_stale<F>(&mut self, now: SimTime, pull: F) -> bool
     where
-        F: FnOnce() -> Vec<PostId>,
+        F: FnOnce() -> Arc<[PostId]>,
     {
         if self.is_stale(now) {
             self.refresh(pull(), now);
@@ -93,7 +95,7 @@ mod tests {
     #[test]
     fn refresh_installs_snapshot() {
         let mut c = ReadCache::new(SimDuration::from_millis(500));
-        c.refresh(vec![id(1), id(2)], SimTime::from_millis(100));
+        c.refresh(vec![id(1), id(2)].into(), SimTime::from_millis(100));
         assert_eq!(c.read(), [id(1), id(2)]);
         assert_eq!(c.last_refresh(), Some(SimTime::from_millis(100)));
         assert!(!c.is_stale(SimTime::from_millis(400)));
@@ -103,7 +105,7 @@ mod tests {
     #[test]
     fn refresh_if_stale_pulls_lazily() {
         let mut c = ReadCache::new(SimDuration::from_millis(100));
-        let refreshed = c.refresh_if_stale(SimTime::from_millis(50), || vec![id(1)]);
+        let refreshed = c.refresh_if_stale(SimTime::from_millis(50), || vec![id(1)].into());
         assert!(refreshed);
         assert_eq!(c.read(), [id(1)]);
         // Not stale yet: the closure must not run.
@@ -115,7 +117,7 @@ mod tests {
     #[test]
     fn staleness_boundary_is_inclusive() {
         let mut c = ReadCache::new(SimDuration::from_millis(100));
-        c.refresh(vec![], SimTime::from_millis(0));
+        c.refresh(Arc::from([]), SimTime::from_millis(0));
         assert!(c.is_stale(SimTime::from_millis(100)));
         assert!(!c.is_stale(SimTime::from_millis(99)));
     }

@@ -41,7 +41,7 @@
 //! replica.apply_new(m1.clone(), SimTime::from_millis(1_100));
 //! replica.apply_new(m2.clone(), SimTime::from_millis(1_400));
 //! // The reversed tie-break presents them backwards — to every reader.
-//! assert_eq!(replica.snapshot(), vec![m2.id, m1.id]);
+//! assert_eq!(replica.snapshot().to_vec(), vec![m2.id, m1.id]);
 //! ```
 
 #![forbid(unsafe_code)]

@@ -9,7 +9,24 @@
 use crate::event::{Post, PostId, StoredPost};
 use crate::ordering::OrderingPolicy;
 use conprobe_sim::SimTime;
+use std::cell::RefCell;
 use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The memoized policy-ordered view of a replica's posts.
+///
+/// Reads dominate writes in every service model (Tables I/II: hundreds of
+/// reads against a handful of writes per test), so the snapshot a read
+/// returns is recomputed only when the post set actually changed — the
+/// `generation` field records which mutation generation the view reflects.
+/// The shared `Arc` slices let every read between two mutations reuse one
+/// allocation.
+#[derive(Debug, Clone)]
+struct ViewCache {
+    generation: u64,
+    ids: Arc<[PostId]>,
+    posts: Arc<[StoredPost]>,
+}
 
 /// Replica state: applied posts, arrival order, ordering policy.
 #[derive(Debug, Clone)]
@@ -18,12 +35,25 @@ pub struct ReplicaCore {
     posts: Vec<StoredPost>,
     seen: HashSet<PostId>,
     arrival_counter: u64,
+    /// Bumped by every state mutation; guards `view`.
+    generation: u64,
+    /// Lazily rebuilt policy-ordered view (interior mutability keeps the
+    /// read path `&self`; each simulated world is single-threaded, so the
+    /// `RefCell` is never contended).
+    view: RefCell<Option<ViewCache>>,
 }
 
 impl ReplicaCore {
     /// Creates an empty replica with the given ordering policy.
     pub fn new(policy: OrderingPolicy) -> Self {
-        ReplicaCore { policy, posts: Vec::new(), seen: HashSet::new(), arrival_counter: 0 }
+        ReplicaCore {
+            policy,
+            posts: Vec::new(),
+            seen: HashSet::new(),
+            arrival_counter: 0,
+            generation: 0,
+            view: RefCell::new(None),
+        }
     }
 
     /// The replica's ordering policy.
@@ -51,6 +81,7 @@ impl ReplicaCore {
         }
         let stored = StoredPost { post, server_ts, arrival_index: self.arrival_counter };
         self.arrival_counter += 1;
+        self.generation += 1;
         self.posts.push(stored);
         self.posts.last()
     }
@@ -65,6 +96,7 @@ impl ReplicaCore {
         }
         let record = StoredPost { arrival_index: self.arrival_counter, ..stored };
         self.arrival_counter += 1;
+        self.generation += 1;
         self.posts.push(record);
         true
     }
@@ -85,19 +117,35 @@ impl ReplicaCore {
         self.posts.iter().filter(|p| !peer_digest.contains(&p.id())).cloned().collect()
     }
 
+    /// The current policy-ordered view, rebuilding it only if a mutation
+    /// happened since the last read.
+    fn view(&self) -> ViewCache {
+        let mut slot = self.view.borrow_mut();
+        match slot.as_ref() {
+            Some(v) if v.generation == self.generation => v.clone(),
+            _ => {
+                let mut posts = self.posts.clone();
+                self.policy.sort(&mut posts);
+                let ids: Arc<[PostId]> = posts.iter().map(StoredPost::id).collect();
+                let view = ViewCache { generation: self.generation, ids, posts: posts.into() };
+                *slot = Some(view.clone());
+                view
+            }
+        }
+    }
+
     /// The sequence of post ids a read returns, ordered by the policy.
-    pub fn snapshot(&self) -> Vec<PostId> {
-        let mut posts = self.posts.clone();
-        self.policy.sort(&mut posts);
-        posts.iter().map(StoredPost::id).collect()
+    ///
+    /// Repeated reads between mutations share one cached allocation; the
+    /// result is identical to cloning and policy-sorting the post set.
+    pub fn snapshot(&self) -> Arc<[PostId]> {
+        self.view().ids
     }
 
     /// The full stored posts in policy order (for read paths that need
-    /// timestamps, e.g. feed ranking).
-    pub fn snapshot_posts(&self) -> Vec<StoredPost> {
-        let mut posts = self.posts.clone();
-        self.policy.sort(&mut posts);
-        posts
+    /// timestamps, e.g. feed ranking). Cached like [`ReplicaCore::snapshot`].
+    pub fn snapshot_posts(&self) -> Arc<[StoredPost]> {
+        self.view().posts
     }
 
     /// Rewrites arrival indices so that arrival order coincides with exact
@@ -113,6 +161,7 @@ impl ReplicaCore {
             p.arrival_index = i as u64;
         }
         self.arrival_counter = self.posts.len() as u64;
+        self.generation += 1;
     }
 }
 
@@ -132,7 +181,10 @@ mod tests {
         r.apply_new(post(1, 1), SimTime::from_millis(10)).unwrap();
         r.apply_new(post(2, 1), SimTime::from_millis(5)).unwrap();
         assert_eq!(r.len(), 2);
-        assert_eq!(r.snapshot(), vec![PostId::new(AuthorId(1), 1), PostId::new(AuthorId(2), 1)]);
+        assert_eq!(
+            r.snapshot().to_vec(),
+            vec![PostId::new(AuthorId(1), 1), PostId::new(AuthorId(2), 1)]
+        );
     }
 
     #[test]
@@ -185,7 +237,7 @@ mod tests {
         a.resequence_canonical();
         b.resequence_canonical();
         assert_eq!(a.snapshot(), b.snapshot());
-        assert_eq!(a.snapshot(), vec![x.id, y.id]);
+        assert_eq!(a.snapshot().to_vec(), vec![x.id, y.id]);
     }
 
     #[test]
@@ -206,7 +258,7 @@ mod tests {
         // New arrival lands after the resequenced posts in arrival order
         // even though its timestamp is older.
         assert_eq!(
-            r.snapshot(),
+            r.snapshot().to_vec(),
             vec![
                 PostId::new(AuthorId(1), 2),
                 PostId::new(AuthorId(1), 1),
@@ -282,6 +334,70 @@ mod proptests {
             a.resequence_canonical();
             b.resequence_canonical();
             assert_eq!(a.snapshot(), b.snapshot(), "case {case}");
+        }
+    }
+
+    /// The cached policy-ordered view always equals a fresh clone+sort of
+    /// the raw post set, across interleaved applies (local and
+    /// replicated), duplicate deliveries, canonical re-sequencing, and
+    /// crash/recovery refill. Reads are interleaved *before* mutations so
+    /// the test exercises cache invalidation, not just cold rebuilds.
+    #[test]
+    fn cached_view_equals_fresh_clone_and_sort() {
+        // The reference path deliberately bypasses the cache:
+        // `missing_from(∅)` returns the raw posts, which we clone and sort
+        // exactly the way the pre-cache implementation did.
+        fn check(r: &ReplicaCore, case: usize, step: usize) {
+            let mut expected = r.missing_from(&std::collections::HashSet::new());
+            r.policy().sort(&mut expected);
+            let expected_ids: Vec<PostId> = expected.iter().map(StoredPost::id).collect();
+            assert_eq!(r.snapshot().to_vec(), expected_ids, "case {case} step {step}");
+            assert_eq!(r.snapshot_posts().to_vec(), expected, "case {case} step {step}");
+        }
+
+        let mut rng = SimRng::new(0x4E01_0003);
+        for case in 0..200 {
+            let policy = match rng.gen_range(0u32..3) {
+                0 => OrderingPolicy::Arrival,
+                1 => OrderingPolicy::facebook_group(),
+                _ => OrderingPolicy::exact_timestamp(),
+            };
+            let mut r = ReplicaCore::new(policy);
+            let steps = rng.gen_range(1usize..50);
+            for step in 0..steps {
+                // Populate the cache so the next mutation must invalidate.
+                let _ = r.snapshot();
+                match rng.gen_range(0u32..12) {
+                    0..=6 => {
+                        let p = Post::new(
+                            PostId::new(AuthorId(rng.gen_range(0u32..3)), rng.gen_range(1u32..25)),
+                            "x",
+                            LocalTime::from_nanos(0),
+                        );
+                        r.apply_new(p, SimTime::from_millis(rng.gen_range(0u64..5_000)));
+                    }
+                    7..=8 => {
+                        // Replicated apply, possibly a duplicate.
+                        let donor = r.clone();
+                        let payload = donor.missing_from(&std::collections::HashSet::new());
+                        if !payload.is_empty() {
+                            let i = rng.gen_range(0..payload.len());
+                            r.apply_replicated(payload[i].clone());
+                        }
+                    }
+                    9..=10 => r.resequence_canonical(),
+                    _ => {
+                        // Crash: volatile state is lost; anti-entropy
+                        // refills the fresh replica from a survivor.
+                        let survivor = r.clone();
+                        r = ReplicaCore::new(policy);
+                        for sp in survivor.missing_from(&r.digest()) {
+                            r.apply_replicated(sp);
+                        }
+                    }
+                }
+                check(&r, case, step);
+            }
         }
     }
 }

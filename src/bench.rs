@@ -1,0 +1,410 @@
+//! Performance measurement for the hot paths (`conprobe-bench`).
+//!
+//! The paper's campaigns ran ~1,000 test instances per (service, test)
+//! cell; tracking whether we can afford that requires numbers, not vibes.
+//! This module times the three hot paths the perf overhaul targets —
+//! replica snapshot reads, checker/analysis throughput on synthetic
+//! traces, and whole campaign cells (tests/sec and simulated events/sec) —
+//! with *deterministic* workloads and iteration counts, so the only
+//! nondeterministic input is the wall clock.
+//!
+//! The `conprobe-bench` binary writes the measurements to
+//! `BENCH_repro.json` at the repo root, side by side with the pre-change
+//! baseline (the constants below, recorded on the same workload before the
+//! snapshot cache and `TraceIndex` landed), so subsequent PRs can track the
+//! speedup trajectory in-repo.
+
+use conprobe_core::testutil::TestRng;
+use conprobe_core::{
+    analyze, AgentId, AnomalyKind, CheckerConfig, TestTrace, TestTraceBuilder, Timestamp,
+};
+use conprobe_harness::campaign::{run_campaign, CampaignConfig, CampaignResult};
+use conprobe_harness::proto::TestKind;
+use conprobe_harness::report::StudyReport;
+use conprobe_harness::runner::run_one_test;
+use conprobe_json::ToJson;
+use conprobe_services::ServiceKind;
+use conprobe_sim::SimDuration;
+use conprobe_store::{AuthorId, OrderingPolicy, Post, PostId, ReplicaCore};
+use std::time::Instant;
+
+/// Pre-change baseline, measured with `conprobe-bench --mode full` at the
+/// commit immediately before the snapshot cache and `TraceIndex`
+/// optimizations (same workloads, same machine class as CI).
+pub mod baseline {
+    /// Checker throughput: trace operations analyzed per second.
+    pub const CHECKER_OPS_PER_SEC: f64 = 14_169.0;
+    /// Campaign cell throughput: test instances per second.
+    pub const CAMPAIGN_TESTS_PER_SEC: f64 = 17.49;
+    /// Campaign cell throughput: simulator events per second.
+    pub const CAMPAIGN_EVENTS_PER_SEC: f64 = 35_708.0;
+    /// Replica store: policy-ordered snapshot reads per second.
+    pub const SNAPSHOT_READS_PER_SEC: f64 = 23_048.0;
+}
+
+/// Iteration counts for one bench run. All counts are fixed per mode, so
+/// two runs of the same mode execute identical work.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchScale {
+    /// `analyze()` passes over the synthetic trace pool.
+    pub checker_iters: usize,
+    /// Snapshot reads against the replica micro-benchmark.
+    pub snapshot_reads: usize,
+    /// Test instances in the campaign cell.
+    pub campaign_tests: u32,
+}
+
+impl BenchScale {
+    /// The committed-numbers scale (`--mode full`).
+    pub fn full() -> Self {
+        BenchScale { checker_iters: 60, snapshot_reads: 40_000, campaign_tests: 6 }
+    }
+
+    /// The CI smoke scale (`--mode smoke`): same workloads, small counts.
+    pub fn smoke() -> Self {
+        BenchScale { checker_iters: 10, snapshot_reads: 4_000, campaign_tests: 2 }
+    }
+}
+
+/// One measured metric set; field order mirrors the JSON output.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchNumbers {
+    /// Trace operations analyzed per second across the full checker stack.
+    pub checker_ops_per_sec: f64,
+    /// Campaign test instances per second.
+    pub campaign_tests_per_sec: f64,
+    /// Simulator events per second across the campaign cell.
+    pub campaign_events_per_sec: f64,
+    /// Policy-ordered snapshot reads per second.
+    pub snapshot_reads_per_sec: f64,
+}
+
+/// A deterministic synthetic trace exercising every checker.
+///
+/// Three agents write interleaved posts and read with staleness (randomly
+/// dropped elements) and order perturbations (random adjacent swaps), so
+/// the session checkers, the divergence checkers and both window sweeps
+/// all have real work. The generator is seeded [`TestRng`]; the same seed
+/// always yields the same trace.
+pub fn synthetic_trace(seed: u64, reads_per_agent: usize) -> TestTrace<PostId> {
+    let mut rng = TestRng::new(seed);
+    let agents = 3u32;
+    let writes_per_agent = 8u32;
+    let mut b = TestTraceBuilder::new();
+    let mut writes: Vec<(i64, PostId)> = Vec::new();
+    for a in 0..agents {
+        for s in 1..=writes_per_agent {
+            let invoke = ((s as i64 - 1) * 1200 + a as i64 * 137) * 1_000_000;
+            let response = invoke + 40_000_000;
+            let id = PostId::new(AuthorId(a), s);
+            b.write(AgentId(a), Timestamp::from_nanos(invoke), Timestamp::from_nanos(response), id);
+            writes.push((response, id));
+        }
+    }
+    writes.sort_unstable();
+    let horizon = writes_per_agent as i64 * 1200 * 1_000_000;
+    for a in 0..agents {
+        for r in 0..reads_per_agent {
+            let invoke = r as i64 * horizon / reads_per_agent as i64 + a as i64 * 97_000 + 1;
+            let response = invoke + 30_000_000;
+            let mut seq: Vec<PostId> =
+                writes.iter().filter(|(w, _)| *w <= invoke).map(|(_, id)| *id).collect();
+            if !seq.is_empty() && rng.chance(0.25) {
+                let i = rng.range_usize(0, seq.len());
+                seq.remove(i); // staleness: one visible post goes missing
+            }
+            if seq.len() >= 2 && rng.chance(0.5) {
+                let i = rng.range_usize(0, seq.len() - 1);
+                seq.swap(i, i + 1); // order perturbation
+            }
+            b.read(AgentId(a), Timestamp::from_nanos(invoke), Timestamp::from_nanos(response), seq);
+        }
+    }
+    b.build()
+}
+
+/// Times the full checker stack (all six checkers + both window sweeps)
+/// over a pool of synthetic traces. Returns ops/sec and an observation
+/// checksum (keeps the work observable; also a cheap sanity anchor).
+pub fn bench_checkers(scale: BenchScale) -> (f64, usize) {
+    let traces: Vec<TestTrace<PostId>> = (0..8).map(|i| synthetic_trace(0xC0DE + i, 120)).collect();
+    let config = CheckerConfig::default();
+    // Warm-up pass so allocator state doesn't skew the first iteration.
+    let mut sink = traces.iter().map(|t| analyze(t, &config).observations.len()).sum::<usize>();
+    let mut ops = 0usize;
+    let start = Instant::now();
+    for it in 0..scale.checker_iters {
+        let trace = &traces[it % traces.len()];
+        let analysis = analyze(trace, &config);
+        sink += analysis.observations.len()
+            + analysis.content_windows.len()
+            + analysis.order_windows.len();
+        ops += trace.len();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (ops as f64 / elapsed, sink)
+}
+
+/// Times policy-ordered snapshot reads against a replica holding
+/// `posts` stored posts, with one mutation every 100 reads (the realistic
+/// read-dominated regime the cache targets).
+pub fn bench_snapshot_reads(scale: BenchScale) -> f64 {
+    let posts = 200u32;
+    let mut core = ReplicaCore::new(OrderingPolicy::facebook_group());
+    for s in 1..=posts {
+        let post = Post::new(
+            PostId::new(AuthorId(s % 3), s),
+            "synthetic-post-body",
+            conprobe_sim::LocalTime::from_nanos(0),
+        );
+        core.apply_new(post, conprobe_sim::SimTime::from_millis(s as u64 * 37));
+    }
+    let mut sink = 0usize;
+    let mut next_seq = posts + 1;
+    let start = Instant::now();
+    for i in 0..scale.snapshot_reads {
+        if i % 100 == 99 {
+            let post = Post::new(
+                PostId::new(AuthorId(next_seq % 3), next_seq),
+                "synthetic-post-body",
+                conprobe_sim::LocalTime::from_nanos(0),
+            );
+            core.apply_new(post, conprobe_sim::SimTime::from_millis(next_seq as u64 * 37));
+            next_seq += 1;
+        }
+        if i % 2 == 0 {
+            sink += core.snapshot().len();
+        } else {
+            sink += core.snapshot_posts().len();
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(sink > 0);
+    scale.snapshot_reads as f64 / elapsed
+}
+
+/// The campaign cell the bench times: Google+ Test 2 with a read-heavy
+/// schedule (the regime where snapshot reads and trace analysis dominate —
+/// exactly the load full-scale 1,000-instance cells would sustain).
+pub fn bench_campaign_config(tests: u32) -> CampaignConfig {
+    let mut config =
+        CampaignConfig::paper(ServiceKind::GooglePlus, TestKind::Test2, tests).with_seed(0xBE5C);
+    config.threads = 4;
+    config.test.read_period = SimDuration::from_millis(100);
+    config.test.fast_reads = 280;
+    config.test.reads_target = 300;
+    config
+}
+
+/// Times the campaign cell; returns (tests/sec, sim-events/sec, result).
+pub fn bench_campaign(scale: BenchScale) -> (f64, f64, CampaignResult) {
+    let config = bench_campaign_config(scale.campaign_tests);
+    let start = Instant::now();
+    let result = run_campaign(&config);
+    let elapsed = start.elapsed().as_secs_f64();
+    let events = result.total_sim_events();
+    (scale.campaign_tests as f64 / elapsed, events as f64 / elapsed, result)
+}
+
+/// Runs the whole suite at `scale`.
+pub fn run_suite(scale: BenchScale) -> BenchNumbers {
+    let (checker_ops_per_sec, _) = bench_checkers(scale);
+    let snapshot_reads_per_sec = bench_snapshot_reads(scale);
+    let (campaign_tests_per_sec, campaign_events_per_sec, result) = bench_campaign(scale);
+    assert_eq!(result.results.len(), scale.campaign_tests as usize);
+    BenchNumbers {
+        checker_ops_per_sec,
+        campaign_tests_per_sec,
+        campaign_events_per_sec,
+        snapshot_reads_per_sec,
+    }
+}
+
+/// Serializes a bench run (with the embedded baseline and speedup ratios)
+/// as the pretty-printed `BENCH_repro.json` document.
+pub fn report_json(mode: &str, current: BenchNumbers) -> String {
+    use conprobe_json::JsonValue;
+    let numbers = |n: &BenchNumbers| {
+        JsonValue::Object(vec![
+            ("checker_ops_per_sec".into(), JsonValue::Float(round2(n.checker_ops_per_sec))),
+            ("campaign_tests_per_sec".into(), JsonValue::Float(round2(n.campaign_tests_per_sec))),
+            ("campaign_events_per_sec".into(), JsonValue::Float(round2(n.campaign_events_per_sec))),
+            ("snapshot_reads_per_sec".into(), JsonValue::Float(round2(n.snapshot_reads_per_sec))),
+        ])
+    };
+    let base = BenchNumbers {
+        checker_ops_per_sec: baseline::CHECKER_OPS_PER_SEC,
+        campaign_tests_per_sec: baseline::CAMPAIGN_TESTS_PER_SEC,
+        campaign_events_per_sec: baseline::CAMPAIGN_EVENTS_PER_SEC,
+        snapshot_reads_per_sec: baseline::SNAPSHOT_READS_PER_SEC,
+    };
+    let ratio = |cur: f64, base: f64| {
+        if base > 0.0 {
+            JsonValue::Float(round2(cur / base))
+        } else {
+            JsonValue::Null
+        }
+    };
+    let doc = JsonValue::Object(vec![
+        ("schema".into(), JsonValue::Str("conprobe-bench/1".into())),
+        ("mode".into(), JsonValue::Str(mode.into())),
+        (
+            "baseline".into(),
+            JsonValue::Object(vec![
+                (
+                    "recorded".into(),
+                    JsonValue::Str(
+                        "pre-optimization tree (before snapshot cache + TraceIndex), \
+                         --mode full"
+                            .into(),
+                    ),
+                ),
+                ("numbers".into(), numbers(&base)),
+            ]),
+        ),
+        ("current".into(), numbers(&current)),
+        (
+            "speedup".into(),
+            JsonValue::Object(vec![
+                ("checker".into(), ratio(current.checker_ops_per_sec, base.checker_ops_per_sec)),
+                (
+                    "campaign_tests".into(),
+                    ratio(current.campaign_tests_per_sec, base.campaign_tests_per_sec),
+                ),
+                (
+                    "campaign_events".into(),
+                    ratio(current.campaign_events_per_sec, base.campaign_events_per_sec),
+                ),
+                (
+                    "snapshot_reads".into(),
+                    ratio(current.snapshot_reads_per_sec, base.snapshot_reads_per_sec),
+                ),
+            ]),
+        ),
+    ]);
+    doc.to_pretty()
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+/// FNV-1a over a byte string — the fingerprint hash for the golden-seed
+/// determinism tests (stable across platforms and toolchains, unlike
+/// `std`'s `RandomState` hashes).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A golden fingerprint of one test instance: the FNV-1a hash of the
+/// compact trace JSON plus the per-kind anomaly counts and window totals.
+/// Byte-identical traces and analyses produce identical fingerprints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenFingerprint {
+    /// FNV-1a of the compact JSON serialization of the trace.
+    pub trace_hash: u64,
+    /// `(AnomalyKind::short(), observation count)` for all six kinds.
+    pub anomaly_counts: Vec<(&'static str, usize)>,
+    /// Content-divergence windows across all pairs.
+    pub content_windows: usize,
+    /// Order-divergence windows across all pairs.
+    pub order_windows: usize,
+}
+
+impl GoldenFingerprint {
+    /// One line per fingerprint, for `conprobe-bench --golden` output.
+    pub fn render(&self) -> String {
+        let counts: Vec<String> =
+            self.anomaly_counts.iter().map(|(k, n)| format!("{k}={n}")).collect();
+        format!(
+            "trace_hash=0x{:016x} {} cw={} ow={}",
+            self.trace_hash,
+            counts.join(" "),
+            self.content_windows,
+            self.order_windows
+        )
+    }
+}
+
+/// Runs `(service, kind, seed)` once and fingerprints the outcome.
+pub fn golden_fingerprint(service: ServiceKind, kind: TestKind, seed: u64) -> GoldenFingerprint {
+    let config = conprobe_harness::runner::TestConfig::paper(service, kind);
+    let result = run_one_test(&config, seed);
+    let trace_hash = fnv64(result.trace.to_json().to_compact().as_bytes());
+    let anomaly_counts =
+        AnomalyKind::ALL.iter().map(|k| (k.short(), result.analysis.count(*k))).collect();
+    GoldenFingerprint {
+        trace_hash,
+        anomaly_counts,
+        content_windows: result.analysis.content_windows.iter().map(|w| w.windows.len()).sum(),
+        order_windows: result.analysis.order_windows.iter().map(|w| w.windows.len()).sum(),
+    }
+}
+
+/// The fixed golden cases: one per service, covering both tests.
+pub const GOLDEN_CASES: [(ServiceKind, TestKind, u64); 4] = [
+    (ServiceKind::Blogger, TestKind::Test1, 1),
+    (ServiceKind::GooglePlus, TestKind::Test2, 2),
+    (ServiceKind::FacebookGroup, TestKind::Test1, 7),
+    (ServiceKind::FacebookFeed, TestKind::Test2, 3),
+];
+
+/// FNV-1a hash of a small `study.json` (Blogger, both tests, 2 instances,
+/// seed 42) — the report-level half of the golden determinism check.
+pub fn study_fingerprint() -> u64 {
+    let t1 = run_campaign(
+        &CampaignConfig::paper(ServiceKind::Blogger, TestKind::Test1, 2).with_seed(42),
+    );
+    let t2 = run_campaign(
+        &CampaignConfig::paper(ServiceKind::Blogger, TestKind::Test2, 2).with_seed(42),
+    );
+    let report = StudyReport::new(42, &[("Blogger", &t1, &t2)]);
+    fnv64(report.to_json().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_trace_is_deterministic_and_busy() {
+        let a = synthetic_trace(0xC0DE, 40);
+        let b = synthetic_trace(0xC0DE, 40);
+        assert_eq!(a, b);
+        assert_eq!(a.write_count(), 24);
+        assert_eq!(a.read_count(), 120);
+        // The perturbations must actually trigger checkers, or the bench
+        // times an empty fast path.
+        let analysis = analyze(&a, &CheckerConfig::default());
+        assert!(!analysis.observations.is_empty(), "synthetic trace must exercise the checkers");
+    }
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn report_json_is_valid_and_carries_all_metrics() {
+        let numbers = BenchNumbers {
+            checker_ops_per_sec: 1000.0,
+            campaign_tests_per_sec: 2.0,
+            campaign_events_per_sec: 50_000.0,
+            snapshot_reads_per_sec: 9000.0,
+        };
+        let doc = conprobe_json::parse(&report_json("smoke", numbers)).expect("valid JSON");
+        assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("conprobe-bench/1"));
+        let current = doc.get("current").expect("current block");
+        assert_eq!(current.get("checker_ops_per_sec").and_then(|v| v.as_f64()), Some(1000.0));
+        assert!(doc.get("speedup").is_some());
+        assert!(doc.get("baseline").and_then(|b| b.get("numbers")).is_some());
+    }
+}

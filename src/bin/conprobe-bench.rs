@@ -1,0 +1,99 @@
+//! `conprobe-bench` — the perf measurement binary.
+//!
+//! ```text
+//! conprobe-bench [--mode full|smoke] [--out PATH] [--golden]
+//! ```
+//!
+//! Times the hot paths (checker stack, replica snapshot reads, a campaign
+//! cell) on deterministic workloads and writes `BENCH_repro.json` with the
+//! measurements, the embedded pre-change baseline and the speedup ratios.
+//! `--mode smoke` runs the same workloads at small iteration counts for
+//! CI; `--golden` skips timing entirely and prints the golden-seed
+//! fingerprints used by `tests/determinism_golden.rs`.
+
+use conprobe::bench;
+use std::process::ExitCode;
+
+struct Args {
+    mode: String,
+    out: String,
+    golden: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { mode: "full".into(), out: "BENCH_repro.json".into(), golden: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => {
+                args.mode = it.next().ok_or("--mode needs full|smoke")?;
+                if args.mode != "full" && args.mode != "smoke" {
+                    return Err(format!("--mode must be full or smoke, got {}", args.mode));
+                }
+            }
+            "--out" => args.out = it.next().ok_or("--out needs a path")?,
+            "--golden" => args.golden = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: conprobe-bench [--mode full|smoke] [--out PATH] [--golden]".to_string()
+                )
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.golden {
+        for (service, kind, seed) in bench::GOLDEN_CASES {
+            let fp = bench::golden_fingerprint(service, kind, seed);
+            println!("{service} {kind} seed={seed}: {}", fp.render());
+        }
+        println!("study_hash=0x{:016x}", bench::study_fingerprint());
+        return ExitCode::SUCCESS;
+    }
+
+    let scale = match args.mode.as_str() {
+        "smoke" => bench::BenchScale::smoke(),
+        _ => bench::BenchScale::full(),
+    };
+    eprintln!(
+        "conprobe-bench --mode {}: {} checker iters, {} snapshot reads, {} campaign tests",
+        args.mode, scale.checker_iters, scale.snapshot_reads, scale.campaign_tests
+    );
+
+    let (checker_ops, checksum) = bench::bench_checkers(scale);
+    eprintln!("checker stack: {checker_ops:.0} ops/sec (checksum {checksum})");
+    let snapshot_reads = bench::bench_snapshot_reads(scale);
+    eprintln!("snapshot reads: {snapshot_reads:.0} reads/sec");
+    let (campaign_tests, campaign_events, result) = bench::bench_campaign(scale);
+    eprintln!(
+        "campaign cell: {campaign_tests:.2} tests/sec, {campaign_events:.0} events/sec \
+         ({}/{} completed)",
+        result.results.iter().filter(|r| r.completed).count(),
+        result.results.len()
+    );
+
+    let numbers = bench::BenchNumbers {
+        checker_ops_per_sec: checker_ops,
+        campaign_tests_per_sec: campaign_tests,
+        campaign_events_per_sec: campaign_events,
+        snapshot_reads_per_sec: snapshot_reads,
+    };
+    let json = bench::report_json(&args.mode, numbers);
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", args.out);
+    ExitCode::SUCCESS
+}

@@ -397,7 +397,17 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
         Command::Campaign { service, kind, tests, seed } => {
             let config =
                 conprobe_harness::CampaignConfig::paper(service, kind, tests).with_seed(seed);
-            let result = conprobe_harness::run_campaign(&config);
+            // Progress to stderr (stdout carries the report): completed
+            // count and instantaneous throughput, overwritten in place.
+            let started = std::time::Instant::now();
+            let progress = move |done: usize, total: usize| {
+                let rate = done as f64 / started.elapsed().as_secs_f64().max(1e-9);
+                eprint!("\r  {done}/{total} tests ({rate:.1} tests/sec)");
+                if done == total {
+                    eprintln!();
+                }
+            };
+            let result = conprobe_harness::run_campaign_with_progress(&config, Some(&progress));
             let _ = writeln!(
                 out,
                 "{service} {kind} × {tests}: {}/{} completed, {} reads, {} writes",

@@ -8,6 +8,7 @@
 //! Start with [`harness::campaign`] to run a measurement campaign, or see
 //! `examples/quickstart.rs` for the shortest end-to-end path.
 
+pub mod bench;
 pub mod cli;
 
 pub use conprobe_core as core;
