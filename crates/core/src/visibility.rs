@@ -57,9 +57,11 @@ pub struct VisibilityRecord<K> {
 pub fn visibility<K: EventKey>(trace: &TestTrace<K>) -> Vec<VisibilityRecord<K>> {
     let mut out = Vec::new();
     let agents = trace.agents();
+    // Hoisted per-agent read lists: deriving them per (write, agent) pair
+    // made this O(writes × agents × reads) with a fresh Vec each time.
+    let reads_of: Vec<_> = agents.iter().map(|a| trace.reads_by(*a)).collect();
     for (wop, id) in trace.writes() {
-        for &reader in &agents {
-            let reads = trace.reads_by(reader);
+        for (&reader, reads) in agents.iter().zip(&reads_of) {
             if reads.is_empty() {
                 continue;
             }
@@ -119,18 +121,23 @@ pub fn staleness_bound_nanos<K: EventKey>(trace: &TestTrace<K>) -> Option<i64> {
 }
 
 /// Summary statistics of a set of visibility records.
+///
+/// The percentile fields are `None` when no pair was observed — a
+/// distribution with no samples has no percentiles, and reporting `0.0`
+/// would be indistinguishable from genuine zero-latency visibility.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VisibilitySummary {
     /// Number of (write, reader) pairs considered.
     pub total: usize,
     /// Pairs where the write was eventually observed.
     pub observed: usize,
-    /// Median latency over observed pairs, seconds.
-    pub median_secs: f64,
-    /// 95th percentile latency over observed pairs, seconds.
-    pub p95_secs: f64,
-    /// Maximum observed latency, seconds.
-    pub max_secs: f64,
+    /// Median latency over observed pairs, seconds (`None` if none).
+    pub median_secs: Option<f64>,
+    /// 95th percentile latency over observed pairs, seconds (`None` if
+    /// none).
+    pub p95_secs: Option<f64>,
+    /// Maximum observed latency, seconds (`None` if none).
+    pub max_secs: Option<f64>,
 }
 
 /// Summarizes records (optionally restricted with a filter first).
@@ -139,9 +146,9 @@ pub fn summarize<K>(records: &[VisibilityRecord<K>]) -> VisibilitySummary {
     lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pick = |q: f64| {
         if lat.is_empty() {
-            0.0
+            None
         } else {
-            lat[((q * (lat.len() - 1) as f64).round() as usize).min(lat.len() - 1)]
+            Some(lat[((q * (lat.len() - 1) as f64).round() as usize).min(lat.len() - 1)])
         }
     };
     VisibilitySummary {
@@ -149,7 +156,7 @@ pub fn summarize<K>(records: &[VisibilityRecord<K>]) -> VisibilitySummary {
         observed: lat.len(),
         median_secs: pick(0.5),
         p95_secs: pick(0.95),
-        max_secs: lat.last().copied().unwrap_or(0.0),
+        max_secs: lat.last().copied(),
     }
 }
 
@@ -239,8 +246,8 @@ mod tests {
         assert_eq!(s.observed, 2);
         // Quantile indices round half away from zero: the even-count
         // median resolves to the upper value.
-        assert_eq!(s.median_secs, 3.0);
-        assert_eq!(s.max_secs, 3.0);
+        assert_eq!(s.median_secs, Some(3.0));
+        assert_eq!(s.max_secs, Some(3.0));
     }
 
     #[test]
@@ -269,10 +276,84 @@ mod tests {
     }
 
     #[test]
-    fn empty_summary_is_zeroed() {
+    fn empty_summary_has_no_percentiles() {
         let s = summarize::<u32>(&[]);
         assert_eq!(s.total, 0);
         assert_eq!(s.observed, 0);
-        assert_eq!(s.median_secs, 0.0);
+        assert_eq!(s.median_secs, None);
+        assert_eq!(s.p95_secs, None);
+        assert_eq!(s.max_secs, None);
+    }
+
+    #[test]
+    fn all_censored_summary_has_no_percentiles() {
+        // observed == 0 with total > 0 must be distinguishable from
+        // genuine zero-latency visibility.
+        let recs: Vec<VisibilityRecord<u32>> = vec![VisibilityRecord {
+            event: 1,
+            writer: A0,
+            reader: A1,
+            written_at: t(0),
+            visibility: Visibility::Never,
+        }];
+        let s = summarize(&recs);
+        assert_eq!((s.total, s.observed), (1, 0));
+        assert_eq!(s.median_secs, None);
+        assert_eq!(s.p95_secs, None);
+        assert_eq!(s.max_secs, None);
+    }
+
+    #[test]
+    fn staleness_bound_write_after_agents_last_read_is_uncensored() {
+        // The write completes after A1's last read *invoked*: A1 never had
+        // a chance to observe it, so the missing observation neither
+        // censors the bound nor widens it.
+        let mut b = TestTraceBuilder::new();
+        b.read(A1, t(0), t(50), vec![]);
+        b.write(A0, t(100), t(200), 1u32);
+        assert_eq!(staleness_bound_nanos(&b.build()), Some(0));
+    }
+
+    #[test]
+    fn staleness_bound_read_straddling_write_completion_does_not_count() {
+        // The read invoked before the write's response: missing it says
+        // nothing about staleness (the write may not have existed yet),
+        // and a later read observes it — bound stays zero.
+        let mut b = TestTraceBuilder::new();
+        b.write(A0, t(0), t(500), 1u32);
+        b.read(A1, t(100), t(600), vec![]); // invoked mid-write
+        b.read(A1, t(700), t(800), vec![1]);
+        assert_eq!(staleness_bound_nanos(&b.build()), Some(0));
+    }
+
+    #[test]
+    fn staleness_bound_straddling_last_read_never_observed_is_uncensored() {
+        // The only read missing the write straddles its completion, and no
+        // read ever invoked after the write completed: not censored.
+        let mut b = TestTraceBuilder::new();
+        b.write(A0, t(0), t(500), 1u32);
+        b.read(A1, t(100), t(600), vec![]);
+        assert_eq!(staleness_bound_nanos(&b.build()), Some(0));
+    }
+
+    #[test]
+    fn hoisted_read_lists_match_per_pair_derivation() {
+        // Multi-writer, multi-reader trace: the hoisted per-agent read
+        // lists must classify exactly as the original per-pair lookups.
+        let mut b = TestTraceBuilder::new();
+        b.write(A0, t(0), t(100), 1u32);
+        b.write(A1, t(50), t(150), 2u32);
+        b.read(A0, t(200), t(250), vec![1]);
+        b.read(A0, t(400), t(450), vec![1, 2]);
+        b.read(A1, t(300), t(350), vec![1, 2]);
+        let recs = visibility(&b.build());
+        assert_eq!(recs.len(), 4, "2 writes × 2 reading agents");
+        let find = |w: AgentId, r: AgentId| {
+            recs.iter().find(|x| x.writer == w && x.reader == r).unwrap().visibility
+        };
+        assert_eq!(find(A0, A0), Visibility::After(150_000_000)); // t=250 - t=100
+        assert_eq!(find(A0, A1), Visibility::After(250_000_000)); // t=350 - t=100
+        assert_eq!(find(A1, A0), Visibility::After(300_000_000)); // t=450 - t=150
+        assert_eq!(find(A1, A1), Visibility::After(200_000_000)); // t=350 - t=150
     }
 }

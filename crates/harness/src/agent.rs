@@ -109,6 +109,29 @@ pub struct RpcStats {
     pub max_throttle_streak: u32,
 }
 
+/// Shared observability handles for the agent's transport layer, resolved
+/// in `on_start` when the world has a sink installed. The counters are
+/// global across agents (`harness.agent.rpc.*`): the interesting signal is
+/// the fleet-wide retry/abandon volume a fault plan induces.
+struct AgentObs {
+    sink: conprobe_sim::ObsSink,
+    retransmits: conprobe_obs::Counter,
+    abandoned: conprobe_obs::Counter,
+    throttled: conprobe_obs::Counter,
+}
+
+impl AgentObs {
+    fn new(sink: &conprobe_sim::ObsSink) -> Self {
+        let m = &sink.metrics;
+        AgentObs {
+            retransmits: m.counter("harness.agent.rpc.retransmits"),
+            abandoned: m.counter("harness.agent.rpc.abandoned"),
+            throttled: m.counter("harness.agent.rpc.throttled"),
+            sink: sink.clone(),
+        }
+    }
+}
+
 /// The deployed measurement agent.
 pub struct AgentNode {
     agent_index: u32,
@@ -132,6 +155,7 @@ pub struct AgentNode {
     next_backoff: u64,
     guard: Option<SessionGuard<PostId, PostIdOrder>>,
     use_guard: bool,
+    obs: Option<AgentObs>,
 }
 
 impl AgentNode {
@@ -158,6 +182,7 @@ impl AgentNode {
             next_backoff: 0,
             guard: None,
             use_guard,
+            obs: None,
         }
     }
 
@@ -268,6 +293,9 @@ impl AgentNode {
         match retransmit {
             Some((op, attempts)) => {
                 self.rpc.retransmits += 1;
+                if let Some(obs) = &self.obs {
+                    obs.retransmits.inc();
+                }
                 let entry = self.plan().service_entry;
                 ctx.send(entry, NetMsg::Request { req_id, op });
                 let delay = self.retry_delay(ctx, attempts);
@@ -276,6 +304,18 @@ impl AgentNode {
             None => {
                 self.pending.remove(&req_id);
                 self.rpc.abandoned += 1;
+                if let Some(obs) = &self.obs {
+                    obs.abandoned.inc();
+                    let (agent, now) = (self.agent_index, ctx.true_now());
+                    if obs.sink.log.enabled(conprobe_obs::Severity::Warn, "harness") {
+                        obs.sink.log.record(
+                            now.as_nanos(),
+                            conprobe_obs::Severity::Warn,
+                            "harness",
+                            format!("agent {agent} abandoned req {req_id} after {MAX_ATTEMPTS} attempts"),
+                        );
+                    }
+                }
             }
         }
     }
@@ -348,6 +388,10 @@ impl AgentNode {
 }
 
 impl Node<Msg> for AgentNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.obs = ctx.obs().map(AgentObs::new);
+    }
+
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
         match msg {
             NetMsg::App(HarnessMsg::TimeProbe { probe_id }) => {
@@ -451,6 +495,9 @@ impl Node<Msg> for AgentNode {
                         // itself widens with the streak, like the read
                         // period.
                         self.rpc.throttled += 1;
+                        if let Some(obs) = &self.obs {
+                            obs.throttled.inc();
+                        }
                         self.throttle_streak += 1;
                         self.rpc.max_throttle_streak =
                             self.rpc.max_throttle_streak.max(self.throttle_streak);
@@ -478,6 +525,9 @@ impl Node<Msg> for AgentNode {
                 // and ship whatever the log holds.
                 TOKEN_FLUSH => {
                     self.rpc.abandoned += self.pending.len() as u64;
+                    if let Some(obs) = &self.obs {
+                        obs.abandoned.add(self.pending.len() as u64);
+                    }
                     self.pending.clear();
                     self.ship_log(ctx);
                 }

@@ -70,7 +70,7 @@ impl CampaignConfig {
         CampaignConfig {
             test: TestConfig::paper(service, kind),
             tests,
-            seed: 0xC0FFEE ^ (service as u64) << 8 ^ kind as u64,
+            seed: 0xC0FFEE ^ ((service as u64) << 8) ^ (kind as u64),
             between_tests: SimDuration::from_secs(between_min * 60),
             partition_tests,
             threads: 0,
@@ -153,6 +153,22 @@ pub fn run_campaign_with_progress(
     let done = AtomicUsize::new(0);
     let root = SimRng::new(config.seed);
 
+    // Campaign-level telemetry rides on the same sink the per-test worlds
+    // use. Wall-clock only — it never feeds back into any simulation.
+    let obs = config.test.obs.clone();
+    let cell_span = obs.as_ref().map(|s| s.metrics.span("campaign.cell"));
+    let started = std::time::Instant::now();
+    let campaign_progress = |finished: usize| {
+        if let Some(sink) = &obs {
+            sink.metrics.counter("campaign.tests.completed").inc();
+            let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+            let rate = finished as f64 / elapsed;
+            sink.metrics.gauge("campaign.tests_per_sec").set(rate);
+            let remaining = n.saturating_sub(finished) as f64;
+            sink.metrics.gauge("campaign.eta_secs").set(remaining / rate.max(1e-9));
+        }
+    };
+
     let workers = if config.threads == 0 {
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
     } else {
@@ -174,12 +190,14 @@ pub fn run_campaign_with_progress(
                 let result = run_one_test(&test, seed);
                 slots.lock().expect("campaign worker panicked")[i] = Some(result);
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                campaign_progress(finished);
                 if let Some(cb) = progress {
                     cb(finished, n);
                 }
             });
         }
     });
+    drop(cell_span);
 
     let results: Vec<TestResult> = slots
         .into_inner()
@@ -203,6 +221,23 @@ mod tests {
         assert_eq!(c.between_tests, SimDuration::from_secs(10 * 60));
         let c = CampaignConfig::paper(ServiceKind::FacebookFeed, TestKind::Test1, 10);
         assert_eq!(c.between_tests, SimDuration::from_secs(5 * 60));
+    }
+
+    #[test]
+    fn all_eight_cells_derive_distinct_master_seeds() {
+        let services = [
+            ServiceKind::GooglePlus,
+            ServiceKind::Blogger,
+            ServiceKind::FacebookFeed,
+            ServiceKind::FacebookGroup,
+        ];
+        let mut seeds = std::collections::HashSet::new();
+        for service in services {
+            for kind in [TestKind::Test1, TestKind::Test2] {
+                seeds.insert(CampaignConfig::paper(service, kind, 1).seed);
+            }
+        }
+        assert_eq!(seeds.len(), 8, "every (service, kind) cell needs its own seed: {seeds:?}");
     }
 
     #[test]

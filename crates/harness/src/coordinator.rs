@@ -10,8 +10,9 @@
 use crate::clocksync::{estimate, DeltaEstimate, ProbeSample};
 use crate::proto::{AgentTestPlan, HarnessMsg, LocalOpRecord, Msg, TestKind};
 use conprobe_core::trace::{AgentId, OpRecord, TestTrace, Timestamp};
+use conprobe_obs::Severity;
 use conprobe_services::NetMsg;
-use conprobe_sim::{Context, LocalTime, Node, NodeId, SimDuration};
+use conprobe_sim::{Context, LocalTime, Node, NodeId, ObsSink, SimDuration, SimTime};
 use conprobe_store::PostId;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -109,6 +110,17 @@ enum Phase {
     Done,
 }
 
+impl Phase {
+    fn name(&self) -> &'static str {
+        match self {
+            Phase::Probing => "probing",
+            Phase::Running => "running",
+            Phase::Collecting => "collecting",
+            Phase::Done => "done",
+        }
+    }
+}
+
 /// The coordinator node.
 pub struct CoordinatorNode {
     cfg: CoordinatorConfig,
@@ -136,6 +148,11 @@ pub struct CoordinatorNode {
     /// Coordinator-local time the Start messages went out (liveness
     /// baseline for agents that never heartbeat).
     running_since: LocalTime,
+    /// Observability sink, resolved in `on_start` (None = telemetry off).
+    obs: Option<ObsSink>,
+    /// True-sim-time start of the current phase, for the per-phase spans
+    /// accumulated under `harness.coordinator.phase.<name>.nanos`.
+    phase_started_at: SimTime,
 }
 
 impl CoordinatorNode {
@@ -168,7 +185,31 @@ impl CoordinatorNode {
             quarantined: HashSet::new(),
             stop_rounds: 0,
             running_since: LocalTime::from_nanos(0),
+            obs: None,
+            phase_started_at: SimTime::ZERO,
         }
+    }
+
+    /// Closes the span of the phase that just ended and logs the
+    /// transition. Call *before* assigning the new phase; pure
+    /// instrumentation — a no-op without a sink.
+    fn note_phase_change(&mut self, ctx: &Context<'_, Msg>, to: &Phase) {
+        let now = ctx.true_now();
+        if let Some(obs) = &self.obs {
+            let elapsed = now.saturating_since(self.phase_started_at).as_nanos();
+            let name = self.phase.name();
+            obs.metrics.counter(&format!("harness.coordinator.phase.{name}.nanos")).add(elapsed);
+            obs.metrics.counter(&format!("harness.coordinator.phase.{name}.count")).inc();
+            if obs.log.enabled(Severity::Info, "harness") {
+                obs.log.record(
+                    now.as_nanos(),
+                    Severity::Info,
+                    "harness",
+                    format!("coordinator phase {name} -> {}", to.name()),
+                );
+            }
+        }
+        self.phase_started_at = now;
     }
 
     /// The test outcome, available once the run has finished.
@@ -196,6 +237,7 @@ impl CoordinatorNode {
     }
 
     fn start_test(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.note_phase_change(ctx, &Phase::Running);
         self.phase = Phase::Running;
         self.deltas = self.samples.iter().map(|s| estimate(s)).collect();
         let target = ctx.now_local().offset_by(self.cfg.start_margin.as_nanos() as i64);
@@ -256,6 +298,7 @@ impl CoordinatorNode {
             return;
         }
         self.stop_sent = true;
+        self.note_phase_change(ctx, &Phase::Collecting);
         self.phase = Phase::Collecting;
         for agent in self.cfg.agents.clone() {
             ctx.send(agent, NetMsg::App(HarnessMsg::Stop));
@@ -280,6 +323,7 @@ impl CoordinatorNode {
                 });
             }
         }
+        self.note_phase_change(ctx, &Phase::Done);
         self.phase = Phase::Done;
         let agent_health = (0..self.cfg.agents.len() as u32)
             .map(|i| AgentHealth {
@@ -302,6 +346,8 @@ impl CoordinatorNode {
 
 impl Node<Msg> for CoordinatorNode {
     fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.obs = ctx.obs().cloned();
+        self.phase_started_at = ctx.true_now();
         ctx.set_timer(SimDuration::ZERO, TOKEN_PROBE);
     }
 

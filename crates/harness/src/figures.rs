@@ -302,22 +302,28 @@ pub fn render_visibility(cells: &[&CampaignResult]) -> String {
         "{:<12}{:>12}{:>22}{:>12}{:>10}{:>12}",
         "service", "class", "(writer→reader)", "median", "p95", "unobserved"
     );
+    // A class nobody observed has no percentiles (distinct from genuine
+    // zero-latency visibility): render "—".
+    let fmt_secs = |v: Option<f64>| match v {
+        Some(secs) => format!("{secs:.3}"),
+        None => "—".to_string(),
+    };
     for cell in cells {
         let (local, same, remote) = stats::visibility_by_locality(&cell.results);
         for (class, pairing, v) in [
             ("local", "self", &local),
-            ("same-DC", "OR↔JP", &same),
-            ("remote", "cross-DC", &remote),
+            ("same-entry", "shared door", &same),
+            ("remote", "cross-door", &remote),
         ] {
             let unobserved = 100.0 * (v.total - v.observed) as f64 / v.total.max(1) as f64;
             let _ = writeln!(
                 s,
-                "{:<12}{:>12}{:>22}{:>12.3}{:>10.3}{:>11.1}%",
+                "{:<12}{:>12}{:>22}{:>12}{:>10}{:>11.1}%",
                 cell.config.test.service.name(),
                 class,
                 pairing,
-                v.median_secs,
-                v.p95_secs,
+                fmt_secs(v.median_secs),
+                fmt_secs(v.p95_secs),
                 unobserved
             );
         }
@@ -392,8 +398,11 @@ mod tests {
 
         let vis = render_visibility(&[&t2]);
         assert!(vis.contains("write-visibility"), "{vis}");
-        assert!(vis.contains("cross-DC"), "{vis}");
+        assert!(vis.contains("cross-door"), "{vis}");
         assert!(vis.contains("0.0%"), "Blogger leaves nothing unobserved: {vis}");
+        // Blogger has one front door: the remote class is empty and its
+        // percentiles render as "—", never as a fake 0.000.
+        assert!(vis.contains("—"), "empty class renders dashes: {vis}");
 
         let csv = fig3_csv(&[(&t1, &t2)]);
         assert!(csv.lines().count() == 1 + 6, "{csv}");

@@ -9,8 +9,8 @@ use conprobe_services::fault_driver::{ExecutedAction, FaultDriver};
 use conprobe_services::{deploy, ServiceCluster, ServiceKind};
 use conprobe_sim::net::{PartitionSpec, Region};
 use conprobe_sim::{
-    ClockConfig, FaultEvent, FaultNetStats, FaultPlan, NodeId, SimDuration, SimTime, World,
-    WorldConfig,
+    ClockConfig, FaultEvent, FaultNetStats, FaultPlan, NodeId, ObsSink, SimDuration, SimTime,
+    World, WorldConfig,
 };
 use conprobe_store::PostId;
 
@@ -74,6 +74,11 @@ pub struct TestConfig {
     /// (agent *i* writes M(2i+1), M(2i+2); completion is the last agent's
     /// second message).
     pub agent_regions: Vec<Region>,
+    /// Observability sink installed into the test's world (metrics under
+    /// `sim.`/`services.`/`harness.`, plus the structured event log).
+    /// `None` (the default) runs with telemetry off; either way the
+    /// simulation schedule is identical.
+    pub obs: Option<ObsSink>,
 }
 
 /// A scheduled replica crash.
@@ -125,6 +130,7 @@ impl TestConfig {
             crash_fault: None,
             fault_plan: FaultPlan::default(),
             agent_regions: Region::AGENTS.to_vec(),
+            obs: None,
         }
     }
 
@@ -208,6 +214,13 @@ pub struct TestResult {
     /// Simulator events (message deliveries) processed during the run —
     /// the denominator for `conprobe-bench`'s events/sec metric.
     pub sim_events: u64,
+    /// The service this test ran against.
+    pub service: ServiceKind,
+    /// The service front door each agent index was routed to (the
+    /// affinity actually in force, including any Tokyo-partition
+    /// reroute) — the ground truth for same-entry vs remote visibility
+    /// classification.
+    pub agent_entries: Vec<NodeId>,
 }
 
 impl TestResult {
@@ -238,6 +251,12 @@ pub fn run_one_test(config: &TestConfig, seed: u64) -> TestResult {
     net.fault_seed = fault_plan.seed();
     let world_config = WorldConfig { net, clocks: config.agent_clocks.clone() };
     let mut world: World<Msg> = World::new(world_config, seed);
+    // Install telemetry before any node exists so every `on_start` sees it.
+    let test_span = config.obs.as_ref().map(|sink| {
+        world.install_obs(sink.clone());
+        sink.metrics.counter("harness.tests.started").inc();
+        sink.metrics.span("harness.test")
+    });
 
     // Service first (replica node ids are deterministic: 0..n).
     let mut cluster: ServiceCluster = match &config.service_override {
@@ -261,6 +280,7 @@ pub fn run_one_test(config: &TestConfig, seed: u64) -> TestResult {
         entries.push(cluster.entry_for(region));
         agents.push(id);
     }
+    let agent_entries = entries.clone();
 
     // Coordinator in North Virginia.
     let coord_cfg = CoordinatorConfig {
@@ -301,6 +321,18 @@ pub fn run_one_test(config: &TestConfig, seed: u64) -> TestResult {
         .node_as::<CoordinatorNode>(coord)
         .and_then(|c| c.outcome().cloned())
         .expect("coordinator finished");
+    if let Some(sink) = &config.obs {
+        let m = &sink.metrics;
+        if outcome.completed {
+            m.counter("harness.tests.completed").inc();
+        } else {
+            m.counter("harness.tests.timed_out").inc();
+        }
+        if outcome.salvaged {
+            m.counter("harness.tests.salvaged").inc();
+        }
+    }
+    drop(test_span); // closes the wall-clock harness.test span
 
     // Clock-sync ablation: compare estimates against ground truth.
     let now = world.now();
@@ -362,6 +394,8 @@ pub fn run_one_test(config: &TestConfig, seed: u64) -> TestResult {
         salvaged: outcome.salvaged,
         seed,
         sim_events,
+        service: config.service,
+        agent_entries,
     }
 }
 

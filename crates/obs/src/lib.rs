@@ -1,0 +1,628 @@
+//! # conprobe-obs — deterministic observability for long-running campaigns
+//!
+//! The paper's authors ran each service for ~30 days and could only
+//! characterize what their harness logged. This crate is the reproduction's
+//! telemetry substrate: a metrics registry of lock-free-ish atomic
+//! counters/gauges/fixed-bucket histograms, a bounded ring-buffer event log
+//! keyed by **simulation time**, and wall-clock [`Span`] guards for
+//! harness/campaign phases.
+//!
+//! ## Determinism contract
+//!
+//! Observability must never change what a simulation does:
+//!
+//! * recording a metric or an event draws **no randomness** and schedules
+//!   **no events** — it only mutates atomics or appends to a bounded log;
+//! * nothing in the simulation ever *reads* a metric back to make a
+//!   decision;
+//! * every hot-path hook is gated on an `Option`, so a world without an
+//!   installed sink pays one branch per event and nothing else.
+//!
+//! The golden-seed suite (`tests/determinism_golden.rs` at the workspace
+//! root) holds this contract: fingerprints must be byte-identical with
+//! observability on and off.
+//!
+//! ## Time bases
+//!
+//! Metrics recorded *inside* the simulation (delivery counters, propagation
+//! lags, coordinator phases) are keyed by sim-time nanoseconds. [`Span`]
+//! guards use the host's wall clock and exist for the code *around* the
+//! simulation — campaign stages, per-instance timings — where wall time is
+//! the quantity of interest. Wall-clock readings never flow back into
+//! simulation logic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use conprobe_json::JsonValue;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A monotonically increasing counter (atomic, shareable across threads).
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (for tests/defaults).
+    pub fn detached() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64` (stored as bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A gauge not attached to any registry.
+    pub fn detached() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Upper bounds (inclusive) of the first `bounds.len()` buckets; one
+    /// overflow bucket follows.
+    bounds: Box<[u64]>,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `u64` samples (typically nanoseconds).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramCore {
+            bounds: bounds.into(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let idx = self.0.bounds.partition_point(|b| *b < v);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// `(upper_bound, count)` per bucket; the final entry is the overflow
+    /// bucket, reported with `u64::MAX` as its bound.
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        self.0
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                (self.0.bounds.get(i).copied().unwrap_or(u64::MAX), c.load(Ordering::Relaxed))
+            })
+            .collect()
+    }
+}
+
+/// Default histogram bounds for latency-like quantities in nanoseconds:
+/// 1 ms … 30 s in a 1-2-5 progression.
+pub fn latency_bounds_nanos() -> Vec<u64> {
+    const MS: u64 = 1_000_000;
+    vec![
+        MS,
+        2 * MS,
+        5 * MS,
+        10 * MS,
+        20 * MS,
+        50 * MS,
+        100 * MS,
+        200 * MS,
+        500 * MS,
+        1_000 * MS,
+        2_000 * MS,
+        5_000 * MS,
+        10_000 * MS,
+        30_000 * MS,
+    ]
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A registry of named metrics. Cloning shares the underlying store;
+/// registration takes a lock, but recording through the returned handles is
+/// wait-free atomic arithmetic — callers cache handles, not names.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map.entry(name.to_string()).or_insert_with(|| Metric::Counter(Counter::detached())) {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric '{name}' already registered as {}", kind_name(other)),
+        }
+    }
+
+    /// Gets or creates the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map.entry(name.to_string()).or_insert_with(|| Metric::Gauge(Gauge::detached())) {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric '{name}' already registered as {}", kind_name(other)),
+        }
+    }
+
+    /// Gets or creates the histogram `name` with the given bucket bounds
+    /// (bounds are fixed at first registration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric '{name}' already registered as {}", kind_name(other)),
+        }
+    }
+
+    /// Starts a wall-clock span named `name`: on drop it adds the elapsed
+    /// nanoseconds to `<name>.nanos` and one to `<name>.count`.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            nanos: self.counter(&format!("{name}.nanos")),
+            count: self.counter(&format!("{name}.count")),
+            started: Instant::now(),
+        }
+    }
+
+    /// True when no metric has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("metrics registry poisoned").is_empty()
+    }
+
+    /// Serializes every metric, sorted by name, as
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    pub fn to_json(&self) -> JsonValue {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => counters.push((name.clone(), JsonValue::UInt(c.get()))),
+                Metric::Gauge(g) => gauges.push((name.clone(), JsonValue::Float(g.get()))),
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let bounds: Vec<JsonValue> =
+                        snap.iter().map(|(b, _)| JsonValue::UInt(*b)).collect();
+                    let counts: Vec<JsonValue> =
+                        snap.iter().map(|(_, c)| JsonValue::UInt(*c)).collect();
+                    histograms.push((
+                        name.clone(),
+                        JsonValue::Object(vec![
+                            ("count".into(), JsonValue::UInt(h.count())),
+                            ("sum".into(), JsonValue::UInt(h.sum())),
+                            ("bucket_upper_bounds".into(), JsonValue::Array(bounds)),
+                            ("bucket_counts".into(), JsonValue::Array(counts)),
+                        ]),
+                    ));
+                }
+            }
+        }
+        JsonValue::Object(vec![
+            ("counters".into(), JsonValue::Object(counters)),
+            ("gauges".into(), JsonValue::Object(gauges)),
+            ("histograms".into(), JsonValue::Object(histograms)),
+        ])
+    }
+}
+
+fn kind_name(m: &Metric) -> &'static str {
+    match m {
+        Metric::Counter(_) => "a counter",
+        Metric::Gauge(_) => "a gauge",
+        Metric::Histogram(_) => "a histogram",
+    }
+}
+
+/// A wall-clock duration guard (see [`MetricsRegistry::span`]).
+///
+/// Wall time only — spans never feed back into simulation logic.
+#[derive(Debug)]
+pub struct Span {
+    nanos: Counter,
+    count: Counter,
+    started: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.nanos.add(self.started.elapsed().as_nanos() as u64);
+        self.count.inc();
+    }
+}
+
+/// Event severity, lowest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Per-event chatter (message deliveries, timer fires).
+    Debug,
+    /// Phase transitions, notable state changes.
+    Info,
+    /// Degraded operation: drops, retries, quarantines, brownouts.
+    Warn,
+}
+
+impl Severity {
+    /// Parses "debug" / "info" / "warn" (case-insensitive).
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s.to_ascii_lowercase().as_str() {
+            "debug" => Some(Severity::Debug),
+            "info" => Some(Severity::Info),
+            "warn" | "warning" => Some(Severity::Warn),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            Severity::Debug => "DEBUG",
+            Severity::Info => "INFO",
+            Severity::Warn => "WARN",
+        })
+    }
+}
+
+/// One structured event, keyed by true simulation time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsEvent {
+    /// True sim-time of the event, nanoseconds since the world epoch.
+    pub at_nanos: u64,
+    /// Severity.
+    pub severity: Severity,
+    /// Subsystem that emitted it ("sim", "services", "harness", …).
+    pub target: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ObsEvent {
+    /// Renders as `[   1.234567s] WARN  sim       message`.
+    pub fn render(&self) -> String {
+        format!(
+            "[{:>11.6}s] {:<5} {:<9} {}",
+            self.at_nanos as f64 / 1e9,
+            self.severity,
+            self.target,
+            self.message
+        )
+    }
+}
+
+#[derive(Debug)]
+struct EventLogCore {
+    capacity: usize,
+    min_severity: Severity,
+    target_prefix: Option<String>,
+    events: Mutex<VecDeque<ObsEvent>>,
+    evicted: AtomicU64,
+}
+
+/// A bounded ring buffer of [`ObsEvent`]s with record-time severity/target
+/// filtering. The default ([`EventLog::disabled`]) records nothing —
+/// producers must check [`EventLog::enabled`] before formatting messages so
+/// a disabled log costs one branch, not one `format!`.
+#[derive(Debug, Clone)]
+pub struct EventLog(Arc<EventLogCore>);
+
+impl EventLog {
+    /// A log that records nothing (capacity zero).
+    pub fn disabled() -> Self {
+        EventLog::new(0)
+    }
+
+    /// A log keeping the most recent `capacity` events at `Debug` and
+    /// above, all targets.
+    pub fn new(capacity: usize) -> Self {
+        EventLog(Arc::new(EventLogCore {
+            capacity,
+            min_severity: Severity::Debug,
+            target_prefix: None,
+            events: Mutex::new(VecDeque::new()),
+            evicted: AtomicU64::new(0),
+        }))
+    }
+
+    /// Builder: drop events below `min` at record time.
+    pub fn with_min_severity(self, min: Severity) -> Self {
+        EventLog(Arc::new(EventLogCore {
+            capacity: self.0.capacity,
+            min_severity: min,
+            target_prefix: self.0.target_prefix.clone(),
+            events: Mutex::new(VecDeque::new()),
+            evicted: AtomicU64::new(0),
+        }))
+    }
+
+    /// Builder: keep only events whose target starts with `prefix`.
+    pub fn with_target_prefix(self, prefix: impl Into<String>) -> Self {
+        EventLog(Arc::new(EventLogCore {
+            capacity: self.0.capacity,
+            min_severity: self.0.min_severity,
+            target_prefix: Some(prefix.into()),
+            events: Mutex::new(VecDeque::new()),
+            evicted: AtomicU64::new(0),
+        }))
+    }
+
+    /// Whether an event with this severity/target would be kept. Check this
+    /// before building the message string.
+    pub fn enabled(&self, severity: Severity, target: &str) -> bool {
+        self.0.capacity > 0
+            && severity >= self.0.min_severity
+            && self.0.target_prefix.as_ref().is_none_or(|p| target.starts_with(p.as_str()))
+    }
+
+    /// Records an event (no-op when filtered out). The oldest event is
+    /// evicted once the ring is full.
+    pub fn record(
+        &self,
+        at_nanos: u64,
+        severity: Severity,
+        target: &'static str,
+        message: impl Into<String>,
+    ) {
+        if !self.enabled(severity, target) {
+            return;
+        }
+        let mut events = self.0.events.lock().expect("event log poisoned");
+        if events.len() >= self.0.capacity {
+            events.pop_front();
+            self.0.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(ObsEvent { at_nanos, severity, target, message: message.into() });
+    }
+
+    /// Drains and returns all retained events, oldest first.
+    pub fn drain(&self) -> Vec<ObsEvent> {
+        self.0.events.lock().expect("event log poisoned").drain(..).collect()
+    }
+
+    /// Number of events evicted by the ring bound (signals an undersized
+    /// `--cap`).
+    pub fn evicted(&self) -> u64 {
+        self.0.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.0.events.lock().expect("event log poisoned").len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::disabled()
+    }
+}
+
+/// The pair a world or harness layer records into: a metrics registry plus
+/// an event log. Cloning shares both.
+#[derive(Debug, Clone, Default)]
+pub struct ObsSink {
+    /// Metrics store.
+    pub metrics: MetricsRegistry,
+    /// Structured event log (disabled by default).
+    pub log: EventLog,
+}
+
+impl ObsSink {
+    /// A sink collecting metrics only (event log disabled).
+    pub fn new() -> Self {
+        ObsSink::default()
+    }
+
+    /// A sink with the given event log attached.
+    pub fn with_log(log: EventLog) -> Self {
+        ObsSink { metrics: MetricsRegistry::new(), log }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("a.count").get(), 5, "same name shares state");
+        let g = reg.gauge("a.rate");
+        g.set(2.5);
+        assert_eq!(reg.gauge("a.rate").get(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn histogram_buckets_samples() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[10, 100]);
+        for v in [5, 10, 11, 100, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5126);
+        // Bounds are inclusive: 10 lands in the first bucket.
+        assert_eq!(h.snapshot(), vec![(10, 2), (100, 2), (u64::MAX, 1)]);
+    }
+
+    #[test]
+    fn span_accumulates_wall_time() {
+        let reg = MetricsRegistry::new();
+        {
+            let _s = reg.span("phase.x");
+        }
+        {
+            let _s = reg.span("phase.x");
+        }
+        assert_eq!(reg.counter("phase.x.count").get(), 2);
+        // Elapsed is tiny but measured; the counter existing is the point.
+        let _ = reg.counter("phase.x.nanos").get();
+    }
+
+    #[test]
+    fn event_log_ring_and_filters() {
+        let log = EventLog::new(2).with_min_severity(Severity::Info);
+        assert!(!log.enabled(Severity::Debug, "sim"));
+        log.record(1, Severity::Debug, "sim", "dropped by filter");
+        log.record(2, Severity::Info, "sim", "one");
+        log.record(3, Severity::Warn, "harness", "two");
+        log.record(4, Severity::Info, "sim", "three");
+        assert_eq!(log.evicted(), 1);
+        let events = log.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].message, "two");
+        assert_eq!(events[1].message, "three");
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn target_prefix_filters() {
+        let log = EventLog::new(10).with_target_prefix("services");
+        assert!(log.enabled(Severity::Debug, "services.replica"));
+        assert!(!log.enabled(Severity::Warn, "sim"));
+        log.record(0, Severity::Warn, "sim", "filtered");
+        log.record(0, Severity::Debug, "services", "kept");
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn disabled_log_costs_nothing() {
+        let log = EventLog::disabled();
+        assert!(!log.enabled(Severity::Warn, "sim"));
+        log.record(0, Severity::Warn, "sim", "ignored");
+        assert!(log.is_empty());
+        assert_eq!(log.evicted(), 0);
+    }
+
+    #[test]
+    fn registry_json_shape() {
+        let sink = ObsSink::new();
+        sink.metrics.counter("sim.delivered").add(7);
+        sink.metrics.gauge("campaign.tests_per_sec").set(12.0);
+        sink.metrics.histogram("services.lag", &[100]).record(50);
+        let doc = sink.metrics.to_json();
+        assert_eq!(
+            doc.get("counters").and_then(|c| c.get("sim.delivered")).and_then(|v| v.as_u64()),
+            Some(7)
+        );
+        assert_eq!(
+            doc.get("gauges")
+                .and_then(|g| g.get("campaign.tests_per_sec"))
+                .and_then(|v| v.as_f64()),
+            Some(12.0)
+        );
+        let hist = doc.get("histograms").and_then(|h| h.get("services.lag")).expect("histogram");
+        assert_eq!(hist.get("count").and_then(|v| v.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn event_render_format() {
+        let e = ObsEvent {
+            at_nanos: 1_234_567_000,
+            severity: Severity::Warn,
+            target: "sim",
+            message: "drop".into(),
+        };
+        assert_eq!(e.render(), "[   1.234567s] WARN  sim       drop");
+    }
+
+    #[test]
+    fn severity_parse_and_order() {
+        assert_eq!(Severity::parse("WARN"), Some(Severity::Warn));
+        assert_eq!(Severity::parse("nope"), None);
+        assert!(Severity::Debug < Severity::Info && Severity::Info < Severity::Warn);
+    }
+}

@@ -25,6 +25,7 @@
 //! not model.
 
 use crate::api::{ClientOp, NetMsg, OpResult, ReplMsg};
+use conprobe_obs::{latency_bounds_nanos, Counter, Gauge, Histogram, ObsSink, Severity};
 use conprobe_sim::{BrownoutMode, Context, Node, NodeId, SimDuration, SimRng, SimTime};
 use conprobe_store::ranking::RankablePost;
 use conprobe_store::{
@@ -226,6 +227,9 @@ pub struct ReplicaNode {
     next_forward_req: u64,
     /// Counters for tests/diagnostics: (writes, reads, throttled).
     stats: (u64, u64, u64),
+    /// Observability handles, resolved in `on_start` when the world has a
+    /// sink installed. `None` means telemetry is off.
+    obs: Option<ReplicaObs>,
 }
 
 impl std::fmt::Debug for ReplicaNode {
@@ -235,6 +239,54 @@ impl std::fmt::Debug for ReplicaNode {
             .field("peers", &self.peers)
             .field("stats", &self.stats)
             .finish()
+    }
+}
+
+/// Per-replica observability handles (see `conprobe-obs`), resolved once in
+/// `on_start` from the world's sink. All metrics live under
+/// `services.replica.n<id>.`. Recording is instrumentation only: it draws no
+/// randomness and sends nothing, so replica behaviour is identical whether
+/// or not a sink is installed.
+struct ReplicaObs {
+    sink: ObsSink,
+    applied: Gauge,
+    brownout: Gauge,
+    anti_entropy_rounds: Counter,
+    writes: Counter,
+    reads: Counter,
+    throttled: Counter,
+    prop_lag: Histogram,
+}
+
+impl ReplicaObs {
+    fn new(sink: &ObsSink, node: NodeId) -> Self {
+        let prefix = format!("services.replica.{node}");
+        let m = &sink.metrics;
+        ReplicaObs {
+            applied: m.gauge(&format!("{prefix}.applied")),
+            brownout: m.gauge(&format!("{prefix}.brownout")),
+            anti_entropy_rounds: m.counter(&format!("{prefix}.anti_entropy_rounds")),
+            writes: m.counter(&format!("{prefix}.writes")),
+            reads: m.counter(&format!("{prefix}.reads")),
+            throttled: m.counter(&format!("{prefix}.throttled")),
+            prop_lag: m
+                .histogram(&format!("{prefix}.propagation_lag_nanos"), &latency_bounds_nanos()),
+            sink: sink.clone(),
+        }
+    }
+
+    /// Records one post replicated from a peer: propagation lag is how long
+    /// after its origin `server_ts` it became visible here.
+    fn replicated(&self, now: SimTime, server_ts: SimTime) {
+        self.prop_lag.record(now.saturating_since(server_ts).as_nanos());
+    }
+
+    /// Logs a structured event; the message closure only runs when the
+    /// log's filters would accept it.
+    fn event(&self, now: SimTime, severity: Severity, message: impl FnOnce() -> String) {
+        if self.sink.log.enabled(severity, "services") {
+            self.sink.log.record(now.as_nanos(), severity, "services", message());
+        }
     }
 }
 
@@ -291,6 +343,7 @@ impl ReplicaNode {
             forwarded_writes: HashMap::new(),
             next_forward_req: 1 << 48,
             stats: (0, 0, 0),
+            obs: None,
         }
     }
 
@@ -494,8 +547,12 @@ impl ReplicaNode {
                 // to every peer.
                 for stored in &p.merged {
                     let id = stored.id();
+                    let origin_ts = stored.server_ts;
                     if self.core.apply_replicated(stored.clone()) {
                         self.record_visibility(id, now, ctx.rng());
+                        if let Some(obs) = &self.obs {
+                            obs.replicated(now, origin_ts);
+                        }
                     }
                 }
                 for &peer in &self.peers {
@@ -524,12 +581,18 @@ impl ReplicaNode {
         // service's public rate limit.
         if !matches!(op, ClientOp::Inspect) && self.throttled(ctx, from) {
             self.stats.2 += 1;
+            if let Some(obs) = &self.obs {
+                obs.throttled.inc();
+            }
             ctx.send(from, NetMsg::Response { req_id, result: OpResult::Throttled });
             return;
         }
         match op {
             ClientOp::Write(post) => {
                 self.stats.0 += 1;
+                if let Some(obs) = &self.obs {
+                    obs.writes.inc();
+                }
                 let server_ts = ctx.true_now();
                 let id = post.id;
                 match self.params.write_mode {
@@ -571,6 +634,9 @@ impl ReplicaNode {
             }
             ClientOp::Read => {
                 self.stats.1 += 1;
+                if let Some(obs) = &self.obs {
+                    obs.reads.inc();
+                }
                 if let ReadPath::Quorum { read_repair } = self.params.read_path {
                     self.begin_quorum_read(ctx, from, req_id, read_repair);
                 } else {
@@ -635,6 +701,7 @@ impl ReplicaNode {
 
 impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
     fn on_start(&mut self, ctx: &mut Context<'_, NetMsg<A>>) {
+        self.obs = ctx.obs().map(|sink| ReplicaObs::new(sink, ctx.node_id()));
         if let Some(period) = self.params.anti_entropy {
             // Random phase so replicas don't exchange in lock-step.
             let phase = SimDuration::from_nanos(ctx.rng().gen_range(0..period.as_nanos().max(1)));
@@ -656,9 +723,22 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
                     self.delayed_requests.clear();
                     self.last_op_at.clear();
                     self.crashed = true;
+                    if let Some(obs) = &self.obs {
+                        obs.applied.set(0.0);
+                        let node = ctx.node_id();
+                        obs.event(ctx.true_now(), Severity::Warn, || {
+                            format!("replica {node} crashed")
+                        });
+                    }
                 }
                 crate::api::ControlMsg::Recover => {
                     self.crashed = false;
+                    if let Some(obs) = &self.obs {
+                        let node = ctx.node_id();
+                        obs.event(ctx.true_now(), Severity::Info, || {
+                            format!("replica {node} recovered")
+                        });
+                    }
                     // Kick anti-entropy immediately so peers re-fill us
                     // without waiting for the next periodic round.
                     if self.params.anti_entropy.is_some() {
@@ -670,9 +750,23 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
                 }
                 crate::api::ControlMsg::BrownoutStart(mode) => {
                     self.brownout = Some(*mode);
+                    if let Some(obs) = &self.obs {
+                        obs.brownout.set(1.0);
+                        let node = ctx.node_id();
+                        obs.event(ctx.true_now(), Severity::Warn, || {
+                            format!("replica {node} brownout start: {mode:?}")
+                        });
+                    }
                 }
                 crate::api::ControlMsg::BrownoutEnd => {
                     self.brownout = None;
+                    if let Some(obs) = &self.obs {
+                        obs.brownout.set(0.0);
+                        let node = ctx.node_id();
+                        obs.event(ctx.true_now(), Severity::Info, || {
+                            format!("replica {node} brownout end")
+                        });
+                    }
                 }
             }
             return;
@@ -688,6 +782,9 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
                     match self.brownout {
                         Some(BrownoutMode::ThrottleStorm) => {
                             self.stats.2 += 1;
+                            if let Some(obs) = &self.obs {
+                                obs.throttled.inc();
+                            }
                             ctx.send(
                                 from,
                                 NetMsg::Response { req_id, result: OpResult::Throttled },
@@ -709,8 +806,12 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
                 let now = ctx.true_now();
                 for stored in posts {
                     let id = stored.id();
+                    let origin_ts = stored.server_ts;
                     if self.core.apply_replicated(stored) {
                         self.record_visibility(id, now, ctx.rng());
+                        if let Some(obs) = &self.obs {
+                            obs.replicated(now, origin_ts);
+                        }
                     }
                 }
                 ctx.send_ordered(from, NetMsg::Repl(ReplMsg::PushAck { token }));
@@ -746,8 +847,12 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
                 let mut applied_any = false;
                 for stored in posts {
                     let id = stored.id();
+                    let origin_ts = stored.server_ts;
                     if self.core.apply_replicated(stored) {
                         self.record_visibility(id, now, ctx.rng());
+                        if let Some(obs) = &self.obs {
+                            obs.replicated(now, origin_ts);
+                        }
                         applied_any = true;
                     }
                 }
@@ -763,8 +868,12 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
                 let now = ctx.true_now();
                 for stored in posts {
                     let id = stored.id();
+                    let origin_ts = stored.server_ts;
                     if self.core.apply_replicated(stored) {
                         self.record_visibility(id, now, ctx.rng());
+                        if let Some(obs) = &self.obs {
+                            obs.replicated(now, origin_ts);
+                        }
                     }
                 }
                 if self.params.canonicalize_on_anti_entropy {
@@ -781,6 +890,9 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
             // App traffic (and Control, handled above) is not for replicas.
             NetMsg::App(_) | NetMsg::Control(_) => {}
         }
+        if let Some(obs) = &self.obs {
+            obs.applied.set(self.core.len() as f64);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, NetMsg<A>>, token: u64) {
@@ -794,6 +906,9 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
             return;
         }
         if token == TOKEN_ANTI_ENTROPY {
+            if let Some(obs) = &self.obs {
+                obs.anti_entropy_rounds.inc();
+            }
             // Borrow the peer list: the per-tick clone was pure overhead.
             let digest = self.core.digest();
             for &peer in &self.peers {
@@ -823,6 +938,9 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
                 }
             }
             _ => {}
+        }
+        if let Some(obs) = &self.obs {
+            obs.applied.set(self.core.len() as f64);
         }
     }
 }

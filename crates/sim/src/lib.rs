@@ -76,3 +76,7 @@ pub use net::{LatencyMatrix, LinkSpec, NetworkConfig, PartitionSpec, Region};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use world::{Context, Node, NodeId, SimEvent, SimEventKind, World, WorldConfig};
+
+/// Re-export of the observability sink so downstream crates can install
+/// and share one without depending on `conprobe-obs` directly.
+pub use conprobe_obs::ObsSink;

@@ -40,6 +40,11 @@ pub mod baseline {
     pub const CAMPAIGN_EVENTS_PER_SEC: f64 = 35_708.0;
     /// Replica store: policy-ordered snapshot reads per second.
     pub const SNAPSHOT_READS_PER_SEC: f64 = 23_048.0;
+    /// Visibility records per second, measured on the same workload with
+    /// the pre-hoist `visibility()` (per-agent read lists re-derived for
+    /// every (write, agent) pair — see the ignored
+    /// `measure_prehoist_visibility_baseline` test).
+    pub const VISIBILITY_RECORDS_PER_SEC: f64 = 525_450.0;
 }
 
 /// Iteration counts for one bench run. All counts are fixed per mode, so
@@ -52,17 +57,29 @@ pub struct BenchScale {
     pub snapshot_reads: usize,
     /// Test instances in the campaign cell.
     pub campaign_tests: u32,
+    /// `visibility()` passes over the synthetic trace pool.
+    pub visibility_iters: usize,
 }
 
 impl BenchScale {
     /// The committed-numbers scale (`--mode full`).
     pub fn full() -> Self {
-        BenchScale { checker_iters: 60, snapshot_reads: 40_000, campaign_tests: 6 }
+        BenchScale {
+            checker_iters: 60,
+            snapshot_reads: 40_000,
+            campaign_tests: 6,
+            visibility_iters: 200,
+        }
     }
 
     /// The CI smoke scale (`--mode smoke`): same workloads, small counts.
     pub fn smoke() -> Self {
-        BenchScale { checker_iters: 10, snapshot_reads: 4_000, campaign_tests: 2 }
+        BenchScale {
+            checker_iters: 10,
+            snapshot_reads: 4_000,
+            campaign_tests: 2,
+            visibility_iters: 30,
+        }
     }
 }
 
@@ -77,6 +94,9 @@ pub struct BenchNumbers {
     pub campaign_events_per_sec: f64,
     /// Policy-ordered snapshot reads per second.
     pub snapshot_reads_per_sec: f64,
+    /// Visibility-latency records computed per second (the per-agent
+    /// read-list hoist's target workload).
+    pub visibility_records_per_sec: f64,
 }
 
 /// A deterministic synthetic trace exercising every checker.
@@ -183,6 +203,47 @@ pub fn bench_snapshot_reads(scale: BenchScale) -> f64 {
     scale.snapshot_reads as f64 / elapsed
 }
 
+/// Times `visibility()` over the synthetic trace pool. Returns visibility
+/// records per second — the workload the per-agent read-list hoist
+/// targets (it was O(writes × agents × reads) with a fresh list per
+/// pair).
+pub fn bench_visibility(scale: BenchScale) -> f64 {
+    let traces: Vec<TestTrace<PostId>> = (0..8).map(|i| synthetic_trace(0xC0DE + i, 120)).collect();
+    let mut records = 0usize;
+    let start = Instant::now();
+    for it in 0..scale.visibility_iters {
+        let trace = &traces[it % traces.len()];
+        records += conprobe_core::visibility::visibility(trace).len();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(records > 0);
+    records as f64 / elapsed
+}
+
+/// Measures the observability layer's cost on the campaign cell: one run
+/// with no sink, one with a full sink (metrics + a filtering event log).
+/// Returns `(tests/sec off, tests/sec on, metrics JSON)` — the JSON is the
+/// instrumented run's registry dump, which CI uploads as `metrics.json`.
+pub fn bench_metrics_overhead(scale: BenchScale) -> (f64, f64, String) {
+    let run = |sink: Option<conprobe_sim::ObsSink>| {
+        let mut config = bench_campaign_config(scale.campaign_tests);
+        config.test.obs = sink;
+        let start = Instant::now();
+        let result = run_campaign(&config);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(result.results.len(), scale.campaign_tests as usize);
+        scale.campaign_tests as f64 / elapsed
+    };
+    let off = run(None);
+    // A bounded Warn-level log: the shape `--metrics` runs use, so the
+    // overhead number reflects real instrumented operation.
+    let sink = conprobe_sim::ObsSink::with_log(
+        conprobe_obs::EventLog::new(4096).with_min_severity(conprobe_obs::Severity::Warn),
+    );
+    let on = run(Some(sink.clone()));
+    (off, on, sink.metrics.to_json().to_pretty())
+}
+
 /// The campaign cell the bench times: Google+ Test 2 with a read-heavy
 /// schedule (the regime where snapshot reads and trace analysis dominate —
 /// exactly the load full-scale 1,000-instance cells would sustain).
@@ -210,6 +271,7 @@ pub fn bench_campaign(scale: BenchScale) -> (f64, f64, CampaignResult) {
 pub fn run_suite(scale: BenchScale) -> BenchNumbers {
     let (checker_ops_per_sec, _) = bench_checkers(scale);
     let snapshot_reads_per_sec = bench_snapshot_reads(scale);
+    let visibility_records_per_sec = bench_visibility(scale);
     let (campaign_tests_per_sec, campaign_events_per_sec, result) = bench_campaign(scale);
     assert_eq!(result.results.len(), scale.campaign_tests as usize);
     BenchNumbers {
@@ -217,6 +279,7 @@ pub fn run_suite(scale: BenchScale) -> BenchNumbers {
         campaign_tests_per_sec,
         campaign_events_per_sec,
         snapshot_reads_per_sec,
+        visibility_records_per_sec,
     }
 }
 
@@ -230,6 +293,10 @@ pub fn report_json(mode: &str, current: BenchNumbers) -> String {
             ("campaign_tests_per_sec".into(), JsonValue::Float(round2(n.campaign_tests_per_sec))),
             ("campaign_events_per_sec".into(), JsonValue::Float(round2(n.campaign_events_per_sec))),
             ("snapshot_reads_per_sec".into(), JsonValue::Float(round2(n.snapshot_reads_per_sec))),
+            (
+                "visibility_records_per_sec".into(),
+                JsonValue::Float(round2(n.visibility_records_per_sec)),
+            ),
         ])
     };
     let base = BenchNumbers {
@@ -237,6 +304,7 @@ pub fn report_json(mode: &str, current: BenchNumbers) -> String {
         campaign_tests_per_sec: baseline::CAMPAIGN_TESTS_PER_SEC,
         campaign_events_per_sec: baseline::CAMPAIGN_EVENTS_PER_SEC,
         snapshot_reads_per_sec: baseline::SNAPSHOT_READS_PER_SEC,
+        visibility_records_per_sec: baseline::VISIBILITY_RECORDS_PER_SEC,
     };
     let ratio = |cur: f64, base: f64| {
         if base > 0.0 {
@@ -278,6 +346,10 @@ pub fn report_json(mode: &str, current: BenchNumbers) -> String {
                 (
                     "snapshot_reads".into(),
                     ratio(current.snapshot_reads_per_sec, base.snapshot_reads_per_sec),
+                ),
+                (
+                    "visibility".into(),
+                    ratio(current.visibility_records_per_sec, base.visibility_records_per_sec),
                 ),
             ]),
         ),
@@ -346,6 +418,32 @@ pub fn golden_fingerprint(service: ServiceKind, kind: TestKind, seed: u64) -> Go
     }
 }
 
+/// Like [`golden_fingerprint`], but with the full observability layer
+/// switched on (metrics registry + a Debug-level event log). The
+/// determinism guarantee says this must equal the uninstrumented
+/// fingerprint for every golden case — observability may count events but
+/// never reorder, drop, or add them.
+pub fn golden_fingerprint_observed(
+    service: ServiceKind,
+    kind: TestKind,
+    seed: u64,
+) -> GoldenFingerprint {
+    let mut config = conprobe_harness::runner::TestConfig::paper(service, kind);
+    config.obs = Some(conprobe_sim::ObsSink::with_log(
+        conprobe_obs::EventLog::new(8192).with_min_severity(conprobe_obs::Severity::Debug),
+    ));
+    let result = run_one_test(&config, seed);
+    let trace_hash = fnv64(result.trace.to_json().to_compact().as_bytes());
+    let anomaly_counts =
+        AnomalyKind::ALL.iter().map(|k| (k.short(), result.analysis.count(*k))).collect();
+    GoldenFingerprint {
+        trace_hash,
+        anomaly_counts,
+        content_windows: result.analysis.content_windows.iter().map(|w| w.windows.len()).sum(),
+        order_windows: result.analysis.order_windows.iter().map(|w| w.windows.len()).sum(),
+    }
+}
+
 /// The fixed golden cases: one per service, covering both tests.
 pub const GOLDEN_CASES: [(ServiceKind, TestKind, u64); 4] = [
     (ServiceKind::Blogger, TestKind::Test1, 1),
@@ -385,6 +483,59 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "baseline measurement helper"]
+    fn measure_prehoist_visibility_baseline() {
+        // The pre-hoist algorithm, verbatim shape: reads re-derived per
+        // (write, agent) pair.
+        use conprobe_core::visibility::{Visibility, VisibilityRecord};
+        fn visibility_prehoist(trace: &TestTrace<PostId>) -> Vec<VisibilityRecord<PostId>> {
+            let mut out = Vec::new();
+            let agents = trace.agents();
+            for (wop, id) in trace.writes() {
+                for &reader in &agents {
+                    let reads = trace.reads_by(reader);
+                    if reads.is_empty() {
+                        continue;
+                    }
+                    let first_seen = reads
+                        .iter()
+                        .filter(|r| r.read_seq().expect("read").contains(id))
+                        .map(|r| r.response)
+                        .min();
+                    let visibility = match first_seen {
+                        Some(at) => Visibility::After(at.delta_nanos(wop.response).max(0)),
+                        None => Visibility::Never,
+                    };
+                    out.push(VisibilityRecord {
+                        event: *id,
+                        writer: wop.agent,
+                        reader,
+                        written_at: wop.response,
+                        visibility,
+                    });
+                }
+            }
+            out
+        }
+        let scale = BenchScale::full();
+        let traces: Vec<TestTrace<PostId>> =
+            (0..8).map(|i| synthetic_trace(0xC0DE + i, 120)).collect();
+        let measure = || {
+            let mut records = 0usize;
+            let start = Instant::now();
+            for it in 0..scale.visibility_iters {
+                records += visibility_prehoist(&traces[it % traces.len()]).len();
+            }
+            records as f64 / start.elapsed().as_secs_f64()
+        };
+        measure(); // warm-up
+        let prehoist = measure();
+        bench_visibility(scale); // warm-up
+        let hoisted = bench_visibility(scale);
+        println!("prehoist={prehoist:.0} hoisted={hoisted:.0} records/sec");
+    }
+
+    #[test]
     fn fnv64_matches_reference_vectors() {
         // Standard FNV-1a test vectors.
         assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
@@ -399,6 +550,7 @@ mod tests {
             campaign_tests_per_sec: 2.0,
             campaign_events_per_sec: 50_000.0,
             snapshot_reads_per_sec: 9000.0,
+            visibility_records_per_sec: 4000.0,
         };
         let doc = conprobe_json::parse(&report_json("smoke", numbers)).expect("valid JSON");
         assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("conprobe-bench/1"));

@@ -1,15 +1,21 @@
 //! `conprobe-bench` — the perf measurement binary.
 //!
 //! ```text
-//! conprobe-bench [--mode full|smoke] [--out PATH] [--golden]
+//! conprobe-bench [--mode full|smoke] [--out PATH] [--metrics-out PATH]
+//!                [--golden] [--with-metrics]
 //! ```
 //!
-//! Times the hot paths (checker stack, replica snapshot reads, a campaign
-//! cell) on deterministic workloads and writes `BENCH_repro.json` with the
-//! measurements, the embedded pre-change baseline and the speedup ratios.
-//! `--mode smoke` runs the same workloads at small iteration counts for
-//! CI; `--golden` skips timing entirely and prints the golden-seed
-//! fingerprints used by `tests/determinism_golden.rs`.
+//! Times the hot paths (checker stack, replica snapshot reads, visibility
+//! records, a campaign cell) on deterministic workloads and writes
+//! `BENCH_repro.json` with the measurements, the embedded pre-change
+//! baseline and the speedup ratios. A metrics-overhead stage runs the
+//! campaign cell with the observability layer off and on, and dumps the
+//! instrumented run's registry to `--metrics-out` (default
+//! `metrics.json`). `--mode smoke` runs the same workloads at small
+//! iteration counts for CI; `--golden` skips timing entirely and prints
+//! the golden-seed fingerprints used by `tests/determinism_golden.rs`
+//! (add `--with-metrics` to print the instrumented fingerprints instead —
+//! CI diffs the two outputs to prove observability changes nothing).
 
 use conprobe::bench;
 use std::process::ExitCode;
@@ -17,11 +23,19 @@ use std::process::ExitCode;
 struct Args {
     mode: String,
     out: String,
+    metrics_out: String,
     golden: bool,
+    with_metrics: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { mode: "full".into(), out: "BENCH_repro.json".into(), golden: false };
+    let mut args = Args {
+        mode: "full".into(),
+        out: "BENCH_repro.json".into(),
+        metrics_out: "metrics.json".into(),
+        golden: false,
+        with_metrics: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -32,11 +46,13 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--out" => args.out = it.next().ok_or("--out needs a path")?,
+            "--metrics-out" => args.metrics_out = it.next().ok_or("--metrics-out needs a path")?,
             "--golden" => args.golden = true,
+            "--with-metrics" => args.with_metrics = true,
             "--help" | "-h" => {
-                return Err(
-                    "usage: conprobe-bench [--mode full|smoke] [--out PATH] [--golden]".to_string()
-                )
+                return Err("usage: conprobe-bench [--mode full|smoke] [--out PATH] \
+                     [--metrics-out PATH] [--golden] [--with-metrics]"
+                    .to_string())
             }
             other => return Err(format!("unknown argument {other}")),
         }
@@ -55,7 +71,11 @@ fn main() -> ExitCode {
 
     if args.golden {
         for (service, kind, seed) in bench::GOLDEN_CASES {
-            let fp = bench::golden_fingerprint(service, kind, seed);
+            let fp = if args.with_metrics {
+                bench::golden_fingerprint_observed(service, kind, seed)
+            } else {
+                bench::golden_fingerprint(service, kind, seed)
+            };
             println!("{service} {kind} seed={seed}: {}", fp.render());
         }
         println!("study_hash=0x{:016x}", bench::study_fingerprint());
@@ -75,6 +95,8 @@ fn main() -> ExitCode {
     eprintln!("checker stack: {checker_ops:.0} ops/sec (checksum {checksum})");
     let snapshot_reads = bench::bench_snapshot_reads(scale);
     eprintln!("snapshot reads: {snapshot_reads:.0} reads/sec");
+    let visibility_records = bench::bench_visibility(scale);
+    eprintln!("visibility: {visibility_records:.0} records/sec");
     let (campaign_tests, campaign_events, result) = bench::bench_campaign(scale);
     eprintln!(
         "campaign cell: {campaign_tests:.2} tests/sec, {campaign_events:.0} events/sec \
@@ -82,12 +104,24 @@ fn main() -> ExitCode {
         result.results.iter().filter(|r| r.completed).count(),
         result.results.len()
     );
+    let (obs_off, obs_on, metrics_json) = bench::bench_metrics_overhead(scale);
+    eprintln!(
+        "metrics overhead: {obs_off:.2} tests/sec off, {obs_on:.2} tests/sec on \
+         ({:.1}% overhead)",
+        (obs_off / obs_on.max(1e-9) - 1.0) * 100.0
+    );
+    if let Err(e) = std::fs::write(&args.metrics_out, &metrics_json) {
+        eprintln!("cannot write {}: {e}", args.metrics_out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", args.metrics_out);
 
     let numbers = bench::BenchNumbers {
         checker_ops_per_sec: checker_ops,
         campaign_tests_per_sec: campaign_tests,
         campaign_events_per_sec: campaign_events,
         snapshot_reads_per_sec: snapshot_reads,
+        visibility_records_per_sec: visibility_records,
     };
     let json = bench::report_json(&args.mode, numbers);
     if let Err(e) = std::fs::write(&args.out, &json) {

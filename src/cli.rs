@@ -10,9 +10,10 @@ use conprobe_harness::proto::{test1_trigger_pairs, TestKind};
 use conprobe_harness::runner::{run_one_test, TestConfig};
 use conprobe_harness::stats;
 use conprobe_json::{FromJson, ToJson};
+use conprobe_obs::{EventLog, Severity};
 use conprobe_services::ServiceKind;
 use conprobe_sim::net::Region;
-use conprobe_sim::{BrownoutMode, FaultEvent, FaultPlan, LinkScope, SimDuration, SimTime};
+use conprobe_sim::{BrownoutMode, FaultEvent, FaultPlan, LinkScope, ObsSink, SimDuration, SimTime};
 use conprobe_store::PostId;
 use std::fmt::Write as _;
 
@@ -35,6 +36,8 @@ pub enum Command {
         show_timeline: bool,
         /// Dump the trace as JSON to this path.
         json_out: Option<String>,
+        /// Dump the metrics registry as JSON to this path.
+        metrics_out: Option<String>,
     },
     /// Analyze a previously exported trace JSON.
     Analyze {
@@ -53,6 +56,8 @@ pub enum Command {
         tests: u32,
         /// Seed.
         seed: u64,
+        /// Dump the metrics registry as JSON to this path.
+        metrics_out: Option<String>,
     },
     /// Sweep fault-plan intensity levels against one service and report
     /// how the measurement degrades.
@@ -65,6 +70,34 @@ pub enum Command {
         seed: u64,
         /// Highest intensity level to run (sweeps 0..=levels).
         levels: u32,
+        /// Dump the metrics registry as JSON to this path.
+        metrics_out: Option<String>,
+    },
+    /// Replay one test with the structured event log on, printing the
+    /// sim-time-stamped events to stderr and a summary to stdout.
+    Trace {
+        /// Service under test.
+        service: ServiceKind,
+        /// Test design.
+        kind: TestKind,
+        /// Seed.
+        seed: u64,
+        /// Minimum severity to record.
+        level: Severity,
+        /// Only record events whose target starts with this prefix.
+        target: Option<String>,
+        /// Event-log ring capacity (older events are evicted).
+        cap: usize,
+    },
+    /// Run the full mini-study (every service × both tests) and print a
+    /// prevalence table; `--metrics` dumps the combined registry.
+    Repro {
+        /// Instances per (service, test) cell.
+        tests: u32,
+        /// Seed (combined with each cell's own master seed).
+        seed: u64,
+        /// Dump the metrics registry as JSON to this path.
+        metrics_out: Option<String>,
     },
     /// List the available service models.
     Services,
@@ -89,14 +122,25 @@ conprobe — black-box consistency characterization (DSN'16 reproduction)
 
 USAGE:
   conprobe run --service <svc> [--test 1|2] [--seed N] [--guard]
-               [--whitebox] [--timeline] [--json FILE]
+               [--whitebox] [--timeline] [--json FILE] [--metrics FILE]
   conprobe analyze <trace.json> [--test1]
   conprobe campaign --service <svc> [--test 1|2] [--tests N] [--seed N]
+               [--metrics FILE]
   conprobe chaos --service <svc> [--test 1|2] [--seed N] [--levels N]
+               [--metrics FILE]
+  conprobe trace --service <svc> [--test 1|2] [--seed N]
+               [--level debug|info|warn] [--target PREFIX] [--cap N]
+  conprobe repro [--tests N] [--seed N] [--metrics FILE]
   conprobe services
   conprobe help
 
   <svc>: blogger | gplus | fbfeed | fbgroup
+
+  --metrics dumps the run's metrics registry (counters, gauges,
+  histograms across the sim/services/harness/campaign layers) as JSON.
+  `trace` prints the structured event log to stderr, one line per event,
+  stamped with simulated time. Observability never perturbs the
+  simulation: the same seed yields the same trace with it on or off.
 ";
 
 fn parse_service(s: &str) -> Result<ServiceKind, CliError> {
@@ -117,6 +161,15 @@ fn parse_test(s: &str) -> Result<TestKind, CliError> {
     }
 }
 
+fn parse_level(s: &str) -> Result<Severity, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "debug" => Ok(Severity::Debug),
+        "info" => Ok(Severity::Info),
+        "warn" => Ok(Severity::Warn),
+        other => Err(CliError(format!("unknown level '{other}' (use debug|info|warn)"))),
+    }
+}
+
 /// Parses a raw argument list (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut it = args.iter().map(String::as_str);
@@ -132,6 +185,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut whitebox = false;
     let mut show_timeline = false;
     let mut json_out = None;
+    let mut metrics_out = None;
+    let mut level = Severity::Info;
+    let mut target = None;
+    let mut cap = 10_000usize;
     let mut positional: Vec<String> = Vec::new();
     let mut test1 = false;
     while let Some(a) = it.next() {
@@ -173,6 +230,24 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 json_out =
                     Some(it.next().ok_or(CliError("--json needs a path".into()))?.to_string())
             }
+            "--metrics" => {
+                metrics_out =
+                    Some(it.next().ok_or(CliError("--metrics needs a path".into()))?.to_string())
+            }
+            "--level" => {
+                level = parse_level(it.next().ok_or(CliError("--level needs a value".into()))?)?
+            }
+            "--target" => {
+                target =
+                    Some(it.next().ok_or(CliError("--target needs a prefix".into()))?.to_string())
+            }
+            "--cap" => {
+                cap = it
+                    .next()
+                    .ok_or(CliError("--cap needs a value".into()))?
+                    .parse()
+                    .map_err(|e| CliError(format!("--cap: {e}")))?
+            }
             other if other.starts_with('-') => {
                 return Err(CliError(format!("unknown flag '{other}'")))
             }
@@ -188,6 +263,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             whitebox,
             show_timeline,
             json_out,
+            metrics_out,
         }),
         "analyze" => Ok(Command::Analyze {
             path: positional
@@ -201,13 +277,24 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             kind,
             tests,
             seed,
+            metrics_out,
         }),
         "chaos" => Ok(Command::Chaos {
             service: service.ok_or(CliError("chaos requires --service".into()))?,
             kind,
             seed,
             levels,
+            metrics_out,
         }),
+        "trace" => Ok(Command::Trace {
+            service: service.ok_or(CliError("trace requires --service".into()))?,
+            kind,
+            seed,
+            level,
+            target,
+            cap,
+        }),
+        "repro" => Ok(Command::Repro { tests, seed, metrics_out }),
         "services" => Ok(Command::Services),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(CliError(format!("unknown command '{other}'"))),
@@ -297,6 +384,20 @@ fn report_analysis(
     }
 }
 
+/// A metrics-only sink for `--metrics` runs (no event log: the registry
+/// is the product, and counters/gauges/histograms are cheap everywhere).
+fn metrics_sink() -> ObsSink {
+    ObsSink::default()
+}
+
+/// Writes the sink's registry dump to `path` and notes it in `out`.
+fn write_metrics(sink: &ObsSink, path: &str, out: &mut String) -> Result<(), CliError> {
+    let json = sink.metrics.to_json().to_pretty();
+    std::fs::write(path, json).map_err(|e| CliError(format!("write {path}: {e}")))?;
+    let _ = writeln!(out, "metrics written to {path}");
+    Ok(())
+}
+
 /// Executes a command, returning the text to print.
 pub fn execute(cmd: Command) -> Result<String, CliError> {
     let mut out = String::new();
@@ -314,12 +415,23 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 );
             }
         }
-        Command::Run { service, kind, seed, guard, whitebox, show_timeline, json_out } => {
+        Command::Run {
+            service,
+            kind,
+            seed,
+            guard,
+            whitebox,
+            show_timeline,
+            json_out,
+            metrics_out,
+        } => {
             let mut config = TestConfig::paper(service, kind);
             config.use_guard = guard;
             if whitebox {
                 config.whitebox_period = Some(SimDuration::from_millis(100));
             }
+            let sink = metrics_out.as_ref().map(|_| metrics_sink());
+            config.obs = sink.clone();
             let r = run_one_test(&config, seed);
             let _ = writeln!(
                 out,
@@ -344,6 +456,9 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 std::fs::write(&path, json).map_err(|e| CliError(format!("write {path}: {e}")))?;
                 let _ = writeln!(out, "trace written to {path}");
             }
+            if let (Some(sink), Some(path)) = (&sink, &metrics_out) {
+                write_metrics(sink, path, &mut out)?;
+            }
         }
         Command::Analyze { path, test1 } => {
             let json = std::fs::read_to_string(&path)
@@ -364,11 +479,13 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             let _ = writeln!(out, "analyzed {path}:");
             report_analysis(&mut out, &analysis, &trace, true);
         }
-        Command::Chaos { service, kind, seed, levels } => {
+        Command::Chaos { service, kind, seed, levels, metrics_out } => {
             let _ = writeln!(out, "{service} {kind} chaos sweep (seed {seed}):");
+            let sink = metrics_out.as_ref().map(|_| metrics_sink());
             for level in 0..=levels {
                 let mut config = TestConfig::paper(service, kind);
                 config.fault_plan = chaos_plan(level, seed);
+                config.obs = sink.clone();
                 let r = run_one_test(&config, seed);
                 let ledger = &r.fault_ledger;
                 let rpc: u64 = ledger.agent_rpc.iter().map(|s| s.retransmits).sum();
@@ -393,10 +510,15 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                     ledger.skipped_actions,
                 );
             }
+            if let (Some(sink), Some(path)) = (&sink, &metrics_out) {
+                write_metrics(sink, path, &mut out)?;
+            }
         }
-        Command::Campaign { service, kind, tests, seed } => {
-            let config =
+        Command::Campaign { service, kind, tests, seed, metrics_out } => {
+            let mut config =
                 conprobe_harness::CampaignConfig::paper(service, kind, tests).with_seed(seed);
+            let sink = metrics_out.as_ref().map(|_| metrics_sink());
+            config.test.obs = sink.clone();
             // Progress to stderr (stdout carries the report): completed
             // count and instantaneous throughput, overwritten in place.
             let started = std::time::Instant::now();
@@ -422,6 +544,84 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                     let _ = writeln!(out, "  {kind:<22} {p:>5.1}% of tests");
                 }
             }
+            if let (Some(sink), Some(path)) = (&sink, &metrics_out) {
+                write_metrics(sink, path, &mut out)?;
+            }
+        }
+        Command::Trace { service, kind, seed, level, target, cap } => {
+            let mut log = EventLog::new(cap).with_min_severity(level);
+            if let Some(prefix) = &target {
+                log = log.with_target_prefix(prefix.clone());
+            }
+            let sink = ObsSink::with_log(log);
+            let mut config = TestConfig::paper(service, kind);
+            config.obs = Some(sink.clone());
+            let r = run_one_test(&config, seed);
+            let events = sink.log.drain();
+            for e in &events {
+                eprintln!("{}", e.render());
+            }
+            let _ = writeln!(
+                out,
+                "{service} {kind} (seed {seed}): {} in {:.1}s; {} event(s) at {level} or \
+                 above{} ({} evicted)",
+                if r.completed { "completed" } else { "TIMED OUT" },
+                r.duration_secs,
+                events.len(),
+                target.map(|t| format!(" under '{t}'")).unwrap_or_default(),
+                sink.log.evicted(),
+            );
+            report_analysis(&mut out, &r.analysis, &r.trace, false);
+        }
+        Command::Repro { tests, seed, metrics_out } => {
+            let sink = metrics_out.as_ref().map(|_| metrics_sink());
+            let _ = writeln!(out, "mini-study: {tests} instance(s) per cell (seed {seed})");
+            let _ = writeln!(
+                out,
+                "  {:<10} {:<6} {:>10} {:>8} {:>8}",
+                "service", "test", "completed", "reads", "writes"
+            );
+            let mut all: Vec<(ServiceKind, Vec<conprobe_harness::runner::TestResult>)> = Vec::new();
+            for service in ServiceKind::ALL {
+                let mut rows = Vec::new();
+                for kind in [TestKind::Test1, TestKind::Test2] {
+                    let mut config = conprobe_harness::CampaignConfig::paper(service, kind, tests);
+                    config.seed ^= seed;
+                    config.test.obs = sink.clone();
+                    let result = conprobe_harness::run_campaign(&config);
+                    let _ = writeln!(
+                        out,
+                        "  {:<10} {:<6} {:>6}/{:<3} {:>8} {:>8}",
+                        service.name(),
+                        kind.to_string(),
+                        result.completed(),
+                        tests,
+                        result.total_reads(),
+                        result.total_writes()
+                    );
+                    rows.extend(result.results);
+                }
+                all.push((service, rows));
+            }
+            let _ = writeln!(out, "anomaly prevalence (% of tests, both test kinds pooled):");
+            for (service, rows) in &all {
+                let mut cells = Vec::new();
+                for kind in AnomalyKind::ALL {
+                    let p = stats::prevalence(rows, kind);
+                    if p > 0.0 {
+                        cells.push(format!("{}={p:.1}%", kind.short()));
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "  {:<10} {}",
+                    service.name(),
+                    if cells.is_empty() { "clean".to_string() } else { cells.join(" ") }
+                );
+            }
+            if let (Some(sink), Some(path)) = (&sink, &metrics_out) {
+                write_metrics(sink, path, &mut out)?;
+            }
         }
     }
     Ok(out)
@@ -439,15 +639,104 @@ mod tests {
     fn parses_run_with_flags() {
         let cmd = parse(&args("run --service gplus --test 2 --seed 7 --guard --timeline")).unwrap();
         match cmd {
-            Command::Run { service, kind, seed, guard, show_timeline, whitebox, json_out } => {
+            Command::Run {
+                service,
+                kind,
+                seed,
+                guard,
+                show_timeline,
+                whitebox,
+                json_out,
+                metrics_out,
+            } => {
                 assert_eq!(service, ServiceKind::GooglePlus);
                 assert_eq!(kind, TestKind::Test2);
                 assert_eq!(seed, 7);
                 assert!(guard && show_timeline && !whitebox);
                 assert!(json_out.is_none());
+                assert!(metrics_out.is_none());
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_trace_with_filters() {
+        let cmd = parse(&args(
+            "trace --service blogger --test 1 --seed 5 --level warn --target sim --cap 64",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Trace {
+                service: ServiceKind::Blogger,
+                kind: TestKind::Test1,
+                seed: 5,
+                level: Severity::Warn,
+                target: Some("sim".into()),
+                cap: 64,
+            }
+        );
+        assert!(parse(&args("trace")).is_err(), "trace requires --service");
+        assert!(parse(&args("trace --service blogger --level loud")).is_err());
+    }
+
+    #[test]
+    fn trace_replays_a_test_and_counts_events() {
+        let out = execute(
+            parse(&args("trace --service blogger --test 1 --seed 1 --level debug --cap 100000"))
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("completed"), "{out}");
+        assert!(out.contains("event(s) at DEBUG or above"), "{out}");
+        // A full run delivers thousands of messages; zero events would
+        // mean the log never reached the world.
+        assert!(!out.contains(" 0 event(s)"), "{out}");
+    }
+
+    #[test]
+    fn run_with_metrics_dumps_the_registry() {
+        let dir = std::env::temp_dir().join("conprobe-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run-metrics.json").to_string_lossy().to_string();
+        let out = execute(
+            parse(&args(&format!("run --service gplus --test 2 --seed 2 --metrics {path}")))
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("metrics written to"), "{out}");
+        let doc = conprobe_json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let counters = doc.get("counters").expect("counters block");
+        assert!(counters.get("sim.delivered").is_some(), "sim layer counted");
+    }
+
+    #[test]
+    fn repro_emits_metrics_covering_all_layers() {
+        let dir = std::env::temp_dir().join("conprobe-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repro-metrics.json").to_string_lossy().to_string();
+        let out =
+            execute(parse(&args(&format!("repro --tests 1 --seed 9 --metrics {path}"))).unwrap())
+                .unwrap();
+        assert!(out.contains("mini-study"), "{out}");
+        assert!(out.contains("Blogger"), "{out}");
+        assert!(out.contains("anomaly prevalence"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        let doc = conprobe_json::parse(&json).unwrap();
+        // The acceptance bar: one registry dump spanning all four layers.
+        let counters = doc.get("counters").expect("counters block");
+        assert!(counters.get("sim.delivered").is_some(), "sim layer: {json}");
+        assert!(counters.get("harness.tests.completed").is_some(), "harness layer: {json}");
+        assert!(counters.get("campaign.tests.completed").is_some(), "campaign layer: {json}");
+        let gauges = doc.get("gauges").expect("gauges block");
+        assert!(gauges.get("campaign.tests_per_sec").is_some(), "campaign gauges: {json}");
+        let has_replica = matches!(counters, conprobe_json::JsonValue::Object(kv)
+            if kv.iter().any(|(k, _)| k.starts_with("services.replica.")));
+        assert!(has_replica, "services layer: {json}");
+        let has_hist = matches!(doc.get("histograms"), Some(conprobe_json::JsonValue::Object(kv))
+            if kv.iter().any(|(k, _)| k.contains("propagation_lag_nanos")));
+        assert!(has_hist, "propagation-lag histogram: {json}");
     }
 
     #[test]
@@ -519,7 +808,8 @@ mod tests {
                 service: ServiceKind::Blogger,
                 kind: TestKind::Test1,
                 seed: 3,
-                levels: 1
+                levels: 1,
+                metrics_out: None,
             }
         );
         let out = execute(cmd).unwrap();

@@ -9,7 +9,10 @@
 //! say so in the commit; if these fail on a perf-only change, the change
 //! is wrong.
 
-use conprobe::bench::{fnv64, golden_fingerprint, study_fingerprint, GoldenFingerprint};
+use conprobe::bench::{
+    fnv64, golden_fingerprint, golden_fingerprint_observed, study_fingerprint, GoldenFingerprint,
+    GOLDEN_CASES,
+};
 use conprobe_harness::proto::TestKind;
 use conprobe_services::ServiceKind;
 
@@ -102,6 +105,26 @@ fn study_json_matches_pre_optimization_golden() {
         0x2b224f0e595d0842,
         "aggregated study.json bytes diverged from the pre-optimization golden"
     );
+}
+
+#[test]
+fn observability_leaves_every_golden_fingerprint_unchanged() {
+    // The observability layer's core guarantee: metrics and the event log
+    // may *count* the simulation but never alter it. Running every golden
+    // case with a full sink (registry + Debug-level log) must reproduce
+    // the uninstrumented fingerprints bit for bit.
+    for (service, kind, seed) in GOLDEN_CASES {
+        let plain = golden_fingerprint(service, kind, seed);
+        let observed = golden_fingerprint_observed(service, kind, seed);
+        assert_eq!(
+            plain,
+            observed,
+            "{service} {kind} seed {seed}: observability perturbed the run:\n\
+             off {}\non  {}",
+            plain.render(),
+            observed.render()
+        );
+    }
 }
 
 #[test]
