@@ -7,10 +7,13 @@
 //! runner executes its instances in parallel across OS threads (each test
 //! is an independent world with its own derived seed).
 
+use crate::journal::{result_from_json, Journal, Recovery};
 use crate::proto::TestKind;
 use crate::runner::{run_one_test, TestConfig, TestResult};
+use conprobe_obs::Severity;
 use conprobe_services::ServiceKind;
 use conprobe_sim::{SimDuration, SimRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -32,6 +35,10 @@ pub struct CampaignConfig {
     pub partition_tests: Vec<u32>,
     /// Worker threads (0 ⇒ all available parallelism).
     pub threads: usize,
+    /// Instance indices whose worker deliberately panics (test hook for
+    /// panic isolation and kill-and-resume drills; empty in real
+    /// campaigns). A panicking instance is quarantined, not re-run.
+    pub inject_panic: Vec<u32>,
 }
 
 impl CampaignConfig {
@@ -74,6 +81,7 @@ impl CampaignConfig {
             between_tests: SimDuration::from_secs(between_min * 60),
             partition_tests,
             threads: 0,
+            inject_panic: Vec::new(),
         }
     }
 
@@ -84,13 +92,32 @@ impl CampaignConfig {
     }
 }
 
+/// A quarantined test instance: its worker panicked and the panic was
+/// caught, journaled (when a journal is attached), and excluded from the
+/// cell's results instead of aborting the campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashedInstance {
+    /// The instance index within the cell.
+    pub index: u32,
+    /// The seed the instance ran with.
+    pub seed: u64,
+    /// The captured panic message.
+    pub panic: String,
+}
+
 /// The outcome of a campaign cell.
 #[derive(Debug)]
 pub struct CampaignResult {
     /// The configuration that produced this result.
     pub config: CampaignConfig,
-    /// Per-instance results, in instance order.
+    /// Per-instance results, in instance order. Quarantined crashes are
+    /// excluded (see [`CampaignResult::crashed`]), so every downstream
+    /// aggregation sees only tests that actually produced a trace.
     pub results: Vec<TestResult>,
+    /// Instances whose worker panicked and was quarantined.
+    pub crashed: Vec<CrashedInstance>,
+    /// Instances spliced in from a recovered journal rather than re-run.
+    pub resumed: usize,
 }
 
 impl CampaignResult {
@@ -145,13 +172,85 @@ pub fn run_campaign_with_progress(
     config: &CampaignConfig,
     progress: Option<&(dyn Fn(usize, usize) + Sync)>,
 ) -> CampaignResult {
+    run_campaign_journaled(config, progress, "", None, None)
+}
+
+/// The per-instance test configuration: the shared cell config plus the
+/// instance's partition-plan flag.
+fn instance_config(config: &CampaignConfig, i: usize) -> TestConfig {
+    let mut test = config.test.clone();
+    test.tokyo_partition = test.tokyo_partition || config.partition_tests.contains(&(i as u32));
+    test
+}
+
+/// Splices journal-recovered results into `slots` and returns how many
+/// instances were recovered. A recovered record is only trusted when its
+/// persisted seed matches the freshly derived one (same master seed) and
+/// its payload deserializes; otherwise the instance is re-run. Crashed
+/// records are deliberately *not* spliced — a resume retries them, which
+/// is what makes an env-injected-panic run resume to byte-identical
+/// output.
+fn splice_recovered(
+    config: &CampaignConfig,
+    cell: &str,
+    recovery: &Recovery,
+    root: &SimRng,
+    slots: &mut [Option<TestResult>],
+) -> usize {
+    let mut resumed = 0;
+    for (i, (seed, payload)) in recovery.completed_for(cell) {
+        let i = i as usize;
+        if i >= slots.len() {
+            continue;
+        }
+        let expect = root.split_indexed("test", i as u64).seed();
+        if seed != expect {
+            eprintln!(
+                "journal: {cell} instance {i} recorded seed {seed:#x} but campaign derives \
+                 {expect:#x}; re-running"
+            );
+            continue;
+        }
+        match result_from_json(&instance_config(config, i), payload) {
+            Ok(result) => {
+                slots[i] = Some(result);
+                resumed += 1;
+            }
+            Err(e) => {
+                eprintln!("journal: {cell} instance {i} payload rejected ({e}); re-running");
+            }
+        }
+    }
+    resumed
+}
+
+/// Like [`run_campaign_with_progress`], with crash-safe durability: every
+/// finished instance is appended to `journal` (when given) under the
+/// `cell` identifier, and instances already present in `recovery` are
+/// spliced in instead of re-run. Workers are panic-isolated: a panicking
+/// instance becomes a quarantined [`CrashedInstance`] (journaled as a
+/// `crashed` record) rather than aborting the campaign.
+pub fn run_campaign_journaled(
+    config: &CampaignConfig,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+    cell: &str,
+    journal: Option<&Journal>,
+    recovery: Option<&Recovery>,
+) -> CampaignResult {
     let n = config.tests as usize;
+    let root = SimRng::new(config.seed);
     let mut slots: Vec<Option<TestResult>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
+    let resumed = match recovery {
+        Some(r) => splice_recovered(config, cell, r, &root, &mut slots),
+        None => 0,
+    };
+    // Only the instances the journal doesn't already cover are run.
+    let pending: Vec<usize> = (0..n).filter(|&i| slots[i].is_none()).collect();
     let slots = Mutex::new(slots);
+    let crashed: Mutex<Vec<CrashedInstance>> = Mutex::new(Vec::new());
     let next = AtomicUsize::new(0);
-    let done = AtomicUsize::new(0);
-    let root = SimRng::new(config.seed);
+    let done = AtomicUsize::new(resumed);
 
     // Campaign-level telemetry rides on the same sink the per-test worlds
     // use. Wall-clock only — it never feeds back into any simulation.
@@ -174,21 +273,58 @@ pub fn run_campaign_with_progress(
     } else {
         config.threads
     }
-    .min(n.max(1));
+    .min(pending.len().max(1));
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    return;
-                }
+                let p = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&i) = pending.get(p) else { return };
                 let seed = root.split_indexed("test", i as u64).seed();
-                let mut test = config.test.clone();
-                test.tokyo_partition =
-                    test.tokyo_partition || config.partition_tests.contains(&(i as u32));
-                let result = run_one_test(&test, seed);
-                slots.lock().expect("campaign worker panicked")[i] = Some(result);
+                let test = instance_config(config, i);
+                // Panic isolation: a panicking instance must not poison
+                // the slot mutex or tear down its sibling workers — the
+                // lock is taken only *after* the test (and only for the
+                // assignment), and the panic is downgraded to a
+                // quarantined record.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if config.inject_panic.contains(&(i as u32)) {
+                        panic!("injected panic (instance {i})");
+                    }
+                    run_one_test(&test, seed)
+                }));
+                match outcome {
+                    Ok(result) => {
+                        if let Some(j) = journal {
+                            if let Err(e) = j.append_completed(cell, i as u32, seed, &result) {
+                                eprintln!("journal: append failed for {cell} instance {i}: {e}");
+                            }
+                        }
+                        slots.lock().unwrap_or_else(|p| p.into_inner())[i] = Some(result);
+                    }
+                    Err(payload) => {
+                        let msg = panic_message(payload.as_ref());
+                        if let Some(sink) = &obs {
+                            sink.metrics.counter("campaign.tests.crashed").inc();
+                            sink.log.record(
+                                0,
+                                Severity::Error,
+                                "campaign",
+                                format!("instance {i} panicked: {msg}"),
+                            );
+                        }
+                        if let Some(j) = journal {
+                            if let Err(e) = j.append_crashed(cell, i as u32, seed, &msg) {
+                                eprintln!("journal: append failed for {cell} instance {i}: {e}");
+                            }
+                        }
+                        crashed.lock().unwrap_or_else(|p| p.into_inner()).push(CrashedInstance {
+                            index: i as u32,
+                            seed,
+                            panic: msg,
+                        });
+                    }
+                }
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 campaign_progress(finished);
                 if let Some(cb) = progress {
@@ -199,13 +335,23 @@ pub fn run_campaign_with_progress(
     });
     drop(cell_span);
 
-    let results: Vec<TestResult> = slots
-        .into_inner()
-        .expect("campaign worker panicked")
-        .into_iter()
-        .map(|r| r.expect("all instances ran"))
-        .collect();
-    CampaignResult { config: config.clone(), results }
+    let results: Vec<TestResult> =
+        slots.into_inner().unwrap_or_else(|p| p.into_inner()).into_iter().flatten().collect();
+    let mut crashed = crashed.into_inner().unwrap_or_else(|p| p.into_inner());
+    crashed.sort_unstable_by_key(|c| c.index);
+    CampaignResult { config: config.clone(), results, crashed, resumed }
+}
+
+/// Best-effort rendering of a caught panic payload (`&str` and `String`
+/// cover everything `panic!` produces in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +429,105 @@ mod tests {
         for (x, y) in a.results.iter().zip(&b.results) {
             assert_eq!(x.trace, y.trace);
         }
+    }
+
+    fn temp_journal(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("conprobe-campaign-{tag}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn panicking_instance_is_quarantined_not_fatal() {
+        let mut c = CampaignConfig::paper(ServiceKind::Blogger, TestKind::Test2, 4);
+        c.threads = 2;
+        c.inject_panic = vec![1];
+        let out = run_campaign(&c);
+        assert_eq!(out.results.len(), 3, "three instances survive");
+        assert_eq!(out.crashed.len(), 1);
+        assert_eq!(out.crashed[0].index, 1);
+        assert!(out.crashed[0].panic.contains("injected panic"), "{}", out.crashed[0].panic);
+        // The surviving instances are the non-panicking ones, untouched.
+        let mut clean = c.clone();
+        clean.inject_panic.clear();
+        let full = run_campaign(&clean);
+        let survivors: Vec<_> =
+            full.results.iter().enumerate().filter(|(i, _)| *i != 1).map(|(_, r)| r).collect();
+        for (got, want) in out.results.iter().zip(survivors) {
+            assert_eq!(got.trace, want.trace);
+        }
+    }
+
+    #[test]
+    fn journaled_campaign_replays_entirely_from_its_own_journal() {
+        let path = temp_journal("replay");
+        let mut c = CampaignConfig::paper(ServiceKind::Blogger, TestKind::Test2, 3);
+        c.threads = 3;
+        let journal = Journal::create(&path).unwrap();
+        let live = run_campaign_journaled(&c, None, "blogger/test2", Some(&journal), None);
+        drop(journal);
+        assert_eq!(live.resumed, 0);
+        let recovery = Journal::recover(&path).unwrap();
+        assert_eq!(recovery.records.len(), 3);
+        assert!(recovery.tail.is_none());
+        // Resume with a complete journal: nothing re-runs, results match.
+        let replay = run_campaign_journaled(&c, None, "blogger/test2", None, Some(&recovery));
+        assert_eq!(replay.resumed, 3);
+        assert_eq!(replay.results.len(), 3);
+        for (a, b) in live.results.iter().zip(&replay.results) {
+            assert_eq!(a.trace, b.trace);
+            assert_eq!(a.analysis.observations, b.analysis.observations);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interrupted_campaign_resumes_to_identical_results() {
+        let path = temp_journal("resume");
+        let mut c = CampaignConfig::paper(ServiceKind::Blogger, TestKind::Test2, 4);
+        c.threads = 1;
+        // First attempt: instance 2's worker panics (stand-in for a crash
+        // mid-campaign); its siblings complete and are journaled.
+        let mut wounded = c.clone();
+        wounded.inject_panic = vec![2];
+        let journal = Journal::create(&path).unwrap();
+        let first = run_campaign_journaled(&wounded, None, "blogger/test2", Some(&journal), None);
+        drop(journal);
+        assert_eq!(first.crashed.len(), 1);
+        assert_eq!(first.results.len(), 3);
+        // Resume without the injected fault: the crashed record is
+        // retried, the three completed records are spliced.
+        let (journal, recovery) = Journal::resume(&path).unwrap();
+        let resumed =
+            run_campaign_journaled(&c, None, "blogger/test2", Some(&journal), Some(&recovery));
+        drop(journal);
+        assert_eq!(resumed.resumed, 3);
+        assert!(resumed.crashed.is_empty());
+        // Byte-identical to the same campaign run uninterrupted.
+        let uninterrupted = run_campaign(&c);
+        assert_eq!(resumed.results.len(), uninterrupted.results.len());
+        for (a, b) in resumed.results.iter().zip(&uninterrupted.results) {
+            assert_eq!(a.trace, b.trace);
+            assert_eq!(a.analysis.observations, b.analysis.observations);
+            assert_eq!(a.duration_secs, b.duration_secs);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recovered_seed_mismatch_forces_rerun() {
+        let path = temp_journal("seedmismatch");
+        let mut c = CampaignConfig::paper(ServiceKind::Blogger, TestKind::Test2, 2);
+        c.threads = 2;
+        let journal = Journal::create(&path).unwrap();
+        run_campaign_journaled(&c, None, "blogger/test2", Some(&journal), None);
+        drop(journal);
+        let recovery = Journal::recover(&path).unwrap();
+        // A different master seed derives different instance seeds, so
+        // nothing from the old journal may be spliced.
+        let other = c.clone().with_seed(0xD15EA5E);
+        let out = run_campaign_journaled(&other, None, "blogger/test2", None, Some(&recovery));
+        assert_eq!(out.resumed, 0, "stale-seed records must be re-run");
+        assert_eq!(out.results.len(), 2);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,1016 @@
+//! Durable campaign journal: crash-safe persistence and resume.
+//!
+//! The paper's study ran for weeks against live rate-limited APIs; losing
+//! a campaign to a coordinator crash would have cost unrepeatable
+//! measurements. This module gives conprobe the same survivability: as a
+//! campaign runs, every finished (or quarantined) test instance is
+//! appended to a journal file, and a later invocation can recover the
+//! journal and re-run *only* the missing instances — with byte-identical
+//! study output, because the per-instance seeds are derived
+//! deterministically and the analysis is a pure function of the persisted
+//! trace.
+//!
+//! ## On-disk format
+//!
+//! One record per line (JSONL), each framed for corruption detection:
+//!
+//! ```text
+//! cpj1 <payload-len> <fnv64-hex> <payload-json>\n
+//! ```
+//!
+//! * `cpj1` — format magic/version.
+//! * `<payload-len>` — decimal byte length of the payload.
+//! * `<fnv64-hex>` — 16-digit FNV-1a hash of the payload bytes.
+//! * `<payload-json>` — one compact JSON object (compact JSON never
+//!   contains a raw newline, so the file stays line-oriented).
+//!
+//! Appends are a single `write_all` followed by `fsync`, so a crash —
+//! including SIGKILL mid-write — leaves at most one truncated tail line.
+//!
+//! ## Recovery rules
+//!
+//! * A *complete* line that frames and checksums correctly is a record.
+//! * Trailing bytes that do not form a complete valid line are a
+//!   **truncated or corrupt tail**: dropped and reported, never a panic
+//!   ([`Recovery::tail`]). [`Journal::resume`] truncates the file back to
+//!   the last valid record before appending.
+//! * An invalid line *followed by more data* is **middle corruption**
+//!   (e.g. a checksum flip from bit rot): recovery refuses with a clear
+//!   [`JournalError::CorruptMiddle`] rather than silently skipping data.
+//! * Duplicate `(cell, instance)` keys resolve last-writer-wins, counted
+//!   in [`Recovery::duplicates`] so callers can warn.
+//!
+//! ## What a record stores
+//!
+//! A `completed` record persists everything in a
+//! [`TestResult`](crate::runner::TestResult) *except* the analysis and
+//! the white-box report: the analysis is recomputed on recovery from the
+//! persisted trace with [`crate::runner::checker_config_for`] (pure and
+//! deterministic, so resumption is byte-identical), and the white-box
+//! probe is a single-test debugging tool that journaled campaigns don't
+//! enable. A `crashed` record stores the panic message of a quarantined
+//! worker so `conprobe journal inspect` can report it.
+
+use crate::coordinator::AgentHealth;
+use crate::runner::{checker_config_for, FaultLedger, TestConfig, TestResult};
+use conprobe_core::{analyze, TestTrace};
+use conprobe_json::{member, FromJson, JsonError, JsonValue, ToJson};
+use conprobe_services::fault_driver::ExecutedAction;
+use conprobe_services::ServiceKind;
+use conprobe_sim::net::Region;
+use conprobe_sim::{BrownoutMode, NodeId, ServiceActionKind, SimDuration, SimTime};
+use conprobe_store::PostId;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Format magic for v1 records.
+const MAGIC: &str = "cpj1";
+
+/// FNV-1a over a byte string (the same stable hash the golden-fingerprint
+/// suite uses; duplicated here so `conprobe-harness` stays independent of
+/// the umbrella crate).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Record model
+// ---------------------------------------------------------------------------
+
+/// Identifies one test instance within a journal: which campaign cell it
+/// belongs to, its instance index, and the seed it ran with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalKey {
+    /// Stable cell identifier (e.g. `"blogger/test1"`,
+    /// `"chaos/gplus/test2/seed7"`). Distinguishes cells sharing one
+    /// journal file.
+    pub cell: String,
+    /// Instance index within the cell (for chaos journals, the level).
+    pub instance: u32,
+    /// The per-instance seed the record was produced with. Resume
+    /// validates this against the freshly derived seed and re-runs the
+    /// instance on mismatch, so a journal from a different master seed
+    /// can never be spliced into the wrong study.
+    pub seed: u64,
+}
+
+/// A recovered record's body. Completed results stay as raw JSON until a
+/// [`TestConfig`] is available to rebuild the [`TestResult`] (the
+/// analysis is recomputed, see [`result_from_json`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveredEntry {
+    /// The instance finished; payload is the serialized result object.
+    Completed(JsonValue),
+    /// The instance's worker panicked and was quarantined.
+    Crashed {
+        /// The panic message captured by the campaign worker.
+        panic: String,
+    },
+}
+
+/// One recovered journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredRecord {
+    /// The (cell, instance, seed) key.
+    pub key: JournalKey,
+    /// Completed payload or crash report.
+    pub entry: RecoveredEntry,
+}
+
+/// Diagnostic for a dropped journal tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailLoss {
+    /// Byte offset where the damaged tail starts.
+    pub offset: u64,
+    /// Number of bytes dropped.
+    pub bytes: u64,
+    /// Why the tail was rejected (truncation, checksum mismatch, …).
+    pub reason: String,
+}
+
+impl fmt::Display for TailLoss {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dropped {} tail byte(s) at offset {}: {}", self.bytes, self.offset, self.reason)
+    }
+}
+
+/// The outcome of [`Journal::recover`].
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    /// Valid records after last-writer-wins dedup, in file order of each
+    /// key's final writer.
+    pub records: Vec<RecoveredRecord>,
+    /// Raw valid record count, including superseded duplicates.
+    pub total_records: usize,
+    /// Records superseded by a later record with the same key.
+    pub duplicates: usize,
+    /// Damaged tail, if the file ended mid-record.
+    pub tail: Option<TailLoss>,
+    /// Byte length of the valid prefix ([`Journal::resume`] truncates the
+    /// file to this length before appending).
+    pub valid_len: u64,
+}
+
+impl Recovery {
+    /// Completed records for one cell: instance index → (seed, payload).
+    pub fn completed_for(&self, cell: &str) -> BTreeMap<u32, (u64, &JsonValue)> {
+        self.records
+            .iter()
+            .filter(|r| r.key.cell == cell)
+            .filter_map(|r| match &r.entry {
+                RecoveredEntry::Completed(v) => Some((r.key.instance, (r.key.seed, v))),
+                RecoveredEntry::Crashed { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Crashed records (across all cells), for reporting.
+    pub fn crashed(&self) -> Vec<(&JournalKey, &str)> {
+        self.records
+            .iter()
+            .filter_map(|r| match &r.entry {
+                RecoveredEntry::Crashed { panic } => Some((&r.key, panic.as_str())),
+                RecoveredEntry::Completed(_) => None,
+            })
+            .collect()
+    }
+}
+
+/// Why a journal could not be recovered.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem-level failure.
+    Io(std::io::Error),
+    /// A record *before* the tail is damaged — the journal is not a
+    /// crash artifact but corrupted storage, and silently skipping the
+    /// record would splice a hole into the study. Recovery refuses.
+    CorruptMiddle {
+        /// Zero-based index of the damaged record.
+        record: usize,
+        /// Byte offset of the damaged line.
+        offset: u64,
+        /// What failed (frame, checksum, JSON, schema).
+        reason: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::CorruptMiddle { record, offset, reason } => write!(
+                f,
+                "journal corrupt at record {record} (byte offset {offset}): {reason}; \
+                 refusing to resume from a journal with damage before the tail"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The journal file
+// ---------------------------------------------------------------------------
+
+/// An append-only, fsync'd campaign journal.
+///
+/// Appends are thread-safe (campaign workers journal concurrently); each
+/// record is written with a single `write_all` and synced to disk before
+/// the append returns, so a completed test can never be lost to a later
+/// crash.
+#[derive(Debug)]
+pub struct Journal {
+    file: Mutex<File>,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Creates (or truncates) a fresh journal at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
+        Ok(Journal { file: Mutex::new(file), path })
+    }
+
+    /// Recovers `path` (read-only): parses every record, tolerating a
+    /// truncated or checksum-corrupt tail.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the file cannot be read;
+    /// [`JournalError::CorruptMiddle`] if a record before the tail is
+    /// damaged.
+    pub fn recover(path: impl AsRef<Path>) -> Result<Recovery, JournalError> {
+        let mut bytes = Vec::new();
+        File::open(path.as_ref())?.read_to_end(&mut bytes)?;
+        recover_bytes(&bytes)
+    }
+
+    /// Recovers `path` and reopens it for appending: the damaged tail (if
+    /// any) is truncated away so subsequent appends extend the valid
+    /// prefix.
+    pub fn resume(path: impl AsRef<Path>) -> Result<(Journal, Recovery), JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let recovery = Journal::recover(&path)?;
+        let file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(recovery.valid_len)?;
+        file.sync_data()?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        Ok((Journal { file: Mutex::new(file), path }, recovery))
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends a completed-test record.
+    pub fn append_completed(
+        &self,
+        cell: &str,
+        instance: u32,
+        seed: u64,
+        result: &TestResult,
+    ) -> std::io::Result<()> {
+        self.append_payload(&record_json(cell, instance, seed, "completed", |members| {
+            members.push(("result".into(), result_to_json(result)));
+        }))
+    }
+
+    /// Appends a quarantined-crash record.
+    pub fn append_crashed(
+        &self,
+        cell: &str,
+        instance: u32,
+        seed: u64,
+        panic_msg: &str,
+    ) -> std::io::Result<()> {
+        self.append_payload(&record_json(cell, instance, seed, "crashed", |members| {
+            members.push(("panic".into(), JsonValue::Str(panic_msg.to_string())));
+        }))
+    }
+
+    /// Frames, writes, and fsyncs one payload.
+    fn append_payload(&self, payload: &str) -> std::io::Result<()> {
+        let line =
+            format!("{MAGIC} {} {:016x} {payload}\n", payload.len(), fnv64(payload.as_bytes()));
+        let mut file = self.file.lock().unwrap_or_else(|p| p.into_inner());
+        file.write_all(line.as_bytes())?;
+        file.sync_data()?;
+        maybe_abort_for_drill();
+        Ok(())
+    }
+}
+
+/// Kill drill: with `CONPROBE_ABORT_AFTER_JOURNALED=N` in the
+/// environment, the process aborts (no unwinding, no destructors — the
+/// moral equivalent of SIGKILL) after the N-th successful journal append.
+/// CI's kill-and-resume smoke job uses this to prove that a campaign
+/// murdered mid-run resumes to byte-identical study output.
+fn maybe_abort_for_drill() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
+    static LIMIT: OnceLock<Option<u64>> = OnceLock::new();
+    let limit = *LIMIT.get_or_init(|| {
+        std::env::var("CONPROBE_ABORT_AFTER_JOURNALED").ok().and_then(|s| s.parse().ok())
+    });
+    if let Some(limit) = limit {
+        static APPENDS: AtomicU64 = AtomicU64::new(0);
+        if APPENDS.fetch_add(1, Ordering::Relaxed) + 1 >= limit {
+            eprintln!("journal: CONPROBE_ABORT_AFTER_JOURNALED={limit} reached; aborting");
+            std::process::abort();
+        }
+    }
+}
+
+fn record_json(
+    cell: &str,
+    instance: u32,
+    seed: u64,
+    status: &str,
+    extend: impl FnOnce(&mut Vec<(String, JsonValue)>),
+) -> String {
+    let mut members = vec![
+        ("cell".into(), JsonValue::Str(cell.to_string())),
+        ("instance".into(), instance.to_json()),
+        ("seed".into(), seed.to_json()),
+        ("status".into(), JsonValue::Str(status.to_string())),
+    ];
+    extend(&mut members);
+    JsonValue::Object(members).to_compact()
+}
+
+/// Parses the journal byte stream (exposed for byte-surgery tests).
+fn recover_bytes(bytes: &[u8]) -> Result<Recovery, JournalError> {
+    let mut raw: Vec<RecoveredRecord> = Vec::new();
+    let mut tail = None;
+    let mut valid_len = 0u64;
+    let mut offset = 0usize;
+    let mut index = 0usize;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        let line_end = rest.iter().position(|&b| b == b'\n');
+        let (line, consumed, complete) = match line_end {
+            Some(nl) => (&rest[..nl], nl + 1, true),
+            None => (rest, rest.len(), false),
+        };
+        let verdict = if complete {
+            parse_line(line)
+        } else {
+            Err("record truncated mid-line (no trailing newline)".to_string())
+        };
+        match verdict {
+            Ok(record) => {
+                raw.push(record);
+                valid_len = (offset + consumed) as u64;
+                index += 1;
+            }
+            Err(reason) => {
+                let last = offset + consumed >= bytes.len();
+                if last {
+                    tail = Some(TailLoss {
+                        offset: offset as u64,
+                        bytes: (bytes.len() - offset) as u64,
+                        reason,
+                    });
+                    break;
+                }
+                return Err(JournalError::CorruptMiddle {
+                    record: index,
+                    offset: offset as u64,
+                    reason,
+                });
+            }
+        }
+        offset += consumed;
+    }
+    // Last-writer-wins dedup on (cell, instance).
+    let total_records = raw.len();
+    let mut records: Vec<RecoveredRecord> = Vec::with_capacity(raw.len());
+    let mut duplicates = 0usize;
+    for record in raw {
+        if let Some(prev) = records
+            .iter_mut()
+            .find(|r| r.key.cell == record.key.cell && r.key.instance == record.key.instance)
+        {
+            *prev = record;
+            duplicates += 1;
+        } else {
+            records.push(record);
+        }
+    }
+    Ok(Recovery { records, total_records, duplicates, tail, valid_len })
+}
+
+/// Validates one complete line: frame, checksum, JSON, schema.
+fn parse_line(line: &[u8]) -> Result<RecoveredRecord, String> {
+    let text = std::str::from_utf8(line).map_err(|_| "record is not UTF-8".to_string())?;
+    let mut parts = text.splitn(4, ' ');
+    let magic = parts.next().unwrap_or("");
+    if magic != MAGIC {
+        return Err(format!("bad magic {magic:?} (expected {MAGIC:?})"));
+    }
+    let len: usize = parts
+        .next()
+        .ok_or("missing length field")?
+        .parse()
+        .map_err(|_| "unparsable length field".to_string())?;
+    let hash = u64::from_str_radix(parts.next().ok_or("missing checksum field")?, 16)
+        .map_err(|_| "unparsable checksum field".to_string())?;
+    let payload = parts.next().ok_or("missing payload")?;
+    if payload.len() != len {
+        return Err(format!("length mismatch: framed {len}, actual {}", payload.len()));
+    }
+    let actual = fnv64(payload.as_bytes());
+    if actual != hash {
+        return Err(format!("checksum mismatch: framed {hash:016x}, actual {actual:016x}"));
+    }
+    let doc = conprobe_json::parse(payload).map_err(|e| format!("payload JSON: {e}"))?;
+    let key = JournalKey {
+        cell: String::from_json(member(&doc, "cell").map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?,
+        instance: u32::from_json(member(&doc, "instance").map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?,
+        seed: u64::from_json(member(&doc, "seed").map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?,
+    };
+    let status = doc.get("status").and_then(JsonValue::as_str).unwrap_or("");
+    let entry = match status {
+        "completed" => {
+            RecoveredEntry::Completed(member(&doc, "result").map_err(|e| e.to_string())?.clone())
+        }
+        "crashed" => RecoveredEntry::Crashed {
+            panic: doc.get("panic").and_then(JsonValue::as_str).unwrap_or("").to_string(),
+        },
+        other => return Err(format!("unknown record status {other:?}")),
+    };
+    Ok(RecoveredRecord { key, entry })
+}
+
+// ---------------------------------------------------------------------------
+// TestResult (de)serialization
+// ---------------------------------------------------------------------------
+
+/// Stable CLI-style token for a service (`ServiceKind::name` contains
+/// spaces and unicode; records use the same tokens the CLI parses).
+pub fn service_token(service: ServiceKind) -> &'static str {
+    match service {
+        ServiceKind::Blogger => "blogger",
+        ServiceKind::GooglePlus => "gplus",
+        ServiceKind::FacebookFeed => "fbfeed",
+        ServiceKind::FacebookGroup => "fbgroup",
+    }
+}
+
+fn service_from_token(s: &str) -> Result<ServiceKind, JsonError> {
+    match s {
+        "blogger" => Ok(ServiceKind::Blogger),
+        "gplus" => Ok(ServiceKind::GooglePlus),
+        "fbfeed" => Ok(ServiceKind::FacebookFeed),
+        "fbgroup" => Ok(ServiceKind::FacebookGroup),
+        other => Err(JsonError::schema(format!("unknown service token {other:?}"))),
+    }
+}
+
+fn region_to_json(region: Region) -> JsonValue {
+    JsonValue::Str(region.short().into_owned())
+}
+
+fn region_from_json(v: &JsonValue) -> Result<Region, JsonError> {
+    let s = v.as_str().ok_or_else(|| JsonError::schema("expected region string"))?;
+    match s {
+        "OR" => Ok(Region::Oregon),
+        "JP" => Ok(Region::Tokyo),
+        "IR" => Ok(Region::Ireland),
+        "VA" => Ok(Region::Virginia),
+        other => match other.strip_prefix("DC").and_then(|n| n.parse().ok()) {
+            Some(n) => Ok(Region::Datacenter(n)),
+            None => Err(JsonError::schema(format!("unknown region {other:?}"))),
+        },
+    }
+}
+
+fn action_kind_to_json(kind: ServiceActionKind) -> JsonValue {
+    JsonValue::Str(match kind {
+        ServiceActionKind::Crash => "crash".to_string(),
+        ServiceActionKind::Recover => "recover".to_string(),
+        ServiceActionKind::BrownoutEnd => "brownout_end".to_string(),
+        ServiceActionKind::BrownoutStart(BrownoutMode::ThrottleStorm) => {
+            "brownout_throttle".to_string()
+        }
+        ServiceActionKind::BrownoutStart(BrownoutMode::Delay(d)) => {
+            format!("brownout_delay:{}", d.as_nanos())
+        }
+    })
+}
+
+fn action_kind_from_json(v: &JsonValue) -> Result<ServiceActionKind, JsonError> {
+    let s = v.as_str().ok_or_else(|| JsonError::schema("expected action string"))?;
+    match s {
+        "crash" => Ok(ServiceActionKind::Crash),
+        "recover" => Ok(ServiceActionKind::Recover),
+        "brownout_end" => Ok(ServiceActionKind::BrownoutEnd),
+        "brownout_throttle" => Ok(ServiceActionKind::BrownoutStart(BrownoutMode::ThrottleStorm)),
+        other => match other.strip_prefix("brownout_delay:").and_then(|n| n.parse().ok()) {
+            Some(nanos) => Ok(ServiceActionKind::BrownoutStart(BrownoutMode::Delay(
+                SimDuration::from_nanos(nanos),
+            ))),
+            None => Err(JsonError::schema(format!("unknown service action {other:?}"))),
+        },
+    }
+}
+
+fn ledger_to_json(ledger: &FaultLedger) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "net".into(),
+            JsonValue::Object(vec![
+                ("blocked".into(), ledger.net.blocked.to_json()),
+                ("dropped".into(), ledger.net.dropped.to_json()),
+                ("delayed".into(), ledger.net.delayed.to_json()),
+            ]),
+        ),
+        (
+            "actions".into(),
+            JsonValue::Array(
+                ledger
+                    .actions
+                    .iter()
+                    .map(|a| {
+                        JsonValue::Object(vec![
+                            ("at_nanos".into(), a.at.as_nanos().to_json()),
+                            ("target".into(), a.target.to_json()),
+                            ("action".into(), action_kind_to_json(a.action)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("skipped_actions".into(), ledger.skipped_actions.to_json()),
+        (
+            "agent_rpc".into(),
+            JsonValue::Array(
+                ledger
+                    .agent_rpc
+                    .iter()
+                    .map(|s| {
+                        JsonValue::Object(vec![
+                            ("retransmits".into(), s.retransmits.to_json()),
+                            ("abandoned".into(), s.abandoned.to_json()),
+                            ("throttled".into(), s.throttled.to_json()),
+                            ("max_throttle_streak".into(), s.max_throttle_streak.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn ledger_from_json(v: &JsonValue) -> Result<FaultLedger, JsonError> {
+    let net = member(v, "net")?;
+    let mut ledger = FaultLedger {
+        net: conprobe_sim::FaultNetStats {
+            blocked: u64::from_json(member(net, "blocked")?)?,
+            dropped: u64::from_json(member(net, "dropped")?)?,
+            delayed: u64::from_json(member(net, "delayed")?)?,
+        },
+        ..FaultLedger::default()
+    };
+    for a in member(v, "actions")?
+        .as_array()
+        .ok_or_else(|| JsonError::schema("actions must be an array"))?
+    {
+        ledger.actions.push(ExecutedAction {
+            at: SimTime::from_nanos(u64::from_json(member(a, "at_nanos")?)?),
+            target: usize::from_json(member(a, "target")?)?,
+            action: action_kind_from_json(member(a, "action")?)?,
+        });
+    }
+    ledger.skipped_actions = usize::from_json(member(v, "skipped_actions")?)?;
+    for s in member(v, "agent_rpc")?
+        .as_array()
+        .ok_or_else(|| JsonError::schema("agent_rpc must be an array"))?
+    {
+        ledger.agent_rpc.push(crate::agent::RpcStats {
+            retransmits: u64::from_json(member(s, "retransmits")?)?,
+            abandoned: u64::from_json(member(s, "abandoned")?)?,
+            throttled: u64::from_json(member(s, "throttled")?)?,
+            max_throttle_streak: u32::from_json(member(s, "max_throttle_streak")?)?,
+        });
+    }
+    Ok(ledger)
+}
+
+fn health_to_json(health: &AgentHealth) -> JsonValue {
+    JsonValue::Object(vec![
+        ("agent_index".into(), health.agent_index.to_json()),
+        ("heartbeats".into(), health.heartbeats.to_json()),
+        ("quarantined".into(), health.quarantined.to_json()),
+        ("log_collected".into(), health.log_collected.to_json()),
+    ])
+}
+
+fn health_from_json(v: &JsonValue) -> Result<AgentHealth, JsonError> {
+    Ok(AgentHealth {
+        agent_index: u32::from_json(member(v, "agent_index")?)?,
+        heartbeats: u64::from_json(member(v, "heartbeats")?)?,
+        quarantined: bool::from_json(member(v, "quarantined")?)?,
+        log_collected: bool::from_json(member(v, "log_collected")?)?,
+    })
+}
+
+/// Serializes a [`TestResult`] as a journal `result` object. The analysis
+/// and the white-box report are intentionally omitted (see the module
+/// docs).
+pub fn result_to_json(result: &TestResult) -> JsonValue {
+    JsonValue::Object(vec![
+        ("trace".into(), ToJson::to_json(&result.trace)),
+        ("completed".into(), result.completed.to_json()),
+        ("reads_per_agent".into(), result.reads_per_agent.to_json()),
+        ("writes_total".into(), result.writes_total.to_json()),
+        ("duration_secs".into(), result.duration_secs.to_json()),
+        ("partitioned".into(), result.partitioned.to_json()),
+        ("clock_error_nanos".into(), result.clock_error_nanos.to_json()),
+        ("clock_uncertainty_nanos".into(), result.clock_uncertainty_nanos.to_json()),
+        (
+            "agent_regions".into(),
+            JsonValue::Array(result.agent_regions.iter().map(|r| region_to_json(*r)).collect()),
+        ),
+        ("fault_ledger".into(), ledger_to_json(&result.fault_ledger)),
+        (
+            "agent_health".into(),
+            JsonValue::Array(result.agent_health.iter().map(health_to_json).collect()),
+        ),
+        ("salvaged".into(), result.salvaged.to_json()),
+        ("seed".into(), result.seed.to_json()),
+        ("sim_events".into(), result.sim_events.to_json()),
+        ("service".into(), JsonValue::Str(service_token(result.service).to_string())),
+        (
+            "agent_entries".into(),
+            JsonValue::Array(result.agent_entries.iter().map(|n| n.0.to_json()).collect()),
+        ),
+    ])
+}
+
+/// Rebuilds a [`TestResult`] from a journal `result` object, recomputing
+/// the analysis with the checker configuration `config` implies — the
+/// determinism-of-resume guarantee rests on `analyze` being a pure
+/// function of `(trace, checker config)`.
+///
+/// # Errors
+///
+/// Returns a schema [`JsonError`] when the payload has the wrong shape.
+pub fn result_from_json(config: &TestConfig, v: &JsonValue) -> Result<TestResult, JsonError> {
+    let trace: TestTrace<PostId> = FromJson::from_json(member(v, "trace")?)?;
+    let analysis = analyze(&trace, &checker_config_for(config));
+    let regions = member(v, "agent_regions")?
+        .as_array()
+        .ok_or_else(|| JsonError::schema("agent_regions must be an array"))?
+        .iter()
+        .map(region_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    let health = member(v, "agent_health")?
+        .as_array()
+        .ok_or_else(|| JsonError::schema("agent_health must be an array"))?
+        .iter()
+        .map(health_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    let entries = member(v, "agent_entries")?
+        .as_array()
+        .ok_or_else(|| JsonError::schema("agent_entries must be an array"))?
+        .iter()
+        .map(|n| usize::from_json(n).map(NodeId))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(TestResult {
+        analysis,
+        completed: bool::from_json(member(v, "completed")?)?,
+        reads_per_agent: Vec::from_json(member(v, "reads_per_agent")?)?,
+        writes_total: u32::from_json(member(v, "writes_total")?)?,
+        duration_secs: f64::from_json(member(v, "duration_secs")?)?,
+        partitioned: bool::from_json(member(v, "partitioned")?)?,
+        clock_error_nanos: Vec::from_json(member(v, "clock_error_nanos")?)?,
+        clock_uncertainty_nanos: Vec::from_json(member(v, "clock_uncertainty_nanos")?)?,
+        agent_regions: regions,
+        whitebox: None,
+        fault_ledger: ledger_from_json(member(v, "fault_ledger")?)?,
+        agent_health: health,
+        salvaged: bool::from_json(member(v, "salvaged")?)?,
+        seed: u64::from_json(member(v, "seed")?)?,
+        sim_events: u64::from_json(member(v, "sim_events")?)?,
+        service: service_from_token(
+            member(v, "service")?.as_str().ok_or_else(|| JsonError::schema("service string"))?,
+        )?,
+        agent_entries: entries,
+        trace,
+    })
+}
+
+/// Stable cell identifier for a (service, test-kind) campaign cell.
+pub fn cell_id(service: ServiceKind, kind: crate::proto::TestKind) -> String {
+    let kind = match kind {
+        crate::proto::TestKind::Test1 => "test1",
+        crate::proto::TestKind::Test2 => "test2",
+    };
+    format!("{}/{kind}", service_token(service))
+}
+
+// ---------------------------------------------------------------------------
+// Inspection
+// ---------------------------------------------------------------------------
+
+/// Per-cell completion summary for `conprobe journal inspect`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSummary {
+    /// Cell identifier.
+    pub cell: String,
+    /// Completed instances recorded.
+    pub completed: usize,
+    /// Quarantined crashes recorded.
+    pub crashed: usize,
+    /// Highest instance index seen (completion is dense 0..=max when no
+    /// instance is missing).
+    pub max_instance: u32,
+}
+
+/// Groups a recovery into per-cell summaries (sorted by cell id).
+pub fn summarize(recovery: &Recovery) -> Vec<CellSummary> {
+    let mut by_cell: BTreeMap<&str, CellSummary> = BTreeMap::new();
+    for record in &recovery.records {
+        let entry = by_cell.entry(&record.key.cell).or_insert_with(|| CellSummary {
+            cell: record.key.cell.clone(),
+            completed: 0,
+            crashed: 0,
+            max_instance: 0,
+        });
+        match record.entry {
+            RecoveredEntry::Completed(_) => entry.completed += 1,
+            RecoveredEntry::Crashed { .. } => entry.crashed += 1,
+        }
+        entry.max_instance = entry.max_instance.max(record.key.instance);
+    }
+    by_cell.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::TestKind;
+    use crate::runner::run_one_test;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SERIAL: AtomicU64 = AtomicU64::new(0);
+        let n = SERIAL.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir()
+            .join(format!("conprobe-journal-{tag}-{}-{n}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn completed_record_round_trips_with_recomputed_analysis() {
+        let config = TestConfig::paper(ServiceKind::Blogger, TestKind::Test2);
+        let result = run_one_test(&config, 11);
+        let payload = result_to_json(&result);
+        let back = result_from_json(&config, &payload).expect("round trip");
+        assert_eq!(back.trace, result.trace);
+        assert_eq!(back.completed, result.completed);
+        assert_eq!(back.reads_per_agent, result.reads_per_agent);
+        assert_eq!(back.duration_secs, result.duration_secs);
+        assert_eq!(back.clock_error_nanos, result.clock_error_nanos);
+        assert_eq!(back.agent_regions, result.agent_regions);
+        assert_eq!(back.agent_entries, result.agent_entries);
+        assert_eq!(back.seed, result.seed);
+        assert_eq!(back.sim_events, result.sim_events);
+        assert_eq!(back.service, result.service);
+        // The recomputed analysis is byte-identical at the observation
+        // level (pure function of trace + config).
+        assert_eq!(back.analysis.observations, result.analysis.observations);
+        assert_eq!(back.analysis.content_windows, result.analysis.content_windows);
+        assert_eq!(back.analysis.order_windows, result.analysis.order_windows);
+        // And a second serialization is a fixpoint.
+        assert_eq!(result_to_json(&back).to_compact(), payload.to_compact());
+    }
+
+    #[test]
+    fn ledger_and_actions_round_trip() {
+        use conprobe_sim::FaultNetStats;
+        let ledger = FaultLedger {
+            net: FaultNetStats { blocked: 3, dropped: 1, delayed: 7 },
+            actions: vec![
+                ExecutedAction {
+                    at: SimTime::from_nanos(5),
+                    target: 1,
+                    action: ServiceActionKind::Crash,
+                },
+                ExecutedAction {
+                    at: SimTime::from_nanos(9),
+                    target: 0,
+                    action: ServiceActionKind::BrownoutStart(BrownoutMode::Delay(
+                        SimDuration::from_millis(20),
+                    )),
+                },
+                ExecutedAction {
+                    at: SimTime::from_nanos(11),
+                    target: 0,
+                    action: ServiceActionKind::BrownoutEnd,
+                },
+            ],
+            skipped_actions: 2,
+            agent_rpc: vec![crate::agent::RpcStats {
+                retransmits: 4,
+                abandoned: 1,
+                throttled: 9,
+                max_throttle_streak: 3,
+            }],
+        };
+        let back = ledger_from_json(&ledger_to_json(&ledger)).unwrap();
+        assert_eq!(back.net, ledger.net);
+        assert_eq!(back.actions, ledger.actions);
+        assert_eq!(back.skipped_actions, ledger.skipped_actions);
+        assert_eq!(back.agent_rpc, ledger.agent_rpc);
+    }
+
+    #[test]
+    fn empty_journal_recovers_to_nothing() {
+        let path = temp_path("empty");
+        std::fs::write(&path, b"").unwrap();
+        let r = Journal::recover(&path).unwrap();
+        assert!(r.records.is_empty());
+        assert_eq!(r.total_records, 0);
+        assert!(r.tail.is_none());
+        assert_eq!(r.valid_len, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_journal_is_an_io_error_not_a_panic() {
+        let err = Journal::recover(temp_path("missing")).unwrap_err();
+        assert!(matches!(err, JournalError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn tail_truncated_at_every_byte_boundary_recovers_the_prefix() {
+        let path = temp_path("trunc");
+        let journal = Journal::create(&path).unwrap();
+        journal.append_crashed("cell/a", 0, 100, "first").unwrap();
+        journal.append_crashed("cell/a", 1, 101, "second").unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let clean = recover_bytes(&full).unwrap();
+        assert_eq!(clean.records.len(), 2);
+        assert!(clean.tail.is_none());
+        let first_len = clean.records_boundary(&full);
+        // Cut the file anywhere inside the second record (from losing
+        // just the newline to losing all but one byte).
+        for cut in first_len + 1..full.len() {
+            let r = recover_bytes(&full[..cut])
+                .unwrap_or_else(|e| panic!("cut at {cut}/{} must recover, got {e}", full.len()));
+            assert_eq!(r.records.len(), 1, "cut at {cut}");
+            assert_eq!(r.records[0].key.instance, 0);
+            assert_eq!(r.valid_len, first_len as u64, "cut at {cut}");
+            let tail = r.tail.expect("truncation must be diagnosed");
+            assert_eq!(tail.offset, first_len as u64);
+            assert_eq!(tail.bytes as usize, cut - first_len);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    impl Recovery {
+        /// Test helper: byte offset after the first record line.
+        fn records_boundary(&self, bytes: &[u8]) -> usize {
+            bytes.iter().position(|&b| b == b'\n').unwrap() + 1
+        }
+    }
+
+    #[test]
+    fn checksum_flip_in_middle_record_is_rejected_with_clear_error() {
+        let path = temp_path("flip");
+        let journal = Journal::create(&path).unwrap();
+        journal.append_crashed("cell/a", 0, 100, "first").unwrap();
+        journal.append_crashed("cell/a", 1, 101, "second").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte inside the *first* record.
+        let payload_pos = bytes.iter().position(|&b| b == b'{').unwrap();
+        bytes[payload_pos + 10] ^= 0x01;
+        let err = recover_bytes(&bytes).unwrap_err();
+        match err {
+            JournalError::CorruptMiddle { record, offset, ref reason } => {
+                assert_eq!(record, 0);
+                assert_eq!(offset, 0);
+                assert!(reason.contains("checksum") || reason.contains("JSON"), "{reason}");
+            }
+            other => panic!("expected CorruptMiddle, got {other}"),
+        }
+        assert!(err.to_string().contains("refusing to resume"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checksum_flip_in_tail_record_is_dropped_with_report() {
+        let path = temp_path("tailflip");
+        let journal = Journal::create(&path).unwrap();
+        journal.append_crashed("cell/a", 0, 100, "first").unwrap();
+        journal.append_crashed("cell/a", 1, 101, "second").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 3; // inside the final record's payload
+        bytes[last] ^= 0x01;
+        let r = recover_bytes(&bytes).unwrap();
+        assert_eq!(r.records.len(), 1);
+        let tail = r.tail.expect("corrupt tail must be diagnosed");
+        assert!(
+            tail.reason.contains("checksum") || tail.reason.contains("JSON"),
+            "{}",
+            tail.reason
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_keys_resolve_last_writer_wins() {
+        let path = temp_path("dup");
+        let journal = Journal::create(&path).unwrap();
+        journal.append_crashed("cell/a", 0, 100, "first attempt").unwrap();
+        journal.append_crashed("cell/b", 0, 100, "other cell").unwrap();
+        journal.append_crashed("cell/a", 0, 100, "second attempt").unwrap();
+        let r = Journal::recover(&path).unwrap();
+        assert_eq!(r.total_records, 3);
+        assert_eq!(r.duplicates, 1);
+        assert_eq!(r.records.len(), 2);
+        let winner =
+            r.records.iter().find(|rec| rec.key.cell == "cell/a").expect("cell/a survives");
+        assert_eq!(winner.entry, RecoveredEntry::Crashed { panic: "second attempt".into() });
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_truncates_damaged_tail_and_appends_cleanly() {
+        let path = temp_path("resume");
+        let journal = Journal::create(&path).unwrap();
+        journal.append_crashed("cell/a", 0, 100, "first").unwrap();
+        journal.append_crashed("cell/a", 1, 101, "second").unwrap();
+        drop(journal);
+        // Simulate a crash mid-write: lop 7 bytes off the tail.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let (journal, recovery) = Journal::resume(&path).unwrap();
+        assert_eq!(recovery.records.len(), 1);
+        assert!(recovery.tail.is_some());
+        journal.append_crashed("cell/a", 1, 101, "rewritten").unwrap();
+        drop(journal);
+        let r = Journal::recover(&path).unwrap();
+        assert!(r.tail.is_none(), "resume must have truncated the damage");
+        assert_eq!(r.records.len(), 2);
+        assert_eq!(r.records[1].entry, RecoveredEntry::Crashed { panic: "rewritten".into() });
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn summarize_groups_by_cell() {
+        let path = temp_path("summary");
+        let journal = Journal::create(&path).unwrap();
+        journal.append_crashed("blogger/test1", 3, 1, "boom").unwrap();
+        journal.append_crashed("gplus/test2", 0, 2, "bang").unwrap();
+        journal.append_crashed("blogger/test1", 1, 3, "pow").unwrap();
+        let r = Journal::recover(&path).unwrap();
+        let cells = summarize(&r);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].cell, "blogger/test1");
+        assert_eq!(cells[0].crashed, 2);
+        assert_eq!(cells[0].max_instance, 3);
+        assert_eq!(cells[1].cell, "gplus/test2");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn region_and_action_tokens_round_trip() {
+        for region in [
+            Region::Oregon,
+            Region::Tokyo,
+            Region::Ireland,
+            Region::Virginia,
+            Region::Datacenter(4),
+        ] {
+            assert_eq!(region_from_json(&region_to_json(region)).unwrap(), region);
+        }
+        assert!(region_from_json(&JsonValue::Str("XX".into())).is_err());
+        for service in ServiceKind::ALL {
+            assert_eq!(service_from_token(service_token(service)).unwrap(), service);
+        }
+    }
+}

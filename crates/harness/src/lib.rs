@@ -55,6 +55,7 @@ pub mod campaign;
 pub mod clocksync;
 pub mod coordinator;
 pub mod figures;
+pub mod journal;
 pub mod proto;
 pub mod report;
 pub mod runner;
@@ -65,5 +66,6 @@ pub mod whitebox;
 pub use agent::RpcStats;
 pub use campaign::{run_campaign, run_campaign_with_progress, CampaignConfig, CampaignResult};
 pub use coordinator::AgentHealth;
+pub use journal::{Journal, JournalError, Recovery};
 pub use proto::{HarnessMsg, Msg, TestKind};
 pub use runner::{run_one_test, TestConfig, TestResult};

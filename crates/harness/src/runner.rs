@@ -152,6 +152,22 @@ impl TestConfig {
     }
 }
 
+/// The checker configuration [`run_one_test`] analyzes a test of this
+/// configuration with. Exposed so journal recovery
+/// ([`crate::journal`]) can re-derive a byte-identical
+/// [`TestAnalysis`] from a persisted trace: the analysis is a pure
+/// function of `(trace, checker config)`, so it is *recomputed* on
+/// resume rather than serialized.
+pub fn checker_config_for(config: &TestConfig) -> CheckerConfig<PostId> {
+    match config.kind {
+        TestKind::Test1 => CheckerConfig {
+            wfr_mode: WfrMode::TriggerPairs(test1_trigger_pairs(config.agent_regions.len() as u32)),
+            compute_windows: true,
+        },
+        TestKind::Test2 => CheckerConfig::default(),
+    }
+}
+
 /// Everything a test's fault plan did to the run: network interference
 /// counters, the executed service transitions, and how hard each agent's
 /// RPC layer had to work to get through.
@@ -346,14 +362,7 @@ pub fn run_one_test(config: &TestConfig, seed: u64) -> TestResult {
         clock_uncertainty.push(outcome.deltas[i].uncertainty_nanos);
     }
 
-    let checker_config = match config.kind {
-        TestKind::Test1 => CheckerConfig {
-            wfr_mode: WfrMode::TriggerPairs(test1_trigger_pairs(agents.len() as u32)),
-            compute_windows: true,
-        },
-        TestKind::Test2 => CheckerConfig::default(),
-    };
-    let analysis = analyze(&outcome.trace, &checker_config);
+    let analysis = analyze(&outcome.trace, &checker_config_for(config));
 
     let reads_per_agent = (0..n_agents)
         .map(|i| outcome.trace.reads_by(conprobe_core::AgentId(i)).len() as u32)

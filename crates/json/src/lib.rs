@@ -738,6 +738,67 @@ mod tests {
         assert!(parse(&deep).is_err());
     }
 
+    /// A tiny deterministic LCG so the fuzz corpus is reproducible
+    /// without any wall-clock or OS entropy.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 >> 16
+        }
+    }
+
+    /// Corrupt/adversarial input must yield `Err`, never a panic or a
+    /// stack overflow. This is the journal's trust boundary: recovery
+    /// feeds disk bytes of unknown provenance straight into `parse`.
+    #[test]
+    fn parse_never_panics_on_arbitrary_input() {
+        let mut rng = Lcg(0x5EED);
+        // Alphabet biased toward JSON structure so inputs get deep into
+        // the parser instead of failing on the first byte.
+        let alphabet: &[u8] = br#"{}[]",:.0123456789-+eE\truefalsn ulx"#;
+        for len in 0..200usize {
+            let s: String = (0..len)
+                .map(|_| alphabet[(rng.next() as usize) % alphabet.len()] as char)
+                .collect();
+            let _ = parse(&s); // must return, Ok or Err
+        }
+        // Raw high-byte / invalid-UTF-8-adjacent content via char soup.
+        for _ in 0..500 {
+            let len = (rng.next() % 64) as usize;
+            let s: String = (0..len)
+                .map(|_| char::from_u32((rng.next() % 0xD7FF) as u32).unwrap_or('\u{FFFD}'))
+                .collect();
+            let _ = parse(&s);
+        }
+    }
+
+    /// Every prefix of a valid document — a torn write, exactly what a
+    /// crashed journal append leaves behind — parses or errors cleanly,
+    /// and so does the document with any single byte flipped.
+    #[test]
+    fn parse_never_panics_on_truncated_or_mutated_valid_documents() {
+        let doc = r#"{"cell":"blogger/test1","instance":3,"seed":1844674407370955,
+            "status":"completed","result":{"trace":[{"agent":0,"op":"w","at":-1.5e3,
+            "key":[1,2],"vals":["a","b",null,true,false]}],"nested":{"deep":[[[{"x":1}]]]}}}"#;
+        assert!(parse(doc).is_ok());
+        for cut in 0..doc.len() {
+            if let Some(prefix) = doc.get(..cut) {
+                let _ = parse(prefix);
+            }
+        }
+        let bytes = doc.as_bytes();
+        for i in 0..bytes.len() {
+            for flip in [0x01u8, 0x80] {
+                let mut mutated = bytes.to_vec();
+                mutated[i] ^= flip;
+                if let Ok(s) = std::str::from_utf8(&mutated) {
+                    let _ = parse(s);
+                }
+            }
+        }
+    }
+
     #[test]
     fn accessors() {
         let v = parse(r#"{"n":3,"s":"x","b":false,"a":[1,2]}"#).unwrap();

@@ -317,15 +317,19 @@ pub enum Severity {
     Info,
     /// Degraded operation: drops, retries, quarantines, brownouts.
     Warn,
+    /// A failure of the prober itself: a panicking campaign worker,
+    /// an unrecoverable journal write error.
+    Error,
 }
 
 impl Severity {
-    /// Parses "debug" / "info" / "warn" (case-insensitive).
+    /// Parses "debug" / "info" / "warn" / "error" (case-insensitive).
     pub fn parse(s: &str) -> Option<Severity> {
         match s.to_ascii_lowercase().as_str() {
             "debug" => Some(Severity::Debug),
             "info" => Some(Severity::Info),
             "warn" | "warning" => Some(Severity::Warn),
+            "error" => Some(Severity::Error),
             _ => None,
         }
     }
@@ -337,6 +341,7 @@ impl fmt::Display for Severity {
             Severity::Debug => "DEBUG",
             Severity::Info => "INFO",
             Severity::Warn => "WARN",
+            Severity::Error => "ERROR",
         })
     }
 }

@@ -244,6 +244,41 @@ pub fn bench_metrics_overhead(scale: BenchScale) -> (f64, f64, String) {
     (off, on, sink.metrics.to_json().to_pretty())
 }
 
+/// Measures the durable journal's cost on the campaign cell: one run with
+/// no journal, one appending every result (checksummed frame + fsync per
+/// record) to a scratch journal. Returns `(tests/sec off, tests/sec on)`
+/// — the price of crash-safety, which BENCH_repro.json tracks so a
+/// regression in the fsync'd append path is visible in-repo.
+pub fn bench_journal_overhead(scale: BenchScale) -> (f64, f64) {
+    let run = |journal: Option<&conprobe_harness::Journal>| {
+        let config = bench_campaign_config(scale.campaign_tests);
+        let start = Instant::now();
+        let result = conprobe_harness::campaign::run_campaign_journaled(
+            &config,
+            None,
+            "bench/gplus/test2",
+            journal,
+            None,
+        );
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(result.results.len(), scale.campaign_tests as usize);
+        assert!(result.crashed.is_empty());
+        scale.campaign_tests as f64 / elapsed
+    };
+    let off = run(None);
+    let path =
+        std::env::temp_dir().join(format!("conprobe-bench-journal-{}.jsonl", std::process::id()));
+    let journal = conprobe_harness::Journal::create(&path).expect("scratch journal");
+    let on = run(Some(&journal));
+    // The journaled run must have produced a cleanly recoverable file.
+    drop(journal);
+    let recovery = conprobe_harness::Journal::recover(&path).expect("bench journal recovers");
+    assert_eq!(recovery.records.len(), scale.campaign_tests as usize);
+    assert!(recovery.tail.is_none());
+    std::fs::remove_file(&path).ok();
+    (off, on)
+}
+
 /// The campaign cell the bench times: Google+ Test 2 with a read-heavy
 /// schedule (the regime where snapshot reads and trace analysis dominate —
 /// exactly the load full-scale 1,000-instance cells would sustain).
@@ -284,8 +319,14 @@ pub fn run_suite(scale: BenchScale) -> BenchNumbers {
 }
 
 /// Serializes a bench run (with the embedded baseline and speedup ratios)
-/// as the pretty-printed `BENCH_repro.json` document.
-pub fn report_json(mode: &str, current: BenchNumbers) -> String {
+/// as the pretty-printed `BENCH_repro.json` document. `journal_overhead`
+/// is the [`bench_journal_overhead`] pair `(tests/sec off, tests/sec on)`
+/// when that stage ran.
+pub fn report_json(
+    mode: &str,
+    current: BenchNumbers,
+    journal_overhead: Option<(f64, f64)>,
+) -> String {
     use conprobe_json::JsonValue;
     let numbers = |n: &BenchNumbers| {
         JsonValue::Object(vec![
@@ -354,7 +395,21 @@ pub fn report_json(mode: &str, current: BenchNumbers) -> String {
             ]),
         ),
     ]);
-    doc.to_pretty()
+    let JsonValue::Object(mut members) = doc else { unreachable!() };
+    if let Some((off, on)) = journal_overhead {
+        members.push((
+            "journal_overhead".into(),
+            JsonValue::Object(vec![
+                ("campaign_tests_per_sec_off".into(), JsonValue::Float(round2(off))),
+                ("campaign_tests_per_sec_on".into(), JsonValue::Float(round2(on))),
+                (
+                    "overhead_pct".into(),
+                    JsonValue::Float(round2((off / on.max(1e-9) - 1.0) * 100.0)),
+                ),
+            ]),
+        ));
+    }
+    JsonValue::Object(members).to_pretty()
 }
 
 fn round2(x: f64) -> f64 {
@@ -552,11 +607,18 @@ mod tests {
             snapshot_reads_per_sec: 9000.0,
             visibility_records_per_sec: 4000.0,
         };
-        let doc = conprobe_json::parse(&report_json("smoke", numbers)).expect("valid JSON");
+        let doc = conprobe_json::parse(&report_json("smoke", numbers, Some((2.0, 1.9))))
+            .expect("valid JSON");
         assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("conprobe-bench/1"));
         let current = doc.get("current").expect("current block");
         assert_eq!(current.get("checker_ops_per_sec").and_then(|v| v.as_f64()), Some(1000.0));
         assert!(doc.get("speedup").is_some());
         assert!(doc.get("baseline").and_then(|b| b.get("numbers")).is_some());
+        let jo = doc.get("journal_overhead").expect("journal overhead block");
+        assert_eq!(jo.get("campaign_tests_per_sec_off").and_then(|v| v.as_f64()), Some(2.0));
+        assert!(jo.get("overhead_pct").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        // Without the stage, the block is absent (schema stays stable).
+        let bare = conprobe_json::parse(&report_json("smoke", numbers, None)).unwrap();
+        assert!(bare.get("journal_overhead").is_none());
     }
 }

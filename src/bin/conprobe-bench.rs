@@ -11,7 +11,9 @@
 //! baseline and the speedup ratios. A metrics-overhead stage runs the
 //! campaign cell with the observability layer off and on, and dumps the
 //! instrumented run's registry to `--metrics-out` (default
-//! `metrics.json`). `--mode smoke` runs the same workloads at small
+//! `metrics.json`); a journal-overhead stage does the same with the
+//! crash-safe campaign journal (fsync'd append per finished test) off
+//! and on. `--mode smoke` runs the same workloads at small
 //! iteration counts for CI; `--golden` skips timing entirely and prints
 //! the golden-seed fingerprints used by `tests/determinism_golden.rs`
 //! (add `--with-metrics` to print the instrumented fingerprints instead —
@@ -110,7 +112,13 @@ fn main() -> ExitCode {
          ({:.1}% overhead)",
         (obs_off / obs_on.max(1e-9) - 1.0) * 100.0
     );
-    if let Err(e) = std::fs::write(&args.metrics_out, &metrics_json) {
+    let (journal_off, journal_on) = bench::bench_journal_overhead(scale);
+    eprintln!(
+        "journal overhead: {journal_off:.2} tests/sec off, {journal_on:.2} tests/sec on \
+         ({:.1}% overhead)",
+        (journal_off / journal_on.max(1e-9) - 1.0) * 100.0
+    );
+    if let Err(e) = conprobe::fsio::write_atomic(&args.metrics_out, &metrics_json) {
         eprintln!("cannot write {}: {e}", args.metrics_out);
         return ExitCode::FAILURE;
     }
@@ -123,8 +131,8 @@ fn main() -> ExitCode {
         snapshot_reads_per_sec: snapshot_reads,
         visibility_records_per_sec: visibility_records,
     };
-    let json = bench::report_json(&args.mode, numbers);
-    if let Err(e) = std::fs::write(&args.out, &json) {
+    let json = bench::report_json(&args.mode, numbers, Some((journal_off, journal_on)));
+    if let Err(e) = conprobe::fsio::write_atomic(&args.out, &json) {
         eprintln!("cannot write {}: {e}", args.out);
         return ExitCode::FAILURE;
     }

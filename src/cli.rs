@@ -6,6 +6,7 @@
 
 use conprobe_core::checkers::WfrMode;
 use conprobe_core::{analyze, timeline, AnomalyKind, CheckerConfig, TestTrace, Verdict};
+use conprobe_harness::journal::{self, Journal, Recovery};
 use conprobe_harness::proto::{test1_trigger_pairs, TestKind};
 use conprobe_harness::runner::{run_one_test, TestConfig};
 use conprobe_harness::stats;
@@ -58,6 +59,10 @@ pub enum Command {
         seed: u64,
         /// Dump the metrics registry as JSON to this path.
         metrics_out: Option<String>,
+        /// Journal every finished instance to this path (fresh journal).
+        journal_out: Option<String>,
+        /// Resume from (and keep appending to) this journal.
+        resume: Option<String>,
     },
     /// Sweep fault-plan intensity levels against one service and report
     /// how the measurement degrades.
@@ -72,6 +77,10 @@ pub enum Command {
         levels: u32,
         /// Dump the metrics registry as JSON to this path.
         metrics_out: Option<String>,
+        /// Journal every finished level to this path (fresh journal).
+        journal_out: Option<String>,
+        /// Resume from (and keep appending to) this journal.
+        resume: Option<String>,
     },
     /// Replay one test with the structured event log on, printing the
     /// sim-time-stamped events to stderr and a summary to stdout.
@@ -98,6 +107,16 @@ pub enum Command {
         seed: u64,
         /// Dump the metrics registry as JSON to this path.
         metrics_out: Option<String>,
+        /// Journal every finished instance to this path (fresh journal).
+        journal_out: Option<String>,
+        /// Resume from (and keep appending to) this journal.
+        resume: Option<String>,
+    },
+    /// Inspect a campaign journal: record counts, per-cell completion,
+    /// corrupt-tail diagnostics.
+    JournalInspect {
+        /// Path to the journal file.
+        path: String,
     },
     /// List the available service models.
     Services,
@@ -125,12 +144,14 @@ USAGE:
                [--whitebox] [--timeline] [--json FILE] [--metrics FILE]
   conprobe analyze <trace.json> [--test1]
   conprobe campaign --service <svc> [--test 1|2] [--tests N] [--seed N]
-               [--metrics FILE]
+               [--metrics FILE] [--journal FILE | --resume FILE]
   conprobe chaos --service <svc> [--test 1|2] [--seed N] [--levels N]
-               [--metrics FILE]
+               [--metrics FILE] [--journal FILE | --resume FILE]
   conprobe trace --service <svc> [--test 1|2] [--seed N]
-               [--level debug|info|warn] [--target PREFIX] [--cap N]
+               [--level debug|info|warn|error] [--target PREFIX] [--cap N]
   conprobe repro [--tests N] [--seed N] [--metrics FILE]
+               [--journal FILE | --resume FILE]
+  conprobe journal inspect <journal.jsonl>
   conprobe services
   conprobe help
 
@@ -141,6 +162,12 @@ USAGE:
   `trace` prints the structured event log to stderr, one line per event,
   stamped with simulated time. Observability never perturbs the
   simulation: the same seed yields the same trace with it on or off.
+
+  --journal appends one checksummed, fsync'd record per finished test to
+  FILE as the campaign runs; --resume recovers FILE (tolerating a
+  truncated tail from a crash), re-runs only the missing instances, and
+  keeps journaling to the same file. A resumed campaign produces
+  byte-identical output to an uninterrupted one with the same seed.
 ";
 
 fn parse_service(s: &str) -> Result<ServiceKind, CliError> {
@@ -166,7 +193,8 @@ fn parse_level(s: &str) -> Result<Severity, CliError> {
         "debug" => Ok(Severity::Debug),
         "info" => Ok(Severity::Info),
         "warn" => Ok(Severity::Warn),
-        other => Err(CliError(format!("unknown level '{other}' (use debug|info|warn)"))),
+        "error" => Ok(Severity::Error),
+        other => Err(CliError(format!("unknown level '{other}' (use debug|info|warn|error)"))),
     }
 }
 
@@ -186,6 +214,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut show_timeline = false;
     let mut json_out = None;
     let mut metrics_out = None;
+    let mut journal_out = None;
+    let mut resume = None;
     let mut level = Severity::Info;
     let mut target = None;
     let mut cap = 10_000usize;
@@ -234,6 +264,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 metrics_out =
                     Some(it.next().ok_or(CliError("--metrics needs a path".into()))?.to_string())
             }
+            "--journal" => {
+                journal_out =
+                    Some(it.next().ok_or(CliError("--journal needs a path".into()))?.to_string())
+            }
+            "--resume" => {
+                resume =
+                    Some(it.next().ok_or(CliError("--resume needs a path".into()))?.to_string())
+            }
             "--level" => {
                 level = parse_level(it.next().ok_or(CliError("--level needs a value".into()))?)?
             }
@@ -253,6 +291,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             other => positional.push(other.to_string()),
         }
+    }
+    if journal_out.is_some() && resume.is_some() {
+        return Err(CliError(
+            "--journal starts a fresh journal and --resume continues one; pass exactly one".into(),
+        ));
     }
     match cmd {
         "run" => Ok(Command::Run {
@@ -278,6 +321,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             tests,
             seed,
             metrics_out,
+            journal_out,
+            resume,
         }),
         "chaos" => Ok(Command::Chaos {
             service: service.ok_or(CliError("chaos requires --service".into()))?,
@@ -285,6 +330,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             seed,
             levels,
             metrics_out,
+            journal_out,
+            resume,
         }),
         "trace" => Ok(Command::Trace {
             service: service.ok_or(CliError("trace requires --service".into()))?,
@@ -294,7 +341,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             target,
             cap,
         }),
-        "repro" => Ok(Command::Repro { tests, seed, metrics_out }),
+        "repro" => Ok(Command::Repro { tests, seed, metrics_out, journal_out, resume }),
+        "journal" => match positional.first().map(String::as_str) {
+            Some("inspect") => Ok(Command::JournalInspect {
+                path: positional
+                    .get(1)
+                    .cloned()
+                    .ok_or(CliError("journal inspect requires a journal path".into()))?,
+            }),
+            _ => Err(CliError("usage: conprobe journal inspect <journal.jsonl>".into())),
+        },
         "services" => Ok(Command::Services),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(CliError(format!("unknown command '{other}'"))),
@@ -393,9 +449,58 @@ fn metrics_sink() -> ObsSink {
 /// Writes the sink's registry dump to `path` and notes it in `out`.
 fn write_metrics(sink: &ObsSink, path: &str, out: &mut String) -> Result<(), CliError> {
     let json = sink.metrics.to_json().to_pretty();
-    std::fs::write(path, json).map_err(|e| CliError(format!("write {path}: {e}")))?;
+    crate::fsio::write_atomic(path, json).map_err(|e| CliError(format!("write {path}: {e}")))?;
     let _ = writeln!(out, "metrics written to {path}");
     Ok(())
+}
+
+/// Opens the journal implied by `--journal` (fresh) or `--resume`
+/// (recover + continue). Recovery diagnostics go to stderr so stdout
+/// stays byte-comparable between resumed and uninterrupted runs.
+fn open_journal(
+    journal_out: &Option<String>,
+    resume: &Option<String>,
+) -> Result<(Option<Journal>, Option<Recovery>), CliError> {
+    match (journal_out, resume) {
+        (None, None) => Ok((None, None)),
+        (Some(path), None) => {
+            let j = Journal::create(path).map_err(|e| CliError(format!("journal {path}: {e}")))?;
+            Ok((Some(j), None))
+        }
+        (_, Some(path)) => {
+            let (j, r) =
+                Journal::resume(path).map_err(|e| CliError(format!("resume {path}: {e}")))?;
+            if let Some(tail) = &r.tail {
+                eprintln!("journal {path}: {tail}");
+            }
+            if r.duplicates > 0 {
+                eprintln!("journal {path}: {} superseded duplicate record(s)", r.duplicates);
+            }
+            eprintln!("journal {path}: recovered {} record(s); continuing", r.records.len());
+            Ok((Some(j), Some(r)))
+        }
+    }
+}
+
+/// Test hook shared with CI's kill-and-resume drill:
+/// `CONPROBE_INJECT_PANIC=i,j,…` makes the campaign workers for those
+/// instance indices panic (each is quarantined, not fatal).
+fn injected_panics() -> Vec<u32> {
+    std::env::var("CONPROBE_INJECT_PANIC")
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .unwrap_or_default()
+}
+
+/// Appends quarantine lines for crashed instances (stdout — a campaign
+/// with quarantined tests must say so in its report).
+fn report_crashed(out: &mut String, crashed: &[conprobe_harness::campaign::CrashedInstance]) {
+    for c in crashed {
+        let _ = writeln!(
+            out,
+            "  QUARANTINED instance {} (seed {:#x}): worker panicked: {}",
+            c.index, c.seed, c.panic
+        );
+    }
 }
 
 /// Executes a command, returning the text to print.
@@ -453,7 +558,8 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             }
             if let Some(path) = json_out {
                 let json = ToJson::to_json(&r.trace).to_pretty();
-                std::fs::write(&path, json).map_err(|e| CliError(format!("write {path}: {e}")))?;
+                crate::fsio::write_atomic(&path, json)
+                    .map_err(|e| CliError(format!("write {path}: {e}")))?;
                 let _ = writeln!(out, "trace written to {path}");
             }
             if let (Some(sink), Some(path)) = (&sink, &metrics_out) {
@@ -479,14 +585,37 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             let _ = writeln!(out, "analyzed {path}:");
             report_analysis(&mut out, &analysis, &trace, true);
         }
-        Command::Chaos { service, kind, seed, levels, metrics_out } => {
+        Command::Chaos { service, kind, seed, levels, metrics_out, journal_out, resume } => {
             let _ = writeln!(out, "{service} {kind} chaos sweep (seed {seed}):");
             let sink = metrics_out.as_ref().map(|_| metrics_sink());
+            let (journal_file, recovery) = open_journal(&journal_out, &resume)?;
+            let cell = format!("chaos/{}", journal::cell_id(service, kind));
+            let recovered = recovery.as_ref().map(|r| r.completed_for(&cell)).unwrap_or_default();
             for level in 0..=levels {
                 let mut config = TestConfig::paper(service, kind);
                 config.fault_plan = chaos_plan(level, seed);
                 config.obs = sink.clone();
-                let r = run_one_test(&config, seed);
+                // The sweep's journal keys each level as an instance; a
+                // recovered level is spliced only when its seed matches.
+                let spliced = recovered
+                    .get(&level)
+                    .filter(|(rseed, _)| *rseed == seed)
+                    .and_then(|(_, payload)| journal::result_from_json(&config, payload).ok());
+                let r = match spliced {
+                    Some(r) => {
+                        eprintln!("  level {level} spliced from the journal");
+                        r
+                    }
+                    None => {
+                        let r = run_one_test(&config, seed);
+                        if let Some(j) = &journal_file {
+                            if let Err(e) = j.append_completed(&cell, level, seed, &r) {
+                                eprintln!("journal: append failed for {cell} level {level}: {e}");
+                            }
+                        }
+                        r
+                    }
+                };
                 let ledger = &r.fault_ledger;
                 let rpc: u64 = ledger.agent_rpc.iter().map(|s| s.retransmits).sum();
                 let anomalies: usize = AnomalyKind::ALL.iter().map(|k| r.analysis.count(*k)).sum();
@@ -514,11 +643,13 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 write_metrics(sink, path, &mut out)?;
             }
         }
-        Command::Campaign { service, kind, tests, seed, metrics_out } => {
+        Command::Campaign { service, kind, tests, seed, metrics_out, journal_out, resume } => {
             let mut config =
                 conprobe_harness::CampaignConfig::paper(service, kind, tests).with_seed(seed);
             let sink = metrics_out.as_ref().map(|_| metrics_sink());
             config.test.obs = sink.clone();
+            config.inject_panic = injected_panics();
+            let (journal_file, recovery) = open_journal(&journal_out, &resume)?;
             // Progress to stderr (stdout carries the report): completed
             // count and instantaneous throughput, overwritten in place.
             let started = std::time::Instant::now();
@@ -529,7 +660,17 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                     eprintln!();
                 }
             };
-            let result = conprobe_harness::run_campaign_with_progress(&config, Some(&progress));
+            let cell = journal::cell_id(service, kind);
+            let result = conprobe_harness::campaign::run_campaign_journaled(
+                &config,
+                Some(&progress),
+                &cell,
+                journal_file.as_ref(),
+                recovery.as_ref(),
+            );
+            if result.resumed > 0 {
+                eprintln!("  {} instance(s) spliced from the journal", result.resumed);
+            }
             let _ = writeln!(
                 out,
                 "{service} {kind} × {tests}: {}/{} completed, {} reads, {} writes",
@@ -538,6 +679,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 result.total_reads(),
                 result.total_writes()
             );
+            report_crashed(&mut out, &result.crashed);
             for kind in AnomalyKind::ALL {
                 let p = stats::prevalence(&result.results, kind);
                 if p > 0.0 {
@@ -573,8 +715,10 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             );
             report_analysis(&mut out, &r.analysis, &r.trace, false);
         }
-        Command::Repro { tests, seed, metrics_out } => {
+        Command::Repro { tests, seed, metrics_out, journal_out, resume } => {
             let sink = metrics_out.as_ref().map(|_| metrics_sink());
+            let (journal_file, recovery) = open_journal(&journal_out, &resume)?;
+            let inject = injected_panics();
             let _ = writeln!(out, "mini-study: {tests} instance(s) per cell (seed {seed})");
             let _ = writeln!(
                 out,
@@ -588,7 +732,21 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                     let mut config = conprobe_harness::CampaignConfig::paper(service, kind, tests);
                     config.seed ^= seed;
                     config.test.obs = sink.clone();
-                    let result = conprobe_harness::run_campaign(&config);
+                    config.inject_panic = inject.clone();
+                    let cell = journal::cell_id(service, kind);
+                    let result = conprobe_harness::campaign::run_campaign_journaled(
+                        &config,
+                        None,
+                        &cell,
+                        journal_file.as_ref(),
+                        recovery.as_ref(),
+                    );
+                    if result.resumed > 0 {
+                        eprintln!(
+                            "  {cell}: {} instance(s) spliced from the journal",
+                            result.resumed
+                        );
+                    }
                     let _ = writeln!(
                         out,
                         "  {:<10} {:<6} {:>6}/{:<3} {:>8} {:>8}",
@@ -599,6 +757,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                         result.total_reads(),
                         result.total_writes()
                     );
+                    report_crashed(&mut out, &result.crashed);
                     rows.extend(result.results);
                 }
                 all.push((service, rows));
@@ -621,6 +780,36 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             }
             if let (Some(sink), Some(path)) = (&sink, &metrics_out) {
                 write_metrics(sink, path, &mut out)?;
+            }
+        }
+        Command::JournalInspect { path } => {
+            let recovery = Journal::recover(&path).map_err(|e| CliError(format!("{path}: {e}")))?;
+            let _ = writeln!(
+                out,
+                "{path}: {} record(s), {} superseded duplicate(s)",
+                recovery.total_records, recovery.duplicates
+            );
+            match &recovery.tail {
+                Some(t) => {
+                    let _ = writeln!(out, "  tail: {t}");
+                }
+                None => {
+                    let _ = writeln!(out, "  tail: clean");
+                }
+            }
+            for cell in journal::summarize(&recovery) {
+                let _ = writeln!(
+                    out,
+                    "  {:<20} {} completed, {} crashed (max instance {})",
+                    cell.cell, cell.completed, cell.crashed, cell.max_instance
+                );
+            }
+            for (key, panic) in recovery.crashed() {
+                let _ = writeln!(
+                    out,
+                    "  crashed: {} instance {} (seed {:#x}): {panic}",
+                    key.cell, key.instance, key.seed
+                );
             }
         }
     }
@@ -810,6 +999,8 @@ mod tests {
                 seed: 3,
                 levels: 1,
                 metrics_out: None,
+                journal_out: None,
+                resume: None,
             }
         );
         let out = execute(cmd).unwrap();

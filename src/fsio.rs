@@ -1,0 +1,85 @@
+//! Crash-safe file output.
+//!
+//! Every file conprobe produces (trace JSON, metrics dumps, bench
+//! reports) is written through [`write_atomic`]: the bytes land in a
+//! temporary sibling first and only an atomic rename publishes them, so a
+//! crash mid-write can never leave a half-written JSON file where a
+//! report used to be — the same discipline the campaign journal applies
+//! to its records.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically: write + fsync a temporary
+/// sibling, then rename it over `path`. On any error the temporary file
+/// is removed, leaving `path` untouched (either its old content or
+/// absent — never a torn write).
+pub fn write_atomic(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other(format!("{} has no file name", path.display())))?;
+    let tmp =
+        path.with_file_name(format!(".{}.tmp-{}", file_name.to_string_lossy(), std::process::id()));
+    let attempt = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_ref())?;
+        f.sync_data()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if attempt.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    attempt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = std::env::temp_dir().join("conprobe-fsio-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("out-{}.json", std::process::id()));
+        write_atomic(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        // No temp droppings.
+        let strays: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(strays.is_empty(), "{strays:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_cleans_up_the_temp_file_and_preserves_the_target() {
+        let dir = std::env::temp_dir().join("conprobe-fsio-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join(format!("kept-{}.json", std::process::id()));
+        write_atomic(&target, "precious").unwrap();
+        // Renaming a file over a *directory* fails after the temp file is
+        // already written — the error path must clean it up.
+        let as_dir = dir.join(format!("blocked-{}", std::process::id()));
+        std::fs::create_dir_all(&as_dir).unwrap();
+        assert!(write_atomic(&as_dir, "doomed").is_err());
+        let strays: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(strays.is_empty(), "temp must be removed on error: {strays:?}");
+        assert_eq!(std::fs::read_to_string(&target).unwrap(), "precious");
+        std::fs::remove_file(&target).ok();
+        std::fs::remove_dir(&as_dir).ok();
+    }
+
+    #[test]
+    fn rejects_pathless_targets() {
+        assert!(write_atomic("/", "x").is_err());
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod bench;
 pub mod cli;
+pub mod fsio;
 
 pub use conprobe_core as core;
 pub use conprobe_harness as harness;
