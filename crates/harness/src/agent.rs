@@ -26,6 +26,7 @@
 //! anomalies client-side.
 
 use crate::proto::{test1_post, AgentTestPlan, HarnessMsg, LocalOpRecord, Msg, TestKind};
+use crate::transport::{SimRpc, Transport};
 use conprobe_core::trace::OpKind;
 use conprobe_services::{ClientOp, NetMsg, OpResult};
 use conprobe_session::{GuardConfig, IssueOrder, SessionGuard};
@@ -156,6 +157,11 @@ pub struct AgentNode {
     guard: Option<SessionGuard<PostId, PostIdOrder>>,
     use_guard: bool,
     obs: Option<AgentObs>,
+    /// Where requests go. Installed on `Start` (aimed at the plan's
+    /// service front door); every transmission — first sends and
+    /// retransmits alike — flows through this seam, so the sim and wire
+    /// paths share the agent's entire retry/backoff/logging machinery.
+    transport: Option<Box<dyn Transport>>,
 }
 
 impl AgentNode {
@@ -183,6 +189,7 @@ impl AgentNode {
             guard: None,
             use_guard,
             obs: None,
+            transport: None,
         }
     }
 
@@ -228,13 +235,18 @@ impl AgentNode {
         }
     }
 
+    /// The installed transport. Like [`Self::plan`], only valid once a
+    /// `Start` has arrived — which is the only path that issues requests.
+    fn transport(&mut self) -> &mut dyn Transport {
+        self.transport.as_deref_mut().expect("agent issued a request before receiving a plan")
+    }
+
     fn issue(&mut self, ctx: &mut Context<'_, Msg>, op: ClientOp, kind: PendingOp) {
         let req_id = self.next_req;
         self.next_req += 1;
         self.pending
             .insert(req_id, Pending { invoke: ctx.now_local(), kind, op: op.clone(), attempts: 1 });
-        let entry = self.plan().service_entry;
-        ctx.send(entry, NetMsg::Request { req_id, op });
+        self.transport().send_request(ctx, req_id, op);
         let delay = self.retry_delay(ctx, 1);
         ctx.set_timer(delay, TOKEN_RETRY | req_id);
     }
@@ -296,8 +308,7 @@ impl AgentNode {
                 if let Some(obs) = &self.obs {
                     obs.retransmits.inc();
                 }
-                let entry = self.plan().service_entry;
-                ctx.send(entry, NetMsg::Request { req_id, op });
+                self.transport().send_request(ctx, req_id, op);
                 let delay = self.retry_delay(ctx, attempts);
                 ctx.set_timer(delay, TOKEN_RETRY | req_id);
             }
@@ -417,6 +428,7 @@ impl Node<Msg> for AgentNode {
                 self.guard =
                     self.use_guard.then(|| SessionGuard::new(GuardConfig::default(), PostIdOrder));
                 debug_assert_eq!(plan.agent_index, self.agent_index, "plan routed to wrong agent");
+                self.transport = Some(Box::new(SimRpc::new(plan.service_entry)));
                 let now = ctx.now_local();
                 let wait = plan.start_at_local.delta_nanos(now).max(0) as u64;
                 self.plan = Some(*plan);

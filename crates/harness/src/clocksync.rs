@@ -29,6 +29,15 @@ impl ProbeSample {
 
     /// The single-probe delta estimate: agent reading minus the
     /// coordinator's midpoint time (assumes symmetric one-way delays).
+    ///
+    /// **Error bound.** If the true one-way delays are `d_req` (probe out)
+    /// and `d_resp` (reply back), the estimate's error is exactly
+    /// `(d_req − d_resp) / 2` — half the delay *asymmetry* — and therefore
+    /// at most `RTT / 2` in magnitude, which is why the paper reports half
+    /// the RTT as the uncertainty. A perfectly symmetric path gives zero
+    /// error regardless of how slow it is. The property test
+    /// `asymmetry_error_is_exactly_half_the_delay_imbalance` exercises
+    /// this bound across a seeded sweep of delay splits and true deltas.
     pub fn delta_nanos(&self) -> i64 {
         let midpoint = self.sent.as_nanos() + self.rtt_nanos() / 2;
         self.agent_reading.as_nanos() - midpoint
@@ -127,5 +136,43 @@ mod tests {
     #[should_panic(expected = "zero probes")]
     fn estimate_requires_samples() {
         let _ = estimate(&[]);
+    }
+
+    /// Property test for the documented asymmetry bound: for *any* true
+    /// delta, send time, and request/response delay split, the estimation
+    /// error is exactly `(d_resp − d_req) / 2` (up to integer-division
+    /// rounding) and never exceeds half the RTT. Deterministic LCG sweep
+    /// so the corpus is reproducible.
+    #[test]
+    fn asymmetry_error_is_exactly_half_the_delay_imbalance() {
+        let mut state: u64 = 0x9e3779b97f4a7c15;
+        let mut next = move |bound: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % bound
+        };
+        for _ in 0..2_000 {
+            let sent_nanos = next(3_600_000_000_000) as i64 - 1_800_000_000_000;
+            let d_req = next(500_000_000) as i64 + 1; // 1 ns ‥ 500 ms out
+            let d_resp = next(500_000_000) as i64 + 1; // 1 ns ‥ 500 ms back
+            let true_delta = next(20_000_000_000) as i64 - 10_000_000_000; // ±10 s
+            let reading = sent_nanos + d_req + true_delta;
+            let p = ProbeSample {
+                sent: LocalTime::from_nanos(sent_nanos),
+                received: LocalTime::from_nanos(sent_nanos + d_req + d_resp),
+                agent_reading: LocalTime::from_nanos(reading),
+            };
+            let err = p.delta_nanos() - true_delta;
+            let expected = (d_req - d_resp) / 2;
+            // Integer midpoint division may shave one nanosecond.
+            assert!(
+                (err - expected).abs() <= 1,
+                "error {err} != (d_req−d_resp)/2 = {expected} (d_req={d_req}, d_resp={d_resp})"
+            );
+            assert!(
+                err.abs() <= p.rtt_nanos() / 2 + 1,
+                "error {err} exceeds half RTT {}",
+                p.rtt_nanos() / 2
+            );
+        }
     }
 }

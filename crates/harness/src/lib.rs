@@ -61,6 +61,7 @@ pub mod report;
 pub mod runner;
 pub mod schedule;
 pub mod stats;
+pub mod transport;
 pub mod whitebox;
 
 pub use agent::RpcStats;
@@ -69,3 +70,4 @@ pub use coordinator::AgentHealth;
 pub use journal::{Journal, JournalError, Recovery};
 pub use proto::{HarnessMsg, Msg, TestKind};
 pub use runner::{run_one_test, TestConfig, TestResult};
+pub use transport::{EndpointError, ServiceEndpoint, SimRpc, Transport};

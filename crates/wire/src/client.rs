@@ -1,0 +1,146 @@
+//! The TCP client side of `cpw1` — a blocking
+//! [`ServiceEndpoint`](conprobe_harness::transport::ServiceEndpoint).
+//!
+//! This is the live counterpart of the harness's in-sim
+//! [`SimRpc`](conprobe_harness::transport::SimRpc): the probe agents and
+//! the load generator are written against the `ServiceEndpoint` trait and
+//! never see a socket, so the sim and live measurement paths share one
+//! agent logic with only the transport swapped.
+
+use crate::frame::{decode, Frame, PROTO_VERSION};
+use conprobe_harness::transport::{EndpointError, ServiceEndpoint};
+use conprobe_services::{ClientOp, OpResult};
+use conprobe_store::PostId;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn io_err(context: &str, e: std::io::Error) -> EndpointError {
+    EndpointError(format!("{context}: {e}"))
+}
+
+/// A connected `cpw1` client.
+///
+/// One request is in flight at a time (the protocol has no correlation
+/// ids; ordering on the TCP stream is the correlation). The constructor
+/// performs the `hello` handshake and verifies the minor protocol
+/// version, so a connected client is always version-compatible.
+pub struct WireClient {
+    stream: TcpStream,
+    /// Undecoded bytes read off the socket.
+    buf: Vec<u8>,
+    service: String,
+    last_server_clock_nanos: i64,
+}
+
+impl WireClient {
+    /// Connects, handshakes, and verifies protocol versions. `timeout`
+    /// bounds the connect and every subsequent read.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> Result<Self, EndpointError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)
+            .map_err(|e| io_err(&format!("connect {addr}"), e))?;
+        stream.set_nodelay(true).map_err(|e| io_err("set_nodelay", e))?;
+        stream.set_read_timeout(Some(timeout)).map_err(|e| io_err("set_read_timeout", e))?;
+        let mut client = WireClient {
+            stream,
+            buf: Vec::new(),
+            service: String::new(),
+            last_server_clock_nanos: 0,
+        };
+        let clock = client.hello()?;
+        client.last_server_clock_nanos = clock;
+        Ok(client)
+    }
+
+    /// The journal-style token of the service the server hosts
+    /// (`blogger`, `gplus`, …), learned during the handshake.
+    pub fn service(&self) -> &str {
+        &self.service
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), EndpointError> {
+        self.stream.write_all(&frame.encode()).map_err(|e| io_err("send frame", e))
+    }
+
+    fn recv(&mut self) -> Result<Frame, EndpointError> {
+        let mut scratch = [0u8; 64 * 1024];
+        loop {
+            match decode(&self.buf).map_err(|e| EndpointError(format!("wire decode: {e}")))? {
+                Some((frame, consumed)) => {
+                    self.buf.drain(..consumed);
+                    return Ok(frame);
+                }
+                None => match self.stream.read(&mut scratch) {
+                    Ok(0) => return Err(EndpointError("server closed the connection".into())),
+                    Ok(n) => self.buf.extend_from_slice(&scratch[..n]),
+                    Err(e) => return Err(io_err("read", e)),
+                },
+            }
+        }
+    }
+
+    fn roundtrip(&mut self, frame: Frame) -> Result<Frame, EndpointError> {
+        self.send(&frame)?;
+        self.recv()
+    }
+
+    /// One `hello` round trip: returns the server's clock reading
+    /// (nanoseconds on its monotonic timeline) and refreshes the cached
+    /// service token. This is the Cristian probe primitive: wrap the call
+    /// between two local clock readings to form a
+    /// [`ProbeSample`](conprobe_harness::clocksync::ProbeSample).
+    pub fn hello(&mut self) -> Result<i64, EndpointError> {
+        match self.roundtrip(Frame::Hello { proto: PROTO_VERSION })? {
+            Frame::HelloAck { proto, server_clock_nanos, service } => {
+                if proto != PROTO_VERSION {
+                    return Err(EndpointError(format!(
+                        "protocol version mismatch: client {PROTO_VERSION}, server {proto}"
+                    )));
+                }
+                self.service = service;
+                self.last_server_clock_nanos = server_clock_nanos;
+                Ok(server_clock_nanos)
+            }
+            other => Err(EndpointError(format!("expected hello_ack, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to begin a graceful drain; returns once the server
+    /// acknowledged.
+    pub fn stop_server(&mut self) -> Result<(), EndpointError> {
+        match self.roundtrip(Frame::Stop)? {
+            Frame::StopAck => Ok(()),
+            other => Err(EndpointError(format!("expected stop_ack, got {other:?}"))),
+        }
+    }
+}
+
+impl ServiceEndpoint for WireClient {
+    fn call(&mut self, op: ClientOp) -> Result<OpResult, EndpointError> {
+        let request = match op {
+            ClientOp::Write(post) => Frame::Write {
+                author: post.id.author.0,
+                seq: post.id.seq,
+                client_ts_nanos: post.client_ts.as_nanos(),
+                content: post.content,
+            },
+            ClientOp::Read => Frame::Read,
+            ClientOp::Inspect => {
+                // Replica introspection is a white-box, sim-only facility.
+                return Err(EndpointError("inspect is not part of the wire protocol".into()));
+            }
+        };
+        match self.roundtrip(request)? {
+            Frame::WriteAck { id } => Ok(OpResult::WriteAck(PostId::from_u64(id))),
+            Frame::ReadOk { ids } => {
+                Ok(OpResult::ReadOk(ids.into_iter().map(PostId::from_u64).collect()))
+            }
+            Frame::Throttled => Ok(OpResult::Throttled),
+            other => Err(EndpointError(format!("unexpected response frame {other:?}"))),
+        }
+    }
+
+    fn server_clock(&mut self) -> Result<i64, EndpointError> {
+        self.hello()
+    }
+}

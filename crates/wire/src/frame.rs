@@ -1,0 +1,489 @@
+//! The `cpw1` wire protocol: length-prefixed, FNV-checksummed binary
+//! frames over TCP.
+//!
+//! Every frame is
+//!
+//! ```text
+//! magic  4 bytes  b"cpw1"            (protocol + major version)
+//! kind   1 byte   message discriminant
+//! len    4 bytes  payload length, little-endian u32
+//! sum    8 bytes  FNV-1a 64 of the payload, little-endian
+//! payload len bytes
+//! ```
+//!
+//! and the decoder is *incremental*: fed any byte prefix it either yields
+//! a complete frame and the bytes consumed, asks for more input, or
+//! rejects the stream — it never panics and never allocates for a frame
+//! it has already decided to reject (the length field is validated
+//! against [`MAX_PAYLOAD`] and each kind's own size contract *before* any
+//! payload handling). Same discipline as `conprobe-json`'s parser, same
+//! fuzz-style test corpus.
+//!
+//! Protocol evolution: the magic carries the major version (`cpw1`); the
+//! `hello`/`hello_ack` exchange carries a minor [`PROTO_VERSION`] so
+//! compatible revisions can negotiate without re-framing.
+
+use std::fmt;
+
+/// Frame magic: protocol name + major version.
+pub const MAGIC: [u8; 4] = *b"cpw1";
+
+/// Minor protocol version carried in `hello`/`hello_ack`.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Frame header size: magic + kind + len + checksum.
+pub const HEADER_LEN: usize = 4 + 1 + 4 + 8;
+
+/// Hard cap on payload size. A read of every post a 3-agent campaign can
+/// produce fits in a few kilobytes; a megabyte means a corrupt or hostile
+/// length field, and is rejected before any allocation.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// FNV-1a 64-bit — the same checksum the campaign journal uses.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+const KIND_HELLO: u8 = 0;
+const KIND_HELLO_ACK: u8 = 1;
+const KIND_WRITE: u8 = 2;
+const KIND_WRITE_ACK: u8 = 3;
+const KIND_READ: u8 = 4;
+const KIND_READ_OK: u8 = 5;
+const KIND_THROTTLED: u8 = 6;
+const KIND_STOP: u8 = 7;
+const KIND_STOP_ACK: u8 = 8;
+
+/// One `cpw1` message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → server greeting; doubles as the Cristian clock probe.
+    Hello {
+        /// The client's minor protocol version.
+        proto: u16,
+    },
+    /// Server → client: version, hosted service token, and the server's
+    /// clock reading (nanoseconds on the server's monotonic timeline) at
+    /// the moment the hello was handled — the `agent_reading` of a
+    /// [`ProbeSample`](conprobe_harness::clocksync::ProbeSample).
+    HelloAck {
+        /// The server's minor protocol version.
+        proto: u16,
+        /// Nanoseconds on the server's monotonic clock.
+        server_clock_nanos: i64,
+        /// Journal-style token of the hosted service (e.g. `blogger`).
+        service: String,
+    },
+    /// Client → server: create a post.
+    Write {
+        /// Writing author (agent) id.
+        author: u32,
+        /// Author-local sequence number.
+        seq: u32,
+        /// The client's local timestamp for the post.
+        client_ts_nanos: i64,
+        /// Post body.
+        content: String,
+    },
+    /// Server → client: the write was accepted; echoes the packed
+    /// [`PostId`](conprobe_store::PostId).
+    WriteAck {
+        /// `PostId::as_u64()` of the created post.
+        id: u64,
+    },
+    /// Client → server: read the feed.
+    Read,
+    /// Server → client: the feed, as packed post ids in feed order.
+    ReadOk {
+        /// `PostId::as_u64()` for each post, in returned order.
+        ids: Vec<u64>,
+    },
+    /// Server → client: rejected by the rate limiter.
+    Throttled,
+    /// Client → server: begin a graceful drain of the whole server.
+    Stop,
+    /// Server → client: drain initiated.
+    StopAck,
+}
+
+/// A rejected byte stream. One variant per way a frame can be malformed;
+/// incomplete input is *not* an error (the decoder returns `Ok(None)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream does not begin with the `cpw1` magic.
+    BadMagic,
+    /// Unknown message discriminant.
+    UnknownKind(u8),
+    /// Length field exceeds [`MAX_PAYLOAD`] (rejected before allocation).
+    Oversized(u32),
+    /// Length field contradicts the kind's payload contract.
+    BadLength {
+        /// The offending frame kind.
+        kind: u8,
+        /// The declared payload length.
+        len: u32,
+    },
+    /// Payload checksum mismatch.
+    BadChecksum,
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "stream does not start with the cpw1 magic"),
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::Oversized(len) => {
+                write!(f, "payload length {len} exceeds the {MAX_PAYLOAD}-byte cap")
+            }
+            WireError::BadLength { kind, len } => {
+                write!(f, "payload length {len} is invalid for frame kind {kind}")
+            }
+            WireError::BadChecksum => write!(f, "payload checksum mismatch"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl Frame {
+    fn kind_byte(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => KIND_HELLO,
+            Frame::HelloAck { .. } => KIND_HELLO_ACK,
+            Frame::Write { .. } => KIND_WRITE,
+            Frame::WriteAck { .. } => KIND_WRITE_ACK,
+            Frame::Read => KIND_READ,
+            Frame::ReadOk { .. } => KIND_READ_OK,
+            Frame::Throttled => KIND_THROTTLED,
+            Frame::Stop => KIND_STOP,
+            Frame::StopAck => KIND_STOP_ACK,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        match self {
+            Frame::Hello { proto } => proto.to_le_bytes().to_vec(),
+            Frame::HelloAck { proto, server_clock_nanos, service } => {
+                let mut p = Vec::with_capacity(10 + service.len());
+                p.extend_from_slice(&proto.to_le_bytes());
+                p.extend_from_slice(&server_clock_nanos.to_le_bytes());
+                p.extend_from_slice(service.as_bytes());
+                p
+            }
+            Frame::Write { author, seq, client_ts_nanos, content } => {
+                let mut p = Vec::with_capacity(16 + content.len());
+                p.extend_from_slice(&author.to_le_bytes());
+                p.extend_from_slice(&seq.to_le_bytes());
+                p.extend_from_slice(&client_ts_nanos.to_le_bytes());
+                p.extend_from_slice(content.as_bytes());
+                p
+            }
+            Frame::WriteAck { id } => id.to_le_bytes().to_vec(),
+            Frame::Read | Frame::Throttled | Frame::Stop | Frame::StopAck => Vec::new(),
+            Frame::ReadOk { ids } => {
+                let mut p = Vec::with_capacity(8 * ids.len());
+                for id in ids {
+                    p.extend_from_slice(&id.to_le_bytes());
+                }
+                p
+            }
+        }
+    }
+
+    /// Encodes the frame into a self-contained byte string.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.payload();
+        debug_assert!(payload.len() <= MAX_PAYLOAD, "outbound frame exceeds the payload cap");
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(self.kind_byte());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&fnv64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+/// Validates a declared payload length against the kind's contract,
+/// *before* the payload bytes are read or buffered.
+fn check_length(kind: u8, len: u32) -> Result<(), WireError> {
+    let ok = match kind {
+        KIND_HELLO => len == 2,
+        KIND_HELLO_ACK => len >= 10,
+        KIND_WRITE => len >= 16,
+        KIND_WRITE_ACK => len == 8,
+        KIND_READ | KIND_THROTTLED | KIND_STOP | KIND_STOP_ACK => len == 0,
+        KIND_READ_OK => len.is_multiple_of(8),
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(WireError::BadLength { kind, len })
+    }
+}
+
+fn le_u16(b: &[u8]) -> u16 {
+    u16::from_le_bytes([b[0], b[1]])
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+fn le_i64(b: &[u8]) -> i64 {
+    le_u64(b) as i64
+}
+
+/// Incrementally decodes the front of `buf`.
+///
+/// * `Ok(Some((frame, consumed)))` — a complete frame; drop `consumed`
+///   bytes and call again for the next one.
+/// * `Ok(None)` — `buf` is a (possibly empty) prefix of a well-formed
+///   frame; read more bytes.
+/// * `Err(_)` — the stream is corrupt at the front; the connection should
+///   be dropped.
+///
+/// Never panics on any input (see the fuzz tests), and rejects oversized
+/// or contract-violating length fields from the 9-byte header alone —
+/// before buffering, allocating for, or checksumming any payload.
+pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+    // Validate the magic on however much of it has arrived, so garbage is
+    // rejected at the first byte rather than after a 17-byte read.
+    let magic_avail = buf.len().min(4);
+    if buf[..magic_avail] != MAGIC[..magic_avail] {
+        return Err(WireError::BadMagic);
+    }
+    if buf.len() >= 5 {
+        // Kind and (once present) length are validated as soon as their
+        // bytes arrive; an oversized frame never gets to buffer a payload.
+        let kind = buf[4];
+        if !(KIND_HELLO..=KIND_STOP_ACK).contains(&kind) {
+            return Err(WireError::UnknownKind(kind));
+        }
+        if buf.len() < 9 {
+            return Ok(None);
+        }
+        let len = le_u32(&buf[5..9]);
+        if len as usize > MAX_PAYLOAD {
+            return Err(WireError::Oversized(len));
+        }
+        check_length(kind, len)?;
+        let total = HEADER_LEN + len as usize;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let sum = le_u64(&buf[9..17]);
+        let payload = &buf[17..total];
+        if fnv64(payload) != sum {
+            return Err(WireError::BadChecksum);
+        }
+        let frame = match kind {
+            KIND_HELLO => Frame::Hello { proto: le_u16(payload) },
+            KIND_HELLO_ACK => Frame::HelloAck {
+                proto: le_u16(&payload[..2]),
+                server_clock_nanos: le_i64(&payload[2..10]),
+                service: std::str::from_utf8(&payload[10..])
+                    .map_err(|_| WireError::BadUtf8)?
+                    .to_owned(),
+            },
+            KIND_WRITE => Frame::Write {
+                author: le_u32(&payload[..4]),
+                seq: le_u32(&payload[4..8]),
+                client_ts_nanos: le_i64(&payload[8..16]),
+                content: std::str::from_utf8(&payload[16..])
+                    .map_err(|_| WireError::BadUtf8)?
+                    .to_owned(),
+            },
+            KIND_WRITE_ACK => Frame::WriteAck { id: le_u64(payload) },
+            KIND_READ => Frame::Read,
+            KIND_READ_OK => Frame::ReadOk { ids: payload.chunks_exact(8).map(le_u64).collect() },
+            KIND_THROTTLED => Frame::Throttled,
+            KIND_STOP => Frame::Stop,
+            KIND_STOP_ACK => Frame::StopAck,
+            _ => unreachable!("check_length vetted the kind"),
+        };
+        return Ok(Some((frame, total)));
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Frame> {
+        vec![
+            Frame::Hello { proto: PROTO_VERSION },
+            Frame::HelloAck {
+                proto: PROTO_VERSION,
+                server_clock_nanos: -42,
+                service: "blogger".into(),
+            },
+            Frame::HelloAck { proto: 9, server_clock_nanos: i64::MAX, service: String::new() },
+            Frame::Write { author: 2, seq: 1, client_ts_nanos: 5_000_000, content: "post".into() },
+            Frame::Write {
+                author: 0,
+                seq: u32::MAX,
+                client_ts_nanos: i64::MIN,
+                content: "".into(),
+            },
+            Frame::WriteAck { id: 0x0000_0002_0000_0001 },
+            Frame::Read,
+            Frame::ReadOk { ids: vec![] },
+            Frame::ReadOk { ids: vec![1, u64::MAX, 0x1234_5678_9abc_def0] },
+            Frame::Throttled,
+            Frame::Stop,
+            Frame::StopAck,
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_frame_kind() {
+        for frame in corpus() {
+            let bytes = frame.encode();
+            let (decoded, consumed) = decode(&bytes).unwrap().expect("complete frame");
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(decoded, frame, "round-trip mismatch");
+        }
+    }
+
+    #[test]
+    fn decodes_back_to_back_frames_from_one_buffer() {
+        let mut stream = Vec::new();
+        for frame in corpus() {
+            stream.extend_from_slice(&frame.encode());
+        }
+        let mut offset = 0;
+        let mut decoded = Vec::new();
+        while let Some((frame, consumed)) = decode(&stream[offset..]).unwrap() {
+            decoded.push(frame);
+            offset += consumed;
+        }
+        assert_eq!(offset, stream.len());
+        assert_eq!(decoded, corpus());
+    }
+
+    #[test]
+    fn every_prefix_of_a_valid_frame_asks_for_more_input() {
+        for frame in corpus() {
+            let bytes = frame.encode();
+            for cut in 0..bytes.len() {
+                match decode(&bytes[..cut]) {
+                    Ok(None) => {}
+                    other => panic!(
+                        "prefix {cut}/{} of {frame:?} should want more input, got {other:?}",
+                        bytes.len()
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_byte_mutations_never_panic_and_never_misparse_silently() {
+        for frame in corpus() {
+            let bytes = frame.encode();
+            for pos in 0..bytes.len() {
+                for flip in [0x01u8, 0x80, 0xff] {
+                    let mut mutated = bytes.clone();
+                    mutated[pos] ^= flip;
+                    // Must not panic; and when a frame *is* produced it
+                    // must be internally consistent (checksummed payload).
+                    if let Ok(Some((decoded, consumed))) = decode(&mutated) {
+                        assert!(consumed <= mutated.len());
+                        let reencoded = decoded.encode();
+                        let (again, _) = decode(&reencoded).unwrap().expect("re-decode");
+                        assert_eq!(again, decoded);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic() {
+        // Deterministic LCG, same idiom as conprobe-json's fuzz corpus.
+        let mut state: u64 = 0x1234_5678_9abc_def0;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        };
+        for _ in 0..2_000 {
+            let len = usize::from(next()) % 64;
+            let mut bytes: Vec<u8> = (0..len).map(|_| next()).collect();
+            let _ = decode(&bytes);
+            // Also with a valid magic stapled on, to reach the deeper
+            // header/payload paths.
+            let mut with_magic = MAGIC.to_vec();
+            with_magic.append(&mut bytes);
+            let _ = decode(&with_magic);
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_from_the_header_alone() {
+        // Header declares a 256 MiB payload; only the 17 header bytes
+        // exist. Rejection must come from the length field, not an
+        // attempted buffer fill.
+        let mut bytes = MAGIC.to_vec();
+        bytes.push(2); // write
+        bytes.extend_from_slice(&(256u32 << 20).to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(WireError::Oversized(256 << 20)));
+        // Same header truncated to 9 bytes (magic+kind+len): still
+        // rejected — no waiting for a payload that should never come.
+        assert_eq!(decode(&bytes[..9]), Err(WireError::Oversized(256 << 20)));
+    }
+
+    #[test]
+    fn length_contract_violations_are_rejected_before_the_payload_arrives() {
+        // A `read` frame declaring a payload is nonsense even though the
+        // length is small.
+        let mut bytes = MAGIC.to_vec();
+        bytes.push(4); // read
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(WireError::BadLength { kind: 4, len: 3 }));
+        // `read_ok` payloads must be whole u64s.
+        let mut bytes = MAGIC.to_vec();
+        bytes.push(5); // read_ok
+        bytes.extend_from_slice(&12u32.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(WireError::BadLength { kind: 5, len: 12 }));
+    }
+
+    #[test]
+    fn corrupt_checksum_is_rejected() {
+        let mut bytes =
+            Frame::Write { author: 1, seq: 2, client_ts_nanos: 3, content: "x".into() }.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff; // flip a payload byte; header checksum now lies
+        assert_eq!(decode(&bytes), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn garbage_magic_is_rejected_at_the_first_wrong_byte() {
+        assert_eq!(decode(b"xpw1....."), Err(WireError::BadMagic));
+        assert_eq!(decode(b"c"), Ok(None));
+        assert_eq!(decode(b"cq"), Err(WireError::BadMagic));
+        assert_eq!(decode(b""), Ok(None));
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected_as_soon_as_the_kind_byte_arrives() {
+        let mut bytes = MAGIC.to_vec();
+        bytes.push(99);
+        assert_eq!(decode(&bytes), Err(WireError::UnknownKind(99)));
+    }
+}

@@ -1,0 +1,40 @@
+//! # conprobe-wire — real-network serving and live probing
+//!
+//! The paper's agents probed **live services over a real network**; the
+//! rest of this workspace reproduces the methodology inside a
+//! discrete-event simulator. This crate adds the missing half:
+//!
+//! * [`frame`] — the `cpw1` wire protocol: length-prefixed,
+//!   FNV-checksummed binary frames with an incremental, fuzz-hardened
+//!   decoder (the `conprobe-json` discipline, applied to bytes);
+//! * [`server`] — `conprobe serve`: any catalog service behind
+//!   per-region TCP listeners, with the deterministic replica cores
+//!   bridged onto wall-clock time by
+//!   [`LiveCluster`](conprobe_services::live::LiveCluster), optional
+//!   WAN-shaped artificial latency/drop, and a graceful stop-file /
+//!   stop-frame drain;
+//! * [`client`] — the TCP [`ServiceEndpoint`] counterpart of the
+//!   harness's in-sim `SimRpc` transport;
+//! * [`probe`] — `conprobe probe`: real agent threads running the
+//!   paper's Test 1 / Test 2 cadence with skewed local clocks,
+//!   Cristian-synced over the wire, emitting a standard `TestTrace`
+//!   that the unmodified `analyze()`/journal/report pipeline consumes;
+//! * [`load`] — `conprobe load`: a closed-loop load generator with
+//!   latency histograms, backing the `bench_wire_throughput` stage.
+//!
+//! [`ServiceEndpoint`]: conprobe_harness::transport::ServiceEndpoint
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod load;
+pub mod probe;
+pub mod server;
+
+pub use client::WireClient;
+pub use frame::{decode, Frame, WireError, MAX_PAYLOAD, PROTO_VERSION};
+pub use load::{run_load, wire_latency_bounds_nanos, LoadConfig, LoadReport};
+pub use probe::{run_probe, ProbeConfig};
+pub use server::{ServeConfig, WireServer};

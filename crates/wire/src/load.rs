@@ -1,0 +1,198 @@
+//! Closed-loop load generator for `cpw1` servers.
+//!
+//! N connection threads hammer one endpoint with reads (after seeding a
+//! small fixed corpus of posts), each operation strictly
+//! request-then-response — a *closed loop*, so offered load adapts to
+//! service capacity and the measured latency histogram is honest. An
+//! optional ops/sec target turns the loop into a paced open-ish load for
+//! soak tests; left unset, the generator reports the sustained ceiling,
+//! which is what `bench_wire_throughput` records in `BENCH_repro.json`.
+
+use crate::client::WireClient;
+use conprobe_harness::transport::{EndpointError, ServiceEndpoint};
+use conprobe_obs::{latency_bounds_nanos, Histogram, MetricsRegistry};
+
+/// Histogram bounds for wire-op latencies: sub-millisecond buckets
+/// (loopback RTTs are tens of microseconds) in front of the standard
+/// 1 ms–30 s latency ladder.
+pub fn wire_latency_bounds_nanos() -> Vec<u64> {
+    const US: u64 = 1_000;
+    let mut bounds = vec![10 * US, 20 * US, 50 * US, 100 * US, 200 * US, 500 * US];
+    bounds.extend(latency_bounds_nanos());
+    bounds
+}
+use conprobe_services::ClientOp;
+use conprobe_sim::LocalTime;
+use conprobe_store::{AuthorId, Post, PostId};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`run_load`].
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// The endpoint to load.
+    pub addr: SocketAddr,
+    /// Concurrent connections (threads).
+    pub connections: usize,
+    /// Wall-clock duration of the measurement loop.
+    pub duration: Duration,
+    /// Optional pacing target, total ops/sec across all connections.
+    /// `None` runs flat out.
+    pub target_ops_per_sec: Option<u64>,
+    /// Posts seeded before the read loop (read payload size).
+    pub seed_posts: u32,
+    /// Per-call socket timeout.
+    pub timeout: Duration,
+}
+
+impl LoadConfig {
+    /// Flat-out loopback defaults.
+    pub fn loopback(addr: SocketAddr) -> Self {
+        LoadConfig {
+            addr,
+            connections: 8,
+            duration: Duration::from_secs(5),
+            target_ops_per_sec: None,
+            seed_posts: 32,
+            timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What the load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Completed operations across all connections.
+    pub ops: u64,
+    /// Failed operations (transport errors).
+    pub errors: u64,
+    /// Measured wall-clock seconds.
+    pub elapsed_secs: f64,
+    /// `ops / elapsed_secs`.
+    pub ops_per_sec: f64,
+    /// Latency percentiles in nanoseconds: (p50, p99) upper bucket
+    /// bounds from the histogram.
+    pub p50_nanos: u64,
+    /// 99th percentile upper bucket bound.
+    pub p99_nanos: u64,
+}
+
+fn percentile(hist: &Histogram, q: f64) -> u64 {
+    let buckets = hist.snapshot();
+    let total: u64 = buckets.iter().map(|(_, c)| c).sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = (total as f64 * q).ceil() as u64;
+    let mut seen = 0;
+    let mut last_finite = 0;
+    for &(bound, count) in &buckets {
+        seen += count;
+        if bound != u64::MAX {
+            last_finite = bound;
+        }
+        if seen >= rank {
+            // The final bucket is open-ended; fall back to the largest
+            // finite bound rather than reporting u64::MAX.
+            return if bound == u64::MAX { last_finite } else { bound };
+        }
+    }
+    last_finite
+}
+
+/// Runs the load loop and records per-op latencies into
+/// `metrics` (`wire.load.latency_nanos` histogram, `wire.load.ops` /
+/// `wire.load.errors` counters).
+pub fn run_load(
+    config: &LoadConfig,
+    metrics: &MetricsRegistry,
+) -> Result<LoadReport, EndpointError> {
+    let hist = metrics.histogram("wire.load.latency_nanos", &wire_latency_bounds_nanos());
+    let ops = metrics.counter("wire.load.ops");
+    let errors = metrics.counter("wire.load.errors");
+
+    // Seed a fixed read corpus so read payloads are stable over the run.
+    {
+        let mut seeder = WireClient::connect(config.addr, config.timeout)?;
+        for seq in 1..=config.seed_posts {
+            let id = PostId::new(AuthorId(u32::MAX), seq);
+            seeder.call(ClientOp::Write(Post::new(
+                id,
+                format!("seed {id}"),
+                LocalTime::from_nanos(0),
+            )))?;
+        }
+    }
+
+    let total_ops = Arc::new(AtomicU64::new(0));
+    let total_errors = Arc::new(AtomicU64::new(0));
+    let begin = Instant::now();
+    let deadline = begin + config.duration;
+    // Per-connection pacing interval, if a target was set.
+    let pace = config.target_ops_per_sec.map(|t| {
+        let per_conn = (t / config.connections.max(1) as u64).max(1);
+        Duration::from_nanos(1_000_000_000 / per_conn)
+    });
+
+    let mut threads = Vec::new();
+    for _ in 0..config.connections.max(1) {
+        let config = config.clone();
+        let hist = hist.clone();
+        let ops = ops.clone();
+        let errors = errors.clone();
+        let total_ops = Arc::clone(&total_ops);
+        let total_errors = Arc::clone(&total_errors);
+        threads.push(std::thread::spawn(move || {
+            let mut client = match WireClient::connect(config.addr, config.timeout) {
+                Ok(c) => c,
+                Err(_) => {
+                    total_errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            };
+            let mut next_at = Instant::now();
+            while Instant::now() < deadline {
+                if let Some(interval) = pace {
+                    let now = Instant::now();
+                    if now < next_at {
+                        std::thread::sleep(next_at - now);
+                    }
+                    next_at += interval;
+                }
+                let began = Instant::now();
+                match client.call(ClientOp::Read) {
+                    Ok(_) => {
+                        hist.record(began.elapsed().as_nanos() as u64);
+                        ops.inc();
+                        total_ops.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        errors.inc();
+                        total_errors.fetch_add(1, Ordering::Relaxed);
+                        // Transport error: reconnect and keep going.
+                        match WireClient::connect(config.addr, config.timeout) {
+                            Ok(c) => client = c,
+                            Err(_) => return,
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    for t in threads {
+        let _ = t.join();
+    }
+
+    let elapsed_secs = begin.elapsed().as_secs_f64();
+    let done = total_ops.load(Ordering::Relaxed);
+    Ok(LoadReport {
+        ops: done,
+        errors: total_errors.load(Ordering::Relaxed),
+        elapsed_secs,
+        ops_per_sec: done as f64 / elapsed_secs.max(1e-9),
+        p50_nanos: percentile(&hist, 0.50),
+        p99_nanos: percentile(&hist, 0.99),
+    })
+}

@@ -1,0 +1,346 @@
+//! The `cpw1` TCP server: catalog services on real sockets.
+//!
+//! [`WireServer::start`] binds one listener per agent region, hosts a
+//! [`LiveCluster`] (the wall-clock bridge around the deterministic
+//! replica cores), and serves frames with optional per-region artificial
+//! latency shaped from the sim's WAN latency matrix. Architecture:
+//!
+//! * one *accept* thread per region listener (non-blocking accept + stop
+//!   polling, so shutdown needs no signal machinery);
+//! * one *handler* thread per connection, each with its own deterministic
+//!   latency-sampling stream;
+//! * one *ticker* thread advancing the cluster's replication queue and
+//!   anti-entropy schedule on wall-clock time;
+//! * an optional *stop-file* watcher — the workspace forbids `unsafe`, so
+//!   POSIX signal handlers are out; a stop file (or a `stop` frame from
+//!   any client) is the graceful-drain trigger, and `Ctrl-C` still works
+//!   the ungraceful way.
+//!
+//! Graceful drain: once the stop flag rises, accept threads close their
+//! listeners, handlers finish the request they are serving (every
+//! response is written with a single `write_all` of a complete encoded
+//! frame — a drained connection never ends mid-frame), and
+//! [`WireServer::join`] flushes a final metrics dump through
+//! [`fsio`-style atomic writes](conprobe_obs) before returning.
+
+use crate::frame::{decode, Frame, PROTO_VERSION};
+use crate::load::wire_latency_bounds_nanos;
+use conprobe_obs::MetricsRegistry;
+use conprobe_services::live::{LiveCluster, LiveConfig, StaleWindow};
+use conprobe_services::ServiceKind;
+use conprobe_sim::net::{LatencyMatrix, Region};
+use conprobe_sim::{LocalTime, SimRng};
+use conprobe_store::{Post, PostId};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`WireServer::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Which catalog service to host.
+    pub kind: ServiceKind,
+    /// Seed for replication-delay and latency-shaping streams.
+    pub seed: u64,
+    /// Optional seeded staleness window (see [`StaleWindow`]).
+    pub stale_window: Option<StaleWindow>,
+    /// Multiplier on WAN delays sampled from the paper latency matrix
+    /// per request. `0.0` disables artificial latency (loopback-speed
+    /// serving — what the load benchmark uses); `1.0` emulates the
+    /// paper's full WAN RTTs.
+    pub latency_scale: f64,
+    /// Probability of dropping (not answering) a request, emulating a
+    /// lost response on a lossy WAN. The client's retry layer recovers.
+    pub drop_prob: f64,
+    /// Base TCP port; region `i` binds `base_port + i`. `0` picks
+    /// ephemeral ports (tests and same-host CI).
+    pub base_port: u16,
+    /// Graceful-drain trigger: the server stops when this file appears.
+    pub stop_file: Option<PathBuf>,
+}
+
+impl ServeConfig {
+    /// Loopback defaults: ephemeral ports, no artificial latency or loss.
+    pub fn loopback(kind: ServiceKind, seed: u64) -> Self {
+        ServeConfig {
+            kind,
+            seed,
+            stale_window: None,
+            latency_scale: 0.0,
+            drop_prob: 0.0,
+            base_port: 0,
+            stop_file: None,
+        }
+    }
+}
+
+struct Shared {
+    cluster: LiveCluster,
+    started: Instant,
+    stop: AtomicBool,
+    metrics: MetricsRegistry,
+    matrix: LatencyMatrix,
+    latency_scale: f64,
+    drop_prob: f64,
+    seed: u64,
+    service_token: &'static str,
+    conn_seq: AtomicU64,
+    /// Connection handlers spawned by the accept threads; joined on
+    /// shutdown so the final metrics dump sees every frame counted.
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn now_nanos(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+}
+
+/// A running wire server. Dropping it without [`WireServer::join`] leaks
+/// the serving threads; `join` performs the graceful drain.
+pub struct WireServer {
+    shared: Arc<Shared>,
+    addrs: Vec<(Region, SocketAddr)>,
+    accepters: Vec<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Binds the per-region listeners and starts serving.
+    pub fn start(config: &ServeConfig) -> std::io::Result<WireServer> {
+        let shared = Arc::new(Shared {
+            cluster: LiveCluster::new(&LiveConfig {
+                kind: config.kind,
+                seed: config.seed,
+                stale_window: config.stale_window,
+            }),
+            started: Instant::now(),
+            stop: AtomicBool::new(false),
+            metrics: MetricsRegistry::new(),
+            matrix: LatencyMatrix::paper_wan(),
+            latency_scale: config.latency_scale,
+            drop_prob: config.drop_prob,
+            seed: config.seed,
+            service_token: conprobe_harness::journal::service_token(config.kind),
+            conn_seq: AtomicU64::new(0),
+            handlers: Mutex::new(Vec::new()),
+        });
+        let mut addrs = Vec::new();
+        let mut accepters = Vec::new();
+        for (i, region) in Region::AGENTS.iter().enumerate() {
+            let port = if config.base_port == 0 { 0 } else { config.base_port + i as u16 };
+            let listener = TcpListener::bind(("127.0.0.1", port))?;
+            listener.set_nonblocking(true)?;
+            addrs.push((*region, listener.local_addr()?));
+            let shared = Arc::clone(&shared);
+            let region = *region;
+            accepters.push(std::thread::spawn(move || accept_loop(shared, region, listener)));
+        }
+        let ticker = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                while !shared.stop.load(Ordering::Acquire) {
+                    shared.cluster.tick(shared.now_nanos());
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            })
+        };
+        let watcher = config.stop_file.clone().map(|path| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                while !shared.stop.load(Ordering::Acquire) {
+                    if path.exists() {
+                        shared.stop.store(true, Ordering::Release);
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            })
+        });
+        Ok(WireServer {
+            shared,
+            addrs,
+            accepters,
+            ticker: Some(ticker),
+            watcher: Some(watcher.unwrap_or_else(|| std::thread::spawn(|| ()))),
+        })
+    }
+
+    /// The bound address for each agent region.
+    pub fn addrs(&self) -> &[(Region, SocketAddr)] {
+        &self.addrs
+    }
+
+    /// The bound address serving clients of `region`.
+    pub fn addr_for(&self, region: Region) -> SocketAddr {
+        self.addrs
+            .iter()
+            .find(|(r, _)| *r == region)
+            .map(|(_, a)| *a)
+            .expect("no listener for region")
+    }
+
+    /// Raises the stop flag (same effect as a `stop` frame or the stop
+    /// file appearing).
+    pub fn request_stop(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+    }
+
+    /// True once a drain has been requested (by any trigger).
+    pub fn stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// Blocks until a drain is triggered, then joins every serving
+    /// thread and returns the final metrics dump as pretty JSON. In-flight
+    /// requests finish first: handlers only stop *between* whole frames.
+    pub fn join(self) -> String {
+        for handle in self.accepters {
+            let _ = handle.join();
+        }
+        if let Some(t) = self.ticker {
+            let _ = t.join();
+        }
+        if let Some(w) = self.watcher {
+            let _ = w.join();
+        }
+        let handlers = std::mem::take(&mut *self.shared.handlers.lock().unwrap());
+        for handle in handlers {
+            let _ = handle.join();
+        }
+        self.shared.metrics.to_json().to_pretty()
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, region: Region, listener: TcpListener) {
+    let connections = shared.metrics.counter("wire.server.connections");
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return; // closing the listener refuses further clients
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                connections.inc();
+                let shared_conn = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || handle_conn(shared_conn, region, stream));
+                shared.handlers.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serves one connection until EOF, protocol error, or drain. Every
+/// response is one `write_all` of a fully encoded frame, so the stream a
+/// client observes always ends on a frame boundary.
+fn handle_conn(shared: Arc<Shared>, region: Region, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+    let mut rng = SimRng::new(shared.seed).split_indexed("wire.conn", conn_id);
+    let frames = shared.metrics.counter("wire.server.frames");
+    let dropped = shared.metrics.counter("wire.server.dropped_responses");
+    let op_nanos = shared.metrics.histogram("wire.server.op_nanos", &wire_latency_bounds_nanos());
+    let replica_region = shared.cluster.replica_region(shared.cluster.replica_for(region));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut scratch = [0u8; 64 * 1024];
+    loop {
+        // Serve every complete frame already buffered.
+        loop {
+            match decode(&buf) {
+                Ok(Some((frame, consumed))) => {
+                    buf.drain(..consumed);
+                    frames.inc();
+                    let began = Instant::now();
+                    // Artificial WAN shaping: sleep a sampled agent↔replica
+                    // delay (scaled), and optionally drop the response.
+                    if shared.latency_scale > 0.0 {
+                        let wan = shared.matrix.sample_delay(region, replica_region, &mut rng);
+                        let nanos = (wan.as_nanos() as f64 * shared.latency_scale) as u64;
+                        std::thread::sleep(Duration::from_nanos(nanos));
+                    }
+                    if shared.drop_prob > 0.0 && rng.gen_bool(shared.drop_prob) {
+                        dropped.inc();
+                        continue;
+                    }
+                    let reply = match respond(&shared, region, frame) {
+                        Some(reply) => reply,
+                        None => return, // protocol violation: hang up
+                    };
+                    op_nanos.record(began.elapsed().as_nanos() as u64);
+                    if stream.write_all(&reply.encode()).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => return, // corrupt stream: hang up
+            }
+        }
+        if shared.stop.load(Ordering::Acquire) {
+            // Drain point: all buffered requests above were answered in
+            // full; close cleanly between frames.
+            return;
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&scratch[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // poll the stop flag, then read again
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Computes the response for one request frame. `None` means the peer
+/// sent a server-role or out-of-protocol frame and the connection should
+/// be dropped.
+fn respond(shared: &Shared, region: Region, frame: Frame) -> Option<Frame> {
+    let now = shared.now_nanos();
+    match frame {
+        Frame::Hello { proto: _ } => {
+            // The ack always carries our version; the client decides
+            // whether it can proceed.
+            shared.metrics.counter("wire.server.hellos").inc();
+            Some(Frame::HelloAck {
+                proto: PROTO_VERSION,
+                server_clock_nanos: now as i64,
+                service: shared.service_token.to_owned(),
+            })
+        }
+        Frame::Write { author, seq, client_ts_nanos, content } => {
+            shared.metrics.counter("wire.server.writes").inc();
+            let id = PostId::new(conprobe_store::AuthorId(author), seq);
+            let post = Post::new(id, content, LocalTime::from_nanos(client_ts_nanos));
+            let acked = shared.cluster.write(region, post, now);
+            Some(Frame::WriteAck { id: acked.as_u64() })
+        }
+        Frame::Read => {
+            shared.metrics.counter("wire.server.reads").inc();
+            let ids = shared.cluster.read(region, now);
+            Some(Frame::ReadOk { ids: ids.into_iter().map(PostId::as_u64).collect() })
+        }
+        Frame::Stop => {
+            shared.metrics.counter("wire.server.stops").inc();
+            shared.stop.store(true, Ordering::Release);
+            Some(Frame::StopAck)
+        }
+        // Server-role frames from a client are a protocol violation.
+        Frame::HelloAck { .. }
+        | Frame::WriteAck { .. }
+        | Frame::ReadOk { .. }
+        | Frame::Throttled
+        | Frame::StopAck => None,
+    }
+}

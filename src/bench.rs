@@ -59,6 +59,8 @@ pub struct BenchScale {
     pub campaign_tests: u32,
     /// `visibility()` passes over the synthetic trace pool.
     pub visibility_iters: usize,
+    /// Wall-clock milliseconds of the wire-throughput load loop.
+    pub wire_load_millis: u64,
 }
 
 impl BenchScale {
@@ -69,6 +71,7 @@ impl BenchScale {
             snapshot_reads: 40_000,
             campaign_tests: 6,
             visibility_iters: 200,
+            wire_load_millis: 3_000,
         }
     }
 
@@ -79,6 +82,7 @@ impl BenchScale {
             snapshot_reads: 4_000,
             campaign_tests: 2,
             visibility_iters: 30,
+            wire_load_millis: 500,
         }
     }
 }
@@ -302,6 +306,50 @@ pub fn bench_campaign(scale: BenchScale) -> (f64, f64, CampaignResult) {
     (scale.campaign_tests as f64 / elapsed, events as f64 / elapsed, result)
 }
 
+/// What the wire-throughput stage measured (real TCP loopback: the
+/// `cpw1` server, client, and codec on the hot path).
+#[derive(Debug, Clone, Copy)]
+pub struct WireBench {
+    /// Completed closed-loop operations per second.
+    pub ops_per_sec: f64,
+    /// Median per-op latency (histogram upper bucket bound), nanos.
+    pub p50_nanos: u64,
+    /// 99th-percentile per-op latency, nanos.
+    pub p99_nanos: u64,
+    /// Concurrent connections the loop ran with.
+    pub connections: usize,
+    /// Transport errors observed (0 on a healthy loopback).
+    pub errors: u64,
+}
+
+/// Times the whole wire subsystem end to end: an in-process loopback
+/// [`WireServer`](conprobe_wire::WireServer) hosting Blogger, hammered by
+/// the closed-loop generator. This is a *real-socket* number — frame
+/// encode/decode, checksums, TCP round trips and the live cluster's
+/// locking are all on the measured path.
+pub fn bench_wire_throughput(scale: BenchScale) -> WireBench {
+    use conprobe_wire::{run_load, LoadConfig, ServeConfig, WireServer};
+    let server = WireServer::start(&ServeConfig::loopback(ServiceKind::Blogger, 0xB17E))
+        .expect("bind loopback wire server");
+    let addr = server.addrs()[0].1;
+    let metrics = conprobe_obs::MetricsRegistry::new();
+    let config = LoadConfig {
+        duration: std::time::Duration::from_millis(scale.wire_load_millis),
+        ..LoadConfig::loopback(addr)
+    };
+    let report = run_load(&config, &metrics).expect("wire load loop");
+    server.request_stop();
+    server.join();
+    assert!(report.ops > 0, "wire bench made no progress");
+    WireBench {
+        ops_per_sec: report.ops_per_sec,
+        p50_nanos: report.p50_nanos,
+        p99_nanos: report.p99_nanos,
+        connections: config.connections,
+        errors: report.errors,
+    }
+}
+
 /// Runs the whole suite at `scale`.
 pub fn run_suite(scale: BenchScale) -> BenchNumbers {
     let (checker_ops_per_sec, _) = bench_checkers(scale);
@@ -326,6 +374,7 @@ pub fn report_json(
     mode: &str,
     current: BenchNumbers,
     journal_overhead: Option<(f64, f64)>,
+    wire: Option<&WireBench>,
 ) -> String {
     use conprobe_json::JsonValue;
     let numbers = |n: &BenchNumbers| {
@@ -406,6 +455,18 @@ pub fn report_json(
                     "overhead_pct".into(),
                     JsonValue::Float(round2((off / on.max(1e-9) - 1.0) * 100.0)),
                 ),
+            ]),
+        ));
+    }
+    if let Some(w) = wire {
+        members.push((
+            "wire_throughput".into(),
+            JsonValue::Object(vec![
+                ("ops_per_sec".into(), JsonValue::Float(round2(w.ops_per_sec))),
+                ("p50_nanos".into(), JsonValue::Int(w.p50_nanos as i64)),
+                ("p99_nanos".into(), JsonValue::Int(w.p99_nanos as i64)),
+                ("connections".into(), JsonValue::Int(w.connections as i64)),
+                ("errors".into(), JsonValue::Int(w.errors as i64)),
             ]),
         ));
     }
@@ -607,8 +668,16 @@ mod tests {
             snapshot_reads_per_sec: 9000.0,
             visibility_records_per_sec: 4000.0,
         };
-        let doc = conprobe_json::parse(&report_json("smoke", numbers, Some((2.0, 1.9))))
-            .expect("valid JSON");
+        let wire = WireBench {
+            ops_per_sec: 80_000.0,
+            p50_nanos: 1_000_000,
+            p99_nanos: 2_000_000,
+            connections: 8,
+            errors: 0,
+        };
+        let doc =
+            conprobe_json::parse(&report_json("smoke", numbers, Some((2.0, 1.9)), Some(&wire)))
+                .expect("valid JSON");
         assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("conprobe-bench/1"));
         let current = doc.get("current").expect("current block");
         assert_eq!(current.get("checker_ops_per_sec").and_then(|v| v.as_f64()), Some(1000.0));
@@ -617,8 +686,12 @@ mod tests {
         let jo = doc.get("journal_overhead").expect("journal overhead block");
         assert_eq!(jo.get("campaign_tests_per_sec_off").and_then(|v| v.as_f64()), Some(2.0));
         assert!(jo.get("overhead_pct").and_then(|v| v.as_f64()).unwrap() > 0.0);
-        // Without the stage, the block is absent (schema stays stable).
-        let bare = conprobe_json::parse(&report_json("smoke", numbers, None)).unwrap();
+        let wt = doc.get("wire_throughput").expect("wire throughput block");
+        assert_eq!(wt.get("ops_per_sec").and_then(|v| v.as_f64()), Some(80_000.0));
+        assert_eq!(wt.get("p99_nanos").and_then(|v| v.as_f64()), Some(2_000_000.0));
+        // Without the stages, the blocks are absent (schema stays stable).
+        let bare = conprobe_json::parse(&report_json("smoke", numbers, None, None)).unwrap();
         assert!(bare.get("journal_overhead").is_none());
+        assert!(bare.get("wire_throughput").is_none());
     }
 }

@@ -13,7 +13,10 @@
 //! instrumented run's registry to `--metrics-out` (default
 //! `metrics.json`); a journal-overhead stage does the same with the
 //! crash-safe campaign journal (fsync'd append per finished test) off
-//! and on. `--mode smoke` runs the same workloads at small
+//! and on; a wire-throughput stage hammers an in-process loopback `cpw1`
+//! server with the closed-loop load generator and records real-socket
+//! ops/sec and latency percentiles. `--mode smoke` runs the same
+//! workloads at small
 //! iteration counts for CI; `--golden` skips timing entirely and prints
 //! the golden-seed fingerprints used by `tests/determinism_golden.rs`
 //! (add `--with-metrics` to print the instrumented fingerprints instead —
@@ -118,6 +121,16 @@ fn main() -> ExitCode {
          ({:.1}% overhead)",
         (journal_off / journal_on.max(1e-9) - 1.0) * 100.0
     );
+    let wire = bench::bench_wire_throughput(scale);
+    eprintln!(
+        "wire throughput: {:.0} ops/sec over {} loopback connection(s) \
+         (p50 {:.2} ms, p99 {:.2} ms, {} error(s))",
+        wire.ops_per_sec,
+        wire.connections,
+        wire.p50_nanos as f64 / 1e6,
+        wire.p99_nanos as f64 / 1e6,
+        wire.errors
+    );
     if let Err(e) = conprobe::fsio::write_atomic(&args.metrics_out, &metrics_json) {
         eprintln!("cannot write {}: {e}", args.metrics_out);
         return ExitCode::FAILURE;
@@ -131,7 +144,8 @@ fn main() -> ExitCode {
         snapshot_reads_per_sec: snapshot_reads,
         visibility_records_per_sec: visibility_records,
     };
-    let json = bench::report_json(&args.mode, numbers, Some((journal_off, journal_on)));
+    let json =
+        bench::report_json(&args.mode, numbers, Some((journal_off, journal_on)), Some(&wire));
     if let Err(e) = conprobe::fsio::write_atomic(&args.out, &json) {
         eprintln!("cannot write {}: {e}", args.out);
         return ExitCode::FAILURE;

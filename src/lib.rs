@@ -19,3 +19,4 @@ pub use conprobe_services as services;
 pub use conprobe_session as session;
 pub use conprobe_sim as sim;
 pub use conprobe_store as store;
+pub use conprobe_wire as wire;
