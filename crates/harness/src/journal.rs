@@ -67,20 +67,10 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-/// Format magic for v1 records.
-const MAGIC: &str = "cpj1";
-
-/// FNV-1a over a byte string (the same stable hash the golden-fingerprint
-/// suite uses; duplicated here so `conprobe-harness` stays independent of
-/// the umbrella crate).
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+// Record framing (`cpj1` magic, length prefix, FNV-1a checksum) lives in
+// `conprobe_json::frame` so the quorum state-transfer stream and this
+// journal share one encoder/decoder.
+use conprobe_json::frame;
 
 // ---------------------------------------------------------------------------
 // Record model
@@ -309,8 +299,7 @@ impl Journal {
 
     /// Frames, writes, and fsyncs one payload.
     fn append_payload(&self, payload: &str) -> std::io::Result<()> {
-        let line =
-            format!("{MAGIC} {} {:016x} {payload}\n", payload.len(), fnv64(payload.as_bytes()));
+        let line = frame::encode_record(payload);
         let mut file = self.file.lock().unwrap_or_else(|p| p.into_inner());
         file.write_all(line.as_bytes())?;
         file.sync_data()?;
@@ -422,26 +411,7 @@ fn recover_bytes(bytes: &[u8]) -> Result<Recovery, JournalError> {
 /// Validates one complete line: frame, checksum, JSON, schema.
 fn parse_line(line: &[u8]) -> Result<RecoveredRecord, String> {
     let text = std::str::from_utf8(line).map_err(|_| "record is not UTF-8".to_string())?;
-    let mut parts = text.splitn(4, ' ');
-    let magic = parts.next().unwrap_or("");
-    if magic != MAGIC {
-        return Err(format!("bad magic {magic:?} (expected {MAGIC:?})"));
-    }
-    let len: usize = parts
-        .next()
-        .ok_or("missing length field")?
-        .parse()
-        .map_err(|_| "unparsable length field".to_string())?;
-    let hash = u64::from_str_radix(parts.next().ok_or("missing checksum field")?, 16)
-        .map_err(|_| "unparsable checksum field".to_string())?;
-    let payload = parts.next().ok_or("missing payload")?;
-    if payload.len() != len {
-        return Err(format!("length mismatch: framed {len}, actual {}", payload.len()));
-    }
-    let actual = fnv64(payload.as_bytes());
-    if actual != hash {
-        return Err(format!("checksum mismatch: framed {hash:016x}, actual {actual:016x}"));
-    }
+    let payload = frame::decode_record(text).map_err(|e| e.to_string())?;
     let doc = conprobe_json::parse(payload).map_err(|e| format!("payload JSON: {e}"))?;
     let key = JournalKey {
         cell: String::from_json(member(&doc, "cell").map_err(|e| e.to_string())?)
@@ -476,6 +446,7 @@ pub fn service_token(service: ServiceKind) -> &'static str {
         ServiceKind::GooglePlus => "gplus",
         ServiceKind::FacebookFeed => "fbfeed",
         ServiceKind::FacebookGroup => "fbgroup",
+        ServiceKind::Quorum => "quorum",
     }
 }
 
@@ -485,6 +456,7 @@ fn service_from_token(s: &str) -> Result<ServiceKind, JsonError> {
         "gplus" => Ok(ServiceKind::GooglePlus),
         "fbfeed" => Ok(ServiceKind::FacebookFeed),
         "fbgroup" => Ok(ServiceKind::FacebookGroup),
+        "quorum" => Ok(ServiceKind::Quorum),
         other => Err(JsonError::schema(format!("unknown service token {other:?}"))),
     }
 }
@@ -781,6 +753,36 @@ mod tests {
         let n = SERIAL.fetch_add(1, Ordering::Relaxed);
         std::env::temp_dir()
             .join(format!("conprobe-journal-{tag}-{}-{n}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn create_under_a_file_parent_is_a_typed_error_not_a_panic() {
+        let parent = temp_path("not-a-dir");
+        std::fs::write(&parent, b"a file, not a directory").unwrap();
+        let err = Journal::create(parent.join("journal.jsonl"))
+            .expect_err("a file cannot be a parent directory");
+        // ENOTDIR surfaces as a plain io::Error for the caller to report.
+        assert_ne!(err.kind(), std::io::ErrorKind::Other, "{err}");
+        std::fs::remove_file(&parent).ok();
+    }
+
+    #[test]
+    fn append_io_error_surfaces_instead_of_panicking() {
+        // `/dev/full` accepts the open but fails every write with ENOSPC
+        // — the kernel's built-in fault injector for exactly this path.
+        let full = Path::new("/dev/full");
+        if !full.exists() {
+            return; // platform without /dev/full; covered on CI (Linux)
+        }
+        let journal = Journal::create(full).expect("character devices open for writing");
+        let err = journal
+            .append_crashed("cell/test1", 0, 7, "boom")
+            .expect_err("a full device must fail the append");
+        assert_eq!(err.raw_os_error(), Some(28), "expected ENOSPC, got {err}");
+        // The journal object stays usable for error reporting (no
+        // poisoned lock, no unwinding inside append_payload).
+        let again = journal.append_crashed("cell/test1", 1, 7, "boom");
+        assert!(again.is_err());
     }
 
     #[test]

@@ -106,6 +106,11 @@ impl TestConfig {
             ServiceKind::Blogger => (13, 20),
             ServiceKind::FacebookFeed => (20, 40),
             ServiceKind::FacebookGroup => (20, 50),
+            // The quorum control arm is not in the paper's tables; the
+            // quota is sized so a Test 2 run outlasts the chaos plan's
+            // crash/recover cycle (crash at 7 s, 4 s down) and exercises
+            // post-recovery reads.
+            ServiceKind::Quorum => (14, 30),
         };
         TestConfig {
             service,

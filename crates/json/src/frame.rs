@@ -1,0 +1,198 @@
+//! `cpj1` record framing — the workspace's one length-prefixed,
+//! checksummed line format.
+//!
+//! The campaign journal introduced the format (one record per line,
+//! corruption-detecting); the quorum backend's state-transfer stream
+//! reuses it verbatim so a catch-up payload is checkable with the same
+//! tooling as a journal line:
+//!
+//! ```text
+//! cpj1 <payload-len> <fnv64-hex-16> <payload>\n
+//! ```
+//!
+//! * `cpj1` — format magic/version.
+//! * `<payload-len>` — decimal byte length of the payload.
+//! * `<fnv64-hex-16>` — 16-digit lowercase FNV-1a hash of the payload.
+//! * `<payload>` — opaque bytes that contain no raw newline (compact
+//!   JSON satisfies this by construction).
+//!
+//! This module lives in the dependency-free JSON crate so every layer
+//! (harness journal, services state transfer, bench fingerprints) frames
+//! records identically without new edges in the crate graph.
+
+use std::fmt;
+
+/// Format magic for v1 records.
+pub const MAGIC: &str = "cpj1";
+
+/// The FNV-1a offset basis (the running-hash seed for [`fnv64_fold`]).
+pub const FNV64_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a over a byte string. Stable across platforms and releases: the
+/// campaign journal, the golden-fingerprint suite and the state-transfer
+/// stream hash all depend on these exact constants.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    fnv64_fold(FNV64_BASIS, bytes)
+}
+
+/// Folds `bytes` into a running FNV-1a state — `fnv64(b)` is
+/// `fnv64_fold(FNV64_BASIS, b)`, and hashing a concatenation is folding
+/// the pieces in order.
+pub fn fnv64_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Why a line failed to decode as a `cpj1` record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The line does not start with the `cpj1` magic.
+    BadMagic {
+        /// What was found where the magic belongs.
+        found: String,
+    },
+    /// A header field is missing or unparsable.
+    Malformed {
+        /// Which field (`"length"`, `"checksum"`, `"payload"`).
+        field: &'static str,
+    },
+    /// The framed length disagrees with the actual payload length.
+    LengthMismatch {
+        /// Length claimed by the frame header.
+        framed: usize,
+        /// Actual payload byte count.
+        actual: usize,
+    },
+    /// The framed checksum disagrees with the payload's hash.
+    ChecksumMismatch {
+        /// Checksum claimed by the frame header.
+        framed: u64,
+        /// Actual payload hash.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic { found } => {
+                write!(f, "bad magic {found:?} (expected {MAGIC:?})")
+            }
+            FrameError::Malformed { field } => write!(f, "missing or unparsable {field} field"),
+            FrameError::LengthMismatch { framed, actual } => {
+                write!(f, "length mismatch: framed {framed}, actual {actual}")
+            }
+            FrameError::ChecksumMismatch { framed, actual } => {
+                write!(f, "checksum mismatch: framed {framed:016x}, actual {actual:016x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Frames one payload as a `cpj1` line, newline included. The payload
+/// must not contain a raw newline (compact JSON never does); the frame
+/// does not check, because the decoder's length field catches it.
+pub fn encode_record(payload: &str) -> String {
+    format!("{MAGIC} {} {:016x} {payload}\n", payload.len(), fnv64(payload.as_bytes()))
+}
+
+/// Decodes one framed line (with or without its trailing newline) back
+/// into its payload, verifying length and checksum.
+pub fn decode_record(line: &str) -> Result<&str, FrameError> {
+    let line = line.strip_suffix('\n').unwrap_or(line);
+    let mut parts = line.splitn(4, ' ');
+    let magic = parts.next().unwrap_or("");
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic { found: magic.to_string() });
+    }
+    let len: usize = parts
+        .next()
+        .ok_or(FrameError::Malformed { field: "length" })?
+        .parse()
+        .map_err(|_| FrameError::Malformed { field: "length" })?;
+    let hash = parts.next().ok_or(FrameError::Malformed { field: "checksum" }).and_then(|s| {
+        u64::from_str_radix(s, 16).map_err(|_| FrameError::Malformed { field: "checksum" })
+    })?;
+    let payload = parts.next().ok_or(FrameError::Malformed { field: "payload" })?;
+    if payload.len() != len {
+        return Err(FrameError::LengthMismatch { framed: len, actual: payload.len() });
+    }
+    let actual = fnv64(payload.as_bytes());
+    if actual != hash {
+        return Err(FrameError::ChecksumMismatch { framed: hash, actual });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Published FNV-1a 64-bit vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fold_composes() {
+        let h = fnv64_fold(fnv64_fold(FNV64_BASIS, b"foo"), b"bar");
+        assert_eq!(h, fnv64(b"foobar"));
+    }
+
+    #[test]
+    fn round_trip() {
+        let payload = r#"{"cell":"blogger/test1","instance":0}"#;
+        let line = encode_record(payload);
+        assert!(line.ends_with('\n'));
+        assert_eq!(decode_record(&line).unwrap(), payload);
+        assert_eq!(decode_record(line.trim_end()).unwrap(), payload);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let line = encode_record("");
+        assert_eq!(decode_record(&line).unwrap(), "");
+    }
+
+    #[test]
+    fn payload_may_contain_spaces() {
+        let payload = "a b c  d";
+        assert_eq!(decode_record(&encode_record(payload)).unwrap(), payload);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert_eq!(
+            decode_record("cpj2 1 00af63dc4c8601ec8c a"),
+            Err(FrameError::BadMagic { found: "cpj2".into() })
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_and_corruption() {
+        let line = encode_record("payload");
+        // Truncated payload: length mismatch.
+        let cut = &line[..line.len() - 3];
+        assert!(matches!(decode_record(cut), Err(FrameError::LengthMismatch { .. })));
+        // Flipped payload byte: checksum mismatch.
+        let flipped = line.replace("payload", "paYload");
+        assert!(matches!(decode_record(&flipped), Err(FrameError::ChecksumMismatch { .. })));
+        // Missing fields.
+        assert!(matches!(decode_record("cpj1 7"), Err(FrameError::Malformed { .. })));
+        assert!(matches!(decode_record("cpj1 x y z"), Err(FrameError::Malformed { .. })));
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let err = decode_record("cpj1 2 0000000000000000 ab").unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"));
+    }
+}

@@ -22,6 +22,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod frame;
+
 use std::fmt;
 
 /// A parsed or constructed JSON document.

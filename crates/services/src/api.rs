@@ -76,6 +76,26 @@ pub enum ReplMsg {
     DigestReq(HashSet<PostId>),
     /// Anti-entropy response: the posts the requester was missing.
     DigestResp(Vec<StoredPost>),
+    /// State-transfer request from a recovering quorum replica: send me a
+    /// checksummed snapshot of your state plus your commit watermark.
+    CatchupReq {
+        /// Correlation token identifying one state-transfer round.
+        token: u64,
+    },
+    /// State-transfer response: the responder's full state as `cpj1`
+    /// length-prefixed, checksummed records (one stored post per frame,
+    /// the campaign journal's record format), plus its commit watermark.
+    /// The recovering replica verifies every frame before applying it
+    /// and serves no reads until caught up past the highest watermark
+    /// heard from a majority (read fencing).
+    CatchupResp {
+        /// The echoed correlation token.
+        token: u64,
+        /// The responder's commit watermark (posts it has applied).
+        watermark: u64,
+        /// Framed stored-post records (`conprobe_json::frame` encoding).
+        frames: Vec<String>,
+    },
 }
 
 /// Fault-injection control messages (harness instrumentation, not part of

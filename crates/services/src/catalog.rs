@@ -29,15 +29,33 @@ pub enum ServiceKind {
     FacebookFeed,
     /// Facebook group feed (Graph API).
     FacebookGroup,
+    /// Majority-quorum replication with crash-recovery state transfer —
+    /// not one of the paper's measured services, but the repo's
+    /// strong-consistency control arm: zero anomalies expected under the
+    /// same workloads and fault plans that expose the four above.
+    Quorum,
 }
 
 impl ServiceKind {
-    /// All services, in the paper's table order.
+    /// The paper's measured services, in the paper's table order. The
+    /// campaign matrix, golden fingerprints and figure reproduction
+    /// iterate this set; reference designs like [`ServiceKind::Quorum`]
+    /// are deliberately excluded (see [`ServiceKind::CATALOG`]).
     pub const ALL: [ServiceKind; 4] = [
         ServiceKind::GooglePlus,
         ServiceKind::Blogger,
         ServiceKind::FacebookFeed,
         ServiceKind::FacebookGroup,
+    ];
+
+    /// Every deployable service: the paper's four plus the quorum
+    /// control arm.
+    pub const CATALOG: [ServiceKind; 5] = [
+        ServiceKind::GooglePlus,
+        ServiceKind::Blogger,
+        ServiceKind::FacebookFeed,
+        ServiceKind::FacebookGroup,
+        ServiceKind::Quorum,
     ];
 
     /// Human-readable name as used in the paper's tables.
@@ -47,6 +65,7 @@ impl ServiceKind {
             ServiceKind::GooglePlus => "Google+",
             ServiceKind::FacebookFeed => "FB Feed",
             ServiceKind::FacebookGroup => "FB Group",
+            ServiceKind::Quorum => "Quorum",
         }
     }
 }
@@ -217,6 +236,11 @@ pub fn topology(kind: ServiceKind) -> Topology {
                 affinity: AffinityMap::with_fallback(0),
             }
         }
+        // The strong control arm. The parameter preset describes the
+        // regions, routing and write/read modes; [`deploy`] instantiates
+        // it with dedicated `QuorumReplica` nodes (which add the
+        // crash-recovery state-transfer protocol `ReplicaNode` lacks).
+        ServiceKind::Quorum => topology_quorum(false),
     }
 }
 
@@ -297,7 +321,41 @@ pub fn deploy<A: Send + 'static>(
     world: &mut World<NetMsg<A>>,
     kind: ServiceKind,
 ) -> ServiceCluster {
+    if kind == ServiceKind::Quorum {
+        return deploy_quorum(world);
+    }
     deploy_topology(world, kind, topology(kind))
+}
+
+/// Deploys the majority-quorum reference service: one
+/// [`QuorumReplica`](crate::quorum::QuorumReplica) per agent region,
+/// fully meshed, using [`topology_quorum`]'s regions and routing.
+///
+/// This is separate from [`deploy_topology`] because the quorum service
+/// runs a dedicated node type (majority writes, quorum reads, and the
+/// crash-recovery state-transfer protocol) rather than a parameterized
+/// [`ReplicaNode`].
+pub fn deploy_quorum<A: Send + 'static>(world: &mut World<NetMsg<A>>) -> ServiceCluster {
+    use crate::quorum::QuorumReplica;
+    let topo = topology_quorum(false);
+    let mut ids = Vec::with_capacity(topo.replicas.len());
+    for (region, _) in &topo.replicas {
+        let id = world.add_node_with_clock(
+            *region,
+            LocalClock::perfect(),
+            Box::new(QuorumReplica::new()),
+        );
+        ids.push(id);
+    }
+    for (i, id) in ids.iter().enumerate() {
+        let peers: Vec<NodeId> =
+            ids.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, p)| *p).collect();
+        world
+            .node_as_mut::<QuorumReplica>(*id)
+            .expect("just added a QuorumReplica")
+            .set_peers(peers);
+    }
+    ServiceCluster { kind: ServiceKind::Quorum, replicas: ids, affinity: topo.affinity }
 }
 
 /// Deploys an explicit topology (for ablations and custom services).
@@ -390,6 +448,34 @@ mod tests {
     fn names_and_display() {
         assert_eq!(ServiceKind::GooglePlus.name(), "Google+");
         assert_eq!(ServiceKind::FacebookGroup.to_string(), "FB Group");
-        assert_eq!(ServiceKind::ALL.len(), 4);
+        assert_eq!(ServiceKind::ALL.len(), 4, "the campaign matrix covers the paper's services");
+    }
+
+    #[test]
+    fn catalog_is_the_paper_services_plus_quorum() {
+        assert_eq!(ServiceKind::CATALOG.len(), 5);
+        for kind in ServiceKind::ALL {
+            assert!(ServiceKind::CATALOG.contains(&kind));
+        }
+        assert!(ServiceKind::CATALOG.contains(&ServiceKind::Quorum));
+        assert!(!ServiceKind::ALL.contains(&ServiceKind::Quorum));
+        assert_eq!(ServiceKind::Quorum.name(), "Quorum");
+    }
+
+    #[test]
+    fn quorum_deploys_dedicated_replicas_one_per_agent() {
+        let mut w = world();
+        let cluster = deploy(&mut w, ServiceKind::Quorum);
+        assert_eq!(cluster.kind, ServiceKind::Quorum);
+        assert_eq!(cluster.replicas.len(), 3);
+        let entries: std::collections::HashSet<_> =
+            Region::AGENTS.iter().map(|r| cluster.entry_for(*r)).collect();
+        assert_eq!(entries.len(), 3, "each agent region has its own front door");
+        for id in &cluster.replicas {
+            assert!(
+                w.node_as::<crate::quorum::QuorumReplica>(*id).is_some(),
+                "the quorum service runs dedicated QuorumReplica nodes"
+            );
+        }
     }
 }

@@ -14,7 +14,22 @@
 //! the harness.
 
 use crate::api::{ControlMsg, NetMsg};
-use conprobe_sim::{Context, FaultPlan, Node, NodeId, ServiceAction, ServiceActionKind, SimTime};
+use conprobe_sim::{
+    Context, FaultPlan, Node, NodeId, ServiceAction, ServiceActionKind, SimDuration, SimTime,
+};
+
+/// Extra copies of each control message, spaced [`RETRY_GAP`] apart.
+///
+/// The injector's control plane rides the same simulated network it
+/// degrades, so a one-shot `BrownoutEnd` can be eaten by the very loss
+/// burst it is composed with — leaving a replica throttled forever and
+/// the test to its timeout. Control transitions are idempotent on every
+/// service (duplicates are state no-ops), so blind retransmission is
+/// safe; plans whose opposing transitions sit closer together than the
+/// retry tail (`RETRANSMITS × RETRY_GAP`) are the composer's error.
+const RETRANSMITS: u64 = 2;
+/// Spacing between control-message retransmissions.
+const RETRY_GAP: SimDuration = SimDuration::from_millis(150);
 
 /// One executed (or skipped) service action, for the fault ledger.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,7 +85,7 @@ impl FaultDriver {
 impl<A: Send + 'static> Node<NetMsg<A>> for FaultDriver {
     fn on_start(&mut self, ctx: &mut Context<'_, NetMsg<A>>) {
         // on_start runs at t = 0, so each action's absolute time is its
-        // timer delay; the token indexes into the action list.
+        // timer delay; the token indexes into the action list (attempt 0).
         for (i, action) in self.actions.iter().enumerate() {
             ctx.set_timer(action.at.saturating_since(SimTime::ZERO), i as u64);
         }
@@ -79,7 +94,11 @@ impl<A: Send + 'static> Node<NetMsg<A>> for FaultDriver {
     fn on_message(&mut self, _: &mut Context<'_, NetMsg<A>>, _: NodeId, _: NetMsg<A>) {}
 
     fn on_timer(&mut self, ctx: &mut Context<'_, NetMsg<A>>, token: u64) {
-        let action = self.actions[token as usize];
+        // token = attempt · |actions| + index: every firing re-sends its
+        // action; only attempt 0 enters the ledger.
+        let n = self.actions.len() as u64;
+        let (attempt, index) = (token / n, (token % n) as usize);
+        let action = self.actions[index];
         let ctl = match action.action {
             ServiceActionKind::Crash => ControlMsg::Crash,
             ServiceActionKind::Recover => ControlMsg::Recover,
@@ -87,11 +106,16 @@ impl<A: Send + 'static> Node<NetMsg<A>> for FaultDriver {
             ServiceActionKind::BrownoutEnd => ControlMsg::BrownoutEnd,
         };
         ctx.send(self.targets[action.target], NetMsg::Control(ctl));
-        self.log.push(ExecutedAction {
-            at: ctx.true_now(),
-            target: action.target,
-            action: action.action,
-        });
+        if attempt == 0 {
+            self.log.push(ExecutedAction {
+                at: ctx.true_now(),
+                target: action.target,
+                action: action.action,
+            });
+        }
+        if attempt < RETRANSMITS {
+            ctx.set_timer(RETRY_GAP, token + n);
+        }
     }
 }
 

@@ -43,10 +43,12 @@ pub mod api;
 pub mod catalog;
 pub mod fault_driver;
 pub mod live;
+pub mod quorum;
 pub mod replica_node;
 
 pub use api::{ClientOp, ControlMsg, NetMsg, OpResult, ReplMsg};
 pub use catalog::{deploy, ServiceCluster, ServiceKind};
 pub use fault_driver::{ExecutedAction, FaultDriver};
 pub use live::{LiveCluster, LiveConfig, StaleWindow};
+pub use quorum::QuorumReplica;
 pub use replica_node::{DelayDist, ReadPath, ReplicaNode, ReplicaParams};

@@ -20,7 +20,7 @@
 //! probe pipeline is expected to detect.
 
 use crate::catalog::{topology, ServiceKind};
-use crate::replica_node::DelayDist;
+use crate::replica_node::{DelayDist, WriteMode};
 use conprobe_sim::net::Region;
 use conprobe_sim::{SimRng, SimTime};
 use conprobe_store::{AffinityMap, Post, PostId, ReplicaCore, StoredPost};
@@ -82,6 +82,10 @@ pub struct LiveCluster {
     in_flight: Mutex<Vec<PendingRepl>>,
     rng: Mutex<SimRng>,
     stale: Option<StaleWindow>,
+    /// Majority-synchronous writes (the quorum control arm): a write is
+    /// applied at every replica before it is acknowledged, so the live
+    /// group is linearizable — no replication queue, no anomaly windows.
+    sync_writes: bool,
 }
 
 impl LiveCluster {
@@ -104,6 +108,8 @@ impl LiveCluster {
                 })
             })
             .collect();
+        let sync_writes =
+            topo.replicas.iter().all(|(_, p)| p.write_mode == WriteMode::SyncMajority);
         LiveCluster {
             kind: config.kind,
             regions: topo.replicas.iter().map(|(r, _)| *r).collect(),
@@ -112,6 +118,7 @@ impl LiveCluster {
             in_flight: Mutex::new(Vec::new()),
             rng: Mutex::new(SimRng::new(config.seed).split("live.repl")),
             stale: config.stale_window,
+            sync_writes,
         }
     }
 
@@ -136,9 +143,11 @@ impl LiveCluster {
         self.affinity.replica_for(region)
     }
 
-    /// Accepts a write at `region`'s replica (local-ack discipline, like
-    /// all four measured services) and schedules asynchronous replication
-    /// pushes to every peer with per-peer sampled delays.
+    /// Accepts a write at `region`'s replica. Local-ack services (all
+    /// four measured ones) schedule asynchronous replication pushes to
+    /// every peer with per-peer sampled delays; the majority-synchronous
+    /// quorum service instead applies the write at every replica before
+    /// returning, so the acknowledgement implies global visibility.
     pub fn write(&self, region: Region, post: Post, now_nanos: u64) -> PostId {
         self.tick(now_nanos);
         let origin = self.replica_for(region);
@@ -147,6 +156,19 @@ impl LiveCluster {
             let mut rep = self.replicas[origin].lock().unwrap();
             rep.core.apply_new(post, SimTime::from_nanos(now_nanos)).cloned()
         };
+        if self.sync_writes {
+            if let Some(stored) = stored {
+                // Lock in index order (the anti-entropy discipline) so a
+                // concurrent writer at another front door cannot deadlock.
+                for target in 0..self.replicas.len() {
+                    if target != origin {
+                        let mut rep = self.replicas[target].lock().unwrap();
+                        rep.core.apply_replicated(stored.clone());
+                    }
+                }
+            }
+            return id;
+        }
         if let Some(stored) = stored {
             let repl_delay = self.replicas[origin].lock().unwrap().repl_delay.clone();
             let mut rng = self.rng.lock().unwrap();
@@ -332,6 +354,19 @@ mod tests {
         assert!(!c.read(Region::Oregon, 3 * MS).contains(&id));
         // Once the window passes, the refreshed snapshot shows the write.
         assert!(c.read(Region::Oregon, 600 * MS).contains(&id));
+    }
+
+    #[test]
+    fn quorum_writes_are_synchronously_visible_everywhere() {
+        let c = cluster(ServiceKind::Quorum, None);
+        assert_eq!(c.replica_count(), 3);
+        let id = c.write(Region::Oregon, post(0, 1), MS);
+        // No replication window: the ack implies global visibility, so a
+        // cross-region read-after-write can never miss (the control-arm
+        // property the four measured services lack — compare
+        // `replication_is_delayed_then_delivered`).
+        assert!(c.read(Region::Tokyo, MS + 1).contains(&id));
+        assert!(c.read(Region::Ireland, MS + 2).contains(&id));
     }
 
     #[test]

@@ -711,8 +711,11 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
 
     fn on_message(&mut self, ctx: &mut Context<'_, NetMsg<A>>, from: NodeId, msg: NetMsg<A>) {
         if let NetMsg::Control(ctl) = &msg {
+            // Control transitions are idempotent: the fault driver
+            // retransmits them over the (possibly lossy) network, so a
+            // duplicate must neither re-fire side effects nor re-log.
             match ctl {
-                crate::api::ControlMsg::Crash => {
+                crate::api::ControlMsg::Crash if !self.crashed => {
                     // Volatile state is lost wholesale; in-flight applies,
                     // pushes and held client requests are dropped with it.
                     self.core = ReplicaCore::new(self.params.ordering);
@@ -731,7 +734,7 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
                         });
                     }
                 }
-                crate::api::ControlMsg::Recover => {
+                crate::api::ControlMsg::Recover if self.crashed => {
                     self.crashed = false;
                     if let Some(obs) = &self.obs {
                         let node = ctx.node_id();
@@ -748,7 +751,7 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
                         }
                     }
                 }
-                crate::api::ControlMsg::BrownoutStart(mode) => {
+                crate::api::ControlMsg::BrownoutStart(mode) if self.brownout != Some(*mode) => {
                     self.brownout = Some(*mode);
                     if let Some(obs) = &self.obs {
                         obs.brownout.set(1.0);
@@ -758,7 +761,7 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
                         });
                     }
                 }
-                crate::api::ControlMsg::BrownoutEnd => {
+                crate::api::ControlMsg::BrownoutEnd if self.brownout.is_some() => {
                     self.brownout = None;
                     if let Some(obs) = &self.obs {
                         obs.brownout.set(0.0);
@@ -768,6 +771,7 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
                         });
                     }
                 }
+                _ => {} // duplicate delivery of an already-applied transition
             }
             return;
         }
@@ -880,6 +884,11 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
                     self.core.resequence_canonical();
                 }
             }
+            // State transfer is a quorum-replica protocol
+            // ([`crate::quorum::QuorumReplica`]); the weak catalog
+            // replicas recover via anti-entropy instead and ignore it.
+            NetMsg::Repl(ReplMsg::CatchupReq { .. })
+            | NetMsg::Repl(ReplMsg::CatchupResp { .. }) => {}
             // A response reaching a replica is the primary answering a
             // forwarded write: relay it to the original client.
             NetMsg::Response { req_id, result } => {
@@ -948,7 +957,7 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
 /// Canonical presentation order for quorum reads: exact server timestamp,
 /// ties by post id — identical at every coordinator, so quorum systems
 /// never exhibit order divergence.
-fn quorum_order(mut posts: Vec<conprobe_store::StoredPost>) -> Vec<PostId> {
+pub(crate) fn quorum_order(mut posts: Vec<conprobe_store::StoredPost>) -> Vec<PostId> {
     OrderingPolicy::exact_timestamp().sort(&mut posts);
     posts.into_iter().map(|p| p.id()).collect()
 }

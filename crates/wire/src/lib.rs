@@ -33,7 +33,7 @@ pub mod load;
 pub mod probe;
 pub mod server;
 
-pub use client::WireClient;
+pub use client::{ReconnectPolicy, WireClient};
 pub use frame::{decode, Frame, WireError, MAX_PAYLOAD, PROTO_VERSION};
 pub use load::{run_load, wire_latency_bounds_nanos, LoadConfig, LoadReport};
 pub use probe::{run_probe, ProbeConfig};

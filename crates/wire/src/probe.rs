@@ -28,7 +28,7 @@
 //! (journaling, `--resume`, anomaly tables) works on live traces
 //! untouched.
 
-use crate::client::WireClient;
+use crate::client::{ReconnectPolicy, WireClient};
 use conprobe_core::trace::{AgentId, OpRecord, Timestamp};
 use conprobe_core::{analyze, trace::OpKind, TestTrace};
 use conprobe_harness::clocksync::{estimate, ProbeSample};
@@ -137,6 +137,26 @@ struct AgentOutput {
     reads: u32,
     writes: u32,
     completed: bool,
+    /// The connection died past the reconnect budget (or never came up):
+    /// the agent is quarantined and whatever records it logged before
+    /// the failure are salvaged into the merged trace.
+    error: Option<String>,
+}
+
+impl AgentOutput {
+    /// An agent that produced nothing before failing.
+    fn failed(error: String) -> Self {
+        AgentOutput {
+            records: Vec::new(),
+            delta_nanos: 0,
+            uncertainty_nanos: 0,
+            clock_error_nanos: 0,
+            reads: 0,
+            writes: 0,
+            completed: false,
+            error: Some(error),
+        }
+    }
 }
 
 fn map_records(records: &[LocalOpRecord], agent: u32, delta_nanos: i64) -> Vec<OpRecord<PostId>> {
@@ -154,6 +174,12 @@ fn map_records(records: &[LocalOpRecord], agent: u32, delta_nanos: i64) -> Vec<O
 /// Runs one live probe instance end to end. Returns a full
 /// [`TestResult`] whose trace, analysis and journal serialization are
 /// indistinguishable from a simulated run's.
+///
+/// A dead agent connection (past the reconnect budget) does not abort
+/// the study: the agent is quarantined in `agent_health`, its partial
+/// record log is salvaged into the merged trace, and the result is
+/// marked `salvaged`. Only when *every* agent fails is the instance an
+/// error.
 pub fn run_probe(config: &ProbeConfig) -> Result<TestResult, EndpointError> {
     let total = config.endpoints.len() as u32;
     assert!(total > 0, "probe needs at least one endpoint");
@@ -162,6 +188,7 @@ pub fn run_probe(config: &ProbeConfig) -> Result<TestResult, EndpointError> {
     let sync_barrier = Arc::new(Barrier::new(config.endpoints.len()));
     let start_at_server: Arc<OnceLock<i64>> = Arc::new(OnceLock::new());
     let completions = Arc::new(AtomicU32::new(0));
+    let abandoned = Arc::new(AtomicU32::new(0));
 
     let mut threads = Vec::new();
     for (i, (_region, addr)) in config.endpoints.iter().enumerate() {
@@ -170,6 +197,7 @@ pub fn run_probe(config: &ProbeConfig) -> Result<TestResult, EndpointError> {
         let sync_barrier = Arc::clone(&sync_barrier);
         let start_at_server = Arc::clone(&start_at_server);
         let completions = Arc::clone(&completions);
+        let abandoned = Arc::clone(&abandoned);
         threads.push(std::thread::spawn(move || {
             agent_main(
                 &config,
@@ -180,15 +208,25 @@ pub fn run_probe(config: &ProbeConfig) -> Result<TestResult, EndpointError> {
                 &sync_barrier,
                 &start_at_server,
                 &completions,
+                &abandoned,
             )
         }));
     }
 
     let mut outputs = Vec::new();
     for t in threads {
-        let out = t.join().map_err(|_| EndpointError("probe agent panicked".into()))??;
+        // Agent threads catch their own I/O failures; a panic would be
+        // a bug, but even then the study salvages what the others
+        // produced instead of unwinding.
+        let out = t.join().unwrap_or_else(|_| AgentOutput::failed("probe agent panicked".into()));
         outputs.push(out);
     }
+
+    if outputs.iter().all(|o| o.error.is_some()) {
+        let first = outputs.iter().find_map(|o| o.error.as_deref()).unwrap_or("unknown failure");
+        return Err(EndpointError(format!("all {total} probe agent(s) failed: {first}")));
+    }
+    let salvaged = outputs.iter().any(|o| o.error.is_some());
 
     // Merge onto the server timeline — the live analogue of the
     // coordinator's delta correction.
@@ -222,15 +260,17 @@ pub fn run_probe(config: &ProbeConfig) -> Result<TestResult, EndpointError> {
         agent_regions: config.endpoints.iter().map(|(r, _)| *r).collect(),
         whitebox: None,
         fault_ledger: FaultLedger::default(),
-        agent_health: (0..total)
-            .map(|i| AgentHealth {
-                agent_index: i,
-                heartbeats: 0,
-                quarantined: false,
-                log_collected: true,
+        agent_health: outputs
+            .iter()
+            .enumerate()
+            .map(|(i, o)| AgentHealth {
+                agent_index: i as u32,
+                heartbeats: u64::from(o.reads),
+                quarantined: o.error.is_some(),
+                log_collected: o.error.is_none() || !o.records.is_empty(),
             })
             .collect(),
-        salvaged: false,
+        salvaged,
         seed: config.seed,
         sim_events: 0,
         service: config.service,
@@ -293,24 +333,22 @@ fn cluster_entry_index(service: ServiceKind, region: Region) -> usize {
     conprobe_services::catalog::topology(service).affinity.replica_for(region)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn agent_main(
+/// Connect, verify the hosted service and run the Cristian clock-sync
+/// phase — everything that can fail *before* the synchronized start.
+fn agent_setup(
     config: &ProbeConfig,
-    agent_index: u32,
-    total: u32,
     addr: SocketAddr,
-    epoch: Instant,
-    sync_barrier: &Barrier,
-    start_at_server: &OnceLock<i64>,
-    completions: &AtomicU32,
-) -> Result<AgentOutput, EndpointError> {
-    // The paper's NTP-disabled clocks: ±2 s seeded offsets, per agent.
-    let mut rng =
-        SimRng::new(config.seed).split_indexed("wire.agent.clock", u64::from(agent_index));
-    let offset_nanos = rng.gen_range(-2_000_000_000_i64..2_000_000_000);
-    let clock = AgentClock { epoch, offset_nanos };
-
-    let mut client = WireClient::connect(addr, config.timeout)?;
+    clock: &AgentClock,
+    offset_nanos: i64,
+) -> Result<(WireClient, i64, i64, i64), EndpointError> {
+    // Transient connection drops ride out on the capped-backoff
+    // reconnect budget; only a persistently dead endpoint fails the
+    // agent (and then the study quarantines it rather than aborting).
+    let mut client = WireClient::connect_with_policy(
+        addr,
+        config.timeout,
+        ReconnectPolicy::probe_default(config.seed),
+    )?;
     let expected = conprobe_harness::journal::service_token(config.service);
     if client.service() != expected {
         return Err(EndpointError(format!(
@@ -337,18 +375,53 @@ fn agent_main(
     // on one host the shift is the tiny interval between the two
     // `Instant::now()` calls — call it zero and score the estimator.
     let clock_error_nanos = (est.delta_nanos + offset_nanos).abs();
+    Ok((client, est.delta_nanos, est.uncertainty_nanos, clock_error_nanos))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn agent_main(
+    config: &ProbeConfig,
+    agent_index: u32,
+    total: u32,
+    addr: SocketAddr,
+    epoch: Instant,
+    sync_barrier: &Barrier,
+    start_at_server: &OnceLock<i64>,
+    completions: &AtomicU32,
+    abandoned: &AtomicU32,
+) -> AgentOutput {
+    // The paper's NTP-disabled clocks: ±2 s seeded offsets, per agent.
+    let mut rng =
+        SimRng::new(config.seed).split_indexed("wire.agent.clock", u64::from(agent_index));
+    let offset_nanos = rng.gen_range(-2_000_000_000_i64..2_000_000_000);
+    let clock = AgentClock { epoch, offset_nanos };
+
+    let (mut client, delta_nanos, uncertainty_nanos, clock_error_nanos) =
+        match agent_setup(config, addr, &clock, offset_nanos) {
+            Ok(v) => v,
+            Err(e) => {
+                // The barrier MUST still be crossed, or every healthy
+                // agent deadlocks waiting for the synchronized start.
+                abandoned.fetch_add(1, Ordering::AcqRel);
+                sync_barrier.wait();
+                return AgentOutput::failed(e.0);
+            }
+        };
 
     // Synchronized start: the first agent past the barrier publishes one
     // server-timeline start instant; everyone maps it into their own
     // skewed clock and sleeps.
     sync_barrier.wait();
     let start_server = *start_at_server.get_or_init(|| {
-        clock.now().as_nanos() + est.delta_nanos + config.start_margin.as_nanos() as i64
+        clock.now().as_nanos() + delta_nanos + config.start_margin.as_nanos() as i64
     });
-    let start_local = LocalTime::from_nanos(start_server - est.delta_nanos);
+    let start_local = LocalTime::from_nanos(start_server - delta_nanos);
     clock.sleep_until(start_local);
 
-    // The measurement phase: the sim agent's cadence, blocking.
+    // The measurement phase: the sim agent's cadence, blocking. I/O
+    // errors break out of the cadence instead of unwinding the study —
+    // whatever was recorded up to the failure is the salvageable part
+    // of this agent's trace.
     let deadline = start_local.offset_by(config.max_duration.as_nanos() as i64);
     let mut records: Vec<LocalOpRecord> = Vec::new();
     let mut reads = 0u32;
@@ -356,49 +429,16 @@ fn agent_main(
     let mut next_write_seq = 1u32;
     let mut triggered = agent_index == 0; // agent 0 needs no trigger
     let mut completed = false;
-    let mut next_read = clock.now();
 
-    // Test 1: agent 0 writes both messages at the start (second as soon
-    // as the first acked — which a blocking call gives us for free).
-    // Test 2: every agent writes once at the start.
-    match config.kind {
-        TestKind::Test1 => {
-            if agent_index == 0 {
-                for _ in 0..2 {
-                    write_next(
-                        &mut client,
-                        &clock,
-                        &mut records,
-                        agent_index,
-                        &mut next_write_seq,
-                        &mut writes,
-                    )?;
-                }
-            }
-        }
-        TestKind::Test2 => {
-            write_next(
-                &mut client,
-                &clock,
-                &mut records,
-                agent_index,
-                &mut next_write_seq,
-                &mut writes,
-            )?;
-        }
-    }
+    let outcome = (|| -> Result<(), EndpointError> {
+        let mut next_read = clock.now();
 
-    loop {
-        if clock.now() >= deadline {
-            break;
-        }
-        clock.sleep_until(next_read);
-        let seq = do_op(&mut client, &clock, &mut records, ClientOp::Read)?.unwrap_or_default();
-        reads += 1;
+        // Test 1: agent 0 writes both messages at the start (second as
+        // soon as the first acked — which a blocking call gives us for
+        // free). Test 2: every agent writes once at the start.
         match config.kind {
             TestKind::Test1 => {
-                if !triggered && seq.contains(&test1_post(agent_index - 1, 2)) {
-                    triggered = true;
+                if agent_index == 0 {
                     for _ in 0..2 {
                         write_next(
                             &mut client,
@@ -410,36 +450,90 @@ fn agent_main(
                         )?;
                     }
                 }
-                if !completed && seq.contains(&test1_post(total - 1, 2)) {
-                    completed = true;
-                    completions.fetch_add(1, Ordering::AcqRel);
-                }
-                // Keep reading until *everyone* has seen the last write —
-                // the coordinator's Stop, decentralized.
-                if completions.load(Ordering::Acquire) >= total {
-                    break;
-                }
-                next_read = next_read.offset_by(config.read_period.as_nanos() as i64);
             }
             TestKind::Test2 => {
-                if reads >= config.reads_target {
-                    completed = true;
-                    break;
-                }
-                let period =
-                    if reads < config.fast_reads { config.read_period } else { config.slow_period };
-                next_read = next_read.offset_by(period.as_nanos() as i64);
+                write_next(
+                    &mut client,
+                    &clock,
+                    &mut records,
+                    agent_index,
+                    &mut next_write_seq,
+                    &mut writes,
+                )?;
             }
         }
+
+        loop {
+            if clock.now() >= deadline {
+                break;
+            }
+            clock.sleep_until(next_read);
+            let seq = do_op(&mut client, &clock, &mut records, ClientOp::Read)?.unwrap_or_default();
+            reads += 1;
+            match config.kind {
+                TestKind::Test1 => {
+                    if !triggered && seq.contains(&test1_post(agent_index - 1, 2)) {
+                        triggered = true;
+                        for _ in 0..2 {
+                            write_next(
+                                &mut client,
+                                &clock,
+                                &mut records,
+                                agent_index,
+                                &mut next_write_seq,
+                                &mut writes,
+                            )?;
+                        }
+                    }
+                    if !completed && seq.contains(&test1_post(total - 1, 2)) {
+                        completed = true;
+                        completions.fetch_add(1, Ordering::AcqRel);
+                    }
+                    // Keep reading until everyone has either seen the
+                    // last write or been written off — the coordinator's
+                    // Stop, decentralized. Counting the abandoned keeps
+                    // the healthy agents from spinning until the hard
+                    // deadline when a sibling's connection dies.
+                    if completions.load(Ordering::Acquire) + abandoned.load(Ordering::Acquire)
+                        >= total
+                    {
+                        break;
+                    }
+                    next_read = next_read.offset_by(config.read_period.as_nanos() as i64);
+                }
+                TestKind::Test2 => {
+                    if reads >= config.reads_target {
+                        completed = true;
+                        break;
+                    }
+                    let period = if reads < config.fast_reads {
+                        config.read_period
+                    } else {
+                        config.slow_period
+                    };
+                    next_read = next_read.offset_by(period.as_nanos() as i64);
+                }
+            }
+        }
+        Ok(())
+    })();
+
+    let error = outcome.err().map(|e| e.0);
+    if error.is_some() && !completed {
+        // A completed agent already counts toward the decentralized
+        // stop; counting it again would let Test 1 stop one sighting
+        // early.
+        abandoned.fetch_add(1, Ordering::AcqRel);
     }
 
-    Ok(AgentOutput {
+    AgentOutput {
         records,
-        delta_nanos: est.delta_nanos,
-        uncertainty_nanos: est.uncertainty_nanos,
+        delta_nanos,
+        uncertainty_nanos,
         clock_error_nanos,
         reads,
         writes,
         completed,
-    })
+        error,
+    }
 }

@@ -350,6 +350,53 @@ pub fn bench_wire_throughput(scale: BenchScale) -> WireBench {
     }
 }
 
+/// What the quorum stage measured: the strong control arm's operation
+/// throughput next to a weak catalog backend on the identical campaign
+/// schedule — the price of `R + W > N` in this simulator, in numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct QuorumBench {
+    /// Quorum-committed writes per wall-clock second across the cell.
+    pub quorum_writes_per_sec: f64,
+    /// Majority reads per wall-clock second across the cell.
+    pub quorum_reads_per_sec: f64,
+    /// The weak baseline's (Google+) writes per second, same schedule.
+    pub weak_writes_per_sec: f64,
+    /// The weak baseline's reads per second, same schedule.
+    pub weak_reads_per_sec: f64,
+}
+
+/// Times the quorum control arm against the weak baseline: two campaign
+/// cells with byte-identical schedules (Test 2, the read-heavy regime),
+/// differing only in backend. Every quorum read is a majority gather and
+/// every write a majority commit, so the gap between the two rows is
+/// pure replication-protocol cost.
+pub fn bench_quorum(scale: BenchScale) -> QuorumBench {
+    fn cell(service: ServiceKind, tests: u32) -> (f64, f64) {
+        let mut config = CampaignConfig::paper(service, TestKind::Test2, tests).with_seed(0x0C0A);
+        config.threads = 4;
+        config.test.read_period = SimDuration::from_millis(100);
+        config.test.fast_reads = 280;
+        config.test.reads_target = 300;
+        let start = Instant::now();
+        let result = run_campaign(&config);
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        let writes: usize = result.results.iter().map(|r| r.trace.write_count()).sum();
+        let reads: usize = result.results.iter().map(|r| r.trace.read_count()).sum();
+        assert!(reads > 0, "{service} bench cell produced no reads");
+        (writes as f64 / elapsed, reads as f64 / elapsed)
+    }
+    let (quorum_writes_per_sec, quorum_reads_per_sec) =
+        cell(ServiceKind::Quorum, scale.campaign_tests);
+    let (weak_writes_per_sec, weak_reads_per_sec) =
+        cell(ServiceKind::GooglePlus, scale.campaign_tests);
+    QuorumBench {
+        quorum_writes_per_sec,
+        quorum_reads_per_sec,
+        weak_writes_per_sec,
+        weak_reads_per_sec,
+    }
+}
+
 /// Runs the whole suite at `scale`.
 pub fn run_suite(scale: BenchScale) -> BenchNumbers {
     let (checker_ops_per_sec, _) = bench_checkers(scale);
@@ -375,6 +422,7 @@ pub fn report_json(
     current: BenchNumbers,
     journal_overhead: Option<(f64, f64)>,
     wire: Option<&WireBench>,
+    quorum: Option<&QuorumBench>,
 ) -> String {
     use conprobe_json::JsonValue;
     let numbers = |n: &BenchNumbers| {
@@ -470,6 +518,23 @@ pub fn report_json(
             ]),
         ));
     }
+    if let Some(q) = quorum {
+        members.push((
+            "quorum".into(),
+            JsonValue::Object(vec![
+                ("writes_per_sec".into(), JsonValue::Float(round2(q.quorum_writes_per_sec))),
+                ("reads_per_sec".into(), JsonValue::Float(round2(q.quorum_reads_per_sec))),
+                ("weak_writes_per_sec".into(), JsonValue::Float(round2(q.weak_writes_per_sec))),
+                ("weak_reads_per_sec".into(), JsonValue::Float(round2(q.weak_reads_per_sec))),
+                (
+                    "read_slowdown".into(),
+                    JsonValue::Float(round2(
+                        q.weak_reads_per_sec / q.quorum_reads_per_sec.max(1e-9),
+                    )),
+                ),
+            ]),
+        ));
+    }
     JsonValue::Object(members).to_pretty()
 }
 
@@ -479,14 +544,11 @@ fn round2(x: f64) -> f64 {
 
 /// FNV-1a over a byte string — the fingerprint hash for the golden-seed
 /// determinism tests (stable across platforms and toolchains, unlike
-/// `std`'s `RandomState` hashes).
+/// `std`'s `RandomState` hashes). Delegates to the workspace-wide
+/// implementation in [`conprobe_json::frame`], which the `cpj1` record
+/// format (campaign journal, quorum state transfer) also uses.
 pub fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+    conprobe_json::frame::fnv64(bytes)
 }
 
 /// A golden fingerprint of one test instance: the FNV-1a hash of the
@@ -675,9 +737,20 @@ mod tests {
             connections: 8,
             errors: 0,
         };
-        let doc =
-            conprobe_json::parse(&report_json("smoke", numbers, Some((2.0, 1.9)), Some(&wire)))
-                .expect("valid JSON");
+        let quorum = QuorumBench {
+            quorum_writes_per_sec: 10.0,
+            quorum_reads_per_sec: 500.0,
+            weak_writes_per_sec: 12.0,
+            weak_reads_per_sec: 1500.0,
+        };
+        let doc = conprobe_json::parse(&report_json(
+            "smoke",
+            numbers,
+            Some((2.0, 1.9)),
+            Some(&wire),
+            Some(&quorum),
+        ))
+        .expect("valid JSON");
         assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("conprobe-bench/1"));
         let current = doc.get("current").expect("current block");
         assert_eq!(current.get("checker_ops_per_sec").and_then(|v| v.as_f64()), Some(1000.0));
@@ -689,9 +762,13 @@ mod tests {
         let wt = doc.get("wire_throughput").expect("wire throughput block");
         assert_eq!(wt.get("ops_per_sec").and_then(|v| v.as_f64()), Some(80_000.0));
         assert_eq!(wt.get("p99_nanos").and_then(|v| v.as_f64()), Some(2_000_000.0));
+        let q = doc.get("quorum").expect("quorum block");
+        assert_eq!(q.get("reads_per_sec").and_then(|v| v.as_f64()), Some(500.0));
+        assert_eq!(q.get("read_slowdown").and_then(|v| v.as_f64()), Some(3.0));
         // Without the stages, the blocks are absent (schema stays stable).
-        let bare = conprobe_json::parse(&report_json("smoke", numbers, None, None)).unwrap();
+        let bare = conprobe_json::parse(&report_json("smoke", numbers, None, None, None)).unwrap();
         assert!(bare.get("journal_overhead").is_none());
         assert!(bare.get("wire_throughput").is_none());
+        assert!(bare.get("quorum").is_none());
     }
 }

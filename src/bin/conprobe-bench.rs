@@ -15,7 +15,9 @@
 //! crash-safe campaign journal (fsync'd append per finished test) off
 //! and on; a wire-throughput stage hammers an in-process loopback `cpw1`
 //! server with the closed-loop load generator and records real-socket
-//! ops/sec and latency percentiles. `--mode smoke` runs the same
+//! ops/sec and latency percentiles; a quorum stage times the
+//! majority-quorum control arm against the weak baseline on an identical
+//! campaign schedule. `--mode smoke` runs the same
 //! workloads at small
 //! iteration counts for CI; `--golden` skips timing entirely and prints
 //! the golden-seed fingerprints used by `tests/determinism_golden.rs`
@@ -131,6 +133,16 @@ fn main() -> ExitCode {
         wire.p99_nanos as f64 / 1e6,
         wire.errors
     );
+    let quorum = bench::bench_quorum(scale);
+    eprintln!(
+        "quorum cell: {:.0} writes/sec, {:.0} reads/sec \
+         (weak baseline {:.0}/{:.0}, read slowdown {:.2}x)",
+        quorum.quorum_writes_per_sec,
+        quorum.quorum_reads_per_sec,
+        quorum.weak_writes_per_sec,
+        quorum.weak_reads_per_sec,
+        quorum.weak_reads_per_sec / quorum.quorum_reads_per_sec.max(1e-9)
+    );
     if let Err(e) = conprobe::fsio::write_atomic(&args.metrics_out, &metrics_json) {
         eprintln!("cannot write {}: {e}", args.metrics_out);
         return ExitCode::FAILURE;
@@ -144,8 +156,13 @@ fn main() -> ExitCode {
         snapshot_reads_per_sec: snapshot_reads,
         visibility_records_per_sec: visibility_records,
     };
-    let json =
-        bench::report_json(&args.mode, numbers, Some((journal_off, journal_on)), Some(&wire));
+    let json = bench::report_json(
+        &args.mode,
+        numbers,
+        Some((journal_off, journal_on)),
+        Some(&wire),
+        Some(&quorum),
+    );
     if let Err(e) = conprobe::fsio::write_atomic(&args.out, &json) {
         eprintln!("cannot write {}: {e}", args.out);
         return ExitCode::FAILURE;

@@ -237,7 +237,7 @@ USAGE:
   conprobe services
   conprobe help
 
-  <svc>: blogger | gplus | fbfeed | fbgroup
+  <svc>: blogger | gplus | fbfeed | fbgroup | quorum
   region: oregon | tokyo | ireland | virginia (or OR|JP|IR|VA)
 
   `serve` hosts a catalog service on one 127.0.0.1 listener per agent
@@ -272,6 +272,7 @@ fn parse_service(s: &str) -> Result<ServiceKind, CliError> {
         "gplus" | "google+" | "googleplus" => Ok(ServiceKind::GooglePlus),
         "fbfeed" | "feed" => Ok(ServiceKind::FacebookFeed),
         "fbgroup" | "group" => Ok(ServiceKind::FacebookGroup),
+        "quorum" => Ok(ServiceKind::Quorum),
         other => Err(CliError(format!("unknown service '{other}'"))),
     }
 }
@@ -721,7 +722,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
     match cmd {
         Command::Help => out.push_str(USAGE),
         Command::Services => {
-            for s in ServiceKind::ALL {
+            for s in ServiceKind::CATALOG {
                 let topo = conprobe_services::catalog::topology(s);
                 let _ = writeln!(
                     out,
@@ -799,7 +800,16 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
         }
         Command::Chaos { service, kind, seed, levels, metrics_out, journal_out, resume } => {
             let _ = writeln!(out, "{service} {kind} chaos sweep (seed {seed}):");
-            let sink = metrics_out.as_ref().map(|_| metrics_sink());
+            // Chaos always captures service-lifecycle events (crashes,
+            // recoveries, state transfers, brownouts) and narrates them on
+            // stderr: stdout must stay byte-identical between a fresh
+            // sweep and a journal-resumed one, and spliced levels re-run
+            // nothing so they have no events to narrate.
+            let sink = Some(ObsSink::with_log(
+                EventLog::new(4096)
+                    .with_min_severity(Severity::Info)
+                    .with_target_prefix("services"),
+            ));
             let (journal_file, recovery) = open_journal(&journal_out, &resume)?;
             let cell = format!("chaos/{}", journal::cell_id(service, kind));
             let recovered = recovery.as_ref().map(|r| r.completed_for(&cell)).unwrap_or_default();
@@ -820,6 +830,11 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                     }
                     None => {
                         let r = run_one_test(&config, seed);
+                        if let Some(sink) = &sink {
+                            for e in sink.log.drain() {
+                                eprintln!("  level {level}: {}", e.render());
+                            }
+                        }
                         if let Some(j) = &journal_file {
                             if let Err(e) = j.append_completed(&cell, level, seed, &r) {
                                 eprintln!("journal: append failed for {cell} level {level}: {e}");
@@ -1141,6 +1156,13 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                     r.duration_secs,
                     max_err as f64 / 1e6
                 );
+                for h in r.agent_health.iter().filter(|h| h.quarantined) {
+                    eprintln!(
+                        "  instance {i}: agent {} QUARANTINED ({}); partial trace salvaged",
+                        h.agent_index,
+                        if h.log_collected { "some records kept" } else { "no records" },
+                    );
+                }
                 let anomalies: usize = AnomalyKind::ALL.iter().map(|k| r.analysis.count(*k)).sum();
                 let _ = writeln!(
                     out,

@@ -82,4 +82,29 @@ mod tests {
     fn rejects_pathless_targets() {
         assert!(write_atomic("/", "x").is_err());
     }
+
+    #[test]
+    fn file_as_parent_surfaces_the_io_error_without_droppings() {
+        let dir = std::env::temp_dir().join("conprobe-fsio-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join(format!("plain-{}.txt", std::process::id()));
+        std::fs::write(&file, b"i am a file").unwrap();
+        // The temp sibling lives under the same (bogus) parent, so the
+        // very first create fails with ENOTDIR — a typed error, no panic.
+        let err = write_atomic(file.join("child.json"), "doomed")
+            .expect_err("a file cannot be a parent directory");
+        assert!(err.raw_os_error().is_some(), "expected an OS-level error, got {err}");
+        assert_eq!(std::fs::read_to_string(&file).unwrap(), "i am a file");
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn missing_parent_surfaces_the_io_error_without_droppings() {
+        let ghost = std::env::temp_dir()
+            .join(format!("conprobe-fsio-ghost-{}", std::process::id()))
+            .join("report.json");
+        let err = write_atomic(&ghost, "doomed").expect_err("parent does not exist");
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+        assert!(!ghost.exists());
+    }
 }

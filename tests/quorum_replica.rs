@@ -1,0 +1,106 @@
+//! The majority-quorum control arm, end to end (ISSUE 6 acceptance bar).
+//!
+//! The `Quorum` service exists to prove the harness measures the
+//! *services* and not itself: majority writes + majority reads +
+//! crash-recovery state transfer with read fencing must come through
+//! every checker clean, in clean runs and under the chaos plan's
+//! crash/recover cycle alike. Under a fixed seed the whole thing —
+//! trace, recovery narration, state-transfer stream hash — must be
+//! byte-deterministic.
+
+use conprobe::cli::chaos_plan;
+use conprobe::core::AnomalyKind;
+use conprobe::harness::proto::TestKind;
+use conprobe::harness::runner::{run_one_test, TestConfig, TestResult};
+use conprobe::services::ServiceKind;
+use conprobe_obs::{EventLog, ObsSink, Severity};
+
+/// The control arm: no faults, every checker, multiple seeds and both
+/// test designs — zero anomaly observations, always.
+#[test]
+fn clean_quorum_runs_are_anomaly_free_across_all_six_checkers() {
+    for kind in [TestKind::Test1, TestKind::Test2] {
+        for seed in [1, 7, 42] {
+            let config = TestConfig::paper(ServiceKind::Quorum, kind);
+            let r = run_one_test(&config, seed);
+            assert!(r.completed, "{kind} seed {seed} must complete");
+            for anomaly in AnomalyKind::ALL {
+                assert_eq!(
+                    r.analysis.count(anomaly),
+                    0,
+                    "{kind} seed {seed}: {anomaly} observed against the strong control arm"
+                );
+            }
+            assert!(r.analysis.is_clean());
+        }
+    }
+}
+
+/// Runs the level-3 chaos cell (loss burst + degraded link + link flap +
+/// a replica crash/recover cycle) against the quorum service, capturing
+/// the service event log.
+fn chaos_crash_run(seed: u64) -> (TestResult, Vec<String>) {
+    let sink = ObsSink::with_log(
+        EventLog::new(4096).with_min_severity(Severity::Info).with_target_prefix("services"),
+    );
+    let mut config = TestConfig::paper(ServiceKind::Quorum, TestKind::Test2);
+    config.fault_plan = chaos_plan(3, seed);
+    config.obs = Some(sink.clone());
+    let r = run_one_test(&config, seed);
+    let events = sink.log.drain().iter().map(|e| e.render()).collect();
+    (r, events)
+}
+
+/// The crash arm: replica 1 dies at 7 s and rejoins at 11 s. Read
+/// fencing must hold — the recovering replica serves nothing until its
+/// catch-up stream passes the rejoin watermark, so the run stays
+/// anomaly-free — and the recovery must narrate a completed state
+/// transfer.
+#[test]
+fn crash_and_recover_stays_clean_and_completes_a_state_transfer() {
+    let (r, events) = chaos_crash_run(42);
+    assert!(r.completed, "the survivors keep both quorums available");
+    for anomaly in AnomalyKind::ALL {
+        assert_eq!(
+            r.analysis.count(anomaly),
+            0,
+            "{anomaly} observed across a fenced crash/recover cycle:\n{events:#?}"
+        );
+    }
+    // The fault ledger shows the cycle actually executed.
+    assert!(
+        r.fault_ledger.actions.len() >= 2,
+        "crash + recover must be in the ledger: {:?}",
+        r.fault_ledger.actions
+    );
+    assert!(events.iter().any(|e| e.contains("crashed")), "crash event missing: {events:#?}");
+    assert!(
+        events.iter().any(|e| e.contains("state transfer complete")),
+        "recovery must complete a state transfer: {events:#?}"
+    );
+}
+
+/// Same seed, same plan → byte-identical trace and byte-identical
+/// recovery narration, stream hash included. This pins the state
+/// transfer (snapshot request, `cpj1` catch-up frames, fence lift) as
+/// fully deterministic.
+#[test]
+fn crash_recovery_state_transfer_is_byte_deterministic() {
+    let (r1, e1) = chaos_crash_run(42);
+    let (r2, e2) = chaos_crash_run(42);
+    assert_eq!(r1.trace, r2.trace, "traces must be byte-identical under a fixed seed");
+    assert_eq!(e1, e2, "recovery narration (incl. stream hash) must be deterministic");
+    assert!(
+        e1.iter().any(|e| e.contains("stream hash")),
+        "the transfer narration carries the catch-up stream hash: {e1:#?}"
+    );
+}
+
+/// The paper's campaign matrix — and with it every golden fingerprint —
+/// deliberately excludes the control arm.
+#[test]
+fn the_paper_matrix_does_not_gain_the_control_arm() {
+    assert_eq!(ServiceKind::ALL.len(), 4);
+    assert!(!ServiceKind::ALL.contains(&ServiceKind::Quorum));
+    assert!(ServiceKind::CATALOG.contains(&ServiceKind::Quorum));
+}

@@ -230,3 +230,112 @@ fn load_generator_reports_throughput_and_latency() {
     let json = metrics.to_json().to_pretty();
     assert!(json.contains("wire.load.latency_nanos"), "{json}");
 }
+
+/// A probe agent whose endpoint dies mid-cadence — connection dropped
+/// *and* reconnects refused, so the client's backoff budget runs out —
+/// is quarantined while the study still emits a salvaged trace from the
+/// surviving agents (plus whatever the dead agent logged before the
+/// failure).
+#[test]
+fn dead_agent_connection_is_quarantined_and_the_study_salvaged() {
+    use conprobe::store::{AuthorId, PostId};
+    use std::net::TcpListener;
+
+    // A fake cpw1 endpoint: serves the handshake, the Cristian probes
+    // and the first few measurement ops, then drops the connection and
+    // stops listening entirely. Reconnect attempts get ECONNREFUSED.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake endpoint");
+    let fake_addr = listener.local_addr().expect("fake addr");
+    let dying = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept probe agent");
+        drop(listener); // every reconnect from here on is refused
+        let mut buf: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let mut served = 0u32;
+        // 1 handshake hello + 5 clock probes + the initial write + two
+        // reads, then die with the next op in flight.
+        'serve: while served < 9 {
+            let n = match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => n,
+            };
+            buf.extend_from_slice(&chunk[..n]);
+            while let Ok(Some((frame, used))) = decode(&buf) {
+                buf.drain(..used);
+                let reply = match frame {
+                    Frame::Hello { proto } => {
+                        Frame::HelloAck { proto, server_clock_nanos: 0, service: "blogger".into() }
+                    }
+                    Frame::Write { author, seq, .. } => {
+                        Frame::WriteAck { id: PostId::new(AuthorId(author), seq).as_u64() }
+                    }
+                    Frame::Read => Frame::ReadOk { ids: vec![] },
+                    _ => continue,
+                };
+                if stream.write_all(&reply.encode()).is_err() {
+                    break 'serve;
+                }
+                served += 1;
+                if served >= 9 {
+                    break 'serve;
+                }
+            }
+        }
+        served
+    });
+
+    let server = WireServer::start(&ServeConfig::loopback(ServiceKind::Blogger, 21)).expect("bind");
+    let mut endpoints = probe_endpoints(&server, 2);
+    endpoints[1].1 = fake_addr;
+    let config = ProbeConfig::loopback(ServiceKind::Blogger, TestKind::Test2, endpoints, 21);
+    let result = run_probe(&config).expect("a single dead agent must not abort the study");
+    server.request_stop();
+    server.join();
+    let served = dying.join().expect("fake endpoint thread");
+    assert!(served >= 7, "fake endpoint should survive past the initial write, served {served}");
+
+    assert!(result.salvaged, "a quarantined agent marks the result salvaged");
+    assert!(!result.completed, "the dead agent cannot have finished its quota");
+    assert!(!result.agent_health[0].quarantined, "the healthy agent stays in");
+    assert!(result.agent_health[1].quarantined, "the dead agent is quarantined");
+    assert!(result.agent_health[1].log_collected, "records logged before the failure are salvaged");
+    assert!(
+        result.reads_per_agent[0] >= config.reads_target,
+        "the healthy agent finishes its full read quota: {:?}",
+        result.reads_per_agent
+    );
+    assert!(
+        result.reads_per_agent[1] < config.reads_target,
+        "the dead agent stops early: {:?}",
+        result.reads_per_agent
+    );
+    assert_eq!(result.writes_total, 2, "both Test 2 initial writes are in the trace");
+}
+
+/// The quorum control arm served over real sockets: `serve --service
+/// quorum` bridges `QuorumReplica` through `LiveCluster` with
+/// synchronous majority writes, so a live probe must analyze clean on
+/// every checker — the wire-level counterpart of the simulated control
+/// arm in `tests/quorum_replica.rs`.
+#[test]
+fn live_quorum_probe_is_anomaly_free_over_the_wire() {
+    let server = WireServer::start(&ServeConfig::loopback(ServiceKind::Quorum, 13)).expect("bind");
+    let config = ProbeConfig::loopback(
+        ServiceKind::Quorum,
+        TestKind::Test2,
+        probe_endpoints(&server, 2),
+        13,
+    );
+    let result = run_probe(&config).expect("probe");
+    server.request_stop();
+    server.join();
+
+    assert!(result.completed, "both agents finish their read quota");
+    assert!(!result.salvaged);
+    assert!(
+        result.analysis.is_clean(),
+        "majority writes + majority reads must hide nothing from the checkers"
+    );
+    assert_eq!(result.writes_total, 2);
+    assert!(result.reads_per_agent.iter().all(|&r| r >= config.reads_target));
+}
