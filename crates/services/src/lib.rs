@@ -45,6 +45,7 @@ pub mod fault_driver;
 pub mod live;
 pub mod quorum;
 pub mod replica_node;
+pub mod shard;
 
 pub use api::{ClientOp, ControlMsg, NetMsg, OpResult, ReplMsg};
 pub use catalog::{deploy, ServiceCluster, ServiceKind};
@@ -52,3 +53,4 @@ pub use fault_driver::{ExecutedAction, FaultDriver};
 pub use live::{LiveCluster, LiveConfig, StaleWindow};
 pub use quorum::QuorumReplica;
 pub use replica_node::{DelayDist, ReadPath, ReplicaNode, ReplicaParams};
+pub use shard::ShardRing;

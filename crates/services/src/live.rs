@@ -9,6 +9,20 @@
 //! unit tests feed it hand-picked instants and get fully deterministic
 //! behaviour — the same trick the sim plays, inverted.
 //!
+//! **Keyspace sharding.** The cluster hosts [`LiveConfig::shards`]
+//! independent copies of the service topology, one per keyspace shard,
+//! with a consistent-hash [`ShardRing`] mapping every `u32` key onto a
+//! shard (see [`crate::shard`]). Each shard is a full replica group with
+//! its own replication queue and anti-entropy schedule, so unrelated
+//! keys never contend on a lock; within a shard, every key gets its own
+//! [`ReplicaCore`] per replica (created on first touch), so each key is
+//! a fully isolated logical object with exactly the single-object
+//! semantics the paper measures — a write to one key is never visible
+//! to readers of another, even when the ring co-locates them. The
+//! legacy un-keyed [`LiveCluster::write`]/[`LiveCluster::read`] API is
+//! key 0 of the keyed API; with `shards: 1` the cluster is byte-for-byte
+//! the pre-sharding one.
+//!
 //! Fidelity note: the live driver reuses the catalog's per-replica
 //! [`OrderingPolicy`](conprobe_store::OrderingPolicy), replication-delay
 //! distribution, anti-entropy period, and canonicalization flags, but
@@ -17,14 +31,18 @@
 //! sim-only). For live experiments that must *exhibit* staleness on
 //! demand, [`LiveConfig::stale_window`] pins one replica behind a
 //! bounded-lag read cache — a deliberately seeded anomaly window the
-//! probe pipeline is expected to detect.
+//! probe pipeline is expected to detect. The pin applies to that replica
+//! in *every* shard, so keyed and un-keyed probes see the same anomaly.
 
 use crate::catalog::{topology, ServiceKind};
 use crate::replica_node::{DelayDist, WriteMode};
+use crate::shard::ShardRing;
 use conprobe_sim::net::Region;
 use conprobe_sim::{SimRng, SimTime};
-use conprobe_store::{AffinityMap, Post, PostId, ReplicaCore, StoredPost};
-use std::sync::Mutex;
+use conprobe_store::{AffinityMap, OrderingPolicy, Post, PostId, ReplicaCore, StoredPost};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A deliberately seeded staleness window: the chosen replica serves
 /// reads from a snapshot refreshed at most once per `lag_nanos`, so a
@@ -47,65 +65,122 @@ pub struct LiveConfig {
     pub seed: u64,
     /// Optional seeded staleness window (see [`StaleWindow`]).
     pub stale_window: Option<StaleWindow>,
+    /// Keyspace shards (independent replica groups); clamped to ≥ 1.
+    pub shards: usize,
 }
 
-/// One replication push in flight between replicas, due at `deliver_at`
-/// nanoseconds on the caller's clock.
+impl LiveConfig {
+    /// A single-shard deployment — the pre-sharding behaviour.
+    pub fn single(kind: ServiceKind, seed: u64) -> Self {
+        LiveConfig { kind, seed, stale_window: None, shards: 1 }
+    }
+}
+
+/// One replication push in flight between replicas of one shard, due at
+/// `deliver_at` nanoseconds on the caller's clock.
 struct PendingRepl {
     deliver_at: u64,
     target: usize,
+    key: u32,
     posts: Vec<StoredPost>,
 }
 
+/// Per-key `(snapshot, taken_at_nanos)` cache for a stale-pinned replica.
+type StaleCache = HashMap<u32, (Arc<[PostId]>, u64)>;
+
 struct LiveReplica {
-    core: ReplicaCore,
+    /// One deterministic core per keyspace key this replica has seen,
+    /// created on first touch with the replica's ordering policy. Keys
+    /// are isolated objects: cores never exchange posts.
+    cores: HashMap<u32, ReplicaCore>,
+    ordering: OrderingPolicy,
     repl_delay: DelayDist,
     anti_entropy_nanos: Option<u64>,
     canonicalize_on_anti_entropy: bool,
     next_anti_entropy: u64,
-    /// `(snapshot, taken_at)` for a stale-pinned replica.
-    stale_cache: Option<(Vec<PostId>, u64)>,
+    /// Per-key read caches for a stale-pinned replica (`None` when the
+    /// replica is not pinned).
+    stale_cache: Option<StaleCache>,
 }
 
-/// A thread-safe wall-clock replica group hosting one catalog service.
+impl LiveReplica {
+    fn core_mut(&mut self, key: u32) -> &mut ReplicaCore {
+        let ordering = self.ordering;
+        self.cores.entry(key).or_insert_with(|| ReplicaCore::new(ordering))
+    }
+}
+
+/// One keyspace shard: a full replica group with its own replication
+/// queue. Shards never share locks, so keyed traffic scales across them.
+struct ShardState {
+    replicas: Vec<Mutex<LiveReplica>>,
+    /// Replication pushes waiting out their sampled WAN delay.
+    in_flight: Mutex<Vec<PendingRepl>>,
+}
+
+/// A thread-safe wall-clock replica group hosting one catalog service
+/// over a consistent-hash-sharded keyspace.
 ///
 /// All methods take `now_nanos` — nanoseconds on the caller's clock
 /// (monotonic since server start, or fabricated in tests). Methods are
 /// safe to call from many threads; internal locks are held only for the
-/// duration of one storage operation.
+/// duration of one storage operation, and the common no-work
+/// [`LiveCluster::tick`] is a single atomic load.
 pub struct LiveCluster {
     kind: ServiceKind,
     regions: Vec<Region>,
     affinity: AffinityMap,
-    replicas: Vec<Mutex<LiveReplica>>,
-    /// Replication pushes waiting out their sampled WAN delay.
-    in_flight: Mutex<Vec<PendingRepl>>,
+    shards: Vec<ShardState>,
+    ring: ShardRing,
     rng: Mutex<SimRng>,
     stale: Option<StaleWindow>,
     /// Majority-synchronous writes (the quorum control arm): a write is
     /// applied at every replica before it is acknowledged, so the live
     /// group is linearizable — no replication queue, no anomaly windows.
     sync_writes: bool,
+    /// Earliest instant at which any shard has deliverable work (a due
+    /// replication push or anti-entropy round). The hot-path `tick`
+    /// compares against this and returns without taking any lock when
+    /// nothing is due — the sharded serving path calls `tick` on every
+    /// operation, so this check is the difference between an atomic load
+    /// and a full queue sweep per request.
+    next_due_nanos: AtomicU64,
+    /// Shared empty snapshot served for keys with no traffic yet — the
+    /// common case when a load sweep cycles more keys than were seeded.
+    empty: Arc<[PostId]>,
 }
 
 impl LiveCluster {
-    /// Deploys `config.kind`'s catalog topology onto wall-clock time.
+    /// Deploys `config.kind`'s catalog topology onto wall-clock time,
+    /// once per keyspace shard.
     pub fn new(config: &LiveConfig) -> Self {
         let topo = topology(config.kind);
-        let replicas = topo
-            .replicas
-            .iter()
-            .enumerate()
-            .map(|(i, (_, params))| {
-                let pinned = config.stale_window.is_some_and(|w| w.replica == i);
-                Mutex::new(LiveReplica {
-                    core: ReplicaCore::new(params.ordering),
-                    repl_delay: params.repl_delay.clone(),
-                    anti_entropy_nanos: params.anti_entropy.map(|d| d.as_nanos()),
-                    canonicalize_on_anti_entropy: params.canonicalize_on_anti_entropy,
-                    next_anti_entropy: params.anti_entropy.map(|d| d.as_nanos()).unwrap_or(0),
-                    stale_cache: pinned.then(|| (Vec::new(), 0)),
-                })
+        let shard_count = config.shards.max(1);
+        let mut next_due = u64::MAX;
+        let shards = (0..shard_count)
+            .map(|_| {
+                let replicas = topo
+                    .replicas
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (_, params))| {
+                        let pinned = config.stale_window.is_some_and(|w| w.replica == i);
+                        let anti = params.anti_entropy.map(|d| d.as_nanos());
+                        if let Some(first) = anti {
+                            next_due = next_due.min(first);
+                        }
+                        Mutex::new(LiveReplica {
+                            cores: HashMap::new(),
+                            ordering: params.ordering,
+                            repl_delay: params.repl_delay.clone(),
+                            anti_entropy_nanos: anti,
+                            canonicalize_on_anti_entropy: params.canonicalize_on_anti_entropy,
+                            next_anti_entropy: anti.unwrap_or(0),
+                            stale_cache: pinned.then(HashMap::new),
+                        })
+                    })
+                    .collect();
+                ShardState { replicas, in_flight: Mutex::new(Vec::new()) }
             })
             .collect();
         let sync_writes =
@@ -114,11 +189,13 @@ impl LiveCluster {
             kind: config.kind,
             regions: topo.replicas.iter().map(|(r, _)| *r).collect(),
             affinity: topo.affinity,
-            replicas,
-            in_flight: Mutex::new(Vec::new()),
+            shards,
+            ring: ShardRing::new(shard_count),
             rng: Mutex::new(SimRng::new(config.seed).split("live.repl")),
             stale: config.stale_window,
             sync_writes,
+            next_due_nanos: AtomicU64::new(next_due),
+            empty: Arc::from(Vec::new()),
         }
     }
 
@@ -127,12 +204,23 @@ impl LiveCluster {
         self.kind
     }
 
-    /// Number of replicas.
+    /// Number of replicas per shard.
     pub fn replica_count(&self) -> usize {
-        self.replicas.len()
+        self.regions.len()
     }
 
-    /// The region hosting replica `idx`.
+    /// Number of keyspace shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `key` — deterministic consistent hashing, the
+    /// same map every client and server computes.
+    pub fn shard_for_key(&self, key: u32) -> usize {
+        self.ring.shard_for_key(key)
+    }
+
+    /// The region hosting replica `idx` (of every shard).
     pub fn replica_region(&self, idx: usize) -> Region {
         self.regions[idx]
     }
@@ -143,139 +231,210 @@ impl LiveCluster {
         self.affinity.replica_for(region)
     }
 
-    /// Accepts a write at `region`'s replica. Local-ack services (all
-    /// four measured ones) schedule asynchronous replication pushes to
-    /// every peer with per-peer sampled delays; the majority-synchronous
-    /// quorum service instead applies the write at every replica before
-    /// returning, so the acknowledgement implies global visibility.
+    /// Accepts an un-keyed write — key 0 of the sharded keyspace (the
+    /// single-object workload the paper's probes drive).
     pub fn write(&self, region: Region, post: Post, now_nanos: u64) -> PostId {
+        self.write_keyed(region, 0, post, now_nanos)
+    }
+
+    /// Accepts a write for `key` at `region`'s replica of the owning
+    /// shard. Local-ack services (all four measured ones) schedule
+    /// asynchronous replication pushes to every peer with per-peer
+    /// sampled delays; the majority-synchronous quorum service instead
+    /// applies the write at every replica before returning, so the
+    /// acknowledgement implies global visibility.
+    pub fn write_keyed(&self, region: Region, key: u32, post: Post, now_nanos: u64) -> PostId {
         self.tick(now_nanos);
+        let shard = &self.shards[self.ring.shard_for_key(key)];
         let origin = self.replica_for(region);
         let id = post.id;
         let stored = {
-            let mut rep = self.replicas[origin].lock().unwrap();
-            rep.core.apply_new(post, SimTime::from_nanos(now_nanos)).cloned()
+            let mut rep = shard.replicas[origin].lock().unwrap();
+            rep.core_mut(key).apply_new(post, SimTime::from_nanos(now_nanos)).cloned()
         };
         if self.sync_writes {
             if let Some(stored) = stored {
                 // Lock in index order (the anti-entropy discipline) so a
                 // concurrent writer at another front door cannot deadlock.
-                for target in 0..self.replicas.len() {
+                for target in 0..shard.replicas.len() {
                     if target != origin {
-                        let mut rep = self.replicas[target].lock().unwrap();
-                        rep.core.apply_replicated(stored.clone());
+                        let mut rep = shard.replicas[target].lock().unwrap();
+                        rep.core_mut(key).apply_replicated(stored.clone());
                     }
                 }
             }
             return id;
         }
         if let Some(stored) = stored {
-            let repl_delay = self.replicas[origin].lock().unwrap().repl_delay.clone();
+            let repl_delay = shard.replicas[origin].lock().unwrap().repl_delay.clone();
             let mut rng = self.rng.lock().unwrap();
             let mut pushes = Vec::new();
-            for target in 0..self.replicas.len() {
+            let mut earliest = u64::MAX;
+            for target in 0..shard.replicas.len() {
                 if target != origin {
                     let delay = repl_delay.sample(&mut rng).as_nanos();
+                    let deliver_at = now_nanos.saturating_add(delay);
+                    earliest = earliest.min(deliver_at);
                     pushes.push(PendingRepl {
-                        deliver_at: now_nanos.saturating_add(delay),
+                        deliver_at,
                         target,
+                        key,
                         posts: vec![stored.clone()],
                     });
                 }
             }
-            self.in_flight.lock().unwrap().extend(pushes);
+            drop(rng);
+            shard.in_flight.lock().unwrap().extend(pushes);
+            self.next_due_nanos.fetch_min(earliest, Ordering::AcqRel);
         }
         id
     }
 
-    /// Serves a read at `region`'s replica from the policy-ordered
-    /// snapshot — or, for a stale-pinned replica, from its bounded-age
-    /// cached snapshot.
+    /// Serves an un-keyed read — key 0 of the sharded keyspace.
     pub fn read(&self, region: Region, now_nanos: u64) -> Vec<PostId> {
+        self.read_keyed(region, 0, now_nanos).to_vec()
+    }
+
+    /// Serves a read for `key` at `region`'s replica of the owning shard,
+    /// from the policy-ordered snapshot — or, for a stale-pinned replica,
+    /// from its bounded-age cached snapshot. The returned snapshot is the
+    /// replica's shared `Arc` slice: no copy on the serving hot path.
+    pub fn read_keyed(&self, region: Region, key: u32, now_nanos: u64) -> Arc<[PostId]> {
         self.tick(now_nanos);
+        let shard = &self.shards[self.ring.shard_for_key(key)];
         let idx = self.replica_for(region);
-        let mut guard = self.replicas[idx].lock().unwrap();
+        let mut guard = shard.replicas[idx].lock().unwrap();
         let rep = &mut *guard;
         match (&mut rep.stale_cache, self.stale) {
-            (Some((cache, taken_at)), Some(w)) => {
+            (Some(caches), Some(w)) => {
+                // Per-key cache: primed empty at cluster-start age, so
+                // the first in-window reads of a key serve the cached
+                // (empty) snapshot exactly like the un-keyed pin did.
+                let (cache, taken_at) =
+                    caches.entry(key).or_insert_with(|| (Arc::from(Vec::new()), 0));
                 if now_nanos.saturating_sub(*taken_at) >= w.lag_nanos {
-                    *cache = rep.core.snapshot().to_vec();
+                    *cache = match rep.cores.get(&key) {
+                        Some(core) => core.snapshot(),
+                        None => Arc::clone(&self.empty),
+                    };
                     *taken_at = now_nanos;
                 }
-                cache.clone()
+                Arc::clone(cache)
             }
-            _ => rep.core.snapshot().to_vec(),
+            _ => match rep.cores.get(&key) {
+                Some(core) => core.snapshot(),
+                None => Arc::clone(&self.empty),
+            },
         }
     }
 
-    /// Delivers due replication pushes and runs due anti-entropy rounds.
-    /// Idempotent; safe to call from a ticker thread *and* inline from
-    /// reads/writes (each operation calls it so single-threaded tests
-    /// never need a ticker).
+    /// Delivers due replication pushes and runs due anti-entropy rounds
+    /// on every shard. Idempotent; safe to call from a ticker thread
+    /// *and* inline from reads/writes (each operation calls it so
+    /// single-threaded tests never need a ticker). When nothing is due —
+    /// the overwhelmingly common case on a serving hot path — this is
+    /// one relaxed atomic load.
     pub fn tick(&self, now_nanos: u64) {
-        // Deliver replication pushes whose sampled delay has elapsed.
-        let due: Vec<PendingRepl> = {
-            let mut inflight = self.in_flight.lock().unwrap();
-            let mut due = Vec::new();
-            let mut i = 0;
-            while i < inflight.len() {
-                if inflight[i].deliver_at <= now_nanos {
-                    due.push(inflight.swap_remove(i));
-                } else {
-                    i += 1;
-                }
-            }
-            due
-        };
-        for push in due {
-            let mut rep = self.replicas[push.target].lock().unwrap();
-            for post in push.posts {
-                rep.core.apply_replicated(post);
-            }
+        if now_nanos < self.next_due_nanos.load(Ordering::Acquire) {
+            return;
         }
-        // Anti-entropy: pairwise digest exchange, exactly the sim's
-        // protocol but executed synchronously at the due instant.
-        for idx in 0..self.replicas.len() {
-            let due = {
-                let rep = self.replicas[idx].lock().unwrap();
-                match rep.anti_entropy_nanos {
-                    Some(_) => rep.next_anti_entropy <= now_nanos,
-                    None => false,
-                }
-            };
-            if due {
-                self.anti_entropy_round(idx, now_nanos);
-            }
-        }
+        self.tick_full(now_nanos);
     }
 
-    /// One anti-entropy round initiated by replica `idx`: exchange
-    /// digests with every peer, pull what's missing locally and push
-    /// what the peer lacks.
-    fn anti_entropy_round(&self, idx: usize, now_nanos: u64) {
-        for peer in 0..self.replicas.len() {
+    fn tick_full(&self, now_nanos: u64) {
+        // Park the horizon at MAX while sweeping; concurrent writers
+        // `fetch_min` their new push's instant, so a push scheduled
+        // mid-sweep can lower it again and is never lost.
+        self.next_due_nanos.store(u64::MAX, Ordering::Release);
+        let mut horizon = u64::MAX;
+        for shard_idx in 0..self.shards.len() {
+            let shard = &self.shards[shard_idx];
+            // Deliver replication pushes whose sampled delay has elapsed.
+            let due: Vec<PendingRepl> = {
+                let mut inflight = shard.in_flight.lock().unwrap();
+                let mut due = Vec::new();
+                let mut i = 0;
+                while i < inflight.len() {
+                    if inflight[i].deliver_at <= now_nanos {
+                        due.push(inflight.swap_remove(i));
+                    } else {
+                        horizon = horizon.min(inflight[i].deliver_at);
+                        i += 1;
+                    }
+                }
+                due
+            };
+            for push in due {
+                let mut rep = shard.replicas[push.target].lock().unwrap();
+                let core = rep.core_mut(push.key);
+                for post in push.posts {
+                    core.apply_replicated(post);
+                }
+            }
+            // Anti-entropy: pairwise digest exchange, exactly the sim's
+            // protocol but executed synchronously at the due instant.
+            for idx in 0..shard.replicas.len() {
+                let due = {
+                    let rep = shard.replicas[idx].lock().unwrap();
+                    match rep.anti_entropy_nanos {
+                        Some(_) => rep.next_anti_entropy <= now_nanos,
+                        None => false,
+                    }
+                };
+                if due {
+                    self.anti_entropy_round(shard_idx, idx, now_nanos);
+                }
+                let rep = shard.replicas[idx].lock().unwrap();
+                if rep.anti_entropy_nanos.is_some() {
+                    horizon = horizon.min(rep.next_anti_entropy);
+                }
+            }
+        }
+        self.next_due_nanos.fetch_min(horizon, Ordering::AcqRel);
+    }
+
+    /// One anti-entropy round initiated by replica `idx` of one shard:
+    /// exchange digests with every peer, pull what's missing locally and
+    /// push what the peer lacks.
+    fn anti_entropy_round(&self, shard_idx: usize, idx: usize, now_nanos: u64) {
+        let shard = &self.shards[shard_idx];
+        for peer in 0..shard.replicas.len() {
             if peer == idx {
                 continue;
             }
             // Lock in index order to rule out deadlock between
             // concurrent rounds.
             let (lo, hi) = if idx < peer { (idx, peer) } else { (peer, idx) };
-            let mut first = self.replicas[lo].lock().unwrap();
-            let mut second = self.replicas[hi].lock().unwrap();
+            let mut first = shard.replicas[lo].lock().unwrap();
+            let mut second = shard.replicas[hi].lock().unwrap();
             let (me, other) =
                 if lo == idx { (&mut *first, &mut *second) } else { (&mut *second, &mut *first) };
-            let my_digest = me.core.digest();
-            let peer_digest = other.core.digest();
-            for post in other.core.missing_from(&my_digest) {
-                me.core.apply_replicated(post);
+            // Reconcile key by key over the union of both keyspaces —
+            // cores belonging to different keys never exchange posts.
+            let mut keys: Vec<u32> = me.cores.keys().copied().collect();
+            for k in other.cores.keys() {
+                if !me.cores.contains_key(k) {
+                    keys.push(*k);
+                }
             }
-            for post in me.core.missing_from(&peer_digest) {
-                other.core.apply_replicated(post);
+            for key in keys {
+                let my_digest = me.core_mut(key).digest();
+                let peer_digest = other.core_mut(key).digest();
+                let mine = &mut me.cores.get_mut(&key).expect("core just touched");
+                let theirs = &mut other.cores.get_mut(&key).expect("core just touched");
+                for post in theirs.missing_from(&my_digest) {
+                    mine.apply_replicated(post);
+                }
+                for post in mine.missing_from(&peer_digest) {
+                    theirs.apply_replicated(post);
+                }
             }
         }
-        let mut rep = self.replicas[idx].lock().unwrap();
+        let mut rep = shard.replicas[idx].lock().unwrap();
         if rep.canonicalize_on_anti_entropy {
-            rep.core.resequence_canonical();
+            for core in rep.cores.values_mut() {
+                core.resequence_canonical();
+            }
         }
         if let Some(period) = rep.anti_entropy_nanos {
             // Schedule from "now" so missed rounds (sparse traffic, no
@@ -284,9 +443,16 @@ impl LiveCluster {
         }
     }
 
-    /// Total posts held by replica `idx` (diagnostics).
+    /// Total posts held by replica `idx`, summed across shards and keys
+    /// (diagnostics).
     pub fn replica_len(&self, idx: usize) -> usize {
-        self.replicas[idx].lock().unwrap().core.len()
+        self.shards
+            .iter()
+            .map(|s| {
+                let rep = s.replicas[idx].lock().unwrap();
+                rep.cores.values().map(ReplicaCore::len).sum::<usize>()
+            })
+            .sum()
     }
 }
 
@@ -305,7 +471,11 @@ mod tests {
     const SEC: u64 = 1_000_000_000;
 
     fn cluster(kind: ServiceKind, stale: Option<StaleWindow>) -> LiveCluster {
-        LiveCluster::new(&LiveConfig { kind, seed: 7, stale_window: stale })
+        LiveCluster::new(&LiveConfig { kind, seed: 7, stale_window: stale, shards: 1 })
+    }
+
+    fn sharded(kind: ServiceKind, shards: usize) -> LiveCluster {
+        LiveCluster::new(&LiveConfig { kind, seed: 7, stale_window: None, shards })
     }
 
     #[test]
@@ -376,6 +546,7 @@ mod tests {
                 kind: ServiceKind::FacebookFeed,
                 seed,
                 stale_window: None,
+                shards: 1,
             });
             c.write(Region::Oregon, post(0, 1), MS);
             // Probe Tokyo visibility on a 1 ms grid; the delivery instant
@@ -384,5 +555,116 @@ mod tests {
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3), run(4), "different seeds should move the delivery instant");
+    }
+
+    #[test]
+    fn keys_route_to_their_own_shards_and_stay_isolated() {
+        let c = sharded(ServiceKind::Blogger, 8);
+        assert_eq!(c.shard_count(), 8);
+        // Find two keys on different shards (the ring is deterministic,
+        // so scan until a pair differs — guaranteed by the balance test
+        // in `shard.rs`).
+        let key_a = 0u32;
+        let key_b = (1..1000u32)
+            .find(|k| c.shard_for_key(*k) != c.shard_for_key(key_a))
+            .expect("some key must land on another shard");
+        let id_a = c.write_keyed(Region::Oregon, key_a, post(0, 1), MS);
+        let id_b = c.write_keyed(Region::Oregon, key_b, post(1, 1), MS);
+        let feed_a = c.read_keyed(Region::Oregon, key_a, 2 * MS);
+        let feed_b = c.read_keyed(Region::Oregon, key_b, 2 * MS);
+        assert!(feed_a.contains(&id_a) && !feed_a.contains(&id_b), "shard A sees only key A");
+        assert!(feed_b.contains(&id_b) && !feed_b.contains(&id_a), "shard B sees only key B");
+        // Same key, same shard, across independently built clusters with
+        // different seeds: placement is seed-independent.
+        let c2 = LiveCluster::new(&LiveConfig {
+            kind: ServiceKind::Blogger,
+            seed: 999,
+            stale_window: None,
+            shards: 8,
+        });
+        for key in 0..500u32 {
+            assert_eq!(c.shard_for_key(key), c2.shard_for_key(key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn keys_sharing_a_shard_are_still_isolated_objects() {
+        let c = sharded(ServiceKind::Blogger, 4);
+        let key_a = 0u32;
+        let key_b = (1..10_000u32)
+            .find(|k| c.shard_for_key(*k) == c.shard_for_key(key_a))
+            .expect("some key must collide onto key 0's shard");
+        let id = c.write_keyed(Region::Oregon, key_a, post(0, 1), MS);
+        assert!(c.read_keyed(Region::Oregon, key_a, 2 * MS).contains(&id));
+        // The co-located key never sees it — not immediately, and not
+        // after every replication push and anti-entropy round has run.
+        assert!(c.read_keyed(Region::Oregon, key_b, 2 * MS).is_empty());
+        assert!(c.read_keyed(Region::Oregon, key_b, 120 * SEC).is_empty());
+        assert!(c.read_keyed(Region::Tokyo, key_b, 120 * SEC).is_empty());
+    }
+
+    #[test]
+    fn keyed_replication_matches_unkeyed_semantics_per_shard() {
+        // A keyed write on a sharded FB Feed exhibits the same delayed
+        // replication the un-keyed path shows: each shard is a faithful
+        // copy of the topology.
+        let c = sharded(ServiceKind::FacebookFeed, 4);
+        let key = 42u32;
+        let id = c.write_keyed(Region::Oregon, key, post(0, 1), MS);
+        assert!(!c.read_keyed(Region::Tokyo, key, 2 * MS).contains(&id));
+        assert!(c.read_keyed(Region::Tokyo, key, 60 * SEC).contains(&id));
+        // And other shards never saw the write at all.
+        let other = (0..1000u32)
+            .find(|k| c.shard_for_key(*k) != c.shard_for_key(key))
+            .expect("another shard");
+        assert!(c.read_keyed(Region::Oregon, other, 60 * SEC).is_empty());
+    }
+
+    #[test]
+    fn stale_window_pins_the_replica_in_every_shard() {
+        let c = LiveCluster::new(&LiveConfig {
+            kind: ServiceKind::Blogger,
+            seed: 7,
+            stale_window: Some(StaleWindow { replica: 0, lag_nanos: 500 * MS }),
+            shards: 4,
+        });
+        for key in [0u32, 7, 19] {
+            let t0 = MS + u64::from(key) * SEC;
+            assert!(c.read_keyed(Region::Oregon, key, t0).is_empty(), "prime cache for {key}");
+            let id = c.write_keyed(Region::Oregon, key, post(key, 1), t0 + MS);
+            assert!(
+                !c.read_keyed(Region::Oregon, key, t0 + 2 * MS).contains(&id),
+                "key {key}: stale cache must hide the fresh write"
+            );
+            assert!(
+                c.read_keyed(Region::Oregon, key, t0 + 600 * MS).contains(&id),
+                "key {key}: expired cache must reveal it"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_path_tick_still_delivers_on_time() {
+        // The atomic-horizon fast path must not postpone a due push: the
+        // delivery instant observed on a fine probe grid is identical to
+        // a cluster swept at every grid point (which `read` does anyway —
+        // the point is that the sweep only *runs* when due).
+        let c = cluster(ServiceKind::FacebookFeed, None);
+        let id = c.write(Region::Oregon, post(0, 1), MS);
+        let mut first_seen = None;
+        for i in 0..2_000u64 {
+            if c.read(Region::Tokyo, MS * i).contains(&id) {
+                first_seen = Some(i);
+                break;
+            }
+        }
+        let first_seen = first_seen.expect("push delivered within 2 s");
+        // Replay on a fresh cluster, jumping straight to the observed
+        // instant: delivery must not depend on intermediate ticks.
+        let c2 = cluster(ServiceKind::FacebookFeed, None);
+        let id2 = c2.write(Region::Oregon, post(0, 1), MS);
+        assert_eq!(id, id2);
+        assert!(!c2.read(Region::Tokyo, MS * (first_seen - 1)).contains(&id2));
+        assert!(c2.read(Region::Tokyo, MS * first_seen).contains(&id2));
     }
 }

@@ -93,6 +93,12 @@ pub struct WireClient {
     reconnects: u64,
     service: String,
     last_server_clock_nanos: i64,
+    /// Keyed mode: `Some(key)` routes ops through the sharded
+    /// `read_q`/`write_q` frames for this keyspace key; `None` (the
+    /// default) speaks the legacy un-keyed frames (key 0 server-side).
+    key: Option<u32>,
+    /// Request-id stream for keyed frames.
+    next_req: u32,
 }
 
 impl WireClient {
@@ -122,6 +128,8 @@ impl WireClient {
             reconnects: 0,
             service: String::new(),
             last_server_clock_nanos: 0,
+            key: None,
+            next_req: 0,
         };
         client.handshake()?;
         Ok(client)
@@ -144,6 +152,19 @@ impl WireClient {
     /// How many times this client re-dialed a dropped connection.
     pub fn reconnects(&self) -> u64 {
         self.reconnects
+    }
+
+    /// Switches keyed mode: `Some(key)` makes every subsequent
+    /// [`ServiceEndpoint::call`] address that keyspace key through the
+    /// sharded `read_q`/`write_q` frames (the response's echoed request
+    /// id is verified); `None` restores the legacy un-keyed frames.
+    pub fn set_key(&mut self, key: Option<u32>) {
+        self.key = key;
+    }
+
+    /// The keyspace key of keyed mode, if enabled.
+    pub fn key(&self) -> Option<u32> {
+        self.key
     }
 
     fn send(&mut self, frame: &Frame) -> Result<(), EndpointError> {
@@ -245,6 +266,40 @@ impl WireClient {
         }
     }
 
+    /// One keyed operation: the sharded frame family, with the echoed
+    /// request id verified (a blocking client has exactly one request in
+    /// flight, so any other id means the stream is confused).
+    fn call_keyed(&mut self, key: u32, op: ClientOp) -> Result<OpResult, EndpointError> {
+        let req = self.next_req;
+        self.next_req = self.next_req.wrapping_add(1);
+        let request = match op {
+            ClientOp::Write(post) => Frame::WriteQ {
+                req,
+                key,
+                author: post.id.author.0,
+                seq: post.id.seq,
+                client_ts_nanos: post.client_ts.as_nanos(),
+                content: post.content,
+            },
+            ClientOp::Read => Frame::ReadQ { req, key },
+            ClientOp::Inspect => {
+                return Err(EndpointError("inspect is not part of the wire protocol".into()));
+            }
+        };
+        match self.roundtrip(request)? {
+            Frame::WriteQAck { req: got, id } if got == req => {
+                Ok(OpResult::WriteAck(PostId::from_u64(id)))
+            }
+            Frame::ReadQOk { req: got, ids } if got == req => {
+                Ok(OpResult::ReadOk(ids.into_iter().map(PostId::from_u64).collect()))
+            }
+            Frame::WriteQAck { req: got, .. } | Frame::ReadQOk { req: got, .. } => Err(
+                EndpointError(format!("request id mismatch: sent {req}, response echoes {got}")),
+            ),
+            other => Err(EndpointError(format!("unexpected response frame {other:?}"))),
+        }
+    }
+
     /// Asks the server to begin a graceful drain; returns once the server
     /// acknowledged.
     pub fn stop_server(&mut self) -> Result<(), EndpointError> {
@@ -257,6 +312,9 @@ impl WireClient {
 
 impl ServiceEndpoint for WireClient {
     fn call(&mut self, op: ClientOp) -> Result<OpResult, EndpointError> {
+        if let Some(key) = self.key {
+            return self.call_keyed(key, op);
+        }
         let request = match op {
             ClientOp::Write(post) => Frame::Write {
                 author: post.id.author.0,

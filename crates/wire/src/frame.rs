@@ -28,8 +28,11 @@ use std::fmt;
 /// Frame magic: protocol name + major version.
 pub const MAGIC: [u8; 4] = *b"cpw1";
 
-/// Minor protocol version carried in `hello`/`hello_ack`.
-pub const PROTO_VERSION: u16 = 1;
+/// Minor protocol version carried in `hello`/`hello_ack`. Version 2
+/// added the pipelined, keyed frame family (`write_q`/`read_q` and
+/// their acks): requests carry a client-chosen request id echoed in the
+/// response, plus a keyspace key the server maps onto a shard.
+pub const PROTO_VERSION: u16 = 2;
 
 /// Frame header size: magic + kind + len + checksum.
 pub const HEADER_LEN: usize = 4 + 1 + 4 + 8;
@@ -58,6 +61,11 @@ const KIND_READ_OK: u8 = 5;
 const KIND_THROTTLED: u8 = 6;
 const KIND_STOP: u8 = 7;
 const KIND_STOP_ACK: u8 = 8;
+pub(crate) const KIND_WRITE_Q: u8 = 9;
+pub(crate) const KIND_WRITE_Q_ACK: u8 = 10;
+pub(crate) const KIND_READ_Q: u8 = 11;
+pub(crate) const KIND_READ_Q_OK: u8 = 12;
+const KIND_MAX: u8 = KIND_READ_Q_OK;
 
 /// One `cpw1` message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,6 +117,44 @@ pub enum Frame {
     Stop,
     /// Server → client: drain initiated.
     StopAck,
+    /// Client → server (v2): a pipelined, keyed write. Many may be in
+    /// flight on one connection; the server answers them in arrival
+    /// order, each ack echoing `req`.
+    WriteQ {
+        /// Client-chosen request id, echoed in the ack.
+        req: u32,
+        /// Keyspace key; the server routes it to a shard.
+        key: u32,
+        /// Writing author (agent) id.
+        author: u32,
+        /// Author-local sequence number.
+        seq: u32,
+        /// The client's local timestamp for the post.
+        client_ts_nanos: i64,
+        /// Post body.
+        content: String,
+    },
+    /// Server → client (v2): ack for a [`Frame::WriteQ`].
+    WriteQAck {
+        /// The request id of the write being acknowledged.
+        req: u32,
+        /// `PostId::as_u64()` of the created post.
+        id: u64,
+    },
+    /// Client → server (v2): a pipelined, keyed feed read.
+    ReadQ {
+        /// Client-chosen request id, echoed in the response.
+        req: u32,
+        /// Keyspace key; the server routes it to a shard.
+        key: u32,
+    },
+    /// Server → client (v2): the keyed feed for a [`Frame::ReadQ`].
+    ReadQOk {
+        /// The request id of the read being answered.
+        req: u32,
+        /// `PostId::as_u64()` for each post, in returned order.
+        ids: Vec<u64>,
+    },
 }
 
 /// A rejected byte stream. One variant per way a frame can be malformed;
@@ -165,6 +211,10 @@ impl Frame {
             Frame::Throttled => KIND_THROTTLED,
             Frame::Stop => KIND_STOP,
             Frame::StopAck => KIND_STOP_ACK,
+            Frame::WriteQ { .. } => KIND_WRITE_Q,
+            Frame::WriteQAck { .. } => KIND_WRITE_Q_ACK,
+            Frame::ReadQ { .. } => KIND_READ_Q,
+            Frame::ReadQOk { .. } => KIND_READ_Q_OK,
         }
     }
 
@@ -195,21 +245,125 @@ impl Frame {
                 }
                 p
             }
+            Frame::WriteQ { req, key, author, seq, client_ts_nanos, content } => {
+                let mut p = Vec::with_capacity(24 + content.len());
+                p.extend_from_slice(&req.to_le_bytes());
+                p.extend_from_slice(&key.to_le_bytes());
+                p.extend_from_slice(&author.to_le_bytes());
+                p.extend_from_slice(&seq.to_le_bytes());
+                p.extend_from_slice(&client_ts_nanos.to_le_bytes());
+                p.extend_from_slice(content.as_bytes());
+                p
+            }
+            Frame::WriteQAck { req, id } => {
+                let mut p = Vec::with_capacity(12);
+                p.extend_from_slice(&req.to_le_bytes());
+                p.extend_from_slice(&id.to_le_bytes());
+                p
+            }
+            Frame::ReadQ { req, key } => {
+                let mut p = Vec::with_capacity(8);
+                p.extend_from_slice(&req.to_le_bytes());
+                p.extend_from_slice(&key.to_le_bytes());
+                p
+            }
+            Frame::ReadQOk { req, ids } => {
+                let mut p = Vec::with_capacity(4 + 8 * ids.len());
+                p.extend_from_slice(&req.to_le_bytes());
+                for id in ids {
+                    p.extend_from_slice(&id.to_le_bytes());
+                }
+                p
+            }
         }
     }
 
     /// Encodes the frame into a self-contained byte string.
     pub fn encode(&self) -> Vec<u8> {
-        let payload = self.payload();
-        debug_assert!(payload.len() <= MAX_PAYLOAD, "outbound frame exceeds the payload cap");
-        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-        out.extend_from_slice(&MAGIC);
-        out.push(self.kind_byte());
-        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        out.extend_from_slice(&fnv64(&payload).to_le_bytes());
-        out.extend_from_slice(&payload);
+        let mut out = Vec::with_capacity(HEADER_LEN + 32);
+        self.encode_into(&mut out);
         out
     }
+
+    /// Appends the encoded frame to `out` — the write-batching entry
+    /// point: an event loop coalesces many responses into one buffer and
+    /// flushes them with a single `write`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        append_frame_with(out, self.kind_byte(), |p| p.extend_from_slice(&self.payload()));
+    }
+}
+
+/// Appends one framed message to `out`: header, then whatever payload
+/// `fill` writes, with the length and FNV checksum backpatched after the
+/// payload is in place. This is the allocation-free encode path the hot
+/// loops use (`fill` writes straight into the batch buffer).
+pub(crate) fn append_frame_with(out: &mut Vec<u8>, kind: u8, fill: impl FnOnce(&mut Vec<u8>)) {
+    out.extend_from_slice(&MAGIC);
+    out.push(kind);
+    let len_at = out.len();
+    out.extend_from_slice(&[0u8; 12]); // len + checksum, backpatched
+    let payload_at = out.len();
+    fill(out);
+    let payload_len = out.len() - payload_at;
+    debug_assert!(payload_len <= MAX_PAYLOAD, "outbound frame exceeds the payload cap");
+    let sum = fnv64(&out[payload_at..]);
+    out[len_at..len_at + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    out[len_at + 4..len_at + 12].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// Appends a framed `read_q_ok` response straight from an id slice — no
+/// intermediate `Frame` or `Vec<u64>` on the server's hot read path.
+pub fn append_read_q_ok(out: &mut Vec<u8>, req: u32, ids: &[u64]) {
+    append_read_q_ok_iter(out, req, ids.iter().copied());
+}
+
+/// Iterator flavour of [`append_read_q_ok`]: the length is backpatched
+/// after the ids are written, so the caller can stream ids from any
+/// source (the server streams `PostId`s out of a shared snapshot) with
+/// no intermediate collection.
+pub fn append_read_q_ok_iter(out: &mut Vec<u8>, req: u32, ids: impl IntoIterator<Item = u64>) {
+    append_frame_with(out, KIND_READ_Q_OK, |p| {
+        p.extend_from_slice(&req.to_le_bytes());
+        for id in ids {
+            p.extend_from_slice(&id.to_le_bytes());
+        }
+    });
+}
+
+/// Appends a framed `write_q_ack` response.
+pub fn append_write_q_ack(out: &mut Vec<u8>, req: u32, id: u64) {
+    append_frame_with(out, KIND_WRITE_Q_ACK, |p| {
+        p.extend_from_slice(&req.to_le_bytes());
+        p.extend_from_slice(&id.to_le_bytes());
+    });
+}
+
+/// Appends a framed `read_q` request.
+pub fn append_read_q(out: &mut Vec<u8>, req: u32, key: u32) {
+    append_frame_with(out, KIND_READ_Q, |p| {
+        p.extend_from_slice(&req.to_le_bytes());
+        p.extend_from_slice(&key.to_le_bytes());
+    });
+}
+
+/// Appends a framed `write_q` request.
+pub fn append_write_q(
+    out: &mut Vec<u8>,
+    req: u32,
+    key: u32,
+    author: u32,
+    seq: u32,
+    client_ts_nanos: i64,
+    content: &str,
+) {
+    append_frame_with(out, KIND_WRITE_Q, |p| {
+        p.extend_from_slice(&req.to_le_bytes());
+        p.extend_from_slice(&key.to_le_bytes());
+        p.extend_from_slice(&author.to_le_bytes());
+        p.extend_from_slice(&seq.to_le_bytes());
+        p.extend_from_slice(&client_ts_nanos.to_le_bytes());
+        p.extend_from_slice(content.as_bytes());
+    });
 }
 
 /// Validates a declared payload length against the kind's contract,
@@ -222,6 +376,10 @@ fn check_length(kind: u8, len: u32) -> Result<(), WireError> {
         KIND_WRITE_ACK => len == 8,
         KIND_READ | KIND_THROTTLED | KIND_STOP | KIND_STOP_ACK => len == 0,
         KIND_READ_OK => len.is_multiple_of(8),
+        KIND_WRITE_Q => len >= 24,
+        KIND_WRITE_Q_ACK => len == 12,
+        KIND_READ_Q => len == 8,
+        KIND_READ_Q_OK => len >= 4 && (len - 4).is_multiple_of(8),
         other => return Err(WireError::UnknownKind(other)),
     };
     if ok {
@@ -260,64 +418,118 @@ fn le_i64(b: &[u8]) -> i64 {
 /// or contract-violating length fields from the 9-byte header alone —
 /// before buffering, allocating for, or checksumming any payload.
 pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+    match decode_raw(buf)? {
+        None => Ok(None),
+        Some(raw) => {
+            let frame = parse_payload(raw.kind, &buf[raw.payload.clone()])?;
+            Ok(Some((frame, raw.consumed)))
+        }
+    }
+}
+
+/// A validated frame located in (not copied out of) the caller's buffer:
+/// the hot-path view [`decode_raw`] returns. The payload checksum has
+/// already been verified; `payload` indexes the caller's buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFrame {
+    /// The frame discriminant (one of the `KIND_*` values).
+    pub kind: u8,
+    /// Byte range of the payload within the decoded buffer.
+    pub payload: std::ops::Range<usize>,
+    /// Total bytes the frame occupies (drop this many and decode again).
+    pub consumed: usize,
+}
+
+/// Incremental decode without materializing a [`Frame`]: header and
+/// checksum validation only, returning where the payload sits in `buf`.
+/// Pipelined reapers use this to count and verify thousands of responses
+/// per second without allocating a `Vec<u64>` per feed; pass the payload
+/// range to [`parse_payload`] when the typed frame is actually needed.
+/// Same contract as [`decode`]: `Ok(None)` wants more input, errors mean
+/// the stream is corrupt at the front.
+pub fn decode_raw(buf: &[u8]) -> Result<Option<RawFrame>, WireError> {
     // Validate the magic on however much of it has arrived, so garbage is
     // rejected at the first byte rather than after a 17-byte read.
     let magic_avail = buf.len().min(4);
     if buf[..magic_avail] != MAGIC[..magic_avail] {
         return Err(WireError::BadMagic);
     }
-    if buf.len() >= 5 {
-        // Kind and (once present) length are validated as soon as their
-        // bytes arrive; an oversized frame never gets to buffer a payload.
-        let kind = buf[4];
-        if !(KIND_HELLO..=KIND_STOP_ACK).contains(&kind) {
-            return Err(WireError::UnknownKind(kind));
-        }
-        if buf.len() < 9 {
-            return Ok(None);
-        }
-        let len = le_u32(&buf[5..9]);
-        if len as usize > MAX_PAYLOAD {
-            return Err(WireError::Oversized(len));
-        }
-        check_length(kind, len)?;
-        let total = HEADER_LEN + len as usize;
-        if buf.len() < total {
-            return Ok(None);
-        }
-        let sum = le_u64(&buf[9..17]);
-        let payload = &buf[17..total];
-        if fnv64(payload) != sum {
-            return Err(WireError::BadChecksum);
-        }
-        let frame = match kind {
-            KIND_HELLO => Frame::Hello { proto: le_u16(payload) },
-            KIND_HELLO_ACK => Frame::HelloAck {
-                proto: le_u16(&payload[..2]),
-                server_clock_nanos: le_i64(&payload[2..10]),
-                service: std::str::from_utf8(&payload[10..])
-                    .map_err(|_| WireError::BadUtf8)?
-                    .to_owned(),
-            },
-            KIND_WRITE => Frame::Write {
-                author: le_u32(&payload[..4]),
-                seq: le_u32(&payload[4..8]),
-                client_ts_nanos: le_i64(&payload[8..16]),
-                content: std::str::from_utf8(&payload[16..])
-                    .map_err(|_| WireError::BadUtf8)?
-                    .to_owned(),
-            },
-            KIND_WRITE_ACK => Frame::WriteAck { id: le_u64(payload) },
-            KIND_READ => Frame::Read,
-            KIND_READ_OK => Frame::ReadOk { ids: payload.chunks_exact(8).map(le_u64).collect() },
-            KIND_THROTTLED => Frame::Throttled,
-            KIND_STOP => Frame::Stop,
-            KIND_STOP_ACK => Frame::StopAck,
-            _ => unreachable!("check_length vetted the kind"),
-        };
-        return Ok(Some((frame, total)));
+    if buf.len() < 5 {
+        return Ok(None);
     }
-    Ok(None)
+    // Kind and (once present) length are validated as soon as their
+    // bytes arrive; an oversized frame never gets to buffer a payload.
+    let kind = buf[4];
+    if !(KIND_HELLO..=KIND_MAX).contains(&kind) {
+        return Err(WireError::UnknownKind(kind));
+    }
+    if buf.len() < 9 {
+        return Ok(None);
+    }
+    let len = le_u32(&buf[5..9]);
+    if len as usize > MAX_PAYLOAD {
+        return Err(WireError::Oversized(len));
+    }
+    check_length(kind, len)?;
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let sum = le_u64(&buf[9..17]);
+    let payload = &buf[HEADER_LEN..total];
+    if fnv64(payload) != sum {
+        return Err(WireError::BadChecksum);
+    }
+    Ok(Some(RawFrame { kind, payload: HEADER_LEN..total, consumed: total }))
+}
+
+/// Parses a checksum-verified payload (located by [`decode_raw`]) into a
+/// typed [`Frame`]. Only UTF-8 validation can still fail here.
+pub fn parse_payload(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
+    let frame = match kind {
+        KIND_HELLO => Frame::Hello { proto: le_u16(payload) },
+        KIND_HELLO_ACK => Frame::HelloAck {
+            proto: le_u16(&payload[..2]),
+            server_clock_nanos: le_i64(&payload[2..10]),
+            service: std::str::from_utf8(&payload[10..])
+                .map_err(|_| WireError::BadUtf8)?
+                .to_owned(),
+        },
+        KIND_WRITE => Frame::Write {
+            author: le_u32(&payload[..4]),
+            seq: le_u32(&payload[4..8]),
+            client_ts_nanos: le_i64(&payload[8..16]),
+            content: std::str::from_utf8(&payload[16..])
+                .map_err(|_| WireError::BadUtf8)?
+                .to_owned(),
+        },
+        KIND_WRITE_ACK => Frame::WriteAck { id: le_u64(payload) },
+        KIND_READ => Frame::Read,
+        KIND_READ_OK => Frame::ReadOk { ids: payload.chunks_exact(8).map(le_u64).collect() },
+        KIND_THROTTLED => Frame::Throttled,
+        KIND_STOP => Frame::Stop,
+        KIND_STOP_ACK => Frame::StopAck,
+        KIND_WRITE_Q => Frame::WriteQ {
+            req: le_u32(&payload[..4]),
+            key: le_u32(&payload[4..8]),
+            author: le_u32(&payload[8..12]),
+            seq: le_u32(&payload[12..16]),
+            client_ts_nanos: le_i64(&payload[16..24]),
+            content: std::str::from_utf8(&payload[24..])
+                .map_err(|_| WireError::BadUtf8)?
+                .to_owned(),
+        },
+        KIND_WRITE_Q_ACK => {
+            Frame::WriteQAck { req: le_u32(&payload[..4]), id: le_u64(&payload[4..12]) }
+        }
+        KIND_READ_Q => Frame::ReadQ { req: le_u32(&payload[..4]), key: le_u32(&payload[4..8]) },
+        KIND_READ_Q_OK => Frame::ReadQOk {
+            req: le_u32(&payload[..4]),
+            ids: payload[4..].chunks_exact(8).map(le_u64).collect(),
+        },
+        _ => unreachable!("check_length vetted the kind"),
+    };
+    Ok(frame)
 }
 
 #[cfg(test)]
@@ -347,6 +559,26 @@ mod tests {
             Frame::Throttled,
             Frame::Stop,
             Frame::StopAck,
+            Frame::WriteQ {
+                req: 7,
+                key: 0xdead_beef,
+                author: 2,
+                seq: 9,
+                client_ts_nanos: -1,
+                content: "pipelined".into(),
+            },
+            Frame::WriteQ {
+                req: u32::MAX,
+                key: 0,
+                author: 0,
+                seq: 0,
+                client_ts_nanos: i64::MAX,
+                content: String::new(),
+            },
+            Frame::WriteQAck { req: 7, id: 0x0000_0002_0000_0009 },
+            Frame::ReadQ { req: 8, key: 3 },
+            Frame::ReadQOk { req: 8, ids: vec![] },
+            Frame::ReadQOk { req: u32::MAX, ids: vec![u64::MAX, 0, 42] },
         ]
     }
 
@@ -431,6 +663,141 @@ mod tests {
             with_magic.append(&mut bytes);
             let _ = decode(&with_magic);
         }
+    }
+
+    /// An incremental consumer: owns a buffer, is fed arbitrary chunks,
+    /// yields every complete frame — the exact discipline the event loop
+    /// and the pipelined reaper run per connection.
+    struct Incremental {
+        buf: Vec<u8>,
+        frames: Vec<Frame>,
+    }
+
+    impl Incremental {
+        fn new() -> Self {
+            Incremental { buf: Vec::new(), frames: Vec::new() }
+        }
+
+        fn feed(&mut self, chunk: &[u8]) {
+            self.buf.extend_from_slice(chunk);
+            while let Some((frame, consumed)) = decode(&self.buf).expect("valid stream") {
+                self.frames.push(frame);
+                self.buf.drain(..consumed);
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_stream_survives_a_split_at_every_byte_boundary() {
+        // Many concatenated frames — the pipelined wire image — cut into
+        // two reads at every possible boundary: the decoder must
+        // reassemble the identical frame sequence every time.
+        let mut stream = Vec::new();
+        for frame in corpus() {
+            stream.extend_from_slice(&frame.encode());
+        }
+        for cut in 0..=stream.len() {
+            let mut inc = Incremental::new();
+            inc.feed(&stream[..cut]);
+            inc.feed(&stream[cut..]);
+            assert!(inc.buf.is_empty(), "cut at {cut} left {} bytes undecoded", inc.buf.len());
+            assert_eq!(inc.frames, corpus(), "cut at {cut} misparsed the stream");
+        }
+    }
+
+    #[test]
+    fn pipelined_stream_survives_byte_at_a_time_delivery() {
+        let mut stream = Vec::new();
+        for frame in corpus() {
+            stream.extend_from_slice(&frame.encode());
+        }
+        let mut inc = Incremental::new();
+        for &b in &stream {
+            inc.feed(&[b]);
+        }
+        assert_eq!(inc.frames, corpus());
+    }
+
+    #[test]
+    fn interleaved_partial_frames_across_two_connections_stay_isolated() {
+        // Two connections' streams delivered in interleaved partial
+        // chunks (as one event-loop sweep sees them): each per-connection
+        // decoder must reassemble its own stream, unperturbed by the
+        // scheduling of the other.
+        let stream_a: Vec<u8> = corpus().iter().flat_map(|f| f.encode()).collect();
+        let frames_b = vec![
+            Frame::ReadQ { req: 1, key: 9 },
+            Frame::WriteQ {
+                req: 2,
+                key: 9,
+                author: 1,
+                seq: 1,
+                client_ts_nanos: 5,
+                content: "other conn".into(),
+            },
+            Frame::Read,
+        ];
+        let stream_b: Vec<u8> = frames_b.iter().flat_map(|f| f.encode()).collect();
+        // Deterministically vary the chunk sizes so partial headers and
+        // partial payloads of both streams are in flight at once.
+        for chunk_a in [1usize, 3, 7, 16, 29] {
+            for chunk_b in [2usize, 5, 11, 23] {
+                let mut inc_a = Incremental::new();
+                let mut inc_b = Incremental::new();
+                let (mut off_a, mut off_b) = (0, 0);
+                while off_a < stream_a.len() || off_b < stream_b.len() {
+                    if off_a < stream_a.len() {
+                        let end = (off_a + chunk_a).min(stream_a.len());
+                        inc_a.feed(&stream_a[off_a..end]);
+                        off_a = end;
+                    }
+                    if off_b < stream_b.len() {
+                        let end = (off_b + chunk_b).min(stream_b.len());
+                        inc_b.feed(&stream_b[off_b..end]);
+                        off_b = end;
+                    }
+                }
+                assert_eq!(inc_a.frames, corpus(), "chunks ({chunk_a},{chunk_b})");
+                assert_eq!(inc_b.frames, frames_b, "chunks ({chunk_a},{chunk_b})");
+            }
+        }
+    }
+
+    #[test]
+    fn raw_decode_agrees_with_typed_decode_on_every_corpus_frame() {
+        for frame in corpus() {
+            let bytes = frame.encode();
+            let raw = decode_raw(&bytes).unwrap().expect("complete frame");
+            assert_eq!(raw.consumed, bytes.len());
+            assert_eq!(parse_payload(raw.kind, &bytes[raw.payload.clone()]).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn append_helpers_match_the_enum_encoding() {
+        let mut out = Vec::new();
+        append_read_q(&mut out, 3, 17);
+        assert_eq!(out, Frame::ReadQ { req: 3, key: 17 }.encode());
+        out.clear();
+        append_read_q_ok(&mut out, 3, &[1, 2, u64::MAX]);
+        assert_eq!(out, Frame::ReadQOk { req: 3, ids: vec![1, 2, u64::MAX] }.encode());
+        out.clear();
+        append_write_q(&mut out, 4, 17, 2, 9, -5, "body");
+        assert_eq!(
+            out,
+            Frame::WriteQ {
+                req: 4,
+                key: 17,
+                author: 2,
+                seq: 9,
+                client_ts_nanos: -5,
+                content: "body".into()
+            }
+            .encode()
+        );
+        out.clear();
+        append_write_q_ack(&mut out, 4, 99);
+        assert_eq!(out, Frame::WriteQAck { req: 4, id: 99 }.encode());
     }
 
     #[test]

@@ -19,8 +19,17 @@
 //!   paper's Test 1 / Test 2 cadence with skewed local clocks,
 //!   Cristian-synced over the wire, emitting a standard `TestTrace`
 //!   that the unmodified `analyze()`/journal/report pipeline consumes;
-//! * [`load`] — `conprobe load`: a closed-loop load generator with
+//! * [`pipeline`] — non-blocking pipelined client connections: many
+//!   in-flight keyed requests per socket, batched writes, FIFO-order
+//!   verification by echoed request id;
+//! * [`load`] — `conprobe load`: a closed-loop load generator
+//!   multiplexing tens of thousands of pipelined connections, with
 //!   latency histograms, backing the `bench_wire_throughput` stage.
+//!
+//! The server hosts a consistent-hash-sharded keyspace
+//! ([`conprobe_services::shard`]): legacy frames address key 0, the
+//! `read_q`/`write_q` family addresses any key, and every shard is a
+//! full replica group with the paper's storage semantics.
 //!
 //! [`ServiceEndpoint`]: conprobe_harness::transport::ServiceEndpoint
 
@@ -30,11 +39,13 @@
 pub mod client;
 pub mod frame;
 pub mod load;
+pub mod pipeline;
 pub mod probe;
 pub mod server;
 
 pub use client::{ReconnectPolicy, WireClient};
 pub use frame::{decode, Frame, WireError, MAX_PAYLOAD, PROTO_VERSION};
 pub use load::{run_load, wire_latency_bounds_nanos, LoadConfig, LoadReport};
+pub use pipeline::{PipeConn, PipeFault};
 pub use probe::{run_probe, ProbeConfig};
 pub use server::{ServeConfig, WireServer};

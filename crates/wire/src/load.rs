@@ -1,14 +1,28 @@
 //! Closed-loop load generator for `cpw1` servers.
 //!
-//! N connection threads hammer one endpoint with reads (after seeding a
-//! small fixed corpus of posts), each operation strictly
-//! request-then-response — a *closed loop*, so offered load adapts to
-//! service capacity and the measured latency histogram is honest. An
-//! optional ops/sec target turns the loop into a paced open-ish load for
-//! soak tests; left unset, the generator reports the sustained ceiling,
-//! which is what `bench_wire_throughput` records in `BENCH_repro.json`.
+//! The generator multiplexes [`LoadConfig::connections`] non-blocking
+//! pipelined connections ([`crate::pipeline::PipeConn`]) over a few
+//! sweeper threads, keeping up to [`LoadConfig::pipeline`] keyed reads
+//! in flight per connection — a closed loop at every depth, so offered
+//! load adapts to service capacity and the measured latency histogram is
+//! honest (latency is queue-to-response, including the client's own
+//! batching). Requests spread round-robin over [`LoadConfig::keys`]
+//! keyspace keys, exercising the server's consistent-hash shard routing.
+//!
+//! An optional ops/sec target turns the loop into a paced open-ish load
+//! for soak tests; left unset, the generator reports the sustained
+//! ceiling, which is what `bench_wire_throughput` records in
+//! `BENCH_repro.json`. A warm-up window runs the identical workload
+//! before the measured interval so connection setup, allocator steady
+//! state, and socket buffer sizing never pollute the numbers.
+//!
+//! Error accounting is deliberately paranoid: I/O, decode, ordering and
+//! stall faults are counted separately *and* per connection
+//! (`conns_with_errors` / `max_conn_errors`), so a handful of sick
+//! connections cannot hide inside an aggregate average.
 
 use crate::client::WireClient;
+use crate::pipeline::{PipeConn, PipeFault};
 use conprobe_harness::transport::{EndpointError, ServiceEndpoint};
 use conprobe_obs::{latency_bounds_nanos, Histogram, MetricsRegistry};
 
@@ -25,8 +39,6 @@ use conprobe_services::ClientOp;
 use conprobe_sim::LocalTime;
 use conprobe_store::{AuthorId, Post, PostId};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration for [`run_load`].
@@ -34,26 +46,46 @@ use std::time::{Duration, Instant};
 pub struct LoadConfig {
     /// The endpoint to load.
     pub addr: SocketAddr,
-    /// Concurrent connections (threads).
+    /// Concurrent connections, multiplexed across [`LoadConfig::threads`]
+    /// sweeper threads (tens of thousands are fine — connections are
+    /// non-blocking sockets, not threads).
     pub connections: usize,
-    /// Wall-clock duration of the measurement loop.
+    /// In-flight pipelined requests per connection (≥ 1). Depth 1 is the
+    /// classic request-then-response closed loop.
+    pub pipeline: usize,
+    /// Sweeper threads the connections are distributed over. One is
+    /// right on a single-core host.
+    pub threads: usize,
+    /// Keyspace keys the reads cycle through (round-robin), exercising
+    /// the server's shard routing. 1 pins everything to key 0.
+    pub keys: u32,
+    /// Wall-clock duration of the measured loop.
     pub duration: Duration,
+    /// Identical workload run before measurement begins; counters and
+    /// histograms only see the measured window.
+    pub warmup: Duration,
     /// Optional pacing target, total ops/sec across all connections.
     /// `None` runs flat out.
     pub target_ops_per_sec: Option<u64>,
-    /// Posts seeded before the read loop (read payload size).
+    /// Posts seeded before the read loop (spread round-robin over the
+    /// key set, so per-key read payloads are stable over the run).
     pub seed_posts: u32,
-    /// Per-call socket timeout.
+    /// Per-call socket timeout (seeding) and in-flight stall bound.
     pub timeout: Duration,
 }
 
 impl LoadConfig {
-    /// Flat-out loopback defaults.
+    /// Flat-out loopback defaults: the pre-pipelining configuration
+    /// (8 connections, depth 1, one key) with a short warm-up.
     pub fn loopback(addr: SocketAddr) -> Self {
         LoadConfig {
             addr,
             connections: 8,
+            pipeline: 1,
+            threads: 1,
+            keys: 1,
             duration: Duration::from_secs(5),
+            warmup: Duration::from_millis(250),
             target_ops_per_sec: None,
             seed_posts: 32,
             timeout: Duration::from_secs(5),
@@ -61,22 +93,33 @@ impl LoadConfig {
     }
 }
 
-/// What the load run measured.
+/// What the load run measured (the measured window only — warm-up ops
+/// are discarded).
 #[derive(Debug, Clone)]
 pub struct LoadReport {
     /// Completed operations across all connections.
     pub ops: u64,
-    /// Failed operations (transport errors).
+    /// Failed operations (transport, decode, ordering, stall — total).
     pub errors: u64,
     /// Measured wall-clock seconds.
     pub elapsed_secs: f64,
     /// `ops / elapsed_secs`.
     pub ops_per_sec: f64,
-    /// Latency percentiles in nanoseconds: (p50, p99) upper bucket
-    /// bounds from the histogram.
+    /// Latency percentiles in nanoseconds: upper bucket bounds from the
+    /// histogram.
     pub p50_nanos: u64,
     /// 99th percentile upper bucket bound.
     pub p99_nanos: u64,
+    /// 99.9th percentile upper bucket bound — the tail the p99 hides.
+    pub p999_nanos: u64,
+    /// Responses that violated per-connection FIFO order.
+    pub ordering_errors: u64,
+    /// Responses that failed frame validation.
+    pub decode_errors: u64,
+    /// Connections that suffered at least one error.
+    pub conns_with_errors: u64,
+    /// Errors on the single worst connection.
+    pub max_conn_errors: u64,
 }
 
 fn percentile(hist: &Histogram, q: f64) -> u64 {
@@ -102,9 +145,21 @@ fn percentile(hist: &Histogram, q: f64) -> u64 {
     last_finite
 }
 
-/// Runs the load loop and records per-op latencies into
-/// `metrics` (`wire.load.latency_nanos` histogram, `wire.load.ops` /
-/// `wire.load.errors` counters).
+/// Per-thread tallies folded into the report at the end.
+#[derive(Default)]
+struct Tally {
+    ops: u64,
+    errors: u64,
+    ordering: u64,
+    decode: u64,
+    conns_with_errors: u64,
+    max_conn_errors: u64,
+}
+
+/// Runs the load loop and records per-op latencies into `metrics`
+/// (`wire.load.latency_nanos` histogram, `wire.load.ops` /
+/// `wire.load.errors` / `wire.load.ordering_errors` /
+/// `wire.load.decode_errors` counters).
 pub fn run_load(
     config: &LoadConfig,
     metrics: &MetricsRegistry,
@@ -112,12 +167,17 @@ pub fn run_load(
     let hist = metrics.histogram("wire.load.latency_nanos", &wire_latency_bounds_nanos());
     let ops = metrics.counter("wire.load.ops");
     let errors = metrics.counter("wire.load.errors");
+    let ordering_ctr = metrics.counter("wire.load.ordering_errors");
+    let decode_ctr = metrics.counter("wire.load.decode_errors");
 
-    // Seed a fixed read corpus so read payloads are stable over the run.
+    // Seed a fixed read corpus, spread round-robin over the key set so
+    // every key's read payload is stable over the run.
     {
+        let keys = config.keys.max(1);
         let mut seeder = WireClient::connect(config.addr, config.timeout)?;
         for seq in 1..=config.seed_posts {
             let id = PostId::new(AuthorId(u32::MAX), seq);
+            seeder.set_key(Some((seq - 1) % keys));
             seeder.call(ClientOp::Write(Post::new(
                 id,
                 format!("seed {id}"),
@@ -126,73 +186,190 @@ pub fn run_load(
         }
     }
 
-    let total_ops = Arc::new(AtomicU64::new(0));
-    let total_errors = Arc::new(AtomicU64::new(0));
-    let begin = Instant::now();
-    let deadline = begin + config.duration;
+    let connections = config.connections.max(1);
+    let threads = config.threads.clamp(1, connections);
+    let depth = config.pipeline.max(1);
+    let keys = config.keys.max(1);
+    let warmup_end = Instant::now() + config.warmup;
+    let deadline = warmup_end + config.duration;
     // Per-connection pacing interval, if a target was set.
     let pace = config.target_ops_per_sec.map(|t| {
-        let per_conn = (t / config.connections.max(1) as u64).max(1);
+        let per_conn = (t / connections as u64).max(1);
         Duration::from_nanos(1_000_000_000 / per_conn)
     });
 
-    let mut threads = Vec::new();
-    for _ in 0..config.connections.max(1) {
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        // Distribute the connection count across sweepers.
+        let mine = connections / threads + usize::from(t < connections % threads);
         let config = config.clone();
         let hist = hist.clone();
         let ops = ops.clone();
         let errors = errors.clone();
-        let total_ops = Arc::clone(&total_ops);
-        let total_errors = Arc::clone(&total_errors);
-        threads.push(std::thread::spawn(move || {
-            let mut client = match WireClient::connect(config.addr, config.timeout) {
-                Ok(c) => c,
-                Err(_) => {
-                    total_errors.fetch_add(1, Ordering::Relaxed);
-                    return;
-                }
-            };
-            let mut next_at = Instant::now();
-            while Instant::now() < deadline {
-                if let Some(interval) = pace {
-                    let now = Instant::now();
-                    if now < next_at {
-                        std::thread::sleep(next_at - now);
-                    }
-                    next_at += interval;
-                }
-                let began = Instant::now();
-                match client.call(ClientOp::Read) {
-                    Ok(_) => {
-                        hist.record(began.elapsed().as_nanos() as u64);
-                        ops.inc();
-                        total_ops.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(_) => {
-                        errors.inc();
-                        total_errors.fetch_add(1, Ordering::Relaxed);
-                        // Transport error: reconnect and keep going.
-                        match WireClient::connect(config.addr, config.timeout) {
-                            Ok(c) => client = c,
-                            Err(_) => return,
-                        }
-                    }
-                }
-            }
+        let ordering_ctr = ordering_ctr.clone();
+        let decode_ctr = decode_ctr.clone();
+        handles.push(std::thread::spawn(move || {
+            sweep_connections(SweeperArgs {
+                config: &config,
+                conns: mine,
+                depth,
+                keys,
+                pace,
+                warmup_end,
+                deadline,
+                hist: &hist,
+                ops: &ops,
+                errors: &errors,
+                ordering_ctr: &ordering_ctr,
+                decode_ctr: &decode_ctr,
+            })
         }));
     }
-    for t in threads {
-        let _ = t.join();
+    let mut tally = Tally::default();
+    for handle in handles {
+        if let Ok(t) = handle.join() {
+            tally.ops += t.ops;
+            tally.errors += t.errors;
+            tally.ordering += t.ordering;
+            tally.decode += t.decode;
+            tally.conns_with_errors += t.conns_with_errors;
+            tally.max_conn_errors = tally.max_conn_errors.max(t.max_conn_errors);
+        }
     }
 
-    let elapsed_secs = begin.elapsed().as_secs_f64();
-    let done = total_ops.load(Ordering::Relaxed);
+    let elapsed_secs = config.duration.as_secs_f64();
     Ok(LoadReport {
-        ops: done,
-        errors: total_errors.load(Ordering::Relaxed),
+        ops: tally.ops,
+        errors: tally.errors,
         elapsed_secs,
-        ops_per_sec: done as f64 / elapsed_secs.max(1e-9),
+        ops_per_sec: tally.ops as f64 / elapsed_secs.max(1e-9),
         p50_nanos: percentile(&hist, 0.50),
         p99_nanos: percentile(&hist, 0.99),
+        p999_nanos: percentile(&hist, 0.999),
+        ordering_errors: tally.ordering,
+        decode_errors: tally.decode,
+        conns_with_errors: tally.conns_with_errors,
+        max_conn_errors: tally.max_conn_errors,
     })
+}
+
+struct SweeperArgs<'a> {
+    config: &'a LoadConfig,
+    conns: usize,
+    depth: usize,
+    keys: u32,
+    pace: Option<Duration>,
+    warmup_end: Instant,
+    deadline: Instant,
+    hist: &'a Histogram,
+    ops: &'a conprobe_obs::Counter,
+    errors: &'a conprobe_obs::Counter,
+    ordering_ctr: &'a conprobe_obs::Counter,
+    decode_ctr: &'a conprobe_obs::Counter,
+}
+
+/// One sweeper thread: owns `conns` pipelined connections and runs the
+/// warm-up + measured loop over them.
+fn sweep_connections(args: SweeperArgs<'_>) -> Tally {
+    let mut tally = Tally::default();
+    let mut conns: Vec<Option<PipeConn>> = Vec::with_capacity(args.conns);
+    // Errors per connection *slot*, surviving reconnects — the
+    // per-connection counter the report surfaces.
+    let mut slot_errors: Vec<u64> = vec![0; args.conns];
+    let mut key_cursor: u32 = 0;
+    for slot in slot_errors.iter_mut() {
+        match PipeConn::connect(args.config.addr, args.config.timeout) {
+            Ok(conn) => conns.push(Some(conn)),
+            Err(_) => {
+                tally.errors += 1;
+                *slot += 1;
+                conns.push(None);
+            }
+        }
+    }
+    let mut scratch = vec![0u8; 256 * 1024];
+    let mut idle_sweeps: u32 = 0;
+    loop {
+        let now = Instant::now();
+        let measuring = now >= args.warmup_end;
+        let issuing = now < args.deadline;
+        let mut progressed = false;
+        let mut all_drained = true;
+        for (slot_idx, slot) in conns.iter_mut().enumerate() {
+            let Some(conn) = slot else { continue };
+            if issuing {
+                while conn.inflight() < args.depth {
+                    if let Some(interval) = args.pace {
+                        if now < conn.next_issue_at {
+                            break;
+                        }
+                        conn.next_issue_at += interval;
+                    }
+                    conn.issue_read(key_cursor % args.keys);
+                    key_cursor = key_cursor.wrapping_add(1);
+                }
+            }
+            let result = conn.pump(&mut scratch, args.config.timeout);
+            progressed |= result.progressed;
+            if result.completed > 0 && measuring {
+                let n = result.completed as u64;
+                tally.ops += n;
+                args.ops.add(n);
+                for nanos in conn.take_latencies() {
+                    args.hist.record(nanos);
+                }
+            } else {
+                conn.take_latencies();
+            }
+            if let Some(fault) = result.fault {
+                tally.errors += 1;
+                args.errors.inc();
+                match fault {
+                    PipeFault::Ordering => {
+                        tally.ordering += 1;
+                        args.ordering_ctr.inc();
+                    }
+                    PipeFault::Decode => {
+                        tally.decode += 1;
+                        args.decode_ctr.inc();
+                    }
+                    PipeFault::Io | PipeFault::Stall => {}
+                }
+                slot_errors[slot_idx] += 1;
+                // Tear down and reconnect; a lossy server (drop_prob)
+                // leaks in-flight slots otherwise.
+                *slot = if issuing {
+                    PipeConn::connect(args.config.addr, args.config.timeout).ok()
+                } else {
+                    None
+                };
+                progressed = true;
+                continue;
+            }
+            if conn.inflight() > 0 {
+                all_drained = false;
+            }
+        }
+        // Done once drained, or give up on stragglers after the stall bound.
+        let done =
+            !issuing && (all_drained || Instant::now() > args.deadline + args.config.timeout);
+        if done {
+            tally.conns_with_errors = slot_errors.iter().filter(|&&e| e > 0).count() as u64;
+            tally.max_conn_errors = slot_errors.iter().copied().max().unwrap_or(0);
+            return tally;
+        }
+        if progressed {
+            idle_sweeps = 0;
+        } else {
+            // Mirror the server's backoff: yield to hand the core to the
+            // serving thread (the responses we are waiting on), sleep
+            // only once yielding stops producing progress.
+            idle_sweeps = idle_sweeps.saturating_add(1);
+            if idle_sweeps > 256 {
+                std::thread::sleep(Duration::from_micros(50));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
 }

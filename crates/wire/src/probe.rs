@@ -72,6 +72,14 @@ pub struct ProbeConfig {
     pub seed: u64,
     /// Per-call socket timeout.
     pub timeout: Duration,
+    /// Keyspace key the probe's reads and writes address. `None` speaks
+    /// the legacy un-keyed frames (key 0 server-side); `Some(k)` routes
+    /// every operation through the sharded `read_q`/`write_q` frames.
+    /// Each key is one isolated logical object, so a keyed probe
+    /// measures exactly the per-object semantics the paper's tests
+    /// define — the shard map changes *where* the object lives, never
+    /// what the analysis sees.
+    pub key: Option<u32>,
 }
 
 impl ProbeConfig {
@@ -97,6 +105,7 @@ impl ProbeConfig {
             max_duration: Duration::from_secs(30),
             seed,
             timeout: Duration::from_secs(5),
+            key: None,
         }
     }
 }
@@ -356,6 +365,9 @@ fn agent_setup(
             client.service()
         )));
     }
+    // Keyed probes address one sharded keyspace key for every
+    // read/write; clock-sync hellos are key-less either way.
+    client.set_key(config.key);
 
     // Clock sync: Cristian probes over the real wire.
     let mut samples = Vec::new();

@@ -1,29 +1,48 @@
 //! The `cpw1` TCP server: catalog services on real sockets.
 //!
 //! [`WireServer::start`] binds one listener per agent region, hosts a
-//! [`LiveCluster`] (the wall-clock bridge around the deterministic
-//! replica cores), and serves frames with optional per-region artificial
-//! latency shaped from the sim's WAN latency matrix. Architecture:
+//! keyspace-sharded [`LiveCluster`] (the wall-clock bridge around the
+//! deterministic replica cores), and serves frames with optional
+//! per-region artificial latency shaped from the sim's WAN latency
+//! matrix. Architecture — a readiness-sweep event loop (the workspace is
+//! `std`-only and forbids `unsafe`, so there is no epoll; non-blocking
+//! sockets swept in a tight loop get the same effect on loopback):
 //!
 //! * one *accept* thread per region listener (non-blocking accept + stop
-//!   polling, so shutdown needs no signal machinery);
-//! * one *handler* thread per connection, each with its own deterministic
-//!   latency-sampling stream;
+//!   polling, so shutdown needs no signal machinery) handing accepted
+//!   streams to the event loops round-robin;
+//! * [`ServeConfig::event_loops`] *worker* threads, each owning a set of
+//!   non-blocking connections it multiplexes: per sweep it reads every
+//!   readable socket to exhaustion, serves **all** buffered complete
+//!   frames (pipelining: many in-flight requests per connection,
+//!   answered strictly in arrival order), and coalesces the responses
+//!   into one output buffer flushed with single large writes — the
+//!   write-batching that amortizes syscalls over the pipeline depth;
 //! * one *ticker* thread advancing the cluster's replication queue and
-//!   anti-entropy schedule on wall-clock time;
-//! * an optional *stop-file* watcher — the workspace forbids `unsafe`, so
-//!   POSIX signal handlers are out; a stop file (or a `stop` frame from
-//!   any client) is the graceful-drain trigger, and `Ctrl-C` still works
-//!   the ungraceful way.
+//!   anti-entropy schedule on wall-clock time (the cluster's atomic
+//!   horizon makes the per-request inline tick nearly free);
+//! * an optional *stop-file* watcher — the workspace forbids `unsafe`,
+//!   so POSIX signal handlers are out; a stop file (or a `stop` frame
+//!   from any client) is the graceful-drain trigger, and `Ctrl-C` still
+//!   works the ungraceful way.
 //!
 //! Graceful drain: once the stop flag rises, accept threads close their
-//! listeners, handlers finish the request they are serving (every
-//! response is written with a single `write_all` of a complete encoded
-//! frame — a drained connection never ends mid-frame), and
-//! [`WireServer::join`] flushes a final metrics dump through
-//! [`fsio`-style atomic writes](conprobe_obs) before returning.
+//! listeners, each worker serves the requests already buffered on its
+//! connections, then switches the sockets back to blocking and flushes
+//! every output buffer to the last byte — a drained connection never
+//! ends mid-frame — and [`WireServer::join`] returns the final metrics
+//! dump.
+//!
+//! Request routing: legacy `read`/`write` frames address key 0 (the
+//! paper's single-object workload); `read_q`/`write_q` frames carry an
+//! explicit key, routed by the cluster's consistent-hash [`ShardRing`]
+//! (see `conprobe_services::shard`), plus a request id echoed in the
+//! response so pipelined clients can verify per-connection FIFO order.
 
-use crate::frame::{decode, Frame, PROTO_VERSION};
+use crate::frame::{
+    append_read_q_ok_iter, append_write_q_ack, decode_raw, parse_payload, Frame, KIND_READ_Q,
+    KIND_WRITE_Q, PROTO_VERSION,
+};
 use crate::load::wire_latency_bounds_nanos;
 use conprobe_obs::MetricsRegistry;
 use conprobe_services::live::{LiveCluster, LiveConfig, StaleWindow};
@@ -61,10 +80,17 @@ pub struct ServeConfig {
     pub base_port: u16,
     /// Graceful-drain trigger: the server stops when this file appears.
     pub stop_file: Option<PathBuf>,
+    /// Keyspace shards in the hosted [`LiveCluster`] (clamped to ≥ 1).
+    pub shards: usize,
+    /// Event-loop worker threads multiplexing the connections (clamped
+    /// to ≥ 1). One is right for one core; more only helps when the
+    /// host actually has spare cores.
+    pub event_loops: usize,
 }
 
 impl ServeConfig {
-    /// Loopback defaults: ephemeral ports, no artificial latency or loss.
+    /// Loopback defaults: ephemeral ports, no artificial latency or
+    /// loss, a sharded keyspace on one event loop.
     pub fn loopback(kind: ServiceKind, seed: u64) -> Self {
         ServeConfig {
             kind,
@@ -74,6 +100,8 @@ impl ServeConfig {
             drop_prob: 0.0,
             base_port: 0,
             stop_file: None,
+            shards: 16,
+            event_loops: 1,
         }
     }
 }
@@ -89,9 +117,9 @@ struct Shared {
     seed: u64,
     service_token: &'static str,
     conn_seq: AtomicU64,
-    /// Connection handlers spawned by the accept threads; joined on
-    /// shutdown so the final metrics dump sees every frame counted.
-    handlers: Mutex<Vec<JoinHandle<()>>>,
+    /// One inbox per event-loop worker; accept threads drop new
+    /// connections in round-robin and workers adopt them each sweep.
+    inboxes: Vec<Mutex<Vec<Conn>>>,
 }
 
 impl Shared {
@@ -106,6 +134,7 @@ pub struct WireServer {
     shared: Arc<Shared>,
     addrs: Vec<(Region, SocketAddr)>,
     accepters: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
     ticker: Option<JoinHandle<()>>,
     watcher: Option<JoinHandle<()>>,
 }
@@ -113,11 +142,13 @@ pub struct WireServer {
 impl WireServer {
     /// Binds the per-region listeners and starts serving.
     pub fn start(config: &ServeConfig) -> std::io::Result<WireServer> {
+        let event_loops = config.event_loops.max(1);
         let shared = Arc::new(Shared {
             cluster: LiveCluster::new(&LiveConfig {
                 kind: config.kind,
                 seed: config.seed,
                 stale_window: config.stale_window,
+                shards: config.shards,
             }),
             started: Instant::now(),
             stop: AtomicBool::new(false),
@@ -128,7 +159,7 @@ impl WireServer {
             seed: config.seed,
             service_token: conprobe_harness::journal::service_token(config.kind),
             conn_seq: AtomicU64::new(0),
-            handlers: Mutex::new(Vec::new()),
+            inboxes: (0..event_loops).map(|_| Mutex::new(Vec::new())).collect(),
         });
         let mut addrs = Vec::new();
         let mut accepters = Vec::new();
@@ -141,6 +172,12 @@ impl WireServer {
             let region = *region;
             accepters.push(std::thread::spawn(move || accept_loop(shared, region, listener)));
         }
+        let workers = (0..event_loops)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared, w))
+            })
+            .collect();
         let ticker = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || {
@@ -166,6 +203,7 @@ impl WireServer {
             shared,
             addrs,
             accepters,
+            workers,
             ticker: Some(ticker),
             watcher: Some(watcher.unwrap_or_else(|| std::thread::spawn(|| ()))),
         })
@@ -185,6 +223,11 @@ impl WireServer {
             .expect("no listener for region")
     }
 
+    /// Keyspace shards in the hosted cluster.
+    pub fn shard_count(&self) -> usize {
+        self.shared.cluster.shard_count()
+    }
+
     /// Raises the stop flag (same effect as a `stop` frame or the stop
     /// file appearing).
     pub fn request_stop(&self) {
@@ -197,10 +240,14 @@ impl WireServer {
     }
 
     /// Blocks until a drain is triggered, then joins every serving
-    /// thread and returns the final metrics dump as pretty JSON. In-flight
-    /// requests finish first: handlers only stop *between* whole frames.
+    /// thread and returns the final metrics dump as pretty JSON.
+    /// In-flight requests finish first: workers answer every request
+    /// already buffered and flush every response in full before closing.
     pub fn join(self) -> String {
         for handle in self.accepters {
+            let _ = handle.join();
+        }
+        for handle in self.workers {
             let _ = handle.join();
         }
         if let Some(t) = self.ticker {
@@ -208,10 +255,6 @@ impl WireServer {
         }
         if let Some(w) = self.watcher {
             let _ = w.join();
-        }
-        let handlers = std::mem::take(&mut *self.shared.handlers.lock().unwrap());
-        for handle in handlers {
-            let _ = handle.join();
         }
         self.shared.metrics.to_json().to_pretty()
     }
@@ -226,9 +269,26 @@ fn accept_loop(shared: Arc<Shared>, region: Region, listener: TcpListener) {
         match listener.accept() {
             Ok((stream, _)) => {
                 connections.inc();
-                let shared_conn = Arc::clone(&shared);
-                let handle = std::thread::spawn(move || handle_conn(shared_conn, region, stream));
-                shared.handlers.lock().unwrap().push(handle);
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+                let conn = Conn {
+                    stream,
+                    region,
+                    replica_region: shared
+                        .cluster
+                        .replica_region(shared.cluster.replica_for(region)),
+                    inbuf: Vec::new(),
+                    inpos: 0,
+                    outbuf: Vec::new(),
+                    outpos: 0,
+                    rng: SimRng::new(shared.seed).split_indexed("wire.conn", conn_id),
+                    release_at: None,
+                };
+                let inbox = &shared.inboxes[(conn_id as usize) % shared.inboxes.len()];
+                inbox.lock().unwrap().push(conn);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -238,81 +298,296 @@ fn accept_loop(shared: Arc<Shared>, region: Region, listener: TcpListener) {
     }
 }
 
-/// Serves one connection until EOF, protocol error, or drain. Every
-/// response is one `write_all` of a fully encoded frame, so the stream a
-/// client observes always ends on a frame boundary.
-fn handle_conn(shared: Arc<Shared>, region: Region, mut stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
-    let mut rng = SimRng::new(shared.seed).split_indexed("wire.conn", conn_id);
-    let frames = shared.metrics.counter("wire.server.frames");
-    let dropped = shared.metrics.counter("wire.server.dropped_responses");
-    let op_nanos = shared.metrics.histogram("wire.server.op_nanos", &wire_latency_bounds_nanos());
-    let replica_region = shared.cluster.replica_region(shared.cluster.replica_for(region));
-    let mut buf: Vec<u8> = Vec::new();
-    let mut scratch = [0u8; 64 * 1024];
+/// One multiplexed connection owned by an event-loop worker.
+struct Conn {
+    stream: TcpStream,
+    region: Region,
+    replica_region: Region,
+    /// Inbound bytes; `inpos..` is the unconsumed tail (consuming a
+    /// frame advances `inpos` instead of memmoving the buffer).
+    inbuf: Vec<u8>,
+    inpos: usize,
+    /// Coalesced responses awaiting flush; `outpos..` is unsent.
+    outbuf: Vec<u8>,
+    outpos: usize,
+    rng: SimRng,
+    /// WAN shaping: the instant the next buffered request may be served.
+    release_at: Option<Instant>,
+}
+
+/// Soft cap on unserved inbound bytes per connection per sweep; frames
+/// already buffered are always served, this only pauses further reads so
+/// one fire-hose connection cannot starve its loop-mates.
+const READ_BACKLOG_CAP: usize = 1 << 20;
+
+/// Outcome of one sweep over one connection.
+enum Sweep {
+    /// Bytes moved or frames served — keep the loop hot.
+    Progress,
+    /// Nothing to do.
+    Idle,
+    /// EOF, protocol violation, or I/O error — drop the connection.
+    Closed,
+}
+
+/// Per-worker handles to the shared metrics (resolved once, not per op).
+struct Counters {
+    frames: conprobe_obs::Counter,
+    hellos: conprobe_obs::Counter,
+    writes: conprobe_obs::Counter,
+    reads: conprobe_obs::Counter,
+    stops: conprobe_obs::Counter,
+    dropped: conprobe_obs::Counter,
+    op_nanos: conprobe_obs::Histogram,
+}
+
+fn worker_loop(shared: Arc<Shared>, worker: usize) {
+    let ctrs = Counters {
+        frames: shared.metrics.counter("wire.server.frames"),
+        hellos: shared.metrics.counter("wire.server.hellos"),
+        writes: shared.metrics.counter("wire.server.writes"),
+        reads: shared.metrics.counter("wire.server.reads"),
+        stops: shared.metrics.counter("wire.server.stops"),
+        dropped: shared.metrics.counter("wire.server.dropped_responses"),
+        op_nanos: shared.metrics.histogram("wire.server.op_nanos", &wire_latency_bounds_nanos()),
+    };
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; 256 * 1024];
+    let mut idle_sweeps: u32 = 0;
     loop {
-        // Serve every complete frame already buffered.
-        loop {
-            match decode(&buf) {
-                Ok(Some((frame, consumed))) => {
-                    buf.drain(..consumed);
-                    frames.inc();
-                    let began = Instant::now();
-                    // Artificial WAN shaping: sleep a sampled agent↔replica
-                    // delay (scaled), and optionally drop the response.
-                    if shared.latency_scale > 0.0 {
-                        let wan = shared.matrix.sample_delay(region, replica_region, &mut rng);
-                        let nanos = (wan.as_nanos() as f64 * shared.latency_scale) as u64;
-                        std::thread::sleep(Duration::from_nanos(nanos));
-                    }
-                    if shared.drop_prob > 0.0 && rng.gen_bool(shared.drop_prob) {
-                        dropped.inc();
-                        continue;
-                    }
-                    let reply = match respond(&shared, region, frame) {
-                        Some(reply) => reply,
-                        None => return, // protocol violation: hang up
-                    };
-                    op_nanos.record(began.elapsed().as_nanos() as u64);
-                    if stream.write_all(&reply.encode()).is_err() {
-                        return;
-                    }
+        let stopping = shared.stop.load(Ordering::Acquire);
+        {
+            let mut inbox = shared.inboxes[worker].lock().unwrap();
+            conns.append(&mut inbox);
+        }
+        let mut progressed = false;
+        let mut i = 0;
+        while i < conns.len() {
+            match sweep_conn(&shared, &ctrs, &mut conns[i], &mut scratch, stopping) {
+                Sweep::Progress => {
+                    progressed = true;
+                    i += 1;
                 }
-                Ok(None) => break,
-                Err(_) => return, // corrupt stream: hang up
+                Sweep::Idle => i += 1,
+                Sweep::Closed => {
+                    conns.swap_remove(i);
+                }
             }
         }
-        if shared.stop.load(Ordering::Acquire) {
-            // Drain point: all buffered requests above were answered in
-            // full; close cleanly between frames.
+        if stopping {
+            // Drain point: the sweep above answered everything buffered;
+            // push the remaining response bytes out synchronously so no
+            // client ever observes a stream ending mid-frame.
+            for conn in conns.drain(..) {
+                drain_flush(conn);
+            }
             return;
         }
-        match stream.read(&mut scratch) {
-            Ok(0) => return,
-            Ok(n) => buf.extend_from_slice(&scratch[..n]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue; // poll the stop flag, then read again
+        if progressed {
+            idle_sweeps = 0;
+        } else {
+            // Yield first: on a saturated core the client thread likely
+            // holds the next request, and a yield hands it the CPU at
+            // context-switch cost instead of a 50µs timer wait. Only a
+            // genuinely idle server (yields keep coming back with no
+            // work) backs off to sleeping.
+            idle_sweeps = idle_sweeps.saturating_add(1);
+            if idle_sweeps > 256 {
+                std::thread::sleep(Duration::from_micros(50));
+            } else {
+                std::thread::yield_now();
             }
-            Err(_) => return,
         }
     }
 }
 
-/// Computes the response for one request frame. `None` means the peer
-/// sent a server-role or out-of-protocol frame and the connection should
-/// be dropped.
-fn respond(shared: &Shared, region: Region, frame: Frame) -> Option<Frame> {
-    let now = shared.now_nanos();
+/// One event-loop pass over one connection: read to exhaustion, serve
+/// every buffered complete frame in arrival order, flush what the socket
+/// will take.
+fn sweep_conn(
+    shared: &Shared,
+    ctrs: &Counters,
+    conn: &mut Conn,
+    scratch: &mut [u8],
+    stopping: bool,
+) -> Sweep {
+    let mut progressed = false;
+    let mut eof = false;
+    if !stopping {
+        while conn.inbuf.len() - conn.inpos < READ_BACKLOG_CAP {
+            match conn.stream.read(scratch) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.inbuf.extend_from_slice(&scratch[..n]);
+                    progressed = true;
+                    if n < scratch.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Sweep::Closed,
+            }
+        }
+    }
+    // Serve every complete frame already buffered, strictly in arrival
+    // order — the per-connection FIFO guarantee pipelined clients check
+    // via request ids.
+    loop {
+        let raw = match decode_raw(&conn.inbuf[conn.inpos..]) {
+            Ok(Some(raw)) => raw,
+            Ok(None) => break,
+            Err(_) => return Sweep::Closed, // corrupt stream: hang up
+        };
+        // Artificial WAN shaping: each request waits out a sampled
+        // agent↔replica delay before being served. The event loop keeps
+        // the request buffered and revisits on later sweeps instead of
+        // sleeping, so shaping one connection never stalls the others.
+        if shared.latency_scale > 0.0 {
+            match conn.release_at {
+                None => {
+                    let wan =
+                        shared.matrix.sample_delay(conn.region, conn.replica_region, &mut conn.rng);
+                    let nanos = (wan.as_nanos() as f64 * shared.latency_scale) as u64;
+                    conn.release_at = Some(Instant::now() + Duration::from_nanos(nanos));
+                    break;
+                }
+                Some(t) if Instant::now() < t => break,
+                Some(_) => conn.release_at = None,
+            }
+        }
+        let payload_at = conn.inpos + crate::frame::HEADER_LEN;
+        let payload_end = conn.inpos + raw.consumed;
+        conn.inpos += raw.consumed;
+        ctrs.frames.inc();
+        let began = Instant::now();
+        let now = began.duration_since(shared.started).as_nanos() as u64;
+        if shared.drop_prob > 0.0 && conn.rng.gen_bool(shared.drop_prob) {
+            ctrs.dropped.inc();
+            continue;
+        }
+        let payload = &conn.inbuf[payload_at..payload_end];
+        let served = match raw.kind {
+            KIND_READ_Q => {
+                ctrs.reads.inc();
+                let req = u32::from_le_bytes(payload[..4].try_into().unwrap());
+                let key = u32::from_le_bytes(payload[4..8].try_into().unwrap());
+                let ids = shared.cluster.read_keyed(conn.region, key, now);
+                append_read_q_ok_iter(&mut conn.outbuf, req, ids.iter().map(|id| id.as_u64()));
+                true
+            }
+            KIND_WRITE_Q => {
+                ctrs.writes.inc();
+                let req = u32::from_le_bytes(payload[..4].try_into().unwrap());
+                let key = u32::from_le_bytes(payload[4..8].try_into().unwrap());
+                let author = u32::from_le_bytes(payload[8..12].try_into().unwrap());
+                let seq = u32::from_le_bytes(payload[12..16].try_into().unwrap());
+                let ts = i64::from_le_bytes(payload[16..24].try_into().unwrap());
+                let content = match std::str::from_utf8(&payload[24..]) {
+                    Ok(s) => s.to_owned(),
+                    Err(_) => return Sweep::Closed,
+                };
+                let id = PostId::new(conprobe_store::AuthorId(author), seq);
+                let post = Post::new(id, content, LocalTime::from_nanos(ts));
+                let acked = shared.cluster.write_keyed(conn.region, key, post, now);
+                append_write_q_ack(&mut conn.outbuf, req, acked.as_u64());
+                true
+            }
+            _ => {
+                let frame = match parse_payload(raw.kind, payload) {
+                    Ok(frame) => frame,
+                    Err(_) => return Sweep::Closed,
+                };
+                match respond_legacy(shared, ctrs, conn.region, frame, now) {
+                    Some(reply) => {
+                        reply.encode_into(&mut conn.outbuf);
+                        true
+                    }
+                    None => return Sweep::Closed, // protocol violation
+                }
+            }
+        };
+        if served {
+            ctrs.op_nanos.record(began.elapsed().as_nanos() as u64);
+            progressed = true;
+        }
+    }
+    // Reclaim fully consumed input; compact a large consumed prefix so
+    // the buffer does not grow without bound under sustained pipelining.
+    if conn.inpos == conn.inbuf.len() {
+        conn.inbuf.clear();
+        conn.inpos = 0;
+    } else if conn.inpos > 64 * 1024 {
+        conn.inbuf.drain(..conn.inpos);
+        conn.inpos = 0;
+    }
+    match flush_outbuf(conn) {
+        Ok(wrote) => progressed |= wrote,
+        Err(()) => return Sweep::Closed,
+    }
+    if eof && conn.inpos == conn.inbuf.len() && conn.outpos == conn.outbuf.len() {
+        return Sweep::Closed;
+    }
+    if progressed {
+        Sweep::Progress
+    } else {
+        Sweep::Idle
+    }
+}
+
+/// Writes as much of the batched response buffer as the socket accepts.
+fn flush_outbuf(conn: &mut Conn) -> Result<bool, ()> {
+    let mut wrote = false;
+    while conn.outpos < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+            Ok(0) => return Err(()),
+            Ok(n) => {
+                conn.outpos += n;
+                wrote = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+    if conn.outpos == conn.outbuf.len() {
+        conn.outbuf.clear();
+        conn.outpos = 0;
+    } else if conn.outpos > 64 * 1024 {
+        conn.outbuf.drain(..conn.outpos);
+        conn.outpos = 0;
+    }
+    Ok(wrote)
+}
+
+/// Final synchronous flush at drain: every byte of every answered
+/// response reaches the socket before the connection closes.
+fn drain_flush(mut conn: Conn) {
+    if conn.outpos < conn.outbuf.len() {
+        let _ = conn.stream.set_nonblocking(false);
+        let _ = conn.stream.write_all(&conn.outbuf[conn.outpos..]);
+        let _ = conn.stream.flush();
+    }
+}
+
+/// Computes the response for one legacy (un-keyed) request frame. `None`
+/// means the peer sent a server-role or out-of-protocol frame and the
+/// connection should be dropped.
+fn respond_legacy(
+    shared: &Shared,
+    ctrs: &Counters,
+    region: Region,
+    frame: Frame,
+    now: u64,
+) -> Option<Frame> {
     match frame {
         Frame::Hello { proto: _ } => {
             // The ack always carries our version; the client decides
             // whether it can proceed.
-            shared.metrics.counter("wire.server.hellos").inc();
+            ctrs.hellos.inc();
             Some(Frame::HelloAck {
                 proto: PROTO_VERSION,
                 server_clock_nanos: now as i64,
@@ -320,27 +595,32 @@ fn respond(shared: &Shared, region: Region, frame: Frame) -> Option<Frame> {
             })
         }
         Frame::Write { author, seq, client_ts_nanos, content } => {
-            shared.metrics.counter("wire.server.writes").inc();
+            ctrs.writes.inc();
             let id = PostId::new(conprobe_store::AuthorId(author), seq);
             let post = Post::new(id, content, LocalTime::from_nanos(client_ts_nanos));
             let acked = shared.cluster.write(region, post, now);
             Some(Frame::WriteAck { id: acked.as_u64() })
         }
         Frame::Read => {
-            shared.metrics.counter("wire.server.reads").inc();
+            ctrs.reads.inc();
             let ids = shared.cluster.read(region, now);
             Some(Frame::ReadOk { ids: ids.into_iter().map(PostId::as_u64).collect() })
         }
         Frame::Stop => {
-            shared.metrics.counter("wire.server.stops").inc();
+            ctrs.stops.inc();
             shared.stop.store(true, Ordering::Release);
             Some(Frame::StopAck)
         }
-        // Server-role frames from a client are a protocol violation.
+        // Server-role frames from a client are a protocol violation, and
+        // keyed frames are handled on the raw path before parsing.
         Frame::HelloAck { .. }
         | Frame::WriteAck { .. }
         | Frame::ReadOk { .. }
         | Frame::Throttled
-        | Frame::StopAck => None,
+        | Frame::StopAck
+        | Frame::WriteQ { .. }
+        | Frame::WriteQAck { .. }
+        | Frame::ReadQ { .. }
+        | Frame::ReadQOk { .. } => None,
     }
 }

@@ -59,8 +59,16 @@ pub struct BenchScale {
     pub campaign_tests: u32,
     /// `visibility()` passes over the synthetic trace pool.
     pub visibility_iters: usize,
-    /// Wall-clock milliseconds of the wire-throughput load loop.
+    /// Wall-clock milliseconds of each measured wire-throughput point.
     pub wire_load_millis: u64,
+    /// Wall-clock milliseconds of warm-up (connections ramped, caches
+    /// hot, allocator steady) before each wire point starts measuring.
+    pub wire_warmup_millis: u64,
+    /// The `(connections, pipeline depth)` scaling curve the wire stage
+    /// sweeps. The first point is always the old pre-event-loop shape —
+    /// few connections, no pipelining — so the report can show the old
+    /// and new operating points side by side.
+    pub wire_points: &'static [(usize, usize)],
 }
 
 impl BenchScale {
@@ -72,6 +80,8 @@ impl BenchScale {
             campaign_tests: 6,
             visibility_iters: 200,
             wire_load_millis: 3_000,
+            wire_warmup_millis: 500,
+            wire_points: &[(8, 1), (64, 8), (256, 16), (512, 32), (256, 64)],
         }
     }
 
@@ -83,6 +93,8 @@ impl BenchScale {
             campaign_tests: 2,
             visibility_iters: 30,
             wire_load_millis: 500,
+            wire_warmup_millis: 150,
+            wire_points: &[(8, 1), (128, 16)],
         }
     }
 }
@@ -306,48 +318,91 @@ pub fn bench_campaign(scale: BenchScale) -> (f64, f64, CampaignResult) {
     (scale.campaign_tests as f64 / elapsed, events as f64 / elapsed, result)
 }
 
-/// What the wire-throughput stage measured (real TCP loopback: the
-/// `cpw1` server, client, and codec on the hot path).
+/// One measured point on the wire-throughput scaling curve.
 #[derive(Debug, Clone, Copy)]
-pub struct WireBench {
-    /// Completed closed-loop operations per second.
+pub struct WirePoint {
+    /// Concurrent connections the loop ran with.
+    pub connections: usize,
+    /// In-flight pipelined requests per connection.
+    pub pipeline: usize,
+    /// Completed closed-loop operations per second (post-warm-up).
     pub ops_per_sec: f64,
     /// Median per-op latency (histogram upper bucket bound), nanos.
     pub p50_nanos: u64,
     /// 99th-percentile per-op latency, nanos.
     pub p99_nanos: u64,
-    /// Concurrent connections the loop ran with.
-    pub connections: usize,
+    /// 99.9th-percentile per-op latency, nanos.
+    pub p999_nanos: u64,
     /// Transport errors observed (0 on a healthy loopback).
     pub errors: u64,
 }
 
+/// What the wire-throughput stage measured (real TCP loopback: the
+/// `cpw1` server, client, and codec on the hot path): the full
+/// connections × pipeline-depth scaling curve, plus the two operating
+/// points the report headlines.
+#[derive(Debug, Clone)]
+pub struct WireBench {
+    /// The old pre-event-loop shape — few connections, depth 1 — kept
+    /// as a side-by-side baseline for the pipelining speedup.
+    pub depth1: WirePoint,
+    /// The best point of the curve by ops/sec.
+    pub best: WirePoint,
+    /// Every measured `(connections, pipeline)` point, in sweep order.
+    pub curve: Vec<WirePoint>,
+}
+
 /// Times the whole wire subsystem end to end: an in-process loopback
 /// [`WireServer`](conprobe_wire::WireServer) hosting Blogger, hammered by
-/// the closed-loop generator. This is a *real-socket* number — frame
-/// encode/decode, checksums, TCP round trips and the live cluster's
-/// locking are all on the measured path.
+/// the closed-loop generator at each `(connections, pipeline)` point of
+/// the scale's curve. This is a *real-socket* number — frame
+/// encode/decode, checksums, TCP round trips, the shard ring and the
+/// live cluster's locking are all on the measured path. Each point gets
+/// a fresh server (identical seeded state) and a warm-up window before
+/// measurement starts; reads cycle over 16 keys so every shard's path
+/// stays exercised and payload sizes stay stationary.
 pub fn bench_wire_throughput(scale: BenchScale) -> WireBench {
     use conprobe_wire::{run_load, LoadConfig, ServeConfig, WireServer};
-    let server = WireServer::start(&ServeConfig::loopback(ServiceKind::Blogger, 0xB17E))
-        .expect("bind loopback wire server");
-    let addr = server.addrs()[0].1;
-    let metrics = conprobe_obs::MetricsRegistry::new();
-    let config = LoadConfig {
-        duration: std::time::Duration::from_millis(scale.wire_load_millis),
-        ..LoadConfig::loopback(addr)
-    };
-    let report = run_load(&config, &metrics).expect("wire load loop");
-    server.request_stop();
-    server.join();
-    assert!(report.ops > 0, "wire bench made no progress");
-    WireBench {
-        ops_per_sec: report.ops_per_sec,
-        p50_nanos: report.p50_nanos,
-        p99_nanos: report.p99_nanos,
-        connections: config.connections,
-        errors: report.errors,
+    let mut curve = Vec::new();
+    for &(connections, pipeline) in scale.wire_points {
+        let server = WireServer::start(&ServeConfig::loopback(ServiceKind::Blogger, 0xB17E))
+            .expect("bind loopback wire server");
+        let addr = server.addrs()[0].1;
+        let metrics = conprobe_obs::MetricsRegistry::new();
+        let config = LoadConfig {
+            connections,
+            pipeline,
+            keys: 16,
+            duration: std::time::Duration::from_millis(scale.wire_load_millis),
+            warmup: std::time::Duration::from_millis(scale.wire_warmup_millis),
+            ..LoadConfig::loopback(addr)
+        };
+        let report = run_load(&config, &metrics).expect("wire load loop");
+        server.request_stop();
+        server.join();
+        assert!(report.ops > 0, "wire bench made no progress at {connections}x{pipeline}");
+        assert_eq!(
+            report.ordering_errors, 0,
+            "pipelined responses arrived out of order at {connections}x{pipeline}"
+        );
+        assert_eq!(
+            report.decode_errors, 0,
+            "frame decoding failed under pipelining at {connections}x{pipeline}"
+        );
+        curve.push(WirePoint {
+            connections,
+            pipeline,
+            ops_per_sec: report.ops_per_sec,
+            p50_nanos: report.p50_nanos,
+            p99_nanos: report.p99_nanos,
+            p999_nanos: report.p999_nanos,
+            errors: report.errors,
+        });
     }
+    let depth1 = curve[0];
+    let best =
+        *curve.iter().max_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec)).expect("curve point");
+    WireBench { depth1, best, curve }
 }
 
 /// What the quorum stage measured: the strong control arm's operation
@@ -507,14 +562,36 @@ pub fn report_json(
         ));
     }
     if let Some(w) = wire {
+        let point = |p: &WirePoint| {
+            JsonValue::Object(vec![
+                ("connections".into(), JsonValue::Int(p.connections as i64)),
+                ("pipeline".into(), JsonValue::Int(p.pipeline as i64)),
+                ("ops_per_sec".into(), JsonValue::Float(round2(p.ops_per_sec))),
+                ("p50_nanos".into(), JsonValue::Int(p.p50_nanos as i64)),
+                ("p99_nanos".into(), JsonValue::Int(p.p99_nanos as i64)),
+                ("p999_nanos".into(), JsonValue::Int(p.p999_nanos as i64)),
+                ("errors".into(), JsonValue::Int(p.errors as i64)),
+            ])
+        };
         members.push((
             "wire_throughput".into(),
             JsonValue::Object(vec![
-                ("ops_per_sec".into(), JsonValue::Float(round2(w.ops_per_sec))),
-                ("p50_nanos".into(), JsonValue::Int(w.p50_nanos as i64)),
-                ("p99_nanos".into(), JsonValue::Int(w.p99_nanos as i64)),
-                ("connections".into(), JsonValue::Int(w.connections as i64)),
-                ("errors".into(), JsonValue::Int(w.errors as i64)),
+                // Headline keys describe the best operating point; the
+                // depth-1 block is the old pre-event-loop shape measured
+                // on the same tree, and `curve` is the full sweep.
+                ("ops_per_sec".into(), JsonValue::Float(round2(w.best.ops_per_sec))),
+                ("p50_nanos".into(), JsonValue::Int(w.best.p50_nanos as i64)),
+                ("p99_nanos".into(), JsonValue::Int(w.best.p99_nanos as i64)),
+                ("p999_nanos".into(), JsonValue::Int(w.best.p999_nanos as i64)),
+                ("connections".into(), JsonValue::Int(w.best.connections as i64)),
+                ("pipeline".into(), JsonValue::Int(w.best.pipeline as i64)),
+                ("errors".into(), JsonValue::Int(w.best.errors as i64)),
+                ("depth1".into(), point(&w.depth1)),
+                (
+                    "pipelining_speedup".into(),
+                    JsonValue::Float(round2(w.best.ops_per_sec / w.depth1.ops_per_sec.max(1e-9))),
+                ),
+                ("curve".into(), JsonValue::Array(w.curve.iter().map(point).collect())),
             ]),
         ));
     }
@@ -730,13 +807,25 @@ mod tests {
             snapshot_reads_per_sec: 9000.0,
             visibility_records_per_sec: 4000.0,
         };
-        let wire = WireBench {
+        let depth1 = WirePoint {
+            connections: 8,
+            pipeline: 1,
             ops_per_sec: 80_000.0,
             p50_nanos: 1_000_000,
             p99_nanos: 2_000_000,
-            connections: 8,
+            p999_nanos: 3_000_000,
             errors: 0,
         };
+        let best = WirePoint {
+            connections: 256,
+            pipeline: 16,
+            ops_per_sec: 800_000.0,
+            p50_nanos: 4_000_000,
+            p99_nanos: 9_000_000,
+            p999_nanos: 12_000_000,
+            errors: 0,
+        };
+        let wire = WireBench { depth1, best, curve: vec![depth1, best] };
         let quorum = QuorumBench {
             quorum_writes_per_sec: 10.0,
             quorum_reads_per_sec: 500.0,
@@ -760,8 +849,17 @@ mod tests {
         assert_eq!(jo.get("campaign_tests_per_sec_off").and_then(|v| v.as_f64()), Some(2.0));
         assert!(jo.get("overhead_pct").and_then(|v| v.as_f64()).unwrap() > 0.0);
         let wt = doc.get("wire_throughput").expect("wire throughput block");
-        assert_eq!(wt.get("ops_per_sec").and_then(|v| v.as_f64()), Some(80_000.0));
-        assert_eq!(wt.get("p99_nanos").and_then(|v| v.as_f64()), Some(2_000_000.0));
+        assert_eq!(wt.get("ops_per_sec").and_then(|v| v.as_f64()), Some(800_000.0));
+        assert_eq!(wt.get("p99_nanos").and_then(|v| v.as_f64()), Some(9_000_000.0));
+        assert_eq!(wt.get("pipeline").and_then(|v| v.as_f64()), Some(16.0));
+        assert_eq!(wt.get("pipelining_speedup").and_then(|v| v.as_f64()), Some(10.0));
+        let d1 = wt.get("depth1").expect("depth1 baseline point");
+        assert_eq!(d1.get("ops_per_sec").and_then(|v| v.as_f64()), Some(80_000.0));
+        assert_eq!(d1.get("pipeline").and_then(|v| v.as_f64()), Some(1.0));
+        match wt.get("curve") {
+            Some(conprobe_json::JsonValue::Array(points)) => assert_eq!(points.len(), 2),
+            other => panic!("curve must be an array of points, got {other:?}"),
+        }
         let q = doc.get("quorum").expect("quorum block");
         assert_eq!(q.get("reads_per_sec").and_then(|v| v.as_f64()), Some(500.0));
         assert_eq!(q.get("read_slowdown").and_then(|v| v.as_f64()), Some(3.0));

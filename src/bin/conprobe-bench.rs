@@ -124,14 +124,27 @@ fn main() -> ExitCode {
         (journal_off / journal_on.max(1e-9) - 1.0) * 100.0
     );
     let wire = bench::bench_wire_throughput(scale);
+    for p in &wire.curve {
+        eprintln!(
+            "wire point {} conn x {} deep: {:.0} ops/sec \
+             (p50 {:.2} ms, p99 {:.2} ms, p999 {:.2} ms, {} error(s))",
+            p.connections,
+            p.pipeline,
+            p.ops_per_sec,
+            p.p50_nanos as f64 / 1e6,
+            p.p99_nanos as f64 / 1e6,
+            p.p999_nanos as f64 / 1e6,
+            p.errors
+        );
+    }
     eprintln!(
-        "wire throughput: {:.0} ops/sec over {} loopback connection(s) \
-         (p50 {:.2} ms, p99 {:.2} ms, {} error(s))",
-        wire.ops_per_sec,
-        wire.connections,
-        wire.p50_nanos as f64 / 1e6,
-        wire.p99_nanos as f64 / 1e6,
-        wire.errors
+        "wire throughput: {:.0} ops/sec best ({} conn x {} deep), \
+         {:.2}x over the depth-1 shape ({:.0} ops/sec)",
+        wire.best.ops_per_sec,
+        wire.best.connections,
+        wire.best.pipeline,
+        wire.best.ops_per_sec / wire.depth1.ops_per_sec.max(1e-9),
+        wire.depth1.ops_per_sec
     );
     let quorum = bench::bench_quorum(scale);
     eprintln!(

@@ -146,6 +146,10 @@ pub enum Command {
         max_secs: Option<u64>,
         /// Dump the server's final metrics registry as JSON to this path.
         metrics_out: Option<String>,
+        /// Keyspace shards in the hosted cluster.
+        shards: usize,
+        /// Event-loop worker threads multiplexing the connections.
+        event_loops: usize,
     },
     /// Run live probe agents against remote `cpw1` endpoints and feed
     /// the traces through the standard analysis/journal pipeline.
@@ -172,6 +176,9 @@ pub enum Command {
         journal_out: Option<String>,
         /// Resume from (and keep appending to) this journal.
         resume: Option<String>,
+        /// Keyspace key the probe addresses (keyed sharded frames);
+        /// `None` speaks the legacy un-keyed protocol.
+        key: Option<u32>,
     },
     /// Closed-loop load generator against one `cpw1` endpoint.
     Load {
@@ -179,10 +186,18 @@ pub enum Command {
         addr: Option<String>,
         /// Read the first endpoint from a `serve --ready-file` instead.
         server_file: Option<String>,
-        /// Concurrent connections.
+        /// Concurrent connections (multiplexed, not threads).
         connections: usize,
+        /// In-flight pipelined requests per connection.
+        pipeline: usize,
+        /// Sweeper threads the connections are spread over.
+        threads: usize,
+        /// Keyspace keys the reads cycle through round-robin.
+        keys: u32,
         /// Wall-clock duration of the measurement loop in seconds.
         secs: u64,
+        /// Warm-up seconds before measurement begins.
+        warmup_secs: u64,
         /// Optional total ops/sec pacing target (default: flat out).
         target_ops: Option<u64>,
         /// Dump the load metrics registry as JSON to this path.
@@ -225,14 +240,16 @@ USAGE:
   conprobe serve --service <svc> [--seed N] [--port BASE]
                [--latency-scale F] [--drop P]
                [--stale-replica I] [--stale-lag-ms N]
+               [--shards N] [--event-loops N]
                [--stop-file FILE] [--ready-file FILE] [--max-secs N]
                [--metrics FILE]
   conprobe probe --service <svc> [--test 1|2] [--seed N] [--tests N]
                (--endpoint region=host:port ... | --server-file FILE)
-               [--read-ms N] [--reads N] [--metrics FILE]
+               [--read-ms N] [--reads N] [--key K] [--metrics FILE]
                [--journal FILE | --resume FILE]
   conprobe load (--addr host:port | --server-file FILE)
-               [--connections N] [--secs N] [--target-ops N]
+               [--connections N] [--pipeline N] [--threads N] [--keys N]
+               [--secs N] [--warmup-secs N] [--target-ops N]
                [--metrics FILE]
   conprobe services
   conprobe help
@@ -247,11 +264,18 @@ USAGE:
   matrix), response loss (--drop), and a seeded staleness window
   (--stale-replica/--stale-lag-ms). It drains gracefully — finishing
   whole frames — when --stop-file appears, a client sends `stop`, or
-  --max-secs elapses. `probe` runs the paper's agents for real: skewed
-  local clocks, Cristian sync over the wire, the Test 1/2 cadence, and
-  the unmodified checkers on the merged trace; --journal/--resume work
-  exactly as in `campaign`. `load` measures sustained closed-loop
-  throughput with latency histograms.
+  --max-secs elapses. The hosted cluster shards its keyspace over
+  --shards consistent-hash shards served by --event-loops non-blocking
+  event-loop workers; the ready file records the shard count. `probe`
+  runs the paper's agents for real: skewed local clocks, Cristian sync
+  over the wire, the Test 1/2 cadence, and the unmodified checkers on
+  the merged trace; --journal/--resume work exactly as in `campaign`;
+  --key K pins the probe to one keyspace key (keyed sharded frames)
+  and labels the journal cell with the key and owning shard. `load`
+  measures sustained closed-loop throughput with latency histograms,
+  multiplexing --connections pipelined connections (--pipeline
+  in-flight requests each) over --threads sweeper threads, cycling
+  reads over --keys keys; measurement starts after --warmup-secs.
 
   --metrics dumps the run's metrics registry (counters, gauges,
   histograms across the sim/services/harness/campaign layers) as JSON.
@@ -361,8 +385,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut read_ms = 30u64;
     let mut reads_target = 30u32;
     let mut connections = 8usize;
+    let mut pipeline = 1usize;
+    let mut threads = 1usize;
+    let mut keys = 1u32;
     let mut secs = 5u64;
+    let mut warmup_secs = 0u64;
     let mut target_ops: Option<u64> = None;
+    let mut shards = 16usize;
+    let mut event_loops = 1usize;
+    let mut key: Option<u32> = None;
     fn val<'a>(it: &mut impl Iterator<Item = &'a str>, flag: &str) -> Result<&'a str, CliError> {
         it.next().ok_or_else(|| CliError(format!("{flag} needs a value")))
     }
@@ -388,8 +419,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             "--read-ms" => read_ms = num(val(&mut it, a)?, a)?,
             "--reads" => reads_target = num(val(&mut it, a)?, a)?,
             "--connections" => connections = num(val(&mut it, a)?, a)?,
+            "--pipeline" => pipeline = num(val(&mut it, a)?, a)?,
+            "--threads" => threads = num(val(&mut it, a)?, a)?,
+            "--keys" => keys = num(val(&mut it, a)?, a)?,
             "--secs" => secs = num(val(&mut it, a)?, a)?,
+            "--warmup-secs" => warmup_secs = num(val(&mut it, a)?, a)?,
             "--target-ops" => target_ops = Some(num(val(&mut it, a)?, a)?),
+            "--shards" => shards = num(val(&mut it, a)?, a)?,
+            "--event-loops" => event_loops = num(val(&mut it, a)?, a)?,
+            "--key" => key = Some(num(val(&mut it, a)?, a)?),
             "--service" => {
                 service = Some(parse_service(
                     it.next().ok_or(CliError("--service needs a value".into()))?,
@@ -536,6 +574,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             ready_file,
             max_secs,
             metrics_out,
+            shards,
+            event_loops,
         }),
         "probe" => {
             if endpoints.is_empty() && server_file.is_none() {
@@ -556,13 +596,25 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 metrics_out,
                 journal_out,
                 resume,
+                key,
             })
         }
         "load" => {
             if addr.is_none() && server_file.is_none() {
                 return Err(CliError("load requires --addr host:port or --server-file".into()));
             }
-            Ok(Command::Load { addr, server_file, connections, secs, target_ops, metrics_out })
+            Ok(Command::Load {
+                addr,
+                server_file,
+                connections,
+                pipeline,
+                threads,
+                keys,
+                secs,
+                warmup_secs,
+                target_ops,
+                metrics_out,
+            })
         }
         "services" => Ok(Command::Services),
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -1050,6 +1102,8 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             ready_file,
             max_secs,
             metrics_out,
+            shards,
+            event_loops,
         } => {
             let config = ServeConfig {
                 kind: service,
@@ -1062,12 +1116,17 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 drop_prob,
                 base_port,
                 stop_file: stop_file.map(Into::into),
+                shards,
+                event_loops,
             };
             let server = WireServer::start(&config).map_err(|e| CliError(format!("serve: {e}")))?;
             let mut lines = String::new();
             for (region, addr) in server.addrs() {
                 let _ = writeln!(lines, "{}={addr}", region_token(*region));
             }
+            // Probes read the shard count back to label keyed cells;
+            // `resolve_endpoints` skips this line.
+            let _ = writeln!(lines, "shards={}", server.shard_count());
             eprint!("serving {service} (seed {seed}) on:\n{lines}");
             if let Some(path) = &ready_file {
                 crate::fsio::write_atomic(path, &lines)
@@ -1105,6 +1164,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             metrics_out,
             journal_out,
             resume,
+            key,
         } => {
             let endpoints = resolve_endpoints(&endpoints, &server_file)?;
             let _ = writeln!(
@@ -1114,7 +1174,18 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             );
             let metrics = metrics_out.as_ref().map(|_| MetricsRegistry::new());
             let (journal_file, recovery) = open_journal(&journal_out, &resume)?;
-            let cell = format!("wire/{}", journal::cell_id(service, kind));
+            // A keyed probe addresses one logical object; the cell label
+            // records which key and which shard owns it (from the serve
+            // ready-file's `shards=` line, defaulting to the serve
+            // default) so journals from different placements never mix.
+            let cell = match key {
+                Some(k) => {
+                    let shards = resolve_shard_count(&server_file)?.unwrap_or(16);
+                    let shard = conprobe_services::ShardRing::new(shards).shard_for_key(k);
+                    format!("wire/{}/k{k}@s{shard}", journal::cell_id(service, kind))
+                }
+                None => format!("wire/{}", journal::cell_id(service, kind)),
+            };
             let recovered = recovery.as_ref().map(|r| r.completed_for(&cell)).unwrap_or_default();
             let root = SimRng::new(seed);
             let mut analysis_config = TestConfig::paper(service, kind);
@@ -1139,6 +1210,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                         pc.slow_period = Duration::from_millis(read_ms * 2);
                         pc.reads_target = reads_target;
                         pc.fast_reads = reads_target / 2;
+                        pc.key = key;
                         let r = run_probe(&pc).map_err(|e| CliError(format!("probe: {e}")))?;
                         if let Some(j) = &journal_file {
                             if let Err(e) = j.append_completed(&cell, i, inst_seed, &r) {
@@ -1203,7 +1275,18 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 let _ = writeln!(out, "metrics written to {path}");
             }
         }
-        Command::Load { addr, server_file, connections, secs, target_ops, metrics_out } => {
+        Command::Load {
+            addr,
+            server_file,
+            connections,
+            pipeline,
+            threads,
+            keys,
+            secs,
+            warmup_secs,
+            target_ops,
+            metrics_out,
+        } => {
             let target = match addr {
                 Some(a) => a.parse().map_err(|e| CliError(format!("--addr '{a}': {e}")))?,
                 None => resolve_endpoints(&[], &server_file)?
@@ -1213,7 +1296,11 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             };
             let config = LoadConfig {
                 connections,
+                pipeline,
+                threads,
+                keys,
                 duration: Duration::from_secs(secs),
+                warmup: Duration::from_secs(warmup_secs),
                 target_ops_per_sec: target_ops,
                 ..LoadConfig::loopback(target)
             };
@@ -1222,13 +1309,21 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             let _ = writeln!(
                 out,
                 "load {target}: {} ops in {:.1}s over {connections} connection(s) \
-                 ({:.0} ops/sec); p50 {:.2} ms, p99 {:.2} ms; {} error(s)",
+                 x {pipeline} in-flight ({:.0} ops/sec); \
+                 p50 {:.2} ms, p99 {:.2} ms, p999 {:.2} ms; \
+                 {} error(s) ({} ordering, {} decode; \
+                 {} connection(s) affected, worst {})",
                 report.ops,
                 report.elapsed_secs,
                 report.ops_per_sec,
                 report.p50_nanos as f64 / 1e6,
                 report.p99_nanos as f64 / 1e6,
-                report.errors
+                report.p999_nanos as f64 / 1e6,
+                report.errors,
+                report.ordering_errors,
+                report.decode_errors,
+                report.conns_with_errors,
+                report.max_conn_errors
             );
             if let Some(path) = &metrics_out {
                 let json = metrics.to_json().to_pretty();
@@ -1242,7 +1337,8 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
 }
 
 /// Resolves probe/load endpoints from `--endpoint` specs or a
-/// `serve --ready-file` (lines of `region=host:port`).
+/// `serve --ready-file` (lines of `region=host:port`, plus one
+/// `shards=N` metadata line that is skipped here).
 fn resolve_endpoints(
     specs: &[String],
     server_file: &Option<String>,
@@ -1254,13 +1350,30 @@ fn resolve_endpoints(
     let text = std::fs::read_to_string(path).map_err(|e| CliError(format!("read {path}: {e}")))?;
     let endpoints: Vec<_> = text
         .lines()
-        .filter(|l| !l.trim().is_empty())
+        .filter(|l| !l.trim().is_empty() && !l.trim().starts_with("shards="))
         .map(parse_endpoint)
         .collect::<Result<_, _>>()?;
     if endpoints.is_empty() {
         return Err(CliError(format!("{path} lists no endpoints")));
     }
     Ok(endpoints)
+}
+
+/// Reads the `shards=N` line a `serve --ready-file` records, if the
+/// file (and line) exists. `Ok(None)` when probing `--endpoint` specs
+/// directly or against an older ready-file without the line.
+fn resolve_shard_count(server_file: &Option<String>) -> Result<Option<usize>, CliError> {
+    let Some(path) = server_file else { return Ok(None) };
+    let text = std::fs::read_to_string(path).map_err(|e| CliError(format!("read {path}: {e}")))?;
+    for line in text.lines() {
+        if let Some(n) = line.trim().strip_prefix("shards=") {
+            return n
+                .parse()
+                .map(Some)
+                .map_err(|e| CliError(format!("{path}: bad shards line: {e}")));
+        }
+    }
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -1520,11 +1633,18 @@ mod tests {
         .unwrap();
         assert!(out.contains("drained"), "{out}");
         let listing = std::fs::read_to_string(&ready).unwrap();
-        // One listener per agent region, parseable as probe endpoints.
-        assert_eq!(listing.lines().count(), Region::AGENTS.len(), "{listing}");
-        for line in listing.lines() {
+        // One listener per agent region, parseable as probe endpoints,
+        // plus the shard-count metadata line.
+        assert_eq!(listing.lines().count(), Region::AGENTS.len() + 1, "{listing}");
+        for line in listing.lines().filter(|l| !l.starts_with("shards=")) {
             parse_endpoint(line).unwrap();
         }
+        assert!(listing.lines().any(|l| l == "shards=16"), "{listing}");
+        assert_eq!(
+            resolve_shard_count(&Some(ready.display().to_string())).unwrap(),
+            Some(16),
+            "{listing}"
+        );
         let json = std::fs::read_to_string(&metrics).unwrap();
         assert!(json.contains("wire.server.connections"), "{json}");
         let _ = std::fs::remove_file(&ready);

@@ -312,6 +312,147 @@ fn dead_agent_connection_is_quarantined_and_the_study_salvaged() {
     assert_eq!(result.writes_total, 2, "both Test 2 initial writes are in the trace");
 }
 
+/// Keyed clients on a sharded server address isolated logical objects:
+/// a write to one key is visible to readers of that key and invisible
+/// to every other key, wherever the shard ring placed them.
+#[test]
+fn keyed_clients_are_isolated_per_key_across_shards() {
+    use conprobe::harness::transport::ServiceEndpoint;
+    use conprobe::services::{ClientOp, OpResult};
+    use conprobe::store::{AuthorId, Post, PostId};
+    use conprobe_sim::LocalTime;
+
+    let server = WireServer::start(&ServeConfig::loopback(ServiceKind::Blogger, 17)).expect("bind");
+    assert!(server.shard_count() > 1, "loopback serve defaults to a sharded keyspace");
+    let addr = server.addrs()[0].1;
+    let mut client = WireClient::connect(addr, Duration::from_secs(5)).expect("connect");
+    client.hello().expect("handshake");
+
+    client.set_key(Some(7));
+    let post = Post::new(PostId::new(AuthorId(1), 1), "keyed", LocalTime::from_nanos(1));
+    let id = post.id;
+    match client.call(ClientOp::Write(post)).expect("keyed write") {
+        OpResult::WriteAck(acked) => assert_eq!(acked, id),
+        other => panic!("expected write ack, got {other:?}"),
+    }
+    match client.call(ClientOp::Read).expect("keyed read") {
+        OpResult::ReadOk(ids) => assert_eq!(ids, vec![id], "own-key read sees the write"),
+        other => panic!("expected read ok, got {other:?}"),
+    }
+    // Sweep many other keys: none may leak the post, whether they land
+    // on the same shard as key 7 or a different one.
+    for other_key in (0..200u32).filter(|&k| k != 7) {
+        client.set_key(Some(other_key));
+        match client.call(ClientOp::Read).expect("other-key read") {
+            OpResult::ReadOk(ids) => {
+                assert!(ids.is_empty(), "key {other_key} must not see key 7's write: {ids:?}")
+            }
+            other => panic!("expected read ok, got {other:?}"),
+        }
+    }
+    server.request_stop();
+    server.join();
+}
+
+/// A keyed probe (all frames carrying an explicit keyspace key, routed
+/// through the shard ring) must analyze exactly like the un-keyed
+/// legacy path: clean on a clean server, and a seeded stale window must
+/// still surface as a detected read-your-writes anomaly. Keys in
+/// different shards behave identically.
+#[test]
+fn keyed_probe_analyzes_identically_to_the_unkeyed_path() {
+    // Clean server: the legacy path and two keyed probes (keys far
+    // apart, so they generally land on different shards) all complete
+    // with identical verdicts and write counts.
+    let mut write_totals = Vec::new();
+    for key in [None, Some(3), Some(411)] {
+        let server =
+            WireServer::start(&ServeConfig::loopback(ServiceKind::Blogger, 29)).expect("bind");
+        let mut config = ProbeConfig::loopback(
+            ServiceKind::Blogger,
+            TestKind::Test1,
+            probe_endpoints(&server, 2),
+            29,
+        );
+        config.key = key;
+        let result = run_probe(&config).expect("probe");
+        server.request_stop();
+        server.join();
+        assert!(result.completed, "key {key:?}: probe must complete");
+        assert!(
+            result.analysis.is_clean(),
+            "key {key:?}: clean server must analyze clean: {:?}",
+            result.analysis.observations
+        );
+        assert!(result.writes_total > 0, "key {key:?}");
+        write_totals.push(result.writes_total);
+    }
+    assert!(
+        write_totals.windows(2).all(|w| w[0] == w[1]),
+        "keyed and un-keyed probes run the identical cadence: {write_totals:?}"
+    );
+
+    // Stale server: the keyed path must not mask the seeded anomaly.
+    let server = WireServer::start(&ServeConfig {
+        stale_window: Some(StaleWindow { replica: 0, lag_nanos: 3_000_000_000 }),
+        ..ServeConfig::loopback(ServiceKind::Blogger, 11)
+    })
+    .expect("bind");
+    let mut config = ProbeConfig::loopback(
+        ServiceKind::Blogger,
+        TestKind::Test2,
+        probe_endpoints(&server, 2),
+        11,
+    );
+    config.key = Some(42);
+    let result = run_probe(&config).expect("probe");
+    server.request_stop();
+    server.join();
+    assert!(result.completed);
+    assert!(
+        result.analysis.has(AnomalyKind::ReadYourWrites),
+        "the stale window must be detected through the keyed path too"
+    );
+}
+
+/// The pipelined load generator: many in-flight requests per connection
+/// over several sweeper threads and keys, with FIFO responses verified
+/// per connection — a healthy loopback run reports zero transport,
+/// ordering and decode errors and a coherent p50 ≤ p99 ≤ p999 ladder.
+#[test]
+fn pipelined_load_reports_clean_percentiles_and_error_counters() {
+    let server = WireServer::start(&ServeConfig::loopback(ServiceKind::Blogger, 31)).expect("bind");
+    let metrics = MetricsRegistry::new();
+    let report = run_load(
+        &LoadConfig {
+            connections: 32,
+            pipeline: 8,
+            threads: 2,
+            keys: 4,
+            duration: Duration::from_millis(500),
+            warmup: Duration::from_millis(100),
+            seed_posts: 8,
+            ..LoadConfig::loopback(server.addrs()[0].1)
+        },
+        &metrics,
+    )
+    .expect("load");
+    server.request_stop();
+    server.join();
+
+    assert!(report.ops > 0, "pipelined load made progress");
+    assert_eq!(report.errors, 0, "loopback run should be error-free");
+    assert_eq!(report.ordering_errors, 0, "responses must come back FIFO per connection");
+    assert_eq!(report.decode_errors, 0, "no corrupt frames on loopback");
+    assert_eq!(report.conns_with_errors, 0);
+    assert_eq!(report.max_conn_errors, 0);
+    assert!(report.p50_nanos <= report.p99_nanos);
+    assert!(report.p99_nanos <= report.p999_nanos);
+    let json = metrics.to_json().to_pretty();
+    assert!(json.contains("wire.load.ordering_errors"), "{json}");
+    assert!(json.contains("wire.load.decode_errors"), "{json}");
+}
+
 /// The quorum control arm served over real sockets: `serve --service
 /// quorum` bridges `QuorumReplica` through `LiveCluster` with
 /// synchronous majority writes, so a live probe must analyze clean on
