@@ -2,10 +2,9 @@
 
 use crate::anomaly::{AnomalyKind, Observation};
 use crate::checkers::WfrMode;
-use crate::checkers::{content, mr, mw, order, ryw, wfr};
-use crate::index::TraceIndex;
+use crate::stream::StreamingAnalyzer;
 use crate::trace::{AgentId, EventKey, TestTrace};
-use crate::window::{all_pair_windows_indexed, WindowAnalysis, WindowKind};
+use crate::window::{WindowAnalysis, WindowKind};
 use std::collections::BTreeSet;
 
 /// Configuration for [`analyze`].
@@ -111,27 +110,16 @@ impl<K: EventKey> TestAnalysis<K> {
 
 /// Runs every checker (plus window computation) over `trace`.
 ///
-/// The derived views every checker needs (agent lists, per-agent read and
-/// write lists, per-read position maps) are computed once in a shared
-/// [`TraceIndex`] instead of per checker and per agent pair.
+/// One incremental pass of the [`StreamingAnalyzer`] evaluates all six
+/// presence checkers and both window sweeps simultaneously; each event of
+/// the trace is pushed exactly once and observation order matches the
+/// historical checker order (RYW, MW, MR, WFR, content, order).
 pub fn analyze<K: EventKey>(trace: &TestTrace<K>, config: &CheckerConfig<K>) -> TestAnalysis<K> {
-    let index = TraceIndex::new(trace);
-    let mut observations = Vec::new();
-    observations.extend(ryw::check_indexed(&index));
-    observations.extend(mw::check_indexed(&index));
-    observations.extend(mr::check_indexed(&index));
-    observations.extend(wfr::check_indexed(&index, &config.wfr_mode));
-    observations.extend(content::check_indexed(&index));
-    observations.extend(order::check_indexed(&index));
-    let (content_windows, order_windows) = if config.compute_windows {
-        (
-            all_pair_windows_indexed(&index, WindowKind::Content),
-            all_pair_windows_indexed(&index, WindowKind::Order),
-        )
-    } else {
-        (Vec::new(), Vec::new())
-    };
-    TestAnalysis { observations, content_windows, order_windows }
+    let mut s = StreamingAnalyzer::new(config);
+    for op in trace.ops() {
+        s.push_event(op);
+    }
+    s.finish()
 }
 
 #[cfg(test)]

@@ -12,14 +12,11 @@
 //! [`crate::window`]) handles the temporal aspect; this checker establishes
 //! presence per agent pair.
 
-use crate::anomaly::{AnomalyKind, Observation};
-use crate::index::{ReadView, TraceIndex};
+use crate::analysis::CheckerConfig;
+use crate::anomaly::Observation;
+use crate::index::TraceIndex;
+use crate::stream::{StreamPart, StreamingAnalyzer};
 use crate::trace::{EventKey, TestTrace};
-
-/// The first element of `a`'s sequence that `b`'s sequence lacks.
-fn first_only_in<'t, K>(a: &ReadView<'t, K>, b: &ReadView<'t, K>) -> Option<&'t K> {
-    a.keys().iter().zip(a.seq).find(|(&k, _)| !b.contains(k)).map(|(_, x)| x)
-}
 
 /// Finds content divergence between every pair of agents in `trace`.
 ///
@@ -31,50 +28,23 @@ pub fn check<K: EventKey>(trace: &TestTrace<K>) -> Vec<Observation<K>> {
     check_indexed(&TraceIndex::new(trace))
 }
 
-/// [`check`] against a prebuilt [`TraceIndex`].
+/// [`check`] against a prebuilt [`TraceIndex`] — a replay of the indexed
+/// event stream through the incremental
+/// [`StreamingAnalyzer`](crate::stream::StreamingAnalyzer), which
+/// compares each arriving read against the other agents' retained read
+/// summaries exactly once.
 pub fn check_indexed<K: EventKey>(index: &TraceIndex<'_, K>) -> Vec<Observation<K>> {
-    let agents = index.agents();
-    let mut out = Vec::new();
-    for (i, &a) in agents.iter().enumerate() {
-        for &b in &agents[i + 1..] {
-            let reads_a: Vec<_> = index.reads_of(a).collect();
-            let reads_b: Vec<_> = index.reads_of(b).collect();
-            let mut first_witness: Option<(K, K, crate::trace::Timestamp)> = None;
-            let mut pair_count = 0usize;
-            for ra in &reads_a {
-                for rb in &reads_b {
-                    let x = first_only_in(ra, rb);
-                    let y = first_only_in(rb, ra);
-                    if let (Some(x), Some(y)) = (x, y) {
-                        pair_count += 1;
-                        let at = ra.op.response.max(rb.op.response);
-                        if first_witness.is_none() {
-                            first_witness = Some((x.clone(), y.clone(), at));
-                        }
-                    }
-                }
-            }
-            if let Some((x, y, at)) = first_witness {
-                out.push(Observation {
-                    kind: AnomalyKind::ContentDivergence,
-                    agent: a,
-                    other_agent: Some(b),
-                    at,
-                    detail: format!(
-                        "{a} and {b} mutually diverge ({pair_count} read pair(s)): \
-                         {a} alone sees {x:?}, {b} alone sees {y:?}"
-                    ),
-                    witnesses: vec![x, y],
-                });
-            }
-        }
+    let mut s = StreamingAnalyzer::single(&CheckerConfig::default(), StreamPart::ContentDivergence);
+    for op in index.ops() {
+        s.push_event(op);
     }
-    out
+    s.finish().observations
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::anomaly::AnomalyKind;
     use crate::trace::{AgentId, TestTraceBuilder, Timestamp};
 
     fn t(ms: i64) -> Timestamp {

@@ -12,11 +12,18 @@
 //! observation counts (a message that disappears once is one observation,
 //! not one per later read).
 
-use crate::anomaly::{AnomalyKind, Observation};
+use crate::analysis::CheckerConfig;
+use crate::anomaly::Observation;
 use crate::index::TraceIndex;
+use crate::stream::{StreamPart, StreamingAnalyzer};
 use crate::trace::{EventKey, TestTrace};
 
 /// Finds all Monotonic Reads violations in `trace`.
+///
+/// "(in that order)" in §III is the order results were *returned*: a
+/// client reacts to responses, and retransmitted reads can overlap later
+/// ones, so response order — not invocation order — defines the
+/// successive views.
 ///
 /// Emits one [`Observation`] per consecutive read pair in which at least one
 /// previously observed event disappeared; the vanished events are the
@@ -25,46 +32,21 @@ pub fn check<K: EventKey>(trace: &TestTrace<K>) -> Vec<Observation<K>> {
     check_indexed(&TraceIndex::new(trace))
 }
 
-/// [`check`] against a prebuilt [`TraceIndex`].
+/// [`check`] against a prebuilt [`TraceIndex`] — a replay of the indexed
+/// event stream through the incremental
+/// [`StreamingAnalyzer`](crate::stream::StreamingAnalyzer).
 pub fn check_indexed<K: EventKey>(index: &TraceIndex<'_, K>) -> Vec<Observation<K>> {
-    let mut out = Vec::new();
-    for &agent in index.agents() {
-        // "(in that order)" in §III is the order results were *returned*:
-        // a client reacts to responses, and retransmitted reads can
-        // overlap later ones, so response order — not invocation order —
-        // defines the successive views.
-        let reads: Vec<_> = index.reads_of_by_response(agent).collect();
-        for pair in reads.windows(2) {
-            let (r1, r2) = (pair[0], pair[1]);
-            let vanished: Vec<K> = r1
-                .keys()
-                .iter()
-                .zip(r1.seq)
-                .filter(|(&k, _)| !r2.contains(k))
-                .map(|(_, x)| x.clone())
-                .collect();
-            if !vanished.is_empty() {
-                out.push(Observation {
-                    kind: AnomalyKind::MonotonicReads,
-                    agent,
-                    other_agent: None,
-                    at: r2.op.response,
-                    detail: format!(
-                        "{} event(s) observed by {agent} disappeared from its next read: \
-                         {vanished:?}",
-                        vanished.len()
-                    ),
-                    witnesses: vanished,
-                });
-            }
-        }
+    let mut s = StreamingAnalyzer::single(&CheckerConfig::default(), StreamPart::MonotonicReads);
+    for op in index.ops() {
+        s.push_event(op);
     }
-    out
+    s.finish().observations
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::anomaly::AnomalyKind;
     use crate::trace::{AgentId, TestTraceBuilder, Timestamp};
 
     fn t(ms: i64) -> Timestamp {

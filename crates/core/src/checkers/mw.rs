@@ -8,8 +8,10 @@
 //! That is: some later write `y` of a client is visible while an earlier
 //! write `x` of the same client is either missing or ordered after `y`.
 
-use crate::anomaly::{AnomalyKind, Observation};
+use crate::analysis::CheckerConfig;
+use crate::anomaly::Observation;
 use crate::index::TraceIndex;
+use crate::stream::{StreamPart, StreamingAnalyzer};
 use crate::trace::{EventKey, TestTrace};
 
 /// Finds all Monotonic Writes violations in `trace`.
@@ -21,51 +23,21 @@ pub fn check<K: EventKey>(trace: &TestTrace<K>) -> Vec<Observation<K>> {
     check_indexed(&TraceIndex::new(trace))
 }
 
-/// [`check`] against a prebuilt [`TraceIndex`].
+/// [`check`] against a prebuilt [`TraceIndex`] — a replay of the indexed
+/// event stream through the incremental
+/// [`StreamingAnalyzer`](crate::stream::StreamingAnalyzer).
 pub fn check_indexed<K: EventKey>(index: &TraceIndex<'_, K>) -> Vec<Observation<K>> {
-    let mut out = Vec::new();
-    for read in index.reads() {
-        for &writer in index.agents() {
-            // The writer's writes completed before this read began, in
-            // issue order.
-            let w: Vec<_> = index
-                .writes_of(writer)
-                .iter()
-                .filter(|w| w.op.response <= read.op.invoke)
-                .collect();
-            'pairs: for (i, x) in w.iter().enumerate() {
-                for y in &w[i + 1..] {
-                    let violation = match (read.position(x.key), read.position(y.key)) {
-                        (None, Some(_)) => true,         // y visible, x missing
-                        (Some(px), Some(py)) => py < px, // both visible, inverted
-                        _ => false,
-                    };
-                    if violation {
-                        let (x, y) = (x.id, y.id);
-                        out.push(Observation {
-                            kind: AnomalyKind::MonotonicWrites,
-                            agent: read.op.agent,
-                            other_agent: Some(writer),
-                            at: read.op.response,
-                            witnesses: vec![x.clone(), y.clone()],
-                            detail: format!(
-                                "read by {} sees {writer}'s write {y:?} but write {x:?} \
-                                 is missing or ordered after it",
-                                read.op.agent
-                            ),
-                        });
-                        break 'pairs;
-                    }
-                }
-            }
-        }
+    let mut s = StreamingAnalyzer::single(&CheckerConfig::default(), StreamPart::MonotonicWrites);
+    for op in index.ops() {
+        s.push_event(op);
     }
-    out
+    s.finish().observations
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::anomaly::AnomalyKind;
     use crate::trace::{AgentId, TestTraceBuilder, Timestamp};
 
     fn t(ms: i64) -> Timestamp {

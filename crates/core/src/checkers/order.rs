@@ -5,8 +5,10 @@
 //! occurring in a different order at the two sequences:
 //! `∃x, y ∈ S₁, S₂ : S₁(x) ≺ S₁(y) ∧ S₂(y) ≺ S₂(x)`."*
 
-use crate::anomaly::{AnomalyKind, Observation};
+use crate::analysis::CheckerConfig;
+use crate::anomaly::Observation;
 use crate::index::{ReadView, TraceIndex};
+use crate::stream::{StreamPart, StreamingAnalyzer};
 use crate::trace::{EventKey, TestTrace};
 use std::collections::HashMap;
 
@@ -62,48 +64,23 @@ pub fn check<K: EventKey>(trace: &TestTrace<K>) -> Vec<Observation<K>> {
     check_indexed(&TraceIndex::new(trace))
 }
 
-/// [`check`] against a prebuilt [`TraceIndex`].
+/// [`check`] against a prebuilt [`TraceIndex`] — a replay of the indexed
+/// event stream through the incremental
+/// [`StreamingAnalyzer`](crate::stream::StreamingAnalyzer), which
+/// compares each arriving read against the other agents' retained read
+/// summaries exactly once.
 pub fn check_indexed<K: EventKey>(index: &TraceIndex<'_, K>) -> Vec<Observation<K>> {
-    let agents = index.agents();
-    let mut out = Vec::new();
-    for (i, &a) in agents.iter().enumerate() {
-        for &b in &agents[i + 1..] {
-            let reads_a: Vec<_> = index.reads_of(a).collect();
-            let reads_b: Vec<_> = index.reads_of(b).collect();
-            let mut first: Option<(K, K, crate::trace::Timestamp)> = None;
-            let mut pair_count = 0usize;
-            for ra in &reads_a {
-                for rb in &reads_b {
-                    if let Some((x, y)) = inversion_between(ra, rb) {
-                        pair_count += 1;
-                        if first.is_none() {
-                            first =
-                                Some((x.clone(), y.clone(), ra.op.response.max(rb.op.response)));
-                        }
-                    }
-                }
-            }
-            if let Some((x, y, at)) = first {
-                out.push(Observation {
-                    kind: AnomalyKind::OrderDivergence,
-                    agent: a,
-                    other_agent: Some(b),
-                    at,
-                    detail: format!(
-                        "{a} and {b} order {x:?}/{y:?} oppositely \
-                         ({pair_count} read pair(s))"
-                    ),
-                    witnesses: vec![x, y],
-                });
-            }
-        }
+    let mut s = StreamingAnalyzer::single(&CheckerConfig::default(), StreamPart::OrderDivergence);
+    for op in index.ops() {
+        s.push_event(op);
     }
-    out
+    s.finish().observations
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::anomaly::AnomalyKind;
     use crate::trace::{AgentId, TestTraceBuilder, Timestamp};
 
     fn t(ms: i64) -> Timestamp {

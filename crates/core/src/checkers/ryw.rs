@@ -9,8 +9,10 @@
 //! before the read was invoked. A write still in flight when the read
 //! started is not required to be visible.
 
-use crate::anomaly::{AnomalyKind, Observation};
+use crate::analysis::CheckerConfig;
+use crate::anomaly::Observation;
 use crate::index::TraceIndex;
+use crate::stream::{StreamPart, StreamingAnalyzer};
 use crate::trace::{EventKey, TestTrace};
 
 /// Finds all Read Your Writes violations in `trace`.
@@ -21,39 +23,22 @@ pub fn check<K: EventKey>(trace: &TestTrace<K>) -> Vec<Observation<K>> {
     check_indexed(&TraceIndex::new(trace))
 }
 
-/// [`check`] against a prebuilt [`TraceIndex`] (lets [`crate::analysis::
-/// analyze`] share one index across every checker).
+/// [`check`] against a prebuilt [`TraceIndex`] — a replay of the indexed
+/// event stream through the incremental
+/// [`StreamingAnalyzer`](crate::stream::StreamingAnalyzer), which is the
+/// one implementation of this checker's semantics.
 pub fn check_indexed<K: EventKey>(index: &TraceIndex<'_, K>) -> Vec<Observation<K>> {
-    let mut out = Vec::new();
-    for &agent in index.agents() {
-        let writes = index.writes_of(agent);
-        for read in index.reads_of(agent) {
-            let missing: Vec<K> = writes
-                .iter()
-                .filter(|w| w.op.response <= read.op.invoke && !read.contains(w.key))
-                .map(|w| w.id.clone())
-                .collect();
-            if !missing.is_empty() {
-                out.push(Observation {
-                    kind: AnomalyKind::ReadYourWrites,
-                    agent,
-                    other_agent: None,
-                    at: read.op.response,
-                    detail: format!(
-                        "read by {agent} misses {} own completed write(s): {missing:?}",
-                        missing.len()
-                    ),
-                    witnesses: missing,
-                });
-            }
-        }
+    let mut s = StreamingAnalyzer::single(&CheckerConfig::default(), StreamPart::ReadYourWrites);
+    for op in index.ops() {
+        s.push_event(op);
     }
-    out
+    s.finish().observations
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::anomaly::AnomalyKind;
     use crate::trace::{AgentId, TestTraceBuilder, Timestamp};
 
     fn t(ms: i64) -> Timestamp {

@@ -15,8 +15,10 @@
 //!   observation of M2 and M4, respectively, as a trigger."* Each pair
 //!   `(dep, w)` flags reads that contain `w` but not `dep`.
 
-use crate::anomaly::{AnomalyKind, Observation};
+use crate::analysis::CheckerConfig;
+use crate::anomaly::Observation;
 use crate::index::TraceIndex;
+use crate::stream::{StreamPart, StreamingAnalyzer};
 use crate::trace::{EventKey, TestTrace};
 
 /// Which dependency relation the checker uses.
@@ -30,104 +32,38 @@ pub enum WfrMode<K> {
     TriggerPairs(Vec<(K, K)>),
 }
 
-/// A `(dependency, write)` pair to check, with interned key ids.
-///
-/// `dep_key` may be `u32::MAX` when a trigger pair names a dependency that
-/// never appears in the trace — such a dependency is never visible, so any
-/// read showing the write violates the pair.
-struct Dep<'m, K> {
-    dep: &'m K,
-    write: &'m K,
-    dep_key: u32,
-    write_key: u32,
-}
-
 /// Finds Writes Follows Reads violations in `trace` under `mode`.
 ///
 /// Emits one [`Observation`] per read that contains a write without one of
 /// its dependencies; witnesses are `[missing dependency, write]` for each
-/// violated dependency.
+/// violated dependency, in dependency order (agent ascending, then write
+/// issue order, then observation order within the write — or trigger-pair
+/// order in [`WfrMode::TriggerPairs`]).
 pub fn check<K: EventKey>(trace: &TestTrace<K>, mode: &WfrMode<K>) -> Vec<Observation<K>> {
     check_indexed(&TraceIndex::new(trace), mode)
 }
 
-/// [`check`] against a prebuilt [`TraceIndex`].
-pub fn check_indexed<'m, K: EventKey>(
-    index: &'m TraceIndex<'_, K>,
-    mode: &'m WfrMode<K>,
+/// [`check`] against a prebuilt [`TraceIndex`] — a replay of the indexed
+/// event stream through the incremental
+/// [`StreamingAnalyzer`](crate::stream::StreamingAnalyzer), which derives
+/// each write's dependency set as the stream passes the write's
+/// invocation.
+pub fn check_indexed<K: EventKey>(
+    index: &TraceIndex<'_, K>,
+    mode: &WfrMode<K>,
 ) -> Vec<Observation<K>> {
-    let deps: Vec<Dep<'m, K>> = match mode {
-        WfrMode::TriggerPairs(pairs) => pairs
-            .iter()
-            .filter_map(|(dep, w)| {
-                // A write absent from the whole trace is never visible, so
-                // the pair can never fire.
-                let write_key = index.key_id(w)?;
-                let dep_key = index.key_id(dep).unwrap_or(u32::MAX);
-                Some(Dep { dep, write: w, dep_key, write_key })
-            })
-            .collect(),
-        WfrMode::General => general_dependencies(index),
-    };
-    let mut out = Vec::new();
-    for read in index.reads() {
-        let mut witnesses = Vec::new();
-        for d in &deps {
-            if read.contains(d.write_key) && !read.contains(d.dep_key) {
-                witnesses.push(d.dep.clone());
-                witnesses.push(d.write.clone());
-            }
-        }
-        if !witnesses.is_empty() {
-            out.push(Observation {
-                kind: AnomalyKind::WritesFollowReads,
-                agent: read.op.agent,
-                other_agent: None,
-                at: read.op.response,
-                detail: format!(
-                    "read by {} sees write(s) without their read dependencies: {witnesses:?}",
-                    read.op.agent
-                ),
-                witnesses,
-            });
-        }
+    let config = CheckerConfig { wfr_mode: mode.clone(), compute_windows: false };
+    let mut s = StreamingAnalyzer::single(&config, StreamPart::WritesFollowReads);
+    for op in index.ops() {
+        s.push_event(op);
     }
-    out
-}
-
-/// Computes the general dependency set: `(x, w)` for every write `w` and
-/// every event `x` the author had observed before issuing `w`.
-///
-/// Dependencies are collected in read order with a seen-set for dedup, so
-/// the result order is deterministic (the `HashSet` iteration this
-/// replaces made witness order vary run to run).
-fn general_dependencies<'m, K: EventKey>(index: &'m TraceIndex<'_, K>) -> Vec<Dep<'m, K>> {
-    let mut deps = Vec::new();
-    for &agent in index.agents() {
-        for w in index.writes_of(agent) {
-            let mut seen = vec![false; index.key_count()];
-            for r in index.reads_of(agent) {
-                if r.op.response > w.op.invoke {
-                    continue;
-                }
-                for (&k, x) in r.keys().iter().zip(r.seq) {
-                    // A write trivially "depends" on the author's own
-                    // earlier writes only through RYW/MW; exclude w itself
-                    // if it was echoed.
-                    if k != w.key && !seen[k as usize] {
-                        seen[k as usize] = true;
-                        deps.push(Dep { dep: x, write: w.id, dep_key: k, write_key: w.key });
-                    }
-                }
-            }
-        }
-    }
-    deps
+    s.finish().observations
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::anomaly::AnomalyKind;
     use crate::trace::{AgentId, TestTraceBuilder, Timestamp};
 
     fn t(ms: i64) -> Timestamp {

@@ -78,6 +78,8 @@ pub struct WriteView<'t, K> {
 /// The precomputed derived views of one trace. See the module docs.
 #[derive(Debug)]
 pub struct TraceIndex<'t, K> {
+    /// Every operation in trace order (the stream the index was built from).
+    ops: &'t [OpRecord<K>],
     /// Distinct agents, ascending.
     agents: Vec<AgentId>,
     /// Every read in trace order.
@@ -153,6 +155,7 @@ impl<'t, K: EventKey> TraceIndex<'t, K> {
             .collect();
 
         TraceIndex {
+            ops: trace.ops(),
             agents,
             reads,
             reads_by_response,
@@ -161,6 +164,13 @@ impl<'t, K: EventKey> TraceIndex<'t, K> {
             writes_of,
             key_ids,
         }
+    }
+
+    /// Every operation in trace order — the event stream the index was
+    /// built from, exposed so batch entry points can replay it through
+    /// [`crate::stream::StreamingAnalyzer`].
+    pub fn ops(&self) -> &'t [OpRecord<K>] {
+        self.ops
     }
 
     /// Distinct agents in the trace, ascending.

@@ -52,6 +52,7 @@ pub mod analysis;
 pub mod anomaly;
 pub mod checkers;
 pub mod index;
+pub mod stream;
 pub mod testutil;
 pub mod timeline;
 pub mod trace;
@@ -62,6 +63,7 @@ pub mod window;
 pub use analysis::{analyze, CheckerConfig, TestAnalysis};
 pub use anomaly::{AnomalyKind, Observation};
 pub use index::TraceIndex;
+pub use stream::{StreamPart, StreamingAnalyzer};
 pub use trace::{AgentId, EventKey, OpKind, OpRecord, TestTrace, TestTraceBuilder, Timestamp};
 pub use verdict::{Status, Verdict};
 pub use visibility::{

@@ -18,8 +18,9 @@
 //! results exclude runs where convergence was not reached during the test")
 //! — here exposed as [`WindowAnalysis::open_since`].
 
-use crate::checkers::order::inversion_between;
-use crate::index::{ReadView, TraceIndex};
+use crate::analysis::CheckerConfig;
+use crate::index::TraceIndex;
+use crate::stream::{StreamPart, StreamingAnalyzer};
 use crate::trace::{AgentId, EventKey, TestTrace, Timestamp};
 
 /// Which divergence condition a window measures.
@@ -66,8 +67,23 @@ impl WindowAnalysis {
     }
 }
 
-fn content_diverged<K>(a: &ReadView<'_, K>, b: &ReadView<'_, K>) -> bool {
-    a.keys().iter().any(|&x| !b.contains(x)) && b.keys().iter().any(|&y| !a.contains(y))
+fn window_part(kind: WindowKind) -> StreamPart {
+    match kind {
+        WindowKind::Content => StreamPart::ContentWindows,
+        WindowKind::Order => StreamPart::OrderWindows,
+    }
+}
+
+fn windows_of<K: EventKey>(index: &TraceIndex<'_, K>, kind: WindowKind) -> Vec<WindowAnalysis> {
+    let mut s = StreamingAnalyzer::single(&CheckerConfig::default(), window_part(kind));
+    for op in index.ops() {
+        s.push_event(op);
+    }
+    let analysis = s.finish();
+    match kind {
+        WindowKind::Content => analysis.content_windows,
+        WindowKind::Order => analysis.order_windows,
+    }
 }
 
 /// Computes the divergence windows of `kind` between agents `a` and `b`.
@@ -84,7 +100,11 @@ pub fn windows<K: EventKey>(
     windows_indexed(&TraceIndex::new(trace), a, b, kind)
 }
 
-/// [`windows`] against a prebuilt [`TraceIndex`].
+/// [`windows`] against a prebuilt [`TraceIndex`] — a single streaming pass
+/// over the indexed event stream (via
+/// [`StreamingAnalyzer`](crate::stream::StreamingAnalyzer)) from which the
+/// requested pair's analysis is extracted. A pair with no reads in the
+/// trace yields an empty, converged analysis.
 pub fn windows_indexed<K: EventKey>(
     index: &TraceIndex<'_, K>,
     a: AgentId,
@@ -92,40 +112,12 @@ pub fn windows_indexed<K: EventKey>(
     kind: WindowKind,
 ) -> WindowAnalysis {
     let pair = if a <= b { (a, b) } else { (b, a) };
-    // Merged read timeline of the two agents, by response time. The global
-    // response-order list is stable on ties, so filtering it gives the same
-    // order as a stable sort of the filtered reads.
-    let reads = index.reads_by_response().filter(|r| r.op.agent == pair.0 || r.op.agent == pair.1);
-
-    let mut last_a: Option<&ReadView<'_, K>> = None;
-    let mut last_b: Option<&ReadView<'_, K>> = None;
-    let mut open: Option<Timestamp> = None;
-    let mut closed = Vec::new();
-
-    for r in reads {
-        if r.op.agent == pair.0 {
-            last_a = Some(r);
-        } else {
-            last_b = Some(r);
-        }
-        let diverged = match (last_a, last_b) {
-            (Some(ra), Some(rb)) => match kind {
-                WindowKind::Content => content_diverged(ra, rb),
-                WindowKind::Order => inversion_between(ra, rb).is_some(),
-            },
-            _ => false,
-        };
-        match (diverged, open) {
-            (true, None) => open = Some(r.op.response),
-            (false, Some(start)) => {
-                closed.push((start, r.op.response));
-                open = None;
-            }
-            _ => {}
-        }
-    }
-
-    WindowAnalysis { pair, kind, windows: closed, open_since: open }
+    windows_of(index, kind).into_iter().find(|w| w.pair == pair).unwrap_or(WindowAnalysis {
+        pair,
+        kind,
+        windows: Vec::new(),
+        open_since: None,
+    })
 }
 
 /// Computes windows of `kind` for every agent pair in the trace.
@@ -136,19 +128,13 @@ pub fn all_pair_windows<K: EventKey>(
     all_pair_windows_indexed(&TraceIndex::new(trace), kind)
 }
 
-/// [`all_pair_windows`] against a prebuilt [`TraceIndex`].
+/// [`all_pair_windows`] against a prebuilt [`TraceIndex`] — one streaming
+/// pass shared by every agent pair, instead of a sweep per pair.
 pub fn all_pair_windows_indexed<K: EventKey>(
     index: &TraceIndex<'_, K>,
     kind: WindowKind,
 ) -> Vec<WindowAnalysis> {
-    let agents = index.agents();
-    let mut out = Vec::new();
-    for (i, &a) in agents.iter().enumerate() {
-        for &b in &agents[i + 1..] {
-            out.push(windows_indexed(index, a, b, kind));
-        }
-    }
-    out
+    windows_of(index, kind)
 }
 
 #[cfg(test)]

@@ -1,0 +1,653 @@
+//! Streaming-equals-batch property suite.
+//!
+//! The shipped `analyze()` and every `checkers::check_*` facade are now
+//! one-pass replays through the incremental
+//! [`StreamingAnalyzer`](conprobe_core::stream::StreamingAnalyzer), so
+//! comparing them against each other would prove nothing. The oracle in
+//! [`reference`] is instead a frozen copy of the original whole-trace
+//! checker implementations, exactly as they stood before the engine went
+//! incremental — an independent second implementation of §III.
+//!
+//! Randomized *chaotic* traces drive both sides: overlapping operation
+//! intervals (including zero-duration ops and exact `response == invoke`
+//! boundary ties, the cases the streaming watermark machinery defers on),
+//! stale read prefixes, vanished events, inverted pairs and phantom
+//! events that seed every anomaly class. Schedules come from a seeded
+//! [`TestRng`] so each case replays exactly.
+//!
+//! Alongside exact equivalence, the suite pins the two streaming-only
+//! contracts: [`live_counts`](StreamingAnalyzer::live_counts) grows
+//! monotonically and lands on the final analysis, and
+//! [`retained_bytes`](StreamingAnalyzer::retained_bytes) stays far below
+//! the raw trace size when keys are wide (the interning guarantee).
+
+use conprobe_core::analysis::{analyze, CheckerConfig};
+use conprobe_core::checkers::{self, WfrMode};
+use conprobe_core::stream::{StreamPart, StreamingAnalyzer};
+use conprobe_core::testutil::TestRng;
+use conprobe_core::trace::{AgentId, OpKind, OpRecord, TestTrace, Timestamp};
+
+type K = (u32, u32); // (author, seq)
+
+/// Frozen pre-streaming batch checkers.
+///
+/// Verbatim copies (modulo paths) of the last whole-trace revision of
+/// `checkers::{ryw,mw,mr,wfr,content,order}` and the `window` sweep.
+/// They must never be "fixed" to track the shipped engine — their whole
+/// value is staying an independent implementation of the paper's
+/// definitions.
+mod reference {
+    use conprobe_core::anomaly::{AnomalyKind, Observation};
+    use conprobe_core::checkers::WfrMode;
+    use conprobe_core::index::{ReadView, TraceIndex};
+    use conprobe_core::trace::{EventKey, Timestamp};
+    use conprobe_core::window::{WindowAnalysis, WindowKind};
+
+    pub fn ryw<K: EventKey>(index: &TraceIndex<'_, K>) -> Vec<Observation<K>> {
+        let mut out = Vec::new();
+        for &agent in index.agents() {
+            let writes = index.writes_of(agent);
+            for read in index.reads_of(agent) {
+                let missing: Vec<K> = writes
+                    .iter()
+                    .filter(|w| w.op.response <= read.op.invoke && !read.contains(w.key))
+                    .map(|w| w.id.clone())
+                    .collect();
+                if !missing.is_empty() {
+                    out.push(Observation {
+                        kind: AnomalyKind::ReadYourWrites,
+                        agent,
+                        other_agent: None,
+                        at: read.op.response,
+                        detail: format!(
+                            "read by {agent} misses {} own completed write(s): {missing:?}",
+                            missing.len()
+                        ),
+                        witnesses: missing,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    pub fn mw<K: EventKey>(index: &TraceIndex<'_, K>) -> Vec<Observation<K>> {
+        let mut out = Vec::new();
+        for read in index.reads() {
+            for &writer in index.agents() {
+                let w: Vec<_> = index
+                    .writes_of(writer)
+                    .iter()
+                    .filter(|w| w.op.response <= read.op.invoke)
+                    .collect();
+                'pairs: for (i, x) in w.iter().enumerate() {
+                    for y in &w[i + 1..] {
+                        let violation = match (read.position(x.key), read.position(y.key)) {
+                            (None, Some(_)) => true,
+                            (Some(px), Some(py)) => py < px,
+                            _ => false,
+                        };
+                        if violation {
+                            let (x, y) = (x.id, y.id);
+                            out.push(Observation {
+                                kind: AnomalyKind::MonotonicWrites,
+                                agent: read.op.agent,
+                                other_agent: Some(writer),
+                                at: read.op.response,
+                                witnesses: vec![x.clone(), y.clone()],
+                                detail: format!(
+                                    "read by {} sees {writer}'s write {y:?} but write {x:?} \
+                                     is missing or ordered after it",
+                                    read.op.agent
+                                ),
+                            });
+                            break 'pairs;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    pub fn mr<K: EventKey>(index: &TraceIndex<'_, K>) -> Vec<Observation<K>> {
+        let mut out = Vec::new();
+        for &agent in index.agents() {
+            let reads: Vec<_> = index.reads_of_by_response(agent).collect();
+            for pair in reads.windows(2) {
+                let (r1, r2) = (pair[0], pair[1]);
+                let vanished: Vec<K> = r1
+                    .keys()
+                    .iter()
+                    .zip(r1.seq)
+                    .filter(|(&k, _)| !r2.contains(k))
+                    .map(|(_, x)| x.clone())
+                    .collect();
+                if !vanished.is_empty() {
+                    out.push(Observation {
+                        kind: AnomalyKind::MonotonicReads,
+                        agent,
+                        other_agent: None,
+                        at: r2.op.response,
+                        detail: format!(
+                            "{} event(s) observed by {agent} disappeared from its next read: \
+                             {vanished:?}",
+                            vanished.len()
+                        ),
+                        witnesses: vanished,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    struct Dep<'m, K> {
+        dep: &'m K,
+        write: &'m K,
+        dep_key: u32,
+        write_key: u32,
+    }
+
+    fn general_dependencies<'m, K: EventKey>(index: &'m TraceIndex<'_, K>) -> Vec<Dep<'m, K>> {
+        let mut deps = Vec::new();
+        for &agent in index.agents() {
+            for w in index.writes_of(agent) {
+                let mut seen = vec![false; index.key_count()];
+                for r in index.reads_of(agent) {
+                    if r.op.response > w.op.invoke {
+                        continue;
+                    }
+                    for (&k, x) in r.keys().iter().zip(r.seq) {
+                        if k != w.key && !seen[k as usize] {
+                            seen[k as usize] = true;
+                            deps.push(Dep { dep: x, write: w.id, dep_key: k, write_key: w.key });
+                        }
+                    }
+                }
+            }
+        }
+        deps
+    }
+
+    pub fn wfr<K: EventKey>(index: &TraceIndex<'_, K>, mode: &WfrMode<K>) -> Vec<Observation<K>> {
+        let deps: Vec<Dep<'_, K>> = match mode {
+            WfrMode::TriggerPairs(pairs) => pairs
+                .iter()
+                .filter_map(|(dep, w)| {
+                    let write_key = index.key_id(w)?;
+                    let dep_key = index.key_id(dep).unwrap_or(u32::MAX);
+                    Some(Dep { dep, write: w, dep_key, write_key })
+                })
+                .collect(),
+            WfrMode::General => general_dependencies(index),
+        };
+        let mut out = Vec::new();
+        for read in index.reads() {
+            let mut witnesses = Vec::new();
+            for d in &deps {
+                if read.contains(d.write_key) && !read.contains(d.dep_key) {
+                    witnesses.push(d.dep.clone());
+                    witnesses.push(d.write.clone());
+                }
+            }
+            if !witnesses.is_empty() {
+                out.push(Observation {
+                    kind: AnomalyKind::WritesFollowReads,
+                    agent: read.op.agent,
+                    other_agent: None,
+                    at: read.op.response,
+                    detail: format!(
+                        "read by {} sees write(s) without their read dependencies: {witnesses:?}",
+                        read.op.agent
+                    ),
+                    witnesses,
+                });
+            }
+        }
+        out
+    }
+
+    fn first_only_in<'t, K>(a: &ReadView<'t, K>, b: &ReadView<'t, K>) -> Option<&'t K> {
+        a.keys().iter().zip(a.seq).find(|(&k, _)| !b.contains(k)).map(|(_, x)| x)
+    }
+
+    pub fn content<K: EventKey>(index: &TraceIndex<'_, K>) -> Vec<Observation<K>> {
+        let agents = index.agents();
+        let mut out = Vec::new();
+        for (i, &a) in agents.iter().enumerate() {
+            for &b in &agents[i + 1..] {
+                let reads_a: Vec<_> = index.reads_of(a).collect();
+                let reads_b: Vec<_> = index.reads_of(b).collect();
+                let mut first_witness: Option<(K, K, Timestamp)> = None;
+                let mut pair_count = 0usize;
+                for ra in &reads_a {
+                    for rb in &reads_b {
+                        let x = first_only_in(ra, rb);
+                        let y = first_only_in(rb, ra);
+                        if let (Some(x), Some(y)) = (x, y) {
+                            pair_count += 1;
+                            let at = ra.op.response.max(rb.op.response);
+                            if first_witness.is_none() {
+                                first_witness = Some((x.clone(), y.clone(), at));
+                            }
+                        }
+                    }
+                }
+                if let Some((x, y, at)) = first_witness {
+                    out.push(Observation {
+                        kind: AnomalyKind::ContentDivergence,
+                        agent: a,
+                        other_agent: Some(b),
+                        at,
+                        detail: format!(
+                            "{a} and {b} mutually diverge ({pair_count} read pair(s)): \
+                             {a} alone sees {x:?}, {b} alone sees {y:?}"
+                        ),
+                        witnesses: vec![x, y],
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn inversion_between<'t, K>(
+        a: &ReadView<'t, K>,
+        b: &ReadView<'t, K>,
+    ) -> Option<(&'t K, &'t K)> {
+        let mut prev: Option<(&'t K, u32)> = None;
+        for (&k, x) in a.keys().iter().zip(a.seq) {
+            if let Some(p2) = b.position(k) {
+                if let Some((px, pp2)) = prev {
+                    if p2 < pp2 {
+                        return Some((px, x));
+                    }
+                }
+                prev = Some((x, p2));
+            }
+        }
+        None
+    }
+
+    pub fn order<K: EventKey>(index: &TraceIndex<'_, K>) -> Vec<Observation<K>> {
+        let agents = index.agents();
+        let mut out = Vec::new();
+        for (i, &a) in agents.iter().enumerate() {
+            for &b in &agents[i + 1..] {
+                let reads_a: Vec<_> = index.reads_of(a).collect();
+                let reads_b: Vec<_> = index.reads_of(b).collect();
+                let mut first: Option<(K, K, Timestamp)> = None;
+                let mut pair_count = 0usize;
+                for ra in &reads_a {
+                    for rb in &reads_b {
+                        if let Some((x, y)) = inversion_between(ra, rb) {
+                            pair_count += 1;
+                            if first.is_none() {
+                                first = Some((
+                                    x.clone(),
+                                    y.clone(),
+                                    ra.op.response.max(rb.op.response),
+                                ));
+                            }
+                        }
+                    }
+                }
+                if let Some((x, y, at)) = first {
+                    out.push(Observation {
+                        kind: AnomalyKind::OrderDivergence,
+                        agent: a,
+                        other_agent: Some(b),
+                        at,
+                        detail: format!(
+                            "{a} and {b} order {x:?}/{y:?} oppositely \
+                             ({pair_count} read pair(s))"
+                        ),
+                        witnesses: vec![x, y],
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn content_diverged<K>(a: &ReadView<'_, K>, b: &ReadView<'_, K>) -> bool {
+        a.keys().iter().any(|&x| !b.contains(x)) && b.keys().iter().any(|&y| !a.contains(y))
+    }
+
+    fn pair_windows<K: EventKey>(
+        index: &TraceIndex<'_, K>,
+        a: conprobe_core::trace::AgentId,
+        b: conprobe_core::trace::AgentId,
+        kind: WindowKind,
+    ) -> WindowAnalysis {
+        let pair = if a <= b { (a, b) } else { (b, a) };
+        let reads =
+            index.reads_by_response().filter(|r| r.op.agent == pair.0 || r.op.agent == pair.1);
+
+        let mut last_a: Option<&ReadView<'_, K>> = None;
+        let mut last_b: Option<&ReadView<'_, K>> = None;
+        let mut open: Option<Timestamp> = None;
+        let mut closed = Vec::new();
+
+        for r in reads {
+            if r.op.agent == pair.0 {
+                last_a = Some(r);
+            } else {
+                last_b = Some(r);
+            }
+            let diverged = match (last_a, last_b) {
+                (Some(ra), Some(rb)) => match kind {
+                    WindowKind::Content => content_diverged(ra, rb),
+                    WindowKind::Order => inversion_between(ra, rb).is_some(),
+                },
+                _ => false,
+            };
+            match (diverged, open) {
+                (true, None) => open = Some(r.op.response),
+                (false, Some(start)) => {
+                    closed.push((start, r.op.response));
+                    open = None;
+                }
+                _ => {}
+            }
+        }
+
+        WindowAnalysis { pair, kind, windows: closed, open_since: open }
+    }
+
+    pub fn all_pair_windows<K: EventKey>(
+        index: &TraceIndex<'_, K>,
+        kind: WindowKind,
+    ) -> Vec<WindowAnalysis> {
+        let agents = index.agents();
+        let mut out = Vec::new();
+        for (i, &a) in agents.iter().enumerate() {
+            for &b in &agents[i + 1..] {
+                out.push(pair_windows(index, a, b, kind));
+            }
+        }
+        out
+    }
+
+    /// The whole original `analyze()` pipeline: all six checkers in the
+    /// historical order plus both window sweeps, off one shared index.
+    pub fn analyze<K: EventKey>(
+        trace: &conprobe_core::trace::TestTrace<K>,
+        mode: &WfrMode<K>,
+    ) -> (Vec<Observation<K>>, Vec<WindowAnalysis>, Vec<WindowAnalysis>) {
+        let index = TraceIndex::new(trace);
+        let mut obs = Vec::new();
+        obs.extend(ryw(&index));
+        obs.extend(mw(&index));
+        obs.extend(mr(&index));
+        obs.extend(wfr(&index, mode));
+        obs.extend(content(&index));
+        obs.extend(order(&index));
+        let cw = all_pair_windows(&index, WindowKind::Content);
+        let ow = all_pair_windows(&index, WindowKind::Order);
+        (obs, cw, ow)
+    }
+}
+
+/// A chaotic trace: overlapping intervals, stale views, corruption.
+///
+/// Writes append to a global log; each read returns a *corrupted* stale
+/// prefix of it — possibly missing an event (RYW/MR/MW food), with an
+/// adjacent pair swapped (MW/order food), or with a phantom event only
+/// this agent ever sees (content-divergence food). Invoke times may tie
+/// across agents and durations overlap freely, so the streaming
+/// watermark/heap deferrals are exercised on every boundary case.
+fn chaotic_trace(rng: &mut TestRng, agents: u32) -> TestTrace<K> {
+    let len = rng.range_usize(6, 40);
+    let mut log: Vec<K> = Vec::new();
+    let mut seqs = std::collections::HashMap::<u32, u32>::new();
+    let mut ops = Vec::new();
+    let mut now = 0i64;
+    for _ in 0..len {
+        now += rng.range(0, 15) as i64; // sometimes stands still: invoke ties
+        let a = rng.range(0, u64::from(agents)) as u32;
+        let invoke = Timestamp::from_millis(now);
+        let response = Timestamp::from_millis(now + rng.range(0, 40) as i64);
+        if rng.chance(0.4) {
+            let seq = seqs.entry(a).or_insert(0);
+            *seq += 1;
+            let id = (a, *seq);
+            log.push(id);
+            ops.push(OpRecord { agent: AgentId(a), invoke, response, kind: OpKind::Write { id } });
+        } else {
+            let upto = rng.range_usize(0, log.len() + 1);
+            let mut seq: Vec<K> = log[..upto].to_vec();
+            if !seq.is_empty() && rng.chance(0.35) {
+                seq.remove(rng.range_usize(0, seq.len()));
+            }
+            if seq.len() >= 2 && rng.chance(0.35) {
+                let i = rng.range_usize(0, seq.len() - 1);
+                seq.swap(i, i + 1);
+            }
+            if rng.chance(0.15) {
+                seq.push((900 + a, rng.range(1, 4) as u32));
+            }
+            ops.push(OpRecord { agent: AgentId(a), invoke, response, kind: OpKind::Read { seq } });
+        }
+    }
+    TestTrace::new(ops)
+}
+
+const CASES: usize = 250;
+
+/// The tentpole equivalence: a full streaming pass over a chaotic trace
+/// produces *identical* observations (kind, agent, timestamps, witnesses,
+/// detail strings — `Observation` is `PartialEq` on all of it) and
+/// identical window sweeps to the frozen batch oracle.
+#[test]
+fn full_streaming_pass_equals_the_frozen_batch_oracle() {
+    let mut rng = TestRng::new(0x57EA_0001);
+    let mut anomalies_seen = 0usize;
+    for case in 0..CASES {
+        let agents = rng.range(2, 5) as u32;
+        let trace = chaotic_trace(&mut rng, agents);
+        let config = CheckerConfig::default();
+        let got = analyze(&trace, &config);
+        let (want_obs, want_cw, want_ow) = reference::analyze(&trace, &config.wfr_mode);
+        assert_eq!(got.observations, want_obs, "case {case}: observations diverge");
+        assert_eq!(got.content_windows, want_cw, "case {case}: content windows diverge");
+        assert_eq!(got.order_windows, want_ow, "case {case}: order windows diverge");
+        anomalies_seen += got.observations.len();
+    }
+    // The generator must actually feed the checkers, or the equivalence
+    // above is vacuous.
+    assert!(anomalies_seen > CASES, "generator too tame: {anomalies_seen} observations");
+}
+
+/// Same equivalence under `WfrMode::TriggerPairs`, with pairs sampled
+/// from the trace's own writes plus an occasionally-nonexistent key.
+#[test]
+fn trigger_pair_wfr_matches_the_oracle() {
+    let mut rng = TestRng::new(0x57EA_0002);
+    for case in 0..CASES {
+        let trace = chaotic_trace(&mut rng, 3);
+        let keys: Vec<K> = trace
+            .ops()
+            .iter()
+            .filter_map(|op| match &op.kind {
+                OpKind::Write { id } => Some(*id),
+                OpKind::Read { .. } => None,
+            })
+            .collect();
+        let mut pairs = Vec::new();
+        for _ in 0..rng.range_usize(1, 4) {
+            if keys.is_empty() {
+                break;
+            }
+            let dep = if rng.chance(0.2) {
+                (777, 1) // never written: any read showing `write` fires
+            } else {
+                keys[rng.range_usize(0, keys.len())]
+            };
+            let write = keys[rng.range_usize(0, keys.len())];
+            pairs.push((dep, write));
+        }
+        let mode = WfrMode::TriggerPairs(pairs);
+        let config = CheckerConfig { wfr_mode: mode.clone(), compute_windows: false };
+        let got = analyze(&trace, &config);
+        let (want_obs, _, _) = reference::analyze(&trace, &mode);
+        assert_eq!(got.observations, want_obs, "case {case}");
+    }
+}
+
+/// Each single-operator replay (`StreamingAnalyzer::single`, which is
+/// what the batch `checkers::check_*` facades run) matches its original
+/// checker in isolation, and the window operators match the original
+/// sweep.
+#[test]
+fn single_part_operators_match_their_original_checkers() {
+    let mut rng = TestRng::new(0x57EA_0003);
+    for case in 0..100 {
+        let trace = chaotic_trace(&mut rng, 3);
+        let index = conprobe_core::index::TraceIndex::new(&trace);
+        assert_eq!(checkers::check_read_your_writes(&trace), reference::ryw(&index), "case {case}");
+        assert_eq!(checkers::check_monotonic_writes(&trace), reference::mw(&index), "case {case}");
+        assert_eq!(checkers::check_monotonic_reads(&trace), reference::mr(&index), "case {case}");
+        assert_eq!(
+            checkers::check_writes_follow_reads(&trace, &WfrMode::General),
+            reference::wfr(&index, &WfrMode::General),
+            "case {case}"
+        );
+        assert_eq!(
+            checkers::check_content_divergence(&trace),
+            reference::content(&index),
+            "case {case}"
+        );
+        assert_eq!(
+            checkers::check_order_divergence(&trace),
+            reference::order(&index),
+            "case {case}"
+        );
+        let config = CheckerConfig::default();
+        for (part, kind) in [
+            (StreamPart::ContentWindows, conprobe_core::window::WindowKind::Content),
+            (StreamPart::OrderWindows, conprobe_core::window::WindowKind::Order),
+        ] {
+            let mut s = StreamingAnalyzer::single(&config, part);
+            for op in trace.ops() {
+                s.push_event(op);
+            }
+            let got = s.finish();
+            let want = reference::all_pair_windows(&index, kind);
+            let got_windows = match kind {
+                conprobe_core::window::WindowKind::Content => got.content_windows,
+                conprobe_core::window::WindowKind::Order => got.order_windows,
+            };
+            assert_eq!(got_windows, want, "case {case} {kind:?}");
+        }
+    }
+}
+
+/// Mid-stream telemetry: `live_counts` never decreases in any component
+/// as events arrive, `events_pushed` tracks exactly, and every count is
+/// a *lower bound* on the per-kind observation count of the finished
+/// analysis — the documented contract is that mid-stream counts lag
+/// `finish()` by at most the still-pending (watermark-deferred) tail,
+/// which drains when the stream ends. Content/order components count
+/// diverging *pairs*, which is one observation per pair.
+#[test]
+fn live_counts_grow_monotonically_onto_the_final_analysis() {
+    use conprobe_core::anomaly::AnomalyKind;
+    let mut rng = TestRng::new(0x57EA_0004);
+    for case in 0..100 {
+        let trace = chaotic_trace(&mut rng, 3);
+        let config = CheckerConfig::default();
+        let mut s = StreamingAnalyzer::new(&config);
+        let mut prev = [0usize; 6];
+        for (i, op) in trace.ops().iter().enumerate() {
+            s.push_event(op);
+            assert_eq!(s.events_pushed(), (i + 1) as u64, "case {case}");
+            let now = s.live_counts();
+            for (c, (n, p)) in now.iter().zip(&prev).enumerate() {
+                assert!(n >= p, "case {case}: live_counts[{c}] shrank {p} -> {n}");
+            }
+            prev = now;
+        }
+        let analysis = s.finish();
+        let count =
+            |kind: AnomalyKind| analysis.observations.iter().filter(|o| o.kind == kind).count();
+        let finished = [
+            count(AnomalyKind::ReadYourWrites),
+            count(AnomalyKind::MonotonicWrites),
+            count(AnomalyKind::MonotonicReads),
+            count(AnomalyKind::WritesFollowReads),
+            count(AnomalyKind::ContentDivergence),
+            count(AnomalyKind::OrderDivergence),
+        ];
+        for (c, (live, fin)) in prev.iter().zip(&finished).enumerate() {
+            assert!(
+                live <= fin,
+                "case {case}: live_counts[{c}] = {live} overshot the finished analysis ({fin})"
+            );
+        }
+    }
+}
+
+/// The memory contract with wide keys: the analyzer interns each
+/// distinct key once, so on a trace whose reads carry kilobytes of
+/// 256-byte string keys the retained working state stays a small
+/// fraction of the raw bytes that flowed through `push_event`.
+#[test]
+fn retained_state_stays_bounded_on_wide_keys() {
+    let wide = |a: u32, s: u32| format!("{a:03}-{s:05}-{}", "k".repeat(246));
+    let mut ops: Vec<OpRecord<String>> = Vec::new();
+    let mut log: Vec<String> = Vec::new();
+    let mut now = 0i64;
+    for round in 0..60u32 {
+        for a in 0..3u32 {
+            now += 5;
+            let invoke = Timestamp::from_millis(now);
+            let response = Timestamp::from_millis(now + 3);
+            if round % 3 == 0 {
+                let id = wide(a, round);
+                log.push(id.clone());
+                ops.push(OpRecord {
+                    agent: AgentId(a),
+                    invoke,
+                    response,
+                    kind: OpKind::Write { id },
+                });
+            } else {
+                // Everyone reads the whole log so far — wide keys repeat
+                // in read after read, which is exactly what interning is
+                // supposed to collapse.
+                ops.push(OpRecord {
+                    agent: AgentId(a),
+                    invoke,
+                    response,
+                    kind: OpKind::Read { seq: log.clone() },
+                });
+            }
+        }
+    }
+    let trace = TestTrace::new(ops);
+    let raw_bytes: usize = trace
+        .ops()
+        .iter()
+        .map(|op| match &op.kind {
+            OpKind::Write { id } => id.len(),
+            OpKind::Read { seq } => seq.iter().map(String::len).sum(),
+        })
+        .sum();
+    let mut s = StreamingAnalyzer::new(&CheckerConfig::default());
+    for op in trace.ops() {
+        s.push_event(op);
+    }
+    let retained = s.retained_bytes();
+    assert!(retained > 0);
+    assert!(
+        retained < raw_bytes / 4,
+        "retained {retained} bytes vs {raw_bytes} raw bytes: interning is not collapsing \
+         wide keys"
+    );
+    // And the finished analysis is still the oracle's, wide keys or not.
+    let analysis = s.finish();
+    let (want_obs, _, _) = reference::analyze(&trace, &WfrMode::General);
+    assert_eq!(analysis.observations, want_obs);
+}

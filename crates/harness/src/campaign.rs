@@ -176,8 +176,10 @@ pub fn run_campaign_with_progress(
 }
 
 /// The per-instance test configuration: the shared cell config plus the
-/// instance's partition-plan flag.
-fn instance_config(config: &CampaignConfig, i: usize) -> TestConfig {
+/// instance's partition-plan flag. Public because distributed-campaign
+/// workers must derive the exact same per-instance config from their own
+/// copy of the cell parameters.
+pub fn instance_config(config: &CampaignConfig, i: usize) -> TestConfig {
     let mut test = config.test.clone();
     test.tokyo_partition = test.tokyo_partition || config.partition_tests.contains(&(i as u32));
     test
@@ -224,6 +226,26 @@ fn splice_recovered(
     resumed
 }
 
+/// Throughput and ETA gauges for a (possibly resumed) campaign.
+///
+/// `finished` counts every filled slot *including* the `resumed` instances
+/// spliced from a journal, but only the `finished - resumed` fresh tests
+/// took wall-clock time in this process — dividing the total by this
+/// process's elapsed time would report an inflated `campaign.tests_per_sec`
+/// and a collapsed `campaign.eta_secs` right after a resume. The rate is
+/// therefore computed over fresh completions only.
+pub fn progress_rates(
+    finished: usize,
+    resumed: usize,
+    total: usize,
+    elapsed_secs: f64,
+) -> (f64, f64) {
+    let fresh = finished.saturating_sub(resumed) as f64;
+    let rate = fresh / elapsed_secs.max(1e-9);
+    let remaining = total.saturating_sub(finished) as f64;
+    (rate, remaining / rate.max(1e-9))
+}
+
 /// Like [`run_campaign_with_progress`], with crash-safe durability: every
 /// finished instance is appended to `journal` (when given) under the
 /// `cell` identifier, and instances already present in `recovery` are
@@ -260,11 +282,10 @@ pub fn run_campaign_journaled(
     let campaign_progress = |finished: usize| {
         if let Some(sink) = &obs {
             sink.metrics.counter("campaign.tests.completed").inc();
-            let elapsed = started.elapsed().as_secs_f64().max(1e-9);
-            let rate = finished as f64 / elapsed;
+            let elapsed = started.elapsed().as_secs_f64();
+            let (rate, eta) = progress_rates(finished, resumed, n, elapsed);
             sink.metrics.gauge("campaign.tests_per_sec").set(rate);
-            let remaining = n.saturating_sub(finished) as f64;
-            sink.metrics.gauge("campaign.eta_secs").set(remaining / rate.max(1e-9));
+            sink.metrics.gauge("campaign.eta_secs").set(eta);
         }
     };
 
@@ -343,8 +364,10 @@ pub fn run_campaign_journaled(
 }
 
 /// Best-effort rendering of a caught panic payload (`&str` and `String`
-/// cover everything `panic!` produces in practice).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// cover everything `panic!` produces in practice). Distributed-campaign
+/// workers use the same rendering so a quarantined instance's journal
+/// record is identical whichever process caught the panic.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -509,6 +532,66 @@ mod tests {
             assert_eq!(a.analysis.observations, b.analysis.observations);
             assert_eq!(a.duration_secs, b.duration_secs);
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn progress_rates_count_only_fresh_completions() {
+        // Unresumed campaign: plain throughput.
+        let (rate, eta) = progress_rates(5, 0, 10, 2.0);
+        assert_eq!(rate, 2.5);
+        assert_eq!(eta, 2.0);
+        // Resumed campaign: 8 spliced instances took no wall-clock time
+        // here, so only the 9th (fresh) completion counts toward rate.
+        let (rate, eta) = progress_rates(9, 8, 10, 2.0);
+        assert_eq!(rate, 0.5);
+        assert_eq!(eta, 2.0);
+        // Right after a resume, before any fresh completion, the rate is
+        // zero rather than `resumed / epsilon`.
+        let (rate, _) = progress_rates(8, 8, 10, 1e-3);
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn resumed_campaign_rate_gauge_is_not_inflated() {
+        let path = temp_journal("rategauge");
+        let mut c = CampaignConfig::paper(ServiceKind::Blogger, TestKind::Test2, 6);
+        c.threads = 1;
+        // First attempt: the last two instances panic, leaving a journal
+        // with 4 of 6 completed.
+        let mut wounded = c.clone();
+        wounded.inject_panic = vec![4, 5];
+        let journal = Journal::create(&path).unwrap();
+        run_campaign_journaled(&wounded, None, "blogger/test2", Some(&journal), None);
+        drop(journal);
+        // Resume with a metrics sink; stall ~2 s after the first fresh
+        // completion so the final gauge reading divides by a non-trivial
+        // elapsed time.
+        let sink = conprobe_obs::ObsSink::new();
+        c.test.obs = Some(sink.clone());
+        let (journal, recovery) = Journal::resume(&path).unwrap();
+        let resumed_at = recovery.completed_for("blogger/test2").len();
+        let slow_first_fresh = move |finished: usize, _total: usize| {
+            if finished == resumed_at + 1 {
+                std::thread::sleep(std::time::Duration::from_secs(2));
+            }
+        };
+        let out = run_campaign_journaled(
+            &c,
+            Some(&slow_first_fresh),
+            "blogger/test2",
+            Some(&journal),
+            Some(&recovery),
+        );
+        drop(journal);
+        assert_eq!(out.resumed, 4);
+        assert_eq!(out.results.len(), 6);
+        // Two fresh tests over ≥2 s of wall clock: the honest rate is
+        // ≤1 test/sec. The old computation divided all six (4 recovered
+        // + 2 fresh) by the same elapsed time, reporting ~3/sec.
+        let rate = sink.metrics.gauge("campaign.tests_per_sec").get();
+        assert!(rate > 0.0, "rate gauge never set");
+        assert!(rate < 1.5, "resumed instances inflated the rate gauge: {rate}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -279,9 +279,7 @@ impl Journal {
         seed: u64,
         result: &TestResult,
     ) -> std::io::Result<()> {
-        self.append_payload(&record_json(cell, instance, seed, "completed", |members| {
-            members.push(("result".into(), result_to_json(result)));
-        }))
+        self.append_payload(&completed_record_json(cell, instance, seed, result))
     }
 
     /// Appends a quarantined-crash record.
@@ -292,13 +290,18 @@ impl Journal {
         seed: u64,
         panic_msg: &str,
     ) -> std::io::Result<()> {
-        self.append_payload(&record_json(cell, instance, seed, "crashed", |members| {
-            members.push(("panic".into(), JsonValue::Str(panic_msg.to_string())));
-        }))
+        self.append_payload(&crashed_record_json(cell, instance, seed, panic_msg))
     }
 
-    /// Frames, writes, and fsyncs one payload.
-    fn append_payload(&self, payload: &str) -> std::io::Result<()> {
+    /// Frames, writes, and fsyncs one payload verbatim.
+    ///
+    /// This is the ingestion path for distributed campaigns: a dispatch
+    /// coordinator appends record payloads produced by remote workers
+    /// (via [`completed_record_json`] / [`crashed_record_json`]) without
+    /// re-serializing, so the merged journal is byte-compatible with one
+    /// a single process would have written. Validate foreign payloads
+    /// with [`parse_record_payload`] first.
+    pub fn append_payload(&self, payload: &str) -> std::io::Result<()> {
         let line = frame::encode_record(payload);
         let mut file = self.file.lock().unwrap_or_else(|p| p.into_inner());
         file.write_all(line.as_bytes())?;
@@ -327,6 +330,24 @@ fn maybe_abort_for_drill() {
             std::process::abort();
         }
     }
+}
+
+/// The journal payload (compact JSON) for a completed-test record — what
+/// [`Journal::append_completed`] writes, exposed so a dispatch worker can
+/// serialize a result once and stream the exact journal bytes to its
+/// coordinator.
+pub fn completed_record_json(cell: &str, instance: u32, seed: u64, result: &TestResult) -> String {
+    record_json(cell, instance, seed, "completed", |members| {
+        members.push(("result".into(), result_to_json(result)));
+    })
+}
+
+/// The journal payload (compact JSON) for a quarantined-crash record —
+/// what [`Journal::append_crashed`] writes; see [`completed_record_json`].
+pub fn crashed_record_json(cell: &str, instance: u32, seed: u64, panic_msg: &str) -> String {
+    record_json(cell, instance, seed, "crashed", |members| {
+        members.push(("panic".into(), JsonValue::Str(panic_msg.to_string())));
+    })
 }
 
 fn record_json(
@@ -412,6 +433,18 @@ fn recover_bytes(bytes: &[u8]) -> Result<Recovery, JournalError> {
 fn parse_line(line: &[u8]) -> Result<RecoveredRecord, String> {
     let text = std::str::from_utf8(line).map_err(|_| "record is not UTF-8".to_string())?;
     let payload = frame::decode_record(text).map_err(|e| e.to_string())?;
+    parse_record_payload(payload)
+}
+
+/// Validates one unframed record payload (JSON + schema), returning its
+/// key and entry. The dispatch coordinator runs every worker-pushed
+/// payload through this before journaling it, so a buggy or hostile
+/// worker cannot splice malformed records into the study.
+///
+/// # Errors
+///
+/// A human-readable reason when the payload is not valid record JSON.
+pub fn parse_record_payload(payload: &str) -> Result<RecoveredRecord, String> {
     let doc = conprobe_json::parse(payload).map_err(|e| format!("payload JSON: {e}"))?;
     let key = JournalKey {
         cell: String::from_json(member(&doc, "cell").map_err(|e| e.to_string())?)

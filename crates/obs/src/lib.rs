@@ -259,8 +259,23 @@ impl MetricsRegistry {
                 Metric::Gauge(g) => gauges.push((name.clone(), JsonValue::Float(g.get()))),
                 Metric::Histogram(h) => {
                     let snap = h.snapshot();
-                    let bounds: Vec<JsonValue> =
-                        snap.iter().map(|(b, _)| JsonValue::UInt(*b)).collect();
+                    // The overflow bucket has no finite upper bound. Its
+                    // `u64::MAX` sentinel must not leak into the dump:
+                    // consumers reading JSON numbers as f64 would render it
+                    // as 18446744073709552000 (u64::MAX is not exactly
+                    // representable). `null` says "open-ended" explicitly.
+                    let bounds: Vec<JsonValue> = snap
+                        .iter()
+                        .map(
+                            |(b, _)| {
+                                if *b == u64::MAX {
+                                    JsonValue::Null
+                                } else {
+                                    JsonValue::UInt(*b)
+                                }
+                            },
+                        )
+                        .collect();
                     let counts: Vec<JsonValue> =
                         snap.iter().map(|(_, c)| JsonValue::UInt(*c)).collect();
                     histograms.push((
@@ -611,6 +626,32 @@ mod tests {
         );
         let hist = doc.get("histograms").and_then(|h| h.get("services.lag")).expect("histogram");
         assert_eq!(hist.get("count").and_then(|v| v.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn histogram_json_overflow_bound_is_null_not_u64_max() {
+        let sink = ObsSink::new();
+        sink.metrics.histogram("services.lag", &[10, 100]).record(5000);
+        let doc = sink.metrics.to_json();
+        let hist = doc.get("histograms").and_then(|h| h.get("services.lag")).expect("histogram");
+        let bounds = match hist.get("bucket_upper_bounds") {
+            Some(JsonValue::Array(b)) => b,
+            other => panic!("bucket_upper_bounds missing: {other:?}"),
+        };
+        assert_eq!(bounds[0], JsonValue::UInt(10));
+        assert_eq!(bounds[1], JsonValue::UInt(100));
+        assert_eq!(bounds[2], JsonValue::Null, "open-ended bucket must serialize as null");
+        // Counts stay aligned with bounds: the overflow sample is in the
+        // final (null-bounded) bucket.
+        let counts = match hist.get("bucket_counts") {
+            Some(JsonValue::Array(c)) => c,
+            other => panic!("bucket_counts missing: {other:?}"),
+        };
+        assert_eq!(counts[2], JsonValue::UInt(1));
+        // The rendered dump never contains the u64::MAX sentinel (which
+        // f64-based JSON readers would mangle to 18446744073709552000).
+        let out = doc.to_compact();
+        assert!(!out.contains("18446744073709551615"), "sentinel leaked: {out}");
     }
 
     #[test]

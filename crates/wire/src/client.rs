@@ -67,7 +67,7 @@ impl ReconnectPolicy {
     /// The backoff before reconnect attempt `attempt` (0-based):
     /// `min(base * 2^attempt, max)`, scaled by a jitter factor in
     /// `[0.5, 1.0)` drawn from `rng`.
-    fn backoff(&self, attempt: u32, rng: &mut SimRng) -> Duration {
+    pub fn backoff(&self, attempt: u32, rng: &mut SimRng) -> Duration {
         let exp = self.base_delay.saturating_mul(2u32.saturating_pow(attempt));
         let capped = exp.min(self.max_delay).max(self.base_delay);
         capped.mul_f64(0.5 + rng.gen_unit() * 0.5)

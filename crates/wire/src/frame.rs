@@ -31,8 +31,11 @@ pub const MAGIC: [u8; 4] = *b"cpw1";
 /// Minor protocol version carried in `hello`/`hello_ack`. Version 2
 /// added the pipelined, keyed frame family (`write_q`/`read_q` and
 /// their acks): requests carry a client-chosen request id echoed in the
-/// response, plus a keyspace key the server maps onto a shard.
-pub const PROTO_VERSION: u16 = 2;
+/// response, plus a keyspace key the server maps onto a shard. Version 3
+/// added the campaign dispatch family (`work_req`/`work_grant`/
+/// `work_fin`/`result_push`/`result_ack`) used between a `dispatch`
+/// coordinator and its `worker` peers.
+pub const PROTO_VERSION: u16 = 3;
 
 /// Frame header size: magic + kind + len + checksum.
 pub const HEADER_LEN: usize = 4 + 1 + 4 + 8;
@@ -65,7 +68,12 @@ pub(crate) const KIND_WRITE_Q: u8 = 9;
 pub(crate) const KIND_WRITE_Q_ACK: u8 = 10;
 pub(crate) const KIND_READ_Q: u8 = 11;
 pub(crate) const KIND_READ_Q_OK: u8 = 12;
-const KIND_MAX: u8 = KIND_READ_Q_OK;
+const KIND_WORK_REQ: u8 = 13;
+const KIND_WORK_GRANT: u8 = 14;
+const KIND_WORK_FIN: u8 = 15;
+const KIND_RESULT_PUSH: u8 = 16;
+const KIND_RESULT_ACK: u8 = 17;
+const KIND_MAX: u8 = KIND_RESULT_ACK;
 
 /// One `cpw1` message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -155,6 +163,35 @@ pub enum Frame {
         /// `PostId::as_u64()` for each post, in returned order.
         ids: Vec<u64>,
     },
+    /// Worker → dispatcher (v2): request one unit of campaign work.
+    WorkReq {
+        /// The worker's self-assigned id (used only for progress labels).
+        worker: u32,
+    },
+    /// Dispatcher → worker (v2): a leased work unit. The worker derives
+    /// the instance config from its own identical campaign parameters;
+    /// `seed` lets it verify both sides derived the same plan.
+    WorkGrant {
+        /// Campaign instance index to run.
+        instance: u32,
+        /// The instance's root seed, as derived by the dispatcher.
+        seed: u64,
+        /// Journal cell the result belongs to (e.g. `blogger/test1`).
+        cell: String,
+    },
+    /// Dispatcher → worker (v2): no work remains; disconnect.
+    WorkFin,
+    /// Worker → dispatcher (v2): a finished unit's journal record —
+    /// the exact JSON payload the worker would have written to a local
+    /// campaign journal, pushed verbatim so the dispatcher's journal is
+    /// byte-compatible with a single-process run.
+    ResultPush {
+        /// The journal record payload (JSON text).
+        record: String,
+    },
+    /// Dispatcher → worker (v2): the pushed record is durably journaled;
+    /// the worker may request the next unit.
+    ResultAck,
 }
 
 /// A rejected byte stream. One variant per way a frame can be malformed;
@@ -215,6 +252,11 @@ impl Frame {
             Frame::WriteQAck { .. } => KIND_WRITE_Q_ACK,
             Frame::ReadQ { .. } => KIND_READ_Q,
             Frame::ReadQOk { .. } => KIND_READ_Q_OK,
+            Frame::WorkReq { .. } => KIND_WORK_REQ,
+            Frame::WorkGrant { .. } => KIND_WORK_GRANT,
+            Frame::WorkFin => KIND_WORK_FIN,
+            Frame::ResultPush { .. } => KIND_RESULT_PUSH,
+            Frame::ResultAck => KIND_RESULT_ACK,
         }
     }
 
@@ -275,6 +317,16 @@ impl Frame {
                 }
                 p
             }
+            Frame::WorkReq { worker } => worker.to_le_bytes().to_vec(),
+            Frame::WorkGrant { instance, seed, cell } => {
+                let mut p = Vec::with_capacity(12 + cell.len());
+                p.extend_from_slice(&instance.to_le_bytes());
+                p.extend_from_slice(&seed.to_le_bytes());
+                p.extend_from_slice(cell.as_bytes());
+                p
+            }
+            Frame::WorkFin | Frame::ResultAck => Vec::new(),
+            Frame::ResultPush { record } => record.as_bytes().to_vec(),
         }
     }
 
@@ -380,6 +432,10 @@ fn check_length(kind: u8, len: u32) -> Result<(), WireError> {
         KIND_WRITE_Q_ACK => len == 12,
         KIND_READ_Q => len == 8,
         KIND_READ_Q_OK => len >= 4 && (len - 4).is_multiple_of(8),
+        KIND_WORK_REQ => len == 4,
+        KIND_WORK_GRANT => len >= 12,
+        KIND_WORK_FIN | KIND_RESULT_ACK => len == 0,
+        KIND_RESULT_PUSH => true,
         other => return Err(WireError::UnknownKind(other)),
     };
     if ok {
@@ -527,6 +583,17 @@ pub fn parse_payload(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
             req: le_u32(&payload[..4]),
             ids: payload[4..].chunks_exact(8).map(le_u64).collect(),
         },
+        KIND_WORK_REQ => Frame::WorkReq { worker: le_u32(payload) },
+        KIND_WORK_GRANT => Frame::WorkGrant {
+            instance: le_u32(&payload[..4]),
+            seed: le_u64(&payload[4..12]),
+            cell: std::str::from_utf8(&payload[12..]).map_err(|_| WireError::BadUtf8)?.to_owned(),
+        },
+        KIND_WORK_FIN => Frame::WorkFin,
+        KIND_RESULT_PUSH => Frame::ResultPush {
+            record: std::str::from_utf8(payload).map_err(|_| WireError::BadUtf8)?.to_owned(),
+        },
+        KIND_RESULT_ACK => Frame::ResultAck,
         _ => unreachable!("check_length vetted the kind"),
     };
     Ok(frame)
@@ -579,6 +646,17 @@ mod tests {
             Frame::ReadQ { req: 8, key: 3 },
             Frame::ReadQOk { req: 8, ids: vec![] },
             Frame::ReadQOk { req: u32::MAX, ids: vec![u64::MAX, 0, 42] },
+            Frame::WorkReq { worker: 3 },
+            Frame::WorkGrant {
+                instance: 5,
+                seed: 0xfeed_beef_cafe_f00d,
+                cell: "blogger/test1".into(),
+            },
+            Frame::WorkGrant { instance: u32::MAX, seed: 0, cell: String::new() },
+            Frame::WorkFin,
+            Frame::ResultPush { record: "{\"cell\":\"blogger/test1\",\"instance\":5}".into() },
+            Frame::ResultPush { record: String::new() },
+            Frame::ResultAck,
         ]
     }
 

@@ -24,7 +24,11 @@
 //!   verification by echoed request id;
 //! * [`load`] — `conprobe load`: a closed-loop load generator
 //!   multiplexing tens of thousands of pipelined connections, with
-//!   latency histograms, backing the `bench_wire_throughput` stage.
+//!   latency histograms, backing the `bench_wire_throughput` stage;
+//! * [`dispatch`] — `conprobe dispatch` / `conprobe worker`: a campaign
+//!   cell farmed out to worker processes over leased work units, with
+//!   results streamed back as journal records and merged byte-identically
+//!   to a single-process run.
 //!
 //! The server hosts a consistent-hash-sharded keyspace
 //! ([`conprobe_services::shard`]): legacy frames address key 0, the
@@ -37,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod dispatch;
 pub mod frame;
 pub mod load;
 pub mod pipeline;
@@ -44,8 +49,9 @@ pub mod probe;
 pub mod server;
 
 pub use client::{ReconnectPolicy, WireClient};
+pub use dispatch::{run_dispatch, run_worker, DispatchConfig, DispatchStats, WorkerConfig};
 pub use frame::{decode, Frame, WireError, MAX_PAYLOAD, PROTO_VERSION};
 pub use load::{run_load, wire_latency_bounds_nanos, LoadConfig, LoadReport};
 pub use pipeline::{PipeConn, PipeFault};
-pub use probe::{run_probe, ProbeConfig};
+pub use probe::{run_probe, run_probe_with_live, LiveEvent, ProbeConfig};
 pub use server::{ServeConfig, WireServer};

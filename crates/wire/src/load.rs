@@ -112,6 +112,15 @@ pub struct LoadReport {
     pub p99_nanos: u64,
     /// 99.9th percentile upper bucket bound — the tail the p99 hides.
     pub p999_nanos: u64,
+    /// True when the p50 rank landed in the histogram's open-ended
+    /// overflow bucket: the reported bound is the largest finite bucket
+    /// bound, an *underestimate* of the true percentile.
+    pub p50_saturated: bool,
+    /// Overflow-saturation flag for [`LoadReport::p99_nanos`].
+    pub p99_saturated: bool,
+    /// Overflow-saturation flag for [`LoadReport::p999_nanos`]. The tail
+    /// percentile saturates first — check this before quoting p999.
+    pub p999_saturated: bool,
     /// Responses that violated per-connection FIFO order.
     pub ordering_errors: u64,
     /// Responses that failed frame validation.
@@ -122,11 +131,18 @@ pub struct LoadReport {
     pub max_conn_errors: u64,
 }
 
-fn percentile(hist: &Histogram, q: f64) -> u64 {
+/// Percentile `q` as an upper bucket bound, plus a saturation flag.
+///
+/// When the rank lands in the open-ended overflow bucket there is no
+/// finite bound to report: the function falls back to the largest finite
+/// bucket bound and returns `true` — the value is a floor on the true
+/// percentile, not an estimate of it. Callers must surface that flag
+/// rather than quoting the fallback as a measurement.
+fn percentile(hist: &Histogram, q: f64) -> (u64, bool) {
     let buckets = hist.snapshot();
     let total: u64 = buckets.iter().map(|(_, c)| c).sum();
     if total == 0 {
-        return 0;
+        return (0, false);
     }
     let rank = (total as f64 * q).ceil() as u64;
     let mut seen = 0;
@@ -137,12 +153,10 @@ fn percentile(hist: &Histogram, q: f64) -> u64 {
             last_finite = bound;
         }
         if seen >= rank {
-            // The final bucket is open-ended; fall back to the largest
-            // finite bound rather than reporting u64::MAX.
-            return if bound == u64::MAX { last_finite } else { bound };
+            return if bound == u64::MAX { (last_finite, true) } else { (bound, false) };
         }
     }
-    last_finite
+    (last_finite, true)
 }
 
 /// Per-thread tallies folded into the report at the end.
@@ -238,14 +252,20 @@ pub fn run_load(
     }
 
     let elapsed_secs = config.duration.as_secs_f64();
+    let (p50_nanos, p50_saturated) = percentile(&hist, 0.50);
+    let (p99_nanos, p99_saturated) = percentile(&hist, 0.99);
+    let (p999_nanos, p999_saturated) = percentile(&hist, 0.999);
     Ok(LoadReport {
         ops: tally.ops,
         errors: tally.errors,
         elapsed_secs,
         ops_per_sec: tally.ops as f64 / elapsed_secs.max(1e-9),
-        p50_nanos: percentile(&hist, 0.50),
-        p99_nanos: percentile(&hist, 0.99),
-        p999_nanos: percentile(&hist, 0.999),
+        p50_nanos,
+        p99_nanos,
+        p999_nanos,
+        p50_saturated,
+        p99_saturated,
+        p999_saturated,
         ordering_errors: tally.ordering,
         decode_errors: tally.decode,
         conns_with_errors: tally.conns_with_errors,
@@ -371,5 +391,67 @@ fn sweep_connections(args: SweeperArgs<'_>) -> Tally {
                 std::thread::yield_now();
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(bounds: &[u64]) -> Histogram {
+        MetricsRegistry::new().histogram("t", bounds)
+    }
+
+    #[test]
+    fn percentile_within_ladder_is_exact_bound_unsaturated() {
+        let h = hist(&[10, 100]);
+        for v in [1, 2, 3] {
+            h.record(v);
+        }
+        assert_eq!(percentile(&h, 0.50), (10, false));
+        assert_eq!(percentile(&h, 0.999), (10, false));
+        h.record(50);
+        assert_eq!(percentile(&h, 0.999), (100, false));
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        assert_eq!(percentile(&hist(&[10, 100]), 0.999), (0, false));
+    }
+
+    #[test]
+    fn tail_rank_in_overflow_bucket_is_flagged_saturated() {
+        // One in-ladder sample, one past the last finite bound: the p50
+        // is honest, the p999 falls back to the largest finite bound and
+        // must say so.
+        let h = hist(&[10, 100]);
+        h.record(5);
+        h.record(5_000);
+        assert_eq!(percentile(&h, 0.50), (10, false));
+        assert_eq!(percentile(&h, 0.999), (100, true));
+    }
+
+    #[test]
+    fn all_samples_in_overflow_saturate_every_percentile() {
+        // The previously-silent case: every sample beyond the ladder.
+        // The old code reported the largest finite bound (100 ns here)
+        // for every percentile with no indication anything was wrong.
+        let h = hist(&[10, 100]);
+        for _ in 0..3 {
+            h.record(7_000);
+        }
+        assert_eq!(percentile(&h, 0.50), (100, true));
+        assert_eq!(percentile(&h, 0.99), (100, true));
+        assert_eq!(percentile(&h, 0.999), (100, true));
+    }
+
+    #[test]
+    fn wire_ladder_saturates_past_thirty_seconds() {
+        let bounds = wire_latency_bounds_nanos();
+        let h = hist(&bounds);
+        h.record(31_000_000_000); // 31 s > the ladder's 30 s ceiling
+        let (bound, saturated) = percentile(&h, 0.50);
+        assert_eq!(bound, *bounds.last().unwrap());
+        assert!(saturated);
     }
 }

@@ -180,6 +180,37 @@ fn map_records(records: &[LocalOpRecord], agent: u32, delta_nanos: i64) -> Vec<O
         .collect()
 }
 
+/// One event on a probe's live tap (see [`run_probe_with_live`]).
+#[derive(Debug, Clone)]
+pub enum LiveEvent {
+    /// An operation just finished, already mapped onto the server
+    /// timeline with the agent's estimated clock delta — the same
+    /// record the merged trace will contain.
+    Op(OpRecord<PostId>),
+    /// This agent's stream is over (it completed, hit the deadline, or
+    /// was quarantined); it will send no further [`LiveEvent::Op`]s.
+    Done(u32),
+}
+
+/// Sends every record in `records[*sent..]` down the live tap (mapped
+/// onto the server timeline) and advances the cursor. A dropped
+/// receiver silently disables the tap: monitoring must never fail a
+/// measurement.
+fn flush_live(
+    live: &Option<std::sync::mpsc::Sender<LiveEvent>>,
+    agent: u32,
+    delta_nanos: i64,
+    records: &[LocalOpRecord],
+    sent: &mut usize,
+) {
+    if let Some(tx) = live {
+        for op in map_records(&records[*sent..], agent, delta_nanos) {
+            let _ = tx.send(LiveEvent::Op(op));
+        }
+    }
+    *sent = records.len();
+}
+
 /// Runs one live probe instance end to end. Returns a full
 /// [`TestResult`] whose trace, analysis and journal serialization are
 /// indistinguishable from a simulated run's.
@@ -190,6 +221,23 @@ fn map_records(records: &[LocalOpRecord], agent: u32, delta_nanos: i64) -> Vec<O
 /// marked `salvaged`. Only when *every* agent fails is the instance an
 /// error.
 pub fn run_probe(config: &ProbeConfig) -> Result<TestResult, EndpointError> {
+    run_probe_with_live(config, None)
+}
+
+/// [`run_probe`] with an optional live tap: every finished operation is
+/// also sent down `live` as a [`LiveEvent::Op`] the moment it responds
+/// (already on the server timeline), followed by one
+/// [`LiveEvent::Done`] per agent. Each agent's own events arrive in
+/// invoke order; a monitor merging the per-agent streams by
+/// `(invoke, response)` reconstructs the trace order `analyze()` sees,
+/// so it can feed a [`StreamingAnalyzer`](conprobe_core::stream) for a
+/// running anomaly readout. The tap is observe-only: the returned
+/// result is byte-identical with or without it, and a dropped receiver
+/// just stops the feed.
+pub fn run_probe_with_live(
+    config: &ProbeConfig,
+    live: Option<std::sync::mpsc::Sender<LiveEvent>>,
+) -> Result<TestResult, EndpointError> {
     let total = config.endpoints.len() as u32;
     assert!(total > 0, "probe needs at least one endpoint");
     let epoch = Instant::now();
@@ -207,6 +255,7 @@ pub fn run_probe(config: &ProbeConfig) -> Result<TestResult, EndpointError> {
         let start_at_server = Arc::clone(&start_at_server);
         let completions = Arc::clone(&completions);
         let abandoned = Arc::clone(&abandoned);
+        let live = live.clone();
         threads.push(std::thread::spawn(move || {
             agent_main(
                 &config,
@@ -218,9 +267,13 @@ pub fn run_probe(config: &ProbeConfig) -> Result<TestResult, EndpointError> {
                 &start_at_server,
                 &completions,
                 &abandoned,
+                live,
             )
         }));
     }
+    // The agents hold the only remaining senders: the tap closes when
+    // the last agent finishes.
+    drop(live);
 
     let mut outputs = Vec::new();
     for t in threads {
@@ -401,6 +454,7 @@ fn agent_main(
     start_at_server: &OnceLock<i64>,
     completions: &AtomicU32,
     abandoned: &AtomicU32,
+    live: Option<std::sync::mpsc::Sender<LiveEvent>>,
 ) -> AgentOutput {
     // The paper's NTP-disabled clocks: ±2 s seeded offsets, per agent.
     let mut rng =
@@ -416,6 +470,9 @@ fn agent_main(
                 // agent deadlocks waiting for the synchronized start.
                 abandoned.fetch_add(1, Ordering::AcqRel);
                 sync_barrier.wait();
+                if let Some(tx) = &live {
+                    let _ = tx.send(LiveEvent::Done(agent_index));
+                }
                 return AgentOutput::failed(e.0);
             }
         };
@@ -441,6 +498,7 @@ fn agent_main(
     let mut next_write_seq = 1u32;
     let mut triggered = agent_index == 0; // agent 0 needs no trigger
     let mut completed = false;
+    let mut live_sent = 0usize;
 
     let outcome = (|| -> Result<(), EndpointError> {
         let mut next_read = clock.now();
@@ -474,6 +532,7 @@ fn agent_main(
                 )?;
             }
         }
+        flush_live(&live, agent_index, delta_nanos, &records, &mut live_sent);
 
         loop {
             if clock.now() >= deadline {
@@ -526,9 +585,16 @@ fn agent_main(
                     next_read = next_read.offset_by(period.as_nanos() as i64);
                 }
             }
+            flush_live(&live, agent_index, delta_nanos, &records, &mut live_sent);
         }
         Ok(())
     })();
+
+    // Whatever the loop's exit path left unsent (break-outs, errors).
+    flush_live(&live, agent_index, delta_nanos, &records, &mut live_sent);
+    if let Some(tx) = &live {
+        let _ = tx.send(LiveEvent::Done(agent_index));
+    }
 
     let error = outcome.err().map(|e| e.0);
     if error.is_some() && !completed {

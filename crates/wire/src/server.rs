@@ -611,8 +611,10 @@ fn respond_legacy(
             shared.stop.store(true, Ordering::Release);
             Some(Frame::StopAck)
         }
-        // Server-role frames from a client are a protocol violation, and
-        // keyed frames are handled on the raw path before parsing.
+        // Server-role frames from a client are a protocol violation,
+        // keyed frames are handled on the raw path before parsing, and
+        // the dispatch family belongs to a dispatch coordinator, not a
+        // service server.
         Frame::HelloAck { .. }
         | Frame::WriteAck { .. }
         | Frame::ReadOk { .. }
@@ -621,6 +623,11 @@ fn respond_legacy(
         | Frame::WriteQ { .. }
         | Frame::WriteQAck { .. }
         | Frame::ReadQ { .. }
-        | Frame::ReadQOk { .. } => None,
+        | Frame::ReadQOk { .. }
+        | Frame::WorkReq { .. }
+        | Frame::WorkGrant { .. }
+        | Frame::WorkFin
+        | Frame::ResultPush { .. }
+        | Frame::ResultAck => None,
     }
 }

@@ -452,6 +452,83 @@ pub fn bench_quorum(scale: BenchScale) -> QuorumBench {
     }
 }
 
+/// What the streaming-checker stage measured: the incremental engine
+/// ([`StreamingAnalyzer`](conprobe_core::StreamingAnalyzer)) replaying
+/// the bench trace pool one event at a time, next to the whole-trace
+/// `analyze()` entry point on the same pool, plus the memory-bounded
+/// contract's figures.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamBench {
+    /// Events pushed per second through `push_event` + `finish`.
+    pub stream_ops_per_sec: f64,
+    /// `analyze()` ops/sec on the identical pool (same-tree reference;
+    /// the two share the engine, so the ratio is dispatch overhead).
+    pub batch_ops_per_sec: f64,
+    /// Peak retained working-state bytes across the pool's replays.
+    pub peak_retained_bytes: usize,
+    /// Compact-JSON bytes of the largest trace replayed — the figure
+    /// retained state must stay well under for the contract to mean
+    /// anything.
+    pub trace_bytes: usize,
+}
+
+/// Times the incremental checker engine event by event and verifies,
+/// on every pool trace, that the replay's observations equal the batch
+/// pass's — a perf stage that doubles as an equivalence smoke check.
+pub fn bench_streaming(scale: BenchScale) -> StreamBench {
+    use conprobe_core::StreamingAnalyzer;
+    let traces: Vec<TestTrace<PostId>> = (0..8).map(|i| synthetic_trace(0xC0DE + i, 120)).collect();
+    let config = CheckerConfig::default();
+    let trace_bytes =
+        traces.iter().map(|t| t.to_json().to_compact().len()).max().unwrap_or_default();
+
+    // Warm-up doubling as the equivalence anchor.
+    let mut peak_retained = 0usize;
+    for t in &traces {
+        let mut analyzer = StreamingAnalyzer::new(&config);
+        for op in t.ops() {
+            analyzer.push_event(op);
+        }
+        peak_retained = peak_retained.max(analyzer.retained_bytes());
+        assert_eq!(
+            analyzer.finish().observations,
+            analyze(t, &config).observations,
+            "streaming replay must equal the batch pass"
+        );
+    }
+
+    let mut ops = 0usize;
+    let mut sink = 0usize;
+    let start = Instant::now();
+    for it in 0..scale.checker_iters {
+        let trace = &traces[it % traces.len()];
+        let mut analyzer = StreamingAnalyzer::new(&config);
+        for op in trace.ops() {
+            analyzer.push_event(op);
+        }
+        ops += trace.len();
+        sink += analyzer.finish().observations.len();
+    }
+    let stream_ops_per_sec = ops as f64 / start.elapsed().as_secs_f64();
+
+    let mut ops = 0usize;
+    let start = Instant::now();
+    for it in 0..scale.checker_iters {
+        let trace = &traces[it % traces.len()];
+        sink += analyze(trace, &config).observations.len();
+        ops += trace.len();
+    }
+    let batch_ops_per_sec = ops as f64 / start.elapsed().as_secs_f64();
+    assert!(sink > 0, "streaming bench must observe anomalies");
+
+    StreamBench {
+        stream_ops_per_sec,
+        batch_ops_per_sec,
+        peak_retained_bytes: peak_retained,
+        trace_bytes,
+    }
+}
+
 /// Runs the whole suite at `scale`.
 pub fn run_suite(scale: BenchScale) -> BenchNumbers {
     let (checker_ops_per_sec, _) = bench_checkers(scale);
@@ -478,6 +555,7 @@ pub fn report_json(
     journal_overhead: Option<(f64, f64)>,
     wire: Option<&WireBench>,
     quorum: Option<&QuorumBench>,
+    streaming: Option<&StreamBench>,
 ) -> String {
     use conprobe_json::JsonValue;
     let numbers = |n: &BenchNumbers| {
@@ -607,6 +685,23 @@ pub fn report_json(
                     "read_slowdown".into(),
                     JsonValue::Float(round2(
                         q.weak_reads_per_sec / q.quorum_reads_per_sec.max(1e-9),
+                    )),
+                ),
+            ]),
+        ));
+    }
+    if let Some(s) = streaming {
+        members.push((
+            "streaming".into(),
+            JsonValue::Object(vec![
+                ("stream_ops_per_sec".into(), JsonValue::Float(round2(s.stream_ops_per_sec))),
+                ("batch_ops_per_sec".into(), JsonValue::Float(round2(s.batch_ops_per_sec))),
+                ("peak_retained_bytes".into(), JsonValue::Int(s.peak_retained_bytes as i64)),
+                ("trace_bytes".into(), JsonValue::Int(s.trace_bytes as i64)),
+                (
+                    "retention_ratio".into(),
+                    JsonValue::Float(round2(
+                        s.peak_retained_bytes as f64 / (s.trace_bytes as f64).max(1.0),
                     )),
                 ),
             ]),
@@ -832,12 +927,19 @@ mod tests {
             weak_writes_per_sec: 12.0,
             weak_reads_per_sec: 1500.0,
         };
+        let streaming = StreamBench {
+            stream_ops_per_sec: 20_000.0,
+            batch_ops_per_sec: 19_000.0,
+            peak_retained_bytes: 5_000,
+            trace_bytes: 50_000,
+        };
         let doc = conprobe_json::parse(&report_json(
             "smoke",
             numbers,
             Some((2.0, 1.9)),
             Some(&wire),
             Some(&quorum),
+            Some(&streaming),
         ))
         .expect("valid JSON");
         assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("conprobe-bench/1"));
@@ -863,10 +965,35 @@ mod tests {
         let q = doc.get("quorum").expect("quorum block");
         assert_eq!(q.get("reads_per_sec").and_then(|v| v.as_f64()), Some(500.0));
         assert_eq!(q.get("read_slowdown").and_then(|v| v.as_f64()), Some(3.0));
+        let st = doc.get("streaming").expect("streaming block");
+        assert_eq!(st.get("stream_ops_per_sec").and_then(|v| v.as_f64()), Some(20_000.0));
+        assert_eq!(st.get("peak_retained_bytes").and_then(|v| v.as_f64()), Some(5_000.0));
+        assert_eq!(st.get("retention_ratio").and_then(|v| v.as_f64()), Some(0.1));
         // Without the stages, the blocks are absent (schema stays stable).
-        let bare = conprobe_json::parse(&report_json("smoke", numbers, None, None, None)).unwrap();
+        let bare =
+            conprobe_json::parse(&report_json("smoke", numbers, None, None, None, None)).unwrap();
         assert!(bare.get("journal_overhead").is_none());
         assert!(bare.get("wire_throughput").is_none());
         assert!(bare.get("quorum").is_none());
+        assert!(bare.get("streaming").is_none());
+    }
+
+    #[test]
+    fn streaming_bench_stage_measures_and_bounds_memory() {
+        let bench = bench_streaming(BenchScale::smoke());
+        assert!(bench.stream_ops_per_sec > 0.0);
+        assert!(bench.batch_ops_per_sec > 0.0);
+        assert!(bench.peak_retained_bytes > 0);
+        // The memory-bounded contract, on the bench pool itself:
+        // retained working state stays strictly under the raw trace
+        // size even with compact `PostId` keys, where interning buys
+        // the least (the wide-key win is pinned in the core crate's
+        // streaming-equivalence suite).
+        assert!(
+            bench.peak_retained_bytes < bench.trace_bytes,
+            "retained {} bytes vs trace {} bytes",
+            bench.peak_retained_bytes,
+            bench.trace_bytes
+        );
     }
 }

@@ -17,7 +17,10 @@
 //! server with the closed-loop load generator and records real-socket
 //! ops/sec and latency percentiles; a quorum stage times the
 //! majority-quorum control arm against the weak baseline on an identical
-//! campaign schedule. `--mode smoke` runs the same
+//! campaign schedule; a streaming stage replays the trace pool through
+//! the incremental checker engine event by event, recording its
+//! throughput next to `analyze()` and the retained-memory bound the
+//! streaming contract promises. `--mode smoke` runs the same
 //! workloads at small
 //! iteration counts for CI; `--golden` skips timing entirely and prints
 //! the golden-seed fingerprints used by `tests/determinism_golden.rs`
@@ -156,6 +159,16 @@ fn main() -> ExitCode {
         quorum.weak_reads_per_sec,
         quorum.weak_reads_per_sec / quorum.quorum_reads_per_sec.max(1e-9)
     );
+    let streaming = bench::bench_streaming(scale);
+    eprintln!(
+        "streaming checkers: {:.0} events/sec (batch {:.0} ops/sec); \
+         retained {} bytes vs {} trace bytes ({:.1}%)",
+        streaming.stream_ops_per_sec,
+        streaming.batch_ops_per_sec,
+        streaming.peak_retained_bytes,
+        streaming.trace_bytes,
+        streaming.peak_retained_bytes as f64 / (streaming.trace_bytes as f64).max(1.0) * 100.0
+    );
     if let Err(e) = conprobe::fsio::write_atomic(&args.metrics_out, &metrics_json) {
         eprintln!("cannot write {}: {e}", args.metrics_out);
         return ExitCode::FAILURE;
@@ -175,6 +188,7 @@ fn main() -> ExitCode {
         Some((journal_off, journal_on)),
         Some(&wire),
         Some(&quorum),
+        Some(&streaming),
     );
     if let Err(e) = conprobe::fsio::write_atomic(&args.out, &json) {
         eprintln!("cannot write {}: {e}", args.out);

@@ -5,10 +5,12 @@
 //! thin I/O shell.
 
 use conprobe_core::checkers::WfrMode;
-use conprobe_core::{analyze, timeline, AnomalyKind, CheckerConfig, TestTrace, Verdict};
+use conprobe_core::{
+    analyze, timeline, AnomalyKind, CheckerConfig, StreamingAnalyzer, TestTrace, Verdict,
+};
 use conprobe_harness::journal::{self, Journal, Recovery};
 use conprobe_harness::proto::{test1_trigger_pairs, TestKind};
-use conprobe_harness::runner::{run_one_test, TestConfig};
+use conprobe_harness::runner::{checker_config_for, run_one_test, TestConfig};
 use conprobe_harness::stats;
 use conprobe_json::{FromJson, ToJson};
 use conprobe_obs::{EventLog, MetricsRegistry, Severity};
@@ -19,7 +21,10 @@ use conprobe_sim::{
     BrownoutMode, FaultEvent, FaultPlan, LinkScope, ObsSink, SimDuration, SimRng, SimTime,
 };
 use conprobe_store::PostId;
-use conprobe_wire::{run_load, run_probe, LoadConfig, ProbeConfig, ServeConfig, WireServer};
+use conprobe_wire::{
+    run_dispatch, run_load, run_probe, run_probe_with_live, run_worker, DispatchConfig, LiveEvent,
+    LoadConfig, ProbeConfig, ReconnectPolicy, ServeConfig, WireServer, WorkerConfig,
+};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -179,6 +184,8 @@ pub enum Command {
         /// Keyspace key the probe addresses (keyed sharded frames);
         /// `None` speaks the legacy un-keyed protocol.
         key: Option<u32>,
+        /// Stream a running anomaly readout to stderr while agents run.
+        live: bool,
     },
     /// Closed-loop load generator against one `cpw1` endpoint.
     Load {
@@ -202,6 +209,46 @@ pub enum Command {
         target_ops: Option<u64>,
         /// Dump the load metrics registry as JSON to this path.
         metrics_out: Option<String>,
+    },
+    /// Coordinate a campaign cell farmed out to `worker` processes over
+    /// TCP, journaling every pushed result and merging byte-identically.
+    Dispatch {
+        /// Service under test.
+        service: ServiceKind,
+        /// Test design.
+        kind: TestKind,
+        /// Number of instances.
+        tests: u32,
+        /// Seed.
+        seed: u64,
+        /// Address to listen on (`host:port`; port 0 = ephemeral).
+        addr: Option<String>,
+        /// Seconds a granted unit may stay unfinished before re-issue.
+        lease_secs: u64,
+        /// Write a `dispatch=addr` line here once the listener is bound.
+        ready_file: Option<String>,
+        /// Journal every pushed record to this path (fresh journal).
+        journal_out: Option<String>,
+        /// Resume from (and keep appending to) this journal.
+        resume: Option<String>,
+    },
+    /// Pull leased work units from a `dispatch` coordinator, run them
+    /// with the ordinary panic-isolated runner, and push results back.
+    Worker {
+        /// Service under test (must match the coordinator's).
+        service: ServiceKind,
+        /// Test design (must match the coordinator's).
+        kind: TestKind,
+        /// Number of instances (must match the coordinator's).
+        tests: u32,
+        /// Seed (must match the coordinator's).
+        seed: u64,
+        /// The coordinator's `host:port`.
+        addr: Option<String>,
+        /// Read the coordinator address from a `dispatch --ready-file`.
+        server_file: Option<String>,
+        /// Worker id for progress labels.
+        worker_id: u32,
     },
     /// List the available service models.
     Services,
@@ -245,12 +292,17 @@ USAGE:
                [--metrics FILE]
   conprobe probe --service <svc> [--test 1|2] [--seed N] [--tests N]
                (--endpoint region=host:port ... | --server-file FILE)
-               [--read-ms N] [--reads N] [--key K] [--metrics FILE]
-               [--journal FILE | --resume FILE]
+               [--read-ms N] [--reads N] [--key K] [--live]
+               [--metrics FILE] [--journal FILE | --resume FILE]
   conprobe load (--addr host:port | --server-file FILE)
                [--connections N] [--pipeline N] [--threads N] [--keys N]
                [--secs N] [--warmup-secs N] [--target-ops N]
                [--metrics FILE]
+  conprobe dispatch --service <svc> [--test 1|2] [--tests N] [--seed N]
+               (--journal FILE | --resume FILE) [--addr host:port]
+               [--lease-secs N] [--ready-file FILE]
+  conprobe worker --service <svc> [--test 1|2] [--tests N] [--seed N]
+               (--addr host:port | --server-file FILE) [--worker-id N]
   conprobe services
   conprobe help
 
@@ -271,7 +323,10 @@ USAGE:
   over the wire, the Test 1/2 cadence, and the unmodified checkers on
   the merged trace; --journal/--resume work exactly as in `campaign`;
   --key K pins the probe to one keyspace key (keyed sharded frames)
-  and labels the journal cell with the key and owning shard. `load`
+  and labels the journal cell with the key and owning shard; --live
+  merges the agents' operation streams through the incremental checkers
+  as they happen, printing a running anomaly readout to stderr (stdout
+  and the final batch analysis are unaffected). `load`
   measures sustained closed-loop throughput with latency histograms,
   multiplexing --connections pipelined connections (--pipeline
   in-flight requests each) over --threads sweeper threads, cycling
@@ -288,6 +343,15 @@ USAGE:
   truncated tail from a crash), re-runs only the missing instances, and
   keeps journaling to the same file. A resumed campaign produces
   byte-identical output to an uninterrupted one with the same seed.
+
+  `dispatch` runs a campaign cell distributed: it leases each instance
+  to connecting `worker` processes (started with the identical
+  --service/--test/--tests/--seed), journals every pushed result, and —
+  once all units land — merges the journal through the ordinary resume
+  path, so stdout is byte-identical to `campaign` with the same flags.
+  A worker that disconnects or exceeds --lease-secs has its units
+  re-issued; duplicate pushes are deduplicated; a worker whose derived
+  seeds disagree with a grant refuses it as a configuration mismatch.
 ";
 
 fn parse_service(s: &str) -> Result<ServiceKind, CliError> {
@@ -394,6 +458,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut shards = 16usize;
     let mut event_loops = 1usize;
     let mut key: Option<u32> = None;
+    let mut lease_secs = 30u64;
+    let mut worker_id = 0u32;
+    let mut live = false;
     fn val<'a>(it: &mut impl Iterator<Item = &'a str>, flag: &str) -> Result<&'a str, CliError> {
         it.next().ok_or_else(|| CliError(format!("{flag} needs a value")))
     }
@@ -428,6 +495,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             "--shards" => shards = num(val(&mut it, a)?, a)?,
             "--event-loops" => event_loops = num(val(&mut it, a)?, a)?,
             "--key" => key = Some(num(val(&mut it, a)?, a)?),
+            "--lease-secs" => lease_secs = num(val(&mut it, a)?, a)?,
+            "--worker-id" => worker_id = num(val(&mut it, a)?, a)?,
+            "--live" => live = true,
             "--service" => {
                 service = Some(parse_service(
                     it.next().ok_or(CliError("--service needs a value".into()))?,
@@ -597,6 +667,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 journal_out,
                 resume,
                 key,
+                live,
             })
         }
         "load" => {
@@ -614,6 +685,40 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 warmup_secs,
                 target_ops,
                 metrics_out,
+            })
+        }
+        "dispatch" => {
+            if journal_out.is_none() && resume.is_none() {
+                return Err(CliError(
+                    "dispatch requires --journal FILE or --resume FILE (the journal is the \
+                     medium workers' results merge through)"
+                        .into(),
+                ));
+            }
+            Ok(Command::Dispatch {
+                service: service.ok_or(CliError("dispatch requires --service".into()))?,
+                kind,
+                tests: tests.unwrap_or(20),
+                seed,
+                addr,
+                lease_secs,
+                ready_file,
+                journal_out,
+                resume,
+            })
+        }
+        "worker" => {
+            if addr.is_none() && server_file.is_none() {
+                return Err(CliError("worker requires --addr host:port or --server-file".into()));
+            }
+            Ok(Command::Worker {
+                service: service.ok_or(CliError("worker requires --service".into()))?,
+                kind,
+                tests: tests.unwrap_or(20),
+                seed,
+                addr,
+                server_file,
+                worker_id,
             })
         }
         "services" => Ok(Command::Services),
@@ -1165,6 +1270,7 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             journal_out,
             resume,
             key,
+            live,
         } => {
             let endpoints = resolve_endpoints(&endpoints, &server_file)?;
             let _ = writeln!(
@@ -1211,7 +1317,31 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                         pc.reads_target = reads_target;
                         pc.fast_reads = reads_target / 2;
                         pc.key = key;
-                        let r = run_probe(&pc).map_err(|e| CliError(format!("probe: {e}")))?;
+                        let r = if live {
+                            // The tap feeds a streaming analyzer on a
+                            // monitor thread; its readout goes to stderr
+                            // (stdout must stay byte-identical to a
+                            // tap-less run).
+                            let (tx, rx) = std::sync::mpsc::channel();
+                            let agents = endpoints.len();
+                            let cc = checker_config_for(&analysis_config);
+                            let monitor = std::thread::spawn(move || live_monitor(rx, agents, cc));
+                            let res = run_probe_with_live(&pc, Some(tx));
+                            match monitor.join() {
+                                Ok(analysis) => {
+                                    let total: usize =
+                                        AnomalyKind::ALL.iter().map(|k| analysis.count(*k)).sum();
+                                    eprintln!(
+                                        "  instance {i}: live analysis finished: {total} \
+                                         anomaly observation(s)"
+                                    );
+                                }
+                                Err(_) => eprintln!("  instance {i}: live monitor panicked"),
+                            }
+                            res.map_err(|e| CliError(format!("probe: {e}")))?
+                        } else {
+                            run_probe(&pc).map_err(|e| CliError(format!("probe: {e}")))?
+                        };
                         if let Some(j) = &journal_file {
                             if let Err(e) = j.append_completed(&cell, i, inst_seed, &r) {
                                 eprintln!("journal: append failed for {cell} instance {i}: {e}");
@@ -1275,6 +1405,112 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 let _ = writeln!(out, "metrics written to {path}");
             }
         }
+        Command::Dispatch {
+            service,
+            kind,
+            tests,
+            seed,
+            addr,
+            lease_secs,
+            ready_file,
+            journal_out,
+            resume,
+        } => {
+            let mut config =
+                conprobe_harness::CampaignConfig::paper(service, kind, tests).with_seed(seed);
+            config.inject_panic = injected_panics();
+            let (journal_file, recovery) = open_journal(&journal_out, &resume)?;
+            let journal_file =
+                journal_file.ok_or(CliError("dispatch requires a journal".into()))?;
+            let cell = journal::cell_id(service, kind);
+            let listen: std::net::SocketAddr = match &addr {
+                Some(a) => a.parse().map_err(|e| CliError(format!("--addr '{a}': {e}")))?,
+                None => std::net::SocketAddr::from(([127, 0, 0, 1], 0)),
+            };
+            let dcfg = DispatchConfig {
+                config,
+                cell: cell.clone(),
+                addr: listen,
+                lease_timeout: Duration::from_secs(lease_secs),
+            };
+            // Same stderr gauge as `campaign` (stdout carries the report,
+            // and must stay byte-comparable to a single-process run).
+            let started = std::time::Instant::now();
+            let progress = move |done: usize, total: usize| {
+                let rate = done as f64 / started.elapsed().as_secs_f64().max(1e-9);
+                eprint!("\r  {done}/{total} tests ({rate:.1} tests/sec)");
+                if done == total {
+                    eprintln!();
+                }
+            };
+            let mut on_ready = |bound: std::net::SocketAddr| {
+                eprintln!("dispatching {cell} × {tests} on {bound}");
+                if let Some(path) = &ready_file {
+                    match crate::fsio::write_atomic(path, format!("dispatch={bound}\n")) {
+                        Ok(()) => eprintln!("address written to {path}"),
+                        Err(e) => eprintln!("write {path}: {e}"),
+                    }
+                }
+            };
+            let (result, stats) = run_dispatch(
+                &dcfg,
+                journal_file,
+                recovery.as_ref(),
+                &mut on_ready,
+                Some(&progress),
+            )
+            .map_err(|e| CliError(format!("dispatch: {e}")))?;
+            if result.resumed > 0 {
+                eprintln!("  {} instance(s) spliced from the journal", result.resumed);
+            }
+            eprintln!(
+                "  {} worker connection(s), {} lease(s) re-issued",
+                stats.connections, stats.reissued
+            );
+            let _ = writeln!(
+                out,
+                "{service} {kind} × {tests}: {}/{} completed, {} reads, {} writes",
+                result.completed(),
+                tests,
+                result.total_reads(),
+                result.total_writes()
+            );
+            report_crashed(&mut out, &result.crashed);
+            for kind in AnomalyKind::ALL {
+                let p = stats::prevalence(&result.results, kind);
+                if p > 0.0 {
+                    let _ = writeln!(out, "  {kind:<22} {p:>5.1}% of tests");
+                }
+            }
+        }
+        Command::Worker { service, kind, tests, seed, addr, server_file, worker_id } => {
+            let mut config =
+                conprobe_harness::CampaignConfig::paper(service, kind, tests).with_seed(seed);
+            config.inject_panic = injected_panics();
+            let target = resolve_dispatch_addr(&addr, &server_file)?;
+            let wcfg = WorkerConfig {
+                addr: target,
+                config,
+                cell: journal::cell_id(service, kind),
+                worker_id,
+                // More patient than the probe default: a worker may dial
+                // before its coordinator binds, and campaigns outlive the
+                // occasional dropped connection.
+                reconnect: ReconnectPolicy {
+                    attempts: 10,
+                    base_delay: Duration::from_millis(50),
+                    max_delay: Duration::from_secs(2),
+                    seed: seed ^ u64::from(worker_id),
+                },
+            };
+            let report =
+                run_worker(&wcfg).map_err(|e| CliError(format!("worker {worker_id}: {e}")))?;
+            let _ = writeln!(
+                out,
+                "worker {worker_id}: {} completed, {} crashed, {} reconnect(s)",
+                report.completed, report.crashed, report.reconnects
+            );
+        }
         Command::Load {
             addr,
             server_file,
@@ -1306,19 +1542,26 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             };
             let metrics = MetricsRegistry::new();
             let report = run_load(&config, &metrics).map_err(|e| CliError(format!("load: {e}")))?;
+            // A saturated percentile fell in the histogram's open-ended
+            // overflow bucket: the printed bound is a floor, not a
+            // measurement, and is marked as such.
+            let sat = |saturated: bool| if saturated { "+ (saturated)" } else { "" };
             let _ = writeln!(
                 out,
                 "load {target}: {} ops in {:.1}s over {connections} connection(s) \
                  x {pipeline} in-flight ({:.0} ops/sec); \
-                 p50 {:.2} ms, p99 {:.2} ms, p999 {:.2} ms; \
+                 p50 {:.2} ms{}, p99 {:.2} ms{}, p999 {:.2} ms{}; \
                  {} error(s) ({} ordering, {} decode; \
                  {} connection(s) affected, worst {})",
                 report.ops,
                 report.elapsed_secs,
                 report.ops_per_sec,
                 report.p50_nanos as f64 / 1e6,
+                sat(report.p50_saturated),
                 report.p99_nanos as f64 / 1e6,
+                sat(report.p99_saturated),
                 report.p999_nanos as f64 / 1e6,
+                sat(report.p999_saturated),
                 report.errors,
                 report.ordering_errors,
                 report.decode_errors,
@@ -1357,6 +1600,91 @@ fn resolve_endpoints(
         return Err(CliError(format!("{path} lists no endpoints")));
     }
     Ok(endpoints)
+}
+
+/// Drains a probe's live tap (`probe --live`): a k-way merge of the
+/// per-agent event streams on `(invoke, response)` — each agent's own
+/// stream already arrives invoke-ordered — reconstructs the trace order
+/// `TestTrace::new` sorts into, and feeds a [`StreamingAnalyzer`] for a
+/// running stderr readout. An event is released only once every
+/// still-active agent has one queued (or is done), so no later-arriving
+/// earlier event can violate the analyzer's watermark. Returns the
+/// finished analysis: same events, same order as the batch pass, so the
+/// two agree exactly.
+fn live_monitor(
+    rx: std::sync::mpsc::Receiver<LiveEvent>,
+    agents: usize,
+    config: CheckerConfig<PostId>,
+) -> conprobe_core::TestAnalysis<PostId> {
+    let mut analyzer = StreamingAnalyzer::new(&config);
+    let mut queues: Vec<std::collections::VecDeque<conprobe_core::trace::OpRecord<PostId>>> =
+        (0..agents).map(|_| std::collections::VecDeque::new()).collect();
+    let mut done = vec![false; agents];
+    let mut last = [0usize; 6];
+    for event in rx {
+        match event {
+            LiveEvent::Op(op) => {
+                let a = op.agent.0 as usize;
+                if a < agents {
+                    queues[a].push_back(op);
+                }
+            }
+            LiveEvent::Done(a) => {
+                if (a as usize) < agents {
+                    done[a as usize] = true;
+                }
+            }
+        }
+        while !queues.iter().zip(&done).any(|(q, d)| q.is_empty() && !d) {
+            // Ties across agents resolve lowest-agent-first in both this
+            // `min_by_key` and the batch path's stable sort.
+            let Some(next) = queues
+                .iter()
+                .enumerate()
+                .filter_map(|(i, q)| q.front().map(|f| (i, (f.invoke, f.response))))
+                .min_by_key(|&(_, key)| key)
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            let op = queues[next].pop_front().expect("front checked above");
+            analyzer.push_event(&op);
+            let counts = analyzer.live_counts();
+            if counts != last {
+                last = counts;
+                eprintln!(
+                    "  live: {} op(s) in; ryw {} mw {} mr {} wfr {} cd {} od {}",
+                    analyzer.events_pushed(),
+                    counts[0],
+                    counts[1],
+                    counts[2],
+                    counts[3],
+                    counts[4],
+                    counts[5],
+                );
+            }
+        }
+    }
+    analyzer.finish()
+}
+
+/// Resolves the dispatch coordinator's address from `--addr` or a
+/// `dispatch --ready-file` (a single `dispatch=host:port` line).
+fn resolve_dispatch_addr(
+    addr: &Option<String>,
+    server_file: &Option<String>,
+) -> Result<std::net::SocketAddr, CliError> {
+    if let Some(a) = addr {
+        return a.parse().map_err(|e| CliError(format!("--addr '{a}': {e}")));
+    }
+    let path = server_file.as_ref().ok_or(CliError("no coordinator address given".into()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| CliError(format!("read {path}: {e}")))?;
+    for line in text.lines() {
+        if let Some(a) = line.trim().strip_prefix("dispatch=") {
+            return a.parse().map_err(|e| CliError(format!("{path}: dispatch address '{a}': {e}")));
+        }
+    }
+    Err(CliError(format!("{path} has no dispatch= line")))
 }
 
 /// Reads the `shards=N` line a `serve --ready-file` records, if the
@@ -1669,9 +1997,12 @@ mod tests {
         }
         crate::fsio::write_atomic(&ready, &listing).unwrap();
 
+        // `--live` on the first run: the streaming readout must not
+        // perturb stdout (the resumed run below has no tap and must
+        // still compare byte-identical).
         let cmdline = format!(
             "probe --service blogger --test 2 --seed 21 --server-file {} --read-ms 10 \
-             --reads 8 --journal {}",
+             --reads 8 --live --journal {}",
             ready.display(),
             journal_path.display()
         );
@@ -1702,6 +2033,87 @@ mod tests {
 
         server.request_stop();
         server.join();
+        let _ = std::fs::remove_file(&ready);
+        let _ = std::fs::remove_file(&journal_path);
+    }
+
+    #[test]
+    fn parses_dispatch_and_worker_commands() {
+        assert!(parse(&args("dispatch --service blogger")).is_err(), "dispatch needs a journal");
+        assert!(parse(&args("worker --service blogger")).is_err(), "worker needs an address");
+        let cmd = parse(&args(
+            "dispatch --service blogger --test 2 --tests 6 --seed 5 --journal j.jsonl \
+             --lease-secs 7 --ready-file r.txt",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Dispatch {
+                service: ServiceKind::Blogger,
+                kind: TestKind::Test2,
+                tests: 6,
+                seed: 5,
+                addr: None,
+                lease_secs: 7,
+                ready_file: Some("r.txt".into()),
+                journal_out: Some("j.jsonl".into()),
+                resume: None,
+            }
+        );
+        let cmd = parse(&args(
+            "worker --service blogger --test 2 --tests 6 --seed 5 --server-file r.txt \
+             --worker-id 3",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Worker {
+                service: ServiceKind::Blogger,
+                kind: TestKind::Test2,
+                tests: 6,
+                seed: 5,
+                addr: None,
+                server_file: Some("r.txt".into()),
+                worker_id: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn dispatch_cli_matches_campaign_output_byte_for_byte() {
+        let dir = std::env::temp_dir().join("conprobe-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tag = std::process::id();
+        let ready = dir.join(format!("dispatch-ready-{tag}.txt"));
+        let journal_path = dir.join(format!("dispatch-journal-{tag}.jsonl"));
+        let _ = std::fs::remove_file(&ready);
+        let _ = std::fs::remove_file(&journal_path);
+
+        let flags = "--service blogger --test 2 --tests 3 --seed 11";
+        let dispatch_cmd = parse(&args(&format!(
+            "dispatch {flags} --journal {} --ready-file {}",
+            journal_path.display(),
+            ready.display()
+        )))
+        .unwrap();
+        let coordinator = std::thread::spawn(move || execute(dispatch_cmd));
+
+        // The ready-file is the coordinator's address handoff.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !ready.exists() {
+            assert!(std::time::Instant::now() < deadline, "coordinator never bound");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let worker_out = execute(
+            parse(&args(&format!("worker {flags} --server-file {}", ready.display()))).unwrap(),
+        )
+        .unwrap();
+        assert!(worker_out.contains("3 completed, 0 crashed"), "{worker_out}");
+
+        let dispatched = coordinator.join().unwrap().unwrap();
+        let local = execute(parse(&args(&format!("campaign {flags}"))).unwrap()).unwrap();
+        assert_eq!(dispatched, local, "dispatched cell diverged from the local campaign");
+
         let _ = std::fs::remove_file(&ready);
         let _ = std::fs::remove_file(&journal_path);
     }

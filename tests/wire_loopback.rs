@@ -17,7 +17,8 @@ use conprobe::services::live::StaleWindow;
 use conprobe::services::ServiceKind;
 use conprobe::wire::frame::{decode, Frame};
 use conprobe::wire::{
-    run_load, run_probe, LoadConfig, ProbeConfig, ServeConfig, WireClient, WireServer,
+    run_load, run_probe, run_probe_with_live, LiveEvent, LoadConfig, ProbeConfig, ServeConfig,
+    WireClient, WireServer,
 };
 use conprobe_obs::MetricsRegistry;
 use std::io::{Read, Write};
@@ -66,6 +67,70 @@ fn seeded_stale_window_is_detected_by_the_unmodified_checkers() {
     // plus its full read quota.
     assert_eq!(result.writes_total, 2);
     assert!(result.reads_per_agent.iter().all(|&r| r >= config.reads_target));
+}
+
+/// The live tap sees every operation the merged trace contains, in an
+/// order a per-agent merge can reconstruct: replaying the tapped events
+/// through the streaming analyzer yields *exactly* the analysis the
+/// batch pass computes — including the stale window's injected
+/// anomalies — and the tap does not perturb the measurement itself.
+#[test]
+fn live_tap_replays_into_the_exact_batch_analysis() {
+    let server = WireServer::start(&ServeConfig {
+        stale_window: Some(StaleWindow { replica: 0, lag_nanos: 3_000_000_000 }),
+        ..ServeConfig::loopback(ServiceKind::Blogger, 11)
+    })
+    .expect("bind");
+    let config = ProbeConfig::loopback(
+        ServiceKind::Blogger,
+        TestKind::Test2,
+        probe_endpoints(&server, 2),
+        11,
+    );
+    let (tx, rx) = std::sync::mpsc::channel();
+    let result = run_probe_with_live(&config, Some(tx)).expect("probe");
+    server.request_stop();
+    server.join();
+
+    // The channel is unbounded, so draining after the run sees the
+    // complete feed; all senders are gone, so iteration terminates.
+    let mut per_agent: Vec<Vec<conprobe::core::trace::OpRecord<conprobe::store::PostId>>> =
+        vec![Vec::new(), Vec::new()];
+    let mut dones = 0u32;
+    for event in rx {
+        match event {
+            LiveEvent::Op(op) => per_agent[op.agent.0 as usize].push(op),
+            LiveEvent::Done(_) => dones += 1,
+        }
+    }
+    assert_eq!(dones, 2, "one Done per agent");
+    for ops in &per_agent {
+        assert!(
+            ops.windows(2).all(|w| w[0].invoke <= w[1].invoke),
+            "each agent's stream arrives invoke-ordered"
+        );
+    }
+
+    // Concatenate agent-by-agent and stable-sort — precisely what
+    // `TestTrace::new` does to the merged record logs.
+    let mut ops: Vec<_> = per_agent.concat();
+    ops.sort_by_key(|o| (o.invoke, o.response));
+    assert_eq!(ops.len(), result.trace.len(), "the tap saw every merged operation");
+
+    let mut analysis_config = TestConfig::paper(ServiceKind::Blogger, TestKind::Test2);
+    analysis_config.agent_regions = config.endpoints.iter().map(|(r, _)| *r).collect();
+    let mut analyzer = conprobe::core::StreamingAnalyzer::new(
+        &conprobe::harness::runner::checker_config_for(&analysis_config),
+    );
+    for op in &ops {
+        analyzer.push_event(op);
+    }
+    let streamed = analyzer.finish();
+    assert_eq!(
+        streamed.observations, result.analysis.observations,
+        "streamed replay of the tap equals the batch analysis"
+    );
+    assert!(streamed.has(AnomalyKind::ReadYourWrites), "the stale window still surfaces");
 }
 
 /// A clean single-replica service probed over loopback analyzes clean,
