@@ -737,6 +737,14 @@ pub fn cell_id(service: ServiceKind, kind: crate::proto::TestKind) -> String {
     format!("{}/{kind}", service_token(service))
 }
 
+/// Cell identifier for a live-path chaos sweep (`chaos --wire`): its own
+/// namespace, so an interposer-arm journal never splices into (or out
+/// of) a simulated sweep's `chaos/…` cell or a plain probe's `wire/…`
+/// cell with the same service and test kind.
+pub fn wire_chaos_cell_id(service: ServiceKind, kind: crate::proto::TestKind) -> String {
+    format!("chaos-wire/{}", cell_id(service, kind))
+}
+
 // ---------------------------------------------------------------------------
 // Inspection
 // ---------------------------------------------------------------------------
@@ -786,6 +794,18 @@ mod tests {
         let n = SERIAL.fetch_add(1, Ordering::Relaxed);
         std::env::temp_dir()
             .join(format!("conprobe-journal-{tag}-{}-{n}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn cell_namespaces_never_collide_across_run_modes() {
+        // A journal shared by sim sweeps, live probes and wire chaos
+        // sweeps keys each mode's records into a distinct cell.
+        let sim = cell_id(ServiceKind::Blogger, TestKind::Test2);
+        let wire_chaos = wire_chaos_cell_id(ServiceKind::Blogger, TestKind::Test2);
+        assert_eq!(sim, "blogger/test2");
+        assert_eq!(wire_chaos, "chaos-wire/blogger/test2");
+        assert_ne!(format!("chaos/{sim}"), wire_chaos);
+        assert_ne!(format!("wire/{sim}"), wire_chaos);
     }
 
     #[test]

@@ -35,8 +35,10 @@
 //! in *every* shard, so keyed and un-keyed probes see the same anomaly.
 
 use crate::catalog::{topology, ServiceKind};
+use crate::quorum::{stored_post_from_payload, stored_post_to_payload};
 use crate::replica_node::{DelayDist, WriteMode};
 use crate::shard::ShardRing;
+use conprobe_json::frame;
 use conprobe_sim::net::Region;
 use conprobe_sim::{SimRng, SimTime};
 use conprobe_store::{AffinityMap, OrderingPolicy, Post, PostId, ReplicaCore, StoredPost};
@@ -74,6 +76,27 @@ impl LiveConfig {
     pub fn single(kind: ServiceKind, seed: u64) -> Self {
         LiveConfig { kind, seed, stale_window: None, shards: 1 }
     }
+}
+
+/// What a crashed replica's rejoin accomplished (see
+/// [`LiveCluster::recover_replica`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejoinReport {
+    /// Verified `cpj1` catch-up frames applied across all peers/shards.
+    pub frames: u64,
+    /// Peers that contributed a verified stream.
+    pub peers: u64,
+    /// Highest peer commit watermark (applied-post count) heard.
+    pub watermark: u64,
+    /// Posts newly applied at the recovering replica.
+    pub applied: u64,
+    /// Running FNV-1a over every verified frame line, in stream order —
+    /// the byte-determinism witness (same seed, same hash).
+    pub stream_hash: u64,
+    /// True for a weak-arm cold rejoin: no state transfer ran, the
+    /// replica restarts empty and reconverges via replication pushes
+    /// and anti-entropy.
+    pub cold: bool,
 }
 
 /// One replication push in flight between replicas of one shard, due at
@@ -443,6 +466,118 @@ impl LiveCluster {
         }
     }
 
+    /// Whether writes are majority-synchronous (the quorum control arm).
+    /// Decides the rejoin flavour: state transfer vs cold restart.
+    pub fn sync_writes(&self) -> bool {
+        self.sync_writes
+    }
+
+    /// Crashes replica `idx`: its in-memory state is wiped in every
+    /// shard (a process crash loses everything), along with any stale
+    /// read caches, and replication pushes still in flight *to* it are
+    /// dropped — they were addressed to a process that no longer
+    /// exists. For weak arms that lost window is a real divergence
+    /// source (healed only where anti-entropy runs); the quorum arm
+    /// repairs it wholesale at rejoin.
+    pub fn crash_replica(&self, idx: usize) {
+        for shard in &self.shards {
+            {
+                let mut rep = shard.replicas[idx].lock().unwrap();
+                rep.cores.clear();
+                if let Some(caches) = &mut rep.stale_cache {
+                    caches.clear();
+                }
+            }
+            shard.in_flight.lock().unwrap().retain(|p| p.target != idx);
+        }
+    }
+
+    /// Rejoins a crashed replica. On the quorum arm this is the `cpj1`
+    /// state-transfer protocol (the same checksummed record format the
+    /// sim's [`QuorumReplica`](crate::quorum::QuorumReplica) streams):
+    /// every peer serializes its per-key snapshots as framed records —
+    /// keys in sorted order, shards and peers in index order, so the
+    /// stream and its running hash are byte-deterministic — and the
+    /// recovering replica verifies each whole stream (frame checksum +
+    /// payload parse) before applying a single post from it. Weak arms
+    /// rejoin cold: an empty replica reconverges through the ordinary
+    /// replication and anti-entropy machinery, leaving exactly the
+    /// anomaly window the probes are built to observe.
+    pub fn recover_replica(&self, idx: usize) -> RejoinReport {
+        if !self.sync_writes {
+            return RejoinReport {
+                frames: 0,
+                peers: 0,
+                watermark: 0,
+                applied: 0,
+                stream_hash: frame::FNV64_BASIS,
+                cold: true,
+            };
+        }
+        let mut report = RejoinReport {
+            frames: 0,
+            peers: 0,
+            watermark: 0,
+            applied: 0,
+            stream_hash: frame::FNV64_BASIS,
+            cold: false,
+        };
+        for peer in 0..self.replica_count() {
+            if peer == idx {
+                continue;
+            }
+            let mut peer_total = 0u64;
+            for shard in &self.shards {
+                // Pairwise index-ordered locking — the anti-entropy
+                // discipline — so rejoin can overlap live quorum writes
+                // without deadlock.
+                let (lo, hi) = if idx < peer { (idx, peer) } else { (peer, idx) };
+                let mut first = shard.replicas[lo].lock().unwrap();
+                let mut second = shard.replicas[hi].lock().unwrap();
+                let (me, other) = if lo == idx {
+                    (&mut *first, &mut *second)
+                } else {
+                    (&mut *second, &mut *first)
+                };
+                let mut keys: Vec<u32> = other.cores.keys().copied().collect();
+                keys.sort_unstable();
+                for key in keys {
+                    let posts = other.cores.get(&key).expect("key just listed").snapshot_posts();
+                    peer_total += posts.len() as u64;
+                    // Encode, then verify the whole framed stream before
+                    // applying anything from it — a corrupt frame
+                    // discards the stream, it never half-applies.
+                    let lines: Vec<String> = posts
+                        .iter()
+                        .map(|p| frame::encode_record(&stored_post_to_payload(p)))
+                        .collect();
+                    let verified: Option<Vec<StoredPost>> = lines
+                        .iter()
+                        .map(|line| {
+                            frame::decode_record(line)
+                                .ok()
+                                .and_then(|payload| stored_post_from_payload(payload).ok())
+                        })
+                        .collect();
+                    let Some(decoded) = verified else { continue };
+                    for line in &lines {
+                        report.stream_hash = frame::fnv64_fold(report.stream_hash, line.as_bytes());
+                    }
+                    report.frames += lines.len() as u64;
+                    let core = me.core_mut(key);
+                    for post in decoded {
+                        if core.apply_replicated(post) {
+                            report.applied += 1;
+                        }
+                    }
+                }
+            }
+            report.peers += 1;
+            report.watermark = report.watermark.max(peer_total);
+        }
+        report
+    }
+
     /// Total posts held by replica `idx`, summed across shards and keys
     /// (diagnostics).
     pub fn replica_len(&self, idx: usize) -> usize {
@@ -641,6 +776,85 @@ mod tests {
                 "key {key}: expired cache must reveal it"
             );
         }
+    }
+
+    #[test]
+    fn quorum_crash_then_rejoin_transfers_full_state() {
+        let c = sharded(ServiceKind::Quorum, 4);
+        assert!(c.sync_writes());
+        for key in 0..12u32 {
+            c.write_keyed(Region::Oregon, key, post(key, 1), MS + u64::from(key));
+        }
+        let before = c.replica_len(1);
+        assert!(before >= 12, "sync writes land everywhere");
+        c.crash_replica(1);
+        assert_eq!(c.replica_len(1), 0, "a crash loses all in-memory state");
+        let report = c.recover_replica(1);
+        assert!(!report.cold);
+        assert_eq!(report.peers, 2, "both surviving peers streamed");
+        assert_eq!(report.applied as usize, before, "state transfer restores every post");
+        assert_eq!(report.watermark, 12, "watermark is the peer's applied count");
+        assert!(report.frames >= 24, "each peer streams all 12 posts");
+        assert_eq!(c.replica_len(1), before);
+        // Post-rejoin reads at the recovered front door are complete.
+        for key in 0..12u32 {
+            assert!(
+                !c.read_keyed(Region::Tokyo, key, SEC).is_empty(),
+                "key {key} visible after rejoin"
+            );
+        }
+    }
+
+    #[test]
+    fn quorum_rejoin_stream_is_deterministic() {
+        let run = || {
+            let c = sharded(ServiceKind::Quorum, 4);
+            for key in 0..8u32 {
+                c.write_keyed(Region::Oregon, key, post(key, 1), MS + u64::from(key));
+            }
+            c.crash_replica(2);
+            c.recover_replica(2)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "same writes, same framed stream, same hash");
+        assert_ne!(a.stream_hash, frame::FNV64_BASIS, "a non-empty stream moved the hash");
+    }
+
+    #[test]
+    fn weak_arm_rejoins_cold_and_reconverges() {
+        let c = cluster(ServiceKind::GooglePlus, None);
+        let id = c.write(Region::Oregon, post(1, 1), MS);
+        // Let replication land everywhere first.
+        c.tick(60 * SEC);
+        assert!(c.replica_len(1) > 0);
+        c.crash_replica(1);
+        let report = c.recover_replica(1);
+        assert!(report.cold, "weak arms get no state transfer");
+        assert_eq!(report.frames, 0);
+        assert_eq!(c.replica_len(1), 0, "cold rejoin restarts empty");
+        // Anti-entropy (Google+ runs it every 6 s) heals the divergence.
+        assert!(c.read(Region::Tokyo, 120 * SEC).contains(&id));
+    }
+
+    #[test]
+    fn crash_drops_in_flight_pushes_to_the_dead_replica() {
+        let c = cluster(ServiceKind::FacebookFeed, None);
+        let id = c.write(Region::Oregon, post(0, 1), MS);
+        // Crash Tokyo (replica 1) while the push is still in flight,
+        // then rejoin cold: the push died with the process, so until the
+        // next anti-entropy round (2 s on FB Feed) the rejoined replica
+        // diverges — exactly the window a live kill/rejoin opens on a
+        // weak service.
+        c.crash_replica(1);
+        assert!(c.recover_replica(1).cold);
+        assert!(
+            !c.read(Region::Tokyo, 1_900 * MS).contains(&id),
+            "the lost push must not redeliver before anti-entropy"
+        );
+        // The origin replica still serves it, and anti-entropy
+        // eventually heals the divergence.
+        assert!(c.read(Region::Oregon, 1_900 * MS).contains(&id));
+        assert!(c.read(Region::Tokyo, 120 * SEC).contains(&id));
     }
 
     #[test]

@@ -54,8 +54,10 @@ const CATCHUP_RETRY: SimDuration = SimDuration::from_millis(500);
 
 /// Serializes one stored post as the compact-JSON payload of a catch-up
 /// frame. Field order is fixed, so the encoding — and therefore the
-/// framed stream and its hash — is byte-deterministic.
-fn stored_post_to_payload(p: &StoredPost) -> String {
+/// framed stream and its hash — is byte-deterministic. Shared with the
+/// live cluster's wire-side rejoin path (`live.rs`), which speaks the
+/// same `cpj1` record format.
+pub(crate) fn stored_post_to_payload(p: &StoredPost) -> String {
     JsonValue::Object(vec![
         ("author".into(), p.post.id.author.0.to_json()),
         ("seq".into(), p.post.id.seq.to_json()),
@@ -68,7 +70,7 @@ fn stored_post_to_payload(p: &StoredPost) -> String {
 }
 
 /// Parses a catch-up frame payload back into a stored post.
-fn stored_post_from_payload(payload: &str) -> Result<StoredPost, JsonError> {
+pub(crate) fn stored_post_from_payload(payload: &str) -> Result<StoredPost, JsonError> {
     let doc = conprobe_json::parse(payload)?;
     let id = PostId::new(
         conprobe_store::AuthorId(u32::from_json(member(&doc, "author")?)?),

@@ -20,6 +20,7 @@
 
 use crate::net::Region;
 use crate::time::{SimDuration, SimTime};
+use conprobe_json::{member, FromJson, JsonError, JsonValue};
 use std::fmt;
 
 /// Which links a network-level fault applies to.
@@ -366,12 +367,154 @@ impl FaultPlan {
         out
     }
 
+    /// Compiles a Cloud-Uptime-Archive-style outage-shape document into
+    /// a fault plan, so chaos sweeps replay *measured* production
+    /// incidents instead of synthetic flaps.
+    ///
+    /// Expected shape — a `seed` plus a list of timed incidents:
+    ///
+    /// ```json
+    /// {"seed": 42, "incidents": [
+    ///   {"kind": "partition", "start_ms": 4000, "duration_ms": 2000,
+    ///    "regions": ["tokyo", "ireland"], "flaps": 2, "gap_ms": 1500},
+    ///   {"kind": "loss",      "start_ms": 4000, "duration_ms": 9000,
+    ///    "severity": 0.25},
+    ///   {"kind": "degraded",  "start_ms": 5000, "duration_ms": 8000,
+    ///    "regions": ["tokyo"], "extra_ms": 80, "jitter_ms": 20},
+    ///   {"kind": "outage",    "start_ms": 7000, "duration_ms": 4000,
+    ///    "target": 1},
+    ///   {"kind": "brownout",  "start_ms": 8000, "duration_ms": 5000,
+    ///    "target": 0, "mode": "throttle"}
+    /// ]}
+    /// ```
+    ///
+    /// `regions` scopes network incidents: absent or empty means every
+    /// link, one region means every link touching it, two means the
+    /// link between them. `severity` is the loss probability; an
+    /// `outage` is one crash/restart cycle of the target replica; a
+    /// `brownout` mode is `"throttle"` or `{"delay_ms": N}`. `flaps`
+    /// (default 1) repeats a partition with `gap_ms` of healthy time
+    /// between outages.
+    pub fn from_outage_trace(json: &str) -> Result<FaultPlan, JsonError> {
+        let doc = conprobe_json::parse(json)?;
+        let seed = u64::from_json(member(&doc, "seed")?)?;
+        let mut plan = FaultPlan::new(seed);
+        let JsonValue::Array(incidents) = member(&doc, "incidents")? else {
+            return Err(JsonError::schema("`incidents` must be an array"));
+        };
+        for incident in incidents {
+            let kind = String::from_json(member(incident, "kind")?)?;
+            let at = SimTime::from_nanos(
+                u64::from_json(member(incident, "start_ms")?)?.saturating_mul(1_000_000),
+            );
+            let duration =
+                SimDuration::from_millis(u64::from_json(member(incident, "duration_ms")?)?);
+            match kind.as_str() {
+                "partition" => {
+                    let flaps = match incident.get("flaps") {
+                        Some(v) => u32::from_json(v)?,
+                        None => 1,
+                    };
+                    let up_for = SimDuration::from_millis(match incident.get("gap_ms") {
+                        Some(v) => u64::from_json(v)?,
+                        None => 0,
+                    });
+                    plan.push(FaultEvent::LinkFlap {
+                        scope: incident_scope(incident)?,
+                        at,
+                        down_for: duration,
+                        up_for,
+                        flaps,
+                    });
+                }
+                "loss" => {
+                    let loss = f64::from_json(member(incident, "severity")?)?;
+                    if !(0.0..=1.0).contains(&loss) {
+                        return Err(JsonError::schema("`severity` must be a probability"));
+                    }
+                    plan.push(FaultEvent::LossBurst {
+                        scope: incident_scope(incident)?,
+                        at,
+                        duration,
+                        loss,
+                    });
+                }
+                "degraded" => {
+                    let extra = u64::from_json(member(incident, "extra_ms")?)?;
+                    let jitter = match incident.get("jitter_ms") {
+                        Some(v) => u64::from_json(v)?,
+                        None => 0,
+                    };
+                    plan.push(FaultEvent::DegradedLink {
+                        scope: incident_scope(incident)?,
+                        at,
+                        duration,
+                        extra_base: SimDuration::from_millis(extra),
+                        extra_jitter: SimDuration::from_millis(jitter),
+                    });
+                }
+                "outage" => {
+                    plan.push(FaultEvent::CrashCycle {
+                        target: usize::from_json(member(incident, "target")?)?,
+                        at,
+                        down_for: duration,
+                        up_for: SimDuration::ZERO,
+                        cycles: 1,
+                    });
+                }
+                "brownout" => {
+                    let mode = match member(incident, "mode")? {
+                        JsonValue::Str(s) if s == "throttle" => BrownoutMode::ThrottleStorm,
+                        v => BrownoutMode::Delay(SimDuration::from_millis(u64::from_json(
+                            member(v, "delay_ms")?,
+                        )?)),
+                    };
+                    plan.push(FaultEvent::Brownout {
+                        target: usize::from_json(member(incident, "target")?)?,
+                        at,
+                        duration,
+                        mode,
+                    });
+                }
+                other => return Err(JsonError::schema(format!("unknown incident kind `{other}`"))),
+            }
+        }
+        Ok(plan)
+    }
+
     /// The instant after which the plan schedules nothing (the latest
     /// window end / last action time); [`SimTime::ZERO`] for an empty plan.
     pub fn end_time(&self) -> SimTime {
         let net = self.network_effects().into_iter().map(|e| e.end);
         let svc = self.service_actions().into_iter().map(|a| a.at);
         net.chain(svc).max().unwrap_or(SimTime::ZERO)
+    }
+}
+
+/// Parses an incident's optional `regions` list into a [`LinkScope`].
+fn incident_scope(incident: &JsonValue) -> Result<LinkScope, JsonError> {
+    let Some(regions) = incident.get("regions") else {
+        return Ok(LinkScope::All);
+    };
+    let JsonValue::Array(items) = regions else {
+        return Err(JsonError::schema("`regions` must be an array"));
+    };
+    let mut parsed = Vec::with_capacity(items.len());
+    for item in items {
+        let name = String::from_json(item)?;
+        parsed.push(match name.to_ascii_lowercase().as_str() {
+            "oregon" => Region::Oregon,
+            "tokyo" => Region::Tokyo,
+            "ireland" => Region::Ireland,
+            "virginia" => Region::Virginia,
+            other => return Err(JsonError::schema(format!("unknown region `{other}`"))),
+        });
+    }
+    match parsed.as_slice() {
+        [] => Ok(LinkScope::All),
+        [one] => Ok(LinkScope::Touching(*one)),
+        [a, b] => Ok(LinkScope::Between(*a, *b)),
+        _ => Err(JsonError::schema("`regions` takes at most two entries")),
     }
 }
 
@@ -503,5 +646,97 @@ mod tests {
             duration: SimDuration::from_secs(1),
             loss: 1.5,
         });
+    }
+
+    #[test]
+    fn outage_trace_compiles_to_a_plan() {
+        let trace = r#"{"seed": 42, "incidents": [
+            {"kind": "partition", "start_ms": 4000, "duration_ms": 2000,
+             "regions": ["tokyo", "ireland"], "flaps": 2, "gap_ms": 1500},
+            {"kind": "loss", "start_ms": 4000, "duration_ms": 9000, "severity": 0.25},
+            {"kind": "degraded", "start_ms": 5000, "duration_ms": 8000,
+             "regions": ["Tokyo"], "extra_ms": 80, "jitter_ms": 20},
+            {"kind": "outage", "start_ms": 7000, "duration_ms": 4000, "target": 1},
+            {"kind": "brownout", "start_ms": 8000, "duration_ms": 5000,
+             "target": 0, "mode": "throttle"},
+            {"kind": "brownout", "start_ms": 9000, "duration_ms": 1000,
+             "target": 0, "mode": {"delay_ms": 40}}
+        ]}"#;
+        let plan = FaultPlan::from_outage_trace(trace).expect("well-formed trace");
+        assert_eq!(plan.seed(), 42);
+
+        let effects = plan.network_effects();
+        // Two flap windows + one loss window + one degraded window.
+        assert_eq!(effects.len(), 4);
+        assert_eq!(effects[0].kind, EffectKind::Block);
+        assert_eq!(effects[0].scope, LinkScope::Between(Region::Tokyo, Region::Ireland));
+        assert_eq!(effects[0].start, SimTime::from_secs(4));
+        assert_eq!(effects[0].end, SimTime::from_secs(6));
+        assert_eq!(effects[1].start, SimTime::from_millis(7500), "gap_ms spaces the flaps");
+        assert_eq!(effects[2].kind, EffectKind::Loss(0.25));
+        assert_eq!(effects[2].scope, LinkScope::All);
+        assert_eq!(
+            effects[3].kind,
+            EffectKind::ExtraDelay {
+                base: SimDuration::from_millis(80),
+                jitter_mean: SimDuration::from_millis(20),
+            }
+        );
+        assert_eq!(effects[3].scope, LinkScope::Touching(Region::Tokyo));
+
+        let actions = plan.service_actions();
+        // Crash + recover + two brownout start/end pairs.
+        assert_eq!(actions.len(), 6);
+        let crash = actions.iter().find(|a| a.action == ServiceActionKind::Crash).unwrap();
+        assert_eq!((crash.target, crash.at), (1, SimTime::from_secs(7)));
+        let recover = actions.iter().find(|a| a.action == ServiceActionKind::Recover).unwrap();
+        assert_eq!(recover.at, SimTime::from_secs(11));
+        assert!(actions.iter().any(|a| {
+            a.action
+                == ServiceActionKind::BrownoutStart(BrownoutMode::Delay(SimDuration::from_millis(
+                    40,
+                )))
+        }));
+    }
+
+    #[test]
+    fn outage_trace_rejects_malformed_documents() {
+        let cases = [
+            ("[1, 2]", "missing member `seed`"),
+            (r#"{"seed": 1, "incidents": 3}"#, "must be an array"),
+            (
+                r#"{"seed": 1, "incidents": [{"kind": "meteor", "start_ms": 0, "duration_ms": 1}]}"#,
+                "unknown incident kind",
+            ),
+            (
+                r#"{"seed": 1, "incidents": [{"kind": "loss", "start_ms": 0,
+                   "duration_ms": 1, "severity": 1.5}]}"#,
+                "probability",
+            ),
+            (
+                r#"{"seed": 1, "incidents": [{"kind": "partition", "start_ms": 0,
+                   "duration_ms": 1, "regions": ["atlantis"]}]}"#,
+                "unknown region",
+            ),
+            (
+                r#"{"seed": 1, "incidents": [{"kind": "partition", "start_ms": 0,
+                   "duration_ms": 1, "regions": ["oregon", "tokyo", "ireland"]}]}"#,
+                "at most two",
+            ),
+        ];
+        for (doc, needle) in cases {
+            let err = FaultPlan::from_outage_trace(doc).expect_err(doc);
+            assert!(err.to_string().contains(needle), "{doc}: {err}");
+        }
+    }
+
+    #[test]
+    fn outage_trace_empty_regions_means_every_link() {
+        let trace = r#"{"seed": 7, "incidents": [
+            {"kind": "loss", "start_ms": 0, "duration_ms": 1000,
+             "severity": 0.1, "regions": []}
+        ]}"#;
+        let plan = FaultPlan::from_outage_trace(trace).expect("well-formed trace");
+        assert_eq!(plan.network_effects()[0].scope, LinkScope::All);
     }
 }

@@ -99,6 +99,11 @@ pub struct WireClient {
     key: Option<u32>,
     /// Request-id stream for keyed frames.
     next_req: u32,
+    /// Set when the server shed this client with a `busy` frame: the
+    /// minimum wait the next reconnect must respect.
+    busy_hint_millis: Option<u32>,
+    /// How many times the server shed this client with a `busy` frame.
+    busy_sheds: u64,
 }
 
 impl WireClient {
@@ -130,8 +135,22 @@ impl WireClient {
             last_server_clock_nanos: 0,
             key: None,
             next_req: 0,
+            busy_hint_millis: None,
+            busy_sheds: 0,
         };
-        client.handshake()?;
+        if let Err(first) = client.handshake() {
+            // A load-shedding server answers the dial itself with `busy`
+            // and hangs up; that is retryable under the same policy as a
+            // mid-operation drop.
+            let mut last_err = first;
+            for attempt in 0..client.policy.attempts {
+                match client.reconnect(attempt) {
+                    Ok(()) => return Ok(client),
+                    Err(e) => last_err = e,
+                }
+            }
+            return Err(last_err);
+        }
         Ok(client)
     }
 
@@ -152,6 +171,11 @@ impl WireClient {
     /// How many times this client re-dialed a dropped connection.
     pub fn reconnects(&self) -> u64 {
         self.reconnects
+    }
+
+    /// How many times the server shed this client with a `busy` frame.
+    pub fn busy_sheds(&self) -> u64 {
+        self.busy_sheds
     }
 
     /// Switches keyed mode: `Some(key)` makes every subsequent
@@ -175,6 +199,17 @@ impl WireClient {
         let mut scratch = [0u8; 64 * 1024];
         loop {
             match decode(&self.buf).map_err(|e| EndpointError(format!("wire decode: {e}")))? {
+                Some((Frame::Busy { retry_after_millis }, consumed)) => {
+                    // Load shed: the server refuses this connection and
+                    // closes it. Surface a retryable error; the next
+                    // reconnect honours the server's wait hint.
+                    self.buf.drain(..consumed);
+                    self.busy_hint_millis = Some(retry_after_millis);
+                    self.busy_sheds += 1;
+                    return Err(EndpointError(format!(
+                        "server busy: retry after {retry_after_millis}ms"
+                    )));
+                }
                 Some((frame, consumed)) => {
                     self.buf.drain(..consumed);
                     return Ok(frame);
@@ -207,12 +242,17 @@ impl WireClient {
         }
     }
 
-    /// Tears down the dead stream, waits out the backoff for `attempt`,
+    /// Tears down the dead stream, waits out the backoff for `attempt`
+    /// (at least the server's `busy` wait hint, if one was received),
     /// re-dials and re-handshakes. Any half-received bytes are dropped
     /// with the old connection — the new stream starts on a frame
     /// boundary by construction.
     fn reconnect(&mut self, attempt: u32) -> Result<(), EndpointError> {
-        std::thread::sleep(self.policy.backoff(attempt, &mut self.jitter));
+        let mut delay = self.policy.backoff(attempt, &mut self.jitter);
+        if let Some(hint) = self.busy_hint_millis.take() {
+            delay = delay.max(Duration::from_millis(u64::from(hint)));
+        }
+        std::thread::sleep(delay);
         self.stream = Self::dial(self.addr, self.timeout)?;
         self.buf.clear();
         self.reconnects += 1;
@@ -496,6 +536,83 @@ mod tests {
         let _ = server.join(); // listener closed: further dials are refused
         let err = client.call(ClientOp::Read).expect_err("budget must run out");
         assert!(err.0.contains("giving up after 4 reconnect attempt(s)"), "{}", err.0);
+    }
+
+    /// Sheds the first `sheds` dials with a `busy` frame (5 ms hint) and
+    /// an immediate close — the server's load-shedding behaviour — then
+    /// serves one connection normally for `frames` frames.
+    fn shedding_listener(sheds: u32, frames: u64) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || {
+            for _ in 0..sheds {
+                let (mut conn, _) = listener.accept().expect("accept to shed");
+                let _ = conn.write_all(&Frame::Busy { retry_after_millis: 5 }.encode());
+                let _ = conn.flush();
+            }
+            let (mut conn, _) = listener.accept().expect("accept to serve");
+            let mut buf = Vec::new();
+            let mut scratch = [0u8; 4096];
+            let mut served = 0u64;
+            while served < frames {
+                match decode(&buf) {
+                    Ok(Some((frame, consumed))) => {
+                        buf.drain(..consumed);
+                        served += 1;
+                        let reply = match frame {
+                            Frame::Hello { .. } => Frame::HelloAck {
+                                proto: PROTO_VERSION,
+                                server_clock_nanos: 1,
+                                service: "blogger".into(),
+                            },
+                            Frame::Read => Frame::ReadOk { ids: Vec::new() },
+                            _ => return,
+                        };
+                        if conn.write_all(&reply.encode()).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(None) => match conn.read(&mut scratch) {
+                        Ok(0) | Err(_) => return,
+                        Ok(n) => buf.extend_from_slice(&scratch[..n]),
+                    },
+                    Err(_) => return,
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn busy_shed_is_retryable_and_honours_the_wait_hint() {
+        let (addr, server) = shedding_listener(2, 2);
+        let started = std::time::Instant::now();
+        let mut client =
+            WireClient::connect_with_policy(addr, Duration::from_secs(2), quick_policy())
+                .expect("the policy rides out the busy sheds");
+        assert_eq!(client.busy_sheds(), 2, "both sheds were observed");
+        assert!(
+            started.elapsed() >= Duration::from_millis(10),
+            "each reconnect waited at least the 5ms busy hint: {:?}",
+            started.elapsed()
+        );
+        match client.call(ClientOp::Read).expect("post-shed op") {
+            OpResult::ReadOk(ids) => assert!(ids.is_empty()),
+            other => panic!("expected ReadOk, got {other:?}"),
+        }
+        drop(client);
+        server.join().expect("listener thread");
+    }
+
+    #[test]
+    fn busy_shed_without_a_policy_is_fatal() {
+        let (addr, server) = shedding_listener(1, 0);
+        let err = match WireClient::connect(addr, Duration::from_secs(2)) {
+            Ok(_) => panic!("no retry budget, the shed is the caller's problem"),
+            Err(e) => e,
+        };
+        assert!(err.0.contains("server busy: retry after 5ms"), "{}", err.0);
+        drop(server); // the serving accept never happens; don't join
     }
 
     #[test]

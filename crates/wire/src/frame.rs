@@ -34,8 +34,11 @@ pub const MAGIC: [u8; 4] = *b"cpw1";
 /// response, plus a keyspace key the server maps onto a shard. Version 3
 /// added the campaign dispatch family (`work_req`/`work_grant`/
 /// `work_fin`/`result_push`/`result_ack`) used between a `dispatch`
-/// coordinator and its `worker` peers.
-pub const PROTO_VERSION: u16 = 3;
+/// coordinator and its `worker` peers. Version 4 added the `busy`
+/// load-shed frame: an overloaded server answers (or greets) a client
+/// with `busy` instead of queueing it, and the client retries with
+/// backoff.
+pub const PROTO_VERSION: u16 = 4;
 
 /// Frame header size: magic + kind + len + checksum.
 pub const HEADER_LEN: usize = 4 + 1 + 4 + 8;
@@ -73,7 +76,8 @@ const KIND_WORK_GRANT: u8 = 14;
 const KIND_WORK_FIN: u8 = 15;
 const KIND_RESULT_PUSH: u8 = 16;
 const KIND_RESULT_ACK: u8 = 17;
-const KIND_MAX: u8 = KIND_RESULT_ACK;
+pub(crate) const KIND_BUSY: u8 = 18;
+const KIND_MAX: u8 = KIND_BUSY;
 
 /// One `cpw1` message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -192,6 +196,15 @@ pub enum Frame {
     /// Dispatcher → worker (v2): the pushed record is durably journaled;
     /// the worker may request the next unit.
     ResultAck,
+    /// Server → client (v4): load shed. The server is over its accept
+    /// backlog or connection budget and refuses to queue this client;
+    /// the connection is closed right after the frame flushes. Clients
+    /// treat it as retryable and back off at least `retry_after_millis`
+    /// before reconnecting.
+    Busy {
+        /// Server's backoff hint, milliseconds.
+        retry_after_millis: u32,
+    },
 }
 
 /// A rejected byte stream. One variant per way a frame can be malformed;
@@ -257,6 +270,7 @@ impl Frame {
             Frame::WorkFin => KIND_WORK_FIN,
             Frame::ResultPush { .. } => KIND_RESULT_PUSH,
             Frame::ResultAck => KIND_RESULT_ACK,
+            Frame::Busy { .. } => KIND_BUSY,
         }
     }
 
@@ -327,6 +341,7 @@ impl Frame {
             }
             Frame::WorkFin | Frame::ResultAck => Vec::new(),
             Frame::ResultPush { record } => record.as_bytes().to_vec(),
+            Frame::Busy { retry_after_millis } => retry_after_millis.to_le_bytes().to_vec(),
         }
     }
 
@@ -436,6 +451,7 @@ fn check_length(kind: u8, len: u32) -> Result<(), WireError> {
         KIND_WORK_GRANT => len >= 12,
         KIND_WORK_FIN | KIND_RESULT_ACK => len == 0,
         KIND_RESULT_PUSH => true,
+        KIND_BUSY => len == 4,
         other => return Err(WireError::UnknownKind(other)),
     };
     if ok {
@@ -594,6 +610,7 @@ pub fn parse_payload(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
             record: std::str::from_utf8(payload).map_err(|_| WireError::BadUtf8)?.to_owned(),
         },
         KIND_RESULT_ACK => Frame::ResultAck,
+        KIND_BUSY => Frame::Busy { retry_after_millis: le_u32(payload) },
         _ => unreachable!("check_length vetted the kind"),
     };
     Ok(frame)
@@ -657,6 +674,8 @@ mod tests {
             Frame::ResultPush { record: "{\"cell\":\"blogger/test1\",\"instance\":5}".into() },
             Frame::ResultPush { record: String::new() },
             Frame::ResultAck,
+            Frame::Busy { retry_after_millis: 250 },
+            Frame::Busy { retry_after_millis: u32::MAX },
         ]
     }
 
@@ -756,12 +775,13 @@ mod tests {
             Incremental { buf: Vec::new(), frames: Vec::new() }
         }
 
-        fn feed(&mut self, chunk: &[u8]) {
+        fn feed(&mut self, chunk: &[u8]) -> Result<(), WireError> {
             self.buf.extend_from_slice(chunk);
-            while let Some((frame, consumed)) = decode(&self.buf).expect("valid stream") {
+            while let Some((frame, consumed)) = decode(&self.buf)? {
                 self.frames.push(frame);
                 self.buf.drain(..consumed);
             }
+            Ok(())
         }
     }
 
@@ -776,8 +796,8 @@ mod tests {
         }
         for cut in 0..=stream.len() {
             let mut inc = Incremental::new();
-            inc.feed(&stream[..cut]);
-            inc.feed(&stream[cut..]);
+            inc.feed(&stream[..cut]).expect("clean prefix");
+            inc.feed(&stream[cut..]).expect("clean suffix");
             assert!(inc.buf.is_empty(), "cut at {cut} left {} bytes undecoded", inc.buf.len());
             assert_eq!(inc.frames, corpus(), "cut at {cut} misparsed the stream");
         }
@@ -791,9 +811,35 @@ mod tests {
         }
         let mut inc = Incremental::new();
         for &b in &stream {
-            inc.feed(&[b]);
+            inc.feed(&[b]).expect("clean stream");
         }
         assert_eq!(inc.frames, corpus());
+    }
+
+    #[test]
+    fn corrupt_chunk_surfaces_a_typed_error_and_keeps_decoded_frames() {
+        // The accumulator idiom under chaos: a mid-stream byte flip must
+        // come back as a `WireError` from `feed`, never a panic, and the
+        // frames decoded before the corruption stay available.
+        let clean: Vec<u8> = corpus().iter().take(3).flat_map(|f| f.encode()).collect();
+        let mut inc = Incremental::new();
+        inc.feed(&clean).expect("clean stream");
+        let decoded_before = inc.frames.len();
+        assert_eq!(decoded_before, 3);
+        let mut corrupt = Frame::Read.encode();
+        corrupt[0] ^= 0xff; // magic destroyed
+        assert_eq!(inc.feed(&corrupt), Err(WireError::BadMagic));
+        assert_eq!(inc.frames.len(), decoded_before, "pre-corruption frames survive");
+        // A checksum-corrupted frame is also a typed error, at any flip
+        // offset inside the payload.
+        let victim =
+            Frame::Write { author: 1, seq: 2, client_ts_nanos: 3, content: "xyz".into() }.encode();
+        for pos in HEADER_LEN..victim.len() {
+            let mut mutated = victim.clone();
+            mutated[pos] ^= 0x55;
+            let mut inc = Incremental::new();
+            assert_eq!(inc.feed(&mutated), Err(WireError::BadChecksum), "flip at {pos}");
+        }
     }
 
     #[test]
@@ -826,12 +872,12 @@ mod tests {
                 while off_a < stream_a.len() || off_b < stream_b.len() {
                     if off_a < stream_a.len() {
                         let end = (off_a + chunk_a).min(stream_a.len());
-                        inc_a.feed(&stream_a[off_a..end]);
+                        inc_a.feed(&stream_a[off_a..end]).expect("clean stream a");
                         off_a = end;
                     }
                     if off_b < stream_b.len() {
                         let end = (off_b + chunk_b).min(stream_b.len());
-                        inc_b.feed(&stream_b[off_b..end]);
+                        inc_b.feed(&stream_b[off_b..end]).expect("clean stream b");
                         off_b = end;
                     }
                 }

@@ -28,7 +28,13 @@
 //! * [`dispatch`] — `conprobe dispatch` / `conprobe worker`: a campaign
 //!   cell farmed out to worker processes over leased work units, with
 //!   results streamed back as journal records and merged byte-identically
-//!   to a single-process run.
+//!   to a single-process run;
+//! * [`chaos`] — `conprobe chaosd`: a deterministic fault-injecting TCP
+//!   interposer that executes a [`FaultPlan`](conprobe_sim::FaultPlan)
+//!   timeline against real connections — per-link partitions, loss,
+//!   latency spikes, resets, seeded byte corruption, slow-loris trickle
+//!   — plus the fault driver that crashes/rejoins live replicas and
+//!   toggles brownouts on a running [`WireServer`].
 //!
 //! The server hosts a consistent-hash-sharded keyspace
 //! ([`conprobe_services::shard`]): legacy frames address key 0, the
@@ -40,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod dispatch;
 pub mod frame;
@@ -48,10 +55,13 @@ pub mod pipeline;
 pub mod probe;
 pub mod server;
 
+pub use chaos::{
+    drive_service_actions, ChaosConfig, ChaosLedger, ChaosProxy, ChaosTarget, InjectProfile,
+};
 pub use client::{ReconnectPolicy, WireClient};
 pub use dispatch::{run_dispatch, run_worker, DispatchConfig, DispatchStats, WorkerConfig};
 pub use frame::{decode, Frame, WireError, MAX_PAYLOAD, PROTO_VERSION};
 pub use load::{run_load, wire_latency_bounds_nanos, LoadConfig, LoadReport};
 pub use pipeline::{PipeConn, PipeFault};
 pub use probe::{run_probe, run_probe_with_live, LiveEvent, ProbeConfig};
-pub use server::{ServeConfig, WireServer};
+pub use server::{ServeConfig, ServeError, WireServer};

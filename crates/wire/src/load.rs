@@ -125,6 +125,10 @@ pub struct LoadReport {
     pub ordering_errors: u64,
     /// Responses that failed frame validation.
     pub decode_errors: u64,
+    /// Connections the server shed with a `busy` frame. Backpressure,
+    /// not failure: counted apart from `errors`, and the slot reconnects
+    /// only after the server's wait hint.
+    pub busy_sheds: u64,
     /// Connections that suffered at least one error.
     pub conns_with_errors: u64,
     /// Errors on the single worst connection.
@@ -166,6 +170,7 @@ struct Tally {
     errors: u64,
     ordering: u64,
     decode: u64,
+    busy: u64,
     conns_with_errors: u64,
     max_conn_errors: u64,
 }
@@ -173,7 +178,7 @@ struct Tally {
 /// Runs the load loop and records per-op latencies into `metrics`
 /// (`wire.load.latency_nanos` histogram, `wire.load.ops` /
 /// `wire.load.errors` / `wire.load.ordering_errors` /
-/// `wire.load.decode_errors` counters).
+/// `wire.load.decode_errors` / `wire.load.busy_sheds` counters).
 pub fn run_load(
     config: &LoadConfig,
     metrics: &MetricsRegistry,
@@ -183,6 +188,7 @@ pub fn run_load(
     let errors = metrics.counter("wire.load.errors");
     let ordering_ctr = metrics.counter("wire.load.ordering_errors");
     let decode_ctr = metrics.counter("wire.load.decode_errors");
+    let busy_ctr = metrics.counter("wire.load.busy_sheds");
 
     // Seed a fixed read corpus, spread round-robin over the key set so
     // every key's read payload is stable over the run.
@@ -222,6 +228,7 @@ pub fn run_load(
         let errors = errors.clone();
         let ordering_ctr = ordering_ctr.clone();
         let decode_ctr = decode_ctr.clone();
+        let busy_ctr = busy_ctr.clone();
         handles.push(std::thread::spawn(move || {
             sweep_connections(SweeperArgs {
                 config: &config,
@@ -236,6 +243,7 @@ pub fn run_load(
                 errors: &errors,
                 ordering_ctr: &ordering_ctr,
                 decode_ctr: &decode_ctr,
+                busy_ctr: &busy_ctr,
             })
         }));
     }
@@ -246,6 +254,7 @@ pub fn run_load(
             tally.errors += t.errors;
             tally.ordering += t.ordering;
             tally.decode += t.decode;
+            tally.busy += t.busy;
             tally.conns_with_errors += t.conns_with_errors;
             tally.max_conn_errors = tally.max_conn_errors.max(t.max_conn_errors);
         }
@@ -268,6 +277,7 @@ pub fn run_load(
         p999_saturated,
         ordering_errors: tally.ordering,
         decode_errors: tally.decode,
+        busy_sheds: tally.busy,
         conns_with_errors: tally.conns_with_errors,
         max_conn_errors: tally.max_conn_errors,
     })
@@ -286,6 +296,7 @@ struct SweeperArgs<'a> {
     errors: &'a conprobe_obs::Counter,
     ordering_ctr: &'a conprobe_obs::Counter,
     decode_ctr: &'a conprobe_obs::Counter,
+    busy_ctr: &'a conprobe_obs::Counter,
 }
 
 /// One sweeper thread: owns `conns` pipelined connections and runs the
@@ -296,6 +307,10 @@ fn sweep_connections(args: SweeperArgs<'_>) -> Tally {
     // Errors per connection *slot*, surviving reconnects — the
     // per-connection counter the report surfaces.
     let mut slot_errors: Vec<u64> = vec![0; args.conns];
+    // Earliest instant each empty slot may re-dial: a busy shed backs
+    // off by the server's wait hint; plain connect failures retry on a
+    // short fixed delay instead of hammering a refusing listener.
+    let mut retry_at: Vec<Instant> = vec![Instant::now(); args.conns];
     let mut key_cursor: u32 = 0;
     for slot in slot_errors.iter_mut() {
         match PipeConn::connect(args.config.addr, args.config.timeout) {
@@ -316,6 +331,24 @@ fn sweep_connections(args: SweeperArgs<'_>) -> Tally {
         let mut progressed = false;
         let mut all_drained = true;
         for (slot_idx, slot) in conns.iter_mut().enumerate() {
+            if slot.is_none() {
+                // An empty slot (shed, faulted, or never connected)
+                // re-dials once its backoff expires — previously a slot
+                // that failed its initial connect was dead for the run.
+                if !issuing || now < retry_at[slot_idx] {
+                    continue;
+                }
+                match PipeConn::connect(args.config.addr, args.config.timeout) {
+                    Ok(conn) => {
+                        *slot = Some(conn);
+                        progressed = true;
+                    }
+                    Err(_) => {
+                        retry_at[slot_idx] = now + Duration::from_millis(20);
+                        continue;
+                    }
+                }
+            }
             let Some(conn) = slot else { continue };
             if issuing {
                 while conn.inflight() < args.depth {
@@ -342,27 +375,34 @@ fn sweep_connections(args: SweeperArgs<'_>) -> Tally {
                 conn.take_latencies();
             }
             if let Some(fault) = result.fault {
-                tally.errors += 1;
-                args.errors.inc();
-                match fault {
-                    PipeFault::Ordering => {
-                        tally.ordering += 1;
-                        args.ordering_ctr.inc();
-                    }
-                    PipeFault::Decode => {
-                        tally.decode += 1;
-                        args.decode_ctr.inc();
-                    }
-                    PipeFault::Io | PipeFault::Stall => {}
-                }
-                slot_errors[slot_idx] += 1;
-                // Tear down and reconnect; a lossy server (drop_prob)
-                // leaks in-flight slots otherwise.
-                *slot = if issuing {
-                    PipeConn::connect(args.config.addr, args.config.timeout).ok()
+                let backoff = if fault == PipeFault::Busy {
+                    // Backpressure, not failure: honour the server's
+                    // wait hint before re-dialing.
+                    tally.busy += 1;
+                    args.busy_ctr.inc();
+                    Duration::from_millis(u64::from(result.busy_wait_millis.unwrap_or(50)))
                 } else {
-                    None
+                    tally.errors += 1;
+                    args.errors.inc();
+                    match fault {
+                        PipeFault::Ordering => {
+                            tally.ordering += 1;
+                            args.ordering_ctr.inc();
+                        }
+                        PipeFault::Decode => {
+                            tally.decode += 1;
+                            args.decode_ctr.inc();
+                        }
+                        PipeFault::Io | PipeFault::Stall | PipeFault::Busy => {}
+                    }
+                    slot_errors[slot_idx] += 1;
+                    Duration::ZERO
                 };
+                // Tear down; the empty-slot path re-dials after the
+                // backoff (a lossy server leaks in-flight slots
+                // otherwise).
+                *slot = None;
+                retry_at[slot_idx] = now + backoff;
                 progressed = true;
                 continue;
             }

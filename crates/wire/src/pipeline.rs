@@ -16,8 +16,8 @@
 //! away — and tears the connection down.
 
 use crate::frame::{
-    append_read_q, decode_raw, parse_payload, Frame, HEADER_LEN, KIND_READ_Q_OK, KIND_WRITE_Q_ACK,
-    PROTO_VERSION,
+    append_read_q, decode_raw, parse_payload, Frame, HEADER_LEN, KIND_BUSY, KIND_READ_Q_OK,
+    KIND_WRITE_Q_ACK, PROTO_VERSION,
 };
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -42,6 +42,10 @@ pub enum PipeFault {
     Ordering,
     /// The oldest in-flight request outlived the stall timeout.
     Stall,
+    /// The server shed this connection with a typed `busy` frame: not an
+    /// error, a backpressure signal. The generator reconnects after the
+    /// server's wait hint instead of immediately.
+    Busy,
 }
 
 /// What one sweep of [`PipeConn::pump`] accomplished.
@@ -55,6 +59,9 @@ pub struct PumpResult {
     pub progressed: bool,
     /// Set when the connection died this sweep.
     pub fault: Option<PipeFault>,
+    /// On a [`PipeFault::Busy`] fault: the server's minimum-wait hint,
+    /// milliseconds, from the shed frame's payload.
+    pub busy_wait_millis: Option<u32>,
 }
 
 /// A non-blocking pipelined connection issuing keyed reads.
@@ -174,6 +181,16 @@ impl PipeConn {
             let payload_end = self.inpos + raw.consumed;
             self.inpos += raw.consumed;
             let payload = &self.inbuf[payload_at..payload_end];
+            if raw.kind == KIND_BUSY {
+                // Load shed (possible both at the handshake and, in
+                // principle, mid-stream): a backpressure signal, not an
+                // error — `errors` stays untouched; the caller backs off
+                // for the hinted wait and reconnects.
+                result.busy_wait_millis =
+                    payload.get(..4).map(|b| u32::from_le_bytes(b.try_into().unwrap()));
+                result.fault = Some(PipeFault::Busy);
+                return result;
+            }
             if self.awaiting_hello {
                 match parse_payload(raw.kind, payload) {
                     Ok(Frame::HelloAck { proto, .. }) if proto == PROTO_VERSION => {
@@ -361,6 +378,30 @@ mod tests {
         let mut completed = 0;
         let fault = pump_until(&mut conn, &mut completed, 1, Duration::from_secs(5));
         assert_eq!(fault, Some(PipeFault::Decode));
+    }
+
+    #[test]
+    fn a_busy_shed_is_a_typed_backpressure_fault_not_an_error() {
+        let (mut conn, mut server) = pair();
+        // The server sheds at the handshake: busy frame, then hang up —
+        // exactly what the bounded accept backlog does.
+        server.write_all(&Frame::Busy { retry_after_millis: 75 }.encode()).unwrap();
+        drop(server);
+        let mut scratch = [0u8; 4096];
+        let begin = Instant::now();
+        loop {
+            let r = conn.pump(&mut scratch, Duration::from_secs(5));
+            match r.fault {
+                Some(PipeFault::Busy) => {
+                    assert_eq!(r.busy_wait_millis, Some(75), "the wait hint rides along");
+                    break;
+                }
+                Some(other) => panic!("expected the busy fault, got {other:?}"),
+                None => assert!(begin.elapsed() < Duration::from_secs(5), "busy never surfaced"),
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(conn.errors, 0, "backpressure is not an error");
     }
 
     #[test]

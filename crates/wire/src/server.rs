@@ -45,10 +45,10 @@ use crate::frame::{
 };
 use crate::load::wire_latency_bounds_nanos;
 use conprobe_obs::MetricsRegistry;
-use conprobe_services::live::{LiveCluster, LiveConfig, StaleWindow};
+use conprobe_services::live::{LiveCluster, LiveConfig, RejoinReport, StaleWindow};
 use conprobe_services::ServiceKind;
 use conprobe_sim::net::{LatencyMatrix, Region};
-use conprobe_sim::{LocalTime, SimRng};
+use conprobe_sim::{BrownoutMode, LocalTime, SimRng};
 use conprobe_store::{Post, PostId};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -86,6 +86,15 @@ pub struct ServeConfig {
     /// to ≥ 1). One is right for one core; more only helps when the
     /// host actually has spare cores.
     pub event_loops: usize,
+    /// Bounded accept backlog: above this many live connections the
+    /// server sheds new clients with a typed `busy` frame instead of
+    /// queueing them. `0` disables shedding (unbounded).
+    pub max_connections: usize,
+    /// Slow-client eviction: a connection whose response bytes stay
+    /// unflushable for longer than this budget is dropped so one
+    /// trickle-reading client cannot pin worker output buffers.
+    /// `Duration::ZERO` disables eviction.
+    pub stall_budget: Duration,
 }
 
 impl ServeConfig {
@@ -102,8 +111,45 @@ impl ServeConfig {
             stop_file: None,
             shards: 16,
             event_loops: 1,
+            max_connections: 0,
+            stall_budget: Duration::ZERO,
         }
     }
+}
+
+/// Typed serve-path errors: a misconfigured probe or chaos target fails
+/// with a readable message instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// No listener is bound for this region.
+    UnknownRegion(Region),
+    /// Replica index out of range for the hosted topology.
+    UnknownReplica(usize),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownRegion(r) => write!(f, "no listener for region {r}"),
+            ServeError::UnknownReplica(i) => write!(f, "no replica with index {i}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Backoff hint carried by shed `busy` frames.
+const BUSY_RETRY_MILLIS: u32 = 50;
+
+/// Per-replica brownout switches the fault driver toggles at runtime.
+#[derive(Default)]
+struct BrownoutState {
+    /// Throttle storm: the front door answers legacy reads/writes with
+    /// `Frame::Throttled` while set.
+    throttle: AtomicBool,
+    /// Added service delay in nanoseconds (folded into the WAN-shaping
+    /// release schedule); `0` means no delay brownout.
+    delay_nanos: AtomicU64,
 }
 
 struct Shared {
@@ -120,6 +166,20 @@ struct Shared {
     /// One inbox per event-loop worker; accept threads drop new
     /// connections in round-robin and workers adopt them each sweep.
     inboxes: Vec<Mutex<Vec<Conn>>>,
+    /// Live (accepted, not yet dropped) connections — the shed gate.
+    live_conns: AtomicU64,
+    /// Accept cap behind the `busy` shed; `0` = unbounded.
+    max_connections: usize,
+    /// Slow-client eviction budget; `ZERO` = disabled.
+    stall_budget: Duration,
+    /// Per-replica crash flags. A down replica's listener stays bound
+    /// (rebinding the port would race TIME_WAIT) but refuses clients:
+    /// new accepts are dropped immediately and live connections evicted,
+    /// so the client sees a clean EOF and its reconnect policy backs
+    /// off until the replica rejoins.
+    replica_down: Vec<AtomicBool>,
+    /// Per-replica brownout switches.
+    brownouts: Vec<BrownoutState>,
 }
 
 impl Shared {
@@ -143,13 +203,15 @@ impl WireServer {
     /// Binds the per-region listeners and starts serving.
     pub fn start(config: &ServeConfig) -> std::io::Result<WireServer> {
         let event_loops = config.event_loops.max(1);
+        let cluster = LiveCluster::new(&LiveConfig {
+            kind: config.kind,
+            seed: config.seed,
+            stale_window: config.stale_window,
+            shards: config.shards,
+        });
+        let replicas = cluster.replica_count();
         let shared = Arc::new(Shared {
-            cluster: LiveCluster::new(&LiveConfig {
-                kind: config.kind,
-                seed: config.seed,
-                stale_window: config.stale_window,
-                shards: config.shards,
-            }),
+            cluster,
             started: Instant::now(),
             stop: AtomicBool::new(false),
             metrics: MetricsRegistry::new(),
@@ -160,6 +222,11 @@ impl WireServer {
             service_token: conprobe_harness::journal::service_token(config.kind),
             conn_seq: AtomicU64::new(0),
             inboxes: (0..event_loops).map(|_| Mutex::new(Vec::new())).collect(),
+            live_conns: AtomicU64::new(0),
+            max_connections: config.max_connections,
+            stall_budget: config.stall_budget,
+            replica_down: (0..replicas).map(|_| AtomicBool::new(false)).collect(),
+            brownouts: (0..replicas).map(|_| BrownoutState::default()).collect(),
         });
         let mut addrs = Vec::new();
         let mut accepters = Vec::new();
@@ -215,12 +282,60 @@ impl WireServer {
     }
 
     /// The bound address serving clients of `region`.
-    pub fn addr_for(&self, region: Region) -> SocketAddr {
+    pub fn addr_for(&self, region: Region) -> Result<SocketAddr, ServeError> {
         self.addrs
             .iter()
             .find(|(r, _)| *r == region)
             .map(|(_, a)| *a)
-            .expect("no listener for region")
+            .ok_or(ServeError::UnknownRegion(region))
+    }
+
+    /// Crashes replica `idx` mid-run: its in-memory state is wiped and
+    /// its front door goes dark — new connections are refused and live
+    /// ones evicted — while the listener keeps the port reserved so the
+    /// later restart never races `TIME_WAIT` rebinding.
+    pub fn kill_replica(&self, idx: usize) -> Result<(), ServeError> {
+        let down = self.shared.replica_down.get(idx).ok_or(ServeError::UnknownReplica(idx))?;
+        down.store(true, Ordering::Release);
+        self.shared.cluster.crash_replica(idx);
+        self.shared.metrics.counter("wire.server.replica_kills").inc();
+        Ok(())
+    }
+
+    /// Restarts a crashed replica: a quorum-arm replica rejoins via
+    /// `cpj1` state transfer from its peers, a weak-arm replica rejoins
+    /// cold (replication and anti-entropy converge it); only then does
+    /// its front door reopen.
+    pub fn restart_replica(&self, idx: usize) -> Result<RejoinReport, ServeError> {
+        let down = self.shared.replica_down.get(idx).ok_or(ServeError::UnknownReplica(idx))?;
+        let report = self.shared.cluster.recover_replica(idx);
+        down.store(false, Ordering::Release);
+        self.shared.metrics.counter("wire.server.replica_restarts").inc();
+        Ok(report)
+    }
+
+    /// Sets (or with `None` clears) replica `idx`'s brownout. A
+    /// throttle storm makes the legacy front door answer reads/writes
+    /// with `Frame::Throttled`; a delay brownout adds fixed service
+    /// latency on every connection pinned to the replica.
+    pub fn set_brownout(&self, idx: usize, mode: Option<BrownoutMode>) -> Result<(), ServeError> {
+        let state = self.shared.brownouts.get(idx).ok_or(ServeError::UnknownReplica(idx))?;
+        match mode {
+            None => {
+                state.throttle.store(false, Ordering::Release);
+                state.delay_nanos.store(0, Ordering::Release);
+            }
+            Some(BrownoutMode::ThrottleStorm) => state.throttle.store(true, Ordering::Release),
+            Some(BrownoutMode::Delay(d)) => {
+                state.delay_nanos.store(d.as_nanos(), Ordering::Release)
+            }
+        }
+        Ok(())
+    }
+
+    /// Replica count of the hosted cluster (kill/restart index space).
+    pub fn replica_count(&self) -> usize {
+        self.shared.replica_down.len()
     }
 
     /// Keyspace shards in the hosted cluster.
@@ -262,30 +377,56 @@ impl WireServer {
 
 fn accept_loop(shared: Arc<Shared>, region: Region, listener: TcpListener) {
     let connections = shared.metrics.counter("wire.server.connections");
+    let busy_sheds = shared.metrics.counter("wire.server.busy_sheds");
+    let refused_down = shared.metrics.counter("wire.server.refused_down");
+    let replica_idx = shared.cluster.replica_for(region);
     loop {
         if shared.stop.load(Ordering::Acquire) {
             return; // closing the listener refuses further clients
         }
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((mut stream, _)) => {
+                // A crashed replica's front door is dark: accept and
+                // immediately drop, so the client sees EOF and its
+                // reconnect policy backs off until the rejoin.
+                if shared.replica_down[replica_idx].load(Ordering::Acquire) {
+                    refused_down.inc();
+                    continue;
+                }
+                // Bounded backlog: over the connection budget, shed the
+                // client with a typed `busy` frame (retryable, carries a
+                // backoff hint) instead of silently queueing it. The
+                // accepted stream is still blocking here, so the tiny
+                // frame flushes synchronously before the drop.
+                if shared.max_connections > 0
+                    && shared.live_conns.load(Ordering::Acquire) >= shared.max_connections as u64
+                {
+                    busy_sheds.inc();
+                    let mut shed = Vec::with_capacity(32);
+                    Frame::Busy { retry_after_millis: BUSY_RETRY_MILLIS }.encode_into(&mut shed);
+                    let _ = stream.write_all(&shed);
+                    let _ = stream.flush();
+                    continue;
+                }
                 connections.inc();
                 let _ = stream.set_nodelay(true);
                 if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
                 let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+                shared.live_conns.fetch_add(1, Ordering::AcqRel);
                 let conn = Conn {
                     stream,
                     region,
-                    replica_region: shared
-                        .cluster
-                        .replica_region(shared.cluster.replica_for(region)),
+                    replica_region: shared.cluster.replica_region(replica_idx),
+                    replica_idx,
                     inbuf: Vec::new(),
                     inpos: 0,
                     outbuf: Vec::new(),
                     outpos: 0,
                     rng: SimRng::new(shared.seed).split_indexed("wire.conn", conn_id),
                     release_at: None,
+                    stalled_since: None,
                 };
                 let inbox = &shared.inboxes[(conn_id as usize) % shared.inboxes.len()];
                 inbox.lock().unwrap().push(conn);
@@ -303,6 +444,9 @@ struct Conn {
     stream: TcpStream,
     region: Region,
     replica_region: Region,
+    /// Index of the replica this connection is pinned to (crash flags
+    /// and brownout switches key on it).
+    replica_idx: usize,
     /// Inbound bytes; `inpos..` is the unconsumed tail (consuming a
     /// frame advances `inpos` instead of memmoving the buffer).
     inbuf: Vec<u8>,
@@ -313,6 +457,9 @@ struct Conn {
     rng: SimRng,
     /// WAN shaping: the instant the next buffered request may be served.
     release_at: Option<Instant>,
+    /// When response bytes first failed to flush; cleared on a full
+    /// flush. Drives the slow-client stall budget.
+    stalled_since: Option<Instant>,
 }
 
 /// Soft cap on unserved inbound bytes per connection per sweep; frames
@@ -338,6 +485,8 @@ struct Counters {
     reads: conprobe_obs::Counter,
     stops: conprobe_obs::Counter,
     dropped: conprobe_obs::Counter,
+    slow_evictions: conprobe_obs::Counter,
+    throttled: conprobe_obs::Counter,
     op_nanos: conprobe_obs::Histogram,
 }
 
@@ -349,6 +498,8 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
         reads: shared.metrics.counter("wire.server.reads"),
         stops: shared.metrics.counter("wire.server.stops"),
         dropped: shared.metrics.counter("wire.server.dropped_responses"),
+        slow_evictions: shared.metrics.counter("wire.server.slow_evictions"),
+        throttled: shared.metrics.counter("wire.server.throttled"),
         op_nanos: shared.metrics.histogram("wire.server.op_nanos", &wire_latency_bounds_nanos()),
     };
     let mut conns: Vec<Conn> = Vec::new();
@@ -370,6 +521,7 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
                 }
                 Sweep::Idle => i += 1,
                 Sweep::Closed => {
+                    shared.live_conns.fetch_sub(1, Ordering::AcqRel);
                     conns.swap_remove(i);
                 }
             }
@@ -379,6 +531,7 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
             // push the remaining response bytes out synchronously so no
             // client ever observes a stream ending mid-frame.
             for conn in conns.drain(..) {
+                shared.live_conns.fetch_sub(1, Ordering::AcqRel);
                 drain_flush(conn);
             }
             return;
@@ -411,6 +564,12 @@ fn sweep_conn(
     scratch: &mut [u8],
     stopping: bool,
 ) -> Sweep {
+    // A freshly crashed replica evicts its live connections: clients see
+    // a clean close, retry, and hit the refuse-at-accept path until the
+    // rejoin.
+    if shared.replica_down[conn.replica_idx].load(Ordering::Acquire) {
+        return Sweep::Closed;
+    }
     let mut progressed = false;
     let mut eof = false;
     if !stopping {
@@ -443,15 +602,23 @@ fn sweep_conn(
             Err(_) => return Sweep::Closed, // corrupt stream: hang up
         };
         // Artificial WAN shaping: each request waits out a sampled
-        // agent↔replica delay before being served. The event loop keeps
-        // the request buffered and revisits on later sweeps instead of
-        // sleeping, so shaping one connection never stalls the others.
-        if shared.latency_scale > 0.0 {
+        // agent↔replica delay (plus any delay-brownout surcharge on the
+        // replica) before being served. The event loop keeps the request
+        // buffered and revisits on later sweeps instead of sleeping, so
+        // shaping one connection never stalls the others.
+        let brownout_nanos = shared.brownouts[conn.replica_idx].delay_nanos.load(Ordering::Acquire);
+        if shared.latency_scale > 0.0 || brownout_nanos > 0 {
             match conn.release_at {
                 None => {
-                    let wan =
-                        shared.matrix.sample_delay(conn.region, conn.replica_region, &mut conn.rng);
-                    let nanos = (wan.as_nanos() as f64 * shared.latency_scale) as u64;
+                    let mut nanos = brownout_nanos;
+                    if shared.latency_scale > 0.0 {
+                        let wan = shared.matrix.sample_delay(
+                            conn.region,
+                            conn.replica_region,
+                            &mut conn.rng,
+                        );
+                        nanos += (wan.as_nanos() as f64 * shared.latency_scale) as u64;
+                    }
                     conn.release_at = Some(Instant::now() + Duration::from_nanos(nanos));
                     break;
                 }
@@ -501,7 +668,7 @@ fn sweep_conn(
                     Ok(frame) => frame,
                     Err(_) => return Sweep::Closed,
                 };
-                match respond_legacy(shared, ctrs, conn.region, frame, now) {
+                match respond_legacy(shared, ctrs, conn, frame, now) {
                     Some(reply) => {
                         reply.encode_into(&mut conn.outbuf);
                         true
@@ -527,6 +694,24 @@ fn sweep_conn(
     match flush_outbuf(conn) {
         Ok(wrote) => progressed |= wrote,
         Err(()) => return Sweep::Closed,
+    }
+    // Slow-client stall budget: a connection whose response bytes sit
+    // unflushable past the budget (a trickle reader, or a peer that
+    // stopped reading entirely) is evicted rather than pinning worker
+    // buffers indefinitely.
+    if conn.outpos < conn.outbuf.len() {
+        if !shared.stall_budget.is_zero() {
+            match conn.stalled_since {
+                None => conn.stalled_since = Some(Instant::now()),
+                Some(since) if since.elapsed() > shared.stall_budget => {
+                    ctrs.slow_evictions.inc();
+                    return Sweep::Closed;
+                }
+                Some(_) => {}
+            }
+        }
+    } else {
+        conn.stalled_since = None;
     }
     if eof && conn.inpos == conn.inbuf.len() && conn.outpos == conn.outbuf.len() {
         return Sweep::Closed;
@@ -575,14 +760,19 @@ fn drain_flush(mut conn: Conn) {
 
 /// Computes the response for one legacy (un-keyed) request frame. `None`
 /// means the peer sent a server-role or out-of-protocol frame and the
-/// connection should be dropped.
+/// connection should be dropped. A throttle-storm brownout on the
+/// connection's replica answers reads and writes with
+/// [`Frame::Throttled`] — the legacy path only, mirroring the sim's
+/// front-door brownout (the keyed fast path stays unshaped).
 fn respond_legacy(
     shared: &Shared,
     ctrs: &Counters,
-    region: Region,
+    conn: &Conn,
     frame: Frame,
     now: u64,
 ) -> Option<Frame> {
+    let region = conn.region;
+    let throttling = shared.brownouts[conn.replica_idx].throttle.load(Ordering::Acquire);
     match frame {
         Frame::Hello { proto: _ } => {
             // The ack always carries our version; the client decides
@@ -596,6 +786,10 @@ fn respond_legacy(
         }
         Frame::Write { author, seq, client_ts_nanos, content } => {
             ctrs.writes.inc();
+            if throttling {
+                ctrs.throttled.inc();
+                return Some(Frame::Throttled);
+            }
             let id = PostId::new(conprobe_store::AuthorId(author), seq);
             let post = Post::new(id, content, LocalTime::from_nanos(client_ts_nanos));
             let acked = shared.cluster.write(region, post, now);
@@ -603,6 +797,10 @@ fn respond_legacy(
         }
         Frame::Read => {
             ctrs.reads.inc();
+            if throttling {
+                ctrs.throttled.inc();
+                return Some(Frame::Throttled);
+            }
             let ids = shared.cluster.read(region, now);
             Some(Frame::ReadOk { ids: ids.into_iter().map(PostId::as_u64).collect() })
         }
@@ -628,6 +826,7 @@ fn respond_legacy(
         | Frame::WorkGrant { .. }
         | Frame::WorkFin
         | Frame::ResultPush { .. }
-        | Frame::ResultAck => None,
+        | Frame::ResultAck
+        | Frame::Busy { .. } => None,
     }
 }

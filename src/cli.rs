@@ -10,7 +10,7 @@ use conprobe_core::{
 };
 use conprobe_harness::journal::{self, Journal, Recovery};
 use conprobe_harness::proto::{test1_trigger_pairs, TestKind};
-use conprobe_harness::runner::{checker_config_for, run_one_test, TestConfig};
+use conprobe_harness::runner::{checker_config_for, run_one_test, TestConfig, TestResult};
 use conprobe_harness::stats;
 use conprobe_json::{FromJson, ToJson};
 use conprobe_obs::{EventLog, MetricsRegistry, Severity};
@@ -22,7 +22,8 @@ use conprobe_sim::{
 };
 use conprobe_store::PostId;
 use conprobe_wire::{
-    run_dispatch, run_load, run_probe, run_probe_with_live, run_worker, DispatchConfig, LiveEvent,
+    drive_service_actions, run_dispatch, run_load, run_probe, run_probe_with_live, run_worker,
+    ChaosConfig, ChaosLedger, ChaosProxy, ChaosTarget, DispatchConfig, InjectProfile, LiveEvent,
     LoadConfig, ProbeConfig, ReconnectPolicy, ServeConfig, WireServer, WorkerConfig,
 };
 use std::fmt::Write as _;
@@ -85,6 +86,13 @@ pub enum Command {
         seed: u64,
         /// Highest intensity level to run (sweeps 0..=levels).
         levels: u32,
+        /// Run each level against a real loopback TCP arm — server,
+        /// chaos interposer, fault-driven replica crash/rejoin, live
+        /// probe — instead of the simulator.
+        wire: bool,
+        /// Replay a measured incident timeline (outage-trace JSON)
+        /// instead of the synthetic escalation.
+        outage_trace: Option<String>,
         /// Dump the metrics registry as JSON to this path.
         metrics_out: Option<String>,
         /// Journal every finished level to this path (fresh journal).
@@ -155,6 +163,50 @@ pub enum Command {
         shards: usize,
         /// Event-loop worker threads multiplexing the connections.
         event_loops: usize,
+        /// Bounded accept backlog: shed with a `busy` frame above this
+        /// many live connections (0 = unbounded).
+        max_conns: usize,
+        /// Slow-client eviction budget in milliseconds (0 = disabled).
+        stall_budget_ms: u64,
+        /// Drive the wire-timescale fault plan's crash/recover/brownout
+        /// timeline against the hosted replicas (0 = no faults).
+        fault_level: u32,
+        /// Seed for the fault plan (defaults to the serve seed).
+        fault_seed: Option<u64>,
+        /// Drive a measured incident timeline (outage-trace JSON)
+        /// instead of the synthetic escalation.
+        outage_trace: Option<String>,
+    },
+    /// Interpose deterministic chaos between live probes and a serve's
+    /// listeners: per-region proxies execute a fault-plan timeline plus
+    /// seeded byte-level injections against the real TCP streams.
+    Chaosd {
+        /// The upstream serve's ready-file (`region=host:port` lines).
+        server_file: String,
+        /// Seed for every injection stream.
+        seed: u64,
+        /// Wire-timescale fault-plan intensity (0 = transparent relay).
+        fault_level: u32,
+        /// Seed for the fault plan (defaults to `seed`).
+        fault_seed: Option<u64>,
+        /// Replay a measured incident timeline (outage-trace JSON)
+        /// instead of the synthetic escalation.
+        outage_trace: Option<String>,
+        /// Per-frame probability of a seeded single-bit corruption.
+        corrupt: f64,
+        /// Per-frame probability of a hard connection reset.
+        reset: f64,
+        /// Per-frame probability of slow-loris trickle delivery.
+        trickle: f64,
+        /// Base TCP port for the proxy listeners (0 = ephemeral).
+        base_port: u16,
+        /// Write proxy `region=addr` lines here once bound (a drop-in
+        /// serve ready-file; the upstream's `shards=` line rides along).
+        ready_file: Option<String>,
+        /// Graceful-drain trigger file.
+        stop_file: Option<String>,
+        /// Safety cap: drain after this many seconds.
+        max_secs: Option<u64>,
     },
     /// Run live probe agents against remote `cpw1` endpoints and feed
     /// the traces through the standard analysis/journal pipeline.
@@ -278,6 +330,7 @@ USAGE:
   conprobe campaign --service <svc> [--test 1|2] [--tests N] [--seed N]
                [--metrics FILE] [--journal FILE | --resume FILE]
   conprobe chaos --service <svc> [--test 1|2] [--seed N] [--levels N]
+               [--wire] [--outage-trace FILE]
                [--metrics FILE] [--journal FILE | --resume FILE]
   conprobe trace --service <svc> [--test 1|2] [--seed N]
                [--level debug|info|warn|error] [--target PREFIX] [--cap N]
@@ -288,8 +341,14 @@ USAGE:
                [--latency-scale F] [--drop P]
                [--stale-replica I] [--stale-lag-ms N]
                [--shards N] [--event-loops N]
+               [--max-conns N] [--stall-budget-ms N]
+               [--fault-level N] [--fault-seed N] [--outage-trace FILE]
                [--stop-file FILE] [--ready-file FILE] [--max-secs N]
                [--metrics FILE]
+  conprobe chaosd --server-file FILE [--seed N] [--port BASE]
+               [--fault-level N] [--fault-seed N] [--outage-trace FILE]
+               [--corrupt P] [--reset P] [--trickle P]
+               [--ready-file FILE] [--stop-file FILE] [--max-secs N]
   conprobe probe --service <svc> [--test 1|2] [--seed N] [--tests N]
                (--endpoint region=host:port ... | --server-file FILE)
                [--read-ms N] [--reads N] [--key K] [--live]
@@ -331,6 +390,27 @@ USAGE:
   multiplexing --connections pipelined connections (--pipeline
   in-flight requests each) over --threads sweeper threads, cycling
   reads over --keys keys; measurement starts after --warmup-secs.
+
+  `chaosd` interposes deterministic chaos between live probes and a
+  serve's listeners: per-region proxy listeners relay whole cpw1
+  frames while a fault plan — the synthetic wire-timescale escalation
+  (--fault-level) or a measured incident timeline (--outage-trace
+  JSON) — blackholes, delays and drops them per link, and seeded
+  per-frame injections flip single bits (--corrupt, rejected by the
+  checksummed decoder), reset connections (--reset) or trickle bytes
+  (--trickle). Its --ready-file is a drop-in serve ready-file, so
+  probes point at the proxies unchanged. `serve` accepts the same
+  fault flags and drives the plan's crash/recover/brownout timeline
+  against its own replicas: a killed quorum replica rejoins through
+  the fenced cpj1 state-transfer protocol, weak-arm replicas rejoin
+  cold. Overloaded servers shed new connections past --max-conns with
+  a typed `busy` frame (clients back off and retry after the hinted
+  wait) and evict clients whose responses stall past
+  --stall-budget-ms. `chaos --wire` runs the whole live arm per level
+  in one process — server, interposer, fault driver, probe — and
+  prints the same anomaly report as the simulated sweep, so sim-vs-
+  wire and weak-vs-quorum arms compare directly; with --outage-trace
+  both sweep modes replay the trace's timeline instead.
 
   --metrics dumps the run's metrics registry (counters, gauges,
   histograms across the sim/services/harness/campaign layers) as JSON.
@@ -461,6 +541,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut lease_secs = 30u64;
     let mut worker_id = 0u32;
     let mut live = false;
+    let mut wire = false;
+    let mut outage_trace: Option<String> = None;
+    let mut fault_level = 0u32;
+    let mut fault_seed: Option<u64> = None;
+    let mut max_conns = 0usize;
+    let mut stall_budget_ms = 0u64;
+    let mut corrupt = 0.0f64;
+    let mut reset = 0.0f64;
+    let mut trickle = 0.0f64;
     fn val<'a>(it: &mut impl Iterator<Item = &'a str>, flag: &str) -> Result<&'a str, CliError> {
         it.next().ok_or_else(|| CliError(format!("{flag} needs a value")))
     }
@@ -498,6 +587,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             "--lease-secs" => lease_secs = num(val(&mut it, a)?, a)?,
             "--worker-id" => worker_id = num(val(&mut it, a)?, a)?,
             "--live" => live = true,
+            "--wire" => wire = true,
+            "--outage-trace" => outage_trace = Some(val(&mut it, a)?.to_string()),
+            "--fault-level" => fault_level = num(val(&mut it, a)?, a)?,
+            "--fault-seed" => fault_seed = Some(num(val(&mut it, a)?, a)?),
+            "--max-conns" => max_conns = num(val(&mut it, a)?, a)?,
+            "--stall-budget-ms" => stall_budget_ms = num(val(&mut it, a)?, a)?,
+            "--corrupt" => corrupt = num(val(&mut it, a)?, a)?,
+            "--reset" => reset = num(val(&mut it, a)?, a)?,
+            "--trickle" => trickle = num(val(&mut it, a)?, a)?,
             "--service" => {
                 service = Some(parse_service(
                     it.next().ok_or(CliError("--service needs a value".into()))?,
@@ -605,6 +703,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             kind,
             seed,
             levels,
+            wire,
+            outage_trace,
             metrics_out,
             journal_out,
             resume,
@@ -646,6 +746,26 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             metrics_out,
             shards,
             event_loops,
+            max_conns,
+            stall_budget_ms,
+            fault_level,
+            fault_seed,
+            outage_trace,
+        }),
+        "chaosd" => Ok(Command::Chaosd {
+            server_file: server_file
+                .ok_or(CliError("chaosd requires --server-file (a serve ready-file)".into()))?,
+            seed,
+            fault_level,
+            fault_seed,
+            outage_trace,
+            corrupt,
+            reset,
+            trickle,
+            base_port,
+            ready_file,
+            stop_file,
+            max_secs,
         }),
         "probe" => {
             if endpoints.is_empty() && server_file.is_none() {
@@ -785,6 +905,342 @@ pub fn chaos_plan(level: u32, seed: u64) -> FaultPlan {
         });
     }
     plan
+}
+
+/// The live-path counterpart of [`chaos_plan`] (`chaos --wire`,
+/// `chaosd`, `serve --fault-level`): the same fault classes compressed
+/// onto a wall-clock timescale one loopback probe instance actually
+/// spans. The plan clock starts when the interposer (or server) comes
+/// up, so every window sits a few hundred milliseconds in — past the
+/// probe's connect/clock-sync phase and inside its measured phase.
+///
+/// * level ≥ 1 — a latency spike on every link (base grows with level).
+/// * level ≥ 2 — a short global loss burst (frames blackholed; the
+///   probes' reconnect budget rides it out).
+/// * level ≥ 3 — a Tokyo link flap plus one crash/restart cycle of
+///   replica 1 (the fenced `cpj1` rejoin path, against live sockets).
+/// * level ≥ 4 — a throttle-storm brownout of replica 0.
+pub fn wire_chaos_plan(level: u32, seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::new(seed);
+    if level >= 1 {
+        plan.push(FaultEvent::DegradedLink {
+            scope: LinkScope::All,
+            at: SimTime::from_millis(250),
+            duration: SimDuration::from_millis(900),
+            extra_base: SimDuration::from_millis(4).saturating_mul(u64::from(level)),
+            extra_jitter: SimDuration::from_millis(2),
+        });
+    }
+    if level >= 2 {
+        plan.push(FaultEvent::LossBurst {
+            scope: LinkScope::All,
+            at: SimTime::from_millis(400),
+            duration: SimDuration::from_millis(250),
+            loss: f64::from(level.min(10)) * 0.02,
+        });
+    }
+    if level >= 3 {
+        plan.push(FaultEvent::LinkFlap {
+            scope: LinkScope::Touching(Region::Tokyo),
+            at: SimTime::from_millis(700),
+            down_for: SimDuration::from_millis(150),
+            up_for: SimDuration::from_millis(150),
+            flaps: 1,
+        });
+        plan.push(FaultEvent::CrashCycle {
+            target: 1,
+            at: SimTime::from_millis(500),
+            down_for: SimDuration::from_millis(300),
+            up_for: SimDuration::ZERO,
+            cycles: 1,
+        });
+    }
+    if level >= 4 {
+        plan.push(FaultEvent::Brownout {
+            target: 0,
+            at: SimTime::from_millis(900),
+            duration: SimDuration::from_millis(400),
+            mode: BrownoutMode::ThrottleStorm,
+        });
+    }
+    plan
+}
+
+/// Interposer byte-level injections for one wire sweep level: off at
+/// level 0 (pure plan replay), then gently escalating per-frame
+/// probabilities — a probe instance moves hundreds of frames, so even a
+/// few permil forces several corrupted/reset/trickled frames while
+/// staying well inside the clients' reconnect budget.
+fn wire_inject_profile(level: u32) -> InjectProfile {
+    InjectProfile {
+        corrupt_prob: f64::from(level) * 0.002,
+        reset_prob: f64::from(level) * 0.001,
+        trickle_prob: f64::from(level) * 0.004,
+        ..InjectProfile::default()
+    }
+}
+
+/// The fault plan a live command executes: a measured incident timeline
+/// when `--outage-trace` is given, the synthetic wire-timescale
+/// escalation otherwise.
+fn load_fault_plan(
+    outage_trace: &Option<String>,
+    level: u32,
+    seed: u64,
+) -> Result<FaultPlan, CliError> {
+    match outage_trace {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| CliError(format!("read {path}: {e}")))?;
+            FaultPlan::from_outage_trace(&text)
+                .map_err(|e| CliError(format!("outage trace {path}: {e}")))
+        }
+        None => Ok(wire_chaos_plan(level, seed)),
+    }
+}
+
+/// The simulated chaos sweep (the pre-`--wire` behaviour): one
+/// deterministic in-sim test per intensity level, each under
+/// [`chaos_plan`] — or, with `--outage-trace`, a single replay of the
+/// trace's compiled timeline.
+#[allow(clippy::too_many_arguments)]
+fn run_sim_chaos_sweep(
+    out: &mut String,
+    service: ServiceKind,
+    kind: TestKind,
+    seed: u64,
+    levels: u32,
+    outage_trace: &Option<String>,
+    metrics_out: &Option<String>,
+    journal_out: &Option<String>,
+    resume: &Option<String>,
+) -> Result<(), CliError> {
+    let _ = writeln!(out, "{service} {kind} chaos sweep (seed {seed}):");
+    // A replayed trace is one fixed timeline, not an escalation — the
+    // sweep collapses to a single level.
+    let levels = match outage_trace {
+        Some(path) => {
+            if levels > 0 {
+                eprintln!("outage-trace replay of {path}: a single level, --levels ignored");
+            }
+            0
+        }
+        None => levels,
+    };
+    // Chaos always captures service-lifecycle events (crashes,
+    // recoveries, state transfers, brownouts) and narrates them on
+    // stderr: stdout must stay byte-identical between a fresh
+    // sweep and a journal-resumed one, and spliced levels re-run
+    // nothing so they have no events to narrate.
+    let sink = Some(ObsSink::with_log(
+        EventLog::new(4096).with_min_severity(Severity::Info).with_target_prefix("services"),
+    ));
+    let (journal_file, recovery) = open_journal(journal_out, resume)?;
+    let cell = format!("chaos/{}", journal::cell_id(service, kind));
+    let recovered = recovery.as_ref().map(|r| r.completed_for(&cell)).unwrap_or_default();
+    for level in 0..=levels {
+        let mut config = TestConfig::paper(service, kind);
+        config.fault_plan = match outage_trace {
+            Some(_) => load_fault_plan(outage_trace, level, seed)?,
+            None => chaos_plan(level, seed),
+        };
+        config.obs = sink.clone();
+        // The sweep's journal keys each level as an instance; a
+        // recovered level is spliced only when its seed matches.
+        let spliced = recovered
+            .get(&level)
+            .filter(|(rseed, _)| *rseed == seed)
+            .and_then(|(_, payload)| journal::result_from_json(&config, payload).ok());
+        let r = match spliced {
+            Some(r) => {
+                eprintln!("  level {level} spliced from the journal");
+                r
+            }
+            None => {
+                let r = run_one_test(&config, seed);
+                if let Some(sink) = &sink {
+                    for e in sink.log.drain() {
+                        eprintln!("  level {level}: {}", e.render());
+                    }
+                }
+                if let Some(j) = &journal_file {
+                    if let Err(e) = j.append_completed(&cell, level, seed, &r) {
+                        eprintln!("journal: append failed for {cell} level {level}: {e}");
+                    }
+                }
+                r
+            }
+        };
+        let ledger = &r.fault_ledger;
+        let rpc: u64 = ledger.agent_rpc.iter().map(|s| s.retransmits).sum();
+        let anomalies: usize = AnomalyKind::ALL.iter().map(|k| r.analysis.count(*k)).sum();
+        let _ = writeln!(
+            out,
+            "  level {level}: {} in {:>5.1}s; {anomalies} anomaly observation(s); \
+             net {}/{}/{} blocked/dropped/delayed; {} service action(s) \
+             ({} skipped); {rpc} retransmit(s)",
+            if r.salvaged {
+                "SALVAGED"
+            } else if r.completed {
+                "completed"
+            } else {
+                "TIMED OUT"
+            },
+            r.duration_secs,
+            ledger.net.blocked,
+            ledger.net.dropped,
+            ledger.net.delayed,
+            ledger.actions.len(),
+            ledger.skipped_actions,
+        );
+    }
+    if let (Some(sink), Some(path)) = (&sink, metrics_out) {
+        write_metrics(sink, path, out)?;
+    }
+    Ok(())
+}
+
+/// The live half of the chaos sweep (`chaos --wire`): for each level a
+/// real loopback [`WireServer`] hosts the service, a [`ChaosProxy`]
+/// interposes on every agent↔replica link executing the level's plan
+/// plus seeded byte-level injections, a fault driver crashes/rejoins
+/// replicas on the same timeline, and the ordinary live probe runs
+/// through the proxies. Both sweep halves share the fault vocabulary
+/// and the unmodified `analyze()`, so sim-vs-wire and weak-vs-quorum
+/// arms compare level by level.
+#[allow(clippy::too_many_arguments)]
+fn run_wire_chaos_sweep(
+    out: &mut String,
+    service: ServiceKind,
+    kind: TestKind,
+    seed: u64,
+    levels: u32,
+    outage_trace: &Option<String>,
+    journal_out: &Option<String>,
+    resume: &Option<String>,
+) -> Result<(), CliError> {
+    let _ = writeln!(out, "{service} {kind} wire chaos sweep (seed {seed}):");
+    let (journal_file, recovery) = open_journal(journal_out, resume)?;
+    let cell = journal::wire_chaos_cell_id(service, kind);
+    let recovered = recovery.as_ref().map(|r| r.completed_for(&cell)).unwrap_or_default();
+    let root = SimRng::new(seed);
+    for level in 0..=levels {
+        // With an outage trace the network/service timeline is the
+        // measured incident at every level; `--levels` still scales the
+        // interposer's byte-level injections on top of it.
+        let plan = match outage_trace {
+            Some(_) => load_fault_plan(outage_trace, level, seed)?,
+            None => wire_chaos_plan(level, seed),
+        };
+        let inst_seed = root.split_indexed("wire-chaos", u64::from(level)).seed();
+        // The analysis config a spliced level is re-checked under; the
+        // live arm serves one listener per agent region.
+        let mut analysis_config = TestConfig::paper(service, kind);
+        analysis_config.agent_regions = Region::AGENTS.to_vec();
+        let spliced = recovered
+            .get(&level)
+            .filter(|(rseed, _)| *rseed == inst_seed)
+            .and_then(|(_, payload)| journal::result_from_json(&analysis_config, payload).ok());
+        let r = match spliced {
+            Some(r) => {
+                eprintln!("  level {level} spliced from the journal");
+                r
+            }
+            None => {
+                let (r, ledger) = run_wire_chaos_level(
+                    service,
+                    kind,
+                    seed,
+                    level,
+                    inst_seed,
+                    &plan,
+                    wire_inject_profile(level),
+                )?;
+                // Interposer tallies are wall-timing-dependent, so they
+                // narrate on stderr; stdout stays resume-stable.
+                eprintln!(
+                    "  level {level}: interposer forwarded {}, blocked {}, dropped {}, \
+                     delayed {}, corrupted {}, reset {}, trickled {}",
+                    ledger.forwarded,
+                    ledger.blocked,
+                    ledger.dropped,
+                    ledger.delayed,
+                    ledger.corrupted,
+                    ledger.resets,
+                    ledger.trickled,
+                );
+                if let Some(j) = &journal_file {
+                    if let Err(e) = j.append_completed(&cell, level, inst_seed, &r) {
+                        eprintln!("journal: append failed for {cell} level {level}: {e}");
+                    }
+                }
+                r
+            }
+        };
+        let anomalies: usize = AnomalyKind::ALL.iter().map(|k| r.analysis.count(*k)).sum();
+        let _ = writeln!(
+            out,
+            "  level {level}: {}; {} write(s); {anomalies} anomaly observation(s)",
+            if r.salvaged {
+                "SALVAGED"
+            } else if r.completed {
+                "completed"
+            } else {
+                "INCOMPLETE"
+            },
+            r.writes_total,
+        );
+    }
+    Ok(())
+}
+
+/// One wire sweep level: a loopback server, the chaos interposer in
+/// front of every listener, the fault driver replaying the plan's
+/// service actions against the live replicas, and a probe instance
+/// pointed at the proxies.
+fn run_wire_chaos_level(
+    service: ServiceKind,
+    kind: TestKind,
+    seed: u64,
+    level: u32,
+    inst_seed: u64,
+    plan: &FaultPlan,
+    inject: InjectProfile,
+) -> Result<(TestResult, ChaosLedger), CliError> {
+    let server = WireServer::start(&ServeConfig::loopback(service, seed))
+        .map_err(|e| CliError(format!("wire chaos serve: {e}")))?;
+    let targets: Vec<ChaosTarget> = server
+        .addrs()
+        .iter()
+        .map(|&(region, addr)| ChaosTarget { region, replica_region: region, addr })
+        .collect();
+    let chaos_config = ChaosConfig {
+        seed: seed ^ (u64::from(level) << 32),
+        plan: plan.clone(),
+        inject,
+        base_port: 0,
+    };
+    let proxy = ChaosProxy::start(&chaos_config, &targets)
+        .map_err(|e| CliError(format!("wire chaos interposer: {e}")))?;
+    let mut pc = ProbeConfig::loopback(service, kind, proxy.addrs().to_vec(), inst_seed);
+    // A blackholed response stalls a read until the socket times out; a
+    // short timeout turns each stall into a quick reconnect-and-resend
+    // instead of a multi-second hang.
+    pc.timeout = Duration::from_millis(1000);
+    let probe_res = std::thread::scope(|scope| {
+        let driver = scope.spawn(|| {
+            drive_service_actions(&server, plan, |line| eprintln!("  level {level}: {line}"))
+        });
+        let res = run_probe(&pc);
+        server.request_stop();
+        let _ = driver.join();
+        res
+    });
+    proxy.request_stop();
+    let ledger = proxy.join();
+    let _ = server.join();
+    let r = probe_res.map_err(|e| CliError(format!("wire chaos probe: {e}")))?;
+    Ok((r, ledger))
 }
 
 fn report_analysis(
@@ -955,76 +1411,45 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             let _ = writeln!(out, "analyzed {path}:");
             report_analysis(&mut out, &analysis, &trace, true);
         }
-        Command::Chaos { service, kind, seed, levels, metrics_out, journal_out, resume } => {
-            let _ = writeln!(out, "{service} {kind} chaos sweep (seed {seed}):");
-            // Chaos always captures service-lifecycle events (crashes,
-            // recoveries, state transfers, brownouts) and narrates them on
-            // stderr: stdout must stay byte-identical between a fresh
-            // sweep and a journal-resumed one, and spliced levels re-run
-            // nothing so they have no events to narrate.
-            let sink = Some(ObsSink::with_log(
-                EventLog::new(4096)
-                    .with_min_severity(Severity::Info)
-                    .with_target_prefix("services"),
-            ));
-            let (journal_file, recovery) = open_journal(&journal_out, &resume)?;
-            let cell = format!("chaos/{}", journal::cell_id(service, kind));
-            let recovered = recovery.as_ref().map(|r| r.completed_for(&cell)).unwrap_or_default();
-            for level in 0..=levels {
-                let mut config = TestConfig::paper(service, kind);
-                config.fault_plan = chaos_plan(level, seed);
-                config.obs = sink.clone();
-                // The sweep's journal keys each level as an instance; a
-                // recovered level is spliced only when its seed matches.
-                let spliced = recovered
-                    .get(&level)
-                    .filter(|(rseed, _)| *rseed == seed)
-                    .and_then(|(_, payload)| journal::result_from_json(&config, payload).ok());
-                let r = match spliced {
-                    Some(r) => {
-                        eprintln!("  level {level} spliced from the journal");
-                        r
-                    }
-                    None => {
-                        let r = run_one_test(&config, seed);
-                        if let Some(sink) = &sink {
-                            for e in sink.log.drain() {
-                                eprintln!("  level {level}: {}", e.render());
-                            }
-                        }
-                        if let Some(j) = &journal_file {
-                            if let Err(e) = j.append_completed(&cell, level, seed, &r) {
-                                eprintln!("journal: append failed for {cell} level {level}: {e}");
-                            }
-                        }
-                        r
-                    }
-                };
-                let ledger = &r.fault_ledger;
-                let rpc: u64 = ledger.agent_rpc.iter().map(|s| s.retransmits).sum();
-                let anomalies: usize = AnomalyKind::ALL.iter().map(|k| r.analysis.count(*k)).sum();
-                let _ = writeln!(
-                    out,
-                    "  level {level}: {} in {:>5.1}s; {anomalies} anomaly observation(s); \
-                     net {}/{}/{} blocked/dropped/delayed; {} service action(s) \
-                     ({} skipped); {rpc} retransmit(s)",
-                    if r.salvaged {
-                        "SALVAGED"
-                    } else if r.completed {
-                        "completed"
-                    } else {
-                        "TIMED OUT"
-                    },
-                    r.duration_secs,
-                    ledger.net.blocked,
-                    ledger.net.dropped,
-                    ledger.net.delayed,
-                    ledger.actions.len(),
-                    ledger.skipped_actions,
-                );
-            }
-            if let (Some(sink), Some(path)) = (&sink, &metrics_out) {
-                write_metrics(sink, path, &mut out)?;
+        Command::Chaos {
+            service,
+            kind,
+            seed,
+            levels,
+            wire,
+            outage_trace,
+            metrics_out,
+            journal_out,
+            resume,
+        } => {
+            if wire {
+                if metrics_out.is_some() {
+                    return Err(CliError(
+                        "chaos --wire has no metrics registry to dump; drop --metrics".into(),
+                    ));
+                }
+                run_wire_chaos_sweep(
+                    &mut out,
+                    service,
+                    kind,
+                    seed,
+                    levels,
+                    &outage_trace,
+                    &journal_out,
+                    &resume,
+                )?;
+            } else {
+                run_sim_chaos_sweep(
+                    &mut out,
+                    service,
+                    kind,
+                    seed,
+                    levels,
+                    &outage_trace,
+                    &metrics_out,
+                    &journal_out,
+                    &resume,
+                )?;
             }
         }
         Command::Campaign { service, kind, tests, seed, metrics_out, journal_out, resume } => {
@@ -1209,7 +1634,20 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
             metrics_out,
             shards,
             event_loops,
+            max_conns,
+            stall_budget_ms,
+            fault_level,
+            fault_seed,
+            outage_trace,
         } => {
+            let plan = load_fault_plan(&outage_trace, fault_level, fault_seed.unwrap_or(seed))?;
+            if !plan.network_effects().is_empty() {
+                eprintln!(
+                    "note: the plan's {} network effect(s) need the chaosd interposer; \
+                     serve executes service actions only",
+                    plan.network_effects().len()
+                );
+            }
             let config = ServeConfig {
                 kind: service,
                 seed,
@@ -1223,6 +1661,8 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 stop_file: stop_file.map(Into::into),
                 shards,
                 event_loops,
+                max_connections: max_conns,
+                stall_budget: Duration::from_millis(stall_budget_ms),
             };
             let server = WireServer::start(&config).map_err(|e| CliError(format!("serve: {e}")))?;
             let mut lines = String::new();
@@ -1239,15 +1679,29 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                 eprintln!("endpoints written to {path}");
             }
             let started = std::time::Instant::now();
-            while !server.stopping() {
-                if let Some(cap) = max_secs {
-                    if started.elapsed() >= Duration::from_secs(cap) {
-                        server.request_stop();
-                        break;
-                    }
+            std::thread::scope(|scope| {
+                // The fault driver replays the plan's crash/recover/
+                // brownout timeline against the live replicas while the
+                // main thread watches for the drain triggers; a drain
+                // makes the driver bail out at its next 20 ms slice.
+                if !plan.service_actions().is_empty() {
+                    scope.spawn(|| {
+                        let n = drive_service_actions(&server, &plan, |line| {
+                            eprintln!("fault: {line}")
+                        });
+                        eprintln!("fault plan drained: {n} service action(s) executed");
+                    });
                 }
-                std::thread::sleep(Duration::from_millis(50));
-            }
+                while !server.stopping() {
+                    if let Some(cap) = max_secs {
+                        if started.elapsed() >= Duration::from_secs(cap) {
+                            server.request_stop();
+                            break;
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            });
             let metrics_json = server.join();
             let _ =
                 writeln!(out, "{service} drained after {:.1}s", started.elapsed().as_secs_f64());
@@ -1256,6 +1710,92 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
                     .map_err(|e| CliError(format!("write {path}: {e}")))?;
                 let _ = writeln!(out, "metrics written to {path}");
             }
+        }
+        Command::Chaosd {
+            server_file,
+            seed,
+            fault_level,
+            fault_seed,
+            outage_trace,
+            corrupt,
+            reset,
+            trickle,
+            base_port,
+            ready_file,
+            stop_file,
+            max_secs,
+        } => {
+            let upstream = resolve_endpoints(&[], &Some(server_file.clone()))?;
+            let shards = resolve_shard_count(&Some(server_file.clone()))?;
+            let plan = load_fault_plan(&outage_trace, fault_level, fault_seed.unwrap_or(seed))?;
+            if !plan.service_actions().is_empty() {
+                eprintln!(
+                    "note: the plan's {} service action(s) need `serve --fault-level`; \
+                     chaosd injects network effects only",
+                    plan.service_actions().len()
+                );
+            }
+            let targets: Vec<ChaosTarget> = upstream
+                .iter()
+                .map(|&(region, addr)| ChaosTarget { region, replica_region: region, addr })
+                .collect();
+            let config = ChaosConfig {
+                seed,
+                plan,
+                inject: InjectProfile {
+                    corrupt_prob: corrupt,
+                    reset_prob: reset,
+                    trickle_prob: trickle,
+                    ..InjectProfile::default()
+                },
+                base_port,
+            };
+            let proxy = ChaosProxy::start(&config, &targets)
+                .map_err(|e| CliError(format!("chaosd: {e}")))?;
+            let mut lines = String::new();
+            for (region, addr) in proxy.addrs() {
+                let _ = writeln!(lines, "{}={addr}", region_token(*region));
+            }
+            if let Some(n) = shards {
+                // Pass the upstream shard count through so probes pointed
+                // at the interposer still label keyed cells correctly.
+                let _ = writeln!(lines, "shards={n}");
+            }
+            eprint!("chaos interposer (seed {seed}) on:\n{lines}");
+            if let Some(path) = &ready_file {
+                crate::fsio::write_atomic(path, &lines)
+                    .map_err(|e| CliError(format!("write {path}: {e}")))?;
+                eprintln!("endpoints written to {path}");
+            }
+            let started = std::time::Instant::now();
+            loop {
+                if let Some(cap) = max_secs {
+                    if started.elapsed() >= Duration::from_secs(cap) {
+                        break;
+                    }
+                }
+                if let Some(f) = &stop_file {
+                    if std::path::Path::new(f).exists() {
+                        break;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            proxy.request_stop();
+            let ledger = proxy.join();
+            let _ = writeln!(
+                out,
+                "chaosd drained after {:.1}s: {} forwarded, {} blocked, {} dropped, \
+                 {} delayed, {} corrupted, {} reset, {} trickled",
+                started.elapsed().as_secs_f64(),
+                ledger.forwarded,
+                ledger.blocked,
+                ledger.dropped,
+                ledger.delayed,
+                ledger.corrupted,
+                ledger.resets,
+                ledger.trickled
+            );
         }
         Command::Probe {
             service,
@@ -1889,6 +2429,8 @@ mod tests {
                 metrics_out: None,
                 journal_out: None,
                 resume: None,
+                wire: false,
+                outage_trace: None,
             }
         );
         let out = execute(cmd).unwrap();
@@ -2035,6 +2577,140 @@ mod tests {
         server.join();
         let _ = std::fs::remove_file(&ready);
         let _ = std::fs::remove_file(&journal_path);
+    }
+
+    #[test]
+    fn parses_chaosd_and_fault_flags() {
+        assert!(parse(&args("chaosd")).is_err(), "chaosd requires --server-file");
+        let cmd = parse(&args(
+            "chaosd --server-file up.txt --seed 9 --fault-level 3 --fault-seed 11 \
+             --corrupt 0.01 --reset 0.02 --trickle 0.03 --port 9400 --ready-file r.txt \
+             --stop-file s.txt --max-secs 5",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Chaosd {
+                server_file: "up.txt".into(),
+                seed: 9,
+                fault_level: 3,
+                fault_seed: Some(11),
+                outage_trace: None,
+                corrupt: 0.01,
+                reset: 0.02,
+                trickle: 0.03,
+                base_port: 9400,
+                ready_file: Some("r.txt".into()),
+                stop_file: Some("s.txt".into()),
+                max_secs: Some(5),
+            }
+        );
+        let cmd = parse(&args(
+            "serve --service blogger --max-conns 64 --stall-budget-ms 250 --fault-level 2 \
+             --outage-trace incidents.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve { max_conns, stall_budget_ms, fault_level, outage_trace, .. } => {
+                assert_eq!(max_conns, 64);
+                assert_eq!(stall_budget_ms, 250);
+                assert_eq!(fault_level, 2);
+                assert_eq!(outage_trace.as_deref(), Some("incidents.json"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let cmd =
+            parse(&args("chaos --service gplus --test 1 --wire --outage-trace t.json")).unwrap();
+        match cmd {
+            Command::Chaos { wire, outage_trace, .. } => {
+                assert!(wire);
+                assert_eq!(outage_trace.as_deref(), Some("t.json"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_chaos_plan_escalates_with_level() {
+        assert!(wire_chaos_plan(0, 1).is_empty(), "level 0 is the control arm");
+        assert!(wire_chaos_plan(1, 1).events().len() < wire_chaos_plan(4, 1).events().len());
+        // The crash/rejoin cycle arrives at level 3 so lower levels stay
+        // pure network interference.
+        assert!(wire_chaos_plan(2, 1).service_actions().is_empty());
+        assert!(wire_chaos_plan(3, 1)
+            .service_actions()
+            .iter()
+            .any(|a| format!("{}", a.action) == "crash"));
+        // Every fault window must land inside a loopback probe's
+        // measured phase, so the whole plan stays under two seconds.
+        for level in 0..=4 {
+            assert!(wire_chaos_plan(level, 1).end_time() <= SimTime::from_secs(2));
+        }
+        let inject = wire_inject_profile(3);
+        assert!(inject.corrupt_prob > wire_inject_profile(1).corrupt_prob);
+        assert!(inject.reset_prob > 0.0 && inject.trickle_prob > 0.0);
+    }
+
+    #[test]
+    fn chaosd_fronts_a_live_server_and_drains() {
+        let dir = std::env::temp_dir().join("conprobe-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tag = std::process::id();
+        let upstream_file = dir.join(format!("chaosd-upstream-{tag}.txt"));
+        let proxy_file = dir.join(format!("chaosd-ready-{tag}.txt"));
+
+        let server =
+            conprobe_wire::WireServer::start(&ServeConfig::loopback(ServiceKind::Blogger, 7))
+                .unwrap();
+        let mut listing = String::new();
+        for (region, addr) in server.addrs() {
+            let _ = writeln!(listing, "{}={addr}", region_token(*region));
+        }
+        let _ = writeln!(listing, "shards={}", server.shard_count());
+        crate::fsio::write_atomic(&upstream_file, &listing).unwrap();
+
+        let out = execute(
+            parse(&args(&format!(
+                "chaosd --server-file {} --seed 7 --max-secs 0 --ready-file {}",
+                upstream_file.display(),
+                proxy_file.display()
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("chaosd drained"), "{out}");
+
+        // The interposer listing is itself a valid serve ready-file:
+        // probe endpoints per region plus the shard count passed through
+        // from upstream.
+        let proxied = std::fs::read_to_string(&proxy_file).unwrap();
+        assert_eq!(proxied.lines().count(), Region::AGENTS.len() + 1, "{proxied}");
+        for line in proxied.lines().filter(|l| !l.starts_with("shards=")) {
+            parse_endpoint(line).unwrap();
+        }
+        assert_eq!(
+            resolve_shard_count(&Some(proxy_file.display().to_string())).unwrap(),
+            Some(server.shard_count()),
+            "{proxied}"
+        );
+
+        server.request_stop();
+        server.join();
+        let _ = std::fs::remove_file(&upstream_file);
+        let _ = std::fs::remove_file(&proxy_file);
+    }
+
+    #[test]
+    fn wire_chaos_sweep_level_zero_runs_clean() {
+        let out = execute(
+            parse(&args("chaos --service blogger --test 2 --seed 5 --levels 0 --wire")).unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("wire chaos sweep"), "{out}");
+        assert!(out.contains("level 0: completed"), "{out}");
+        // Level 0 is fault-free: the interposer forwards everything and
+        // the analysis must come back anomaly-free.
+        assert!(out.contains("0 anomaly observation(s)"), "{out}");
     }
 
     #[test]
