@@ -480,6 +480,7 @@ pub fn service_token(service: ServiceKind) -> &'static str {
         ServiceKind::FacebookFeed => "fbfeed",
         ServiceKind::FacebookGroup => "fbgroup",
         ServiceKind::Quorum => "quorum",
+        ServiceKind::Pbft => "pbft",
     }
 }
 
@@ -490,6 +491,7 @@ fn service_from_token(s: &str) -> Result<ServiceKind, JsonError> {
         "fbfeed" => Ok(ServiceKind::FacebookFeed),
         "fbgroup" => Ok(ServiceKind::FacebookGroup),
         "quorum" => Ok(ServiceKind::Quorum),
+        "pbft" => Ok(ServiceKind::Pbft),
         other => Err(JsonError::schema(format!("unknown service token {other:?}"))),
     }
 }

@@ -111,6 +111,10 @@ impl TestConfig {
             // crash/recover cycle (crash at 7 s, 4 s down) and exercises
             // post-recovery reads.
             ServiceKind::Quorum => (14, 30),
+            // Same sizing argument for the ordered-log arm: outlast the
+            // leader-crash cycle so view change, rejoin state transfer
+            // and post-recovery reads all land inside the run.
+            ServiceKind::Pbft => (14, 30),
         };
         TestConfig {
             service,

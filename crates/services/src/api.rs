@@ -96,6 +96,10 @@ pub enum ReplMsg {
         /// Framed stored-post records (`conprobe_json::frame` encoding).
         frames: Vec<String>,
     },
+    /// Ordered-log consensus traffic for the PBFT-style arm
+    /// (pre-prepare/prepare/commit, view changes, state transfer) —
+    /// opaque to every other replica family.
+    Pbft(crate::pbft::PbftMsg),
 }
 
 /// Fault-injection control messages (harness instrumentation, not part of

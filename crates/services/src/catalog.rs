@@ -34,6 +34,12 @@ pub enum ServiceKind {
     /// strong-consistency control arm: zero anomalies expected under the
     /// same workloads and fault plans that expose the four above.
     Quorum,
+    /// PBFT-style ordered-log replication ([`crate::pbft`]) — the second
+    /// strong control arm: a replicated state machine where partitions
+    /// and crashes force view changes instead of quorum waits. Zero
+    /// anomalies expected; its latency-under-faults profile is the
+    /// head-to-head comparison against [`ServiceKind::Quorum`].
+    Pbft,
 }
 
 impl ServiceKind {
@@ -48,14 +54,16 @@ impl ServiceKind {
         ServiceKind::FacebookGroup,
     ];
 
-    /// Every deployable service: the paper's four plus the quorum
-    /// control arm.
-    pub const CATALOG: [ServiceKind; 5] = [
+    /// Every deployable service: the paper's four plus the two strong
+    /// control arms. Existing entries keep their positions — tooling and
+    /// golden fingerprints index into this order.
+    pub const CATALOG: [ServiceKind; 6] = [
         ServiceKind::GooglePlus,
         ServiceKind::Blogger,
         ServiceKind::FacebookFeed,
         ServiceKind::FacebookGroup,
         ServiceKind::Quorum,
+        ServiceKind::Pbft,
     ];
 
     /// Human-readable name as used in the paper's tables.
@@ -66,6 +74,7 @@ impl ServiceKind {
             ServiceKind::FacebookFeed => "FB Feed",
             ServiceKind::FacebookGroup => "FB Group",
             ServiceKind::Quorum => "Quorum",
+            ServiceKind::Pbft => "PBFT",
         }
     }
 }
@@ -236,11 +245,12 @@ pub fn topology(kind: ServiceKind) -> Topology {
                 affinity: AffinityMap::with_fallback(0),
             }
         }
-        // The strong control arm. The parameter preset describes the
+        // The strong control arms. The parameter presets describe the
         // regions, routing and write/read modes; [`deploy`] instantiates
-        // it with dedicated `QuorumReplica` nodes (which add the
-        // crash-recovery state-transfer protocol `ReplicaNode` lacks).
+        // them with dedicated node types (which add the crash-recovery
+        // state-transfer and consensus protocols `ReplicaNode` lacks).
         ServiceKind::Quorum => topology_quorum(false),
+        ServiceKind::Pbft => topology_pbft(),
     }
 }
 
@@ -266,6 +276,35 @@ pub fn topology_quorum(read_repair: bool) -> Topology {
             (Region::Oregon, params.clone()),
             (Region::Tokyo, params.clone()),
             (Region::Ireland, params),
+        ],
+        affinity: AffinityMap::one_per_agent(),
+    }
+}
+
+/// The PBFT-style ordered-log arm's topology: four replicas (`n = 3f+1`
+/// with `f = 1`) — one per agent region plus a North Virginia witness
+/// that never fronts clients. Writes and reads are both sequenced
+/// through the leader's log (ordered reads are what make the arm
+/// linearizable), so the preset's `SyncMajority` write mode and snapshot
+/// read path describe the observable contract, not the mechanism.
+pub fn topology_pbft() -> Topology {
+    let params = ReplicaParams {
+        ordering: OrderingPolicy::exact_timestamp(),
+        read_path: ReadPath::Snapshot,
+        write_mode: crate::replica_node::WriteMode::SyncMajority,
+        apply_delay: DelayDist::Zero,
+        repl_delay: DelayDist::Zero,
+        anti_entropy: None,
+        canonicalize_on_anti_entropy: false,
+        canonicalize_on_push: false,
+        rate_limit: None,
+    };
+    Topology {
+        replicas: vec![
+            (Region::Oregon, params.clone()),
+            (Region::Tokyo, params.clone()),
+            (Region::Ireland, params.clone()),
+            (Region::Virginia, params),
         ],
         affinity: AffinityMap::one_per_agent(),
     }
@@ -324,6 +363,9 @@ pub fn deploy<A: Send + 'static>(
     if kind == ServiceKind::Quorum {
         return deploy_quorum(world);
     }
+    if kind == ServiceKind::Pbft {
+        return deploy_pbft(world);
+    }
     deploy_topology(world, kind, topology(kind))
 }
 
@@ -356,6 +398,28 @@ pub fn deploy_quorum<A: Send + 'static>(world: &mut World<NetMsg<A>>) -> Service
             .set_peers(peers);
     }
     ServiceCluster { kind: ServiceKind::Quorum, replicas: ids, affinity: topo.affinity }
+}
+
+/// Deploys the PBFT-style ordered-log service: one
+/// [`PbftReplica`](crate::pbft::PbftReplica) per [`topology_pbft`]
+/// region, each knowing the full ordered member list (leader rotation
+/// indexes into it), using the preset's routing.
+pub fn deploy_pbft<A: Send + 'static>(world: &mut World<NetMsg<A>>) -> ServiceCluster {
+    use crate::pbft::PbftReplica;
+    let topo = topology_pbft();
+    let mut ids = Vec::with_capacity(topo.replicas.len());
+    for (region, _) in &topo.replicas {
+        let id =
+            world.add_node_with_clock(*region, LocalClock::perfect(), Box::new(PbftReplica::new()));
+        ids.push(id);
+    }
+    for (i, id) in ids.iter().enumerate() {
+        world
+            .node_as_mut::<PbftReplica>(*id)
+            .expect("just added a PbftReplica")
+            .set_members(ids.clone(), i);
+    }
+    ServiceCluster { kind: ServiceKind::Pbft, replicas: ids, affinity: topo.affinity }
 }
 
 /// Deploys an explicit topology (for ablations and custom services).
@@ -452,14 +516,38 @@ mod tests {
     }
 
     #[test]
-    fn catalog_is_the_paper_services_plus_quorum() {
-        assert_eq!(ServiceKind::CATALOG.len(), 5);
+    fn catalog_is_the_paper_services_plus_control_arms() {
+        assert_eq!(ServiceKind::CATALOG.len(), 6);
         for kind in ServiceKind::ALL {
             assert!(ServiceKind::CATALOG.contains(&kind));
         }
         assert!(ServiceKind::CATALOG.contains(&ServiceKind::Quorum));
+        assert!(ServiceKind::CATALOG.contains(&ServiceKind::Pbft));
         assert!(!ServiceKind::ALL.contains(&ServiceKind::Quorum));
+        assert!(!ServiceKind::ALL.contains(&ServiceKind::Pbft));
         assert_eq!(ServiceKind::Quorum.name(), "Quorum");
+        assert_eq!(ServiceKind::Pbft.name(), "PBFT");
+    }
+
+    #[test]
+    fn pbft_deploys_dedicated_replicas_with_a_witness() {
+        let mut w = world();
+        let cluster = deploy(&mut w, ServiceKind::Pbft);
+        assert_eq!(cluster.kind, ServiceKind::Pbft);
+        assert_eq!(cluster.replicas.len(), 4, "n = 3f+1 with f = 1");
+        let entries: std::collections::HashSet<_> =
+            Region::AGENTS.iter().map(|r| cluster.entry_for(*r)).collect();
+        assert_eq!(entries.len(), 3, "each agent region has its own front door");
+        assert!(
+            !entries.contains(&cluster.replicas[3]),
+            "the Virginia witness never fronts clients"
+        );
+        for id in &cluster.replicas {
+            assert!(
+                w.node_as::<crate::pbft::PbftReplica>(*id).is_some(),
+                "the pbft service runs dedicated PbftReplica nodes"
+            );
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod api;
 pub mod catalog;
 pub mod fault_driver;
 pub mod live;
+pub mod pbft;
 pub mod quorum;
 pub mod replica_node;
 pub mod shard;
@@ -51,6 +52,7 @@ pub use api::{ClientOp, ControlMsg, NetMsg, OpResult, ReplMsg};
 pub use catalog::{deploy, ServiceCluster, ServiceKind};
 pub use fault_driver::{ExecutedAction, FaultDriver};
 pub use live::{LiveCluster, LiveConfig, StaleWindow};
+pub use pbft::{PbftMsg, PbftReplica};
 pub use quorum::QuorumReplica;
 pub use replica_node::{DelayDist, ReadPath, ReplicaNode, ReplicaParams};
 pub use shard::ShardRing;

@@ -43,7 +43,7 @@ use conprobe_sim::net::Region;
 use conprobe_sim::{SimRng, SimTime};
 use conprobe_store::{AffinityMap, OrderingPolicy, Post, PostId, ReplicaCore, StoredPost};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A deliberately seeded staleness window: the chosen replica serves
@@ -157,10 +157,20 @@ pub struct LiveCluster {
     ring: ShardRing,
     rng: Mutex<SimRng>,
     stale: Option<StaleWindow>,
-    /// Majority-synchronous writes (the quorum control arm): a write is
+    /// Majority-synchronous writes (the strong control arms): a write is
     /// applied at every replica before it is acknowledged, so the live
     /// group is linearizable — no replication queue, no anomaly windows.
     sync_writes: bool,
+    /// Ordered-log view tracking for the PBFT arm (`kind == Pbft`): the
+    /// current view (`leader = view mod n`), the number of completed
+    /// view changes, and which replicas are currently down. A leader
+    /// kill rotates the view past every down replica, exactly like the
+    /// sim protocol's suspicion/rotation — the wall-clock group's writes
+    /// are already synchronous, so the *observable* effect of a live
+    /// view change is the leadership handoff the narration reports.
+    pbft_view: AtomicU64,
+    pbft_view_changes: AtomicU64,
+    down: Vec<AtomicBool>,
     /// Earliest instant at which any shard has deliverable work (a due
     /// replication push or anti-entropy round). The hot-path `tick`
     /// compares against this and returns without taking any lock when
@@ -208,6 +218,7 @@ impl LiveCluster {
             .collect();
         let sync_writes =
             topo.replicas.iter().all(|(_, p)| p.write_mode == WriteMode::SyncMajority);
+        let replica_count = topo.replicas.len();
         LiveCluster {
             kind: config.kind,
             regions: topo.replicas.iter().map(|(r, _)| *r).collect(),
@@ -217,6 +228,9 @@ impl LiveCluster {
             rng: Mutex::new(SimRng::new(config.seed).split("live.repl")),
             stale: config.stale_window,
             sync_writes,
+            pbft_view: AtomicU64::new(1),
+            pbft_view_changes: AtomicU64::new(0),
+            down: (0..replica_count).map(|_| AtomicBool::new(false)).collect(),
             next_due_nanos: AtomicU64::new(next_due),
             empty: Arc::from(Vec::new()),
         }
@@ -490,6 +504,57 @@ impl LiveCluster {
             }
             shard.in_flight.lock().unwrap().retain(|p| p.target != idx);
         }
+        if idx < self.down.len() {
+            self.down[idx].store(true, Ordering::SeqCst);
+        }
+        if self.kind == ServiceKind::Pbft {
+            self.rotate_view_past_down();
+        }
+    }
+
+    /// Advances the pbft view until it lands on a live replica — each
+    /// rotation step is one completed view change (suspicion at the
+    /// surviving replicas, deterministic next-leader handoff).
+    fn rotate_view_past_down(&self) {
+        let n = self.replica_count() as u64;
+        if n == 0 {
+            return;
+        }
+        loop {
+            let view = self.pbft_view.load(Ordering::SeqCst);
+            let leader = (view % n) as usize;
+            if !self.down[leader].load(Ordering::SeqCst) {
+                return;
+            }
+            if self.down.iter().all(|d| d.load(Ordering::SeqCst)) {
+                return; // nobody left to lead; avoid spinning forever
+            }
+            if self
+                .pbft_view
+                .compare_exchange(view, view + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                self.pbft_view_changes.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// The PBFT arm's current view number (1 at boot).
+    pub fn pbft_view(&self) -> u64 {
+        self.pbft_view.load(Ordering::SeqCst)
+    }
+
+    /// Completed live view changes (leader rotations past down replicas).
+    pub fn pbft_view_changes(&self) -> u64 {
+        self.pbft_view_changes.load(Ordering::SeqCst)
+    }
+
+    /// The PBFT arm's current leader index, or `None` for other services.
+    pub fn pbft_leader(&self) -> Option<usize> {
+        if self.kind != ServiceKind::Pbft || self.regions.is_empty() {
+            return None;
+        }
+        Some((self.pbft_view.load(Ordering::SeqCst) % self.replica_count() as u64) as usize)
     }
 
     /// Rejoins a crashed replica. On the quorum arm this is the `cpj1`
@@ -504,6 +569,9 @@ impl LiveCluster {
     /// replication and anti-entropy machinery, leaving exactly the
     /// anomaly window the probes are built to observe.
     pub fn recover_replica(&self, idx: usize) -> RejoinReport {
+        if idx < self.down.len() {
+            self.down[idx].store(false, Ordering::SeqCst);
+        }
         if !self.sync_writes {
             return RejoinReport {
                 frames: 0,
@@ -818,6 +886,41 @@ mod tests {
         let (a, b) = (run(), run());
         assert_eq!(a, b, "same writes, same framed stream, same hash");
         assert_ne!(a.stream_hash, frame::FNV64_BASIS, "a non-empty stream moved the hash");
+    }
+
+    #[test]
+    fn pbft_leader_kill_rotates_the_view_to_the_next_live_replica() {
+        let c = cluster(ServiceKind::Pbft, None);
+        assert!(c.sync_writes(), "pbft writes apply synchronously everywhere");
+        assert_eq!(c.pbft_view(), 1, "boot view");
+        assert_eq!(c.pbft_leader(), Some(1), "view 1 leads at replica 1");
+        // Killing a non-leader changes nothing.
+        c.crash_replica(3);
+        assert_eq!(c.pbft_view(), 1);
+        assert_eq!(c.pbft_view_changes(), 0);
+        // Killing the leader rotates to the next live replica.
+        c.crash_replica(1);
+        assert_eq!(c.pbft_view(), 2);
+        assert_eq!(c.pbft_leader(), Some(2));
+        assert_eq!(c.pbft_view_changes(), 1);
+        // Killing the new leader skips the still-down replica 3.
+        c.crash_replica(2);
+        assert_eq!(c.pbft_leader(), Some(0), "view 4 skips dead replica 3");
+        assert_eq!(c.pbft_view_changes(), 3, "two rotation steps counted");
+        // Rejoin keeps the view where it landed; writes still work.
+        c.recover_replica(1);
+        c.recover_replica(2);
+        c.recover_replica(3);
+        let id = c.write(Region::Oregon, post(9, 1), MS);
+        assert!(c.read(Region::Tokyo, 2 * MS).contains(&id));
+    }
+
+    #[test]
+    fn non_pbft_arms_report_no_leader() {
+        let c = cluster(ServiceKind::Quorum, None);
+        assert_eq!(c.pbft_leader(), None);
+        c.crash_replica(1);
+        assert_eq!(c.pbft_view_changes(), 0, "quorum kills never rotate a view");
     }
 
     #[test]

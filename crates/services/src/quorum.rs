@@ -124,6 +124,7 @@ struct QuorumObs {
     reads: Counter,
     throttled: Counter,
     state_transfers: Counter,
+    protocol_anomalies: Counter,
 }
 
 impl QuorumObs {
@@ -137,6 +138,7 @@ impl QuorumObs {
             reads: m.counter(&format!("{prefix}.reads")),
             throttled: m.counter(&format!("{prefix}.throttled")),
             state_transfers: m.counter(&format!("{prefix}.state_transfers")),
+            protocol_anomalies: m.counter(&format!("{prefix}.protocol_anomalies")),
             sink: sink.clone(),
         }
     }
@@ -167,6 +169,9 @@ pub struct QuorumReplica {
     delayed_requests: HashMap<u64, (NodeId, u64, ClientOp)>,
     /// `(writes, reads, throttled)` counters for tests/diagnostics.
     stats: (u64, u64, u64),
+    /// Malformed or replayed peer frames ignored-and-counted instead of
+    /// panicking (`services.*.protocol_anomalies`).
+    anomalies: u64,
     /// Completed state transfers: `(frames, watermark, stream_hash)`.
     transfers: Vec<(u64, u64, u64)>,
     obs: Option<QuorumObs>,
@@ -205,6 +210,7 @@ impl QuorumReplica {
             brownout: None,
             delayed_requests: HashMap::new(),
             stats: (0, 0, 0),
+            anomalies: 0,
             transfers: Vec::new(),
             obs: None,
         }
@@ -233,6 +239,19 @@ impl QuorumReplica {
     /// `(writes, reads, throttled)` request counters.
     pub fn stats(&self) -> (u64, u64, u64) {
         self.stats
+    }
+
+    /// Malformed or replayed peer frames ignored-and-counted.
+    pub fn protocol_anomalies(&self) -> u64 {
+        self.anomalies
+    }
+
+    /// Counts one inconsistent peer frame instead of panicking on it.
+    fn note_anomaly(&mut self) {
+        self.anomalies += 1;
+        if let Some(obs) = &self.obs {
+            obs.protocol_anomalies.inc();
+        }
     }
 
     /// Completed state transfers as `(frames, watermark, stream_hash)`
@@ -287,13 +306,18 @@ impl QuorumReplica {
             Some(stored) => stored,
             None => {
                 // Duplicate: find the original record so the re-push
-                // carries identical bytes.
-                self.core
-                    .snapshot_posts()
-                    .iter()
-                    .find(|p| p.id() == post_id)
-                    .cloned()
-                    .expect("duplicate write id must be stored")
+                // carries identical bytes. A dedupe hit whose record is
+                // missing from the store is an inconsistency a peer
+                // frame must never turn into a panic: count it and ack
+                // the duplicate (the id is committed either way).
+                match self.core.snapshot_posts().iter().find(|p| p.id() == post_id).cloned() {
+                    Some(stored) => stored,
+                    None => {
+                        self.note_anomaly();
+                        Self::respond(ctx, client, req_id, OpResult::WriteAck(post_id));
+                        return;
+                    }
+                }
             }
         };
         let acks_remaining = self.majority().saturating_sub(1);
@@ -347,7 +371,12 @@ impl QuorumReplica {
             pending.responses_remaining == 0
         };
         if done {
-            let p = self.pending_reads.remove(&token).expect("just seen");
+            let Some(p) = self.pending_reads.remove(&token) else {
+                // The entry vanished between the borrow above and here —
+                // a replayed token, not a reason to die.
+                self.note_anomaly();
+                return;
+            };
             Self::respond(ctx, p.client, p.req_id, OpResult::ReadOk(quorum_order(p.merged)));
         }
     }
@@ -603,7 +632,11 @@ impl<A: Send + 'static> Node<NetMsg<A>> for QuorumReplica {
                         w.acks_remaining == 0
                     };
                     if done {
-                        let w = self.pending_writes.remove(&token).expect("just seen");
+                        let Some(w) = self.pending_writes.remove(&token) else {
+                            // Replayed ack for a token already answered.
+                            self.note_anomaly();
+                            return;
+                        };
                         Self::respond(ctx, w.client, w.req_id, OpResult::WriteAck(w.post_id));
                     }
                 }
@@ -638,9 +671,13 @@ impl<A: Send + 'static> Node<NetMsg<A>> for QuorumReplica {
                 ReplMsg::CatchupResp { token, watermark, frames } => {
                     self.on_catchup_resp(ctx, from, token, watermark, frames);
                 }
-                // Anti-entropy is the weak replicas' repair channel; the
+                // Anti-entropy is the weak replicas' repair channel and
+                // the ordered-log traffic belongs to the pbft arm; the
                 // quorum family repairs via state transfer instead.
-                ReplMsg::Push(_) | ReplMsg::DigestReq(_) | ReplMsg::DigestResp(_) => {}
+                ReplMsg::Push(_)
+                | ReplMsg::DigestReq(_)
+                | ReplMsg::DigestResp(_)
+                | ReplMsg::Pbft(_) => {}
             },
             // Responses and harness traffic are not addressed to a
             // storage replica.

@@ -884,11 +884,13 @@ impl<A: Send + 'static> Node<NetMsg<A>> for ReplicaNode {
                     self.core.resequence_canonical();
                 }
             }
-            // State transfer is a quorum-replica protocol
-            // ([`crate::quorum::QuorumReplica`]); the weak catalog
-            // replicas recover via anti-entropy instead and ignore it.
+            // State transfer and ordered-log consensus are the strong
+            // arms' protocols ([`crate::quorum::QuorumReplica`],
+            // [`crate::pbft::PbftReplica`]); the weak catalog replicas
+            // recover via anti-entropy instead and ignore them.
             NetMsg::Repl(ReplMsg::CatchupReq { .. })
-            | NetMsg::Repl(ReplMsg::CatchupResp { .. }) => {}
+            | NetMsg::Repl(ReplMsg::CatchupResp { .. })
+            | NetMsg::Repl(ReplMsg::Pbft(_)) => {}
             // A response reaching a replica is the primary answering a
             // forwarded write: relay it to the original client.
             NetMsg::Response { req_id, result } => {

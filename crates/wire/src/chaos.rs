@@ -551,8 +551,16 @@ pub fn drive_service_actions(
         }
         match action {
             ServiceActionKind::Crash => {
+                let changes_before = server.pbft_status().map(|(_, _, c)| c);
                 if server.kill_replica(target).is_ok() {
                     log(format!("replica n{target} crashed"));
+                    if let (Some(before), Some((view, leader, after))) =
+                        (changes_before, server.pbft_status())
+                    {
+                        if after > before {
+                            log(format!("pbft view change: view {view}, new leader n{leader}"));
+                        }
+                    }
                     executed += 1;
                 }
             }

@@ -297,9 +297,21 @@ impl WireServer {
     pub fn kill_replica(&self, idx: usize) -> Result<(), ServeError> {
         let down = self.shared.replica_down.get(idx).ok_or(ServeError::UnknownReplica(idx))?;
         down.store(true, Ordering::Release);
+        let changes_before = self.shared.cluster.pbft_view_changes();
         self.shared.cluster.crash_replica(idx);
         self.shared.metrics.counter("wire.server.replica_kills").inc();
+        let rotations = self.shared.cluster.pbft_view_changes() - changes_before;
+        for _ in 0..rotations {
+            self.shared.metrics.counter("wire.server.view_changes").inc();
+        }
         Ok(())
+    }
+
+    /// PBFT-arm consensus status as `(view, leader, view_changes)`, or
+    /// `None` for every other service kind.
+    pub fn pbft_status(&self) -> Option<(u64, usize, u64)> {
+        let leader = self.shared.cluster.pbft_leader()?;
+        Some((self.shared.cluster.pbft_view(), leader, self.shared.cluster.pbft_view_changes()))
     }
 
     /// Restarts a crashed replica: a quorum-arm replica rejoins via

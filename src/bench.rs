@@ -452,6 +452,74 @@ pub fn bench_quorum(scale: BenchScale) -> QuorumBench {
     }
 }
 
+/// What the pbft stage measured: the ordered-log consensus arm's write
+/// commit latency (sim-time invoke→response over three protocol phases)
+/// next to the quorum arm's two-phase majority commit on the identical
+/// campaign schedule, plus wall-clock operation throughput for both.
+#[derive(Debug, Clone, Copy)]
+pub struct PbftBench {
+    /// Mean pbft write commit latency in simulated nanoseconds
+    /// (pre-prepare → prepare certificate → commit certificate → apply).
+    pub pbft_commit_nanos_mean: f64,
+    /// p99 pbft write commit latency in simulated nanoseconds.
+    pub pbft_commit_nanos_p99: i64,
+    /// Mean quorum write commit latency in simulated nanoseconds.
+    pub quorum_commit_nanos_mean: f64,
+    /// p99 quorum write commit latency in simulated nanoseconds.
+    pub quorum_commit_nanos_p99: i64,
+    /// Pbft operations per wall-clock second across the cell.
+    pub pbft_ops_per_sec: f64,
+    /// Quorum operations per wall-clock second, same schedule.
+    pub quorum_ops_per_sec: f64,
+}
+
+/// Times the pbft ordered-log arm head-to-head with the quorum arm: two
+/// campaign cells with byte-identical schedules, differing only in
+/// backend. The latency gap is the extra consensus round — a quorum
+/// write needs one majority round trip, a pbft write needs pre-prepare,
+/// a prepare certificate, and a commit certificate before the origin
+/// answers — and the wall-clock gap is the simulator cost of carrying
+/// that message complexity.
+pub fn bench_pbft(scale: BenchScale) -> PbftBench {
+    struct Cell {
+        commit_mean: f64,
+        commit_p99: i64,
+        ops_per_sec: f64,
+    }
+    fn cell(service: ServiceKind, tests: u32) -> Cell {
+        let mut config = CampaignConfig::paper(service, TestKind::Test2, tests).with_seed(0x0CB1);
+        config.threads = 4;
+        config.test.read_period = SimDuration::from_millis(100);
+        config.test.fast_reads = 280;
+        config.test.reads_target = 300;
+        let start = Instant::now();
+        let result = run_campaign(&config);
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        let mut commit_nanos: Vec<i64> = result
+            .results
+            .iter()
+            .flat_map(|r| r.trace.writes())
+            .map(|(op, _)| op.response.as_nanos() - op.invoke.as_nanos())
+            .collect();
+        assert!(!commit_nanos.is_empty(), "{service} bench cell produced no writes");
+        commit_nanos.sort_unstable();
+        let commit_mean = commit_nanos.iter().sum::<i64>() as f64 / commit_nanos.len() as f64;
+        let commit_p99 = commit_nanos[(commit_nanos.len() - 1) * 99 / 100];
+        let ops: usize = result.results.iter().map(|r| r.trace.len()).sum();
+        Cell { commit_mean, commit_p99, ops_per_sec: ops as f64 / elapsed }
+    }
+    let pbft = cell(ServiceKind::Pbft, scale.campaign_tests);
+    let quorum = cell(ServiceKind::Quorum, scale.campaign_tests);
+    PbftBench {
+        pbft_commit_nanos_mean: pbft.commit_mean,
+        pbft_commit_nanos_p99: pbft.commit_p99,
+        quorum_commit_nanos_mean: quorum.commit_mean,
+        quorum_commit_nanos_p99: quorum.commit_p99,
+        pbft_ops_per_sec: pbft.ops_per_sec,
+        quorum_ops_per_sec: quorum.ops_per_sec,
+    }
+}
+
 /// What the streaming-checker stage measured: the incremental engine
 /// ([`StreamingAnalyzer`](conprobe_core::StreamingAnalyzer)) replaying
 /// the bench trace pool one event at a time, next to the whole-trace
@@ -555,6 +623,7 @@ pub fn report_json(
     journal_overhead: Option<(f64, f64)>,
     wire: Option<&WireBench>,
     quorum: Option<&QuorumBench>,
+    pbft: Option<&PbftBench>,
     streaming: Option<&StreamBench>,
 ) -> String {
     use conprobe_json::JsonValue;
@@ -685,6 +754,28 @@ pub fn report_json(
                     "read_slowdown".into(),
                     JsonValue::Float(round2(
                         q.weak_reads_per_sec / q.quorum_reads_per_sec.max(1e-9),
+                    )),
+                ),
+            ]),
+        ));
+    }
+    if let Some(p) = pbft {
+        members.push((
+            "pbft".into(),
+            JsonValue::Object(vec![
+                ("commit_nanos_mean".into(), JsonValue::Float(round2(p.pbft_commit_nanos_mean))),
+                ("commit_nanos_p99".into(), JsonValue::Int(p.pbft_commit_nanos_p99)),
+                (
+                    "quorum_commit_nanos_mean".into(),
+                    JsonValue::Float(round2(p.quorum_commit_nanos_mean)),
+                ),
+                ("quorum_commit_nanos_p99".into(), JsonValue::Int(p.quorum_commit_nanos_p99)),
+                ("ops_per_sec".into(), JsonValue::Float(round2(p.pbft_ops_per_sec))),
+                ("quorum_ops_per_sec".into(), JsonValue::Float(round2(p.quorum_ops_per_sec))),
+                (
+                    "commit_latency_ratio".into(),
+                    JsonValue::Float(round2(
+                        p.pbft_commit_nanos_mean / p.quorum_commit_nanos_mean.max(1e-9),
                     )),
                 ),
             ]),
@@ -927,6 +1018,14 @@ mod tests {
             weak_writes_per_sec: 12.0,
             weak_reads_per_sec: 1500.0,
         };
+        let pbft = PbftBench {
+            pbft_commit_nanos_mean: 900_000.0,
+            pbft_commit_nanos_p99: 1_500_000,
+            quorum_commit_nanos_mean: 300_000.0,
+            quorum_commit_nanos_p99: 500_000,
+            pbft_ops_per_sec: 4_000.0,
+            quorum_ops_per_sec: 6_000.0,
+        };
         let streaming = StreamBench {
             stream_ops_per_sec: 20_000.0,
             batch_ops_per_sec: 19_000.0,
@@ -939,6 +1038,7 @@ mod tests {
             Some((2.0, 1.9)),
             Some(&wire),
             Some(&quorum),
+            Some(&pbft),
             Some(&streaming),
         ))
         .expect("valid JSON");
@@ -965,16 +1065,23 @@ mod tests {
         let q = doc.get("quorum").expect("quorum block");
         assert_eq!(q.get("reads_per_sec").and_then(|v| v.as_f64()), Some(500.0));
         assert_eq!(q.get("read_slowdown").and_then(|v| v.as_f64()), Some(3.0));
+        let pb = doc.get("pbft").expect("pbft block");
+        assert_eq!(pb.get("commit_nanos_mean").and_then(|v| v.as_f64()), Some(900_000.0));
+        assert_eq!(pb.get("commit_nanos_p99").and_then(|v| v.as_f64()), Some(1_500_000.0));
+        assert_eq!(pb.get("quorum_commit_nanos_p99").and_then(|v| v.as_f64()), Some(500_000.0));
+        assert_eq!(pb.get("commit_latency_ratio").and_then(|v| v.as_f64()), Some(3.0));
         let st = doc.get("streaming").expect("streaming block");
         assert_eq!(st.get("stream_ops_per_sec").and_then(|v| v.as_f64()), Some(20_000.0));
         assert_eq!(st.get("peak_retained_bytes").and_then(|v| v.as_f64()), Some(5_000.0));
         assert_eq!(st.get("retention_ratio").and_then(|v| v.as_f64()), Some(0.1));
         // Without the stages, the blocks are absent (schema stays stable).
         let bare =
-            conprobe_json::parse(&report_json("smoke", numbers, None, None, None, None)).unwrap();
+            conprobe_json::parse(&report_json("smoke", numbers, None, None, None, None, None))
+                .unwrap();
         assert!(bare.get("journal_overhead").is_none());
         assert!(bare.get("wire_throughput").is_none());
         assert!(bare.get("quorum").is_none());
+        assert!(bare.get("pbft").is_none());
         assert!(bare.get("streaming").is_none());
     }
 

@@ -17,7 +17,9 @@
 //! server with the closed-loop load generator and records real-socket
 //! ops/sec and latency percentiles; a quorum stage times the
 //! majority-quorum control arm against the weak baseline on an identical
-//! campaign schedule; a streaming stage replays the trace pool through
+//! campaign schedule; a pbft stage times the ordered-log consensus arm's
+//! write commit latency and throughput head-to-head with the quorum arm;
+//! a streaming stage replays the trace pool through
 //! the incremental checker engine event by event, recording its
 //! throughput next to `analyze()` and the retained-memory bound the
 //! streaming contract promises. `--mode smoke` runs the same
@@ -159,6 +161,18 @@ fn main() -> ExitCode {
         quorum.weak_reads_per_sec,
         quorum.weak_reads_per_sec / quorum.quorum_reads_per_sec.max(1e-9)
     );
+    let pbft = bench::bench_pbft(scale);
+    eprintln!(
+        "pbft cell: commit {:.2} ms mean / {:.2} ms p99 vs quorum {:.2} ms mean / {:.2} ms p99 \
+         ({:.2}x); {:.0} ops/sec vs quorum {:.0} ops/sec",
+        pbft.pbft_commit_nanos_mean / 1e6,
+        pbft.pbft_commit_nanos_p99 as f64 / 1e6,
+        pbft.quorum_commit_nanos_mean / 1e6,
+        pbft.quorum_commit_nanos_p99 as f64 / 1e6,
+        pbft.pbft_commit_nanos_mean / pbft.quorum_commit_nanos_mean.max(1e-9),
+        pbft.pbft_ops_per_sec,
+        pbft.quorum_ops_per_sec
+    );
     let streaming = bench::bench_streaming(scale);
     eprintln!(
         "streaming checkers: {:.0} events/sec (batch {:.0} ops/sec); \
@@ -188,6 +202,7 @@ fn main() -> ExitCode {
         Some((journal_off, journal_on)),
         Some(&wire),
         Some(&quorum),
+        Some(&pbft),
         Some(&streaming),
     );
     if let Err(e) = conprobe::fsio::write_atomic(&args.out, &json) {

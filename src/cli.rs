@@ -365,7 +365,7 @@ USAGE:
   conprobe services
   conprobe help
 
-  <svc>: blogger | gplus | fbfeed | fbgroup | quorum
+  <svc>: blogger | gplus | fbfeed | fbgroup | quorum | pbft
   region: oregon | tokyo | ireland | virginia (or OR|JP|IR|VA)
 
   `serve` hosts a catalog service on one 127.0.0.1 listener per agent
@@ -441,6 +441,7 @@ fn parse_service(s: &str) -> Result<ServiceKind, CliError> {
         "fbfeed" | "feed" => Ok(ServiceKind::FacebookFeed),
         "fbgroup" | "group" => Ok(ServiceKind::FacebookGroup),
         "quorum" => Ok(ServiceKind::Quorum),
+        "pbft" => Ok(ServiceKind::Pbft),
         other => Err(CliError(format!("unknown service '{other}'"))),
     }
 }

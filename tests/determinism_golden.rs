@@ -128,6 +128,42 @@ fn observability_leaves_every_golden_fingerprint_unchanged() {
 }
 
 #[test]
+fn adding_the_sixth_catalog_entry_left_the_paper_matrix_untouched() {
+    // Catalog invariance: growing the service catalog (the Pbft arm is
+    // the sixth entry) must be purely additive. The first five catalog
+    // positions are pinned — journals, CI greps and docs all reference
+    // them by name — the paper matrix keeps exactly its four services,
+    // and (per the golden tests above, which run on the same tree) every
+    // golden fingerprint stays byte-identical.
+    assert_eq!(ServiceKind::CATALOG.len(), 6);
+    assert_eq!(
+        &ServiceKind::CATALOG[..5],
+        &[
+            ServiceKind::GooglePlus,
+            ServiceKind::Blogger,
+            ServiceKind::FacebookFeed,
+            ServiceKind::FacebookGroup,
+            ServiceKind::Quorum,
+        ],
+        "existing catalog positions are pinned; new arms append only"
+    );
+    assert_eq!(ServiceKind::CATALOG[5], ServiceKind::Pbft);
+    assert_eq!(
+        ServiceKind::ALL,
+        [
+            ServiceKind::GooglePlus,
+            ServiceKind::Blogger,
+            ServiceKind::FacebookFeed,
+            ServiceKind::FacebookGroup,
+        ],
+        "the paper matrix must not gain a control arm"
+    );
+    assert!(!GOLDEN_CASES
+        .iter()
+        .any(|(s, _, _)| *s == ServiceKind::Pbft || *s == ServiceKind::Quorum));
+}
+
+#[test]
 fn fingerprint_hash_is_platform_stable() {
     // FNV-1a, not RandomState: the goldens must mean the same thing on
     // every machine.

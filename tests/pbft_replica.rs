@@ -1,0 +1,118 @@
+//! The PBFT-style ordered-log consensus arm, end to end (ISSUE 10
+//! acceptance bar).
+//!
+//! The `Pbft` service orders every client operation — reads included —
+//! through a stable-leader pre-prepare/prepare/commit log with 2f+1
+//! certificates, so every checker must come through clean in clean runs
+//! AND under the chaos plan's crash/recover cycle, which kills the
+//! initial leader (replica 1, Tokyo) mid-run and forces a real view
+//! change. Under a fixed seed the whole thing — trace, view-change and
+//! recovery narration, state-transfer stream hash — must be
+//! byte-deterministic.
+
+use conprobe::cli::chaos_plan;
+use conprobe::core::AnomalyKind;
+use conprobe::harness::proto::TestKind;
+use conprobe::harness::runner::{run_one_test, TestConfig, TestResult};
+use conprobe::services::ServiceKind;
+use conprobe_obs::{EventLog, ObsSink, Severity};
+
+/// The consensus arm in fair weather: no faults, every checker, multiple
+/// seeds and both test designs — zero anomaly observations, always.
+#[test]
+fn clean_pbft_runs_are_anomaly_free_across_all_six_checkers() {
+    for kind in [TestKind::Test1, TestKind::Test2] {
+        for seed in [1, 7, 42] {
+            let config = TestConfig::paper(ServiceKind::Pbft, kind);
+            let r = run_one_test(&config, seed);
+            assert!(r.completed, "{kind} seed {seed} must complete");
+            for anomaly in AnomalyKind::ALL {
+                assert_eq!(
+                    r.analysis.count(anomaly),
+                    0,
+                    "{kind} seed {seed}: {anomaly} observed against the ordered-log arm"
+                );
+            }
+            assert!(r.analysis.is_clean());
+        }
+    }
+}
+
+/// Runs the level-3 chaos cell (loss burst + degraded link + link flap +
+/// a replica crash/recover cycle aimed at the initial leader) against
+/// the pbft service, capturing the service event log and the shared
+/// consensus counters.
+fn chaos_crash_run(seed: u64) -> (TestResult, Vec<String>, u64) {
+    let sink = ObsSink::with_log(
+        EventLog::new(4096).with_min_severity(Severity::Info).with_target_prefix("services"),
+    );
+    let mut config = TestConfig::paper(ServiceKind::Pbft, TestKind::Test2);
+    config.fault_plan = chaos_plan(3, seed);
+    config.obs = Some(sink.clone());
+    let r = run_one_test(&config, seed);
+    let view_changes = sink.metrics.counter("services.pbft.view_changes").get();
+    let events = sink.log.drain().iter().map(|e| e.render()).collect();
+    (r, events, view_changes)
+}
+
+/// The crash arm: replica 1 — the view-1 leader — dies at 7 s and
+/// rejoins at 11 s. The surviving replicas must suspect it, vote, and
+/// install a new view (observable in the `services.pbft.view_changes`
+/// counter and the narration); read fencing must hold across the rejoin;
+/// and all six checkers must still report zero anomalies.
+#[test]
+fn leader_crash_forces_a_view_change_and_stays_clean() {
+    let (r, events, view_changes) = chaos_crash_run(42);
+    assert!(r.completed, "the surviving 2f+1 replicas keep the log live");
+    for anomaly in AnomalyKind::ALL {
+        assert_eq!(
+            r.analysis.count(anomaly),
+            0,
+            "{anomaly} observed across a leader crash + view change:\n{events:#?}"
+        );
+    }
+    assert!(
+        view_changes >= 1,
+        "killing the leader must fire at least one view change (counter: {view_changes})"
+    );
+    assert!(
+        r.fault_ledger.actions.len() >= 2,
+        "crash + recover must be in the ledger: {:?}",
+        r.fault_ledger.actions
+    );
+    assert!(events.iter().any(|e| e.contains("crashed")), "crash event missing: {events:#?}");
+    assert!(
+        events.iter().any(|e| e.contains("view change")),
+        "view-change narration missing: {events:#?}"
+    );
+    assert!(
+        events.iter().any(|e| e.contains("state transfer complete")),
+        "the rejoining ex-leader must complete a state transfer: {events:#?}"
+    );
+}
+
+/// Same seed, same plan → byte-identical trace and byte-identical
+/// consensus narration: suspicion votes, the new-view install, the
+/// `cpj1` catch-up stream hash. This pins the whole view-change and
+/// state-transfer machinery as fully deterministic.
+#[test]
+fn view_change_and_state_transfer_are_byte_deterministic() {
+    let (r1, e1, v1) = chaos_crash_run(42);
+    let (r2, e2, v2) = chaos_crash_run(42);
+    assert_eq!(r1.trace, r2.trace, "traces must be byte-identical under a fixed seed");
+    assert_eq!(e1, e2, "consensus narration (incl. stream hash) must be deterministic");
+    assert_eq!(v1, v2, "the view-change count is part of the deterministic outcome");
+    assert!(
+        e1.iter().any(|e| e.contains("stream hash")),
+        "the transfer narration carries the catch-up stream hash: {e1:#?}"
+    );
+}
+
+/// The paper's campaign matrix — and with it every golden fingerprint —
+/// deliberately excludes both control arms.
+#[test]
+fn the_paper_matrix_does_not_gain_the_consensus_arm() {
+    assert_eq!(ServiceKind::ALL.len(), 4);
+    assert!(!ServiceKind::ALL.contains(&ServiceKind::Pbft));
+    assert!(ServiceKind::CATALOG.contains(&ServiceKind::Pbft));
+}

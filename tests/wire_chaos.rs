@@ -211,6 +211,55 @@ fn quorum_crash_rejoin_completes_state_transfer_and_probes_clean() {
     );
 }
 
+/// The consensus-arm acceptance scenario: the live pbft leader (view 1
+/// leads at replica 1) is killed mid-run by the fault driver, forcing a
+/// narrated view change; the ex-leader rejoins via `cpj1` state
+/// transfer; and a post-rejoin probe over real TCP analyzes clean on
+/// every checker.
+#[test]
+fn pbft_leader_kill_forces_a_live_view_change_and_probes_clean() {
+    let server = WireServer::start(&ServeConfig::loopback(ServiceKind::Pbft, 56)).expect("bind");
+    let (view, leader, changes) = server.pbft_status().expect("pbft arm reports status");
+    assert_eq!((view, leader, changes), (1, 1, 0), "boot: view 1, leader n1, no changes");
+
+    // Seed real state first so the transfer has posts to move.
+    let warmup =
+        ProbeConfig::loopback(ServiceKind::Pbft, TestKind::Test2, server.addrs().to_vec(), 56);
+    let seeded = run_probe(&warmup).expect("warmup probe");
+    assert!(seeded.completed);
+
+    // Kill the leader itself: the surviving replicas rotate the view.
+    let plan = FaultPlan::new(56).with(FaultEvent::CrashCycle {
+        target: 1,
+        at: SimTime::ZERO,
+        down_for: SimDuration::from_millis(100),
+        up_for: SimDuration::ZERO,
+        cycles: 1,
+    });
+    let mut narration = Vec::new();
+    let executed = drive_service_actions(&server, &plan, |line| narration.push(line));
+    assert_eq!(executed, 2, "one crash and one recover");
+    let joined = narration.join("\n");
+    assert!(joined.contains("replica n1 crashed"), "{joined}");
+    assert!(joined.contains("pbft view change: view 2, new leader n2"), "{joined}");
+    assert!(joined.contains("state transfer complete"), "{joined}");
+    let (view, leader, changes) = server.pbft_status().expect("status after the kill");
+    assert_eq!((view, leader, changes), (2, 2, 1), "the view rotated exactly once");
+
+    let after =
+        ProbeConfig::loopback(ServiceKind::Pbft, TestKind::Test2, server.addrs().to_vec(), 57);
+    let result = run_probe(&after).expect("post-rejoin probe");
+    server.request_stop();
+    server.join();
+
+    assert!(result.completed, "post-rejoin probe finishes its quota");
+    assert!(!result.salvaged);
+    assert!(
+        result.analysis.is_clean(),
+        "an ordered log with a rotated leader must hide nothing from the checkers"
+    );
+}
+
 /// A seeded `chaos --wire` sweep journals its per-level results; a
 /// resumed sweep splices them back and reproduces the report
 /// byte-for-byte without re-running a single live level.
